@@ -1,0 +1,322 @@
+//! The Bayesian network → weighted model counting encoding (§2.2, \[24\]).
+//!
+//! One Boolean *indicator* `λ_{X=x}` per variable/value with exactly-one
+//! constraints, and one *parameter* variable per CPT entry with
+//! `P ⇔ λ_x ∧ λ_{u₁} ∧ ⋯` (presence of θ in a joint-distribution row,
+//! Fig. 4). Weights: indicators and negative parameter literals weigh 1;
+//! positive parameter literals weigh their CPT entries. Then every model of
+//! Δ corresponds to one network instantiation with weight equal to its
+//! probability (expression (1) of the paper), so
+//! `Pr(α) = WMC(Δ ∧ α)`.
+//!
+//! [`EncodingStyle::LocalStructure`] adds the refinements of \[10, 32\]:
+//! zero parameters become plain clauses, one parameters vanish, and rows of
+//! a CPT sharing a probability share one parameter variable (the
+//! context-specific-independence refinement) — giving the compiler
+//! exponentially less work on highly deterministic networks (`exp17`).
+
+use crate::net::BayesNet;
+use crate::ve::Evidence;
+use trl_core::{Lit, Var};
+use trl_nnf::LitWeights;
+use trl_prop::Cnf;
+
+/// Which encoding refinements to apply.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EncodingStyle {
+    /// One parameter variable per CPT entry, full biconditional clauses.
+    Baseline,
+    /// 0/1-parameter shortcuts and equal-parameter sharing.
+    #[default]
+    LocalStructure,
+}
+
+/// The result of encoding a network.
+pub struct BnEncoding {
+    /// The CNF Δ.
+    pub cnf: Cnf,
+    /// Literal weights for WMC.
+    pub weights: LitWeights,
+    /// `indicators[v][x]` is the Boolean variable of `λ_{v=x}`.
+    pub indicators: Vec<Vec<Var>>,
+    /// The style used.
+    pub style: EncodingStyle,
+}
+
+impl BnEncoding {
+    /// Encodes a network.
+    pub fn new(bn: &BayesNet, style: EncodingStyle) -> Self {
+        let mut next = 0u32;
+        let mut fresh = || {
+            let v = Var(next);
+            next += 1;
+            v
+        };
+        let indicators: Vec<Vec<Var>> = (0..bn.num_vars())
+            .map(|v| (0..bn.cardinality(v)).map(|_| fresh()).collect())
+            .collect();
+
+        // Collect clauses first; the variable universe grows as parameter
+        // and auxiliary variables are allocated.
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        let mut weighted: Vec<(Var, f64)> = Vec::new();
+
+        // Exactly-one over each variable's indicators.
+        for ind in &indicators {
+            clauses.push(ind.iter().map(|v| v.positive()).collect());
+            for i in 0..ind.len() {
+                for j in i + 1..ind.len() {
+                    clauses.push(vec![ind[i].negative(), ind[j].negative()]);
+                }
+            }
+        }
+
+        for v in 0..bn.num_vars() {
+            let parents = bn.parents(v).to_vec();
+            let parent_cards: Vec<usize> =
+                parents.iter().map(|&p| bn.cardinality(p)).collect();
+            let n_configs: usize = parent_cards.iter().product();
+            // Context cube of a row: λ_{v=x} ∧ λ_{u₁=c₁} ∧ ⋯
+            let context = |config: usize, x: usize| -> Vec<Lit> {
+                let mut lits = vec![indicators[v][x].positive()];
+                let mut c = config;
+                for k in (0..parents.len()).rev() {
+                    let val = c % parent_cards[k];
+                    c /= parent_cards[k];
+                    lits.push(indicators[parents[k]][val].positive());
+                }
+                lits.reverse(); // parents first, then the child — cosmetic
+                lits
+            };
+
+            match style {
+                EncodingStyle::Baseline => {
+                    for config in 0..n_configs {
+                        for x in 0..bn.cardinality(v) {
+                            let p = bn.cpt(v)[config * bn.cardinality(v) + x];
+                            let theta = fresh();
+                            weighted.push((theta, p));
+                            let ctx = context(config, x);
+                            // θ ⇒ each context literal.
+                            for &l in &ctx {
+                                clauses.push(vec![theta.negative(), l]);
+                            }
+                            // context ⇒ θ.
+                            let mut big: Vec<Lit> = ctx.iter().map(|&l| !l).collect();
+                            big.push(theta.positive());
+                            clauses.push(big);
+                        }
+                    }
+                }
+                EncodingStyle::LocalStructure => {
+                    // Group rows of this CPT by probability value.
+                    let mut groups: Vec<(f64, Vec<(usize, usize)>)> = Vec::new();
+                    for config in 0..n_configs {
+                        for x in 0..bn.cardinality(v) {
+                            let p = bn.cpt(v)[config * bn.cardinality(v) + x];
+                            if p == 0.0 {
+                                // Forbid the context outright.
+                                let ctx = context(config, x);
+                                clauses.push(ctx.iter().map(|&l| !l).collect());
+                                continue;
+                            }
+                            if p == 1.0 {
+                                continue; // weight 1: no variable needed
+                            }
+                            match groups.iter_mut().find(|(q, _)| *q == p) {
+                                Some((_, rows)) => rows.push((config, x)),
+                                None => groups.push((p, vec![(config, x)])),
+                            }
+                        }
+                    }
+                    for (p, rows) in groups {
+                        let theta = fresh();
+                        weighted.push((theta, p));
+                        if rows.len() == 1 {
+                            let (config, x) = rows[0];
+                            let ctx = context(config, x);
+                            for &l in &ctx {
+                                clauses.push(vec![theta.negative(), l]);
+                            }
+                            let mut big: Vec<Lit> = ctx.iter().map(|&l| !l).collect();
+                            big.push(theta.positive());
+                            clauses.push(big);
+                        } else {
+                            // Shared parameter: θ ⇔ (row₁ ∨ ⋯ ∨ rowₖ) via
+                            // one auxiliary per row (Tseitin-style; each
+                            // network instantiation extends uniquely, so
+                            // weighted counts are preserved).
+                            let mut row_vars = Vec::with_capacity(rows.len());
+                            for (config, x) in rows {
+                                let r = fresh();
+                                row_vars.push(r);
+                                let ctx = context(config, x);
+                                for &l in &ctx {
+                                    clauses.push(vec![r.negative(), l]);
+                                }
+                                let mut big: Vec<Lit> = ctx.iter().map(|&l| !l).collect();
+                                big.push(r.positive());
+                                clauses.push(big);
+                            }
+                            // θ ⇔ ∨ rᵢ
+                            for &r in &row_vars {
+                                clauses.push(vec![theta.positive(), r.negative()]);
+                            }
+                            let mut big: Vec<Lit> =
+                                row_vars.iter().map(|r| r.positive()).collect();
+                            big.push(theta.negative());
+                            clauses.push(big);
+                        }
+                    }
+                }
+            }
+        }
+
+        let num_vars = next as usize;
+        let mut cnf = Cnf::new(num_vars);
+        for c in clauses {
+            cnf.add_clause(c);
+        }
+        let mut weights = LitWeights::unit(num_vars);
+        for (var, p) in weighted {
+            weights.set(var.positive(), p);
+        }
+        BnEncoding {
+            cnf,
+            weights,
+            indicators,
+            style,
+        }
+    }
+
+    /// Weights adjusted for evidence: indicators contradicting the evidence
+    /// get weight 0, so `WMC = Pr(evidence)`.
+    pub fn weights_with_evidence(&self, evidence: &Evidence) -> LitWeights {
+        let mut w = self.weights.clone();
+        for &(v, val) in evidence {
+            for (x, &ind) in self.indicators[v].iter().enumerate() {
+                if x != val {
+                    w.set(ind.positive(), 0.0);
+                }
+            }
+        }
+        w
+    }
+
+    /// The indicator literal asserting `var = value`.
+    pub fn indicator(&self, var: usize, value: usize) -> Lit {
+        self.indicators[var][value].positive()
+    }
+
+    /// Decodes a model of Δ into a network instantiation (the values whose
+    /// indicators are true).
+    pub fn decode(&self, a: &trl_core::Assignment) -> Vec<usize> {
+        self.indicators
+            .iter()
+            .map(|ind| {
+                ind.iter()
+                    .position(|v| a.value(*v))
+                    .expect("exactly-one violated in model")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use trl_compiler::ModelCounter;
+    use trl_prop::Solver;
+
+    #[test]
+    fn model_count_equals_instantiation_count() {
+        // "The resulting Boolean formula Δ will have exactly eight models,
+        //  which correspond to the network instantiations." (§2.2)
+        let bn = models::abc();
+        for style in [EncodingStyle::Baseline, EncodingStyle::LocalStructure] {
+            let enc = BnEncoding::new(&bn, style);
+            let count = Solver::new(&enc.cnf).count_models();
+            assert_eq!(count, 8, "style {style:?}");
+        }
+    }
+
+    #[test]
+    fn model_weights_equal_joint_probabilities() {
+        let bn = models::abc();
+        for style in [EncodingStyle::Baseline, EncodingStyle::LocalStructure] {
+            let enc = BnEncoding::new(&bn, style);
+            for model in Solver::new(&enc.cnf).enumerate_models() {
+                let inst = enc.decode(&model);
+                let weight = enc.weights.weight_of(&model);
+                let joint = bn.joint(&inst);
+                assert!(
+                    (weight - joint).abs() < 1e-12,
+                    "style {style:?}: weight {weight} vs joint {joint} at {inst:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wmc_of_delta_is_one() {
+        let bn = models::abc();
+        let enc = BnEncoding::new(&bn, EncodingStyle::LocalStructure);
+        let total = ModelCounter::default().wmc(&enc.cnf, &enc.weights);
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evidence_weights_give_marginals() {
+        let bn = models::abc();
+        let enc = BnEncoding::new(&bn, EncodingStyle::LocalStructure);
+        let counter = ModelCounter::default();
+        // Pr(B=1) via WMC vs VE.
+        let w = enc.weights_with_evidence(&vec![(1, 1)]);
+        let wmc = counter.wmc(&enc.cnf, &w);
+        let ve = bn.pr_evidence(&vec![(1, 1)]);
+        assert!((wmc - ve).abs() < 1e-12);
+        // Joint evidence.
+        let w = enc.weights_with_evidence(&vec![(0, 0), (2, 1)]);
+        let wmc = counter.wmc(&enc.cnf, &w);
+        let ve = bn.pr_evidence(&vec![(0, 0), (2, 1)]);
+        assert!((wmc - ve).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_network_encodes_correctly() {
+        // The medical network has a fully deterministic AGREE variable.
+        let bn = models::medical();
+        for style in [EncodingStyle::Baseline, EncodingStyle::LocalStructure] {
+            let enc = BnEncoding::new(&bn, style);
+            let counter = ModelCounter::default();
+            let total = counter.wmc(&enc.cnf, &enc.weights);
+            assert!((total - 1.0).abs() < 1e-9, "style {style:?}: {total}");
+            let w = enc.weights_with_evidence(&vec![(4, 1)]);
+            let wmc = counter.wmc(&enc.cnf, &w);
+            let ve = bn.pr_evidence(&vec![(4, 1)]);
+            assert!((wmc - ve).abs() < 1e-9, "style {style:?}");
+        }
+    }
+
+    #[test]
+    fn local_structure_produces_smaller_encoding_on_deterministic_nets() {
+        let bn = models::medical();
+        let base = BnEncoding::new(&bn, EncodingStyle::Baseline);
+        let local = BnEncoding::new(&bn, EncodingStyle::LocalStructure);
+        assert!(local.cnf.num_vars() < base.cnf.num_vars());
+    }
+
+    #[test]
+    fn multivalued_network_round_trips() {
+        let mut bn = BayesNet::new();
+        let a = bn.add_var("A", 3, &[], vec![0.2, 0.3, 0.5]).unwrap();
+        bn.add_var("B", 2, &[a], vec![0.9, 0.1, 0.5, 0.5, 0.2, 0.8])
+            .unwrap();
+        let enc = BnEncoding::new(&bn, EncodingStyle::LocalStructure);
+        let count = Solver::new(&enc.cnf).count_models();
+        assert_eq!(count, 6);
+        let total = ModelCounter::default().wmc(&enc.cnf, &enc.weights);
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,259 @@
+//! Factors: multidimensional tables over network variables, the data
+//! structure of the "dedicated algorithm" tradition (§2) that variable
+//! elimination manipulates.
+
+/// A factor over a sorted set of variables.
+///
+/// `data` is indexed mixed-radix with the *first* (smallest-index) variable
+/// most significant.
+#[derive(Clone, Debug)]
+pub struct Factor {
+    vars: Vec<usize>,
+    cards: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Factor {
+    /// A constant factor over no variables.
+    pub fn scalar(value: f64) -> Self {
+        Factor {
+            vars: Vec::new(),
+            cards: Vec::new(),
+            data: vec![value],
+        }
+    }
+
+    /// Builds a factor; `vars` must be strictly increasing, `cards` aligned,
+    /// and `data.len()` the product of cardinalities.
+    pub fn new(vars: Vec<usize>, cards: Vec<usize>, data: Vec<f64>) -> Self {
+        assert_eq!(vars.len(), cards.len());
+        assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be sorted");
+        let expected: usize = cards.iter().product();
+        assert_eq!(data.len(), expected);
+        Factor { vars, cards, data }
+    }
+
+    /// The variables of the factor (sorted).
+    pub fn vars(&self) -> &[usize] {
+        &self.vars
+    }
+
+    /// The scalar value of a variable-free factor.
+    pub fn value(&self) -> f64 {
+        assert!(self.vars.is_empty(), "factor is not a scalar");
+        self.data[0]
+    }
+
+    /// The entry at the given per-variable values (aligned with `vars`).
+    pub fn get(&self, values: &[usize]) -> f64 {
+        self.data[self.offset(values)]
+    }
+
+    fn offset(&self, values: &[usize]) -> usize {
+        let mut idx = 0usize;
+        for (i, &v) in values.iter().enumerate() {
+            debug_assert!(v < self.cards[i]);
+            idx = idx * self.cards[i] + v;
+        }
+        idx
+    }
+
+    /// Pointwise product, over the union of the two variable sets.
+    pub fn multiply(&self, other: &Factor) -> Factor {
+        // Merge variable lists.
+        let mut vars = Vec::with_capacity(self.vars.len() + other.vars.len());
+        let mut cards = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.vars.len() || j < other.vars.len() {
+            if j >= other.vars.len()
+                || (i < self.vars.len() && self.vars[i] < other.vars[j])
+            {
+                vars.push(self.vars[i]);
+                cards.push(self.cards[i]);
+                i += 1;
+            } else if i >= self.vars.len() || other.vars[j] < self.vars[i] {
+                vars.push(other.vars[j]);
+                cards.push(other.cards[j]);
+                j += 1;
+            } else {
+                assert_eq!(self.cards[i], other.cards[j]);
+                vars.push(self.vars[i]);
+                cards.push(self.cards[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+        let total: usize = cards.iter().product();
+        let mut data = Vec::with_capacity(total);
+        let mut values = vec![0usize; vars.len()];
+        let self_pos: Vec<usize> = self
+            .vars
+            .iter()
+            .map(|v| vars.iter().position(|u| u == v).unwrap())
+            .collect();
+        let other_pos: Vec<usize> = other
+            .vars
+            .iter()
+            .map(|v| vars.iter().position(|u| u == v).unwrap())
+            .collect();
+        for _ in 0..total {
+            let sv: Vec<usize> = self_pos.iter().map(|&p| values[p]).collect();
+            let ov: Vec<usize> = other_pos.iter().map(|&p| values[p]).collect();
+            data.push(self.get(&sv) * other.get(&ov));
+            // Increment mixed-radix counter (last variable fastest).
+            for k in (0..vars.len()).rev() {
+                values[k] += 1;
+                if values[k] < cards[k] {
+                    break;
+                }
+                values[k] = 0;
+            }
+        }
+        Factor { vars, cards, data }
+    }
+
+    fn eliminate(&self, var: usize, max: bool) -> Factor {
+        let pos = self
+            .vars
+            .iter()
+            .position(|&v| v == var)
+            .expect("variable not in factor");
+        let mut vars = self.vars.clone();
+        let mut cards = self.cards.clone();
+        vars.remove(pos);
+        cards.remove(pos);
+        let total: usize = cards.iter().product();
+        let mut data = vec![if max { f64::NEG_INFINITY } else { 0.0 }; total];
+        let mut values = vec![0usize; self.vars.len()];
+        for &entry in &self.data {
+            let mut out_values: Vec<usize> = Vec::with_capacity(vars.len());
+            for (k, &v) in values.iter().enumerate() {
+                if k != pos {
+                    out_values.push(v);
+                }
+            }
+            let mut idx = 0usize;
+            for (k, &v) in out_values.iter().enumerate() {
+                idx = idx * cards[k] + v;
+            }
+            if max {
+                data[idx] = data[idx].max(entry);
+            } else {
+                data[idx] += entry;
+            }
+            for k in (0..self.vars.len()).rev() {
+                values[k] += 1;
+                if values[k] < self.cards[k] {
+                    break;
+                }
+                values[k] = 0;
+            }
+        }
+        Factor { vars, cards, data }
+    }
+
+    /// Sums out a variable.
+    pub fn sum_out(&self, var: usize) -> Factor {
+        self.eliminate(var, false)
+    }
+
+    /// Maxes out a variable (max-product elimination, for MPE/MAP).
+    pub fn max_out(&self, var: usize) -> Factor {
+        self.eliminate(var, true)
+    }
+
+    /// Restricts a variable to a value (evidence), removing it.
+    pub fn restrict(&self, var: usize, value: usize) -> Factor {
+        let pos = self
+            .vars
+            .iter()
+            .position(|&v| v == var)
+            .expect("variable not in factor");
+        let mut vars = self.vars.clone();
+        let mut cards = self.cards.clone();
+        vars.remove(pos);
+        cards.remove(pos);
+        let total: usize = cards.iter().product();
+        let mut data = Vec::with_capacity(total);
+        let mut out_values = vec![0usize; vars.len()];
+        for _ in 0..total {
+            let mut full: Vec<usize> = Vec::with_capacity(self.vars.len());
+            let mut k_out = 0;
+            for k in 0..self.vars.len() {
+                if k == pos {
+                    full.push(value);
+                } else {
+                    full.push(out_values[k_out]);
+                    k_out += 1;
+                }
+            }
+            data.push(self.get(&full));
+            for k in (0..vars.len()).rev() {
+                out_values[k] += 1;
+                if out_values[k] < cards[k] {
+                    break;
+                }
+                out_values[k] = 0;
+            }
+        }
+        Factor { vars, cards, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiply_disjoint_factors() {
+        let f = Factor::new(vec![0], vec![2], vec![0.3, 0.7]);
+        let g = Factor::new(vec![1], vec![2], vec![0.5, 0.5]);
+        let p = f.multiply(&g);
+        assert_eq!(p.vars(), &[0, 1]);
+        assert!((p.get(&[1, 0]) - 0.35).abs() < 1e-12);
+        assert!((p.get(&[0, 1]) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiply_overlapping_factors() {
+        let f = Factor::new(vec![0, 1], vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let g = Factor::new(vec![1], vec![2], vec![10.0, 100.0]);
+        let p = f.multiply(&g);
+        assert_eq!(p.vars(), &[0, 1]);
+        assert!((p.get(&[0, 0]) - 10.0).abs() < 1e-12);
+        assert!((p.get(&[0, 1]) - 200.0).abs() < 1e-12);
+        assert!((p.get(&[1, 0]) - 30.0).abs() < 1e-12);
+        assert!((p.get(&[1, 1]) - 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_and_max_out() {
+        let f = Factor::new(vec![0, 1], vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let s = f.sum_out(0);
+        assert_eq!(s.vars(), &[1]);
+        assert!((s.get(&[0]) - 4.0).abs() < 1e-12);
+        assert!((s.get(&[1]) - 6.0).abs() < 1e-12);
+        let m = f.max_out(1);
+        assert_eq!(m.vars(), &[0]);
+        assert!((m.get(&[0]) - 2.0).abs() < 1e-12);
+        assert!((m.get(&[1]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restrict_drops_variable() {
+        let f = Factor::new(vec![0, 2], vec![2, 3], (0..6).map(|x| x as f64).collect());
+        let r = f.restrict(2, 1);
+        assert_eq!(r.vars(), &[0]);
+        assert!((r.get(&[0]) - 1.0).abs() < 1e-12);
+        assert!((r.get(&[1]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_product() {
+        let f = Factor::scalar(0.5);
+        let g = Factor::new(vec![3], vec![2], vec![0.2, 0.8]);
+        let p = f.multiply(&g);
+        assert!((p.get(&[1]) - 0.4).abs() < 1e-12);
+        assert!((f.value() - 0.5).abs() < 1e-12);
+    }
+}

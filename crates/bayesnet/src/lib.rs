@@ -1,0 +1,32 @@
+//! Bayesian networks and the reduction of probabilistic reasoning to
+//! weighted model counting (§2 of the paper).
+//!
+//! The paper's four canonical queries on a network with distribution
+//! `Pr(X)` — and the complexity classes their decision versions complete —
+//! are all implemented here twice:
+//!
+//! | query | meaning | class | dedicated baseline | reduction route |
+//! |-------|---------|-------|--------------------|-----------------|
+//! | MPE | most probable complete instantiation | NP | max-product VE | circuit `max_weight` |
+//! | MAR | `Pr(x ∣ e)` | PP | variable elimination | WMC on compiled Decision-DNNF |
+//! | MAP | most probable instantiation of `Y ⊆ X` | NP^PP | constrained VE | constrained-vtree SDD max |
+//! | SDP | same-decision probability \[18, 31\] | PP^PP | enumeration + VE | constrained-vtree SDD expectation |
+//!
+//! The reduction (§2.2, \[24\]) introduces indicator and parameter variables,
+//! asserts exactly-one over indicators and `parameter ⇔ its CPT context`,
+//! and weights positive parameter literals by the CPT entries — after which
+//! `Pr(α) = WMC(Δ ∧ α)`. [`encode::BnEncoding`] implements it, including
+//! the 0/1-parameter and equal-parameter refinements that exploit local
+//! structure (\[10\], exercised by `exp17`).
+
+pub mod compiled;
+pub mod encode;
+pub mod factor;
+pub mod models;
+pub mod net;
+pub mod ve;
+
+pub use compiled::CompiledBn;
+pub use encode::{BnEncoding, EncodingStyle};
+pub use factor::Factor;
+pub use net::BayesNet;

@@ -1,0 +1,179 @@
+//! The paper's example networks and a synthetic-network generator.
+
+use crate::net::BayesNet;
+
+/// The Fig. 4 network: `A → B`, `A → C`, three binary variables and ten
+/// parameters. The parameter values are not printed in the paper; these are
+/// fixed, documented choices (θ_A = 0.3, θ_{B|A} = 0.8, θ_{B|¬A} = 0.2,
+/// θ_{C|A} = 0.6, θ_{C|¬A} = 0.1).
+pub fn abc() -> BayesNet {
+    let mut bn = BayesNet::new();
+    let a = bn.add_bool_var("A", &[], &[0.3]).unwrap();
+    // Rows are indexed by the parent value: [Pr(·|A=0), Pr(·|A=1)].
+    bn.add_bool_var("B", &[a], &[0.2, 0.8]).unwrap();
+    bn.add_bool_var("C", &[a], &[0.1, 0.6]).unwrap();
+    bn
+}
+
+/// Variable indices of [`medical`], in order.
+pub mod medical_vars {
+    /// Patient sex (0 = female, 1 = male).
+    pub const SEX: usize = 0;
+    /// The medical condition `c`.
+    pub const C: usize = 1;
+    /// First test result.
+    pub const T1: usize = 2;
+    /// Second test result.
+    pub const T2: usize = 3;
+    /// Whether the two tests agree (deterministic).
+    pub const AGREE: usize = 4;
+}
+
+/// The Fig. 2 network: a medical condition `c`, two tests `T1`/`T2` that
+/// detect it, and a deterministic `AGREE` variable indicating whether the
+/// test results agree. The figure omits the parameters; these are fixed,
+/// documented choices (prevalence differs by sex; T1 is more sensitive but
+/// less specific than T2). The deterministic `AGREE` CPT gives the WMC
+/// encoding its 0/1 parameters — the situation where the paper notes
+/// reduction-based approaches shine \[32\].
+pub fn medical() -> BayesNet {
+    let mut bn = BayesNet::new();
+    let sex = bn.add_bool_var("sex", &[], &[0.55]).unwrap();
+    // Pr(c | sex): rows [sex=0, sex=1].
+    let c = bn.add_bool_var("c", &[sex], &[0.01, 0.05]).unwrap();
+    // Pr(T1=+ | c): rows [c=0, c=1].
+    let t1 = bn.add_bool_var("T1", &[c], &[0.20, 0.90]).unwrap();
+    let t2 = bn.add_bool_var("T2", &[c], &[0.10, 0.80]).unwrap();
+    // AGREE ⇔ (T1 = T2): rows over (T1, T2) = (0,0),(0,1),(1,0),(1,1).
+    bn.add_bool_var("AGREE", &[t1, t2], &[1.0, 0.0, 0.0, 1.0])
+        .unwrap();
+    bn
+}
+
+/// A deterministic pseudo-random generator for synthetic networks
+/// (xorshift64; no external dependency so library users get reproducible
+/// workloads from a seed alone).
+pub struct NetRng(u64);
+
+impl NetRng {
+    /// Creates a generator from a nonzero seed.
+    pub fn new(seed: u64) -> Self {
+        NetRng(seed.max(1))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Generates a random binary-variable network with `n` variables, at most
+/// `max_parents` parents each, and approximately `determinism` fraction of
+/// CPT rows deterministic (0/1) — the knob `exp17` sweeps to show when the
+/// WMC reduction beats dedicated algorithms.
+pub fn random_network(seed: u64, n: usize, max_parents: usize, determinism: f64) -> BayesNet {
+    let mut rng = NetRng::new(seed);
+    let mut bn = BayesNet::new();
+    for v in 0..n {
+        let n_parents = if v == 0 { 0 } else { rng.below(max_parents.min(v) + 1) };
+        let mut parents = Vec::with_capacity(n_parents);
+        while parents.len() < n_parents {
+            let p = rng.below(v);
+            if !parents.contains(&p) {
+                parents.push(p);
+            }
+        }
+        parents.sort_unstable();
+        let rows = 1usize << parents.len();
+        let mut p_true = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            if rng.next_f64() < determinism {
+                p_true.push(if rng.next_u64() & 1 == 0 { 0.0 } else { 1.0 });
+            } else {
+                // Keep away from 0/1 so "deterministic" is controlled.
+                p_true.push(0.05 + 0.9 * rng.next_f64());
+            }
+        }
+        bn.add_bool_var(format!("X{v}"), &parents, &p_true)
+            .unwrap();
+    }
+    bn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abc_is_fig4_structure() {
+        let bn = abc();
+        assert_eq!(bn.num_vars(), 3);
+        assert_eq!(bn.parents(1), &[0]);
+        assert_eq!(bn.parents(2), &[0]);
+        let total: f64 = bn.instantiations().map(|i| bn.joint(&i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn medical_agree_is_deterministic() {
+        let bn = medical();
+        use medical_vars::*;
+        assert_eq!(bn.num_vars(), 5);
+        // AGREE=1 exactly when T1 == T2.
+        for t1 in 0..2 {
+            for t2 in 0..2 {
+                let p = bn.cpt_entry(AGREE, 1, &[t1, t2]);
+                assert_eq!(p, if t1 == t2 { 1.0 } else { 0.0 });
+            }
+        }
+        let total: f64 = bn.instantiations().map(|i| bn.joint(&i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_networks_are_valid_and_reproducible() {
+        let a = random_network(7, 8, 3, 0.4);
+        let b = random_network(7, 8, 3, 0.4);
+        assert_eq!(a.num_vars(), 8);
+        for v in 0..8 {
+            assert_eq!(a.parents(v), b.parents(v));
+            assert_eq!(a.cpt(v), b.cpt(v));
+        }
+        let total: f64 = a.instantiations().map(|i| a.joint(&i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn determinism_knob_changes_zero_one_fraction() {
+        let count_det = |bn: &BayesNet| {
+            let mut det = 0usize;
+            let mut total = 0usize;
+            for v in 0..bn.num_vars() {
+                for &p in bn.cpt(v) {
+                    total += 1;
+                    if p == 0.0 || p == 1.0 {
+                        det += 1;
+                    }
+                }
+            }
+            det as f64 / total as f64
+        };
+        let low = count_det(&random_network(3, 12, 3, 0.0));
+        let high = count_det(&random_network(3, 12, 3, 0.9));
+        assert!(low < 0.05);
+        assert!(high > 0.5);
+    }
+}

@@ -1,0 +1,242 @@
+//! The Bayesian network representation.
+
+use trl_core::{Error, Result};
+
+/// A discrete Bayesian network: a DAG of variables with conditional
+/// probability tables (Fig. 4 of the paper).
+///
+/// Variables are identified by dense indices in the order they were added,
+/// which must be a topological order (parents before children).
+#[derive(Clone, Debug)]
+pub struct BayesNet {
+    names: Vec<String>,
+    cards: Vec<usize>,
+    parents: Vec<Vec<usize>>,
+    /// CPT of each variable: indexed by `cpt_index` (parent configuration
+    /// then own value, own value least significant).
+    cpts: Vec<Vec<f64>>,
+}
+
+impl BayesNet {
+    /// An empty network.
+    pub fn new() -> Self {
+        BayesNet {
+            names: Vec::new(),
+            cards: Vec::new(),
+            parents: Vec::new(),
+            cpts: Vec::new(),
+        }
+    }
+
+    /// Adds a variable with the given name, cardinality, parents (indices of
+    /// previously added variables) and CPT.
+    ///
+    /// `cpt[config * card + value] = Pr(value | parent configuration)`,
+    /// where `config` enumerates parent values mixed-radix with the *first*
+    /// parent most significant. Each configuration's row must sum to 1.
+    pub fn add_var(
+        &mut self,
+        name: impl Into<String>,
+        cardinality: usize,
+        parents: &[usize],
+        cpt: Vec<f64>,
+    ) -> Result<usize> {
+        let idx = self.names.len();
+        if cardinality < 2 {
+            return Err(Error::Invalid(format!(
+                "variable must have cardinality ≥ 2, got {cardinality}"
+            )));
+        }
+        let mut configs = 1usize;
+        for &p in parents {
+            if p >= idx {
+                return Err(Error::Invalid(format!(
+                    "parent {p} of variable {idx} not added yet (topological order required)"
+                )));
+            }
+            configs *= self.cards[p];
+        }
+        if cpt.len() != configs * cardinality {
+            return Err(Error::Invalid(format!(
+                "CPT of variable {idx} has {} entries; expected {}",
+                cpt.len(),
+                configs * cardinality
+            )));
+        }
+        for c in 0..configs {
+            let row = &cpt[c * cardinality..(c + 1) * cardinality];
+            let sum: f64 = row.iter().sum();
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(Error::Invalid(format!(
+                    "CPT row {c} of variable {idx} sums to {sum}, not 1"
+                )));
+            }
+            if row.iter().any(|&p| !(0.0..=1.0).contains(&p)) {
+                return Err(Error::Invalid(format!(
+                    "CPT row {c} of variable {idx} has out-of-range probabilities"
+                )));
+            }
+        }
+        self.names.push(name.into());
+        self.cards.push(cardinality);
+        self.parents.push(parents.to_vec());
+        self.cpts.push(cpt);
+        Ok(idx)
+    }
+
+    /// Adds a binary variable; `cpt` lists `Pr(value=1 | config)` per parent
+    /// configuration (a convenience for the many two-valued networks in the
+    /// paper's examples).
+    pub fn add_bool_var(
+        &mut self,
+        name: impl Into<String>,
+        parents: &[usize],
+        p_true: &[f64],
+    ) -> Result<usize> {
+        let mut cpt = Vec::with_capacity(p_true.len() * 2);
+        for &p in p_true {
+            cpt.push(1.0 - p);
+            cpt.push(p);
+        }
+        self.add_var(name, 2, parents, cpt)
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The name of a variable.
+    pub fn name(&self, var: usize) -> &str {
+        &self.names[var]
+    }
+
+    /// The index of the variable with the given name, if any.
+    pub fn var_by_name(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// The cardinality of a variable.
+    pub fn cardinality(&self, var: usize) -> usize {
+        self.cards[var]
+    }
+
+    /// The parents of a variable.
+    pub fn parents(&self, var: usize) -> &[usize] {
+        &self.parents[var]
+    }
+
+    /// The raw CPT of a variable (see [`BayesNet::add_var`] for indexing).
+    pub fn cpt(&self, var: usize) -> &[f64] {
+        &self.cpts[var]
+    }
+
+    /// The CPT entry `Pr(var = value | parent values)`, with `parent_values`
+    /// aligned to [`BayesNet::parents`].
+    pub fn cpt_entry(&self, var: usize, value: usize, parent_values: &[usize]) -> f64 {
+        let mut config = 0usize;
+        for (i, &p) in self.parents[var].iter().enumerate() {
+            debug_assert!(parent_values[i] < self.cards[p]);
+            config = config * self.cards[p] + parent_values[i];
+        }
+        self.cpts[var][config * self.cards[var] + value]
+    }
+
+    /// The joint probability of a complete instantiation (one value per
+    /// variable): the product of compatible CPT entries (Fig. 4).
+    pub fn joint(&self, instantiation: &[usize]) -> f64 {
+        assert_eq!(instantiation.len(), self.num_vars());
+        (0..self.num_vars())
+            .map(|v| {
+                let pv: Vec<usize> = self.parents[v]
+                    .iter()
+                    .map(|&p| instantiation[p])
+                    .collect();
+                self.cpt_entry(v, instantiation[v], &pv)
+            })
+            .product()
+    }
+
+    /// Iterates over all complete instantiations (for brute-force oracles;
+    /// exponential).
+    pub fn instantiations(&self) -> impl Iterator<Item = Vec<usize>> + '_ {
+        let total: usize = self.cards.iter().product();
+        (0..total).map(move |mut code| {
+            let mut inst = vec![0usize; self.num_vars()];
+            for v in (0..self.num_vars()).rev() {
+                inst[v] = code % self.cards[v];
+                code /= self.cards[v];
+            }
+            inst
+        })
+    }
+}
+
+impl Default for BayesNet {
+    fn default() -> Self {
+        BayesNet::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query_cpts() {
+        let mut bn = BayesNet::new();
+        let a = bn.add_bool_var("A", &[], &[0.3]).unwrap();
+        let b = bn.add_bool_var("B", &[a], &[0.8, 0.1]).unwrap();
+        assert_eq!(bn.num_vars(), 2);
+        assert_eq!(bn.cardinality(a), 2);
+        assert_eq!(bn.parents(b), &[a]);
+        // add_bool_var rows: config = A value; Pr(B=1|A=0)=0.8, Pr(B=1|A=1)=0.1.
+        assert!((bn.cpt_entry(b, 1, &[0]) - 0.8).abs() < 1e-12);
+        assert!((bn.cpt_entry(b, 1, &[1]) - 0.1).abs() < 1e-12);
+        assert!((bn.cpt_entry(b, 0, &[1]) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joint_is_product_of_entries() {
+        let mut bn = BayesNet::new();
+        let a = bn.add_bool_var("A", &[], &[0.3]).unwrap();
+        let _b = bn.add_bool_var("B", &[a], &[0.8, 0.1]).unwrap();
+        // Pr(A=1, B=0) = 0.3 * 0.9
+        assert!((bn.joint(&[1, 0]) - 0.27).abs() < 1e-12);
+        // All instantiations sum to 1.
+        let total: f64 = bn.instantiations().map(|i| bn.joint(&i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multivalued_variables() {
+        let mut bn = BayesNet::new();
+        let a = bn.add_var("A", 3, &[], vec![0.2, 0.3, 0.5]).unwrap();
+        let b = bn
+            .add_var(
+                "B",
+                2,
+                &[a],
+                vec![0.9, 0.1, 0.5, 0.5, 0.2, 0.8],
+            )
+            .unwrap();
+        assert!((bn.cpt_entry(b, 1, &[2]) - 0.8).abs() < 1e-12);
+        let total: f64 = bn.instantiations().map(|i| bn.joint(&i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(bn.instantiations().count(), 6);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut bn = BayesNet::new();
+        assert!(bn.add_var("bad", 1, &[], vec![1.0]).is_err());
+        assert!(bn.add_var("badsum", 2, &[], vec![0.5, 0.6]).is_err());
+        assert!(bn.add_var("badparent", 2, &[3], vec![0.5, 0.5]).is_err());
+        let a = bn.add_bool_var("A", &[], &[0.5]).unwrap();
+        assert!(bn
+            .add_var("badlen", 2, &[a], vec![0.5, 0.5])
+            .is_err());
+        assert_eq!(bn.var_by_name("A"), Some(a));
+        assert_eq!(bn.var_by_name("missing"), None);
+    }
+}

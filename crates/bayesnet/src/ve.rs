@@ -1,0 +1,366 @@
+//! Variable elimination: the "dedicated algorithms" tradition of §2.
+//!
+//! These routines are the exact baselines every circuit-based query in the
+//! workspace is validated against: MAR and MPE by (max-)product
+//! elimination, MAP by constrained elimination (sum out non-MAP variables
+//! first, then maximize), and the same-decision probability by enumerating
+//! the observation space with MAR as a subroutine.
+
+use crate::factor::Factor;
+use crate::net::BayesNet;
+
+/// Evidence: fixed values for a subset of variables.
+pub type Evidence = Vec<(usize, usize)>;
+
+impl BayesNet {
+    fn cpt_factor(&self, var: usize) -> Factor {
+        // Factor vars must be sorted; the CPT's natural order is
+        // (parents..., var) with first parent most significant. Build by
+        // explicit enumeration to handle arbitrary parent orders.
+        let mut fvars: Vec<usize> = self.parents(var).to_vec();
+        fvars.push(var);
+        let mut sorted = fvars.clone();
+        sorted.sort_unstable();
+        let cards: Vec<usize> = sorted.iter().map(|&v| self.cardinality(v)).collect();
+        let total: usize = cards.iter().product();
+        let mut data = vec![0.0; total];
+        let mut values = vec![0usize; sorted.len()];
+        for slot in data.iter_mut() {
+            let value_of = |v: usize| values[sorted.iter().position(|&u| u == v).unwrap()];
+            let pv: Vec<usize> = self.parents(var).iter().map(|&p| value_of(p)).collect();
+            *slot = self.cpt_entry(var, value_of(var), &pv);
+            for k in (0..sorted.len()).rev() {
+                values[k] += 1;
+                if values[k] < cards[k] {
+                    break;
+                }
+                values[k] = 0;
+            }
+        }
+        Factor::new(sorted, cards, data)
+    }
+
+    fn factors_with_evidence(&self, evidence: &Evidence) -> Vec<Factor> {
+        (0..self.num_vars())
+            .map(|v| {
+                let mut f = self.cpt_factor(v);
+                for &(ev, val) in evidence {
+                    if f.vars().contains(&ev) {
+                        f = f.restrict(ev, val);
+                    }
+                }
+                f
+            })
+            .collect()
+    }
+
+    /// Eliminates all variables not in `keep` by summation, multiplying as
+    /// needed (min-degree style: smallest resulting factor first).
+    fn eliminate_all(&self, mut factors: Vec<Factor>, keep: &[usize]) -> Factor {
+        let mut to_eliminate: Vec<usize> = (0..self.num_vars())
+            .filter(|v| {
+                !keep.contains(v) && factors.iter().any(|f| f.vars().contains(v))
+            })
+            .collect();
+        while let Some(&var) = to_eliminate
+            .iter()
+            .min_by_key(|&&v| {
+                // Greedy: eliminate the variable whose product factor is smallest.
+                let mut vars: Vec<usize> = Vec::new();
+                for f in &factors {
+                    if f.vars().contains(&v) {
+                        vars.extend_from_slice(f.vars());
+                    }
+                }
+                vars.sort_unstable();
+                vars.dedup();
+                vars.iter().map(|&u| self.cardinality(u)).product::<usize>()
+            })
+        {
+            let (involved, rest): (Vec<Factor>, Vec<Factor>) = factors
+                .into_iter()
+                .partition(|f| f.vars().contains(&var));
+            let mut prod = Factor::scalar(1.0);
+            for f in involved {
+                prod = prod.multiply(&f);
+            }
+            factors = rest;
+            factors.push(prod.sum_out(var));
+            to_eliminate.retain(|&v| v != var);
+        }
+        let mut result = Factor::scalar(1.0);
+        for f in factors {
+            result = result.multiply(&f);
+        }
+        result
+    }
+
+    /// `Pr(evidence)` by variable elimination.
+    pub fn pr_evidence(&self, evidence: &Evidence) -> f64 {
+        self.eliminate_all(self.factors_with_evidence(evidence), &[])
+            .value()
+    }
+
+    /// The posterior `Pr(var | evidence)` as a vector over the variable's
+    /// values (MAR, the paper's most common query).
+    pub fn posterior(&self, var: usize, evidence: &Evidence) -> Vec<f64> {
+        if let Some(&(_, val)) = evidence.iter().find(|&&(v, _)| v == var) {
+            let mut out = vec![0.0; self.cardinality(var)];
+            out[val] = 1.0;
+            return out;
+        }
+        let f = self.eliminate_all(self.factors_with_evidence(evidence), &[var]);
+        let total: f64 = (0..self.cardinality(var)).map(|x| f.get(&[x])).sum();
+        assert!(total > 0.0, "evidence has zero probability");
+        (0..self.cardinality(var))
+            .map(|x| f.get(&[x]) / total)
+            .collect()
+    }
+
+    /// MPE: a most probable complete instantiation consistent with the
+    /// evidence, and its (joint, unnormalized) probability.
+    pub fn mpe(&self, evidence: &Evidence) -> (Vec<usize>, f64) {
+        // Max-product value, then greedy argmax by fixing one variable at a
+        // time and re-evaluating (simple and exact).
+        let value = self.max_product(evidence);
+        let mut fixed: Evidence = evidence.clone();
+        for v in 0..self.num_vars() {
+            if fixed.iter().any(|&(u, _)| u == v) {
+                continue;
+            }
+            for val in 0..self.cardinality(v) {
+                fixed.push((v, val));
+                if self.max_product(&fixed) >= value - 1e-12 * value.abs() - 1e-300 {
+                    break;
+                }
+                fixed.pop();
+            }
+        }
+        let mut inst = vec![0usize; self.num_vars()];
+        for &(v, val) in &fixed {
+            inst[v] = val;
+        }
+        (inst, value)
+    }
+
+    fn max_product(&self, evidence: &Evidence) -> f64 {
+        let mut factors = self.factors_with_evidence(evidence);
+        for v in 0..self.num_vars() {
+            if evidence.iter().any(|&(u, _)| u == v) {
+                continue;
+            }
+            if !factors.iter().any(|f| f.vars().contains(&v)) {
+                continue;
+            }
+            let (involved, rest): (Vec<Factor>, Vec<Factor>) =
+                factors.into_iter().partition(|f| f.vars().contains(&v));
+            let mut prod = Factor::scalar(1.0);
+            for f in involved {
+                prod = prod.multiply(&f);
+            }
+            factors = rest;
+            factors.push(prod.max_out(v));
+        }
+        let mut result = Factor::scalar(1.0);
+        for f in factors {
+            result = result.multiply(&f);
+        }
+        result.value()
+    }
+
+    /// MAP: a most probable instantiation of `map_vars` given the evidence,
+    /// and its (unnormalized) probability `Pr(map_vars, evidence)`.
+    ///
+    /// Exact constrained elimination: all other variables are summed out
+    /// first, then the MAP variables maximized (the NP^PP query, \[64\]).
+    pub fn map(&self, map_vars: &[usize], evidence: &Evidence) -> (Vec<usize>, f64) {
+        let value = self.map_value(map_vars, evidence);
+        let mut fixed: Evidence = evidence.clone();
+        let mut assignment = Vec::with_capacity(map_vars.len());
+        for &v in map_vars {
+            for val in 0..self.cardinality(v) {
+                fixed.push((v, val));
+                let remaining: Vec<usize> = map_vars
+                    .iter()
+                    .copied()
+                    .filter(|u| !fixed.iter().any(|&(w, _)| w == *u))
+                    .collect();
+                if self.map_value(&remaining, &fixed) >= value - 1e-12 * value.abs() - 1e-300 {
+                    assignment.push(val);
+                    break;
+                }
+                fixed.pop();
+            }
+        }
+        (assignment, value)
+    }
+
+    fn map_value(&self, map_vars: &[usize], evidence: &Evidence) -> f64 {
+        // Sum out everything else, then max out the MAP variables.
+        let summed = self.eliminate_all(self.factors_with_evidence(evidence), map_vars);
+        let mut f = summed;
+        for &v in map_vars {
+            if f.vars().contains(&v) {
+                f = f.max_out(v);
+            }
+        }
+        f.value()
+    }
+
+    /// The same-decision probability (SDP, \[18, 31\]): the probability that
+    /// the threshold decision `Pr(d = d_val | e, Y) ≥ threshold` agrees with
+    /// the current decision on `Pr(d = d_val | e)`, after observing the
+    /// variables `observables`.
+    ///
+    /// Computed by enumerating the observation space with MAR as a
+    /// subroutine — exponential in `observables.len()`, the PP^PP baseline.
+    pub fn sdp(
+        &self,
+        d: usize,
+        d_val: usize,
+        threshold: f64,
+        observables: &[usize],
+        evidence: &Evidence,
+    ) -> f64 {
+        let current = self.posterior(d, evidence)[d_val] >= threshold;
+        let mut total = 0.0;
+        let pr_e = self.pr_evidence(evidence);
+        assert!(pr_e > 0.0, "evidence has zero probability");
+        let mut stack: Vec<(usize, Evidence)> = vec![(0, evidence.clone())];
+        while let Some((i, ev)) = stack.pop() {
+            if i == observables.len() {
+                let pr_ye = self.pr_evidence(&ev);
+                if pr_ye == 0.0 {
+                    continue;
+                }
+                let decision = self.posterior(d, &ev)[d_val] >= threshold;
+                if decision == current {
+                    total += pr_ye / pr_e;
+                }
+                continue;
+            }
+            for val in 0..self.cardinality(observables[i]) {
+                let mut next = ev.clone();
+                next.push((observables[i], val));
+                stack.push((i + 1, next));
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The chain/fork network of Fig. 4: A → B, A → C.
+    fn abc() -> BayesNet {
+        crate::models::abc()
+    }
+
+    fn brute_pr(bn: &BayesNet, pred: impl Fn(&[usize]) -> bool) -> f64 {
+        bn.instantiations()
+            .filter(|i| pred(i))
+            .map(|i| bn.joint(&i))
+            .sum()
+    }
+
+    #[test]
+    fn pr_evidence_matches_brute_force() {
+        let bn = abc();
+        assert!((bn.pr_evidence(&vec![]) - 1.0).abs() < 1e-9);
+        let p = bn.pr_evidence(&vec![(1, 1)]);
+        let brute = brute_pr(&bn, |i| i[1] == 1);
+        assert!((p - brute).abs() < 1e-9);
+        let p = bn.pr_evidence(&vec![(1, 1), (2, 0)]);
+        let brute = brute_pr(&bn, |i| i[1] == 1 && i[2] == 0);
+        assert!((p - brute).abs() < 1e-9);
+    }
+
+    #[test]
+    fn posterior_matches_brute_force() {
+        let bn = abc();
+        let post = bn.posterior(0, &vec![(1, 1)]);
+        let num = brute_pr(&bn, |i| i[0] == 1 && i[1] == 1);
+        let den = brute_pr(&bn, |i| i[1] == 1);
+        assert!((post[1] - num / den).abs() < 1e-9);
+        assert!((post[0] + post[1] - 1.0).abs() < 1e-12);
+        // Evidence on the queried variable short-circuits.
+        assert_eq!(bn.posterior(1, &vec![(1, 0)]), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn mpe_matches_exhaustive_search() {
+        let bn = abc();
+        let (inst, value) = bn.mpe(&vec![]);
+        let (best_inst, best_val) = bn
+            .instantiations()
+            .map(|i| (i.clone(), bn.joint(&i)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        assert!((value - best_val).abs() < 1e-12);
+        assert_eq!(inst, best_inst);
+        // With evidence.
+        let (inst, value) = bn.mpe(&vec![(2, 0)]);
+        let best = bn
+            .instantiations()
+            .filter(|i| i[2] == 0)
+            .map(|i| bn.joint(&i))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((value - best).abs() < 1e-12);
+        assert_eq!(inst[2], 0);
+        assert!((bn.joint(&inst) - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_matches_exhaustive_search() {
+        let bn = abc();
+        // MAP over {B} with evidence C=1: max_b Pr(b, C=1).
+        let (assignment, value) = bn.map(&[1], &vec![(2, 1)]);
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for b in 0..2 {
+            let p = brute_pr(&bn, |i| i[1] == b && i[2] == 1);
+            if p > best.1 {
+                best = (b, p);
+            }
+        }
+        assert!((value - best.1).abs() < 1e-12);
+        assert_eq!(assignment, vec![best.0]);
+        // MAP over {A, B} without evidence.
+        let (assignment, value) = bn.map(&[0, 1], &vec![]);
+        let mut best = (vec![0, 0], f64::NEG_INFINITY);
+        for a in 0..2 {
+            for b in 0..2 {
+                let p = brute_pr(&bn, |i| i[0] == a && i[1] == b);
+                if p > best.1 {
+                    best = (vec![a, b], p);
+                }
+            }
+        }
+        assert!((value - best.1).abs() < 1e-12);
+        assert_eq!(assignment, best.0);
+    }
+
+    #[test]
+    fn sdp_basic_properties() {
+        let bn = abc();
+        // Decision: Pr(A=1 | ·) ≥ 0.5; observe B. SDP must lie in [0,1].
+        let sdp = bn.sdp(0, 1, 0.5, &[1], &vec![]);
+        assert!((0.0..=1.0).contains(&sdp));
+        // Observing nothing: the decision trivially sticks.
+        let sdp_none = bn.sdp(0, 1, 0.5, &[], &vec![]);
+        assert!((sdp_none - 1.0).abs() < 1e-12);
+        // Brute-force check with one observable.
+        let current = bn.posterior(0, &vec![])[1] >= 0.5;
+        let mut expected = 0.0;
+        for b in 0..2 {
+            let ev = vec![(1, b)];
+            let pr = bn.pr_evidence(&ev);
+            let dec = bn.posterior(0, &ev)[1] >= 0.5;
+            if dec == current {
+                expected += pr;
+            }
+        }
+        assert!((sdp - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion bench: the polytime apply operations of OBDDs and SDDs (§3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trl_bench::{random_3cnf, Rng};
+use trl_obdd::Obdd;
+use trl_prop::Cnf;
+use trl_sdd::SddManager;
+
+fn halves(n: usize) -> (Cnf, Cnf) {
+    let mut rng = Rng::new(17);
+    let a = random_3cnf(&mut rng, n, n * 2);
+    let b = random_3cnf(&mut rng, n, n * 2);
+    (a, b)
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let n = 14;
+    let (fa, fb) = halves(n);
+    let mut group = c.benchmark_group("apply");
+    group.bench_function("obdd-conjoin", |b| {
+        b.iter(|| {
+            let mut m = Obdd::with_num_vars(n);
+            let x = m.build_cnf(&fa);
+            let y = m.build_cnf(&fb);
+            m.and(x, y)
+        })
+    });
+    group.bench_function("sdd-conjoin-balanced", |b| {
+        b.iter(|| {
+            let mut m = SddManager::balanced(n);
+            let x = m.build_cnf(&fa);
+            let y = m.build_cnf(&fb);
+            m.and(x, y)
+        })
+    });
+    group.bench_function("sdd-negate", |b| {
+        let mut m = SddManager::balanced(n);
+        let x = m.build_cnf(&fa);
+        b.iter(|| m.negate(x))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500)).sample_size(20);
+    targets = bench_apply
+}
+criterion_main!(benches);

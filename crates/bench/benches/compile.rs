@@ -1,0 +1,43 @@
+//! Criterion bench: compiling CNFs into the three circuit types of §3 —
+//! Decision-DNNF (top-down trace), OBDD and SDD (bottom-up apply) — plus
+//! the component-caching ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trl_bench::{random_3cnf, Rng};
+use trl_compiler::{compile_obdd, compile_sdd, CacheMode, DecisionDnnfCompiler};
+
+fn bench_compilers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    for n in [10usize, 14, 18] {
+        let cnf = random_3cnf(&mut Rng::new(n as u64), n, (n as f64 * 3.0) as usize);
+        group.bench_with_input(BenchmarkId::new("decision-dnnf", n), &cnf, |b, cnf| {
+            b.iter(|| DecisionDnnfCompiler::default().compile(cnf))
+        });
+        group.bench_with_input(BenchmarkId::new("obdd", n), &cnf, |b, cnf| {
+            b.iter(|| compile_obdd(cnf))
+        });
+        group.bench_with_input(BenchmarkId::new("sdd-balanced", n), &cnf, |b, cnf| {
+            b.iter(|| compile_sdd(cnf))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile/cache-ablation");
+    let cnf = random_3cnf(&mut Rng::new(5), 16, 40);
+    group.bench_function("components", |b| {
+        b.iter(|| DecisionDnnfCompiler::new(CacheMode::Components).compile(&cnf))
+    });
+    group.bench_function("none", |b| {
+        b.iter(|| DecisionDnnfCompiler::new(CacheMode::None).compile(&cnf))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500)).sample_size(20);
+    targets = bench_compilers, bench_cache_ablation
+}
+criterion_main!(benches);

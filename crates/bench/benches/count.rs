@@ -1,0 +1,61 @@
+//! Criterion bench: (weighted) model counting per circuit type — the
+//! "linear in the circuit" claim of Fig. 8 in wall-clock form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trl_bench::{random_3cnf, Rng};
+use trl_compiler::{compile_obdd, compile_sdd, DecisionDnnfCompiler};
+use trl_nnf::properties::smooth;
+use trl_nnf::LitWeights;
+
+fn bench_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count");
+    for n in [12usize, 16] {
+        let cnf = random_3cnf(&mut Rng::new(n as u64 + 1), n, (n as f64 * 3.0) as usize);
+        let circuit = smooth(&DecisionDnnfCompiler::default().compile(&cnf));
+        let w = LitWeights::unit(n);
+        group.bench_with_input(BenchmarkId::new("ddnnf-wmc", n), &(), |b, _| {
+            b.iter(|| circuit.wmc_presmoothed(&w))
+        });
+        let (obdd, root) = compile_obdd(&cnf);
+        group.bench_with_input(BenchmarkId::new("obdd-count", n), &(), |b, _| {
+            b.iter(|| obdd.count_models(root))
+        });
+        let (sdd, sroot) = compile_sdd(&cnf);
+        group.bench_with_input(BenchmarkId::new("sdd-count", n), &(), |b, _| {
+            b.iter(|| sdd.model_count(sroot))
+        });
+    }
+    group.finish();
+}
+
+fn bench_marginals(c: &mut Criterion) {
+    // All marginals in one derivative pass vs n separate WMC calls.
+    let n = 16usize;
+    let cnf = random_3cnf(&mut Rng::new(3), n, 44);
+    let circuit = DecisionDnnfCompiler::default().compile(&cnf);
+    let w = LitWeights::unit(n);
+    let mut group = c.benchmark_group("count/marginals");
+    group.bench_function("derivative-pass-all", |b| {
+        b.iter(|| circuit.wmc_marginals(&w))
+    });
+    group.bench_function("wmc-per-literal", |b| {
+        b.iter(|| {
+            let smoothed = smooth(&circuit);
+            (0..n)
+                .map(|i| {
+                    let mut wi = w.clone();
+                    wi.set(trl_core::Var(i as u32).negative(), 0.0);
+                    smoothed.wmc_presmoothed(&wi)
+                })
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500)).sample_size(20);
+    targets = bench_counting, bench_marginals
+}
+criterion_main!(benches);

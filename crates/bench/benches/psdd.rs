@@ -1,0 +1,51 @@
+//! Criterion bench: PSDD learning and inference — the "linear in the PSDD"
+//! claims of §4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trl_core::{Assignment, PartialAssignment, Var};
+use trl_psdd::Psdd;
+use trl_sdd::SddManager;
+use trl_spaces::{compile_simple_paths, GridMap};
+use trl_vtree::Vtree;
+
+fn route_psdd() -> (Psdd, Vec<(Assignment, f64)>) {
+    let g = GridMap::new(4, 4);
+    let (s, t) = (g.node(0, 0), g.node(3, 3));
+    let (obdd, root) = compile_simple_paths(g.graph(), s, t);
+    let m_edges = g.graph().num_edges();
+    let mut sdd = SddManager::new(Vtree::right_linear(
+        &(0..m_edges as u32).map(Var).collect::<Vec<_>>(),
+    ));
+    let support = sdd.from_obdd(&obdd, root);
+    let psdd = Psdd::from_sdd(&sdd, support);
+    let data: Vec<(Assignment, f64)> = g
+        .graph()
+        .enumerate_simple_paths(s, t)
+        .into_iter()
+        .map(|p| (g.graph().assignment_of(&p), 1.0))
+        .collect();
+    (psdd, data)
+}
+
+fn bench_psdd(c: &mut Criterion) {
+    let (mut psdd, data) = route_psdd();
+    let mut group = c.benchmark_group("psdd");
+    group.bench_function("learn-184-routes", |b| b.iter(|| psdd.learn(&data, 0.1)));
+    psdd.learn(&data, 0.1);
+    let example = data[0].0.clone();
+    group.bench_function("probability", |b| b.iter(|| psdd.probability(&example)));
+    let mut e = PartialAssignment::new(24);
+    e.assign(Var(0).positive());
+    group.bench_function("marginal", |b| b.iter(|| psdd.marginal(&e)));
+    group.bench_function("mpe", |b| {
+        b.iter(|| psdd.mpe(&PartialAssignment::new(24)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500)).sample_size(20);
+    targets = bench_psdd
+}
+criterion_main!(benches);

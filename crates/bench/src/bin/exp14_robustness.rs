@@ -1,0 +1,147 @@
+//! E14 — Fig. 29 and §5.2: robustness analysis of two networks with the
+//! same architecture but different training seeds. Accuracies are similar;
+//! robustness profiles are not — reproduced exactly over *all* 2^16
+//! instances, the capability the paper highlights ("Figure 29 reports the
+//! robustness of 2^256 instances for each CNN").
+//!
+//! Protocol, as in the paper: train several seeds of one architecture,
+//! keep two accurate ones, compile both, compare their exact robustness
+//! profiles. The *existence* of such pairs — equal accuracy, divergent
+//! robustness — is the figure's point.
+
+use trl_bench::{banner, check, row, section};
+use trl_xai::images::{digit_dataset, PIXELS};
+use trl_xai::robustness::robustness_profile;
+use trl_xai::Bnn;
+
+fn main() {
+    banner(
+        "E14",
+        "Figure 29 (robustness level vs proportion of instances; model robustness)",
+        "similar accuracy, very different robustness — exact histograms \
+         from the compiled circuits",
+    );
+    let mut all_ok = true;
+
+    section("train one architecture under several seeds (noisier data)");
+    let train = digit_dataset(50, 0.18, 2024);
+    let test = digit_dataset(40, 0.18, 4048);
+    let acc = |net: &Bnn| {
+        test.iter().filter(|(x, y)| net.classify(x) == *y).count() as f64 / test.len() as f64
+    };
+    struct Candidate {
+        seed: u64,
+        net: Bnn,
+        accuracy: f64,
+        robustness: f64,
+        max_robustness: u32,
+        size: usize,
+        histogram: Vec<u128>,
+    }
+    let mut candidates: Vec<Candidate> = Vec::new();
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>12}",
+        "seed", "accuracy", "circuit", "model rob.", "max rob."
+    );
+    for seed in [3u64, 11, 17, 29, 41, 59] {
+        let (net, _) = Bnn::train(PIXELS, 3, &train, seed, 4);
+        let a = acc(&net);
+        if a < 0.85 {
+            continue; // keep only accurate trainings, as the paper does
+        }
+        let (mut m, f, _) = net.compile();
+        let Some(p) = robustness_profile(&mut m, f) else {
+            continue;
+        };
+        println!(
+            "{:>6} {:>10.4} {:>12} {:>12.2} {:>12}",
+            seed,
+            a,
+            m.size(f),
+            p.model_robustness,
+            p.max_robustness
+        );
+        candidates.push(Candidate {
+            seed,
+            net,
+            accuracy: a,
+            robustness: p.model_robustness,
+            max_robustness: p.max_robustness,
+            size: m.size(f),
+            histogram: p.histogram,
+        });
+    }
+    all_ok &= check("at least two accurate trainings", candidates.len() >= 2);
+
+    // Net 1 = most robust, Net 2 = least robust among the accurate seeds.
+    candidates.sort_by(|a, b| b.robustness.total_cmp(&a.robustness));
+    let net1 = &candidates[0];
+    let net2 = candidates.last().unwrap();
+
+    section("the Fig. 29 pair");
+    row(
+        "net 1 (seed, accuracy)",
+        format!("seed {}, accuracy {:.4}", net1.seed, net1.accuracy),
+    );
+    row(
+        "net 2 (seed, accuracy)",
+        format!("seed {}, accuracy {:.4}", net2.seed, net2.accuracy),
+    );
+    row(
+        "circuit sizes (paper: 3,653 vs 440 edges)",
+        format!("{} / {}", net1.size, net2.size),
+    );
+    row(
+        "model robustness (paper: 11.77 vs 3.62)",
+        format!("{:.2} / {:.2}", net1.robustness, net2.robustness),
+    );
+    row(
+        "max robustness (paper: 27 vs 13)",
+        format!("{} / {}", net1.max_robustness, net2.max_robustness),
+    );
+
+    section("the figure's two series: robustness level vs proportion of instances");
+    let total = (1u128 << PIXELS) as f64;
+    println!("{:>10} {:>14} {:>14}", "level", "net 1", "net 2");
+    let levels = net1.histogram.len().max(net2.histogram.len());
+    for k in 0..levels {
+        let a = net1.histogram.get(k).copied().unwrap_or(0) as f64 / total;
+        let b = net2.histogram.get(k).copied().unwrap_or(0) as f64 / total;
+        println!("{:>10} {:>14.6} {:>14.6}", k + 1, a, b);
+    }
+    let sum1: u128 = net1.histogram.iter().sum();
+    let sum2: u128 = net2.histogram.iter().sum();
+    all_ok &= check(
+        "each histogram accounts for all 2^16 instances",
+        sum1 == 1u128 << PIXELS && sum2 == 1u128 << PIXELS,
+    );
+
+    section("shape checks (who wins, by roughly what factor)");
+    all_ok &= check(
+        "accuracies are comparable (gap ≤ 0.1)",
+        (net1.accuracy - net2.accuracy).abs() <= 0.1,
+    );
+    // The 16-pixel space compresses attainable robustness (max ≈ 8, vs
+    // 256 pixels in the paper), so the seed-to-seed gap is proportionally
+    // smaller; the qualitative shape — same accuracy band, clearly
+    // separated profiles — is the reproduced claim (EXPERIMENTS.md).
+    all_ok &= check(
+        "robustness differs by ≥ 1.2× despite similar accuracy",
+        net1.robustness >= 1.2 * net2.robustness,
+    );
+    all_ok &= check(
+        "net 1's maximum robustness is at least net 2's",
+        net1.max_robustness >= net2.max_robustness,
+    );
+    // Spot-check: the per-instance DP agrees with the histogram's support.
+    let (m2, f2, _) = net2.net.compile();
+    let x = trl_xai::images::one_prototype();
+    let r = trl_xai::robustness::decision_robustness(&m2, f2, &x).unwrap();
+    all_ok &= check(
+        "per-instance robustness lies within the histogram's range",
+        r >= 1 && r <= net2.max_robustness,
+    );
+
+    println!();
+    check("E14 overall", all_ok);
+}

@@ -1,0 +1,236 @@
+//! A growable bitset over variables.
+//!
+//! Circuit scopes, decomposability checks, component detection, and smoothing
+//! gaps all manipulate sets of variables; a word-packed bitset keeps those
+//! operations cache-friendly and branch-light.
+
+use crate::lit::Var;
+use std::fmt;
+
+/// A set of variables backed by a `Vec<u64>`.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct VarSet {
+    words: Vec<u64>,
+}
+
+impl VarSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        VarSet::default()
+    }
+
+    /// The empty set, with capacity for variables `0..n`.
+    pub fn with_capacity(n: usize) -> Self {
+        VarSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// The set `{0, 1, ..., n-1}`.
+    pub fn full(n: usize) -> Self {
+        let mut s = VarSet::with_capacity(n);
+        for i in 0..n {
+            s.insert(Var(i as u32));
+        }
+        s
+    }
+
+    /// Builds a set from an iterator of variables.
+    pub fn from_iter_vars(vars: impl IntoIterator<Item = Var>) -> Self {
+        let mut s = VarSet::new();
+        for v in vars {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// Inserts a variable; returns whether it was newly inserted.
+    pub fn insert(&mut self, v: Var) -> bool {
+        let (w, b) = (v.index() / 64, v.index() % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let fresh = self.words[w] >> b & 1 == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Removes a variable; returns whether it was present.
+    pub fn remove(&mut self, v: Var) -> bool {
+        let (w, b) = (v.index() / 64, v.index() % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let present = self.words[w] >> b & 1 == 1;
+        self.words[w] &= !(1 << b);
+        present
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: Var) -> bool {
+        let (w, b) = (v.index() / 64, v.index() % 64);
+        w < self.words.len() && self.words[w] >> b & 1 == 1
+    }
+
+    /// The number of variables in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether the two sets share no variable.
+    pub fn is_disjoint(&self, other: &VarSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &VarSet) -> bool {
+        self.words.iter().enumerate().all(|(i, &w)| {
+            let o = other.words.get(i).copied().unwrap_or(0);
+            w & !o == 0
+        })
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &VarSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &VarSet) {
+        for (i, a) in self.words.iter_mut().enumerate() {
+            *a &= other.words.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn difference_with(&mut self, other: &VarSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Union as a new set.
+    pub fn union(&self, other: &VarSet) -> VarSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Intersection as a new set.
+    pub fn intersection(&self, other: &VarSet) -> VarSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// Difference as a new set.
+    pub fn difference(&self, other: &VarSet) -> VarSet {
+        let mut out = self.clone();
+        out.difference_with(other);
+        out
+    }
+
+    /// Iterates over the members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = Var> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(Var((wi * 64) as u32 + b))
+            })
+        })
+    }
+}
+
+impl FromIterator<Var> for VarSet {
+    fn from_iter<T: IntoIterator<Item = Var>>(iter: T) -> Self {
+        VarSet::from_iter_vars(iter)
+    }
+}
+
+impl fmt::Debug for VarSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = VarSet::new();
+        assert!(s.insert(v(3)));
+        assert!(!s.insert(v(3)));
+        assert!(s.contains(v(3)));
+        assert!(!s.contains(v(70)));
+        assert!(s.insert(v(70)));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(v(3)));
+        assert!(!s.remove(v(3)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: VarSet = [v(0), v(1), v(64)].into_iter().collect();
+        let b: VarSet = [v(1), v(2)].into_iter().collect();
+        assert_eq!(a.union(&b).len(), 4);
+        assert_eq!(a.intersection(&b).len(), 1);
+        assert!(a.intersection(&b).contains(v(1)));
+        assert_eq!(a.difference(&b).len(), 2);
+        assert!(!a.is_disjoint(&b));
+        let c: VarSet = [v(5)].into_iter().collect();
+        assert!(a.is_disjoint(&c));
+    }
+
+    #[test]
+    fn subset_across_word_boundaries() {
+        let small: VarSet = [v(1)].into_iter().collect();
+        let big: VarSet = [v(1), v(100)].into_iter().collect();
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert!(VarSet::new().is_subset(&small));
+    }
+
+    #[test]
+    fn full_and_iter_order() {
+        let s = VarSet::full(130);
+        assert_eq!(s.len(), 130);
+        let members: Vec<Var> = s.iter().collect();
+        assert_eq!(members.first(), Some(&v(0)));
+        assert_eq!(members.last(), Some(&v(129)));
+        assert!(members.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn is_empty_ignores_trailing_zero_words() {
+        let mut s = VarSet::new();
+        s.insert(v(200));
+        s.remove(v(200));
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

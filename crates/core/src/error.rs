@@ -1,0 +1,46 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Errors surfaced by the public APIs of the workspace crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A textual input (DIMACS, network file, dataset) failed to parse.
+    Parse(String),
+    /// An argument violated a documented precondition.
+    Invalid(String),
+    /// A circuit lacked a property required by the requested query
+    /// (e.g. counting on a non-deterministic DNNF).
+    MissingProperty(String),
+    /// A resource limit (node budget, size cap) was exceeded.
+    LimitExceeded(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Invalid(m) => write!(f, "invalid argument: {m}"),
+            Error::MissingProperty(m) => write!(f, "missing circuit property: {m}"),
+            Error::LimitExceeded(m) => write!(f, "limit exceeded: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = Error::Parse("bad header".into());
+        assert_eq!(e.to_string(), "parse error: bad header");
+        let e = Error::MissingProperty("determinism".into());
+        assert!(e.to_string().contains("determinism"));
+    }
+}

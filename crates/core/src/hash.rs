@@ -1,0 +1,121 @@
+//! FxHash-style hashing.
+//!
+//! Every knowledge compiler in this workspace is dominated by unique-table
+//! and cache lookups keyed on small integers. The standard library's SipHash
+//! is DoS-resistant but slow for such keys; this module provides the
+//! multiply-and-rotate hasher popularized by Firefox and rustc (`FxHash`),
+//! implemented locally because `rustc-hash` is not on the approved
+//! dependency list.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hasher: fold each word in with a multiply and a rotate.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` with the Fx hasher.
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basic_operations() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+        m.remove(&1);
+        assert!(!m.contains_key(&1));
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xdead_beef);
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinct_keys_usually_distinct_hashes() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish());
+        }
+        // Fx is not cryptographic, but on sequential integers it should not
+        // collide at all.
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_for_tail() {
+        // Writing 9 bytes exercises both the chunked path and the remainder.
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let first = h.finish();
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(first, h2.finish());
+    }
+}

@@ -1,0 +1,500 @@
+//! Variables, literals, assignments, and cubes.
+
+use std::fmt;
+
+/// A propositional variable, identified by a dense index starting at 0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The variable's dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    #[inline]
+    pub fn positive(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// The negative literal of this variable.
+    #[inline]
+    pub fn negative(self) -> Lit {
+        Lit::new(self, false)
+    }
+
+    /// The literal of this variable with the given polarity.
+    #[inline]
+    pub fn literal(self, positive: bool) -> Lit {
+        Lit::new(self, positive)
+    }
+}
+
+impl From<u32> for Var {
+    fn from(i: u32) -> Self {
+        Var(i)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a polarity.
+///
+/// Encoded as `var << 1 | polarity` so that a literal and its negation are
+/// adjacent integers (`lit ^ 1` negates), the layout used by CDCL solvers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal for `var` with the given polarity (`true` = positive).
+    #[inline]
+    pub fn new(var: Var, positive: bool) -> Self {
+        Lit(var.0 << 1 | positive as u32)
+    }
+
+    /// Reconstructs a literal from its raw code (see [`Lit::code`]).
+    #[inline]
+    pub fn from_code(code: u32) -> Self {
+        Lit(code)
+    }
+
+    /// The raw code: `var << 1 | polarity`.
+    #[inline]
+    pub fn code(self) -> u32 {
+        self.0
+    }
+
+    /// The literal's variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is positive.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The opposite-polarity literal of the same variable.
+    #[inline]
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Evaluates the literal under a truth value for its variable.
+    #[inline]
+    pub fn eval(self, value: bool) -> bool {
+        self.is_positive() == value
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        self.negated()
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "x{}", self.var().0)
+        } else {
+            write!(f, "~x{}", self.var().0)
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A total truth assignment over variables `0..n`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Assignment {
+    values: Vec<bool>,
+}
+
+impl Assignment {
+    /// An all-false assignment over `n` variables.
+    pub fn all_false(n: usize) -> Self {
+        Assignment {
+            values: vec![false; n],
+        }
+    }
+
+    /// Builds an assignment from a slice of truth values (index = variable).
+    pub fn from_values(values: &[bool]) -> Self {
+        Assignment {
+            values: values.to_vec(),
+        }
+    }
+
+    /// Decodes the `code`-th assignment over `n` variables: bit `i` of `code`
+    /// is the value of variable `i`. This is the enumeration order used by
+    /// all brute-force oracles in the workspace.
+    pub fn from_index(code: u64, n: usize) -> Self {
+        Assignment {
+            values: (0..n).map(|i| code >> i & 1 == 1).collect(),
+        }
+    }
+
+    /// The number of variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the assignment covers zero variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The truth value of `var`.
+    #[inline]
+    pub fn value(&self, var: Var) -> bool {
+        self.values[var.index()]
+    }
+
+    /// Sets the truth value of `var`.
+    #[inline]
+    pub fn set(&mut self, var: Var, value: bool) {
+        self.values[var.index()] = value;
+    }
+
+    /// Whether the given literal is true under this assignment.
+    #[inline]
+    pub fn satisfies(&self, lit: Lit) -> bool {
+        lit.eval(self.value(lit.var()))
+    }
+
+    /// The literal of `var` that holds under this assignment.
+    #[inline]
+    pub fn literal_of(&self, var: Var) -> Lit {
+        var.literal(self.value(var))
+    }
+
+    /// Iterates over the values, in variable order.
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+
+    /// Returns a copy with variable `var` flipped.
+    pub fn flipped(&self, var: Var) -> Assignment {
+        let mut out = self.clone();
+        out.set(var, !out.value(var));
+        out
+    }
+
+    /// The Hamming distance to another assignment over the same variables.
+    pub fn hamming_distance(&self, other: &Assignment) -> usize {
+        assert_eq!(self.len(), other.len(), "assignments over different sets");
+        self.values
+            .iter()
+            .zip(&other.values)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+}
+
+/// A three-valued (partial) assignment.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct PartialAssignment {
+    values: Vec<Option<bool>>,
+}
+
+impl PartialAssignment {
+    /// An empty partial assignment over `n` variables.
+    pub fn new(n: usize) -> Self {
+        PartialAssignment {
+            values: vec![None; n],
+        }
+    }
+
+    /// Builds a partial assignment over `n` variables from a cube of literals.
+    pub fn from_cube(cube: &Cube, n: usize) -> Self {
+        let mut pa = PartialAssignment::new(n);
+        for &lit in cube.literals() {
+            pa.assign(lit);
+        }
+        pa
+    }
+
+    /// The number of variables in scope (assigned or not).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the scope is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value of `var`, if assigned.
+    #[inline]
+    pub fn value(&self, var: Var) -> Option<bool> {
+        self.values[var.index()]
+    }
+
+    /// Asserts `lit` (sets its variable to the satisfying value).
+    #[inline]
+    pub fn assign(&mut self, lit: Lit) {
+        self.values[lit.var().index()] = Some(lit.is_positive());
+    }
+
+    /// Clears the value of `var`.
+    #[inline]
+    pub fn unassign(&mut self, var: Var) {
+        self.values[var.index()] = None;
+    }
+
+    /// Three-valued evaluation of a literal: `Some(b)` if decided, else `None`.
+    #[inline]
+    pub fn eval(&self, lit: Lit) -> Option<bool> {
+        self.value(lit.var()).map(|v| lit.eval(v))
+    }
+
+    /// The number of assigned variables.
+    pub fn assigned_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Iterates over the assigned literals in variable order.
+    pub fn literals(&self) -> impl Iterator<Item = Lit> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|b| Var(i as u32).literal(b)))
+    }
+}
+
+/// A *cube* (term): a consistent set of literals over distinct variables,
+/// kept sorted by variable for canonical comparison.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cube {
+    lits: Vec<Lit>,
+}
+
+impl Cube {
+    /// The empty cube (the constant `true` term).
+    pub fn empty() -> Self {
+        Cube::default()
+    }
+
+    /// Builds a cube from literals. Panics if two literals share a variable
+    /// with opposite polarity (an inconsistent term is not a cube).
+    pub fn from_lits(lits: impl IntoIterator<Item = Lit>) -> Self {
+        let mut v: Vec<Lit> = lits.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        for w in v.windows(2) {
+            assert!(
+                w[0].var() != w[1].var(),
+                "inconsistent cube: {:?} and {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        Cube { lits: v }
+    }
+
+    /// The literals of the cube, sorted by variable.
+    pub fn literals(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// The number of literals.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Whether this is the empty (true) cube.
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// The polarity of `var` in this cube, if mentioned.
+    pub fn value(&self, var: Var) -> Option<bool> {
+        self.lits
+            .binary_search_by_key(&var, |l| l.var())
+            .ok()
+            .map(|i| self.lits[i].is_positive())
+    }
+
+    /// Whether every literal of this cube appears in `other`
+    /// (i.e. `other ⇒ self` as terms).
+    pub fn subsumes(&self, other: &Cube) -> bool {
+        // Both sorted: linear merge.
+        let mut it = other.lits.iter().peekable();
+        'outer: for &l in &self.lits {
+            for &o in it.by_ref() {
+                if o == l {
+                    continue 'outer;
+                }
+                if o.var() >= l.var() {
+                    return false;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Whether the cube is consistent with a total assignment
+    /// (every literal of the cube holds under it).
+    pub fn consistent_with(&self, a: &Assignment) -> bool {
+        self.lits.iter().all(|&l| a.satisfies(l))
+    }
+
+    /// Returns the cube extended with `lit`. Panics on inconsistency.
+    pub fn with(&self, lit: Lit) -> Cube {
+        let mut lits = self.lits.clone();
+        lits.push(lit);
+        Cube::from_lits(lits)
+    }
+
+    /// The set of variables mentioned by the cube.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.lits.iter().map(|l| l.var())
+    }
+}
+
+impl fmt::Debug for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lits.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, l) in self.lits.iter().enumerate() {
+            if i > 0 {
+                write!(f, "∧")?;
+            }
+            write!(f, "{l:?}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    #[test]
+    fn literal_encoding_round_trips() {
+        let l = v(7).positive();
+        assert_eq!(l.var(), v(7));
+        assert!(l.is_positive());
+        assert_eq!(!l, v(7).negative());
+        assert_eq!(!!l, l);
+        assert_eq!(Lit::from_code(l.code()), l);
+    }
+
+    #[test]
+    fn literal_eval_matches_polarity() {
+        assert!(v(0).positive().eval(true));
+        assert!(!v(0).positive().eval(false));
+        assert!(v(0).negative().eval(false));
+        assert!(!v(0).negative().eval(true));
+    }
+
+    #[test]
+    fn assignment_from_index_enumerates_all() {
+        let mut seen = std::collections::HashSet::new();
+        for code in 0..8u64 {
+            seen.insert(Assignment::from_index(code, 3));
+        }
+        assert_eq!(seen.len(), 8);
+        let a = Assignment::from_index(0b101, 3);
+        assert!(a.value(v(0)) && !a.value(v(1)) && a.value(v(2)));
+    }
+
+    #[test]
+    fn assignment_satisfies_literals() {
+        let a = Assignment::from_index(0b01, 2);
+        assert!(a.satisfies(v(0).positive()));
+        assert!(a.satisfies(v(1).negative()));
+        assert!(!a.satisfies(v(1).positive()));
+        assert_eq!(a.literal_of(v(0)), v(0).positive());
+        assert_eq!(a.literal_of(v(1)), v(1).negative());
+    }
+
+    #[test]
+    fn hamming_distance_counts_flips() {
+        let a = Assignment::from_index(0b0000, 4);
+        let b = Assignment::from_index(0b1010, 4);
+        assert_eq!(a.hamming_distance(&b), 2);
+        assert_eq!(a.hamming_distance(&a), 0);
+        assert_eq!(a.flipped(v(0)).hamming_distance(&a), 1);
+    }
+
+    #[test]
+    fn partial_assignment_three_valued_eval() {
+        let mut pa = PartialAssignment::new(3);
+        assert_eq!(pa.eval(v(1).positive()), None);
+        pa.assign(v(1).negative());
+        assert_eq!(pa.eval(v(1).positive()), Some(false));
+        assert_eq!(pa.eval(v(1).negative()), Some(true));
+        pa.unassign(v(1));
+        assert_eq!(pa.eval(v(1).positive()), None);
+        assert_eq!(pa.assigned_count(), 0);
+    }
+
+    #[test]
+    fn cube_is_sorted_and_deduped() {
+        let c = Cube::from_lits([v(3).positive(), v(1).negative(), v(3).positive()]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.literals()[0], v(1).negative());
+        assert_eq!(c.value(v(3)), Some(true));
+        assert_eq!(c.value(v(2)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent cube")]
+    fn inconsistent_cube_panics() {
+        let _ = Cube::from_lits([v(0).positive(), v(0).negative()]);
+    }
+
+    #[test]
+    fn cube_subsumption() {
+        let ab = Cube::from_lits([v(0).positive(), v(1).positive()]);
+        let a = Cube::from_lits([v(0).positive()]);
+        let abc = Cube::from_lits([v(0).positive(), v(1).positive(), v(2).negative()]);
+        assert!(a.subsumes(&ab));
+        assert!(ab.subsumes(&abc));
+        assert!(!ab.subsumes(&a));
+        assert!(Cube::empty().subsumes(&a));
+        let nb = Cube::from_lits([v(1).negative()]);
+        assert!(!nb.subsumes(&ab));
+    }
+
+    #[test]
+    fn cube_consistency_with_assignment() {
+        let c = Cube::from_lits([v(0).positive(), v(2).negative()]);
+        assert!(c.consistent_with(&Assignment::from_index(0b001, 3)));
+        assert!(c.consistent_with(&Assignment::from_index(0b011, 3)));
+        assert!(!c.consistent_with(&Assignment::from_index(0b100, 3)));
+    }
+}

@@ -1,0 +1,83 @@
+//! Evaluation semirings.
+//!
+//! A smooth d-DNNF circuit evaluates to the (weighted) model count when
+//! or-gates sum and and-gates multiply (Fig. 8 of the paper), and to the MPE
+//! value when or-gates maximize instead. Abstracting the two operations as a
+//! semiring lets one circuit-traversal routine answer both query families.
+
+/// A commutative semiring over `f64`-representable values.
+pub trait Semiring: Copy {
+    /// The carried value type.
+    type Value: Copy + PartialEq + std::fmt::Debug;
+
+    /// The additive identity (value of an empty or-gate / `⊥`).
+    fn zero() -> Self::Value;
+    /// The multiplicative identity (value of an empty and-gate / `⊤`).
+    fn one() -> Self::Value;
+    /// Combination at or-gates.
+    fn add(a: Self::Value, b: Self::Value) -> Self::Value;
+    /// Combination at and-gates.
+    fn mul(a: Self::Value, b: Self::Value) -> Self::Value;
+}
+
+/// The real (sum, product) semiring: weighted model counting.
+#[derive(Clone, Copy, Debug)]
+pub struct Real;
+
+impl Semiring for Real {
+    type Value = f64;
+
+    fn zero() -> f64 {
+        0.0
+    }
+    fn one() -> f64 {
+        1.0
+    }
+    fn add(a: f64, b: f64) -> f64 {
+        a + b
+    }
+    fn mul(a: f64, b: f64) -> f64 {
+        a * b
+    }
+}
+
+/// The (max, product) semiring: most-probable-explanation values.
+#[derive(Clone, Copy, Debug)]
+pub struct MaxProd;
+
+impl Semiring for MaxProd {
+    type Value = f64;
+
+    fn zero() -> f64 {
+        0.0
+    }
+    fn one() -> f64 {
+        1.0
+    }
+    fn add(a: f64, b: f64) -> f64 {
+        a.max(b)
+    }
+    fn mul(a: f64, b: f64) -> f64 {
+        a * b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_semiring_laws_spot_checks() {
+        assert_eq!(Real::add(Real::zero(), 3.0), 3.0);
+        assert_eq!(Real::mul(Real::one(), 3.0), 3.0);
+        assert_eq!(Real::mul(Real::zero(), 3.0), 0.0);
+        assert_eq!(Real::add(1.5, 2.5), 4.0);
+    }
+
+    #[test]
+    fn maxprod_add_is_max() {
+        assert_eq!(MaxProd::add(0.3, 0.7), 0.7);
+        assert_eq!(MaxProd::add(MaxProd::zero(), 0.2), 0.2);
+        assert_eq!(MaxProd::mul(0.5, 0.5), 0.25);
+    }
+}

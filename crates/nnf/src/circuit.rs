@@ -1,0 +1,405 @@
+//! The NNF circuit representation: an arena DAG with structural hashing.
+
+use trl_core::{Assignment, FxHashMap, Lit, PartialAssignment, Var, VarSet};
+
+/// Index of a node within a [`Circuit`] arena.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NnfId(pub u32);
+
+impl NnfId {
+    /// The node's arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One gate of an NNF circuit.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum NnfNode {
+    /// The constant true (`⊤`).
+    True,
+    /// The constant false (`⊥`).
+    False,
+    /// A literal input (inverters feed only from variables, so negation
+    /// appears only here).
+    Lit(Lit),
+    /// An and-gate over the given inputs.
+    And(Vec<NnfId>),
+    /// An or-gate over the given inputs.
+    Or(Vec<NnfId>),
+}
+
+/// An NNF circuit: a DAG of [`NnfNode`]s with a designated root, over the
+/// variable universe `0..num_vars`.
+///
+/// Nodes are stored in topological order (inputs before the gates that use
+/// them), which every traversal in this crate relies on.
+#[derive(Clone, Debug)]
+pub struct Circuit {
+    nodes: Vec<NnfNode>,
+    root: NnfId,
+    num_vars: usize,
+}
+
+impl Circuit {
+    /// The root node.
+    pub fn root(&self) -> NnfId {
+        self.root
+    }
+
+    /// The variable universe size; queries (counting, enumeration) range
+    /// over assignments of `0..num_vars`.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The node behind an id.
+    pub fn node(&self, id: NnfId) -> &NnfNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Circuit size: the number of edges (total gate fan-in), the size
+    /// measure used throughout the knowledge-compilation literature.
+    pub fn edge_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                NnfNode::And(xs) | NnfNode::Or(xs) => xs.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// All node ids in topological (bottom-up) order.
+    pub fn ids(&self) -> impl Iterator<Item = NnfId> {
+        (0..self.nodes.len() as u32).map(NnfId)
+    }
+
+    /// Evaluates the circuit on a total assignment.
+    pub fn eval(&self, a: &Assignment) -> bool {
+        let mut val = vec![false; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            val[i] = match n {
+                NnfNode::True => true,
+                NnfNode::False => false,
+                NnfNode::Lit(l) => a.satisfies(*l),
+                NnfNode::And(xs) => xs.iter().all(|x| val[x.index()]),
+                NnfNode::Or(xs) => xs.iter().any(|x| val[x.index()]),
+            };
+        }
+        val[self.root.index()]
+    }
+
+    /// The scope (mentioned variables) of every node, bottom-up.
+    pub fn scopes(&self) -> Vec<VarSet> {
+        let mut scopes: Vec<VarSet> = Vec::with_capacity(self.nodes.len());
+        for n in &self.nodes {
+            let s = match n {
+                NnfNode::True | NnfNode::False => VarSet::new(),
+                NnfNode::Lit(l) => {
+                    let mut s = VarSet::new();
+                    s.insert(l.var());
+                    s
+                }
+                NnfNode::And(xs) | NnfNode::Or(xs) => {
+                    let mut s = VarSet::new();
+                    for x in xs {
+                        s.union_with(&scopes[x.index()]);
+                    }
+                    s
+                }
+            };
+            scopes.push(s);
+        }
+        scopes
+    }
+
+    /// Conditions the circuit on a partial assignment: literals decided by
+    /// `pa` become constants, and the circuit is simplified bottom-up.
+    /// The variable universe is unchanged.
+    pub fn condition(&self, pa: &PartialAssignment) -> Circuit {
+        let mut b = CircuitBuilder::new(self.num_vars);
+        let mut map: Vec<NnfId> = Vec::with_capacity(self.nodes.len());
+        for n in &self.nodes {
+            let id = match n {
+                NnfNode::True => b.true_(),
+                NnfNode::False => b.false_(),
+                NnfNode::Lit(l) => match pa.eval(*l) {
+                    Some(true) => b.true_(),
+                    Some(false) => b.false_(),
+                    None => b.lit(*l),
+                },
+                NnfNode::And(xs) => b.and(xs.iter().map(|x| map[x.index()])),
+                NnfNode::Or(xs) => b.or(xs.iter().map(|x| map[x.index()])),
+            };
+            map.push(id);
+        }
+        b.finish(map[self.root.index()])
+    }
+
+    /// Renders a compact textual form, mainly for debugging and docs.
+    pub fn display(&self) -> String {
+        fn go(c: &Circuit, id: NnfId, out: &mut String) {
+            match c.node(id) {
+                NnfNode::True => out.push('⊤'),
+                NnfNode::False => out.push('⊥'),
+                NnfNode::Lit(l) => out.push_str(&format!("{l}")),
+                NnfNode::And(xs) => {
+                    out.push('(');
+                    for (i, x) in xs.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(" ∧ ");
+                        }
+                        go(c, *x, out);
+                    }
+                    out.push(')');
+                }
+                NnfNode::Or(xs) => {
+                    out.push('(');
+                    for (i, x) in xs.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(" ∨ ");
+                        }
+                        go(c, *x, out);
+                    }
+                    out.push(')');
+                }
+            }
+        }
+        let mut s = String::new();
+        go(self, self.root, &mut s);
+        s
+    }
+}
+
+/// Builds NNF circuits with structural hashing: identical gates share one
+/// node, and trivial gates are simplified on the fly
+/// (`∧` with a `⊥` input is `⊥`, single-input gates collapse, etc.).
+pub struct CircuitBuilder {
+    nodes: Vec<NnfNode>,
+    dedup: FxHashMap<NnfNode, NnfId>,
+    num_vars: usize,
+}
+
+impl CircuitBuilder {
+    /// A builder over the variable universe `0..num_vars`.
+    pub fn new(num_vars: usize) -> Self {
+        CircuitBuilder {
+            nodes: Vec::new(),
+            dedup: FxHashMap::default(),
+            num_vars,
+        }
+    }
+
+    fn intern(&mut self, node: NnfNode) -> NnfId {
+        if let Some(&id) = self.dedup.get(&node) {
+            return id;
+        }
+        let id = NnfId(self.nodes.len() as u32);
+        self.nodes.push(node.clone());
+        self.dedup.insert(node, id);
+        id
+    }
+
+    /// The constant true.
+    pub fn true_(&mut self) -> NnfId {
+        self.intern(NnfNode::True)
+    }
+
+    /// The constant false.
+    pub fn false_(&mut self) -> NnfId {
+        self.intern(NnfNode::False)
+    }
+
+    /// A literal input.
+    pub fn lit(&mut self, l: Lit) -> NnfId {
+        assert!(
+            l.var().index() < self.num_vars,
+            "literal variable out of universe"
+        );
+        self.intern(NnfNode::Lit(l))
+    }
+
+    /// A positive literal for `v`.
+    pub fn var(&mut self, v: Var) -> NnfId {
+        self.lit(v.positive())
+    }
+
+    /// An and-gate. Constants are folded; duplicates are removed; a single
+    /// input collapses to that input.
+    pub fn and(&mut self, inputs: impl IntoIterator<Item = NnfId>) -> NnfId {
+        let mut xs: Vec<NnfId> = Vec::new();
+        for x in inputs {
+            match &self.nodes[x.index()] {
+                NnfNode::True => {}
+                NnfNode::False => return self.false_(),
+                _ => xs.push(x),
+            }
+        }
+        xs.sort_unstable();
+        xs.dedup();
+        match xs.len() {
+            0 => self.true_(),
+            1 => xs[0],
+            _ => self.intern(NnfNode::And(xs)),
+        }
+    }
+
+    /// An or-gate, with the dual simplifications of [`CircuitBuilder::and`].
+    pub fn or(&mut self, inputs: impl IntoIterator<Item = NnfId>) -> NnfId {
+        let mut xs: Vec<NnfId> = Vec::new();
+        for x in inputs {
+            match &self.nodes[x.index()] {
+                NnfNode::False => {}
+                NnfNode::True => return self.true_(),
+                _ => xs.push(x),
+            }
+        }
+        xs.sort_unstable();
+        xs.dedup();
+        match xs.len() {
+            0 => self.false_(),
+            1 => xs[0],
+            _ => self.intern(NnfNode::Or(xs)),
+        }
+    }
+
+    /// An or-gate that preserves its inputs verbatim (no constant folding,
+    /// no deduplication, no collapse). Needed when gate *shape* matters —
+    /// e.g. smoothing gadgets `(x ∨ ¬x)` must survive even though they are
+    /// semantically `⊤`.
+    pub fn or_raw(&mut self, inputs: impl IntoIterator<Item = NnfId>) -> NnfId {
+        let xs: Vec<NnfId> = inputs.into_iter().collect();
+        self.intern(NnfNode::Or(xs))
+    }
+
+    /// An and-gate that preserves its inputs verbatim.
+    pub fn and_raw(&mut self, inputs: impl IntoIterator<Item = NnfId>) -> NnfId {
+        let xs: Vec<NnfId> = inputs.into_iter().collect();
+        self.intern(NnfNode::And(xs))
+    }
+
+    /// A cube (conjunction of literals).
+    pub fn cube(&mut self, lits: impl IntoIterator<Item = Lit>) -> NnfId {
+        let ids: Vec<NnfId> = lits.into_iter().map(|l| self.lit(l)).collect();
+        self.and(ids)
+    }
+
+    /// Finalizes the circuit with the given root.
+    pub fn finish(self, root: NnfId) -> Circuit {
+        assert!(root.index() < self.nodes.len(), "root out of range");
+        Circuit {
+            nodes: self.nodes,
+            root,
+            num_vars: self.num_vars,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    #[test]
+    fn builder_simplifies_constants() {
+        let mut b = CircuitBuilder::new(2);
+        let t = b.true_();
+        let f = b.false_();
+        let x = b.var(v(0));
+        assert_eq!(b.and([t, x]), x);
+        assert_eq!(b.and([f, x]), f);
+        assert_eq!(b.or([f, x]), x);
+        assert_eq!(b.or([t, x]), t);
+        assert_eq!(b.and([]), t);
+        assert_eq!(b.or([]), f);
+    }
+
+    #[test]
+    fn builder_dedups_structurally() {
+        let mut b = CircuitBuilder::new(2);
+        let x = b.var(v(0));
+        let y = b.var(v(1));
+        let a1 = b.and([x, y]);
+        let a2 = b.and([y, x]); // sorted → same node
+        assert_eq!(a1, a2);
+        let c = b.finish(a1);
+        assert_eq!(c.node_count(), 3);
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        // (x0 ∧ ¬x1) ∨ x2
+        let mut b = CircuitBuilder::new(3);
+        let x0 = b.var(v(0));
+        let nx1 = b.lit(v(1).negative());
+        let x2 = b.var(v(2));
+        let a = b.and([x0, nx1]);
+        let r = b.or([a, x2]);
+        let c = b.finish(r);
+        for code in 0..8u64 {
+            let asg = Assignment::from_index(code, 3);
+            let expected = (asg.value(v(0)) && !asg.value(v(1))) || asg.value(v(2));
+            assert_eq!(c.eval(&asg), expected);
+        }
+    }
+
+    #[test]
+    fn scopes_accumulate() {
+        let mut b = CircuitBuilder::new(4);
+        let x0 = b.var(v(0));
+        let x3 = b.lit(v(3).negative());
+        let a = b.and([x0, x3]);
+        let c = b.finish(a);
+        let scopes = c.scopes();
+        let s = &scopes[a.index()];
+        assert!(s.contains(v(0)) && s.contains(v(3)) && s.len() == 2);
+    }
+
+    #[test]
+    fn condition_substitutes_and_simplifies() {
+        let mut b = CircuitBuilder::new(2);
+        let x0 = b.var(v(0));
+        let x1 = b.var(v(1));
+        let a = b.and([x0, x1]);
+        let c = b.finish(a);
+        let mut pa = PartialAssignment::new(2);
+        pa.assign(v(0).positive());
+        let cond = c.condition(&pa);
+        // x0=1: circuit reduces to x1.
+        assert!(matches!(cond.node(cond.root()), NnfNode::Lit(l) if *l == v(1).positive()));
+        pa.assign(v(1).negative());
+        let cond2 = c.condition(&pa);
+        assert!(matches!(cond2.node(cond2.root()), NnfNode::False));
+    }
+
+    #[test]
+    fn edge_count_counts_fanin() {
+        let mut b = CircuitBuilder::new(3);
+        let x0 = b.var(v(0));
+        let x1 = b.var(v(1));
+        let x2 = b.var(v(2));
+        let a = b.and([x0, x1, x2]);
+        let o = b.or([a, x0]);
+        let c = b.finish(o);
+        assert_eq!(c.edge_count(), 5);
+    }
+
+    #[test]
+    fn raw_gates_preserve_shape() {
+        let mut b = CircuitBuilder::new(1);
+        let x = b.var(v(0));
+        let nx = b.lit(v(0).negative());
+        let taut = b.or_raw([x, nx]);
+        let c = b.finish(taut);
+        assert!(matches!(c.node(c.root()), NnfNode::Or(xs) if xs.len() == 2));
+    }
+}

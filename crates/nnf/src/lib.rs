@@ -1,0 +1,35 @@
+//! Boolean circuits in Negation Normal Form and their tractable subsets.
+//!
+//! NNF circuits (Fig. 5 of the paper) have and-gates, or-gates, and
+//! inverters that feed only from variables — i.e. the internal nodes are
+//! `∧`/`∨` over literals and constants. Plain NNF circuits are intractable;
+//! the paper's §3 reviews how imposing properties unlocks the complexity
+//! ladder:
+//!
+//! | property (circuit class)              | unlocked query            | class |
+//! |---------------------------------------|---------------------------|-------|
+//! | decomposability (DNNF)                | SAT in linear time        | NP    |
+//! | + determinism (+smoothness) (d-DNNF)  | #SAT / WMC in linear time | PP    |
+//! | + structure + sentential decision     | E-MAJSAT, MAJMAJSAT       | NP^PP, PP^PP (see `trl-sdd`) |
+//!
+//! This crate provides:
+//! * [`Circuit`] — an arena-allocated NNF DAG with structural hashing
+//!   ([`CircuitBuilder`]), evaluation, and conditioning;
+//! * [`properties`] — polytime structural checks for decomposability,
+//!   smoothness and structuredness, exhaustive determinism checking for
+//!   test-sized circuits, and the smoothing transform;
+//! * [`queries`] — the polytime queries themselves: SAT on DNNF, model
+//!   counting / weighted model counting (Fig. 8) / MPE / all-marginals on
+//!   smooth d-DNNF, model enumeration, and minimum cardinality.
+
+pub mod circuit;
+pub mod properties;
+pub mod queries;
+pub mod sample;
+pub mod taxonomy;
+
+pub use circuit::{Circuit, CircuitBuilder, NnfId, NnfNode};
+pub use properties::smooth;
+pub use queries::LitWeights;
+pub use sample::ModelSampler;
+pub use taxonomy::{classify, CircuitClass};

@@ -1,0 +1,307 @@
+//! Property checks and transforms for NNF circuits.
+//!
+//! Decomposability and smoothness are *structural* and checked in polytime.
+//! Determinism is *semantic* (coNP-hard to verify in general), so this
+//! module offers an exhaustive checker for test-sized circuits; the
+//! compilers in `trl-compiler` and `trl-sdd` guarantee it by construction.
+
+use crate::circuit::{Circuit, CircuitBuilder, NnfId, NnfNode};
+use trl_core::{Assignment, Var, VarSet};
+use trl_vtree::Vtree;
+
+/// Whether every and-gate has pairwise variable-disjoint inputs
+/// (*decomposability* \[22\], Fig. 6 — the property that makes DNNF
+/// satisfiability linear).
+pub fn is_decomposable(c: &Circuit) -> bool {
+    let scopes = c.scopes();
+    for id in c.ids() {
+        if let NnfNode::And(xs) = c.node(id) {
+            let mut seen = VarSet::new();
+            for x in xs {
+                if !seen.is_disjoint(&scopes[x.index()]) {
+                    return false;
+                }
+                seen.union_with(&scopes[x.index()]);
+            }
+        }
+    }
+    true
+}
+
+/// Whether every or-gate has inputs with identical scopes
+/// (*smoothness* \[25\]) — the precondition for counting by sum/product
+/// propagation (Fig. 8).
+pub fn is_smooth(c: &Circuit) -> bool {
+    let scopes = c.scopes();
+    for id in c.ids() {
+        if let NnfNode::Or(xs) = c.node(id) {
+            if let Some((first, rest)) = xs.split_first() {
+                let s = &scopes[first.index()];
+                if rest.iter().any(|x| &scopes[x.index()] != s) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Exhaustively checks *determinism* \[23\] (Fig. 7): under every circuit
+/// input, each or-gate has at most one high input. Exponential in
+/// `num_vars`; intended for tests and small demos.
+pub fn is_deterministic_exhaustive(c: &Circuit) -> bool {
+    assert!(c.num_vars() <= 20, "exhaustive determinism check limited to 20 vars");
+    for code in 0..1u64 << c.num_vars() {
+        let a = Assignment::from_index(code, c.num_vars());
+        let mut val = vec![false; c.node_count()];
+        for id in c.ids() {
+            let i = id.index();
+            val[i] = match c.node(id) {
+                NnfNode::True => true,
+                NnfNode::False => false,
+                NnfNode::Lit(l) => a.satisfies(*l),
+                NnfNode::And(xs) => xs.iter().all(|x| val[x.index()]),
+                NnfNode::Or(xs) => {
+                    let high = xs.iter().filter(|x| val[x.index()]).count();
+                    if high > 1 {
+                        return false;
+                    }
+                    high == 1
+                }
+            };
+        }
+    }
+    true
+}
+
+/// Whether the circuit is *structured* by the given vtree: every binary
+/// and-gate respects some vtree node `v` (left input's scope under
+/// `left(v)`, right input's under `right(v)`), per \[66\]. And-gates with
+/// other arities fail the check (except empty, which is `⊤`).
+pub fn respects_vtree(c: &Circuit, vt: &Vtree) -> bool {
+    let scopes = c.scopes();
+    for id in c.ids() {
+        if let NnfNode::And(xs) = c.node(id) {
+            match xs.len() {
+                0 => {}
+                2 => {
+                    let ls = &scopes[xs[0].index()];
+                    let rs = &scopes[xs[1].index()];
+                    if !respects_some_node(vt, ls, rs) && !respects_some_node(vt, rs, ls) {
+                        return false;
+                    }
+                }
+                _ => return false,
+            }
+        }
+    }
+    true
+}
+
+fn respects_some_node(vt: &Vtree, ls: &VarSet, rs: &VarSet) -> bool {
+    // Find the lca of all variables; check left/right split there or above.
+    let mut node = None;
+    for v in ls.iter().chain(rs.iter()) {
+        if !vt.contains_var(v) {
+            return false;
+        }
+        let leaf = vt.leaf_of_var(v);
+        node = Some(match node {
+            None => leaf,
+            Some(n) => vt.lca(n, leaf),
+        });
+    }
+    let Some(n) = node else {
+        return true; // no variables at all
+    };
+    if !vt.is_internal(n) {
+        return false;
+    }
+    let lvars = vt.vars(vt.left(n));
+    let rvars = vt.vars(vt.right(n));
+    ls.is_subset(lvars) && rs.is_subset(rvars)
+}
+
+/// The smoothing transform \[25\]: makes every or-gate smooth by conjoining
+/// each input with `(v ∨ ¬v)` gadgets for its missing variables (the
+/// trivial gates visible at the bottom of Fig. 7). Quadratic in the worst
+/// case; preserves decomposability, determinism, and the function.
+///
+/// The root is additionally smoothed to mention every variable in
+/// `0..num_vars`, so counting needs no final scaling.
+pub fn smooth(c: &Circuit) -> Circuit {
+    // Normalize first: fold constants out of gates so that every remaining
+    // gate input is non-constant and scope bookkeeping below stays exact.
+    let c = &c.condition(&trl_core::PartialAssignment::new(c.num_vars()));
+    let scopes = c.scopes();
+    let mut b = CircuitBuilder::new(c.num_vars());
+    let mut map: Vec<NnfId> = Vec::with_capacity(c.node_count());
+
+    let gadget = |b: &mut CircuitBuilder, v: Var| {
+        let pos = b.lit(v.positive());
+        let neg = b.lit(v.negative());
+        b.or_raw([pos, neg])
+    };
+
+    for id in c.ids() {
+        let new_id = match c.node(id) {
+            NnfNode::True => b.true_(),
+            NnfNode::False => b.false_(),
+            NnfNode::Lit(l) => b.lit(*l),
+            NnfNode::And(xs) => {
+                let inputs: Vec<NnfId> = xs.iter().map(|x| map[x.index()]).collect();
+                b.and(inputs)
+            }
+            NnfNode::Or(xs) => {
+                let target = &scopes[id.index()];
+                let mut inputs = Vec::with_capacity(xs.len());
+                for x in xs {
+                    let missing = target.difference(&scopes[x.index()]);
+                    let mut parts = vec![map[x.index()]];
+                    for v in missing.iter() {
+                        parts.push(gadget(&mut b, v));
+                    }
+                    inputs.push(if parts.len() == 1 {
+                        parts[0]
+                    } else {
+                        b.and_raw(parts)
+                    });
+                }
+                b.or_raw(inputs)
+            }
+        };
+        map.push(new_id);
+    }
+
+    // Smooth the root up to the full universe.
+    let mut root = map[c.root().index()];
+    let full: VarSet = (0..c.num_vars() as u32).map(Var).collect();
+    let missing = full.difference(&scopes[c.root().index()]);
+    if !missing.is_empty() && !matches!(c.node(c.root()), NnfNode::False) {
+        let mut parts = vec![root];
+        for v in missing.iter() {
+            parts.push(gadget(&mut b, v));
+        }
+        root = b.and_raw(parts);
+    }
+    b.finish(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_core::Lit;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    /// x0 ⊕ x1 as a decomposable, deterministic, smooth circuit.
+    fn xor_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new(2);
+        let x0 = b.var(v(0));
+        let nx0 = b.lit(v(0).negative());
+        let x1 = b.var(v(1));
+        let nx1 = b.lit(v(1).negative());
+        let a = b.and([x0, nx1]);
+        let c = b.and([nx0, x1]);
+        let r = b.or([a, c]);
+        b.finish(r)
+    }
+
+    #[test]
+    fn xor_has_all_three_properties() {
+        let c = xor_circuit();
+        assert!(is_decomposable(&c));
+        assert!(is_smooth(&c));
+        assert!(is_deterministic_exhaustive(&c));
+    }
+
+    #[test]
+    fn non_decomposable_detected() {
+        let mut b = CircuitBuilder::new(1);
+        let x = b.var(v(0));
+        let nx = b.lit(v(0).negative());
+        let a = b.and_raw([x, nx]);
+        let c = b.finish(a);
+        assert!(!is_decomposable(&c));
+    }
+
+    #[test]
+    fn non_smooth_detected_and_fixed() {
+        // x0 ∨ (x0 ∧ x1): or-inputs have scopes {x0} and {x0,x1}.
+        let mut b = CircuitBuilder::new(2);
+        let x0 = b.var(v(0));
+        let x1 = b.var(v(1));
+        let a = b.and([x0, x1]);
+        let r = b.or_raw([x0, a]);
+        let c = b.finish(r);
+        assert!(!is_smooth(&c));
+        let s = smooth(&c);
+        assert!(is_smooth(&s));
+        // Function preserved.
+        for code in 0..4u64 {
+            let asg = Assignment::from_index(code, 2);
+            assert_eq!(c.eval(&asg), s.eval(&asg));
+        }
+    }
+
+    #[test]
+    fn non_deterministic_detected() {
+        // x0 ∨ x1 is not deterministic: both high under (1,1).
+        let mut b = CircuitBuilder::new(2);
+        let x0 = b.var(v(0));
+        let x1 = b.var(v(1));
+        let r = b.or([x0, x1]);
+        let c = b.finish(r);
+        assert!(!is_deterministic_exhaustive(&c));
+    }
+
+    #[test]
+    fn smoothing_covers_root_gap() {
+        // Circuit mentions only x0 out of a 3-variable universe.
+        let mut b = CircuitBuilder::new(3);
+        let x0 = b.var(v(0));
+        let c = b.finish(x0);
+        let s = smooth(&c);
+        let scopes = s.scopes();
+        assert_eq!(scopes[s.root().index()].len(), 3);
+        assert!(is_smooth(&s));
+    }
+
+    #[test]
+    fn smoothing_preserves_decomposability_and_determinism() {
+        // Deterministic non-smooth circuit: (x0 ∧ x1) ∨ (¬x0).
+        let mut b = CircuitBuilder::new(2);
+        let x0 = b.var(v(0));
+        let nx0 = b.lit(Lit::new(v(0), false));
+        let x1 = b.var(v(1));
+        let a = b.and([x0, x1]);
+        let r = b.or_raw([a, nx0]);
+        let c = b.finish(r);
+        assert!(is_deterministic_exhaustive(&c));
+        let s = smooth(&c);
+        assert!(is_decomposable(&s));
+        assert!(is_smooth(&s));
+        assert!(is_deterministic_exhaustive(&s));
+    }
+
+    #[test]
+    fn vtree_respect_check() {
+        // (x0 ∧ x1) respects right-linear vtree over [x0, x1].
+        let mut b = CircuitBuilder::new(2);
+        let x0 = b.var(v(0));
+        let x1 = b.var(v(1));
+        let a = b.and([x0, x1]);
+        let c = b.finish(a);
+        let vt = Vtree::right_linear(&[v(0), v(1)]);
+        assert!(respects_vtree(&c, &vt));
+        // A ternary and-gate is not structured.
+        let mut b = CircuitBuilder::new(3);
+        let xs: Vec<NnfId> = (0..3).map(|i| b.var(v(i))).collect();
+        let a = b.and_raw(xs);
+        let c = b.finish(a);
+        let vt = Vtree::right_linear(&[v(0), v(1), v(2)]);
+        assert!(!respects_vtree(&c, &vt));
+    }
+}

@@ -1,0 +1,245 @@
+//! Uniform and weighted sampling from smooth d-DNNF circuits.
+//!
+//! §3 of the paper lists "the utilization of tractable circuits for uniform
+//! sampling" \[75\] among the applications of knowledge compilation: once a
+//! formula is compiled into a smooth d-DNNF, exact uniform (or weighted)
+//! samples of its models come from one counting pass plus one top-down
+//! pass per sample — no rejection, no Markov chains.
+
+use crate::circuit::{Circuit, NnfNode};
+use crate::properties::smooth;
+use crate::queries::LitWeights;
+use trl_core::Assignment;
+
+/// A prepared sampler over the models of a circuit: counts once, then
+/// draws exact weighted samples in time linear in the circuit.
+pub struct ModelSampler {
+    circuit: Circuit,
+    values: Vec<f64>,
+    weights: LitWeights,
+}
+
+impl ModelSampler {
+    /// Prepares a sampler for the models of a **decomposable,
+    /// deterministic** circuit under the given literal weights (unit
+    /// weights give uniform sampling over models). Returns `None` if the
+    /// circuit is unsatisfiable (or has zero total weight).
+    pub fn new(circuit: &Circuit, weights: LitWeights) -> Option<ModelSampler> {
+        let s = smooth(circuit);
+        let mut values = vec![0.0f64; s.node_count()];
+        for id in s.ids() {
+            values[id.index()] = match s.node(id) {
+                NnfNode::True => 1.0,
+                NnfNode::False => 0.0,
+                NnfNode::Lit(l) => weights.get(*l),
+                NnfNode::And(xs) => xs.iter().map(|x| values[x.index()]).product(),
+                NnfNode::Or(xs) => xs.iter().map(|x| values[x.index()]).sum(),
+            };
+        }
+        if values[s.root().index()] <= 0.0 {
+            return None;
+        }
+        Some(ModelSampler {
+            circuit: s,
+            values,
+            weights,
+        })
+    }
+
+    /// Uniform sampler over the models (unit weights).
+    pub fn uniform(circuit: &Circuit) -> Option<ModelSampler> {
+        ModelSampler::new(circuit, LitWeights::unit(circuit.num_vars()))
+    }
+
+    /// The total weight (model count under unit weights).
+    pub fn total_weight(&self) -> f64 {
+        self.values[self.circuit.root().index()]
+    }
+
+    /// Draws one model; `uniform` must return values in `[0, 1)`.
+    ///
+    /// Determinism makes or-children disjoint, so picking a child with
+    /// probability proportional to its value is an exact draw from the
+    /// model distribution; decomposability makes and-children independent.
+    pub fn sample(&self, uniform: &mut dyn FnMut() -> f64) -> Assignment {
+        let mut a = Assignment::all_false(self.circuit.num_vars());
+        let mut stack = vec![self.circuit.root()];
+        while let Some(id) = stack.pop() {
+            match self.circuit.node(id) {
+                NnfNode::True | NnfNode::False => {}
+                NnfNode::Lit(l) => a.set(l.var(), l.is_positive()),
+                NnfNode::And(xs) => stack.extend(xs.iter().copied()),
+                NnfNode::Or(xs) => {
+                    let total: f64 = xs.iter().map(|x| self.values[x.index()]).sum();
+                    let mut r = uniform() * total;
+                    let mut chosen = *xs.last().expect("or-gate with inputs");
+                    for &x in xs {
+                        let v = self.values[x.index()];
+                        if r < v {
+                            chosen = x;
+                            break;
+                        }
+                        r -= v;
+                    }
+                    stack.push(chosen);
+                }
+            }
+        }
+        debug_assert!(self.circuit.eval(&a), "sampled a non-model");
+        a
+    }
+
+    /// The probability this sampler assigns to a model (0 for non-models):
+    /// `W(a) / Z`.
+    pub fn probability(&self, a: &Assignment) -> f64 {
+        if !self.circuit.eval(a) {
+            return 0.0;
+        }
+        self.weights.weight_of(a) / self.total_weight()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+    use trl_core::Var;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    /// x0 ∨ (¬x0 ∧ x1) — three models over two variables.
+    fn or_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new(2);
+        let x0 = b.var(v(0));
+        let nx0 = b.lit(v(0).negative());
+        let x1 = b.var(v(1));
+        let rhs = b.and([nx0, x1]);
+        let r = b.or_raw([x0, rhs]);
+        b.finish(r)
+    }
+
+    fn xorshift(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed.max(1);
+        move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    #[test]
+    fn uniform_sampling_hits_every_model_equally() {
+        let c = or_circuit();
+        let sampler = ModelSampler::uniform(&c).unwrap();
+        assert_eq!(sampler.total_weight(), 3.0);
+        let mut uniform = xorshift(42);
+        let n = 30_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            let a = sampler.sample(&mut uniform);
+            assert!(c.eval(&a), "sampled non-model");
+            let code = a.value(v(0)) as usize | (a.value(v(1)) as usize) << 1;
+            counts[code] += 1;
+        }
+        assert_eq!(counts[0], 0); // the non-model 00 never appears
+        for code in [1, 2, 3] {
+            let freq = counts[code] as f64 / n as f64;
+            assert!(
+                (freq - 1.0 / 3.0).abs() < 0.01,
+                "model {code:02b} frequency {freq}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_sampling_follows_the_weights() {
+        let c = or_circuit();
+        let mut w = LitWeights::unit(2);
+        w.set(v(0).positive(), 3.0); // models with x0 three times as heavy
+        let sampler = ModelSampler::new(&c, w).unwrap();
+        let mut uniform = xorshift(7);
+        let n = 40_000;
+        let mut with_x0 = 0usize;
+        for _ in 0..n {
+            if sampler.sample(&mut uniform).value(v(0)) {
+                with_x0 += 1;
+            }
+        }
+        // Z = 3 + 3 + 1 = 7; weight with x0 = 6.
+        let freq = with_x0 as f64 / n as f64;
+        assert!((freq - 6.0 / 7.0).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn probability_matches_sampler_semantics() {
+        let c = or_circuit();
+        let sampler = ModelSampler::uniform(&c).unwrap();
+        let total: f64 = (0..4u64)
+            .map(|code| sampler.probability(&Assignment::from_index(code, 2)))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(sampler.probability(&Assignment::from_index(0, 2)), 0.0);
+    }
+
+    #[test]
+    fn unsat_has_no_sampler() {
+        let mut b = CircuitBuilder::new(1);
+        let f = b.false_();
+        let c = b.finish(f);
+        assert!(ModelSampler::uniform(&c).is_none());
+    }
+
+    #[test]
+    fn sampling_from_the_paper_constraint_circuit() {
+        // The running circuit of Figs. 5–9 (9 models of 16): samples hit
+        // exactly the 9 valid course combinations.
+        let mut b = CircuitBuilder::new(4);
+        let pos = |b: &mut CircuitBuilder, i: u32| b.lit(v(i).positive());
+        let neg = |b: &mut CircuitBuilder, i: u32| b.lit(v(i).negative());
+        let lk: Vec<_> = [(true, true), (true, false), (false, true), (false, false)]
+            .iter()
+            .map(|&(l, k)| {
+                let lv = b.lit(v(0).literal(l));
+                let kv = b.lit(v(1).literal(k));
+                b.and([lv, kv])
+            })
+            .collect();
+        let a_implies_p = {
+            let (pp, ap, an) = (pos(&mut b, 2), pos(&mut b, 3), neg(&mut b, 3));
+            let pn = neg(&mut b, 2);
+            let x = b.and([pp, ap]);
+            let y = b.and([pp, an]);
+            let z = b.and([pn, an]);
+            b.or([x, y, z])
+        };
+        let p_and_a = {
+            let (pp, ap) = (pos(&mut b, 2), pos(&mut b, 3));
+            b.and([pp, ap])
+        };
+        let p_only = {
+            let (pp, ap, an) = (pos(&mut b, 2), pos(&mut b, 3), neg(&mut b, 3));
+            let x = b.and([pp, ap]);
+            let y = b.and([pp, an]);
+            b.or([x, y])
+        };
+        let e0 = b.and([lk[0], a_implies_p]);
+        let e1 = b.and([lk[1], a_implies_p]);
+        let e2 = b.and([lk[2], p_and_a]);
+        let e3 = b.and([lk[3], p_only]);
+        let root = b.or([e0, e1, e2, e3]);
+        let c = b.finish(root);
+        assert_eq!(c.model_count(), 9);
+        let sampler = ModelSampler::uniform(&c).unwrap();
+        let mut uniform = xorshift(99);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let a = sampler.sample(&mut uniform);
+            assert!(c.eval(&a));
+            seen.insert(a);
+        }
+        assert_eq!(seen.len(), 9, "all 9 valid combinations sampled");
+    }
+}

@@ -1,0 +1,137 @@
+//! The circuit taxonomy of Fig. 12 (the knowledge compilation map \[34\]).
+//!
+//! Every tractable language in the paper is NNF plus properties:
+//!
+//! ```text
+//! NNF ⊇ DNNF ⊇ d-DNNF ⊇ structured d-DNNF ⊇ SDD ⊇ OBDD
+//! ```
+//!
+//! [`classify`] reports which properties a given circuit satisfies, so the
+//! inclusions can be *observed* on compiled circuits (experiment
+//! `exp18_taxonomy`). Determinism is semantic, so classification is exact
+//! only for circuits small enough for the exhaustive check; pass
+//! `check_determinism: false` to skip it on larger circuits.
+
+use crate::circuit::Circuit;
+use crate::properties;
+use trl_vtree::Vtree;
+
+/// The properties of a circuit, as reported by [`classify`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CircuitClass {
+    /// Decomposable (and-gates have disjoint inputs): the circuit is a DNNF.
+    pub decomposable: bool,
+    /// Deterministic (or-gates mutually exclusive); `None` if not checked.
+    pub deterministic: Option<bool>,
+    /// Smooth (or-gate inputs mention the same variables).
+    pub smooth: bool,
+    /// Structured by the supplied vtree; `None` if no vtree was supplied.
+    pub structured: Option<bool>,
+}
+
+impl CircuitClass {
+    /// The most specific language name from Fig. 12's spine that the
+    /// observed properties certify.
+    pub fn language(&self) -> &'static str {
+        match (
+            self.decomposable,
+            self.deterministic,
+            self.structured,
+        ) {
+            (true, Some(true), Some(true)) => "structured d-DNNF (SDD-style)",
+            (true, Some(true), _) => "d-DNNF",
+            (true, _, Some(true)) => "structured DNNF",
+            (true, _, _) => "DNNF",
+            _ => "NNF",
+        }
+    }
+}
+
+/// Classifies a circuit. `vtree` enables the structuredness check;
+/// `check_determinism` runs the exhaustive semantic check (≤ 20 variables).
+pub fn classify(c: &Circuit, vtree: Option<&Vtree>, check_determinism: bool) -> CircuitClass {
+    CircuitClass {
+        decomposable: properties::is_decomposable(c),
+        deterministic: check_determinism
+            .then(|| properties::is_deterministic_exhaustive(c)),
+        smooth: properties::is_smooth(c),
+        structured: vtree.map(|vt| properties::respects_vtree(c, vt)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+    use trl_core::Var;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    #[test]
+    fn plain_nnf_is_only_nnf() {
+        // x0 ∨ x1 is not deterministic; (x0 ∧ x0-sharing) breaks nothing
+        // here, so build a non-decomposable and-gate explicitly.
+        let mut b = CircuitBuilder::new(2);
+        let x0 = b.var(v(0));
+        let x1 = b.var(v(1));
+        let both = b.and_raw([x0, x1]);
+        let shared = b.and_raw([x0, both]); // shares x0 → not decomposable
+        let c = b.finish(shared);
+        let class = classify(&c, None, true);
+        assert!(!class.decomposable);
+        assert_eq!(class.language(), "NNF");
+    }
+
+    #[test]
+    fn dnnf_without_determinism() {
+        let mut b = CircuitBuilder::new(2);
+        let x0 = b.var(v(0));
+        let x1 = b.var(v(1));
+        let r = b.or([x0, x1]); // overlapping or: not deterministic
+        let c = b.finish(r);
+        let class = classify(&c, None, true);
+        assert!(class.decomposable);
+        assert_eq!(class.deterministic, Some(false));
+        assert_eq!(class.language(), "DNNF");
+    }
+
+    #[test]
+    fn ddnnf_classification() {
+        let mut b = CircuitBuilder::new(2);
+        let x0 = b.var(v(0));
+        let nx0 = b.lit(v(0).negative());
+        let x1 = b.var(v(1));
+        let lhs = b.and([x0, x1]);
+        let rhs = b.and([nx0, x1]);
+        let r = b.or([lhs, rhs]);
+        let c = b.finish(r);
+        let class = classify(&c, None, true);
+        assert_eq!(class.language(), "d-DNNF");
+        assert!(class.smooth);
+    }
+
+    #[test]
+    fn skipping_the_determinism_check() {
+        let mut b = CircuitBuilder::new(2);
+        let x0 = b.var(v(0));
+        let c = b.finish(x0);
+        let class = classify(&c, None, false);
+        assert_eq!(class.deterministic, None);
+        assert_eq!(class.language(), "DNNF");
+    }
+
+    #[test]
+    fn structured_classification_with_vtree() {
+        let mut b = CircuitBuilder::new(2);
+        let x0 = b.var(v(0));
+        let x1 = b.var(v(1));
+        let r = b.and([x0, x1]);
+        let c = b.finish(r);
+        let vt = Vtree::right_linear(&[v(0), v(1)]);
+        let class = classify(&c, Some(&vt), true);
+        assert_eq!(class.structured, Some(true));
+        assert_eq!(class.language(), "structured d-DNNF (SDD-style)");
+    }
+}

@@ -1,0 +1,117 @@
+//! Converting OBDDs to NNF circuits (Fig. 11 of the paper).
+//!
+//! An OBDD node testing `x` with children `(low, high)` is the two-prime
+//! multiplexer `(¬x ∧ low) ∨ (x ∧ high)`: deterministic (the primes `x`,
+//! `¬x` are exclusive) and decomposable (children never mention `x` again).
+//! The conversion therefore yields a Decision-DNNF on which all of
+//! `trl-nnf`'s d-DNNF queries run unchanged.
+
+use crate::manager::{BddRef, Obdd};
+use trl_core::FxHashMap;
+use trl_nnf::{Circuit, CircuitBuilder, NnfId};
+
+impl Obdd {
+    /// Converts `f` into an NNF circuit over the manager's variable
+    /// universe. The result is decomposable and deterministic by
+    /// construction.
+    pub fn to_nnf(&self, f: BddRef) -> Circuit {
+        let mut b = CircuitBuilder::new(
+            self.order()
+                .iter()
+                .map(|v| v.index() + 1)
+                .max()
+                .unwrap_or(0),
+        );
+        let mut memo: FxHashMap<BddRef, NnfId> = FxHashMap::default();
+        let root = self.to_nnf_rec(f, &mut b, &mut memo);
+        b.finish(root)
+    }
+
+    fn to_nnf_rec(
+        &self,
+        f: BddRef,
+        b: &mut CircuitBuilder,
+        memo: &mut FxHashMap<BddRef, NnfId>,
+    ) -> NnfId {
+        if f == Self::FALSE {
+            return b.false_();
+        }
+        if f == Self::TRUE {
+            return b.true_();
+        }
+        if let Some(&id) = memo.get(&f) {
+            return id;
+        }
+        let n = self.node(f);
+        let var = self.var_at(n.level);
+        let low = self.to_nnf_rec(n.low, b, memo);
+        let high = self.to_nnf_rec(n.high, b, memo);
+        let neg = b.lit(var.negative());
+        let pos = b.lit(var.positive());
+        let left = b.and([neg, low]);
+        let right = b.and([pos, high]);
+        let id = b.or_raw([left, right]);
+        memo.insert(f, id);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_core::{Assignment, Var};
+    use trl_nnf::properties;
+    use trl_prop::Formula;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    #[test]
+    fn conversion_preserves_function() {
+        let mut m = Obdd::with_num_vars(4);
+        let f = Formula::var(v(0))
+            .iff(Formula::var(v(1)))
+            .or(Formula::var(v(2)).and(Formula::var(v(3))));
+        let r = m.build_formula(&f);
+        let c = m.to_nnf(r);
+        for code in 0..16u64 {
+            let a = Assignment::from_index(code, 4);
+            assert_eq!(c.eval(&a), f.eval(&a));
+        }
+    }
+
+    #[test]
+    fn conversion_is_decomposable_and_deterministic() {
+        let mut m = Obdd::with_num_vars(4);
+        let f = Formula::var(v(0))
+            .xor(Formula::var(v(1)))
+            .xor(Formula::var(v(2)))
+            .or(Formula::var(v(3)));
+        let r = m.build_formula(&f);
+        let c = m.to_nnf(r);
+        assert!(properties::is_decomposable(&c));
+        assert!(properties::is_deterministic_exhaustive(&c));
+    }
+
+    #[test]
+    fn counts_agree_between_representations() {
+        let mut m = Obdd::with_num_vars(5);
+        let f = Formula::var(v(0))
+            .and(Formula::var(v(1)))
+            .or(Formula::var(v(2)).and(Formula::var(v(3)).not()))
+            .or(Formula::var(v(4)));
+        let r = m.build_formula(&f);
+        let c = m.to_nnf(r);
+        assert_eq!(m.count_models(r), c.model_count());
+    }
+
+    #[test]
+    fn constants_convert() {
+        let m = Obdd::with_num_vars(2);
+        let c = m.to_nnf(Obdd::TRUE);
+        assert_eq!(c.model_count(), 4);
+        let c = m.to_nnf(Obdd::FALSE);
+        assert_eq!(c.model_count(), 0);
+    }
+}

@@ -1,0 +1,310 @@
+//! Queries on OBDDs: evaluation, counting, weighted counting, model
+//! enumeration, support, and the minimum-flips DP behind decision
+//! robustness (§5.2 of the paper).
+
+use crate::manager::{BddRef, Obdd};
+use trl_core::{Assignment, FxHashMap, VarSet};
+use trl_nnf::LitWeights;
+
+impl Obdd {
+    /// Evaluates `f` on a total assignment.
+    pub fn eval(&self, f: BddRef, a: &Assignment) -> bool {
+        let mut r = f;
+        while !self.is_terminal(r) {
+            let n = self.node(r);
+            r = if a.value(self.var_at(n.level)) {
+                n.high
+            } else {
+                n.low
+            };
+        }
+        r == Self::TRUE
+    }
+
+    /// Model count of `f` over all variables in the manager's order.
+    ///
+    /// Linear in the diagram: skipped levels contribute factors of 2.
+    /// Limited to managers with fewer than 128 variables (the count is a
+    /// `u128`); use [`Obdd::wmc`] with unit weights beyond that.
+    pub fn count_models(&self, f: BddRef) -> u128 {
+        assert!(
+            self.num_vars() < 128,
+            "exact counting limited to < 128 variables; use wmc for approximate counts"
+        );
+        let mut memo: FxHashMap<BddRef, u128> = FxHashMap::default();
+        let below = self.count_rec(f, &mut memo);
+        below << self.node(f).level
+    }
+
+    fn count_rec(&self, f: BddRef, memo: &mut FxHashMap<BddRef, u128>) -> u128 {
+        // Counts models over the variables from `level(f)` to the end.
+        if f == Self::FALSE {
+            return 0;
+        }
+        if f == Self::TRUE {
+            return 1;
+        }
+        if let Some(&c) = memo.get(&f) {
+            return c;
+        }
+        let n = self.node(f);
+        let lo = self.count_rec(n.low, memo) << (self.node(n.low).level - n.level - 1);
+        let hi = self.count_rec(n.high, memo) << (self.node(n.high).level - n.level - 1);
+        let c = lo + hi;
+        memo.insert(f, c);
+        c
+    }
+
+    /// Weighted model count of `f` over the manager's variables.
+    pub fn wmc(&self, f: BddRef, w: &LitWeights) -> f64 {
+        let mut memo: FxHashMap<BddRef, f64> = FxHashMap::default();
+        let below = self.wmc_rec(f, w, &mut memo);
+        below * self.gap_weight(0, self.node(f).level, w)
+    }
+
+    fn gap_weight(&self, from: u32, to: u32, w: &LitWeights) -> f64 {
+        (from..to)
+            .map(|l| {
+                let v = self.var_at(l);
+                w.get(v.positive()) + w.get(v.negative())
+            })
+            .product()
+    }
+
+    fn wmc_rec(&self, f: BddRef, w: &LitWeights, memo: &mut FxHashMap<BddRef, f64>) -> f64 {
+        if f == Self::FALSE {
+            return 0.0;
+        }
+        if f == Self::TRUE {
+            return 1.0;
+        }
+        if let Some(&c) = memo.get(&f) {
+            return c;
+        }
+        let n = self.node(f);
+        let var = self.var_at(n.level);
+        let lo = self.wmc_rec(n.low, w, memo)
+            * self.gap_weight(n.level + 1, self.node(n.low).level, w)
+            * w.get(var.negative());
+        let hi = self.wmc_rec(n.high, w, memo)
+            * self.gap_weight(n.level + 1, self.node(n.high).level, w)
+            * w.get(var.positive());
+        let c = lo + hi;
+        memo.insert(f, c);
+        c
+    }
+
+    /// One satisfying assignment, or `None` if `f = ⊥`. Variables off the
+    /// found path default to false.
+    pub fn any_model(&self, f: BddRef) -> Option<Assignment> {
+        if f == Self::FALSE {
+            return None;
+        }
+        let mut a = Assignment::all_false(self.num_vars());
+        let mut r = f;
+        while !self.is_terminal(r) {
+            let n = self.node(r);
+            if n.high != Self::FALSE {
+                a.set(self.var_at(n.level), true);
+                r = n.high;
+            } else {
+                r = n.low;
+            }
+        }
+        debug_assert_eq!(r, Self::TRUE);
+        Some(a)
+    }
+
+    /// All models of `f` over the manager's variables, in ascending
+    /// assignment-code order. Intended for tests and small functions.
+    pub fn enumerate_models(&self, f: BddRef) -> Vec<Assignment> {
+        let n = self.num_vars();
+        assert!(n <= 24, "enumeration limited to 24 variables");
+        let mut out = Vec::new();
+        for code in 0..1u64 << n {
+            let a = Assignment::from_index(code, n);
+            if self.eval(f, &a) {
+                out.push(a);
+            }
+        }
+        out
+    }
+
+    /// The support of `f`: variables actually tested in the diagram. For
+    /// reduced OBDDs this equals the set of variables the function depends
+    /// on.
+    pub fn support(&self, f: BddRef) -> VarSet {
+        let mut seen = trl_core::FxHashSet::default();
+        let mut out = VarSet::new();
+        let mut stack = vec![f];
+        while let Some(r) = stack.pop() {
+            if self.is_terminal(r) || !seen.insert(r) {
+                continue;
+            }
+            let n = self.node(r);
+            out.insert(self.var_at(n.level));
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        out
+    }
+
+    /// The minimum number of flips to `x` that reach an assignment `y` with
+    /// `f(y) = target` — in one linear pass over the diagram \[81\].
+    ///
+    /// Variables skipped on a path keep their `x` value at zero cost, which
+    /// is sound exactly because reduced OBDDs skip only irrelevant tests.
+    /// Returns `None` when no such `y` exists (`f` constant at `!target`).
+    pub fn min_flips_to(&self, f: BddRef, x: &Assignment, target: bool) -> Option<u32> {
+        const INF: u32 = u32::MAX / 2;
+        let mut memo: FxHashMap<BddRef, u32> = FxHashMap::default();
+        let d = self.min_flips_rec(f, x, target, &mut memo);
+        (d < INF).then_some(d)
+    }
+
+    fn min_flips_rec(
+        &self,
+        f: BddRef,
+        x: &Assignment,
+        target: bool,
+        memo: &mut FxHashMap<BddRef, u32>,
+    ) -> u32 {
+        const INF: u32 = u32::MAX / 2;
+        if self.is_terminal(f) {
+            return if (f == Self::TRUE) == target { 0 } else { INF };
+        }
+        if let Some(&d) = memo.get(&f) {
+            return d;
+        }
+        let n = self.node(f);
+        let xv = x.value(self.var_at(n.level));
+        let lo = self
+            .min_flips_rec(n.low, x, target, memo)
+            .saturating_add(xv as u32);
+        let hi = self
+            .min_flips_rec(n.high, x, target, memo)
+            .saturating_add(!xv as u32);
+        let d = lo.min(hi);
+        memo.insert(f, d);
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_core::Var;
+    use trl_prop::Formula;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    fn parity(n: u32) -> Formula {
+        let mut f = Formula::var(v(0));
+        for i in 1..n {
+            f = f.xor(Formula::var(v(i)));
+        }
+        f
+    }
+
+    #[test]
+    fn count_models_parity() {
+        // Parity over n vars has exactly 2^(n-1) models — and tests the
+        // level-gap handling since parity skips no levels.
+        let mut m = Obdd::with_num_vars(6);
+        let r = m.build_formula(&parity(6));
+        assert_eq!(m.count_models(r), 32);
+    }
+
+    #[test]
+    fn count_models_handles_gaps() {
+        // f = x2 over 5 variables → 16 models, with gaps above and below.
+        let mut m = Obdd::with_num_vars(5);
+        let r = m.literal(v(2).positive());
+        assert_eq!(m.count_models(r), 16);
+        assert_eq!(m.count_models(Obdd::TRUE), 32);
+        assert_eq!(m.count_models(Obdd::FALSE), 0);
+    }
+
+    #[test]
+    fn wmc_matches_brute_force() {
+        let mut m = Obdd::with_num_vars(4);
+        let f = Formula::var(v(0))
+            .and(Formula::var(v(1)))
+            .or(Formula::var(v(2)).xor(Formula::var(v(3))));
+        let r = m.build_formula(&f);
+        let mut w = LitWeights::unit(4);
+        w.set(v(0).positive(), 0.2);
+        w.set(v(0).negative(), 0.8);
+        w.set(v(3).positive(), 0.6);
+        w.set(v(3).negative(), 0.4);
+        let brute: f64 = (0..16u64)
+            .map(|c| Assignment::from_index(c, 4))
+            .filter(|a| f.eval(a))
+            .map(|a| w.weight_of(&a))
+            .sum();
+        assert!((m.wmc(r, &w) - brute).abs() < 1e-12);
+    }
+
+    #[test]
+    fn any_model_satisfies() {
+        let mut m = Obdd::with_num_vars(3);
+        let f = Formula::var(v(0)).not().and(Formula::var(v(2)));
+        let r = m.build_formula(&f);
+        let a = m.any_model(r).unwrap();
+        assert!(m.eval(r, &a));
+        assert!(m.any_model(Obdd::FALSE).is_none());
+    }
+
+    #[test]
+    fn enumerate_matches_count() {
+        let mut m = Obdd::with_num_vars(4);
+        let f = Formula::var(v(0)).or(Formula::var(v(1)).and(Formula::var(v(3))));
+        let r = m.build_formula(&f);
+        let models = m.enumerate_models(r);
+        assert_eq!(models.len() as u128, m.count_models(r));
+        assert!(models.iter().all(|a| m.eval(r, a)));
+    }
+
+    #[test]
+    fn support_is_dependency_set() {
+        let mut m = Obdd::with_num_vars(4);
+        // (x0 ∧ x1) ∨ (x0 ∧ ¬x1) depends only on x0 after reduction.
+        let f = Formula::var(v(0))
+            .and(Formula::var(v(1)))
+            .or(Formula::var(v(0)).and(Formula::var(v(1)).not()));
+        let r = m.build_formula(&f);
+        let s = m.support(r);
+        assert!(s.contains(v(0)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn min_flips_matches_brute_force() {
+        let mut m = Obdd::with_num_vars(5);
+        let f = Formula::var(v(0))
+            .and(Formula::var(v(1)))
+            .or(Formula::var(v(2)).and(Formula::var(v(3))).and(Formula::var(v(4))));
+        let r = m.build_formula(&f);
+        for code in 0..32u64 {
+            let x = Assignment::from_index(code, 5);
+            for target in [true, false] {
+                let brute = (0..32u64)
+                    .map(|c| Assignment::from_index(c, 5))
+                    .filter(|y| m.eval(r, y) == target)
+                    .map(|y| x.hamming_distance(&y) as u32)
+                    .min();
+                assert_eq!(m.min_flips_to(r, &x, target), brute, "x={code:05b}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_flips_on_constants() {
+        let m = Obdd::with_num_vars(3);
+        let x = Assignment::from_index(0, 3);
+        assert_eq!(m.min_flips_to(Obdd::TRUE, &x, true), Some(0));
+        assert_eq!(m.min_flips_to(Obdd::TRUE, &x, false), None);
+    }
+}

@@ -1,0 +1,297 @@
+//! Compiling linear threshold functions into OBDDs.
+//!
+//! A linear threshold function `Σᵢ wᵢ·xᵢ ≥ t` (integer weights, `xᵢ ∈ {0,1}`)
+//! is the decision function of a naive Bayes classifier over binary features
+//! (log-odds form, \[9\]) and of a binarized neuron (\[15, 80\]). Compiling it
+//! once into an OBDD is the entry point of the paper's third role: the
+//! resulting diagram has the classifier's exact input–output behavior.
+//!
+//! The construction is the classic pseudo-Boolean DP: descend the variable
+//! order accumulating the partial sum, pruning to `⊤`/`⊥` as soon as the
+//! remaining weights cannot change the outcome, and memoizing on
+//! `(level, accumulated sum)`. The unique table then merges any states that
+//! happen to induce the same residual function, so the result is the
+//! *canonical* reduced OBDD of the threshold function.
+
+use crate::manager::{BddRef, Obdd};
+use trl_core::FxHashMap;
+
+impl Obdd {
+    /// The OBDD of `Σ_level weights[level] · x_level ≥ threshold`, where
+    /// `weights[level]` is the weight of the variable at that level of the
+    /// manager's order (length must equal `num_vars`).
+    pub fn threshold(&mut self, weights: &[i64], threshold: i64) -> BddRef {
+        assert_eq!(
+            weights.len(),
+            self.num_vars(),
+            "one weight per variable in the order"
+        );
+        // Suffix bounds: the least/greatest achievable sum from each level on.
+        let n = weights.len();
+        let mut min_suffix = vec![0i64; n + 1];
+        let mut max_suffix = vec![0i64; n + 1];
+        for i in (0..n).rev() {
+            min_suffix[i] = min_suffix[i + 1] + weights[i].min(0);
+            max_suffix[i] = max_suffix[i + 1] + weights[i].max(0);
+        }
+        let mut memo: FxHashMap<(u32, i64), BddRef> = FxHashMap::default();
+        self.threshold_rec(0, 0, weights, threshold, &min_suffix, &max_suffix, &mut memo)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn threshold_rec(
+        &mut self,
+        level: u32,
+        acc: i64,
+        weights: &[i64],
+        t: i64,
+        min_suffix: &[i64],
+        max_suffix: &[i64],
+        memo: &mut FxHashMap<(u32, i64), BddRef>,
+    ) -> BddRef {
+        let i = level as usize;
+        if acc + min_suffix[i] >= t {
+            return Self::TRUE;
+        }
+        if acc + max_suffix[i] < t {
+            return Self::FALSE;
+        }
+        // Not decidable yet ⇒ i < n.
+        if let Some(&r) = memo.get(&(level, acc)) {
+            return r;
+        }
+        let low = self.threshold_rec(level + 1, acc, weights, t, min_suffix, max_suffix, memo);
+        let high = self.threshold_rec(
+            level + 1,
+            acc + weights[i],
+            weights,
+            t,
+            min_suffix,
+            max_suffix,
+            memo,
+        );
+        let r = self.mk(level, low, high);
+        memo.insert((level, acc), r);
+        r
+    }
+
+    /// The OBDD of `Σ_level weights[level] · x_level ≥ threshold` with
+    /// **f64** weights, accumulating sums left-to-right in level order.
+    ///
+    /// The diagram reproduces exactly the decision function computed by
+    /// folding the same weights in the same order with f64 arithmetic —
+    /// the contract the naive-Bayes compiler of `trl-xai` relies on for
+    /// bit-exact input–output equivalence (\[9\]'s log-odds test).
+    pub fn threshold_f64(&mut self, weights: &[f64], threshold: f64) -> BddRef {
+        assert_eq!(weights.len(), self.num_vars());
+        // No suffix-bound pruning here: under floating point, bounds
+        // accumulated in a different order than the fold could misjudge
+        // borderline sums. Every branch carries its exact folded value to
+        // the end; `mk` and the memo still merge equal subproblems.
+        let mut memo: FxHashMap<(u32, u64), BddRef> = FxHashMap::default();
+        self.threshold_f64_rec(0, 0.0, weights, threshold, &mut memo)
+    }
+
+    fn threshold_f64_rec(
+        &mut self,
+        level: u32,
+        acc: f64,
+        weights: &[f64],
+        t: f64,
+        memo: &mut FxHashMap<(u32, u64), BddRef>,
+    ) -> BddRef {
+        let i = level as usize;
+        if i == weights.len() {
+            return self.constant(acc >= t);
+        }
+        if let Some(&r) = memo.get(&(level, acc.to_bits())) {
+            return r;
+        }
+        let low = self.threshold_f64_rec(level + 1, acc, weights, t, memo);
+        let high = self.threshold_f64_rec(level + 1, acc + weights[i], weights, t, memo);
+        let r = self.mk(level, low, high);
+        memo.insert((level, acc.to_bits()), r);
+        r
+    }
+
+    /// The OBDD of `Σ_j weights[j] · [fs[j]] ≥ threshold` — a linear
+    /// threshold over *functions* rather than variables. This is how a
+    /// binarized neuron composes over the previous layer's neuron diagrams
+    /// when compiling a network (\[15, 80\]).
+    pub fn threshold_of(&mut self, fs: &[BddRef], weights: &[i64], threshold: i64) -> BddRef {
+        assert_eq!(fs.len(), weights.len());
+        let n = weights.len();
+        let mut min_suffix = vec![0i64; n + 1];
+        let mut max_suffix = vec![0i64; n + 1];
+        for i in (0..n).rev() {
+            min_suffix[i] = min_suffix[i + 1] + weights[i].min(0);
+            max_suffix[i] = max_suffix[i + 1] + weights[i].max(0);
+        }
+        let mut memo: FxHashMap<(usize, i64), BddRef> = FxHashMap::default();
+        self.threshold_of_rec(0, 0, fs, weights, threshold, &min_suffix, &max_suffix, &mut memo)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn threshold_of_rec(
+        &mut self,
+        j: usize,
+        acc: i64,
+        fs: &[BddRef],
+        weights: &[i64],
+        t: i64,
+        min_suffix: &[i64],
+        max_suffix: &[i64],
+        memo: &mut FxHashMap<(usize, i64), BddRef>,
+    ) -> BddRef {
+        if acc + min_suffix[j] >= t {
+            return Self::TRUE;
+        }
+        if acc + max_suffix[j] < t {
+            return Self::FALSE;
+        }
+        if let Some(&r) = memo.get(&(j, acc)) {
+            return r;
+        }
+        let low = self.threshold_of_rec(j + 1, acc, fs, weights, t, min_suffix, max_suffix, memo);
+        let high = self.threshold_of_rec(
+            j + 1,
+            acc + weights[j],
+            fs,
+            weights,
+            t,
+            min_suffix,
+            max_suffix,
+            memo,
+        );
+        let r = self.ite(fs[j], high, low);
+        memo.insert((j, acc), r);
+        r
+    }
+
+    /// The OBDD of a *cardinality* constraint: at least `k` of the manager's
+    /// variables are true.
+    pub fn at_least_k(&mut self, k: i64) -> BddRef {
+        let w = vec![1i64; self.num_vars()];
+        self.threshold(&w, k)
+    }
+
+    /// The OBDD of "exactly `k` of the manager's variables are true".
+    pub fn exactly_k(&mut self, k: i64) -> BddRef {
+        let ge_k = self.at_least_k(k);
+        let ge_k1 = self.at_least_k(k + 1);
+        let lt_k1 = self.not(ge_k1);
+        self.and(ge_k, lt_k1)
+    }
+
+    /// The OBDD of a majority gate over `m` functions: at least `k` of the
+    /// given diagrams are true. Built by dynamic programming over pairs
+    /// (index, count-so-far) with OBDD `ite`; this is how random-forest
+    /// voting circuits are assembled (§5).
+    pub fn at_least_k_of(&mut self, fs: &[BddRef], k: usize) -> BddRef {
+        // dp[c] = "at least k given c of the first i functions are true".
+        // Process functions one at a time, maintaining dp over c = 0..=k.
+        let mut dp: Vec<BddRef> = (0..=k)
+            .map(|c| if c >= k { Self::TRUE } else { Self::FALSE })
+            .collect();
+        // dp after all functions: need k - c more → false unless c >= k.
+        for &f in fs.iter().rev() {
+            let mut next = dp.clone();
+            for c in 0..k {
+                // if f true: state c+1, else state c.
+                next[c] = self.ite(f, dp[c + 1], dp[c]);
+            }
+            dp = next;
+        }
+        dp[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_core::{Assignment, Var};
+    use trl_prop::Formula;
+
+    fn brute_threshold(weights: &[i64], t: i64, code: u64) -> bool {
+        let s: i64 = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| if code >> i & 1 == 1 { w } else { 0 })
+            .sum();
+        s >= t
+    }
+
+    #[test]
+    fn threshold_matches_brute_force() {
+        let weights = [3i64, -2, 5, 1, -4, 2];
+        for t in [-3i64, 0, 2, 6, 11] {
+            let mut m = Obdd::with_num_vars(6);
+            let r = m.threshold(&weights, t);
+            for code in 0..64u64 {
+                let a = Assignment::from_index(code, 6);
+                assert_eq!(
+                    m.eval(r, &a),
+                    brute_threshold(&weights, t, code),
+                    "t={t}, code={code:06b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_thresholds_are_constants() {
+        let mut m = Obdd::with_num_vars(3);
+        assert_eq!(m.threshold(&[1, 1, 1], 0), Obdd::TRUE);
+        assert_eq!(m.threshold(&[1, 1, 1], 4), Obdd::FALSE);
+        assert_eq!(m.threshold(&[0, 0, 0], 1), Obdd::FALSE);
+        assert_eq!(m.threshold(&[0, 0, 0], 0), Obdd::TRUE);
+    }
+
+    #[test]
+    fn unit_weight_threshold_is_totally_symmetric() {
+        // At-least-k over n variables has the (n-k+1)-level staircase shape:
+        // size is O(k(n-k)); just verify the function and count.
+        let mut m = Obdd::with_num_vars(5);
+        let r = m.at_least_k(3);
+        // C(5,3)+C(5,4)+C(5,5) = 10+5+1 = 16.
+        assert_eq!(m.count_models(r), 16);
+    }
+
+    #[test]
+    fn exactly_k_counts_binomials() {
+        let mut m = Obdd::with_num_vars(6);
+        let r = m.exactly_k(2);
+        assert_eq!(m.count_models(r), 15); // C(6,2)
+        let r0 = m.exactly_k(0);
+        assert_eq!(m.count_models(r0), 1);
+    }
+
+    #[test]
+    fn majority_of_functions() {
+        let mut m = Obdd::with_num_vars(3);
+        let f0 = m.build_formula(&Formula::var(Var(0)));
+        let f1 = m.build_formula(&Formula::var(Var(1)));
+        let f2 = m.build_formula(&Formula::var(Var(2)));
+        // Majority(x0, x1, x2): at least 2 of 3.
+        let maj = m.at_least_k_of(&[f0, f1, f2], 2);
+        for code in 0..8u64 {
+            let a = Assignment::from_index(code, 3);
+            assert_eq!(m.eval(maj, &a), code.count_ones() >= 2);
+        }
+        // Degenerate: at least 0 of anything is true.
+        let always = m.at_least_k_of(&[f0], 0);
+        assert_eq!(always, Obdd::TRUE);
+    }
+
+    #[test]
+    fn negative_threshold_with_negative_weights() {
+        let weights = [-1i64, -1, -1];
+        let mut m = Obdd::with_num_vars(3);
+        let r = m.threshold(&weights, -1);
+        // Σ -xᵢ ≥ -1 ⟺ at most one xᵢ true.
+        for code in 0..8u64 {
+            let a = Assignment::from_index(code, 3);
+            assert_eq!(m.eval(r, &a), code.count_ones() <= 1);
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! Clauses, CNF formulas, DIMACS I/O, conditioning, and unit propagation.
+
+use trl_core::{Assignment, Error, Lit, PartialAssignment, Result, Var, VarSet};
+
+/// A disjunction of literals, kept sorted and duplicate-free.
+///
+/// A clause containing complementary literals is a tautology; callers that
+/// care (e.g. the compilers) detect this with [`Clause::is_tautology`].
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Clause {
+    lits: Vec<Lit>,
+}
+
+impl Clause {
+    /// Builds a clause from literals (sorted, deduplicated).
+    pub fn new(lits: impl IntoIterator<Item = Lit>) -> Self {
+        let mut v: Vec<Lit> = lits.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        Clause { lits: v }
+    }
+
+    /// The empty clause (the constant `false`).
+    pub fn empty() -> Self {
+        Clause { lits: Vec::new() }
+    }
+
+    /// The literals, sorted by code.
+    pub fn literals(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Whether this is the empty (unsatisfiable) clause.
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Whether this is a unit clause.
+    pub fn is_unit(&self) -> bool {
+        self.lits.len() == 1
+    }
+
+    /// Whether the clause contains both polarities of some variable.
+    pub fn is_tautology(&self) -> bool {
+        self.lits.windows(2).any(|w| w[0].var() == w[1].var())
+    }
+
+    /// Whether the clause contains `lit`.
+    pub fn contains(&self, lit: Lit) -> bool {
+        self.lits.binary_search(&lit).is_ok()
+    }
+
+    /// Evaluates the clause under a total assignment.
+    pub fn eval(&self, a: &Assignment) -> bool {
+        self.lits.iter().any(|&l| a.satisfies(l))
+    }
+
+    /// The variables mentioned by the clause.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.lits.iter().map(|l| l.var())
+    }
+}
+
+/// A CNF formula: a conjunction of clauses over variables `0..num_vars`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Cnf {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// An empty CNF (the constant `true`) over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Builds a CNF from clauses.
+    pub fn from_clauses(num_vars: usize, clauses: impl IntoIterator<Item = Clause>) -> Self {
+        let clauses: Vec<Clause> = clauses.into_iter().collect();
+        debug_assert!(clauses
+            .iter()
+            .flat_map(|c| c.vars())
+            .all(|v| v.index() < num_vars));
+        Cnf { num_vars, clauses }
+    }
+
+    /// Number of variables (the variable universe is `0..num_vars`).
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Adds a clause.
+    pub fn push(&mut self, clause: Clause) {
+        for v in clause.vars() {
+            debug_assert!(v.index() < self.num_vars, "clause variable out of range");
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Adds a clause given as raw literals.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        self.push(Clause::new(lits));
+    }
+
+    /// Whether the formula has no clauses (is valid).
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Whether the formula contains the empty clause (is trivially false).
+    pub fn has_empty_clause(&self) -> bool {
+        self.clauses.iter().any(|c| c.is_empty())
+    }
+
+    /// Evaluates the formula under a total assignment.
+    pub fn eval(&self, a: &Assignment) -> bool {
+        self.clauses.iter().all(|c| c.eval(a))
+    }
+
+    /// The set of variables actually mentioned by clauses.
+    pub fn mentioned_vars(&self) -> VarSet {
+        self.clauses.iter().flat_map(|c| c.vars()).collect()
+    }
+
+    /// Conditions the CNF on a literal: satisfied clauses vanish, the
+    /// opposite literal is removed from the rest. The variable universe is
+    /// unchanged.
+    pub fn condition(&self, lit: Lit) -> Cnf {
+        let mut clauses = Vec::with_capacity(self.clauses.len());
+        for c in &self.clauses {
+            if c.contains(lit) {
+                continue;
+            }
+            if c.contains(!lit) {
+                clauses.push(Clause::new(
+                    c.literals().iter().copied().filter(|&l| l != !lit),
+                ));
+            } else {
+                clauses.push(c.clone());
+            }
+        }
+        Cnf {
+            num_vars: self.num_vars,
+            clauses,
+        }
+    }
+
+    /// Exhaustive unit propagation starting from the given assumptions.
+    ///
+    /// Returns the extended partial assignment, or `None` on conflict.
+    /// The input CNF is not modified.
+    pub fn propagate(&self, assumptions: &[Lit]) -> Option<PartialAssignment> {
+        let mut pa = PartialAssignment::new(self.num_vars);
+        let mut queue: Vec<Lit> = Vec::new();
+        for &l in assumptions {
+            match pa.eval(l) {
+                Some(false) => return None,
+                Some(true) => {}
+                None => {
+                    pa.assign(l);
+                    queue.push(l);
+                }
+            }
+        }
+        // Simple fixed-point loop: re-scan clauses until no new units.
+        // (The compilers keep their own watched structures; this entry point
+        // serves the lightweight callers.)
+        loop {
+            let mut new_unit = None;
+            'clauses: for c in &self.clauses {
+                let mut unassigned = None;
+                let mut count = 0;
+                for &l in c.literals() {
+                    match pa.eval(l) {
+                        Some(true) => continue 'clauses,
+                        Some(false) => {}
+                        None => {
+                            unassigned = Some(l);
+                            count += 1;
+                            if count > 1 {
+                                continue 'clauses;
+                            }
+                        }
+                    }
+                }
+                match (count, unassigned) {
+                    (0, _) => return None, // all literals false
+                    (1, Some(l)) => {
+                        new_unit = Some(l);
+                        break;
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            match new_unit {
+                Some(l) => {
+                    pa.assign(l);
+                    queue.push(l);
+                }
+                None => break,
+            }
+        }
+        Some(pa)
+    }
+
+    /// Parses a DIMACS CNF document.
+    ///
+    /// DIMACS numbers variables from 1; variable `i` becomes [`Var`] `i - 1`.
+    pub fn parse_dimacs(text: &str) -> Result<Cnf> {
+        let mut num_vars: Option<usize> = None;
+        let mut declared_clauses: Option<usize> = None;
+        let mut clauses = Vec::new();
+        let mut current: Vec<Lit> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('p') {
+                let mut it = rest.split_whitespace();
+                if it.next() != Some("cnf") {
+                    return Err(Error::Parse("expected 'p cnf <vars> <clauses>'".into()));
+                }
+                let nv: usize = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| Error::Parse("bad variable count".into()))?;
+                let nc: usize = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| Error::Parse("bad clause count".into()))?;
+                num_vars = Some(nv);
+                declared_clauses = Some(nc);
+                continue;
+            }
+            let nv =
+                num_vars.ok_or_else(|| Error::Parse("clause before 'p cnf' header".into()))?;
+            for tok in line.split_whitespace() {
+                let x: i64 = tok
+                    .parse()
+                    .map_err(|_| Error::Parse(format!("bad literal token '{tok}'")))?;
+                if x == 0 {
+                    clauses.push(Clause::new(current.drain(..)));
+                } else {
+                    let var = x.unsigned_abs() as usize - 1;
+                    if var >= nv {
+                        return Err(Error::Parse(format!(
+                            "literal {x} out of range for {nv} variables"
+                        )));
+                    }
+                    current.push(Var(var as u32).literal(x > 0));
+                }
+            }
+        }
+        if !current.is_empty() {
+            return Err(Error::Parse("last clause not terminated by 0".into()));
+        }
+        let num_vars = num_vars.ok_or_else(|| Error::Parse("missing 'p cnf' header".into()))?;
+        if let Some(nc) = declared_clauses {
+            if nc != clauses.len() {
+                return Err(Error::Parse(format!(
+                    "header declared {nc} clauses, found {}",
+                    clauses.len()
+                )));
+            }
+        }
+        Ok(Cnf { num_vars, clauses })
+    }
+
+    /// Serializes to DIMACS.
+    pub fn to_dimacs(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len()).unwrap();
+        for c in &self.clauses {
+            for &l in c.literals() {
+                let x = l.var().index() as i64 + 1;
+                write!(out, "{} ", if l.is_positive() { x } else { -x }).unwrap();
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(i: i32) -> Lit {
+        Var(i.unsigned_abs() - 1).literal(i > 0)
+    }
+
+    #[test]
+    fn clause_dedup_and_tautology() {
+        let c = Clause::new([lit(1), lit(1), lit(-2)]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_tautology());
+        let t = Clause::new([lit(1), lit(-1)]);
+        assert!(t.is_tautology());
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        // (x0 ∨ ¬x1) ∧ (x1 ∨ x2)
+        let mut f = Cnf::new(3);
+        f.add_clause([lit(1), lit(-2)]);
+        f.add_clause([lit(2), lit(3)]);
+        let sat: Vec<u64> = (0..8)
+            .filter(|&code| f.eval(&Assignment::from_index(code, 3)))
+            .collect();
+        // models: x1=0 needs x2=1: 100,101,110? enumerate: value = bit i for var i.
+        // clause1: x0 ∨ ¬x1; clause2: x1 ∨ x2.
+        let expected: Vec<u64> = (0..8u64)
+            .filter(|&c| {
+                let x0 = c & 1 == 1;
+                let x1 = c >> 1 & 1 == 1;
+                let x2 = c >> 2 & 1 == 1;
+                (x0 || !x1) && (x1 || x2)
+            })
+            .collect();
+        assert_eq!(sat, expected);
+    }
+
+    #[test]
+    fn condition_removes_and_shrinks() {
+        let mut f = Cnf::new(2);
+        f.add_clause([lit(1), lit(2)]);
+        f.add_clause([lit(-1)]);
+        let g = f.condition(lit(1));
+        // clause (x0∨x1) satisfied, clause (¬x0) loses its literal → empty clause
+        assert_eq!(g.clauses().len(), 1);
+        assert!(g.has_empty_clause());
+        let h = f.condition(lit(-1));
+        assert_eq!(h.clauses().len(), 1);
+        assert_eq!(h.clauses()[0], Clause::new([lit(2)]));
+    }
+
+    #[test]
+    fn propagate_chains_units() {
+        // x0, x0→x1 (¬x0∨x1), x1→x2
+        let mut f = Cnf::new(3);
+        f.add_clause([lit(1)]);
+        f.add_clause([lit(-1), lit(2)]);
+        f.add_clause([lit(-2), lit(3)]);
+        let pa = f.propagate(&[]).unwrap();
+        assert_eq!(pa.eval(lit(1)), Some(true));
+        assert_eq!(pa.eval(lit(2)), Some(true));
+        assert_eq!(pa.eval(lit(3)), Some(true));
+    }
+
+    #[test]
+    fn propagate_detects_conflict() {
+        let mut f = Cnf::new(2);
+        f.add_clause([lit(1)]);
+        f.add_clause([lit(-1), lit(2)]);
+        f.add_clause([lit(-2)]);
+        assert!(f.propagate(&[]).is_none());
+        // also via assumptions
+        let mut g = Cnf::new(1);
+        g.add_clause([lit(1)]);
+        assert!(g.propagate(&[lit(-1)]).is_none());
+    }
+
+    #[test]
+    fn dimacs_round_trip() {
+        let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let f = Cnf::parse_dimacs(text).unwrap();
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.clauses().len(), 2);
+        let again = Cnf::parse_dimacs(&f.to_dimacs()).unwrap();
+        assert_eq!(f, again);
+    }
+
+    #[test]
+    fn dimacs_errors() {
+        assert!(Cnf::parse_dimacs("1 2 0\n").is_err()); // no header
+        assert!(Cnf::parse_dimacs("p cnf 1 1\n2 0\n").is_err()); // var out of range
+        assert!(Cnf::parse_dimacs("p cnf 2 1\n1 2\n").is_err()); // unterminated
+        assert!(Cnf::parse_dimacs("p cnf 2 5\n1 0\n").is_err()); // wrong count
+    }
+
+    #[test]
+    fn multiline_and_multi_clause_per_line() {
+        let f = Cnf::parse_dimacs("p cnf 2 2\n1 0 -1\n2 0\n").unwrap();
+        assert_eq!(f.clauses().len(), 2);
+        assert_eq!(f.clauses()[1], Clause::new([lit(-1), lit(2)]));
+    }
+}

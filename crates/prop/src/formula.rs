@@ -1,0 +1,453 @@
+//! Boolean formula ASTs and CNF conversion.
+
+use crate::cnf::{Clause, Cnf};
+use trl_core::{Assignment, Lit, Var, VarSet};
+
+/// A Boolean formula over variables `Var(0..)`.
+///
+/// This is the front-end representation for knowledge that is later
+/// *compiled* into tractable circuits: course prerequisites (§4), route
+/// constraints (§4.1), classifier encodings (§5) are all authored as
+/// `Formula`s and lowered to [`Cnf`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Formula {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// A literal.
+    Lit(Lit),
+    /// Negation.
+    Not(Box<Formula>),
+    /// N-ary conjunction (empty = true).
+    And(Vec<Formula>),
+    /// N-ary disjunction (empty = false).
+    Or(Vec<Formula>),
+    /// Material implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Biconditional.
+    Iff(Box<Formula>, Box<Formula>),
+    /// Exclusive or.
+    Xor(Box<Formula>, Box<Formula>),
+}
+
+impl Formula {
+    /// A positive-literal atom.
+    pub fn var(v: Var) -> Formula {
+        Formula::Lit(v.positive())
+    }
+
+    /// A literal atom.
+    pub fn lit(l: Lit) -> Formula {
+        Formula::Lit(l)
+    }
+
+    /// Conjunction of two formulas.
+    pub fn and(self, other: Formula) -> Formula {
+        Formula::And(vec![self, other])
+    }
+
+    /// Disjunction of two formulas.
+    pub fn or(self, other: Formula) -> Formula {
+        Formula::Or(vec![self, other])
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// Implication `self ⇒ other`.
+    pub fn implies(self, other: Formula) -> Formula {
+        Formula::Implies(Box::new(self), Box::new(other))
+    }
+
+    /// Biconditional `self ⇔ other`.
+    pub fn iff(self, other: Formula) -> Formula {
+        Formula::Iff(Box::new(self), Box::new(other))
+    }
+
+    /// Exclusive or.
+    pub fn xor(self, other: Formula) -> Formula {
+        Formula::Xor(Box::new(self), Box::new(other))
+    }
+
+    /// Conjunction of many formulas.
+    pub fn conj(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        Formula::And(fs.into_iter().collect())
+    }
+
+    /// Disjunction of many formulas.
+    pub fn disj(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        Formula::Or(fs.into_iter().collect())
+    }
+
+    /// "Exactly one of the given literals is true."
+    ///
+    /// The workhorse constraint of the ranking encodings (Fig. 17) and of the
+    /// indicator clauses in the Bayesian-network reduction (§2.2).
+    pub fn exactly_one(lits: &[Lit]) -> Formula {
+        let at_least = Formula::Or(lits.iter().map(|&l| Formula::Lit(l)).collect());
+        let mut parts = vec![at_least];
+        for i in 0..lits.len() {
+            for j in i + 1..lits.len() {
+                parts.push(Formula::Or(vec![
+                    Formula::Lit(!lits[i]),
+                    Formula::Lit(!lits[j]),
+                ]));
+            }
+        }
+        Formula::And(parts)
+    }
+
+    /// Evaluates the formula under a total assignment.
+    pub fn eval(&self, a: &Assignment) -> bool {
+        match self {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Lit(l) => a.satisfies(*l),
+            Formula::Not(f) => !f.eval(a),
+            Formula::And(fs) => fs.iter().all(|f| f.eval(a)),
+            Formula::Or(fs) => fs.iter().any(|f| f.eval(a)),
+            Formula::Implies(p, q) => !p.eval(a) || q.eval(a),
+            Formula::Iff(p, q) => p.eval(a) == q.eval(a),
+            Formula::Xor(p, q) => p.eval(a) != q.eval(a),
+        }
+    }
+
+    /// The set of variables mentioned.
+    pub fn vars(&self) -> VarSet {
+        let mut out = VarSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut VarSet) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Lit(l) => {
+                out.insert(l.var());
+            }
+            Formula::Not(f) => f.collect_vars(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_vars(out);
+                }
+            }
+            Formula::Implies(p, q) | Formula::Iff(p, q) | Formula::Xor(p, q) => {
+                p.collect_vars(out);
+                q.collect_vars(out);
+            }
+        }
+    }
+
+    /// Pushes negations to the literals and expands `⇒`, `⇔`, `⊕`,
+    /// returning a formula built from literals, `And`, and `Or` only.
+    pub fn to_nnf(&self) -> Formula {
+        self.nnf(false)
+    }
+
+    fn nnf(&self, negate: bool) -> Formula {
+        match self {
+            Formula::True => {
+                if negate {
+                    Formula::False
+                } else {
+                    Formula::True
+                }
+            }
+            Formula::False => {
+                if negate {
+                    Formula::True
+                } else {
+                    Formula::False
+                }
+            }
+            Formula::Lit(l) => Formula::Lit(if negate { !*l } else { *l }),
+            Formula::Not(f) => f.nnf(!negate),
+            Formula::And(fs) => {
+                let parts = fs.iter().map(|f| f.nnf(negate)).collect();
+                if negate {
+                    Formula::Or(parts)
+                } else {
+                    Formula::And(parts)
+                }
+            }
+            Formula::Or(fs) => {
+                let parts = fs.iter().map(|f| f.nnf(negate)).collect();
+                if negate {
+                    Formula::And(parts)
+                } else {
+                    Formula::Or(parts)
+                }
+            }
+            Formula::Implies(p, q) => {
+                // p ⇒ q ≡ ¬p ∨ q
+                Formula::Or(vec![p.nnf(true), q.nnf(false)]).nnf(negate)
+            }
+            Formula::Iff(p, q) => {
+                // p ⇔ q ≡ (p ∧ q) ∨ (¬p ∧ ¬q)
+                Formula::Or(vec![
+                    Formula::And(vec![p.nnf(false), q.nnf(false)]),
+                    Formula::And(vec![p.nnf(true), q.nnf(true)]),
+                ])
+                .nnf(negate)
+            }
+            Formula::Xor(p, q) => Formula::Iff(p.clone(), q.clone()).nnf(!negate),
+        }
+    }
+
+    /// Equivalence-preserving CNF by distribution over the NNF.
+    ///
+    /// Exponential in the worst case — use for the hand-sized constraints of
+    /// the examples and tests; use [`Formula::to_cnf_tseitin`] for anything
+    /// large.
+    pub fn to_cnf(&self, num_vars: usize) -> Cnf {
+        let nnf = self.to_nnf();
+        let mut clauses = Vec::new();
+        distribute(&nnf, &mut clauses);
+        // Drop tautologies and subsumed clauses for tidiness.
+        clauses.retain(|c| !c.is_tautology());
+        clauses.sort();
+        clauses.dedup();
+        let reduced: Vec<Clause> = clauses
+            .iter()
+            .filter(|c| {
+                !clauses
+                    .iter()
+                    .any(|d| d != *c && d.literals().iter().all(|l| c.contains(*l)))
+            })
+            .cloned()
+            .collect();
+        Cnf::from_clauses(num_vars, reduced)
+    }
+
+    /// Tseitin encoding: equisatisfiable CNF with one fresh variable per
+    /// internal gate, starting at `Var(num_vars)`.
+    ///
+    /// Every model of the original formula extends to exactly one model of
+    /// the encoding, so *model counts are preserved* (and weighted counts,
+    /// when the fresh literals get weight 1) — the property the WMC
+    /// reductions of §2.2 rely on.
+    ///
+    /// Returns the CNF (whose variable universe includes the fresh
+    /// variables) together with the literal asserting the root.
+    pub fn to_cnf_tseitin(&self, num_vars: usize) -> (Cnf, Lit) {
+        let nnf = self.to_nnf();
+        let mut enc = Tseitin {
+            cnf: Cnf::new(num_vars),
+            next: num_vars as u32,
+        };
+        let root = enc.encode(&nnf);
+        enc.cnf.add_clause([root]);
+        (enc.cnf, root)
+    }
+}
+
+struct Tseitin {
+    cnf: Cnf,
+    next: u32,
+}
+
+impl Tseitin {
+    fn fresh(&mut self) -> Var {
+        let v = Var(self.next);
+        self.next += 1;
+        // Grow the clause universe.
+        let clauses: Vec<Clause> = self.cnf.clauses().to_vec();
+        self.cnf = Cnf::from_clauses(self.next as usize, clauses);
+        v
+    }
+
+    fn encode(&mut self, f: &Formula) -> Lit {
+        match f {
+            Formula::Lit(l) => *l,
+            Formula::True => {
+                let v = self.fresh();
+                self.cnf.add_clause([v.positive()]);
+                v.positive()
+            }
+            Formula::False => {
+                let v = self.fresh();
+                self.cnf.add_clause([v.negative()]);
+                v.positive()
+            }
+            Formula::And(fs) => {
+                let parts: Vec<Lit> = fs.iter().map(|g| self.encode(g)).collect();
+                let v = self.fresh();
+                // v ⇔ ∧ parts
+                for &p in &parts {
+                    self.cnf.add_clause([v.negative(), p]);
+                }
+                let mut big: Vec<Lit> = parts.iter().map(|&p| !p).collect();
+                big.push(v.positive());
+                self.cnf.add_clause(big);
+                v.positive()
+            }
+            Formula::Or(fs) => {
+                let parts: Vec<Lit> = fs.iter().map(|g| self.encode(g)).collect();
+                let v = self.fresh();
+                // v ⇔ ∨ parts
+                for &p in &parts {
+                    self.cnf.add_clause([v.positive(), !p]);
+                }
+                let mut big: Vec<Lit> = parts.clone();
+                big.push(v.negative());
+                self.cnf.add_clause(big);
+                v.positive()
+            }
+            // `to_nnf` leaves only literals / And / Or.
+            other => unreachable!("non-NNF node after to_nnf: {other:?}"),
+        }
+    }
+}
+
+fn distribute(f: &Formula, out: &mut Vec<Clause>) {
+    match f {
+        Formula::True => {}
+        Formula::False => out.push(Clause::empty()),
+        Formula::Lit(l) => out.push(Clause::new([*l])),
+        Formula::And(fs) => {
+            for g in fs {
+                distribute(g, out);
+            }
+        }
+        Formula::Or(fs) => {
+            // Cross product of the clause sets of the disjuncts.
+            let mut acc: Vec<Vec<Lit>> = vec![Vec::new()];
+            for g in fs {
+                let mut sub = Vec::new();
+                distribute(g, &mut sub);
+                if sub.is_empty() {
+                    // disjunct is valid → whole disjunction is valid
+                    return;
+                }
+                let mut next = Vec::with_capacity(acc.len() * sub.len());
+                for base in &acc {
+                    for c in &sub {
+                        let mut lits = base.clone();
+                        lits.extend_from_slice(c.literals());
+                        next.push(lits);
+                    }
+                }
+                acc = next;
+            }
+            for lits in acc {
+                out.push(Clause::new(lits));
+            }
+        }
+        other => unreachable!("non-NNF node in distribute: {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::Solver;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    fn assert_equiv(f: &Formula, n: usize, cnf: &Cnf) {
+        for code in 0..1u64 << n {
+            let a = Assignment::from_index(code, n);
+            assert_eq!(f.eval(&a), cnf.eval(&a), "differ at {code:b}");
+        }
+    }
+
+    #[test]
+    fn eval_connectives() {
+        let a = Assignment::from_index(0b01, 2); // x0=1, x1=0
+        let p = Formula::var(v(0));
+        let q = Formula::var(v(1));
+        assert!(p.clone().or(q.clone()).eval(&a));
+        assert!(!p.clone().and(q.clone()).eval(&a));
+        assert!(!p.clone().implies(q.clone()).eval(&a));
+        assert!(q.clone().implies(p.clone()).eval(&a));
+        assert!(!p.clone().iff(q.clone()).eval(&a));
+        assert!(p.xor(q).eval(&a));
+    }
+
+    #[test]
+    fn nnf_eliminates_connectives_and_preserves_semantics() {
+        let f = Formula::var(v(0))
+            .iff(Formula::var(v(1)))
+            .xor(Formula::var(v(2)).implies(Formula::var(v(0))))
+            .not();
+        let g = f.to_nnf();
+        fn only_basic(f: &Formula) -> bool {
+            match f {
+                Formula::Lit(_) | Formula::True | Formula::False => true,
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().all(only_basic),
+                _ => false,
+            }
+        }
+        assert!(only_basic(&g));
+        for code in 0..8 {
+            let a = Assignment::from_index(code, 3);
+            assert_eq!(f.eval(&a), g.eval(&a));
+        }
+    }
+
+    #[test]
+    fn distribution_cnf_is_equivalent() {
+        // The paper's course-prerequisite constraint from Fig. 15 with
+        // L=0, K=1, P=2, A=3: (P∨L) ∧ (A⇒P) ∧ (K⇒(A∨L)).
+        let f = Formula::conj([
+            Formula::var(v(2)).or(Formula::var(v(0))),
+            Formula::var(v(3)).implies(Formula::var(v(2))),
+            Formula::var(v(1)).implies(Formula::var(v(3)).or(Formula::var(v(0)))),
+        ]);
+        let cnf = f.to_cnf(4);
+        assert_equiv(&f, 4, &cnf);
+        // The paper reports this space has 9 valid course combinations.
+        let count = (0..16u64)
+            .filter(|&c| f.eval(&Assignment::from_index(c, 4)))
+            .count();
+        assert_eq!(count, 9);
+    }
+
+    #[test]
+    fn tseitin_preserves_model_count() {
+        let f = Formula::var(v(0))
+            .iff(Formula::var(v(1)))
+            .or(Formula::var(v(2)).xor(Formula::var(v(0))));
+        let brute = (0..8u64)
+            .filter(|&c| f.eval(&Assignment::from_index(c, 3)))
+            .count() as u64;
+        let (cnf, _root) = f.to_cnf_tseitin(3);
+        let count = Solver::new(&cnf).count_models();
+        assert_eq!(count, brute);
+    }
+
+    #[test]
+    fn exactly_one_semantics() {
+        let lits = [v(0).positive(), v(1).positive(), v(2).positive()];
+        let f = Formula::exactly_one(&lits);
+        for code in 0..8u64 {
+            let a = Assignment::from_index(code, 3);
+            assert_eq!(f.eval(&a), code.count_ones() == 1, "code {code:b}");
+        }
+    }
+
+    #[test]
+    fn constants_behave() {
+        let a = Assignment::from_index(0, 1);
+        assert!(Formula::True.eval(&a));
+        assert!(!Formula::False.eval(&a));
+        assert!(Formula::False.not().eval(&a));
+        let cnf = Formula::False.to_cnf(1);
+        assert!(cnf.has_empty_clause());
+        let cnf = Formula::True.to_cnf(1);
+        assert!(cnf.is_empty());
+    }
+
+    #[test]
+    fn vars_collects_mentioned() {
+        let f = Formula::var(v(0)).implies(Formula::var(v(5)));
+        let vs = f.vars();
+        assert!(vs.contains(v(0)) && vs.contains(v(5)) && !vs.contains(v(3)));
+    }
+}

@@ -1,0 +1,29 @@
+//! Propositional logic substrate.
+//!
+//! The paper's first role for logic (§2) reduces probabilistic queries to
+//! questions on Boolean formulas — SAT, MAJSAT, #SAT, weighted model
+//! counting. This crate provides the formula layer those reductions target:
+//!
+//! * [`Formula`] — a Boolean formula AST with evaluation and CNF conversion
+//!   (both equivalence-preserving distribution and Tseitin encoding).
+//! * [`Cnf`] / [`Clause`] — clausal form with DIMACS I/O, conditioning, and
+//!   unit propagation.
+//! * [`solver`] — a DPLL satisfiability solver, model enumerator, and
+//!   brute-force counter. These are the *baselines*; the compilers in
+//!   `trl-compiler` are the systematic alternative the paper advocates.
+//! * [`TruthTable`] — dense Boolean functions used as oracles in tests and
+//!   as the ground truth for prime-implicant computation.
+//! * [`prime`] — prime implicants via iterated merging (Quine–McCluskey),
+//!   the semantic basis of sufficient reasons (§5.1).
+
+pub mod cnf;
+pub mod formula;
+pub mod prime;
+pub mod solver;
+pub mod truthtable;
+
+pub use cnf::{Clause, Cnf};
+pub use formula::Formula;
+pub use prime::{prime_implicants, sufficient_reasons};
+pub use solver::Solver;
+pub use truthtable::TruthTable;

@@ -1,0 +1,254 @@
+//! Prime implicants and sufficient reasons (PI-explanations).
+//!
+//! §5.1 of the paper grounds the semantics of explanations in prime
+//! implicants: a *sufficient reason* for a decision `f(x) = 1` is a prime
+//! implicant of `f` compatible with the instance `x`; for negative decisions
+//! one uses the complement `¬f` (Fig. 26).
+//!
+//! This module computes prime implicants exactly by the Quine–McCluskey
+//! merging procedure on a dense [`TruthTable`]. It is the semantic oracle;
+//! the scalable route — complete-reason circuits extracted from tractable
+//! circuits in linear time \[33\] — lives in `trl-xai` and is tested against
+//! this module.
+
+use crate::truthtable::TruthTable;
+use trl_core::{Assignment, Cube, Var};
+
+/// An implicant over `n ≤ 24` variables: `mask` marks the fixed variables,
+/// `values` their polarities (bits outside `mask` are zero).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+struct Term {
+    mask: u32,
+    values: u32,
+}
+
+impl Term {
+    fn to_cube(self) -> Cube {
+        Cube::from_lits((0..32).filter(|i| self.mask >> i & 1 == 1).map(|i| {
+            Var(i).literal(self.values >> i & 1 == 1)
+        }))
+    }
+}
+
+/// Computes all prime implicants of `f`, returned as sorted [`Cube`]s.
+///
+/// An implicant is a term that entails `f`; it is *prime* if removing any
+/// literal breaks entailment. The constant-true function has the single
+/// prime implicant `⊤` (the empty cube); the constant-false function has
+/// none.
+pub fn prime_implicants(f: &TruthTable) -> Vec<Cube> {
+    let n = f.num_vars();
+    assert!(n <= 24, "prime implicant computation limited to 24 variables");
+    if !f.is_sat() {
+        return Vec::new();
+    }
+
+    // Level 0: minterms (all variables fixed).
+    let full_mask: u32 = if n == 32 { !0 } else { (1u32 << n) - 1 };
+    let mut current: Vec<Term> = f
+        .models()
+        .map(|code| Term {
+            mask: full_mask,
+            values: code as u32,
+        })
+        .collect();
+    let mut primes: Vec<Term> = Vec::new();
+
+    while !current.is_empty() {
+        current.sort_unstable();
+        current.dedup();
+        let mut merged = vec![false; current.len()];
+        let mut next: Vec<Term> = Vec::new();
+        // Index terms by mask so we only compare merge candidates.
+        for i in 0..current.len() {
+            for j in i + 1..current.len() {
+                let (a, b) = (current[i], current[j]);
+                if a.mask != b.mask {
+                    continue;
+                }
+                let diff = a.values ^ b.values;
+                if diff.count_ones() == 1 {
+                    merged[i] = true;
+                    merged[j] = true;
+                    next.push(Term {
+                        mask: a.mask & !diff,
+                        values: a.values & !diff,
+                    });
+                }
+            }
+        }
+        for (i, t) in current.iter().enumerate() {
+            if !merged[i] {
+                primes.push(*t);
+            }
+        }
+        current = next;
+    }
+
+    primes.sort_unstable();
+    primes.dedup();
+    let mut cubes: Vec<Cube> = primes.into_iter().map(Term::to_cube).collect();
+    cubes.sort();
+    cubes
+}
+
+/// The sufficient reasons (PI-explanations \[82\], "sufficient reasons" \[33\])
+/// for the decision `f(x)`:
+///
+/// * if `f(x) = 1`, the prime implicants of `f` consistent with `x`;
+/// * if `f(x) = 0`, the prime implicants of `¬f` consistent with `x`.
+pub fn sufficient_reasons(f: &TruthTable, x: &Assignment) -> Vec<Cube> {
+    let target = if f.eval(x) {
+        f.clone()
+    } else {
+        f.complement()
+    };
+    prime_implicants(&target)
+        .into_iter()
+        .filter(|c| c.consistent_with(x))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Formula;
+    use trl_core::Lit;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    fn cube(lits: &[Lit]) -> Cube {
+        Cube::from_lits(lits.iter().copied())
+    }
+
+    /// The paper's Fig. 26 example: f = (A + ¬C)(B + C)(A + B) with
+    /// A=x0, B=x1, C=x2.
+    fn fig26() -> TruthTable {
+        let (a, b, c) = (Formula::var(v(0)), Formula::var(v(1)), Formula::var(v(2)));
+        let f = Formula::conj([
+            a.clone().or(c.clone().not()),
+            b.clone().or(c.clone()),
+            a.or(b),
+        ]);
+        TruthTable::from_formula(&f, 3)
+    }
+
+    #[test]
+    fn fig26_prime_implicants_of_f() {
+        // Paper: prime implicants are AB, AC, B¬C.
+        let pis = prime_implicants(&fig26());
+        let expected = vec![
+            cube(&[v(0).positive(), v(1).positive()]),
+            cube(&[v(0).positive(), v(2).positive()]),
+            cube(&[v(1).positive(), v(2).negative()]),
+        ];
+        let mut expected = expected;
+        expected.sort();
+        assert_eq!(pis, expected);
+    }
+
+    #[test]
+    fn fig26_prime_implicants_of_complement() {
+        // Paper: prime implicants of ¬f are ¬A¬B, ¬A¬C... (three of them,
+        // the one compatible with ¬A¬BC being ¬AC per the figure text "¬AC").
+        let pis = prime_implicants(&fig26().complement());
+        assert_eq!(pis.len(), 3);
+        // Every prime implicant must entail ¬f.
+        let negf = fig26().complement();
+        for pi in &pis {
+            for code in 0..8u64 {
+                let a = Assignment::from_index(code, 3);
+                if pi.consistent_with(&a) {
+                    assert!(negf.eval(&a), "{pi:?} not an implicant of ¬f");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig26_sufficient_reasons_positive_instance() {
+        // Instance AB¬C → decision 1; sufficient reasons AB and B¬C.
+        let f = fig26();
+        let x = Assignment::from_values(&[true, true, false]);
+        assert!(f.eval(&x));
+        let reasons = sufficient_reasons(&f, &x);
+        let mut expected = vec![
+            cube(&[v(0).positive(), v(1).positive()]),
+            cube(&[v(1).positive(), v(2).negative()]),
+        ];
+        expected.sort();
+        assert_eq!(reasons, expected);
+    }
+
+    #[test]
+    fn fig26_sufficient_reasons_negative_instance() {
+        // The paper's negative instance has exactly one sufficient reason,
+        // ¬A∧C. Exact computation shows the prime implicants of ¬f are
+        // {¬A¬B, ¬AC, ¬B¬C}, so that instance is ¬A,B,C (the figure's
+        // overline placement is ambiguous in the scan; see EXPERIMENTS.md).
+        let f = fig26();
+        let x = Assignment::from_values(&[false, true, true]);
+        assert!(!f.eval(&x));
+        let reasons = sufficient_reasons(&f, &x);
+        assert_eq!(
+            reasons,
+            vec![cube(&[v(0).negative(), v(2).positive()])]
+        );
+    }
+
+    #[test]
+    fn constants_edge_cases() {
+        let t = TruthTable::constant(2, true);
+        assert_eq!(prime_implicants(&t), vec![Cube::empty()]);
+        let f = TruthTable::constant(2, false);
+        assert!(prime_implicants(&f).is_empty());
+    }
+
+    #[test]
+    fn primes_are_implicants_and_minimal() {
+        // Random-ish function: check the defining properties exhaustively.
+        let f = TruthTable::from_fn(4, |a| {
+            let bits: u32 = (0..4).map(|i| (a.value(v(i)) as u32) << i).sum();
+            [0b0011, 0b0111, 0b1111, 0b1010, 0b1000, 0b0001].contains(&bits)
+        });
+        let pis = prime_implicants(&f);
+        assert!(!pis.is_empty());
+        for pi in &pis {
+            // Implicant: every consistent assignment is a model.
+            for code in 0..16u64 {
+                let a = Assignment::from_index(code, 4);
+                if pi.consistent_with(&a) {
+                    assert!(f.eval(&a));
+                }
+            }
+            // Prime: dropping any literal breaks entailment.
+            for drop in 0..pi.len() {
+                let weaker = Cube::from_lits(
+                    pi.literals()
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != drop)
+                        .map(|(_, &l)| l),
+                );
+                let violated = (0..16u64).any(|code| {
+                    let a = Assignment::from_index(code, 4);
+                    weaker.consistent_with(&a) && !f.eval(&a)
+                });
+                assert!(violated, "{pi:?} is not prime (can drop {drop})");
+            }
+        }
+    }
+
+    #[test]
+    fn union_of_primes_covers_function() {
+        let f = TruthTable::from_fn(3, |a| a.value(v(0)) != a.value(v(2)));
+        let pis = prime_implicants(&f);
+        for code in 0..8u64 {
+            let a = Assignment::from_index(code, 3);
+            let covered = pis.iter().any(|pi| pi.consistent_with(&a));
+            assert_eq!(covered, f.eval(&a));
+        }
+    }
+}

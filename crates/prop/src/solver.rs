@@ -1,0 +1,354 @@
+//! A DPLL satisfiability solver, model enumerator, and counter.
+//!
+//! These are the "dedicated algorithm" baselines of the paper's §2: SAT is
+//! decided directly, and model counting is done by search. The systematic
+//! alternative — compile once into a tractable circuit, then answer many
+//! queries in linear time — lives in `trl-compiler`, and the benchmark
+//! `exp15_compile_count` compares the two.
+
+use crate::cnf::Cnf;
+use trl_core::{Assignment, Lit, Var};
+
+/// A DPLL solver over a CNF.
+pub struct Solver<'a> {
+    cnf: &'a Cnf,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Value {
+    Unassigned,
+    True,
+    False,
+}
+
+struct Search<'a> {
+    cnf: &'a Cnf,
+    values: Vec<Value>,
+    trail: Vec<Var>,
+}
+
+impl<'a> Search<'a> {
+    fn new(cnf: &'a Cnf) -> Self {
+        Search {
+            cnf,
+            values: vec![Value::Unassigned; cnf.num_vars()],
+            trail: Vec::new(),
+        }
+    }
+
+    fn value(&self, l: Lit) -> Value {
+        match self.values[l.var().index()] {
+            Value::Unassigned => Value::Unassigned,
+            Value::True => {
+                if l.is_positive() {
+                    Value::True
+                } else {
+                    Value::False
+                }
+            }
+            Value::False => {
+                if l.is_positive() {
+                    Value::False
+                } else {
+                    Value::True
+                }
+            }
+        }
+    }
+
+    fn assign(&mut self, l: Lit) {
+        self.values[l.var().index()] = if l.is_positive() {
+            Value::True
+        } else {
+            Value::False
+        };
+        self.trail.push(l.var());
+    }
+
+    fn backtrack_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let v = self.trail.pop().unwrap();
+            self.values[v.index()] = Value::Unassigned;
+        }
+    }
+
+    /// Unit propagation; returns false on conflict.
+    fn propagate(&mut self) -> bool {
+        loop {
+            let mut progressed = false;
+            'clauses: for c in self.cnf.clauses() {
+                let mut unassigned = None;
+                let mut n_unassigned = 0;
+                for &l in c.literals() {
+                    match self.value(l) {
+                        Value::True => continue 'clauses,
+                        Value::False => {}
+                        Value::Unassigned => {
+                            unassigned = Some(l);
+                            n_unassigned += 1;
+                            if n_unassigned > 1 {
+                                continue 'clauses;
+                            }
+                        }
+                    }
+                }
+                match (n_unassigned, unassigned) {
+                    (0, _) => return false,
+                    (1, Some(l)) => {
+                        self.assign(l);
+                        progressed = true;
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            if !progressed {
+                return true;
+            }
+        }
+    }
+
+    fn pick_branch(&self) -> Option<Var> {
+        // First unassigned variable that actually appears in a clause;
+        // variables outside every clause are free and handled by the caller.
+        self.cnf
+            .clauses()
+            .iter()
+            .flat_map(|c| c.literals())
+            .map(|l| l.var())
+            .find(|v| self.values[v.index()] == Value::Unassigned)
+    }
+
+    fn dpll_sat(&mut self) -> bool {
+        if !self.propagate() {
+            return false;
+        }
+        let Some(v) = self.pick_branch() else {
+            return true;
+        };
+        let mark = self.trail.len();
+        for phase in [true, false] {
+            self.assign(v.literal(phase));
+            if self.dpll_sat() {
+                return true;
+            }
+            self.backtrack_to(mark);
+        }
+        false
+    }
+
+    /// Counts models over all `num_vars` variables.
+    fn dpll_count(&mut self) -> u64 {
+        if !self.propagate() {
+            return 0;
+        }
+        match self.pick_branch() {
+            None => {
+                // All clause variables decided; the rest are free.
+                let free = self
+                    .values
+                    .iter()
+                    .filter(|&&v| v == Value::Unassigned)
+                    .count();
+                1u64 << free
+            }
+            Some(v) => {
+                let mark = self.trail.len();
+                let mut total = 0;
+                for phase in [true, false] {
+                    self.assign(v.literal(phase));
+                    total += self.dpll_count();
+                    self.backtrack_to(mark);
+                }
+                total
+            }
+        }
+    }
+
+    fn dpll_enumerate(&mut self, out: &mut Vec<Assignment>) {
+        if !self.propagate() {
+            return;
+        }
+        match self.pick_branch() {
+            None => {
+                // Expand free variables exhaustively.
+                let free: Vec<Var> = (0..self.values.len())
+                    .filter(|&i| self.values[i] == Value::Unassigned)
+                    .map(|i| Var(i as u32))
+                    .collect();
+                for code in 0..1u64 << free.len() {
+                    let mut a = Assignment::all_false(self.values.len());
+                    for (i, &val) in self.values.iter().enumerate() {
+                        if val == Value::True {
+                            a.set(Var(i as u32), true);
+                        }
+                    }
+                    for (bit, &v) in free.iter().enumerate() {
+                        a.set(v, code >> bit & 1 == 1);
+                    }
+                    out.push(a);
+                }
+            }
+            Some(v) => {
+                let mark = self.trail.len();
+                for phase in [true, false] {
+                    self.assign(v.literal(phase));
+                    self.dpll_enumerate(out);
+                    self.backtrack_to(mark);
+                }
+            }
+        }
+    }
+}
+
+impl<'a> Solver<'a> {
+    /// Creates a solver for the given CNF.
+    pub fn new(cnf: &'a Cnf) -> Self {
+        Solver { cnf }
+    }
+
+    /// Decides satisfiability.
+    pub fn is_sat(&self) -> bool {
+        Search::new(self.cnf).dpll_sat()
+    }
+
+    /// Finds one model, if any.
+    pub fn find_model(&self) -> Option<Assignment> {
+        let mut s = Search::new(self.cnf);
+        if !s.dpll_sat() {
+            return None;
+        }
+        let mut a = Assignment::all_false(self.cnf.num_vars());
+        for (i, &val) in s.values.iter().enumerate() {
+            // Free variables default to false; that is still a model.
+            a.set(Var(i as u32), val == Value::True);
+        }
+        debug_assert!(self.cnf.eval(&a));
+        Some(a)
+    }
+
+    /// Counts the models over all `num_vars` variables (#SAT).
+    pub fn count_models(&self) -> u64 {
+        Search::new(self.cnf).dpll_count()
+    }
+
+    /// Enumerates all models over all `num_vars` variables.
+    ///
+    /// Output order is unspecified; callers sort if they care.
+    pub fn enumerate_models(&self) -> Vec<Assignment> {
+        let mut out = Vec::new();
+        Search::new(self.cnf).dpll_enumerate(&mut out);
+        out
+    }
+
+    /// MAJSAT: is the majority of assignments satisfying? Ties (exactly
+    /// half) count as "no", matching the strict-majority convention of §2.1.
+    pub fn majsat(&self) -> bool {
+        let n = self.cnf.num_vars();
+        assert!(n < 64, "majsat baseline limited to < 64 variables");
+        self.count_models() * 2 > 1u64 << n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_core::Var;
+
+    fn lit(i: i32) -> Lit {
+        Var(i.unsigned_abs() - 1).literal(i > 0)
+    }
+
+    fn brute_count(cnf: &Cnf) -> u64 {
+        (0..1u64 << cnf.num_vars())
+            .filter(|&c| cnf.eval(&Assignment::from_index(c, cnf.num_vars())))
+            .count() as u64
+    }
+
+    #[test]
+    fn sat_and_unsat() {
+        let mut f = Cnf::new(2);
+        f.add_clause([lit(1), lit(2)]);
+        assert!(Solver::new(&f).is_sat());
+        f.add_clause([lit(-1)]);
+        f.add_clause([lit(-2)]);
+        assert!(!Solver::new(&f).is_sat());
+    }
+
+    #[test]
+    fn find_model_satisfies() {
+        let mut f = Cnf::new(3);
+        f.add_clause([lit(1), lit(2)]);
+        f.add_clause([lit(-1), lit(3)]);
+        let m = Solver::new(&f).find_model().unwrap();
+        assert!(f.eval(&m));
+    }
+
+    #[test]
+    fn count_matches_brute_force() {
+        // (x0∨x1) ∧ (¬x1∨x2): brute force over 3 vars.
+        let mut f = Cnf::new(3);
+        f.add_clause([lit(1), lit(2)]);
+        f.add_clause([lit(-2), lit(3)]);
+        assert_eq!(Solver::new(&f).count_models(), brute_count(&f));
+    }
+
+    #[test]
+    fn count_handles_free_variables() {
+        // One clause over x0; x1 and x2 free → count = 1 * 4.
+        let mut f = Cnf::new(3);
+        f.add_clause([lit(1)]);
+        assert_eq!(Solver::new(&f).count_models(), 4);
+        // Empty CNF: all 8 assignments are models.
+        let g = Cnf::new(3);
+        assert_eq!(Solver::new(&g).count_models(), 8);
+    }
+
+    #[test]
+    fn enumerate_matches_count_and_all_distinct() {
+        let mut f = Cnf::new(4);
+        f.add_clause([lit(1), lit(-2), lit(3)]);
+        f.add_clause([lit(2), lit(4)]);
+        let models = Solver::new(&f).enumerate_models();
+        assert_eq!(models.len() as u64, brute_count(&f));
+        let set: std::collections::HashSet<_> = models.iter().cloned().collect();
+        assert_eq!(set.len(), models.len());
+        assert!(models.iter().all(|m| f.eval(m)));
+    }
+
+    #[test]
+    fn majsat_strict_majority() {
+        // x0 alone over 1 var: exactly half the assignments → false.
+        let mut f = Cnf::new(1);
+        f.add_clause([lit(1)]);
+        assert!(!Solver::new(&f).majsat());
+        // x0 ∨ x1 over 2 vars: 3 of 4 → true.
+        let mut g = Cnf::new(2);
+        g.add_clause([lit(1), lit(2)]);
+        assert!(Solver::new(&g).majsat());
+    }
+
+    #[test]
+    fn random_cnfs_count_agrees_with_brute_force() {
+        // Deterministic pseudo-random formulas without pulling in rand here.
+        let mut state = 0x1234_5678u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..30 {
+            let n = 4 + (next() % 3) as usize; // 4..=6 vars
+            let m = 3 + (next() % 6) as usize;
+            let mut f = Cnf::new(n);
+            for _ in 0..m {
+                let len = 1 + (next() % 3) as usize;
+                let lits: Vec<Lit> = (0..len)
+                    .map(|_| Var((next() % n as u64) as u32).literal(next() % 2 == 0))
+                    .collect();
+                f.add_clause(lits);
+            }
+            assert_eq!(Solver::new(&f).count_models(), brute_count(&f));
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Dense truth tables: exact Boolean functions over a small number of
+//! variables.
+//!
+//! Truth tables are the brute-force oracle of this workspace: every circuit
+//! type (NNF, OBDD, SDD) is tested against them, and prime implicants are
+//! computed from them. They are practical up to ~20 variables.
+
+use crate::cnf::Cnf;
+use crate::formula::Formula;
+use trl_core::{Assignment, Lit, Var};
+
+/// A Boolean function over variables `0..n`, stored as one bit per
+/// assignment (assignment `code` per [`Assignment::from_index`]).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    n: usize,
+    bits: Vec<u64>,
+}
+
+impl TruthTable {
+    const MAX_VARS: usize = 24;
+
+    fn words(n: usize) -> usize {
+        (1usize << n).div_ceil(64)
+    }
+
+    /// The constant-false function over `n` variables.
+    pub fn constant(n: usize, value: bool) -> Self {
+        assert!(n <= Self::MAX_VARS, "truth table limited to 24 variables");
+        let mut t = TruthTable {
+            n,
+            bits: vec![if value { !0u64 } else { 0 }; Self::words(n)],
+        };
+        t.mask_tail();
+        t
+    }
+
+    /// Builds the function from a predicate on assignments.
+    pub fn from_fn(n: usize, mut f: impl FnMut(&Assignment) -> bool) -> Self {
+        let mut t = TruthTable::constant(n, false);
+        for code in 0..1u64 << n {
+            if f(&Assignment::from_index(code, n)) {
+                t.set(code, true);
+            }
+        }
+        t
+    }
+
+    /// The function of a formula.
+    pub fn from_formula(f: &Formula, n: usize) -> Self {
+        TruthTable::from_fn(n, |a| f.eval(a))
+    }
+
+    /// The function of a CNF.
+    pub fn from_cnf(cnf: &Cnf) -> Self {
+        TruthTable::from_fn(cnf.num_vars(), |a| cnf.eval(a))
+    }
+
+    /// The function of a single literal over `n` variables.
+    pub fn literal(lit: Lit, n: usize) -> Self {
+        TruthTable::from_fn(n, |a| a.satisfies(lit))
+    }
+
+    fn mask_tail(&mut self) {
+        let total = 1usize << self.n;
+        let rem = total % 64;
+        if rem != 0 {
+            let last = self.bits.len() - 1;
+            self.bits[last] &= (1u64 << rem) - 1;
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// The value at assignment `code`.
+    pub fn get(&self, code: u64) -> bool {
+        self.bits[(code / 64) as usize] >> (code % 64) & 1 == 1
+    }
+
+    /// Sets the value at assignment `code`.
+    pub fn set(&mut self, code: u64, value: bool) {
+        let (w, b) = ((code / 64) as usize, code % 64);
+        if value {
+            self.bits[w] |= 1 << b;
+        } else {
+            self.bits[w] &= !(1 << b);
+        }
+    }
+
+    /// Evaluates on an assignment.
+    pub fn eval(&self, a: &Assignment) -> bool {
+        let mut code = 0u64;
+        for i in 0..self.n {
+            if a.value(Var(i as u32)) {
+                code |= 1 << i;
+            }
+        }
+        self.get(code)
+    }
+
+    /// The number of satisfying assignments.
+    pub fn count(&self) -> u64 {
+        self.bits.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Pointwise conjunction.
+    pub fn and(&self, other: &TruthTable) -> TruthTable {
+        assert_eq!(self.n, other.n);
+        TruthTable {
+            n: self.n,
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Pointwise disjunction.
+    pub fn or(&self, other: &TruthTable) -> TruthTable {
+        assert_eq!(self.n, other.n);
+        TruthTable {
+            n: self.n,
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
+    }
+
+    /// Pointwise exclusive-or.
+    pub fn xor(&self, other: &TruthTable) -> TruthTable {
+        assert_eq!(self.n, other.n);
+        TruthTable {
+            n: self.n,
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a ^ b)
+                .collect(),
+        }
+    }
+
+    /// Complement.
+    pub fn complement(&self) -> TruthTable {
+        let mut t = TruthTable {
+            n: self.n,
+            bits: self.bits.iter().map(|w| !w).collect(),
+        };
+        t.mask_tail();
+        t
+    }
+
+    /// Conditioning: the function with `lit` fixed to true. The result still
+    /// ranges over `n` variables but no longer depends on `lit`'s variable.
+    pub fn condition(&self, lit: Lit) -> TruthTable {
+        let v = lit.var().index();
+        TruthTable::from_fn(self.n, |a| {
+            let mut code = 0u64;
+            for i in 0..self.n {
+                let val = if i == v {
+                    lit.is_positive()
+                } else {
+                    a.value(Var(i as u32))
+                };
+                if val {
+                    code |= 1 << i;
+                }
+            }
+            self.get(code)
+        })
+    }
+
+    /// Whether the function depends on `var`.
+    pub fn depends_on(&self, var: Var) -> bool {
+        self.condition(var.positive()) != self.condition(var.negative())
+    }
+
+    /// Whether `self ⇒ other` pointwise.
+    pub fn implies(&self, other: &TruthTable) -> bool {
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Whether the function is satisfiable.
+    pub fn is_sat(&self) -> bool {
+        self.bits.iter().any(|&w| w != 0)
+    }
+
+    /// Iterates over satisfying assignment codes.
+    pub fn models(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..1u64 << self.n).filter(move |&c| self.get(c))
+    }
+}
+
+impl std::fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TruthTable(n={}, count={})", self.n, self.count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    #[test]
+    fn constants_and_count() {
+        let t = TruthTable::constant(3, true);
+        assert_eq!(t.count(), 8);
+        let f = TruthTable::constant(3, false);
+        assert_eq!(f.count(), 0);
+        assert!(!f.is_sat());
+        assert!(t.is_sat());
+    }
+
+    #[test]
+    fn literal_tables() {
+        let t = TruthTable::literal(v(1).positive(), 3);
+        assert_eq!(t.count(), 4);
+        assert!(t.get(0b010));
+        assert!(!t.get(0b101));
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let x = TruthTable::literal(v(0).positive(), 2);
+        let y = TruthTable::literal(v(1).positive(), 2);
+        assert_eq!(x.and(&y).count(), 1);
+        assert_eq!(x.or(&y).count(), 3);
+        assert_eq!(x.xor(&y).count(), 2);
+        assert_eq!(x.complement().count(), 2);
+        assert!(x.and(&y).implies(&x));
+        assert!(!x.implies(&y));
+    }
+
+    #[test]
+    fn condition_and_depends() {
+        let x = TruthTable::literal(v(0).positive(), 2);
+        let c = x.condition(v(0).positive());
+        assert_eq!(c.count(), 4); // constant true over 2 vars
+        assert!(x.depends_on(v(0)));
+        assert!(!x.depends_on(v(1)));
+        assert!(!c.depends_on(v(0)));
+    }
+
+    #[test]
+    fn from_formula_matches_eval() {
+        let f = Formula::var(v(0)).xor(Formula::var(v(1)).and(Formula::var(v(2))));
+        let t = TruthTable::from_formula(&f, 3);
+        for code in 0..8u64 {
+            assert_eq!(t.get(code), f.eval(&Assignment::from_index(code, 3)));
+        }
+    }
+
+    #[test]
+    fn tail_masking_above_six_vars_is_consistent() {
+        // 7 variables → 128 assignments = exactly 2 words; 5 vars → partial word.
+        let t = TruthTable::constant(5, true);
+        assert_eq!(t.count(), 32);
+        assert_eq!(t.complement().count(), 0);
+    }
+}

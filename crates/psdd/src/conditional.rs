@@ -1,0 +1,242 @@
+//! Conditional PSDDs \[78\] (Figs. 21 and 24 of the paper).
+//!
+//! A conditional PSDD represents a *conditional space*: a distribution over
+//! variables `C` whose support depends on the state of other variables `P`.
+//! It has two components — an SDD over `P` whose evaluation *selects* a
+//! PSDD root (the yellow selector of Fig. 21), and the selected PSDDs over
+//! `C` (the green multi-rooted component). States of `P` that select the
+//! same residual knowledge share one PSDD, exactly as `p₁`/`p₂` are shared
+//! in Fig. 24.
+//!
+//! Conditional PSDDs quantify the cluster DAGs of hierarchical maps
+//! (Fig. 19); `trl-spaces` assembles them into structured Bayesian
+//! networks.
+
+use crate::structure::Psdd;
+use trl_core::{Assignment, Error, Result};
+use trl_sdd::{SddManager, SddRef};
+
+/// A conditional PSDD: a partition of the parent space into classes, each
+/// selecting a PSDD over the child variables.
+pub struct ConditionalPsdd {
+    /// Manager of the selector SDDs (over parent variables).
+    selector: SddManager,
+    /// `(class, index into distributions)`: the classes partition the
+    /// parent space; several classes may share a distribution.
+    classes: Vec<(SddRef, usize)>,
+    /// The multi-rooted PSDD component.
+    distributions: Vec<Psdd>,
+}
+
+impl ConditionalPsdd {
+    /// Builds a conditional PSDD from selector classes. The classes must
+    /// partition the parent space: pairwise inconsistent and exhaustive.
+    pub fn new(
+        selector: SddManager,
+        classes: Vec<(SddRef, usize)>,
+        distributions: Vec<Psdd>,
+    ) -> Result<Self> {
+        let mut m = selector;
+        // Verify the partition property.
+        let mut union = SddRef::False;
+        for (i, &(c, d)) in classes.iter().enumerate() {
+            if c == SddRef::False {
+                return Err(Error::Invalid("empty selector class".into()));
+            }
+            if d >= distributions.len() {
+                return Err(Error::Invalid(format!(
+                    "class {i} selects missing distribution {d}"
+                )));
+            }
+            for &(c2, _) in &classes[i + 1..] {
+                if m.and(c, c2) != SddRef::False {
+                    return Err(Error::Invalid(format!(
+                        "selector classes overlap (class {i})"
+                    )));
+                }
+            }
+            union = m.or(union, c);
+        }
+        if union != SddRef::True {
+            return Err(Error::Invalid(
+                "selector classes do not cover the parent space".into(),
+            ));
+        }
+        Ok(ConditionalPsdd {
+            selector: m,
+            classes,
+            distributions,
+        })
+    }
+
+    /// Number of selector classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The distributions (multi-rooted PSDD component).
+    pub fn distributions(&self) -> &[Psdd] {
+        &self.distributions
+    }
+
+    /// The index of the class selected by a parent assignment
+    /// (Fig. 24's evaluation of the SDD component).
+    pub fn class_of(&self, parents: &Assignment) -> usize {
+        self.classes
+            .iter()
+            .position(|&(c, _)| self.selector.eval(c, parents))
+            .expect("classes partition the parent space")
+    }
+
+    /// The PSDD selected by a parent assignment.
+    pub fn select(&self, parents: &Assignment) -> &Psdd {
+        let class = self.class_of(parents);
+        &self.distributions[self.classes[class].1]
+    }
+
+    /// `Pr(children | parents)`.
+    pub fn conditional_probability(&self, children: &Assignment, parents: &Assignment) -> f64 {
+        self.select(parents).probability(children)
+    }
+
+    /// Learns all class distributions from complete `(parents, children)`
+    /// data: each example trains the PSDD its parent state selects, in one
+    /// pass (the modular learning of \[78\]).
+    ///
+    /// Distributions shared between classes pool the data of those classes.
+    pub fn learn(&mut self, data: &[(Assignment, Assignment, f64)], alpha: f64) -> f64 {
+        let mut per_dist: Vec<Vec<(Assignment, f64)>> =
+            vec![Vec::new(); self.distributions.len()];
+        let mut outside = 0.0;
+        for (parents, children, w) in data {
+            let class = self.class_of(parents);
+            let d = self.classes[class].1;
+            if self.distributions[d].supports(children) {
+                per_dist[d].push((children.clone(), *w));
+            } else {
+                outside += w;
+            }
+        }
+        for (d, dataset) in per_dist.into_iter().enumerate() {
+            self.distributions[d].learn(&dataset, alpha);
+        }
+        outside
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_core::Var;
+    use trl_prop::Formula;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    /// The Fig. 21 example: parents {A=0, B=1}, children {X=2, Y=3}.
+    /// State (a₀, b₀) owns the space x₀ ∨ y₀ (i.e. ¬X ∨ ¬Y); all other
+    /// parent states own x₁ ∨ y₁ (X ∨ Y).
+    fn fig21() -> ConditionalPsdd {
+        let mut selector = SddManager::balanced(4);
+        let a0b0 = {
+            let f = Formula::var(v(0)).not().and(Formula::var(v(1)).not());
+            selector.build_formula(&f)
+        };
+        let rest = selector.negate(a0b0);
+
+        // Child distributions range over the child variables only.
+        let dist = |f: Formula| {
+            let mut m = SddManager::new(trl_vtree::Vtree::balanced(&[v(2), v(3)]));
+            let r = m.build_formula(&f);
+            Psdd::from_sdd(&m, r)
+        };
+        let p2 = dist(Formula::var(v(2)).not().or(Formula::var(v(3)).not()));
+        let p1 = dist(Formula::var(v(2)).or(Formula::var(v(3))));
+        ConditionalPsdd::new(selector, vec![(a0b0, 0), (rest, 1)], vec![p2, p1]).unwrap()
+    }
+
+    fn pa(a: bool, b: bool) -> Assignment {
+        Assignment::from_values(&[a, b, false, false])
+    }
+
+    fn ch(x: bool, y: bool) -> Assignment {
+        Assignment::from_values(&[false, false, x, y])
+    }
+
+    #[test]
+    fn selector_routes_to_the_right_distribution() {
+        let c = fig21();
+        assert_eq!(c.class_of(&pa(false, false)), 0);
+        assert_eq!(c.class_of(&pa(true, false)), 1);
+        assert_eq!(c.class_of(&pa(false, true)), 1);
+        assert_eq!(c.class_of(&pa(true, true)), 1);
+    }
+
+    #[test]
+    fn conditional_distributions_normalize_per_parent_state() {
+        let c = fig21();
+        for (a, b) in [(false, false), (true, false), (false, true), (true, true)] {
+            let total: f64 = [(false, false), (false, true), (true, false), (true, true)]
+                .into_iter()
+                .map(|(x, y)| c.conditional_probability(&ch(x, y), &pa(a, b)))
+                .sum();
+            assert!((total - 1.0).abs() < 1e-12, "at ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn supports_differ_by_class() {
+        let c = fig21();
+        // Under (a₀,b₀): X∧Y is impossible; otherwise ¬X∧¬Y is impossible.
+        assert_eq!(c.conditional_probability(&ch(true, true), &pa(false, false)), 0.0);
+        assert!(c.conditional_probability(&ch(false, false), &pa(false, false)) > 0.0);
+        assert_eq!(c.conditional_probability(&ch(false, false), &pa(true, true)), 0.0);
+        assert!(c.conditional_probability(&ch(true, true), &pa(true, true)) > 0.0);
+    }
+
+    #[test]
+    fn overlapping_or_incomplete_classes_rejected() {
+        let selector = SddManager::balanced(2);
+        let a = selector.literal(v(0).positive());
+        let dist = {
+            let m = SddManager::balanced(2);
+            Psdd::from_sdd(&m, SddRef::True)
+        };
+        // Incomplete: only covers A.
+        let err = ConditionalPsdd::new(selector, vec![(a, 0)], vec![dist]);
+        assert!(err.is_err());
+        // Overlapping: A and ⊤.
+        let selector = SddManager::balanced(2);
+        let a = selector.literal(v(0).positive());
+        let dist = {
+            let m = SddManager::balanced(2);
+            Psdd::from_sdd(&m, SddRef::True)
+        };
+        let err = ConditionalPsdd::new(selector, vec![(a, 0), (SddRef::True, 0)], vec![dist]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn learning_partitions_data_by_class() {
+        let mut c = fig21();
+        // Feed data: under (a0,b0) children always (¬X, Y); otherwise (X, Y).
+        let data = vec![
+            (pa(false, false), ch(false, true), 10.0),
+            (pa(true, true), ch(true, true), 20.0),
+            (pa(true, false), ch(true, true), 5.0),
+        ];
+        let outside = c.learn(&data, 0.0);
+        assert_eq!(outside, 0.0);
+        assert!((c.conditional_probability(&ch(false, true), &pa(false, false)) - 1.0).abs() < 1e-12);
+        assert!((c.conditional_probability(&ch(true, true), &pa(true, false)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn off_support_children_counted_as_outside() {
+        let mut c = fig21();
+        let data = vec![(pa(false, false), ch(true, true), 3.0)]; // impossible under class 0
+        let outside = c.learn(&data, 0.0);
+        assert_eq!(outside, 3.0);
+    }
+}

@@ -1,0 +1,374 @@
+//! PSDD inference: probability, marginals, MPE, sampling, likelihood —
+//! each one bottom-up pass, linear in the PSDD \[44\].
+
+use crate::structure::{Psdd, PsddNode};
+use trl_core::{Assignment, PartialAssignment, Var};
+
+impl Psdd {
+    /// `Pr(a)` for a complete assignment (Fig. 14's evaluation: literals
+    /// get their 0/1 value, and-gates multiply, or-gates weight-sum).
+    pub fn probability(&self, a: &Assignment) -> f64 {
+        let mut val = vec![0.0f64; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            val[i] = match n {
+                PsddNode::Literal { var, value } => (a.value(*var) == *value) as u8 as f64,
+                PsddNode::Bernoulli { var, p_true } => {
+                    if a.value(*var) {
+                        *p_true
+                    } else {
+                        1.0 - p_true
+                    }
+                }
+                PsddNode::Decision { elements, .. } => elements
+                    .iter()
+                    .map(|e| e.theta * val[e.prime.index()] * val[e.sub.index()])
+                    .sum(),
+            };
+        }
+        val[self.root.index()]
+    }
+
+    /// `Pr(e)` for a partial assignment `e` (the MAR query): unassigned
+    /// variables are summed out, which costs nothing — a marginalized
+    /// literal or Bernoulli contributes 1.
+    pub fn marginal(&self, e: &PartialAssignment) -> f64 {
+        let mut val = vec![0.0f64; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            val[i] = match n {
+                PsddNode::Literal { var, value } => match e.value(*var) {
+                    None => 1.0,
+                    Some(x) => (x == *value) as u8 as f64,
+                },
+                PsddNode::Bernoulli { var, p_true } => match e.value(*var) {
+                    None => 1.0,
+                    Some(true) => *p_true,
+                    Some(false) => 1.0 - p_true,
+                },
+                PsddNode::Decision { elements, .. } => elements
+                    .iter()
+                    .map(|e2| e2.theta * val[e2.prime.index()] * val[e2.sub.index()])
+                    .sum(),
+            };
+        }
+        val[self.root.index()]
+    }
+
+    /// The conditional `Pr(q | e)`; panics if `Pr(e) = 0`.
+    pub fn conditional(&self, q: &PartialAssignment, e: &PartialAssignment) -> f64 {
+        let pe = self.marginal(e);
+        assert!(pe > 0.0, "conditioning event has zero probability");
+        let mut joint = e.clone();
+        for l in q.literals() {
+            assert!(
+                e.value(l.var()).is_none() || e.eval(l) == Some(true),
+                "query contradicts evidence"
+            );
+            joint.assign(l);
+        }
+        self.marginal(&joint) / pe
+    }
+
+    /// MPE: the most probable completion of the evidence, and its joint
+    /// probability. Linear in the PSDD (max instead of sum, then traceback).
+    pub fn mpe(&self, e: &PartialAssignment) -> (Assignment, f64) {
+        let mut val = vec![0.0f64; self.nodes.len()];
+        let mut best = vec![0usize; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            val[i] = match n {
+                PsddNode::Literal { var, value } => match e.value(*var) {
+                    None => 1.0,
+                    Some(x) => (x == *value) as u8 as f64,
+                },
+                PsddNode::Bernoulli { var, p_true } => match e.value(*var) {
+                    None => p_true.max(1.0 - p_true),
+                    Some(true) => *p_true,
+                    Some(false) => 1.0 - p_true,
+                },
+                PsddNode::Decision { elements, .. } => {
+                    let (k, v) = elements
+                        .iter()
+                        .enumerate()
+                        .map(|(k, e2)| {
+                            (k, e2.theta * val[e2.prime.index()] * val[e2.sub.index()])
+                        })
+                        .max_by(|a, b| a.1.total_cmp(&b.1))
+                        .expect("decision node with no elements");
+                    best[i] = k;
+                    v
+                }
+            };
+        }
+        // Traceback.
+        let n_vars = self.vtree.num_vars();
+        let max_index = self
+            .vtree
+            .variable_order()
+            .iter()
+            .map(|v| v.index() + 1)
+            .max()
+            .unwrap_or(n_vars);
+        let mut a = Assignment::all_false(max_index);
+        // Default evidence values.
+        for l in e.literals() {
+            a.set(l.var(), l.is_positive());
+        }
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            match self.node(id) {
+                PsddNode::Literal { var, value } => a.set(*var, *value),
+                PsddNode::Bernoulli { var, p_true } => {
+                    let value = match e.value(*var) {
+                        Some(x) => x,
+                        None => *p_true >= 0.5,
+                    };
+                    a.set(*var, value);
+                }
+                PsddNode::Decision { elements, .. } => {
+                    let e2 = &elements[best[id.index()]];
+                    stack.push(e2.prime);
+                    stack.push(e2.sub);
+                }
+            }
+        }
+        let p = val[self.root.index()];
+        (a, p)
+    }
+
+    /// Samples one assignment from the distribution; `uniform` must return
+    /// values in `[0, 1)` (pass a closure over your RNG).
+    pub fn sample(&self, uniform: &mut dyn FnMut() -> f64) -> Assignment {
+        let max_index = self
+            .vtree
+            .variable_order()
+            .iter()
+            .map(|v| v.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut a = Assignment::all_false(max_index);
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            match self.node(id) {
+                PsddNode::Literal { var, value } => a.set(*var, *value),
+                PsddNode::Bernoulli { var, p_true } => a.set(*var, uniform() < *p_true),
+                PsddNode::Decision { elements, .. } => {
+                    let mut r = uniform();
+                    let mut chosen = elements.len() - 1;
+                    for (k, e) in elements.iter().enumerate() {
+                        if r < e.theta {
+                            chosen = k;
+                            break;
+                        }
+                        r -= e.theta;
+                    }
+                    stack.push(elements[chosen].prime);
+                    stack.push(elements[chosen].sub);
+                }
+            }
+        }
+        a
+    }
+
+    /// Log-likelihood of a weighted dataset (`Σ w·ln Pr(a)`); returns
+    /// `-inf` if any positive-weight example is outside the support.
+    pub fn log_likelihood(&self, data: &[(Assignment, f64)]) -> f64 {
+        data.iter()
+            .map(|(a, w)| {
+                let p = self.probability(a);
+                if *w == 0.0 {
+                    0.0
+                } else {
+                    w * p.ln()
+                }
+            })
+            .sum()
+    }
+
+    /// Exact KL divergence `KL(self ‖ other)` by support enumeration —
+    /// exponential, for evaluation on small spaces (e.g. `exp08`).
+    pub fn kl_divergence(&self, other: &dyn Fn(&Assignment) -> f64) -> f64 {
+        let n = self.vtree.num_vars();
+        assert!(n <= 24, "KL enumeration limited to 24 variables");
+        let max_index = self
+            .vtree
+            .variable_order()
+            .iter()
+            .map(|v| v.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut kl = 0.0;
+        for code in 0..1u64 << max_index {
+            let a = Assignment::from_index(code, max_index);
+            let p = self.probability(&a);
+            if p > 0.0 {
+                let q = other(&a);
+                kl += p * (p / q).ln();
+            }
+        }
+        kl
+    }
+}
+
+/// Convenience: a partial assignment from `(variable, value)` pairs over a
+/// universe of `n` variables.
+pub fn partial(n: usize, pairs: &[(Var, bool)]) -> PartialAssignment {
+    let mut pa = PartialAssignment::new(n);
+    for &(v, b) in pairs {
+        pa.assign(v.literal(b));
+    }
+    pa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_prop::Formula;
+    use trl_sdd::SddManager;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    fn course_psdd() -> Psdd {
+        let f = Formula::conj([
+            Formula::var(v(2)).or(Formula::var(v(0))),
+            Formula::var(v(3)).implies(Formula::var(v(2))),
+            Formula::var(v(1)).implies(Formula::var(v(3)).or(Formula::var(v(0)))),
+        ]);
+        let mut m = SddManager::balanced(4);
+        let r = m.build_formula(&f);
+        Psdd::from_sdd(&m, r)
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_and_vanish_off_support() {
+        // Fig. 14: "the probabilities of satisfying circuit inputs add up
+        // to 1; the probability of each unsatisfying input is 0."
+        let p = course_psdd();
+        let mut total = 0.0;
+        let mut on_support = 0;
+        for code in 0..16u64 {
+            let a = Assignment::from_index(code, 4);
+            let pr = p.probability(&a);
+            if p.supports(&a) {
+                assert!(pr > 0.0);
+                on_support += 1;
+            } else {
+                assert_eq!(pr, 0.0);
+            }
+            total += pr;
+        }
+        assert_eq!(on_support, 9);
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_sums_completions() {
+        let p = course_psdd();
+        // Pr(L=1) = Σ over completions.
+        let e = partial(4, &[(v(0), true)]);
+        let brute: f64 = (0..16u64)
+            .map(|c| Assignment::from_index(c, 4))
+            .filter(|a| a.value(v(0)))
+            .map(|a| p.probability(&a))
+            .sum();
+        assert!((p.marginal(&e) - brute).abs() < 1e-12);
+        // Empty evidence marginal is 1.
+        assert!((p.marginal(&PartialAssignment::new(4)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_is_ratio() {
+        let p = course_psdd();
+        let q = partial(4, &[(v(2), true)]);
+        let e = partial(4, &[(v(1), true)]);
+        let expected = {
+            let joint: f64 = (0..16u64)
+                .map(|c| Assignment::from_index(c, 4))
+                .filter(|a| a.value(v(2)) && a.value(v(1)))
+                .map(|a| p.probability(&a))
+                .sum();
+            joint / p.marginal(&e)
+        };
+        assert!((p.conditional(&q, &e) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mpe_matches_exhaustive() {
+        let p = course_psdd();
+        let (a, val) = p.mpe(&PartialAssignment::new(4));
+        let (brute_a, brute_val) = (0..16u64)
+            .map(|c| Assignment::from_index(c, 4))
+            .map(|a| {
+                let pr = p.probability(&a);
+                (a, pr)
+            })
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .unwrap();
+        assert!((val - brute_val).abs() < 1e-12);
+        assert!((p.probability(&a) - brute_val).abs() < 1e-12);
+        let _ = brute_a;
+        // With evidence K=1.
+        let e = partial(4, &[(v(1), true)]);
+        let (a, val) = p.mpe(&e);
+        assert!(a.value(v(1)));
+        let brute = (0..16u64)
+            .map(|c| Assignment::from_index(c, 4))
+            .filter(|x| x.value(v(1)))
+            .map(|x| p.probability(&x))
+            .fold(0.0, f64::max);
+        assert!((val - brute).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_stay_in_support_and_match_marginals() {
+        let p = course_psdd();
+        // Deterministic pseudo-random stream.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut uniform = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let n = 20_000;
+        let mut freq_l = 0.0;
+        for _ in 0..n {
+            let a = p.sample(&mut uniform);
+            assert!(p.supports(&a));
+            if a.value(v(0)) {
+                freq_l += 1.0;
+            }
+        }
+        let expected = p.marginal(&partial(4, &[(v(0), true)]));
+        assert!(
+            (freq_l / n as f64 - expected).abs() < 0.02,
+            "sample freq {} vs marginal {}",
+            freq_l / n as f64,
+            expected
+        );
+    }
+
+    #[test]
+    fn log_likelihood_prefers_matching_distribution() {
+        let p = course_psdd();
+        let data: Vec<(Assignment, f64)> = (0..16u64)
+            .map(|c| Assignment::from_index(c, 4))
+            .filter(|a| p.supports(a))
+            .map(|a| (a, 1.0))
+            .collect();
+        let ll = p.log_likelihood(&data);
+        assert!(ll.is_finite());
+        // An off-support example sinks the likelihood to -inf.
+        let off: Vec<(Assignment, f64)> = vec![(Assignment::from_index(0, 4), 1.0)];
+        assert!(!p.supports(&off[0].0));
+        assert_eq!(p.log_likelihood(&off), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn kl_of_self_is_zero() {
+        let p = course_psdd();
+        let q = p.clone();
+        let kl = p.kl_divergence(&|a| q.probability(a));
+        assert!(kl.abs() < 1e-12);
+    }
+}

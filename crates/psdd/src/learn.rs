@@ -1,0 +1,439 @@
+//! Closed-form maximum-likelihood parameter learning from complete data
+//! (§4 of the paper, \[44\]).
+//!
+//! "All we need to do is evaluate the SDD circuit for each example in the
+//! dataset, while keeping track of how many times a wire becomes high":
+//! each complete example activates exactly one element per visited decision
+//! node; the ML parameter of an element is its activation frequency, and
+//! the ML Bernoulli is the value frequency among examples reaching the
+//! leaf. One pass over the data, linear in the PSDD per example.
+
+use crate::structure::{Psdd, PsddId, PsddNode};
+use trl_core::Assignment;
+
+/// A weighted dataset of complete assignments (`(example, count)`), the
+/// format of Fig. 15's enrollment table.
+pub type Dataset = Vec<(Assignment, f64)>;
+
+impl Psdd {
+    /// Learns maximum-likelihood parameters from complete data, with
+    /// Laplace smoothing `alpha` (`alpha = 0.0` gives the exact ML
+    /// estimate; a small positive value keeps unseen elements alive).
+    ///
+    /// Returns the number of examples (by weight) that fell outside the
+    /// support — those are ignored, since the symbolic knowledge says they
+    /// are impossible.
+    pub fn learn(&mut self, data: &Dataset, alpha: f64) -> f64 {
+        // counts[node] is per-element for decisions, [false, true] for
+        // Bernoullis.
+        let mut counts: Vec<Vec<f64>> = self
+            .nodes
+            .iter()
+            .map(|n| match n {
+                PsddNode::Decision { elements, .. } => vec![0.0; elements.len()],
+                PsddNode::Bernoulli { .. } => vec![0.0; 2],
+                PsddNode::Literal { .. } => Vec::new(),
+            })
+            .collect();
+        let mut outside = 0.0;
+        for (a, w) in data {
+            if !self.supports(a) {
+                outside += w;
+                continue;
+            }
+            self.count_example(self.root, a, *w, &mut counts);
+        }
+        // Normalize into parameters.
+        for (i, n) in self.nodes.iter_mut().enumerate() {
+            match n {
+                PsddNode::Decision { elements, .. } => {
+                    let k = elements.len() as f64;
+                    let total: f64 = counts[i].iter().sum::<f64>() + alpha * k;
+                    if total > 0.0 {
+                        for (e, &c) in elements.iter_mut().zip(&counts[i]) {
+                            e.theta = (c + alpha) / total;
+                        }
+                    } else {
+                        for e in elements.iter_mut() {
+                            e.theta = 1.0 / k;
+                        }
+                    }
+                }
+                PsddNode::Bernoulli { p_true, .. } => {
+                    let total = counts[i][0] + counts[i][1] + 2.0 * alpha;
+                    if total > 0.0 {
+                        *p_true = (counts[i][1] + alpha) / total;
+                    } else {
+                        *p_true = 0.5;
+                    }
+                }
+                PsddNode::Literal { .. } => {}
+            }
+        }
+        outside
+    }
+
+    fn count_example(&self, id: PsddId, a: &Assignment, w: f64, counts: &mut [Vec<f64>]) {
+        match self.node(id) {
+            PsddNode::Literal { .. } => {}
+            PsddNode::Bernoulli { var, .. } => {
+                counts[id.index()][a.value(*var) as usize] += w;
+            }
+            PsddNode::Decision { elements, .. } => {
+                let k = self
+                    .active_element(elements, a)
+                    .expect("supported example must activate an element");
+                debug_assert!(self.supports_node(elements[k].sub, a));
+                counts[id.index()][k] += w;
+                let (prime, sub) = (elements[k].prime, elements[k].sub);
+                self.count_example(prime, a, w, counts);
+                self.count_example(sub, a, w, counts);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_core::Var;
+    use trl_prop::Formula;
+    use trl_sdd::SddManager;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    fn course_psdd() -> Psdd {
+        let f = Formula::conj([
+            Formula::var(v(2)).or(Formula::var(v(0))),
+            Formula::var(v(3)).implies(Formula::var(v(2))),
+            Formula::var(v(1)).implies(Formula::var(v(3)).or(Formula::var(v(0)))),
+        ]);
+        let mut m = SddManager::balanced(4);
+        let r = m.build_formula(&f);
+        Psdd::from_sdd(&m, r)
+    }
+
+    /// A synthetic enrollment table over the 9 valid combinations, standing
+    /// in for Fig. 15's dataset (the scan's counts are unreadable; see
+    /// EXPERIMENTS.md).
+    fn enrollment_data(p: &Psdd) -> Dataset {
+        let weights = [30.0, 6.0, 5.0, 10.0, 12.0, 8.0, 4.0, 20.0, 5.0];
+        (0..16u64)
+            .map(|c| Assignment::from_index(c, 4))
+            .filter(|a| p.supports(a))
+            .zip(weights)
+            .collect()
+    }
+
+    #[test]
+    fn learning_stays_normalized_and_on_support() {
+        let mut p = course_psdd();
+        let data = enrollment_data(&p);
+        let outside = p.learn(&data, 0.0);
+        assert_eq!(outside, 0.0);
+        let sum: f64 = (0..16u64)
+            .map(|c| p.probability(&Assignment::from_index(c, 4)))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // Off-support worlds stay at probability 0 no matter the data.
+        for code in 0..16u64 {
+            let a = Assignment::from_index(code, 4);
+            if !p.supports(&a) {
+                assert_eq!(p.probability(&a), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn learning_maximizes_likelihood() {
+        // The closed-form estimate is the *global* ML within the structure:
+        // it must dominate uniform parameters and any random
+        // reparameterization.
+        let mut p = course_psdd();
+        let data = enrollment_data(&p);
+        let ll_uniform = p.log_likelihood(&data);
+        p.learn(&data, 0.0);
+        let ll_ml = p.log_likelihood(&data);
+        assert!(
+            ll_ml > ll_uniform,
+            "ml {ll_ml} should beat uniform {ll_uniform}"
+        );
+        // Random reparameterizations never beat the ML estimate.
+        let mut state = 0xfeed_beefu64;
+        let mut uniform = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..50 {
+            let mut q = course_psdd();
+            for n in q.nodes.iter_mut() {
+                match n {
+                    PsddNode::Decision { elements, .. } => {
+                        let raw: Vec<f64> =
+                            elements.iter().map(|_| uniform() + 1e-3).collect();
+                        let total: f64 = raw.iter().sum();
+                        for (e, r) in elements.iter_mut().zip(raw) {
+                            e.theta = r / total;
+                        }
+                    }
+                    PsddNode::Bernoulli { p_true, .. } => {
+                        *p_true = 0.01 + 0.98 * uniform();
+                    }
+                    PsddNode::Literal { .. } => {}
+                }
+            }
+            let ll_q = q.log_likelihood(&data);
+            assert!(
+                ll_q <= ll_ml + 1e-9,
+                "random parameters beat ML: {ll_q} > {ll_ml}"
+            );
+        }
+    }
+
+    #[test]
+    fn off_support_examples_are_reported() {
+        let mut p = course_psdd();
+        let mut data = enrollment_data(&p);
+        data.push((Assignment::from_index(0, 4), 7.0)); // invalid combination
+        let outside = p.learn(&data, 0.0);
+        assert_eq!(outside, 7.0);
+    }
+
+    #[test]
+    fn laplace_smoothing_keeps_unseen_elements_alive() {
+        let mut p = course_psdd();
+        // Train on a single example.
+        let a = (0..16u64)
+            .map(|c| Assignment::from_index(c, 4))
+            .find(|a| p.supports(a))
+            .unwrap();
+        let data = vec![(a.clone(), 10.0)];
+        p.learn(&data, 1.0);
+        // Every supported assignment keeps positive probability.
+        for code in 0..16u64 {
+            let x = Assignment::from_index(code, 4);
+            if p.supports(&x) {
+                assert!(p.probability(&x) > 0.0, "{x:?} died");
+            }
+        }
+        // Without smoothing, everything but the example dies.
+        let mut q = course_psdd();
+        q.learn(&data, 0.0);
+        assert!((q.probability(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset_resets_to_uniform_parameters() {
+        let mut p = course_psdd();
+        p.learn(&vec![], 0.0);
+        let total: f64 = (0..16u64)
+            .map(|c| p.probability(&Assignment::from_index(c, 4)))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_then_learn_recovers_distribution() {
+        // Learn from data sampled from a known PSDD: the learned
+        // distribution converges to the sampler's.
+        let mut teacher = course_psdd();
+        let data = enrollment_data(&teacher);
+        teacher.learn(&data, 0.0);
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut uniform = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let samples: Dataset = (0..50_000)
+            .map(|_| (teacher.sample(&mut uniform), 1.0))
+            .collect();
+        let mut student = course_psdd();
+        student.learn(&samples, 0.0);
+        for code in 0..16u64 {
+            let a = Assignment::from_index(code, 4);
+            let (pt, ps) = (teacher.probability(&a), student.probability(&a));
+            assert!((pt - ps).abs() < 0.02, "at {code:04b}: {pt} vs {ps}");
+        }
+    }
+}
+
+/// A weighted dataset of *incomplete* examples, per the incomplete-data
+/// account of \[17\].
+pub type IncompleteDataset = Vec<(trl_core::PartialAssignment, f64)>;
+
+impl Psdd {
+    /// Log-likelihood of incomplete data: `Σ w·ln Pr(e)` with missing
+    /// values summed out by the linear-time marginal.
+    pub fn log_likelihood_incomplete(&self, data: &IncompleteDataset) -> f64 {
+        data.iter()
+            .map(|(e, w)| if *w == 0.0 { 0.0 } else { w * self.marginal(e).ln() })
+            .sum()
+    }
+
+    /// Expectation–maximization for incomplete data (§4.1, \[17\]): each
+    /// E-step distributes an example's weight over its consistent
+    /// completions in proportion to the current model, and the M-step is
+    /// the closed-form complete-data update. Runs `iterations` rounds with
+    /// Laplace smoothing `alpha`; returns the final incomplete-data
+    /// log-likelihood.
+    ///
+    /// The E-step enumerates each example's missing variables, so examples
+    /// may leave at most 20 variables unassigned.
+    pub fn learn_em(
+        &mut self,
+        data: &IncompleteDataset,
+        alpha: f64,
+        iterations: usize,
+    ) -> f64 {
+        use trl_core::Var;
+        let vars: Vec<Var> = self.vtree.variable_order();
+        for (e, _) in data {
+            let missing = vars.iter().filter(|v| e.value(**v).is_none()).count();
+            assert!(missing <= 20, "E-step enumeration limited to 20 missing variables");
+        }
+        for _ in 0..iterations {
+            // E-step: fractional complete-data counts.
+            let mut completed: Dataset = Vec::new();
+            for (e, w) in data {
+                let missing: Vec<Var> = vars
+                    .iter()
+                    .copied()
+                    .filter(|v| e.value(*v).is_none())
+                    .collect();
+                let max_index = vars.iter().map(|v| v.index() + 1).max().unwrap_or(0);
+                let mut candidates: Vec<(Assignment, f64)> = Vec::new();
+                let mut total = 0.0;
+                for code in 0..1u64 << missing.len() {
+                    let mut a = Assignment::all_false(max_index);
+                    for l in e.literals() {
+                        a.set(l.var(), l.is_positive());
+                    }
+                    for (bit, &v) in missing.iter().enumerate() {
+                        a.set(v, code >> bit & 1 == 1);
+                    }
+                    let p = self.probability(&a);
+                    if p > 0.0 {
+                        total += p;
+                        candidates.push((a, p));
+                    }
+                }
+                if total <= 0.0 {
+                    continue; // example outside the support entirely
+                }
+                for (a, p) in candidates {
+                    completed.push((a, w * p / total));
+                }
+            }
+            // M-step: the closed-form complete-data estimator.
+            self.learn(&completed, alpha);
+        }
+        self.log_likelihood_incomplete(data)
+    }
+}
+
+#[cfg(test)]
+mod em_tests {
+    use super::*;
+    use trl_core::{PartialAssignment, Var};
+    use trl_prop::Formula;
+    use trl_sdd::SddManager;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    fn course_psdd() -> Psdd {
+        let f = Formula::conj([
+            Formula::var(v(2)).or(Formula::var(v(0))),
+            Formula::var(v(3)).implies(Formula::var(v(2))),
+            Formula::var(v(1)).implies(Formula::var(v(3)).or(Formula::var(v(0)))),
+        ]);
+        let mut m = SddManager::balanced(4);
+        let r = m.build_formula(&f);
+        Psdd::from_sdd(&m, r)
+    }
+
+    fn partial(pairs: &[(u32, bool)]) -> PartialAssignment {
+        let mut pa = PartialAssignment::new(4);
+        for &(i, b) in pairs {
+            pa.assign(v(i).literal(b));
+        }
+        pa
+    }
+
+    #[test]
+    fn em_on_complete_data_matches_closed_form() {
+        // When nothing is missing, one EM round must equal `learn`.
+        let mut em = course_psdd();
+        let mut ml = course_psdd();
+        let complete: Vec<(Assignment, f64)> = (0..16u64)
+            .map(|c| Assignment::from_index(c, 4))
+            .filter(|a| em.supports(a))
+            .zip([30.0, 6.0, 5.0, 10.0, 12.0, 8.0, 4.0, 20.0, 5.0])
+            .collect();
+        let as_incomplete: IncompleteDataset = complete
+            .iter()
+            .map(|(a, w)| {
+                let mut pa = PartialAssignment::new(4);
+                for i in 0..4 {
+                    pa.assign(v(i).literal(a.value(v(i))));
+                }
+                (pa, *w)
+            })
+            .collect();
+        ml.learn(&complete, 0.0);
+        em.learn_em(&as_incomplete, 0.0, 1);
+        for code in 0..16u64 {
+            let a = Assignment::from_index(code, 4);
+            assert!((em.probability(&a) - ml.probability(&a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn em_increases_likelihood_monotonically() {
+        let mut p = course_psdd();
+        // The Fig. 15 narration's incomplete example: "30 students took
+        // logic, AI and probability, without specifying KR".
+        let data: IncompleteDataset = vec![
+            (partial(&[(0, true), (2, true), (3, true)]), 30.0),
+            (partial(&[(0, false), (2, true)]), 12.0),
+            (partial(&[(1, true)]), 7.0),
+        ];
+        let mut last = p.log_likelihood_incomplete(&data);
+        for _ in 0..5 {
+            let ll = p.learn_em(&data, 0.0, 1);
+            assert!(ll >= last - 1e-9, "EM decreased likelihood: {last} → {ll}");
+            last = ll;
+        }
+    }
+
+    #[test]
+    fn em_recovers_observed_margins() {
+        let mut p = course_psdd();
+        // All mass on "L taken, KR missing": after EM, Pr(L) should be ~1.
+        let data: IncompleteDataset = vec![(partial(&[(0, true)]), 10.0)];
+        p.learn_em(&data, 0.0, 10);
+        let mut l = PartialAssignment::new(4);
+        l.assign(v(0).positive());
+        assert!((p.marginal(&l) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_missing_examples_are_harmless() {
+        let mut p = course_psdd();
+        let data: IncompleteDataset = vec![(PartialAssignment::new(4), 5.0)];
+        let ll = p.learn_em(&data, 0.0, 2);
+        assert!(ll.is_finite());
+        // Distribution still normalized.
+        let sum: f64 = (0..16u64)
+            .map(|c| p.probability(&Assignment::from_index(c, 4)))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,32 @@
+//! Probabilistic Sentential Decision Diagrams (PSDDs) \[44\] — the paper's
+//! second role for logic: learning distributions from a combination of
+//! **data** and **symbolic knowledge** (§4).
+//!
+//! The recipe of Fig. 15:
+//! 1. author domain knowledge as a Boolean formula (course prerequisites,
+//!    route validity, ranking validity);
+//! 2. compile it into an SDD — the circuit now *is* the support: impossible
+//!    worlds are structurally excluded;
+//! 3. attach a local distribution to every or-gate (Fig. 13) — the
+//!    independent local distributions always induce one normalized
+//!    distribution over the satisfying inputs;
+//! 4. learn the maximum-likelihood parameters from complete data in one
+//!    pass, in time linear in the circuit (§4, \[44\]).
+//!
+//! Both MPE and MAR then run in time linear in the PSDD, and the
+//! representation is *canonical*: one PSDD per (distribution, vtree) \[44\].
+//!
+//! Modules: [`structure`] (normalized representation built from an SDD),
+//! [`infer`] (probability, marginals, MPE, sampling), [`learn`]
+//! (closed-form ML estimation with optional Laplace smoothing),
+//! [`multiply`] (the PSDD product of \[76\]), and [`conditional`]
+//! (conditional PSDDs and the selector semantics of Figs. 21/24, \[78\]).
+
+pub mod conditional;
+pub mod infer;
+pub mod learn;
+pub mod multiply;
+pub mod structure;
+
+pub use conditional::ConditionalPsdd;
+pub use structure::{Psdd, PsddId, PsddNode};

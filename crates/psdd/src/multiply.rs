@@ -1,0 +1,294 @@
+//! PSDD multiplication \[76\]: the tractable product operation that turns a
+//! set of conditional PSDDs into one classical PSDD (§4.2 of the paper).
+//!
+//! `multiply(p, q)` returns a PSDD `r` and a constant `c` with
+//! `c · r(x) = p(x) · q(x)` pointwise. Both inputs must be normalized for
+//! the same vtree. The recursion is a cached pairwise product — primes
+//! intersect, subs multiply, and the accumulated sub-constants fold into
+//! the element parameters, which are renormalized per node.
+
+use crate::structure::{Psdd, PsddElement, PsddId, PsddNode};
+use trl_core::FxHashMap;
+
+impl Psdd {
+    /// Multiplies two PSDDs over the same vtree. Returns the normalized
+    /// product PSDD and the normalization constant
+    /// (`Σ_x p(x)·q(x)`), or `None` if the supports are disjoint.
+    pub fn multiply(a: &Psdd, b: &Psdd) -> Option<(Psdd, f64)> {
+        assert_eq!(
+            a.vtree.variable_order(),
+            b.vtree.variable_order(),
+            "PSDD multiply requires identical vtrees"
+        );
+        assert_eq!(
+            a.vtree.node_count(),
+            b.vtree.node_count(),
+            "PSDD multiply requires identical vtrees"
+        );
+        let mut mult = Multiplier {
+            a,
+            b,
+            nodes: Vec::new(),
+            cache: FxHashMap::default(),
+            dedup: FxHashMap::default(),
+        };
+        let (root, c) = mult.go(a.root, b.root)?;
+        Some((
+            Psdd {
+                vtree: a.vtree.clone(),
+                nodes: mult.nodes,
+                root,
+            },
+            c,
+        ))
+    }
+}
+
+struct Multiplier<'a> {
+    a: &'a Psdd,
+    b: &'a Psdd,
+    nodes: Vec<PsddNode>,
+    cache: FxHashMap<(PsddId, PsddId), Option<(PsddId, f64)>>,
+    dedup: FxHashMap<NodeKey, PsddId>,
+}
+
+/// Structural key for deduplicating product nodes (exact float bits).
+#[derive(PartialEq, Eq, Hash)]
+enum NodeKey {
+    Literal(u32, bool),
+    Bernoulli(u32, u64),
+    Decision(usize, Vec<(u32, u32, u64)>),
+}
+
+impl<'a> Multiplier<'a> {
+    fn push(&mut self, node: PsddNode) -> PsddId {
+        let key = match &node {
+            PsddNode::Literal { var, value } => NodeKey::Literal(var.0, *value),
+            PsddNode::Bernoulli { var, p_true } => NodeKey::Bernoulli(var.0, p_true.to_bits()),
+            PsddNode::Decision { vtree, elements } => NodeKey::Decision(
+                *vtree,
+                elements
+                    .iter()
+                    .map(|e| (e.prime.0, e.sub.0, e.theta.to_bits()))
+                    .collect(),
+            ),
+        };
+        if let Some(&id) = self.dedup.get(&key) {
+            return id;
+        }
+        let id = PsddId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.dedup.insert(key, id);
+        id
+    }
+
+    fn go(&mut self, x: PsddId, y: PsddId) -> Option<(PsddId, f64)> {
+        if let Some(r) = self.cache.get(&(x, y)) {
+            return *r;
+        }
+        let result = self.compute(x, y);
+        self.cache.insert((x, y), result);
+        result
+    }
+
+    fn compute(&mut self, x: PsddId, y: PsddId) -> Option<(PsddId, f64)> {
+        match (self.a.node(x), self.b.node(y)) {
+            (
+                PsddNode::Literal { var, value },
+                PsddNode::Literal {
+                    var: var2,
+                    value: value2,
+                },
+            ) => {
+                debug_assert_eq!(var, var2);
+                if value == value2 {
+                    let id = self.push(PsddNode::Literal {
+                        var: *var,
+                        value: *value,
+                    });
+                    Some((id, 1.0))
+                } else {
+                    None
+                }
+            }
+            (PsddNode::Literal { var, value }, PsddNode::Bernoulli { p_true, .. }) => {
+                let c = if *value { *p_true } else { 1.0 - p_true };
+                if c == 0.0 {
+                    return None;
+                }
+                let id = self.push(PsddNode::Literal {
+                    var: *var,
+                    value: *value,
+                });
+                Some((id, c))
+            }
+            (PsddNode::Bernoulli { p_true, .. }, PsddNode::Literal { var, value }) => {
+                let c = if *value { *p_true } else { 1.0 - p_true };
+                if c == 0.0 {
+                    return None;
+                }
+                let id = self.push(PsddNode::Literal {
+                    var: *var,
+                    value: *value,
+                });
+                Some((id, c))
+            }
+            (
+                PsddNode::Bernoulli { var, p_true },
+                PsddNode::Bernoulli {
+                    p_true: p2,
+                    ..
+                },
+            ) => {
+                let pt = p_true * p2;
+                let pf = (1.0 - p_true) * (1.0 - p2);
+                let c = pt + pf;
+                if c == 0.0 {
+                    return None;
+                }
+                let id = self.push(PsddNode::Bernoulli {
+                    var: *var,
+                    p_true: pt / c,
+                });
+                Some((id, c))
+            }
+            (
+                PsddNode::Decision { vtree, elements },
+                PsddNode::Decision {
+                    vtree: vtree2,
+                    elements: elements2,
+                },
+            ) => {
+                debug_assert_eq!(vtree, vtree2, "normalized nodes must align");
+                let vtree = *vtree;
+                let pairs: Vec<(PsddElement, PsddElement)> = elements
+                    .iter()
+                    .flat_map(|e1| elements2.iter().map(move |e2| (e1.clone(), e2.clone())))
+                    .collect();
+                let mut out: Vec<PsddElement> = Vec::new();
+                let mut total = 0.0;
+                for (e1, e2) in pairs {
+                    let Some((prime, cp)) = self.go(e1.prime, e2.prime) else {
+                        continue;
+                    };
+                    let Some((sub, cs)) = self.go(e1.sub, e2.sub) else {
+                        continue;
+                    };
+                    let theta = e1.theta * e2.theta * cp * cs;
+                    if theta == 0.0 {
+                        continue;
+                    }
+                    total += theta;
+                    out.push(PsddElement { prime, sub, theta });
+                }
+                if out.is_empty() {
+                    return None;
+                }
+                for e in &mut out {
+                    e.theta /= total;
+                }
+                let id = self.push(PsddNode::Decision {
+                    vtree,
+                    elements: out,
+                });
+                Some((id, total))
+            }
+            (a, b) => unreachable!("misaligned normalized nodes: {a:?} × {b:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_core::{Assignment, Var};
+    use trl_prop::Formula;
+    use trl_sdd::SddManager;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    fn psdd_of(f: &Formula, n: usize, seed: u64) -> Psdd {
+        let mut m = SddManager::balanced(n);
+        let r = m.build_formula(f);
+        let mut p = Psdd::from_sdd(&m, r);
+        // Randomize parameters deterministically so products are non-trivial.
+        let mut state = seed.max(1);
+        let mut uniform = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for node in p.nodes.iter_mut() {
+            match node {
+                PsddNode::Decision { elements, .. } => {
+                    let raw: Vec<f64> = elements.iter().map(|_| uniform() + 0.05).collect();
+                    let total: f64 = raw.iter().sum();
+                    for (e, r) in elements.iter_mut().zip(raw) {
+                        e.theta = r / total;
+                    }
+                }
+                PsddNode::Bernoulli { p_true, .. } => *p_true = 0.1 + 0.8 * uniform(),
+                PsddNode::Literal { .. } => {}
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn product_matches_pointwise_multiplication() {
+        let f = Formula::var(v(0)).or(Formula::var(v(1)));
+        let g = Formula::var(v(1)).implies(Formula::var(v(2)));
+        let p = psdd_of(&f, 3, 11);
+        let q = psdd_of(&g, 3, 22);
+        let (r, c) = Psdd::multiply(&p, &q).unwrap();
+        let mut total = 0.0;
+        for code in 0..8u64 {
+            let a = Assignment::from_index(code, 3);
+            let expected = p.probability(&a) * q.probability(&a);
+            let got = c * r.probability(&a);
+            assert!(
+                (expected - got).abs() < 1e-12,
+                "at {code:03b}: {expected} vs {got}"
+            );
+            total += r.probability(&a);
+        }
+        assert!((total - 1.0).abs() < 1e-12, "product not normalized");
+    }
+
+    #[test]
+    fn disjoint_supports_multiply_to_none() {
+        let p = psdd_of(&Formula::var(v(0)), 2, 5);
+        let q = psdd_of(&Formula::var(v(0)).not(), 2, 6);
+        assert!(Psdd::multiply(&p, &q).is_none());
+    }
+
+    #[test]
+    fn multiply_with_uniform_is_identity_up_to_constant() {
+        let f = Formula::var(v(0)).xor(Formula::var(v(1)));
+        let p = psdd_of(&f, 2, 9);
+        let uniform = {
+            let m = SddManager::balanced(2);
+            Psdd::from_sdd(&m, trl_sdd::SddRef::True)
+        };
+        let (r, c) = Psdd::multiply(&p, &uniform).unwrap();
+        for code in 0..4u64 {
+            let a = Assignment::from_index(code, 2);
+            let expected = p.probability(&a) * 0.25;
+            assert!((c * r.probability(&a) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn self_product_squares_probabilities() {
+        let f = Formula::var(v(0)).or(Formula::var(v(1)).and(Formula::var(v(2))));
+        let p = psdd_of(&f, 3, 33);
+        let (r, c) = Psdd::multiply(&p, &p).unwrap();
+        for code in 0..8u64 {
+            let a = Assignment::from_index(code, 3);
+            assert!((c * r.probability(&a) - p.probability(&a).powi(2)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! The normalized PSDD representation.
+//!
+//! A PSDD is built from a (trimmed, canonical) SDD by *normalization*:
+//! every path from the root visits every vtree node, with `⊤` subs expanded
+//! into explicit nodes. Leaf-vtree `⊤`s become [`PsddNode::Bernoulli`]
+//! nodes (the univariate distributions at the bottom of Fig. 13), literals
+//! stay literals (probability-1 values), and decision nodes carry one
+//! parameter per element (the probabilities annotating or-gate inputs in
+//! Fig. 13). Elements with `⊥` subs are dropped — they carry probability 0.
+
+use trl_core::{Assignment, FxHashMap, Var};
+use trl_sdd::{SddManager, SddRef};
+use trl_vtree::{Vtree, VtreeNodeId};
+
+/// Index of a node in a [`Psdd`] arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PsddId(pub u32);
+
+impl PsddId {
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One parameterized element of a decision node.
+#[derive(Clone, Debug)]
+pub struct PsddElement {
+    /// Distribution over the vtree node's left variables.
+    pub prime: PsddId,
+    /// Distribution over the vtree node's right variables.
+    pub sub: PsddId,
+    /// The element's probability (the or-gate input annotation of Fig. 13).
+    pub theta: f64,
+}
+
+/// A PSDD node.
+#[derive(Clone, Debug)]
+pub enum PsddNode {
+    /// A literal: `var` takes `value` with probability 1.
+    Literal {
+        /// The variable.
+        var: Var,
+        /// The forced value.
+        value: bool,
+    },
+    /// A univariate Bernoulli over `var` (a `⊤` sub at a leaf vtree node).
+    Bernoulli {
+        /// The variable.
+        var: Var,
+        /// `Pr(var = true)`.
+        p_true: f64,
+    },
+    /// A decision node normalized for an internal vtree node.
+    Decision {
+        /// The vtree node.
+        vtree: VtreeNodeId,
+        /// The parameterized elements; thetas sum to 1.
+        elements: Vec<PsddElement>,
+    },
+}
+
+/// A probabilistic SDD: a normalized, parameterized circuit inducing a
+/// distribution over the satisfying inputs of its base SDD.
+#[derive(Clone, Debug)]
+pub struct Psdd {
+    pub(crate) vtree: Vtree,
+    pub(crate) nodes: Vec<PsddNode>,
+    pub(crate) root: PsddId,
+}
+
+impl Psdd {
+    /// Builds a PSDD from an SDD, with uniform initial parameters (each
+    /// decision node uniform over its live elements; Bernoullis at 0.5).
+    ///
+    /// Panics if `root` is `⊥` (no distribution exists on an empty space).
+    pub fn from_sdd(manager: &SddManager, root: SddRef) -> Psdd {
+        assert!(
+            root != SddRef::False,
+            "cannot induce a distribution on an unsatisfiable space"
+        );
+        let vtree = manager.vtree().clone();
+        let mut b = Builder {
+            manager,
+            nodes: Vec::new(),
+            memo: FxHashMap::default(),
+        };
+        let root_id = b.normalize(root, vtree.root());
+        Psdd {
+            vtree,
+            nodes: b.nodes,
+            root: root_id,
+        }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> PsddId {
+        self.root
+    }
+
+    /// The node behind an id.
+    pub fn node(&self, id: PsddId) -> &PsddNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The vtree.
+    pub fn vtree(&self) -> &Vtree {
+        &self.vtree
+    }
+
+    /// PSDD size: total elements across decision nodes (the "edges" measure;
+    /// the paper quotes a PSDD of ~8.9M edges for San Francisco, Fig. 22).
+    pub fn size(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                PsddNode::Decision { elements, .. } => elements.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Whether the assignment lies in the support (satisfies the base SDD).
+    pub fn supports(&self, a: &Assignment) -> bool {
+        self.supports_node(self.root, a)
+    }
+
+    pub(crate) fn supports_node(&self, id: PsddId, a: &Assignment) -> bool {
+        match self.node(id) {
+            PsddNode::Literal { var, value } => a.value(*var) == *value,
+            PsddNode::Bernoulli { .. } => true,
+            PsddNode::Decision { elements, .. } => elements.iter().any(|e| {
+                self.supports_node(e.prime, a) && self.supports_node(e.sub, a)
+            }),
+        }
+    }
+
+    /// The unique live element of a decision node whose prime covers `a`,
+    /// if any (primes partition the left space, but dropped `⊥`-sub
+    /// elements leave holes).
+    pub(crate) fn active_element(&self, elements: &[PsddElement], a: &Assignment) -> Option<usize> {
+        elements
+            .iter()
+            .position(|e| self.supports_node(e.prime, a))
+    }
+}
+
+struct Builder<'a> {
+    manager: &'a SddManager,
+    nodes: Vec<PsddNode>,
+    memo: FxHashMap<(SddRef, VtreeNodeId), PsddId>,
+}
+
+impl<'a> Builder<'a> {
+    fn push(&mut self, node: PsddNode) -> PsddId {
+        let id = PsddId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    /// Normalizes the non-false SDD `f` (whose vtree is at or below `v`)
+    /// for vtree node `v`.
+    fn normalize(&mut self, f: SddRef, v: VtreeNodeId) -> PsddId {
+        debug_assert!(f != SddRef::False, "⊥ has no normalized form");
+        if let Some(&id) = self.memo.get(&(f, v)) {
+            return id;
+        }
+        let vt = self.manager.vtree();
+        let id = if let Some(var) = vt.leaf_var(v) {
+            // Leaf: f is ⊤ or a literal of `var`.
+            match f {
+                SddRef::True => self.push(PsddNode::Bernoulli { var, p_true: 0.5 }),
+                SddRef::Literal(l) => {
+                    debug_assert_eq!(l.var(), var);
+                    self.push(PsddNode::Literal {
+                        var,
+                        value: l.is_positive(),
+                    })
+                }
+                other => unreachable!("non-terminal {other:?} at leaf vtree"),
+            }
+        } else {
+            let (lv, rv) = (vt.left(v), vt.right(v));
+            let fv = self.manager.vtree_of(f);
+            let elements: Vec<PsddElement> = match fv {
+                Some(nv) if nv == v => {
+                    // Proper decision node at v.
+                    let elems = self.manager.elements(f).to_vec();
+                    elems
+                        .into_iter()
+                        .filter(|&(_, s)| s != SddRef::False)
+                        .map(|(p, s)| PsddElement {
+                            prime: self.normalize(p, lv),
+                            sub: self.normalize(s, rv),
+                            theta: 0.0,
+                        })
+                        .collect()
+                }
+                Some(nv) if vt.is_ancestor(lv, nv) => {
+                    // f ranges over the left subtree: (f, ⊤).
+                    vec![PsddElement {
+                        prime: self.normalize(f, lv),
+                        sub: self.normalize(SddRef::True, rv),
+                        theta: 0.0,
+                    }]
+                }
+                Some(_) => {
+                    // f ranges over the right subtree: (⊤, f).
+                    vec![PsddElement {
+                        prime: self.normalize(SddRef::True, lv),
+                        sub: self.normalize(f, rv),
+                        theta: 0.0,
+                    }]
+                }
+                None => {
+                    // f = ⊤.
+                    vec![PsddElement {
+                        prime: self.normalize(SddRef::True, lv),
+                        sub: self.normalize(SddRef::True, rv),
+                        theta: 0.0,
+                    }]
+                }
+            };
+            let k = elements.len() as f64;
+            let elements = elements
+                .into_iter()
+                .map(|mut e| {
+                    e.theta = 1.0 / k;
+                    e
+                })
+                .collect();
+            self.push(PsddNode::Decision { vtree: v, elements })
+        };
+        self.memo.insert((f, v), id);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_core::Var;
+    use trl_prop::Formula;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    /// The paper's course constraint over L=0, K=1, P=2, A=3.
+    pub fn course_sdd() -> (SddManager, SddRef) {
+        let f = Formula::conj([
+            Formula::var(v(2)).or(Formula::var(v(0))),
+            Formula::var(v(3)).implies(Formula::var(v(2))),
+            Formula::var(v(1)).implies(Formula::var(v(3)).or(Formula::var(v(0)))),
+        ]);
+        let mut m = SddManager::balanced(4);
+        let r = m.build_formula(&f);
+        (m, r)
+    }
+
+    #[test]
+    fn support_matches_base_sdd() {
+        let (m, r) = course_sdd();
+        let p = Psdd::from_sdd(&m, r);
+        for code in 0..16u64 {
+            let a = Assignment::from_index(code, 4);
+            assert_eq!(p.supports(&a), m.eval(r, &a), "at {code:04b}");
+        }
+    }
+
+    #[test]
+    fn thetas_sum_to_one_per_decision() {
+        let (m, r) = course_sdd();
+        let p = Psdd::from_sdd(&m, r);
+        for n in &p.nodes {
+            if let PsddNode::Decision { elements, .. } = n {
+                let total: f64 = elements.iter().map(|e| e.theta).sum();
+                assert!((total - 1.0).abs() < 1e-12);
+                assert!(!elements.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn true_space_normalizes_to_full_tree() {
+        let m = SddManager::balanced(4);
+        let p = Psdd::from_sdd(&m, SddRef::True);
+        // The uniform distribution: every assignment supported.
+        for code in 0..16u64 {
+            assert!(p.supports(&Assignment::from_index(code, 4)));
+        }
+        // Four Bernoullis, three decision nodes (balanced vtree).
+        let bern = p
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, PsddNode::Bernoulli { .. }))
+            .count();
+        assert_eq!(bern, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsatisfiable")]
+    fn false_space_panics() {
+        let m = SddManager::balanced(2);
+        let _ = Psdd::from_sdd(&m, SddRef::False);
+    }
+
+    #[test]
+    fn single_literal_space() {
+        let mut m = SddManager::balanced(2);
+        let r = m.build_formula(&Formula::var(v(0)));
+        let p = Psdd::from_sdd(&m, r);
+        assert!(p.supports(&Assignment::from_values(&[true, false])));
+        assert!(p.supports(&Assignment::from_values(&[true, true])));
+        assert!(!p.supports(&Assignment::from_values(&[false, true])));
+    }
+}

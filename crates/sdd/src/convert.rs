@@ -1,0 +1,177 @@
+//! Conversions: SDD → NNF circuit, OBDD → SDD.
+//!
+//! The SDD → NNF direction realizes Fig. 9 literally: each decision node
+//! becomes a multiplexer or-gate over `prime ∧ sub` and-gates. The OBDD →
+//! SDD direction substantiates Fig. 10(c)/Fig. 11: an OBDD *is* an SDD
+//! whose vtree is right-linear, and converting into a better vtree is how
+//! the succinctness experiment (`exp05`) shows SDDs strictly subsuming
+//! OBDDs.
+
+use crate::manager::{SddManager, SddRef};
+use trl_core::FxHashMap;
+use trl_nnf::{Circuit, CircuitBuilder, NnfId};
+use trl_obdd::{BddRef, Obdd};
+
+impl SddManager {
+    /// Converts `f` into an NNF circuit over the variable universe
+    /// `0..=max(var)` of the vtree. The result is structured-decomposable
+    /// and deterministic by construction.
+    pub fn to_nnf(&self, f: SddRef) -> Circuit {
+        let num_vars = self
+            .vtree()
+            .variable_order()
+            .iter()
+            .map(|v| v.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut b = CircuitBuilder::new(num_vars);
+        let mut memo: FxHashMap<SddRef, NnfId> = FxHashMap::default();
+        let root = self.to_nnf_rec(f, &mut b, &mut memo);
+        b.finish(root)
+    }
+
+    fn to_nnf_rec(
+        &self,
+        f: SddRef,
+        b: &mut CircuitBuilder,
+        memo: &mut FxHashMap<SddRef, NnfId>,
+    ) -> NnfId {
+        if let Some(&id) = memo.get(&f) {
+            return id;
+        }
+        let id = match f {
+            SddRef::False => b.false_(),
+            SddRef::True => b.true_(),
+            SddRef::Literal(l) => b.lit(l),
+            SddRef::Decision(i) => {
+                let elements = self.nodes[i as usize].elements.clone();
+                let mut inputs = Vec::with_capacity(elements.len());
+                for &(p, s) in elements.iter() {
+                    let pid = self.to_nnf_rec(p, b, memo);
+                    let sid = self.to_nnf_rec(s, b, memo);
+                    inputs.push(b.and([pid, sid]));
+                }
+                b.or_raw(inputs)
+            }
+        };
+        memo.insert(f, id);
+        id
+    }
+
+    /// Imports an OBDD into this manager by structural recursion with
+    /// apply. The managers may have different variable structure as long as
+    /// every OBDD variable appears in the vtree.
+    #[allow(clippy::wrong_self_convention)] // "from" refers to the source diagram, not a constructor
+    pub fn from_obdd(&mut self, obdd: &Obdd, f: BddRef) -> SddRef {
+        let mut memo: FxHashMap<BddRef, SddRef> = FxHashMap::default();
+        self.from_obdd_rec(obdd, f, &mut memo)
+    }
+
+    #[allow(clippy::wrong_self_convention)] // see from_obdd
+    fn from_obdd_rec(
+        &mut self,
+        obdd: &Obdd,
+        f: BddRef,
+        memo: &mut FxHashMap<BddRef, SddRef>,
+    ) -> SddRef {
+        if f == Obdd::FALSE {
+            return SddRef::False;
+        }
+        if f == Obdd::TRUE {
+            return SddRef::True;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let var = obdd.node_var(f);
+        let low = self.from_obdd_rec(obdd, obdd.low(f), memo);
+        let high = self.from_obdd_rec(obdd, obdd.high(f), memo);
+        let pos = self.literal(var.positive());
+        let neg = self.literal(var.negative());
+        let hi_part = self.and(pos, high);
+        let lo_part = self.and(neg, low);
+        let r = self.or(hi_part, lo_part);
+        memo.insert(f, r);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_core::{Assignment, Var};
+    use trl_nnf::properties;
+    use trl_prop::Formula;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    fn sample_formula() -> Formula {
+        Formula::var(v(0))
+            .iff(Formula::var(v(1)))
+            .or(Formula::var(v(2)).and(Formula::var(v(3)).not()))
+    }
+
+    #[test]
+    fn to_nnf_preserves_function_and_properties() {
+        let mut m = SddManager::balanced(4);
+        let r = m.build_formula(&sample_formula());
+        let c = m.to_nnf(r);
+        for code in 0..16u64 {
+            let a = Assignment::from_index(code, 4);
+            assert_eq!(c.eval(&a), m.eval(r, &a));
+        }
+        assert!(properties::is_decomposable(&c));
+        assert!(properties::is_deterministic_exhaustive(&c));
+        assert_eq!(c.model_count(), m.model_count(r));
+    }
+
+    #[test]
+    fn to_nnf_respects_the_vtree() {
+        let mut m = SddManager::balanced(4);
+        let r = m.build_formula(&sample_formula());
+        let c = m.to_nnf(r);
+        assert!(properties::respects_vtree(&c, m.vtree()));
+    }
+
+    #[test]
+    fn from_obdd_round_trip() {
+        let f = sample_formula();
+        let mut obdd = Obdd::with_num_vars(4);
+        let b = obdd.build_formula(&f);
+        // Import into a balanced-vtree SDD manager.
+        let mut m = SddManager::balanced(4);
+        let s = m.from_obdd(&obdd, b);
+        let direct = m.build_formula(&f);
+        assert_eq!(s, direct, "import must be canonical");
+        assert_eq!(m.model_count(s), obdd.count_models(b));
+    }
+
+    #[test]
+    fn right_linear_sdd_mirrors_obdd_size_shape() {
+        // With a right-linear vtree an SDD is an OBDD (Fig. 10c): node
+        // counts track each other (each OBDD node ↔ one decision node).
+        let f = Formula::var(v(0))
+            .xor(Formula::var(v(1)))
+            .xor(Formula::var(v(2)))
+            .xor(Formula::var(v(3)));
+        let mut obdd = Obdd::with_num_vars(4);
+        let b = obdd.build_formula(&f);
+        let mut m = SddManager::right_linear(4);
+        let s = m.build_formula(&f);
+        let obdd_internal = obdd.size(b) - 2; // minus terminals
+        // Each OBDD node maps to one decision node except the deepest level:
+        // nodes of the form (x, ⊤, ⊥) trim to literals in a canonical SDD.
+        // XOR over 4 variables has exactly two such nodes.
+        assert_eq!(m.node_count(s), obdd_internal - 2);
+    }
+
+    #[test]
+    fn constants_import() {
+        let obdd = Obdd::with_num_vars(2);
+        let mut m = SddManager::balanced(2);
+        assert_eq!(m.from_obdd(&obdd, Obdd::TRUE), SddRef::True);
+        assert_eq!(m.from_obdd(&obdd, Obdd::FALSE), SddRef::False);
+    }
+}

@@ -1,0 +1,31 @@
+//! Sentential Decision Diagrams (SDDs) \[28\].
+//!
+//! SDDs combine *structured decomposability* (every and-gate respects a
+//! vtree node, Fig. 10) with the *sentential decision* property (Fig. 9):
+//! each decision node is a multiplexer `(p₁∧s₁) ∨ ⋯ ∨ (pₖ∧sₖ)` whose primes
+//! `pᵢ` form a partition — consistent, mutually exclusive, exhaustive — of
+//! the assignments to the vtree node's left variables. Under any input
+//! exactly one prime is high, so determinism holds by construction.
+//!
+//! What this buys, per the paper:
+//! * **polytime apply** — conjoin/disjoin two SDDs in `O(s·t)`; negation in
+//!   linear time (§3). Plain DNNFs cannot be conjoined in polytime under
+//!   standard assumptions \[34\].
+//! * **canonicity** — compressed and trimmed SDDs are unique per
+//!   (function, vtree) \[28, 89\]; equivalence checks are handle comparisons.
+//! * **succinctness** — SDDs subsume OBDDs (right-linear vtrees, Fig. 10c)
+//!   and are exponentially more succinct \[5\]; `exp05_succinctness`
+//!   demonstrates the separation.
+//! * **the upper complexity classes** — with a *constrained* vtree
+//!   (Fig. 10b), E-MAJSAT and MAJMAJSAT become linear-time traversals \[61\];
+//!   see [`SddManager::emajsat_count`] and [`SddManager::majmajsat_count`].
+//!
+//! The manager ([`SddManager`]) owns the vtree and a unique table; all
+//! handles ([`SddRef`]) are canonical within their manager.
+
+pub mod convert;
+pub mod manager;
+pub mod queries;
+pub mod spine;
+
+pub use manager::{SddManager, SddRef};

@@ -1,0 +1,462 @@
+//! E-MAJSAT and MAJMAJSAT on constrained vtrees \[61\].
+//!
+//! §2.1 of the paper: with the circuit variables split into `Y` and `Z`,
+//! E-MAJSAT asks whether some `y` makes the majority of `z` satisfying
+//! (prototypical for NP^PP); MAJMAJSAT asks whether the majority of `y` do
+//! (prototypical for PP^PP). If the SDD's vtree is *constrained* for `Z|Y`
+//! (Fig. 10b — `Y` variables as left leaves along the right spine, node `u`
+//! with exactly the `Z` variables terminating it), both reduce to one
+//! linear-time traversal:
+//!
+//! * every spine decision node splits on a `Y`-prime, and all `y` inside a
+//!   prime share the same residual function, so per-`y` counts collapse to
+//!   per-element recursions;
+//! * at node `u` the residual function ranges over `Z` only, where an
+//!   ordinary (weighted) model count finishes the job.
+//!
+//! [`SddManager::spine_expectation`] exposes the general pattern — a
+//! weighted sum over `y` of any function of the residual `Z`-circuit —
+//! which also powers the same-decision-probability computation in
+//! `trl-bayesnet` (D-SDP, the paper's PP^PP-complete example).
+
+use crate::manager::{SddManager, SddRef};
+use trl_core::FxHashMap;
+use trl_nnf::LitWeights;
+use trl_vtree::VtreeNodeId;
+
+impl SddManager {
+    /// Checks that `u` is a valid constrained node: reachable from the root
+    /// by right children only.
+    fn assert_on_spine(&self, u: VtreeNodeId) {
+        let mut n = self.vtree().root();
+        loop {
+            if n == u {
+                return;
+            }
+            if !self.vtree().is_internal(n) {
+                panic!("node {u} is not on the right spine of the vtree");
+            }
+            n = self.vtree().right(n);
+        }
+    }
+
+    /// `max_y #z : f(y, z)` — the optimization version of E-MAJSAT —
+    /// where `Z` are the variables of constrained node `u` and `Y` the
+    /// remaining (spine) variables. Linear in the SDD.
+    pub fn emajsat_count(&self, f: SddRef, u: VtreeNodeId) -> u128 {
+        self.assert_on_spine(u);
+        let mut memo: FxHashMap<(SddRef, VtreeNodeId), u128> = FxHashMap::default();
+        let mut count_memo = FxHashMap::default();
+        self.emaj_rec(f, self.vtree().root(), u, &mut memo, &mut count_memo)
+    }
+
+    fn emaj_rec(
+        &self,
+        f: SddRef,
+        v: VtreeNodeId,
+        u: VtreeNodeId,
+        memo: &mut FxHashMap<(SddRef, VtreeNodeId), u128>,
+        count_memo: &mut FxHashMap<SddRef, u128>,
+    ) -> u128 {
+        if v == u {
+            return self.count_in(f, u, count_memo);
+        }
+        if let Some(&r) = memo.get(&(f, v)) {
+            return r;
+        }
+        let right = self.vtree().right(v);
+        let r = match self.vtree_of(f) {
+            // Constant or function living below on the spine: no Y decision
+            // at this level.
+            None => self.emaj_rec(f, right, u, memo, count_memo),
+            Some(vf) if vf == v => {
+                // Spine decision: the best y picks the best element.
+                self.elements(f)
+                    .to_vec()
+                    .iter()
+                    .map(|&(_, s)| self.emaj_rec(s, right, u, memo, count_memo))
+                    .max()
+                    .expect("decision nodes are non-empty")
+            }
+            Some(vf) if self.vtree().in_left_subtree(vf, v) => {
+                // Pure Y-function at this level: some y satisfies it (it is
+                // not ⊥), making the residual ⊤.
+                self.emaj_rec(SddRef::True, right, u, memo, count_memo)
+            }
+            Some(_) => self.emaj_rec(f, right, u, memo, count_memo),
+        };
+        memo.insert((f, v), r);
+        r
+    }
+
+    /// `#y : (#z : f(y,z)) ≥ threshold` — the counting version of
+    /// MAJMAJSAT — for the constrained node `u`. Linear in the SDD.
+    pub fn majmajsat_count(&self, f: SddRef, u: VtreeNodeId, threshold: u128) -> u128 {
+        let count_z = move |m: &SddManager, g: SddRef| {
+            let mut memo = FxHashMap::default();
+            let c = m.count_in(g, u, &mut memo);
+            if c >= threshold {
+                1.0
+            } else {
+                0.0
+            }
+        };
+        let w = LitWeights::unit(self.max_var_index() + 1);
+        let total = self.spine_expectation(f, u, &w, &count_z);
+        total.round() as u128
+    }
+
+    /// Decides E-MAJSAT with the strict-majority convention of §2.1:
+    /// is there a `y` with more than half the `z` satisfying?
+    pub fn emajsat(&self, f: SddRef, u: VtreeNodeId) -> bool {
+        let z_count = self.vtree().vars(u).len() as u32;
+        self.emajsat_count(f, u) * 2 > 1u128 << z_count
+    }
+
+    /// Decides MAJMAJSAT: do the majority of `y` make the majority of `z`
+    /// satisfying?
+    pub fn majmajsat(&self, f: SddRef, u: VtreeNodeId) -> bool {
+        let z_count = self.vtree().vars(u).len() as u32;
+        let y_count = (self.vtree().num_vars() - self.vtree().vars(u).len()) as u32;
+        let threshold = (1u128 << (z_count - 1)) + 1; // strict majority of z
+        self.majmajsat_count(f, u, threshold) * 2 > 1u128 << y_count
+    }
+
+    /// Max-product value of `f` over the variables of vtree node `scope`
+    /// (MPE-style maximization; weights must be non-negative).
+    pub fn max_weight_in(
+        &self,
+        f: SddRef,
+        scope: VtreeNodeId,
+        w: &LitWeights,
+        memo: &mut FxHashMap<SddRef, f64>,
+    ) -> f64 {
+        let gap = |mentioned: Option<VtreeNodeId>| -> f64 {
+            let mentioned_vars = mentioned
+                .map(|m| self.vtree().vars(m).clone())
+                .unwrap_or_default();
+            self.vtree()
+                .vars(scope)
+                .difference(&mentioned_vars)
+                .iter()
+                .map(|v| w.get(v.positive()).max(w.get(v.negative())))
+                .product()
+        };
+        match f {
+            SddRef::False => 0.0,
+            SddRef::True => gap(None),
+            SddRef::Literal(l) => {
+                let leaf = self.vtree().leaf_of_var(l.var());
+                w.get(l) * gap(Some(leaf))
+            }
+            SddRef::Decision(_) => {
+                let vf = self.vtree_of(f).unwrap();
+                let below = if let Some(&c) = memo.get(&f) {
+                    c
+                } else {
+                    let left = self.vtree().left(vf);
+                    let right = self.vtree().right(vf);
+                    let c = self
+                        .elements(f)
+                        .to_vec()
+                        .iter()
+                        .map(|&(p, s)| {
+                            let mp = self.max_weight_in(p, left, w, memo);
+                            let ms = self.max_weight_in(s, right, w, memo);
+                            mp * ms
+                        })
+                        .fold(0.0f64, f64::max);
+                    memo.insert(f, c);
+                    c
+                };
+                below * gap(Some(vf))
+            }
+        }
+    }
+
+    /// `max_y W(y) · WMC_z(f|y)` for the constrained node `u` — the MAP
+    /// computation of \[61\] (NP^PP): maximize over the outer (`Y`) block
+    /// while weighted-counting the inner (`Z`) block.
+    pub fn spine_max_wmc(&self, f: SddRef, u: VtreeNodeId, w: &LitWeights) -> f64 {
+        self.assert_on_spine(u);
+        let mut memo: FxHashMap<(SddRef, VtreeNodeId), f64> = FxHashMap::default();
+        let mut wmc_memo = FxHashMap::default();
+        let mut max_memo = FxHashMap::default();
+        self.spine_max_rec(f, self.vtree().root(), u, w, &mut memo, &mut wmc_memo, &mut max_memo)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn spine_max_rec(
+        &self,
+        f: SddRef,
+        v: VtreeNodeId,
+        u: VtreeNodeId,
+        w: &LitWeights,
+        memo: &mut FxHashMap<(SddRef, VtreeNodeId), f64>,
+        wmc_memo: &mut FxHashMap<SddRef, f64>,
+        max_memo: &mut FxHashMap<SddRef, f64>,
+    ) -> f64 {
+        if v == u {
+            return self.wmc_in(f, u, w, wmc_memo);
+        }
+        if let Some(&r) = memo.get(&(f, v)) {
+            return r;
+        }
+        let left = self.vtree().left(v);
+        let right = self.vtree().right(v);
+        let free_left: f64 = self
+            .vtree()
+            .vars(left)
+            .iter()
+            .map(|x| w.get(x.positive()).max(w.get(x.negative())))
+            .product();
+        let r = match self.vtree_of(f) {
+            None => free_left * self.spine_max_rec(f, right, u, w, memo, wmc_memo, max_memo),
+            Some(vf) if vf == v => self
+                .elements(f)
+                .to_vec()
+                .iter()
+                .map(|&(p, s)| {
+                    self.max_weight_in(p, left, w, max_memo)
+                        * self.spine_max_rec(s, right, u, w, memo, wmc_memo, max_memo)
+                })
+                .fold(0.0f64, f64::max),
+            Some(vf) if self.vtree().in_left_subtree(vf, v) => {
+                // Pure Y-function: the best y satisfies it (residual ⊤)
+                // unless ⊥ below beats it — but ⊥ yields 0.
+                self.max_weight_in(f, left, w, max_memo)
+                    * self.spine_max_rec(SddRef::True, right, u, w, memo, wmc_memo, max_memo)
+            }
+            Some(_) => free_left * self.spine_max_rec(f, right, u, w, memo, wmc_memo, max_memo),
+        };
+        memo.insert((f, v), r);
+        r
+    }
+
+    fn max_var_index(&self) -> usize {
+        self.vtree()
+            .variable_order()
+            .iter()
+            .map(|v| v.index())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The general constrained-vtree aggregation: computes
+    /// `Σ_y W(y) · g(f|y)` where `g` is any function of the residual
+    /// `Z`-circuit at node `u` and `W` multiplies the weights of the `y`
+    /// literals. With unit weights and `g = [count ≥ T]` this is
+    /// MAJMAJSAT's count; with `W = Pr` and `g` a threshold on conditional
+    /// probabilities it is the same-decision probability (D-SDP, \[18, 61\]).
+    pub fn spine_expectation(
+        &self,
+        f: SddRef,
+        u: VtreeNodeId,
+        w: &LitWeights,
+        g: &dyn Fn(&SddManager, SddRef) -> f64,
+    ) -> f64 {
+        self.assert_on_spine(u);
+        let mut memo: FxHashMap<(SddRef, VtreeNodeId), f64> = FxHashMap::default();
+        let mut wmc_memo = FxHashMap::default();
+        self.spine_rec(f, self.vtree().root(), u, w, g, &mut memo, &mut wmc_memo)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn spine_rec(
+        &self,
+        f: SddRef,
+        v: VtreeNodeId,
+        u: VtreeNodeId,
+        w: &LitWeights,
+        g: &dyn Fn(&SddManager, SddRef) -> f64,
+        memo: &mut FxHashMap<(SddRef, VtreeNodeId), f64>,
+        wmc_memo: &mut FxHashMap<SddRef, f64>,
+    ) -> f64 {
+        if v == u {
+            return g(self, f);
+        }
+        if let Some(&r) = memo.get(&(f, v)) {
+            return r;
+        }
+        let left = self.vtree().left(v);
+        let right = self.vtree().right(v);
+        let left_weight = |m: &SddManager, x: SddRef, wmc_memo: &mut FxHashMap<SddRef, f64>| {
+            m.wmc_in(x, left, w, wmc_memo)
+        };
+        let r = match self.vtree_of(f) {
+            None => {
+                // Constant: every y at this level contributes.
+                let total_left = self.gap_weight(self.vtree().vars(left), &Default::default(), w);
+                total_left * self.spine_rec(f, right, u, w, g, memo, wmc_memo)
+            }
+            Some(vf) if vf == v => self
+                .elements(f)
+                .to_vec()
+                .iter()
+                .map(|&(p, s)| {
+                    left_weight(self, p, wmc_memo)
+                        * self.spine_rec(s, right, u, w, g, memo, wmc_memo)
+                })
+                .sum(),
+            Some(vf) if self.vtree().in_left_subtree(vf, v) => {
+                // Pure Y-function: y ⊨ f → residual ⊤; y ⊭ f → residual ⊥.
+                let pos = left_weight(self, f, wmc_memo);
+                let total = self.gap_weight(self.vtree().vars(left), &Default::default(), w);
+                pos * self.spine_rec(SddRef::True, right, u, w, g, memo, wmc_memo)
+                    + (total - pos) * self.spine_rec(SddRef::False, right, u, w, g, memo, wmc_memo)
+            }
+            Some(_) => {
+                let total_left = self.gap_weight(self.vtree().vars(left), &Default::default(), w);
+                total_left * self.spine_rec(f, right, u, w, g, memo, wmc_memo)
+            }
+        };
+        memo.insert((f, v), r);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_core::{Assignment, Var};
+    use trl_prop::Formula;
+    use trl_vtree::Vtree;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    /// Brute-force: for each y over `y_vars`, count z over `z_vars` with
+    /// f(y,z) true. All variables dense 0..n.
+    fn brute_counts(f: &Formula, y_vars: &[Var], z_vars: &[Var], n: usize) -> Vec<u128> {
+        let mut out = Vec::new();
+        for ycode in 0..1u64 << y_vars.len() {
+            let mut count = 0u128;
+            for zcode in 0..1u64 << z_vars.len() {
+                let mut a = Assignment::all_false(n);
+                for (bit, &yv) in y_vars.iter().enumerate() {
+                    a.set(yv, ycode >> bit & 1 == 1);
+                }
+                for (bit, &zv) in z_vars.iter().enumerate() {
+                    a.set(zv, zcode >> bit & 1 == 1);
+                }
+                if f.eval(&a) {
+                    count += 1;
+                }
+            }
+            out.push(count);
+        }
+        out
+    }
+
+    fn setup(
+        f: &Formula,
+        y_vars: &[Var],
+        z_vars: &[Var],
+    ) -> (SddManager, SddRef, VtreeNodeId) {
+        let vt = Vtree::constrained(y_vars, z_vars);
+        let z_set: trl_core::VarSet = z_vars.iter().copied().collect();
+        let mut m = SddManager::new(vt);
+        let r = m.build_formula(f);
+        let u = m.vtree().constrained_node(&z_set).expect("constrained node");
+        (m, r, u)
+    }
+
+    #[test]
+    fn emajsat_and_majmajsat_match_brute_force() {
+        // f over Y = {x0, x1}, Z = {x2, x3, x4}.
+        let f = Formula::var(v(0))
+            .implies(Formula::var(v(2)).and(Formula::var(v(3))))
+            .and(Formula::var(v(1)).or(Formula::var(v(4))));
+        let y = [v(0), v(1)];
+        let z = [v(2), v(3), v(4)];
+        let (m, r, u) = setup(&f, &y, &z);
+        let brute = brute_counts(&f, &y, &z, 5);
+        let best = *brute.iter().max().unwrap();
+        assert_eq!(m.emajsat_count(r, u), best);
+        assert_eq!(m.emajsat(r, u), best * 2 > 8);
+        for threshold in [1u128, 2, 4, 5, 8] {
+            let expected = brute.iter().filter(|&&c| c >= threshold).count() as u128;
+            assert_eq!(
+                m.majmajsat_count(r, u, threshold),
+                expected,
+                "threshold {threshold}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_formulas_spine_queries_sound() {
+        let mut state = 0x55u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..10 {
+            let ny = 1 + (next() % 3) as usize;
+            let nz = 1 + (next() % 3) as usize;
+            let n = ny + nz;
+            let mut fs: Vec<Formula> = (0..n as u32).map(|i| Formula::var(v(i))).collect();
+            for _ in 0..5 {
+                let i = (next() % fs.len() as u64) as usize;
+                let j = (next() % fs.len() as u64) as usize;
+                let g = match next() % 3 {
+                    0 => fs[i].clone().and(fs[j].clone()),
+                    1 => fs[i].clone().or(fs[j].clone()),
+                    _ => fs[i].clone().xor(fs[j].clone()),
+                };
+                fs.push(g);
+            }
+            let f = fs.last().unwrap().clone();
+            let y: Vec<Var> = (0..ny as u32).map(Var).collect();
+            let z: Vec<Var> = (ny as u32..n as u32).map(Var).collect();
+            let (m, r, u) = setup(&f, &y, &z);
+            let brute = brute_counts(&f, &y, &z, n);
+            assert_eq!(m.emajsat_count(r, u), *brute.iter().max().unwrap());
+            let t = 1u128 << (nz - 1);
+            assert_eq!(
+                m.majmajsat_count(r, u, t),
+                brute.iter().filter(|&&c| c >= t).count() as u128
+            );
+        }
+    }
+
+    #[test]
+    fn spine_expectation_with_weights() {
+        // Σ_y Pr(y) [count_z(f|y) ≥ 2] with a non-uniform distribution on Y.
+        let f = Formula::var(v(0)).implies(Formula::var(v(1)).and(Formula::var(v(2))));
+        let y = [v(0)];
+        let z = [v(1), v(2)];
+        let (m, r, u) = setup(&f, &y, &z);
+        let mut w = LitWeights::unit(3);
+        w.set(v(0).positive(), 0.3);
+        w.set(v(0).negative(), 0.7);
+        // f|y=1 = x1∧x2 (count 1); f|y=0 = ⊤ (count 4).
+        let g = |m: &SddManager, s: SddRef| {
+            let mut memo = FxHashMap::default();
+            if m.count_in(s, u, &mut memo) >= 2 {
+                1.0
+            } else {
+                0.0
+            }
+        };
+        let got = m.spine_expectation(r, u, &w, &g);
+        assert!((got - 0.7).abs() < 1e-12, "got {got}");
+    }
+
+    #[test]
+    fn constants_through_the_spine() {
+        let y = [v(0)];
+        let z = [v(1)];
+        let vt = Vtree::constrained(&y, &z);
+        let z_set: trl_core::VarSet = z.iter().copied().collect();
+        let m = SddManager::new(vt);
+        let u = m.vtree().constrained_node(&z_set).unwrap();
+        assert_eq!(m.emajsat_count(SddRef::True, u), 2);
+        assert_eq!(m.emajsat_count(SddRef::False, u), 0);
+        assert_eq!(m.majmajsat_count(SddRef::True, u, 1), 2);
+        assert_eq!(m.majmajsat_count(SddRef::False, u, 1), 0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Undirected graphs and grid maps whose edges are Boolean variables
+//! (the encoding of Fig. 16).
+
+use trl_core::{Assignment, Var};
+
+/// An undirected graph with a fixed edge order; edge `i` is Boolean
+/// variable `Var(i)` in every compiled circuit.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    num_nodes: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Builds a graph; edges are `(u, v)` with `u ≠ v`.
+    pub fn new(num_nodes: usize, edges: Vec<(usize, usize)>) -> Self {
+        assert!(edges
+            .iter()
+            .all(|&(u, v)| u != v && u < num_nodes && v < num_nodes));
+        Graph { num_nodes, edges }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The edges, in variable order.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Number of edges (= number of Boolean variables).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The Boolean variable of edge `i`.
+    pub fn edge_var(&self, i: usize) -> Var {
+        Var(i as u32)
+    }
+
+    /// The index of the edge between two nodes, if present.
+    pub fn edge_between(&self, a: usize, b: usize) -> Option<usize> {
+        self.edges
+            .iter()
+            .position(|&(u, v)| (u, v) == (a, b) || (u, v) == (b, a))
+    }
+
+    /// Decodes an assignment into the set of chosen edge indices.
+    pub fn chosen_edges(&self, a: &Assignment) -> Vec<usize> {
+        (0..self.num_edges())
+            .filter(|&i| a.value(self.edge_var(i)))
+            .collect()
+    }
+
+    /// Encodes a set of edges as an assignment over the edge variables.
+    pub fn assignment_of(&self, edges: &[usize]) -> Assignment {
+        let mut a = Assignment::all_false(self.num_edges());
+        for &e in edges {
+            a.set(self.edge_var(e), true);
+        }
+        a
+    }
+
+    /// Whether the chosen edges form a simple path from `s` to `t`:
+    /// connected, `s`/`t` of degree 1, all other used nodes of degree 2.
+    pub fn is_simple_path(&self, a: &Assignment, s: usize, t: usize) -> bool {
+        let chosen = self.chosen_edges(a);
+        if chosen.is_empty() {
+            return false;
+        }
+        let mut degree = vec![0usize; self.num_nodes];
+        for &e in &chosen {
+            let (u, v) = self.edges[e];
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+        if degree[s] != 1 || degree[t] != 1 {
+            return false;
+        }
+        for (n, &d) in degree.iter().enumerate() {
+            if n != s && n != t && d != 0 && d != 2 {
+                return false;
+            }
+        }
+        // Connectivity: walk from s.
+        let mut used: Vec<bool> = vec![false; chosen.len()];
+        let mut current = s;
+        let mut steps = 0;
+        loop {
+            let next = chosen.iter().enumerate().find(|&(k, &e)| {
+                !used[k] && (self.edges[e].0 == current || self.edges[e].1 == current)
+            });
+            match next {
+                Some((k, &e)) => {
+                    used[k] = true;
+                    let (u, v) = self.edges[e];
+                    current = if u == current { v } else { u };
+                    steps += 1;
+                }
+                None => break,
+            }
+        }
+        current == t && steps == chosen.len()
+    }
+
+    /// Enumerates all simple `s`–`t` paths by DFS (the brute-force oracle;
+    /// exponential). Returns each path as a sorted edge-index set.
+    pub fn enumerate_simple_paths(&self, s: usize, t: usize) -> Vec<Vec<usize>> {
+        let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); self.num_nodes];
+        for (i, &(u, v)) in self.edges.iter().enumerate() {
+            adj[u].push((v, i));
+            adj[v].push((u, i));
+        }
+        let mut out = Vec::new();
+        let mut visited = vec![false; self.num_nodes];
+        let mut path = Vec::new();
+        fn dfs(
+            adj: &[Vec<(usize, usize)>],
+            visited: &mut [bool],
+            path: &mut Vec<usize>,
+            out: &mut Vec<Vec<usize>>,
+            current: usize,
+            t: usize,
+        ) {
+            if current == t {
+                let mut p = path.clone();
+                p.sort_unstable();
+                out.push(p);
+                return;
+            }
+            visited[current] = true;
+            for &(next, edge) in &adj[current] {
+                if !visited[next] {
+                    path.push(edge);
+                    dfs(adj, visited, path, out, next, t);
+                    path.pop();
+                }
+            }
+            visited[current] = false;
+        }
+        dfs(&adj, &mut visited, &mut path, &mut out, s, t);
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// A rectangular grid map (Fig. 16): `rows × cols` intersections, with
+/// street edges between horizontal and vertical neighbors.
+#[derive(Clone, Debug)]
+pub struct GridMap {
+    rows: usize,
+    cols: usize,
+    graph: Graph,
+}
+
+impl GridMap {
+    /// Builds a grid; edges are ordered row by row (all edges incident to
+    /// earlier rows first), which keeps the frontier of the path compiler
+    /// small.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 1 && cols >= 1);
+        let node = |r: usize, c: usize| r * cols + c;
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    edges.push((node(r, c), node(r, c + 1)));
+                }
+                if r + 1 < rows {
+                    edges.push((node(r, c), node(r + 1, c)));
+                }
+            }
+        }
+        GridMap {
+            rows,
+            cols,
+            graph: Graph::new(rows * cols, edges),
+        }
+    }
+
+    /// The node id of an intersection.
+    pub fn node(&self, r: usize, c: usize) -> usize {
+        assert!(r < self.rows && c < self.cols);
+        r * self.cols + c
+    }
+
+    /// Grid dimensions.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_structure() {
+        let g = GridMap::new(2, 3);
+        // 2x3 grid: 6 nodes, horizontal 2*2=4 + vertical 3 = 7 edges.
+        assert_eq!(g.graph().num_nodes(), 6);
+        assert_eq!(g.graph().num_edges(), 7);
+        assert!(g.graph().edge_between(g.node(0, 0), g.node(0, 1)).is_some());
+        assert!(g.graph().edge_between(g.node(0, 0), g.node(1, 1)).is_none());
+    }
+
+    #[test]
+    fn simple_path_recognition() {
+        let g = GridMap::new(2, 2);
+        let gr = g.graph();
+        let (s, t) = (g.node(0, 0), g.node(1, 1));
+        // Path right then down.
+        let e1 = gr.edge_between(g.node(0, 0), g.node(0, 1)).unwrap();
+        let e2 = gr.edge_between(g.node(0, 1), g.node(1, 1)).unwrap();
+        let a = gr.assignment_of(&[e1, e2]);
+        assert!(gr.is_simple_path(&a, s, t));
+        // Disconnected pair of edges is not a path (Fig. 16's orange case).
+        let e3 = gr.edge_between(g.node(0, 0), g.node(1, 0)).unwrap();
+        let e4 = gr.edge_between(g.node(0, 1), g.node(1, 1)).unwrap();
+        let bad = gr.assignment_of(&[e3, e4]);
+        assert!(!gr.is_simple_path(&bad, s, t));
+        // Empty set is not a path.
+        assert!(!gr.is_simple_path(&gr.assignment_of(&[]), s, t));
+    }
+
+    #[test]
+    fn enumerate_paths_on_2x2() {
+        let g = GridMap::new(2, 2);
+        let paths = g
+            .graph()
+            .enumerate_simple_paths(g.node(0, 0), g.node(1, 1));
+        // Two paths across a 2x2 grid.
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            let a = g.graph().assignment_of(p);
+            assert!(g.graph().is_simple_path(&a, g.node(0, 0), g.node(1, 1)));
+        }
+    }
+
+    #[test]
+    fn enumerate_paths_on_3x3() {
+        let g = GridMap::new(3, 3);
+        let paths = g
+            .graph()
+            .enumerate_simple_paths(g.node(0, 0), g.node(2, 2));
+        // Known: 12 simple paths corner-to-corner on a 3x3 grid graph.
+        assert_eq!(paths.len(), 12);
+    }
+
+    #[test]
+    fn cycle_plus_path_is_rejected() {
+        // A path with an extra 4-cycle elsewhere must not count.
+        let g = GridMap::new(2, 3);
+        let gr = g.graph();
+        let (s, t) = (g.node(0, 0), g.node(1, 0));
+        let direct = gr.edge_between(s, t).unwrap();
+        let cyc = [
+            gr.edge_between(g.node(0, 1), g.node(0, 2)).unwrap(),
+            gr.edge_between(g.node(0, 2), g.node(1, 2)).unwrap(),
+            gr.edge_between(g.node(1, 2), g.node(1, 1)).unwrap(),
+            gr.edge_between(g.node(1, 1), g.node(0, 1)).unwrap(),
+        ];
+        let mut edges = vec![direct];
+        edges.extend_from_slice(&cyc);
+        let a = gr.assignment_of(&edges);
+        assert!(!gr.is_simple_path(&a, s, t));
+        assert!(gr.is_simple_path(&gr.assignment_of(&[direct]), s, t));
+    }
+}

@@ -1,0 +1,442 @@
+//! Hierarchical maps and structured Bayesian networks (Figs. 18–22, \[78, 79\]).
+//!
+//! The paper's intuition: "navigation behavior in a region R becomes
+//! independent of navigation behavior in other regions once we know how
+//! region R was entered and exited." This module instantiates the smallest
+//! interesting hierarchy — a map split into a *left* and a *right* region
+//! joined by crossing edges — and quantifies its cluster DAG
+//! (crossings → left-region roads, crossings → right-region roads) with a
+//! root PSDD over the crossings and one [`ConditionalPsdd`] per region,
+//! i.e. a two-cluster structured Bayesian network.
+//!
+//! Routes are `s`–`t` simple paths that cross between the regions exactly
+//! once. Each region's space of inner segments is compiled *per crossing
+//! class* with the frontier method, so circuit growth is governed by the
+//! regions rather than the whole map — the scaling argument behind the
+//! paper's San Francisco compilation (Fig. 22).
+
+use crate::graph::{Graph, GridMap};
+use crate::simpath::compile_simple_paths;
+use trl_core::{Assignment, Var};
+use trl_prop::Formula;
+use trl_psdd::{ConditionalPsdd, Psdd};
+use trl_sdd::SddManager;
+use trl_vtree::Vtree;
+
+/// A grid map split into left and right regions joined by crossing edges.
+pub struct TwoRegionMap {
+    full: GridMap,
+    cols_left: usize,
+    source: usize,
+    target: usize,
+    /// Full-graph edge indices of the crossing edges, one per row.
+    crossings: Vec<usize>,
+    /// Left region: subgraph and a map from region edge index → full index.
+    left: (Graph, Vec<usize>),
+    right: (Graph, Vec<usize>),
+    /// Node maps: full node id → region node id.
+    left_nodes: Vec<Option<usize>>,
+    right_nodes: Vec<Option<usize>>,
+}
+
+impl TwoRegionMap {
+    /// Builds a `rows × (cols_left + cols_right)` grid split between
+    /// columns `cols_left - 1` and `cols_left`. The route task is from the
+    /// top-left corner to the bottom-right corner.
+    pub fn new(rows: usize, cols_left: usize, cols_right: usize) -> Self {
+        let cols = cols_left + cols_right;
+        let full = GridMap::new(rows, cols);
+        let g = full.graph();
+        let in_left = |node: usize| node % cols < cols_left;
+        let mut crossings = Vec::new();
+        for (i, &(u, v)) in g.edges().iter().enumerate() {
+            if in_left(u) != in_left(v) {
+                crossings.push(i);
+            }
+        }
+        let extract = |keep: &dyn Fn(usize) -> bool| {
+            let mut node_map = vec![None; g.num_nodes()];
+            let mut next = 0usize;
+            for (n, slot) in node_map.iter_mut().enumerate() {
+                if keep(n) {
+                    *slot = Some(next);
+                    next += 1;
+                }
+            }
+            let mut edges = Vec::new();
+            let mut edge_map = Vec::new();
+            for (i, &(u, v)) in g.edges().iter().enumerate() {
+                if let (Some(a), Some(b)) = (node_map[u], node_map[v]) {
+                    edges.push((a, b));
+                    edge_map.push(i);
+                }
+            }
+            (Graph::new(next, edges), edge_map, node_map)
+        };
+        let (lg, lmap, lnodes) = extract(&|n| in_left(n));
+        let (rg, rmap, rnodes) = extract(&|n| !in_left(n));
+        TwoRegionMap {
+            source: full.node(0, 0),
+            target: full.node(rows - 1, cols - 1),
+            full,
+            cols_left,
+            crossings,
+            left: (lg, lmap),
+            right: (rg, rmap),
+            left_nodes: lnodes,
+            right_nodes: rnodes,
+        }
+    }
+
+    /// The full map.
+    pub fn full(&self) -> &GridMap {
+        &self.full
+    }
+
+    /// The crossing edges (full-graph indices) — the `e₁…e₆` of Fig. 18.
+    pub fn crossings(&self) -> &[usize] {
+        &self.crossings
+    }
+
+    /// The route source and target (full node ids).
+    pub fn endpoints(&self) -> (usize, usize) {
+        (self.source, self.target)
+    }
+
+    fn is_left_node(&self, node: usize) -> bool {
+        let (_, cols) = self.full.dims();
+        node % cols < self.cols_left
+    }
+
+    /// Splits a one-crossing route into (crossing index within
+    /// [`Self::crossings`], left-region edges, right-region edges). Returns
+    /// `None` if the edge set is not a valid one-crossing simple route.
+    pub fn decompose(&self, route: &[usize]) -> Option<(usize, Vec<usize>, Vec<usize>)> {
+        let g = self.full.graph();
+        let a = g.assignment_of(route);
+        if !g.is_simple_path(&a, self.source, self.target) {
+            return None;
+        }
+        let used_crossings: Vec<usize> = route
+            .iter()
+            .filter(|e| self.crossings.contains(e))
+            .copied()
+            .collect();
+        if used_crossings.len() != 1 {
+            return None;
+        }
+        let crossing = self.crossings.iter().position(|&c| c == used_crossings[0])?;
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for &e in route {
+            if e == used_crossings[0] {
+                continue;
+            }
+            match self.left.1.iter().position(|&f| f == e) {
+                Some(le) => left.push(le),
+                None => {
+                    let re = self.right.1.iter().position(|&f| f == e)?;
+                    right.push(re);
+                }
+            }
+        }
+        Some((crossing, left, right))
+    }
+
+    /// Reassembles a route from its decomposition.
+    pub fn compose(&self, crossing: usize, left: &[usize], right: &[usize]) -> Vec<usize> {
+        let mut route = vec![self.crossings[crossing]];
+        route.extend(left.iter().map(|&e| self.left.1[e]));
+        route.extend(right.iter().map(|&e| self.right.1[e]));
+        route.sort_unstable();
+        route
+    }
+
+    /// Compiles the flat (non-hierarchical) one-crossing route space over
+    /// the full map, returning the OBDD size — the baseline of `exp09`.
+    pub fn flat_circuit_size(&self) -> usize {
+        let g = self.full.graph();
+        let (mut obdd, paths) = compile_simple_paths(g, self.source, self.target);
+        // Restrict to exactly one crossing edge.
+        let lits: Vec<trl_core::Lit> = self
+            .crossings
+            .iter()
+            .map(|&e| g.edge_var(e).positive())
+            .collect();
+        let one = obdd.build_formula(&Formula::exactly_one(&lits));
+        let restricted = obdd.and(paths, one);
+        obdd.size(restricted)
+    }
+
+    /// Builds the structured Bayesian network for the one-crossing route
+    /// space, with uniform initial parameters. Crossings whose region
+    /// segments are impossible are excluded from the support.
+    pub fn build_sbn(&self) -> Sbn {
+        let k = self.crossings.len();
+        // Root cluster: exactly-one over k crossing indicator variables.
+        let top = {
+            let mut m = SddManager::new(Vtree::balanced(
+                &(0..k as u32).map(Var).collect::<Vec<_>>(),
+            ));
+            let lits: Vec<trl_core::Lit> =
+                (0..k as u32).map(|i| Var(i).positive()).collect();
+            let f = m.build_formula(&Formula::exactly_one(&lits));
+            Psdd::from_sdd(&m, f)
+        };
+
+        let region_conditional = |region: &(Graph, Vec<usize>),
+                                  node_map: &[Option<usize>],
+                                  from: usize,
+                                  crossing_end: &dyn Fn(usize) -> usize|
+         -> ConditionalPsdd {
+            let mut selector = SddManager::new(Vtree::balanced(
+                &(0..k as u32).map(Var).collect::<Vec<_>>(),
+            ));
+            let mut classes = Vec::new();
+            let mut dists = Vec::new();
+            let n_edges = region.0.num_edges().max(1);
+            let order: Vec<Var> = (0..n_edges as u32).map(Var).collect();
+            for j in 0..k {
+                let lits: Vec<trl_core::Lit> = (0..k as u32)
+                    .map(|i| Var(i).literal(i as usize == j))
+                    .collect();
+                let class = {
+                    let f = Formula::conj(lits.iter().map(|&l| Formula::lit(l)));
+                    selector.build_formula(&f)
+                };
+                let boundary = node_map[crossing_end(j)]
+                    .expect("crossing endpoint lies in the region");
+                let (obdd, paths) = compile_simple_paths(&region.0, from, boundary);
+                let mut m = SddManager::new(Vtree::right_linear(&order));
+                let support = m.from_obdd(&obdd, paths);
+                assert!(
+                    support != trl_sdd::SddRef::False,
+                    "no inner segment reaches crossing {j}"
+                );
+                dists.push(Psdd::from_sdd(&m, support));
+                classes.push((class, j));
+            }
+            // Catch-all class for invalid crossing patterns (probability 0
+            // under the root): any distribution works; use the uniform one.
+            let rest = {
+                let lits: Vec<trl_core::Lit> =
+                    (0..k as u32).map(|i| Var(i).positive()).collect();
+                let f = Formula::exactly_one(&lits).not();
+                selector.build_formula(&f)
+            };
+            let uniform = {
+                let m = SddManager::new(Vtree::right_linear(&order));
+                Psdd::from_sdd(&m, trl_sdd::SddRef::True)
+            };
+            dists.push(uniform);
+            classes.push((rest, k));
+            ConditionalPsdd::new(selector, classes, dists).expect("classes partition")
+        };
+
+        let g = self.full.graph();
+        let left_end = |j: usize| {
+            let (u, v) = g.edges()[self.crossings[j]];
+            if self.is_left_node(u) {
+                u
+            } else {
+                v
+            }
+        };
+        let right_end = |j: usize| {
+            let (u, v) = g.edges()[self.crossings[j]];
+            if self.is_left_node(u) {
+                v
+            } else {
+                u
+            }
+        };
+        let left_source = self.left_nodes[self.source].expect("source in left region");
+        let right_target = self.right_nodes[self.target].expect("target in right region");
+        let left = region_conditional(&self.left, &self.left_nodes, left_source, &left_end);
+        let right =
+            region_conditional(&self.right, &self.right_nodes, right_target, &right_end);
+        Sbn {
+            k,
+            top,
+            left,
+            right,
+            left_edges: self.left.0.num_edges(),
+            right_edges: self.right.0.num_edges(),
+        }
+    }
+}
+
+/// The two-cluster structured Bayesian network over one-crossing routes.
+pub struct Sbn {
+    k: usize,
+    /// Root PSDD over the crossing indicators (exactly-one support).
+    pub top: Psdd,
+    /// Conditional PSDD of the left region's inner segment.
+    pub left: ConditionalPsdd,
+    /// Conditional PSDD of the right region's inner segment.
+    pub right: ConditionalPsdd,
+    left_edges: usize,
+    right_edges: usize,
+}
+
+impl Sbn {
+    fn crossing_assignment(&self, crossing: usize) -> Assignment {
+        let mut a = Assignment::all_false(self.k);
+        a.set(Var(crossing as u32), true);
+        a
+    }
+
+    /// `Pr(route)` for a decomposed route: the SBN factorization
+    /// `Pr(crossing) · Pr(left | crossing) · Pr(right | crossing)`.
+    pub fn probability(&self, crossing: usize, left: &[usize], right: &[usize]) -> f64 {
+        let ca = self.crossing_assignment(crossing);
+        let la = assignment_over(left, self.left_edges);
+        let ra = assignment_over(right, self.right_edges);
+        self.top.probability(&ca)
+            * self.left.conditional_probability(&la, &ca)
+            * self.right.conditional_probability(&ra, &ca)
+    }
+
+    /// Learns all clusters from decomposed routes `(crossing, left edges,
+    /// right edges, weight)`.
+    pub fn learn(&mut self, data: &[(usize, Vec<usize>, Vec<usize>, f64)], alpha: f64) {
+        let top_data: Vec<(Assignment, f64)> = data
+            .iter()
+            .map(|(c, _, _, w)| (self.crossing_assignment(*c), *w))
+            .collect();
+        self.top.learn(&top_data, alpha);
+        let left_data: Vec<(Assignment, Assignment, f64)> = data
+            .iter()
+            .map(|(c, l, _, w)| {
+                (
+                    self.crossing_assignment(*c),
+                    assignment_over(l, self.left_edges),
+                    *w,
+                )
+            })
+            .collect();
+        self.left.learn(&left_data, alpha);
+        let right_data: Vec<(Assignment, Assignment, f64)> = data
+            .iter()
+            .map(|(c, _, r, w)| {
+                (
+                    self.crossing_assignment(*c),
+                    assignment_over(r, self.right_edges),
+                    *w,
+                )
+            })
+            .collect();
+        self.right.learn(&right_data, alpha);
+    }
+
+    /// Total circuit size of the SBN: root plus all region distributions.
+    pub fn total_size(&self) -> usize {
+        self.top.size()
+            + self
+                .left
+                .distributions()
+                .iter()
+                .map(|p| p.size())
+                .sum::<usize>()
+            + self
+                .right
+                .distributions()
+                .iter()
+                .map(|p| p.size())
+                .sum::<usize>()
+    }
+}
+
+fn assignment_over(edges: &[usize], n: usize) -> Assignment {
+    let mut a = Assignment::all_false(n.max(1));
+    for &e in edges {
+        a.set(Var(e as u32), true);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decompose_and_compose_round_trip() {
+        let map = TwoRegionMap::new(3, 2, 2);
+        let g = map.full().graph();
+        let (s, t) = map.endpoints();
+        let mut seen = 0;
+        for path in g.enumerate_simple_paths(s, t) {
+            if let Some((c, l, r)) = map.decompose(&path) {
+                seen += 1;
+                let back = map.compose(c, &l, &r);
+                let mut expected = path.clone();
+                expected.sort_unstable();
+                assert_eq!(back, expected);
+            }
+        }
+        assert!(seen > 0, "no one-crossing routes found");
+    }
+
+    #[test]
+    fn multi_crossing_routes_are_rejected() {
+        let map = TwoRegionMap::new(2, 2, 2);
+        let g = map.full().graph();
+        let (s, t) = map.endpoints();
+        let multi = g
+            .enumerate_simple_paths(s, t)
+            .into_iter()
+            .find(|p| p.iter().filter(|e| map.crossings().contains(e)).count() > 1);
+        if let Some(p) = multi {
+            assert!(map.decompose(&p).is_none());
+        }
+    }
+
+    #[test]
+    fn sbn_probabilities_normalize_over_one_crossing_routes() {
+        let map = TwoRegionMap::new(2, 2, 2);
+        let sbn = map.build_sbn();
+        let g = map.full().graph();
+        let (s, t) = map.endpoints();
+        let mut total = 0.0;
+        for path in g.enumerate_simple_paths(s, t) {
+            if let Some((c, l, r)) = map.decompose(&path) {
+                total += sbn.probability(c, &l, &r);
+            }
+        }
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "one-crossing route probabilities sum to {total}"
+        );
+    }
+
+    #[test]
+    fn sbn_learning_concentrates_on_observed_routes() {
+        let map = TwoRegionMap::new(2, 2, 2);
+        let mut sbn = map.build_sbn();
+        let g = map.full().graph();
+        let (s, t) = map.endpoints();
+        let route = g
+            .enumerate_simple_paths(s, t)
+            .into_iter()
+            .find_map(|p| map.decompose(&p))
+            .expect("a one-crossing route exists");
+        let data = vec![(route.0, route.1.clone(), route.2.clone(), 50.0)];
+        sbn.learn(&data, 0.0);
+        let p = sbn.probability(route.0, &route.1, &route.2);
+        assert!((p - 1.0).abs() < 1e-9, "trained route has probability {p}");
+    }
+
+    #[test]
+    fn hierarchical_size_beats_flat_size_on_wider_maps() {
+        // The scaling claim of Figs. 18/22: region-modular compilation
+        // keeps circuits small relative to flat compilation of the map.
+        let map = TwoRegionMap::new(3, 3, 3);
+        let sbn = map.build_sbn();
+        let flat = map.flat_circuit_size();
+        assert!(
+            sbn.total_size() < flat,
+            "hierarchical {} vs flat {flat}",
+            sbn.total_size()
+        );
+    }
+}

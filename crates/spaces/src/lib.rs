@@ -1,0 +1,30 @@
+//! Combinatorial and structured probability spaces (§4.1–4.2 of the paper).
+//!
+//! A *structured space* is the set of satisfying assignments of a Boolean
+//! formula; a *combinatorial space* is the special case whose assignments
+//! encode combinatorial objects. The paper's two running examples are both
+//! here:
+//!
+//! * **routes** (Fig. 16): each map edge is a Boolean variable; valid
+//!   simple `s`–`t` paths are compiled directly into a decision diagram by
+//!   the frontier method (\[60\]'s Simpath family) — see [`simpath`];
+//! * **rankings** (Fig. 17): `n²` variables `A_ij` ("item `i` at position
+//!   `j`") with permutation constraints — see [`rankings`], with the
+//!   dedicated Mallows-model baseline of \[36, 49\] in [`mallows`];
+//! * **hierarchical maps** (Figs. 18–22): regions whose inner navigation
+//!   becomes independent given the crossing edges, quantified by
+//!   conditional PSDDs into a structured Bayesian network \[78, 79\] — see
+//!   [`hiermap`].
+//!
+//! Compiled spaces feed `trl-psdd`: learn parameters from route/ranking
+//! data, then reason in time linear in the circuit.
+
+pub mod graph;
+pub mod hiermap;
+pub mod mallows;
+pub mod rankings;
+pub mod simpath;
+
+pub use graph::{Graph, GridMap};
+pub use mallows::Mallows;
+pub use simpath::compile_simple_paths;

@@ -1,0 +1,273 @@
+//! The Mallows ranking model \[49\] — the "dedicated framework" baseline the
+//! paper contrasts with circuit-based ranking distributions (§4.1, \[17\]).
+//!
+//! `Pr(π) ∝ exp(−θ · d(π, σ))` with `d` the Kendall-tau distance to a
+//! central ranking `σ`. Exact normalization, exact sampling via the
+//! repeated-insertion construction, and maximum-likelihood fitting of `θ`
+//! (given a center, or with the Borda-count center heuristic) are all
+//! provided so the PSDD route of `exp08` has an honest competitor.
+
+/// A Mallows model over rankings of `n` items.
+///
+/// Rankings are represented as `ranking[item] = position`.
+#[derive(Clone, Debug)]
+pub struct Mallows {
+    /// The central ranking (`center[item] = position`).
+    pub center: Vec<usize>,
+    /// The dispersion; larger = more concentrated around the center.
+    pub theta: f64,
+}
+
+/// The Kendall-tau distance between two rankings (`r[item] = position`):
+/// the number of discordant item pairs.
+pub fn kendall_tau(a: &[usize], b: &[usize]) -> usize {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let mut d = 0;
+    for i in 0..n {
+        for j in i + 1..n {
+            if (a[i] < a[j]) != (b[i] < b[j]) {
+                d += 1;
+            }
+        }
+    }
+    d
+}
+
+impl Mallows {
+    /// Creates a model.
+    pub fn new(center: Vec<usize>, theta: f64) -> Self {
+        assert!(theta >= 0.0);
+        Mallows { center, theta }
+    }
+
+    fn n(&self) -> usize {
+        self.center.len()
+    }
+
+    /// The exact log-partition function:
+    /// `ln Z = Σ_{i=1}^{n-1} ln Σ_{k=0}^{i} e^{−θk}`.
+    pub fn log_z(&self) -> f64 {
+        (1..self.n())
+            .map(|i| {
+                (0..=i)
+                    .map(|k| (-self.theta * k as f64).exp())
+                    .sum::<f64>()
+                    .ln()
+            })
+            .sum()
+    }
+
+    /// `Pr(π)` under the model.
+    pub fn probability(&self, ranking: &[usize]) -> f64 {
+        let d = kendall_tau(ranking, &self.center) as f64;
+        (-self.theta * d - self.log_z()).exp()
+    }
+
+    /// Samples a ranking by repeated insertion: item `i` (in center order)
+    /// is displaced by `vᵢ ∈ [0, i]` positions with
+    /// `Pr(vᵢ = k) ∝ e^{−θk}`; `Σ vᵢ` is exactly the Kendall distance.
+    pub fn sample(&self, uniform: &mut dyn FnMut() -> f64) -> Vec<usize> {
+        let n = self.n();
+        // Items ordered by their central position.
+        let mut by_pos: Vec<usize> = (0..n).collect();
+        by_pos.sort_by_key(|&item| self.center[item]);
+        let mut list: Vec<usize> = Vec::with_capacity(n);
+        for (i, &item) in by_pos.iter().enumerate() {
+            // Draw v ∈ [0, i] with truncated-geometric weights.
+            let weights: Vec<f64> = (0..=i).map(|k| (-self.theta * k as f64).exp()).collect();
+            let total: f64 = weights.iter().sum();
+            let mut r = uniform() * total;
+            let mut v = i;
+            for (k, &w) in weights.iter().enumerate() {
+                if r < w {
+                    v = k;
+                    break;
+                }
+                r -= w;
+            }
+            // Insert so that exactly v previously placed items come after.
+            list.insert(i - v, item);
+        }
+        let mut ranking = vec![0usize; n];
+        for (pos, &item) in list.iter().enumerate() {
+            ranking[item] = pos;
+        }
+        ranking
+    }
+
+    /// The expected Kendall distance `E_θ[d]` (sum of truncated-geometric
+    /// means), used for moment-matching ML estimation of `θ`.
+    pub fn expected_distance(&self) -> f64 {
+        (1..self.n())
+            .map(|i| {
+                let num: f64 = (0..=i)
+                    .map(|k| k as f64 * (-self.theta * k as f64).exp())
+                    .sum();
+                let den: f64 = (0..=i).map(|k| (-self.theta * k as f64).exp()).sum();
+                num / den
+            })
+            .sum()
+    }
+
+    /// Fits `θ` by maximum likelihood for a fixed center: ML solves
+    /// `E_θ[d] = d̄` (mean observed distance), monotone in `θ`, by
+    /// bisection.
+    pub fn fit_theta(center: &[usize], data: &[(Vec<usize>, f64)]) -> f64 {
+        let total: f64 = data.iter().map(|(_, w)| w).sum();
+        assert!(total > 0.0, "empty dataset");
+        let mean: f64 = data
+            .iter()
+            .map(|(r, w)| w * kendall_tau(r, center) as f64)
+            .sum::<f64>()
+            / total;
+        let mut lo = 0.0f64;
+        let mut hi = 30.0f64;
+        let expected = |theta: f64| {
+            Mallows::new(center.to_vec(), theta).expected_distance()
+        };
+        if mean >= expected(lo) {
+            return 0.0;
+        }
+        if mean <= expected(hi) {
+            return hi;
+        }
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if expected(mid) > mean {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Estimates a central ranking by the Borda-count heuristic (mean
+    /// position per item).
+    pub fn fit_center(n: usize, data: &[(Vec<usize>, f64)]) -> Vec<usize> {
+        let mut score = vec![0.0f64; n];
+        for (r, w) in data {
+            for item in 0..n {
+                score[item] += w * r[item] as f64;
+            }
+        }
+        let mut items: Vec<usize> = (0..n).collect();
+        items.sort_by(|&a, &b| score[a].total_cmp(&score[b]));
+        let mut center = vec![0usize; n];
+        for (pos, &item) in items.iter().enumerate() {
+            center[item] = pos;
+        }
+        center
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_rankings(n: usize) -> Vec<Vec<usize>> {
+        fn permutations(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+            if k == items.len() {
+                out.push(items.clone());
+                return;
+            }
+            for i in k..items.len() {
+                items.swap(k, i);
+                permutations(items, k + 1, out);
+                items.swap(k, i);
+            }
+        }
+        let mut out = Vec::new();
+        permutations(&mut (0..n).collect(), 0, &mut out);
+        out
+    }
+
+    #[test]
+    fn kendall_tau_basics() {
+        assert_eq!(kendall_tau(&[0, 1, 2], &[0, 1, 2]), 0);
+        assert_eq!(kendall_tau(&[0, 1, 2], &[2, 1, 0]), 3);
+        assert_eq!(kendall_tau(&[0, 1, 2], &[1, 0, 2]), 1);
+    }
+
+    #[test]
+    fn probabilities_normalize() {
+        for theta in [0.0, 0.5, 1.5] {
+            let m = Mallows::new(vec![0, 1, 2, 3], theta);
+            let total: f64 = all_rankings(4).iter().map(|r| m.probability(r)).sum();
+            assert!((total - 1.0).abs() < 1e-10, "theta {theta}: {total}");
+        }
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let m = Mallows::new(vec![0, 1, 2], 0.0);
+        for r in all_rankings(3) {
+            assert!((m.probability(&r) - 1.0 / 6.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampler_matches_model_distribution() {
+        let m = Mallows::new(vec![0, 1, 2], 1.0);
+        let mut state = 0xc0ffeeu64;
+        let mut uniform = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let n = 60_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            let r = m.sample(&mut uniform);
+            *counts.entry(r).or_insert(0usize) += 1;
+        }
+        for r in all_rankings(3) {
+            let freq = *counts.get(&r).unwrap_or(&0) as f64 / n as f64;
+            let p = m.probability(&r);
+            assert!((freq - p).abs() < 0.01, "{r:?}: freq {freq} vs p {p}");
+        }
+    }
+
+    #[test]
+    fn fit_theta_recovers_parameter() {
+        let truth = Mallows::new(vec![0, 1, 2, 3], 1.2);
+        let mut state = 0xdeadbeefu64;
+        let mut uniform = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let data: Vec<(Vec<usize>, f64)> =
+            (0..30_000).map(|_| (truth.sample(&mut uniform), 1.0)).collect();
+        let theta = Mallows::fit_theta(&truth.center, &data);
+        assert!((theta - 1.2).abs() < 0.1, "fitted {theta}");
+    }
+
+    #[test]
+    fn fit_center_recovers_center() {
+        let truth = Mallows::new(vec![2, 0, 3, 1], 2.0);
+        let mut state = 0x5eedu64;
+        let mut uniform = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let data: Vec<(Vec<usize>, f64)> =
+            (0..20_000).map(|_| (truth.sample(&mut uniform), 1.0)).collect();
+        let center = Mallows::fit_center(4, &data);
+        assert_eq!(center, truth.center);
+    }
+
+    #[test]
+    fn expected_distance_is_monotone_decreasing_in_theta() {
+        let center = vec![0, 1, 2, 3, 4];
+        let e0 = Mallows::new(center.clone(), 0.1).expected_distance();
+        let e1 = Mallows::new(center.clone(), 1.0).expected_distance();
+        let e2 = Mallows::new(center, 3.0).expected_distance();
+        assert!(e0 > e1 && e1 > e2);
+    }
+}

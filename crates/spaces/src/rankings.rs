@@ -1,0 +1,166 @@
+//! The space of total orderings (rankings), Fig. 17 of the paper.
+//!
+//! A ranking of `n` items uses `n²` Boolean variables `A_ij` — item `i` is
+//! at position `j` — with the permutation constraints "each item takes
+//! exactly one position" and "each position holds exactly one item". The
+//! space compiles into an OBDD by a direct DP over the row-major variable
+//! order whose states are the sets of occupied positions, again a frontier
+//! construction; the circuit then hosts a PSDD over rankings.
+
+use trl_core::{Assignment, FxHashMap, Var};
+use trl_obdd::{BddRef, Obdd};
+
+/// The ranking space over `n` items.
+pub struct RankingSpace {
+    n: usize,
+}
+
+impl RankingSpace {
+    /// Creates the space of rankings of `n` items (`n² ≤ 64` variables for
+    /// the brute-force oracles; the compiler itself scales further).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        RankingSpace { n }
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> usize {
+        self.n
+    }
+
+    /// Number of Boolean variables (`n²`).
+    pub fn num_vars(&self) -> usize {
+        self.n * self.n
+    }
+
+    /// The variable `A_ij`: item `i` at position `j`.
+    pub fn var(&self, item: usize, position: usize) -> Var {
+        assert!(item < self.n && position < self.n);
+        Var((item * self.n + position) as u32)
+    }
+
+    /// Encodes a ranking (`ranking[i]` = position of item `i`) as an
+    /// assignment.
+    pub fn encode(&self, ranking: &[usize]) -> Assignment {
+        assert_eq!(ranking.len(), self.n);
+        let mut a = Assignment::all_false(self.num_vars());
+        for (item, &pos) in ranking.iter().enumerate() {
+            a.set(self.var(item, pos), true);
+        }
+        a
+    }
+
+    /// Decodes an assignment into a ranking, if it is valid.
+    pub fn decode(&self, a: &Assignment) -> Option<Vec<usize>> {
+        let mut ranking = vec![usize::MAX; self.n];
+        let mut used = vec![false; self.n];
+        for (item, slot) in ranking.iter_mut().enumerate() {
+            for (pos, used_slot) in used.iter_mut().enumerate() {
+                if a.value(self.var(item, pos)) {
+                    if *slot != usize::MAX || *used_slot {
+                        return None;
+                    }
+                    *slot = pos;
+                    *used_slot = true;
+                }
+            }
+            if *slot == usize::MAX {
+                return None;
+            }
+        }
+        Some(ranking)
+    }
+
+    /// Compiles the space of valid rankings into an OBDD over the
+    /// row-major variable order. DP state: the set of positions already
+    /// taken by earlier items (plus whether the current item has placed).
+    pub fn compile(&self) -> (Obdd, BddRef) {
+        let n = self.n;
+        let mut obdd = Obdd::with_num_vars(n * n);
+        let mut memo: FxHashMap<(usize, u64, bool), BddRef> = FxHashMap::default();
+        let root = Self::build(n, &mut obdd, &mut memo, 0, 0, false);
+        (obdd, root)
+    }
+
+    fn build(
+        n: usize,
+        obdd: &mut Obdd,
+        memo: &mut FxHashMap<(usize, u64, bool), BddRef>,
+        level: usize,
+        used: u64,
+        placed: bool,
+    ) -> BddRef {
+        if level == n * n {
+            return Obdd::TRUE; // all rows checked; `used` is necessarily full
+        }
+        if let Some(&r) = memo.get(&(level, used, placed)) {
+            return r;
+        }
+        let pos = level % n;
+        let end_of_row = pos == n - 1;
+        // Variable false: the item is not at this position.
+        let lo = if end_of_row && !placed {
+            Obdd::FALSE // the item took no position
+        } else {
+            Self::build(n, obdd, memo, level + 1, used, placed && !end_of_row)
+        };
+        // Variable true: the item sits at `pos`.
+        let hi = if placed || used >> pos & 1 == 1 {
+            Obdd::FALSE // second position for the item, or position taken
+        } else if end_of_row {
+            Self::build(n, obdd, memo, level + 1, used | 1 << pos, false)
+        } else {
+            Self::build(n, obdd, memo, level + 1, used | 1 << pos, true)
+        };
+        let r = obdd.mk(level as u32, lo, hi);
+        memo.insert((level, used, placed), r);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_factorials() {
+        for (n, expected) in [(1usize, 1u128), (2, 2), (3, 6), (4, 24), (5, 120)] {
+            let space = RankingSpace::new(n);
+            let (obdd, root) = space.compile();
+            assert_eq!(obdd.count_models(root), expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn circuit_recognizes_exactly_valid_rankings() {
+        let space = RankingSpace::new(3);
+        let (obdd, root) = space.compile();
+        for code in 0..1u64 << 9 {
+            let a = Assignment::from_index(code, 9);
+            assert_eq!(
+                obdd.eval(root, &a),
+                space.decode(&a).is_some(),
+                "at {code:09b}"
+            );
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let space = RankingSpace::new(4);
+        let ranking = vec![2, 0, 3, 1];
+        let a = space.encode(&ranking);
+        assert_eq!(space.decode(&a), Some(ranking));
+    }
+
+    #[test]
+    fn fig17_invalid_example_rejected() {
+        // "item 2 appears in two positions" — the orange case of Fig. 17.
+        let space = RankingSpace::new(3);
+        let mut a = space.encode(&[0, 1, 2]);
+        a.set(space.var(2, 0), true); // item 2 now at positions 0 and 2
+        assert_eq!(space.decode(&a), None);
+        let (obdd, root) = space.compile();
+        assert!(!obdd.eval(root, &a));
+    }
+}

@@ -1,0 +1,188 @@
+//! Anchor-style approximate explanations, and their exact audit.
+//!
+//! Footnote 18 of the paper: the popular Anchor system \[71\] "can be viewed
+//! as computing approximations of sufficient reasons", and \[41\] evaluated
+//! those approximations against the exact ones, calling an approximation
+//! *optimistic* when it is a strict subset of a sufficient reason (it does
+//! not actually guarantee the decision) and *pessimistic* when it is a
+//! strict superset (it cites more than necessary).
+//!
+//! This module implements a faithful sampling-based anchor search over the
+//! black-box classifier and — because the classifier is also compiled into
+//! a circuit — the **exact audit** of every anchor it produces, which is
+//! precisely the analysis the compilation approach enables
+//! (`exp19_anchors`).
+
+use trl_core::{Assignment, Cube, Var};
+use trl_obdd::{BddRef, Obdd};
+
+/// The verdict of the exact audit of an approximate explanation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AnchorVerdict {
+    /// The anchor is exactly a sufficient reason (a prime implicant
+    /// consistent with the instance).
+    Exact,
+    /// The anchor does *not* guarantee the decision (a strict subset of
+    /// what is needed) — \[41\]'s "optimistic".
+    Optimistic,
+    /// The anchor guarantees the decision but cites unnecessary
+    /// characteristics (a strict superset of a sufficient reason) —
+    /// \[41\]'s "pessimistic".
+    Pessimistic,
+}
+
+/// Greedy sampling-based anchor for the decision `classify(x)`:
+/// grows a set of instance literals until the *estimated* precision —
+/// the fraction of uniformly sampled completions preserving the decision —
+/// reaches `precision_target`, estimating with `samples` draws per
+/// candidate, exactly in the spirit of \[71\]. Black-box: only `classify`
+/// is consulted.
+pub fn anchor(
+    classify: &dyn Fn(&Assignment) -> bool,
+    x: &Assignment,
+    n: usize,
+    precision_target: f64,
+    samples: usize,
+    uniform: &mut dyn FnMut() -> f64,
+) -> Cube {
+    let decision = classify(x);
+    let mut kept: Vec<Var> = Vec::new();
+    let estimate = |kept: &[Var], uniform: &mut dyn FnMut() -> f64| -> f64 {
+        let mut hits = 0usize;
+        for _ in 0..samples {
+            let mut y = Assignment::all_false(n);
+            for i in 0..n {
+                let v = Var(i as u32);
+                let value = if kept.contains(&v) {
+                    x.value(v)
+                } else {
+                    uniform() < 0.5
+                };
+                y.set(v, value);
+            }
+            if classify(&y) == decision {
+                hits += 1;
+            }
+        }
+        hits as f64 / samples as f64
+    };
+    loop {
+        if estimate(&kept, uniform) >= precision_target || kept.len() == n {
+            break;
+        }
+        // Greedily add the feature with the best precision gain.
+        let mut best: Option<(Var, f64)> = None;
+        for i in 0..n {
+            let v = Var(i as u32);
+            if kept.contains(&v) {
+                continue;
+            }
+            let mut trial = kept.clone();
+            trial.push(v);
+            let p = estimate(&trial, uniform);
+            if best.is_none() || p > best.unwrap().1 {
+                best = Some((v, p));
+            }
+        }
+        kept.push(best.expect("at least one free feature").0);
+    }
+    Cube::from_lits(kept.into_iter().map(|v| x.literal_of(v)))
+}
+
+/// The exact audit, on the compiled circuit: is the anchor a true
+/// sufficient reason, optimistic, or pessimistic? (`f` must be the
+/// compiled decision function of the classifier the anchor explains.)
+pub fn audit(m: &mut Obdd, f: BddRef, x: &Assignment, anchor: &Cube) -> AnchorVerdict {
+    let decision = m.eval(f, x);
+    let target = if decision { Obdd::TRUE } else { Obdd::FALSE };
+    let forces = |m: &mut Obdd, cube: &Cube| m.condition(f, cube) == target;
+    if !forces(m, anchor) {
+        return AnchorVerdict::Optimistic;
+    }
+    // Sufficient; prime iff no literal can be dropped.
+    for drop in 0..anchor.len() {
+        let weaker = Cube::from_lits(
+            anchor
+                .literals()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != drop)
+                .map(|(_, &l)| l),
+        );
+        if forces(m, &weaker) {
+            return AnchorVerdict::Pessimistic;
+        }
+    }
+    AnchorVerdict::Exact
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_prop::Formula;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    fn xorshift(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed.max(1);
+        move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    #[test]
+    fn audit_classifies_the_three_cases() {
+        // f = (x0 ∧ x1) ∨ x2, instance (1,1,1).
+        let f = Formula::var(v(0)).and(Formula::var(v(1))).or(Formula::var(v(2)));
+        let mut m = Obdd::with_num_vars(3);
+        let r = m.build_formula(&f);
+        let x = Assignment::from_values(&[true, true, true]);
+        // {x2} is exact; {x0} is optimistic; {x0, x1, x2} is pessimistic.
+        let exact = Cube::from_lits([v(2).positive()]);
+        assert_eq!(audit(&mut m, r, &x, &exact), AnchorVerdict::Exact);
+        let optimistic = Cube::from_lits([v(0).positive()]);
+        assert_eq!(audit(&mut m, r, &x, &optimistic), AnchorVerdict::Optimistic);
+        let pessimistic =
+            Cube::from_lits([v(0).positive(), v(1).positive(), v(2).positive()]);
+        assert_eq!(audit(&mut m, r, &x, &pessimistic), AnchorVerdict::Pessimistic);
+    }
+
+    #[test]
+    fn anchor_search_reaches_target_precision_exactly_at_a_reason() {
+        // On a simple function with ample samples, the greedy anchor tends
+        // to find a genuinely sufficient set.
+        let f = Formula::var(v(0)).and(Formula::var(v(1))).or(Formula::var(v(2)));
+        let mut m = Obdd::with_num_vars(3);
+        let r = m.build_formula(&f);
+        let x = Assignment::from_values(&[true, true, false]);
+        let classify = |y: &Assignment| {
+            (y.value(v(0)) && y.value(v(1))) || y.value(v(2))
+        };
+        let mut uniform = xorshift(5);
+        let a = anchor(&classify, &x, 3, 1.0, 400, &mut uniform);
+        // With precision target 1.0 and enough samples, the anchor must be
+        // sufficient (not optimistic).
+        assert_ne!(audit(&mut m, r, &x, &a), AnchorVerdict::Optimistic);
+    }
+
+    #[test]
+    fn low_precision_targets_can_be_optimistic() {
+        // With a lax target the anchor may stop early — the failure mode
+        // the exact audit exposes.
+        let f = Formula::conj((0..4).map(|i| Formula::var(v(i))));
+        let mut m = Obdd::with_num_vars(4);
+        let r = m.build_formula(&f);
+        let x = Assignment::from_values(&[true, true, true, true]);
+        let classify = |y: &Assignment| (0..4).all(|i| y.value(v(i)));
+        let mut uniform = xorshift(17);
+        let a = anchor(&classify, &x, 4, 0.6, 200, &mut uniform);
+        if a.len() < 4 {
+            assert_eq!(audit(&mut m, r, &x, &a), AnchorVerdict::Optimistic);
+        }
+    }
+}

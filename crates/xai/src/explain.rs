@@ -1,0 +1,371 @@
+//! Explaining decisions: sufficient reasons, complete-reason circuits,
+//! bias, and counterfactuals (§5.1 of the paper, \[33, 82\]).
+//!
+//! For a decision `f(x)`:
+//!
+//! * a **sufficient reason** is a minimal set of instance characteristics
+//!   guaranteed to trigger the decision — a prime implicant of `f` (or of
+//!   `¬f` for negative decisions) consistent with `x`;
+//! * the **complete reason** is the disjunction of all sufficient reasons.
+//!   It is extracted from the classifier's OBDD in *linear time* as a
+//!   monotone circuit (\[33\]): decision node `(X, α, β)` with, say, `x ⊨ X`
+//!   becomes `β' ∧ (X ∨ α')` — keep the agreeing branch, add the consensus.
+//!
+//! [`ReasonCircuit`] holds the complete reason in "agreement space"
+//! (variable `i` = "instance characteristic `i` is kept"), where it is a
+//! *positive monotone* function; bias checks, counterfactual queries, and
+//! sufficient-reason enumeration are all simple operations there.
+
+use trl_core::{Assignment, Cube, Var, VarSet};
+use trl_obdd::{BddRef, Obdd};
+
+/// The complete reason behind a decision, as a monotone function over
+/// agreement variables (`Var(i)` ⟺ "the instance's value for feature `i`
+/// is kept").
+pub struct ReasonCircuit {
+    /// Agreement-space manager.
+    manager: Obdd,
+    /// The monotone reason function in agreement space.
+    root: BddRef,
+    /// The instance being explained.
+    instance: Assignment,
+    /// The decision being explained.
+    decision: bool,
+}
+
+impl ReasonCircuit {
+    /// Extracts the complete reason behind the decision `f(x)` from the
+    /// classifier's OBDD. For negative decisions the construction runs on
+    /// `¬f`, per Fig. 26.
+    pub fn new(m: &mut Obdd, f: BddRef, x: &Assignment) -> ReasonCircuit {
+        let decision = m.eval(f, x);
+        let target = if decision { f } else { m.not(f) };
+        // Build the reason in agreement space within a fresh manager of the
+        // same size: node (v, α, β) with agreeing child γ and other child δ
+        // becomes γ' ∧ (z_v ∨ δ').
+        let n = m.num_vars();
+        let mut agreement = Obdd::with_num_vars(n);
+        let mut memo = trl_core::FxHashMap::default();
+        let root = Self::build(m, target, x, &mut agreement, &mut memo);
+        ReasonCircuit {
+            manager: agreement,
+            root,
+            instance: x.clone(),
+            decision,
+        }
+    }
+
+    fn build(
+        m: &Obdd,
+        f: BddRef,
+        x: &Assignment,
+        out: &mut Obdd,
+        memo: &mut trl_core::FxHashMap<BddRef, BddRef>,
+    ) -> BddRef {
+        if f == Obdd::TRUE {
+            return Obdd::TRUE;
+        }
+        if f == Obdd::FALSE {
+            return Obdd::FALSE;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let var = m.node_var(f);
+        let (agreeing, other) = if x.value(var) {
+            (m.high(f), m.low(f))
+        } else {
+            (m.low(f), m.high(f))
+        };
+        let a = Self::build(m, agreeing, x, out, memo);
+        let o = Self::build(m, other, x, out, memo);
+        // γ' ∧ (z_v ∨ δ')
+        let z = out.literal(var.positive());
+        let keep = out.or(z, o);
+        let r = out.and(a, keep);
+        memo.insert(f, r);
+        r
+    }
+
+    /// The decision being explained.
+    pub fn decision(&self) -> bool {
+        self.decision
+    }
+
+    /// The instance being explained.
+    pub fn instance(&self) -> &Assignment {
+        &self.instance
+    }
+
+    /// The reason evaluated at a *kept set*: true iff keeping exactly the
+    /// instance characteristics in `kept` (others free) guarantees the
+    /// decision.
+    pub fn triggered_by(&self, kept: &VarSet) -> bool {
+        let mut a = Assignment::all_false(self.instance.len());
+        for v in kept.iter() {
+            a.set(v, true);
+        }
+        self.manager.eval(self.root, &a)
+    }
+
+    /// All sufficient reasons, as cubes of instance literals. The
+    /// enumeration walks the monotone agreement-space OBDD collecting prime
+    /// implicants with subsumption filtering; output is exponential in the
+    /// worst case (the paper's motivation for reasoning on the circuit
+    /// instead — see the bias queries below).
+    pub fn sufficient_reasons(&self) -> Vec<Cube> {
+        let mut memo: trl_core::FxHashMap<BddRef, Vec<Vec<Var>>> =
+            trl_core::FxHashMap::default();
+        let sets = self.primes(self.root, &mut memo);
+        let mut cubes: Vec<Cube> = sets
+            .into_iter()
+            .map(|vars| {
+                Cube::from_lits(vars.into_iter().map(|v| self.instance.literal_of(v)))
+            })
+            .collect();
+        cubes.sort();
+        cubes
+    }
+
+    fn primes(
+        &self,
+        f: BddRef,
+        memo: &mut trl_core::FxHashMap<BddRef, Vec<Vec<Var>>>,
+    ) -> Vec<Vec<Var>> {
+        if f == Obdd::TRUE {
+            return vec![vec![]];
+        }
+        if f == Obdd::FALSE {
+            return vec![];
+        }
+        if let Some(r) = memo.get(&f) {
+            return r.clone();
+        }
+        let var = self.manager.node_var(f);
+        let lo = self.primes(self.manager.low(f), memo);
+        let hi = self.primes(self.manager.high(f), memo);
+        // Monotone positive: primes = primes(lo) ∪ {v ∪ t : t ∈ primes(hi)
+        // not subsumed by a lo-prime}.
+        let mut out = lo.clone();
+        for t in hi {
+            let subsumed = lo.iter().any(|l| l.iter().all(|v| t.contains(v)));
+            if !subsumed {
+                let mut t2 = vec![var];
+                t2.extend(t);
+                t2.sort_unstable();
+                out.push(t2);
+            }
+        }
+        memo.insert(f, out.clone());
+        out
+    }
+
+    /// Whether the decision is **biased** with respect to the protected
+    /// features: it would change had only protected features changed —
+    /// equivalently, every sufficient reason touches a protected feature
+    /// \[33\]. One conditioning pass; no enumeration.
+    pub fn decision_is_biased(&mut self, protected: &VarSet) -> bool {
+        // Drop protected characteristics; if nothing triggers any more,
+        // all reasons relied on them.
+        let mut g = self.root;
+        for v in protected.iter() {
+            g = self.manager.restrict(g, v, false);
+        }
+        // A monotone function with all remaining characteristics kept:
+        let full = Assignment::from_values(&vec![true; self.instance.len()]);
+        !self.manager.eval(g, &full)
+    }
+
+    /// Whether *some* sufficient reason touches a protected feature. If
+    /// the decision itself is unbiased but this holds, the **classifier**
+    /// is biased: it makes a biased decision on some other instance \[33\]
+    /// (Robin vs. Scott in Fig. 27).
+    pub fn some_reason_touches(&mut self, protected: &VarSet) -> bool {
+        // The reason function changes when protected characteristics are
+        // dropped iff some prime implicant mentions them.
+        let mut g = self.root;
+        for v in protected.iter() {
+            g = self.manager.restrict(g, v, false);
+        }
+        g != self.root
+    }
+
+    /// Counterfactual "the decision would stick **even if** the features
+    /// in `flipped` took other values, **because** of the `because`
+    /// characteristics" (§5.1): checks that the kept characteristics
+    /// outside `flipped` include a trigger, and that `because` alone
+    /// triggers.
+    pub fn even_if_because(&mut self, flipped: &VarSet, because: &VarSet) -> bool {
+        if !flipped.is_disjoint(because) {
+            return false;
+        }
+        let all: VarSet = (0..self.instance.len() as u32).map(Var).collect();
+        let kept = all.difference(flipped);
+        self.triggered_by(&kept) && self.triggered_by(because)
+    }
+
+    /// Size of the reason circuit (diagram nodes).
+    pub fn size(&self) -> usize {
+        self.manager.size(self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_prop::{sufficient_reasons, Formula, TruthTable};
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    /// Fig. 26's function f = (A + ¬C)(B + C)(A + B).
+    fn fig26_formula() -> Formula {
+        let (a, b, c) = (Formula::var(v(0)), Formula::var(v(1)), Formula::var(v(2)));
+        Formula::conj([
+            a.clone().or(c.clone().not()),
+            b.clone().or(c.clone()),
+            a.or(b),
+        ])
+    }
+
+    #[test]
+    fn sufficient_reasons_match_prime_implicant_oracle() {
+        let f = fig26_formula();
+        let mut m = Obdd::with_num_vars(3);
+        let r = m.build_formula(&f);
+        let tt = TruthTable::from_formula(&f, 3);
+        for code in 0..8u64 {
+            let x = Assignment::from_index(code, 3);
+            let rc = ReasonCircuit::new(&mut m, r, &x);
+            let got = rc.sufficient_reasons();
+            let expected = sufficient_reasons(&tt, &x);
+            assert_eq!(got, expected, "instance {code:03b}");
+        }
+    }
+
+    #[test]
+    fn reason_circuits_agree_with_oracle_on_random_functions() {
+        let mut state = 0x777u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..15 {
+            let n = 3 + (next() % 3) as usize;
+            let mut fs: Vec<Formula> = (0..n as u32).map(|i| Formula::var(v(i))).collect();
+            for _ in 0..6 {
+                let i = (next() % fs.len() as u64) as usize;
+                let j = (next() % fs.len() as u64) as usize;
+                fs.push(match next() % 3 {
+                    0 => fs[i].clone().and(fs[j].clone()),
+                    1 => fs[i].clone().or(fs[j].clone()),
+                    _ => fs[i].clone().not(),
+                });
+            }
+            let f = fs.last().unwrap().clone();
+            let mut m = Obdd::with_num_vars(n);
+            let r = m.build_formula(&f);
+            if r == Obdd::TRUE || r == Obdd::FALSE {
+                continue;
+            }
+            let tt = TruthTable::from_formula(&f, n);
+            for code in 0..1u64 << n {
+                let x = Assignment::from_index(code, n);
+                let rc = ReasonCircuit::new(&mut m, r, &x);
+                assert_eq!(
+                    rc.sufficient_reasons(),
+                    sufficient_reasons(&tt, &x),
+                    "n={n} instance {code:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn complete_reason_is_monotone_and_triggers() {
+        let f = fig26_formula();
+        let mut m = Obdd::with_num_vars(3);
+        let r = m.build_formula(&f);
+        let x = Assignment::from_values(&[true, true, false]); // AB¬C
+        let rc = ReasonCircuit::new(&mut m, r, &x);
+        assert!(rc.decision());
+        // Keeping everything triggers; keeping nothing does not.
+        let all: VarSet = (0..3).map(Var).collect();
+        assert!(rc.triggered_by(&all));
+        assert!(!rc.triggered_by(&VarSet::new()));
+        // Monotonicity: supersets of a trigger also trigger.
+        let ab: VarSet = [v(0), v(1)].into_iter().collect();
+        assert!(rc.triggered_by(&ab));
+        let abc = all;
+        assert!(rc.triggered_by(&abc));
+    }
+
+    #[test]
+    fn bias_detection_matches_reason_structure() {
+        // f = protected ∨ (skill ∧ experience), protected = {x0}.
+        let f = Formula::var(v(0)).or(Formula::var(v(1)).and(Formula::var(v(2))));
+        let mut m = Obdd::with_num_vars(3);
+        let r = m.build_formula(&f);
+        let protected: VarSet = [v(0)].into_iter().collect();
+        // Instance (1,1,1): reasons {x0} and {x1,x2} — decision unbiased,
+        // but some reason touches the protected feature ⇒ classifier biased.
+        let x = Assignment::from_values(&[true, true, true]);
+        let mut rc = ReasonCircuit::new(&mut m, r, &x);
+        assert!(!rc.decision_is_biased(&protected));
+        assert!(rc.some_reason_touches(&protected));
+        // Instance (1,0,1): only reason is {x0} ⇒ the decision is biased.
+        let x = Assignment::from_values(&[true, false, true]);
+        let mut rc = ReasonCircuit::new(&mut m, r, &x);
+        assert!(rc.decision_is_biased(&protected));
+        // Negative decision (0,0,1): reasons for ¬f are {¬x0,¬x1}; flipping
+        // the protected feature alone would reverse it ⇒ biased.
+        let x = Assignment::from_values(&[false, false, true]);
+        let mut rc = ReasonCircuit::new(&mut m, r, &x);
+        assert!(!rc.decision());
+        assert!(rc.decision_is_biased(&protected));
+    }
+
+    #[test]
+    fn bias_definition_cross_check() {
+        // Decision biased ⟺ ∃ change of protected features only that flips
+        // the decision. Cross-check on a random function exhaustively.
+        let f = Formula::var(v(0))
+            .xor(Formula::var(v(1)))
+            .or(Formula::var(v(2)).and(Formula::var(v(1))));
+        let mut m = Obdd::with_num_vars(3);
+        let r = m.build_formula(&f);
+        let protected: VarSet = [v(0)].into_iter().collect();
+        for code in 0..8u64 {
+            let x = Assignment::from_index(code, 3);
+            let mut rc = ReasonCircuit::new(&mut m, r, &x);
+            let brute = {
+                let flipped = x.flipped(v(0));
+                m.eval(r, &flipped) != m.eval(r, &x)
+            };
+            assert_eq!(rc.decision_is_biased(&protected), brute, "at {code:03b}");
+        }
+    }
+
+    #[test]
+    fn even_if_because_queries() {
+        // The April example shape (§5.1): decision sticks even if she had
+        // no work experience, because she passed the entrance exam.
+        // f = exam ∧ (work ∨ gpa)  over (exam=0, work=1, gpa=2).
+        let f = Formula::var(v(0)).and(Formula::var(v(1)).or(Formula::var(v(2))));
+        let mut m = Obdd::with_num_vars(3);
+        let r = m.build_formula(&f);
+        let x = Assignment::from_values(&[true, true, true]);
+        let mut rc = ReasonCircuit::new(&mut m, r, &x);
+        let work: VarSet = [v(1)].into_iter().collect();
+        let exam_gpa: VarSet = [v(0), v(2)].into_iter().collect();
+        assert!(rc.even_if_because(&work, &exam_gpa));
+        // But not "because of the exam alone": exam alone is no trigger.
+        let exam: VarSet = [v(0)].into_iter().collect();
+        assert!(!rc.even_if_because(&work, &exam));
+        // Overlapping sets are rejected.
+        assert!(!rc.even_if_because(&work, &work));
+    }
+}

@@ -1,0 +1,272 @@
+//! Decision trees and random forests as circuits (§5 of the paper).
+//!
+//! "Random forests represent less of a challenge for this role of logic":
+//! a decision tree over binary tests *is* a Boolean formula, and a
+//! majority-vote forest is a majority gate over tree formulas. The only
+//! work is computational — compiling the combination into a tractable
+//! circuit — done here with OBDD operations.
+
+use trl_core::{Assignment, FxHashMap, Var};
+use trl_obdd::{BddRef, Obdd};
+
+/// A binary decision tree over Boolean features.
+#[derive(Clone, Debug)]
+pub enum DecisionTree {
+    /// A class leaf.
+    Leaf(bool),
+    /// An internal test: `if feature { yes } else { no }`.
+    Test {
+        /// The tested feature.
+        feature: Var,
+        /// Subtree when the feature is false.
+        no: Box<DecisionTree>,
+        /// Subtree when the feature is true.
+        yes: Box<DecisionTree>,
+    },
+}
+
+impl DecisionTree {
+    /// Classifies an instance.
+    pub fn classify(&self, x: &Assignment) -> bool {
+        match self {
+            DecisionTree::Leaf(c) => *c,
+            DecisionTree::Test { feature, no, yes } => {
+                if x.value(*feature) {
+                    yes.classify(x)
+                } else {
+                    no.classify(x)
+                }
+            }
+        }
+    }
+
+    /// Compiles the tree into an OBDD (its Boolean formula).
+    pub fn compile(&self, m: &mut Obdd) -> BddRef {
+        match self {
+            DecisionTree::Leaf(c) => m.constant(*c),
+            DecisionTree::Test { feature, no, yes } => {
+                let lo = no.compile(m);
+                let hi = yes.compile(m);
+                let f = m.literal(feature.positive());
+                m.ite(f, hi, lo)
+            }
+        }
+    }
+
+    /// Greedy ID3-style induction on Boolean features: split on the
+    /// feature minimizing misclassifications, stop when pure or when
+    /// `max_depth` is reached (majority label at leaves).
+    pub fn induce(data: &[(Assignment, bool)], features: &[Var], max_depth: usize) -> Self {
+        let pos = data.iter().filter(|(_, y)| *y).count();
+        if data.is_empty() {
+            return DecisionTree::Leaf(false);
+        }
+        if pos == data.len() {
+            return DecisionTree::Leaf(true);
+        }
+        if pos == 0 {
+            return DecisionTree::Leaf(false);
+        }
+        if max_depth == 0 || features.is_empty() {
+            return DecisionTree::Leaf(pos * 2 >= data.len());
+        }
+        // Pick the split with the fewest resulting errors (majority rule
+        // per side).
+        let errors_of = |f: Var| -> usize {
+            let mut counts = [[0usize; 2]; 2]; // [feature value][label]
+            for (x, y) in data {
+                counts[x.value(f) as usize][*y as usize] += 1;
+            }
+            counts[0][0].min(counts[0][1]) + counts[1][0].min(counts[1][1])
+        };
+        let best = *features
+            .iter()
+            .min_by_key(|&&f| (errors_of(f), f.index()))
+            .unwrap();
+        let rest: Vec<Var> = features.iter().copied().filter(|&f| f != best).collect();
+        let (yes_data, no_data): (Vec<_>, Vec<_>) =
+            data.iter().cloned().partition(|(x, _)| x.value(best));
+        DecisionTree::Test {
+            feature: best,
+            no: Box::new(DecisionTree::induce(&no_data, &rest, max_depth - 1)),
+            yes: Box::new(DecisionTree::induce(&yes_data, &rest, max_depth - 1)),
+        }
+    }
+}
+
+/// A majority-voting random forest.
+#[derive(Clone, Debug)]
+pub struct RandomForest {
+    /// The member trees (odd count recommended for clean majorities).
+    pub trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Classifies by majority vote (ties → false).
+    pub fn classify(&self, x: &Assignment) -> bool {
+        let votes = self.trees.iter().filter(|t| t.classify(x)).count();
+        votes * 2 > self.trees.len()
+    }
+
+    /// Compiles the forest: each tree to its formula, combined by a
+    /// majority circuit ([`Obdd::at_least_k_of`]).
+    pub fn compile(&self, m: &mut Obdd) -> BddRef {
+        let tree_fns: Vec<BddRef> = self.trees.iter().map(|t| t.compile(m)).collect();
+        let k = self.trees.len() / 2 + 1;
+        m.at_least_k_of(&tree_fns, k)
+    }
+
+    /// Trains a forest by bagging: each tree sees a deterministic
+    /// pseudo-random resample of the data and a random feature subset.
+    pub fn train(
+        data: &[(Assignment, bool)],
+        num_features: usize,
+        num_trees: usize,
+        max_depth: usize,
+        seed: u64,
+    ) -> Self {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let trees = (0..num_trees)
+            .map(|_| {
+                let sample: Vec<(Assignment, bool)> = (0..data.len())
+                    .map(|_| data[(next() % data.len() as u64) as usize].clone())
+                    .collect();
+                // Random subset of ~2/3 of the features.
+                let mut feats: Vec<Var> = (0..num_features as u32).map(Var).collect();
+                feats.retain(|_| next() % 3 != 0);
+                if feats.is_empty() {
+                    feats.push(Var(0));
+                }
+                DecisionTree::induce(&sample, &feats, max_depth)
+            })
+            .collect();
+        RandomForest { trees }
+    }
+
+    /// Training accuracy of the forest on a dataset.
+    pub fn accuracy(&self, data: &[(Assignment, bool)]) -> f64 {
+        if data.is_empty() {
+            return 1.0;
+        }
+        let correct = data
+            .iter()
+            .filter(|(x, y)| self.classify(x) == *y)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+/// Convenience: cache-friendly exhaustive equivalence check between a
+/// classifier closure and a compiled diagram (tests and experiments).
+pub fn agrees_everywhere(
+    m: &Obdd,
+    f: BddRef,
+    n: usize,
+    classify: &dyn Fn(&Assignment) -> bool,
+) -> bool {
+    assert!(n <= 20);
+    let _cache: FxHashMap<u64, bool> = FxHashMap::default();
+    (0..1u64 << n).all(|code| {
+        let x = Assignment::from_index(code, n);
+        m.eval(f, &x) == classify(&x)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    fn xor_tree() -> DecisionTree {
+        DecisionTree::Test {
+            feature: v(0),
+            no: Box::new(DecisionTree::Test {
+                feature: v(1),
+                no: Box::new(DecisionTree::Leaf(false)),
+                yes: Box::new(DecisionTree::Leaf(true)),
+            }),
+            yes: Box::new(DecisionTree::Test {
+                feature: v(1),
+                no: Box::new(DecisionTree::Leaf(true)),
+                yes: Box::new(DecisionTree::Leaf(false)),
+            }),
+        }
+    }
+
+    #[test]
+    fn tree_compilation_matches_classification() {
+        let t = xor_tree();
+        let mut m = Obdd::with_num_vars(2);
+        let f = t.compile(&mut m);
+        assert!(agrees_everywhere(&m, f, 2, &|x| t.classify(x)));
+    }
+
+    #[test]
+    fn forest_majority_semantics() {
+        // Three trees: x0, x1, x0∧x1. Majority = at least 2.
+        let lit_tree = |i: u32| DecisionTree::Test {
+            feature: v(i),
+            no: Box::new(DecisionTree::Leaf(false)),
+            yes: Box::new(DecisionTree::Leaf(true)),
+        };
+        let and_tree = DecisionTree::Test {
+            feature: v(0),
+            no: Box::new(DecisionTree::Leaf(false)),
+            yes: Box::new(lit_tree(1)),
+        };
+        let forest = RandomForest {
+            trees: vec![lit_tree(0), lit_tree(1), and_tree],
+        };
+        let mut m = Obdd::with_num_vars(2);
+        let f = forest.compile(&mut m);
+        assert!(agrees_everywhere(&m, f, 2, &|x| forest.classify(x)));
+        // Majority of {x0, x1, x0∧x1} is x0∧x1.
+        let expected = {
+            let a = m.literal(v(0).positive());
+            let b = m.literal(v(1).positive());
+            m.and(a, b)
+        };
+        assert_eq!(f, expected);
+    }
+
+    #[test]
+    fn induction_fits_training_data() {
+        // A function with feature interactions: majority of 3 bits.
+        let data: Vec<(Assignment, bool)> = (0..8u64)
+            .map(|c| (Assignment::from_index(c, 3), c.count_ones() >= 2))
+            .collect();
+        let feats: Vec<Var> = (0..3).map(Var).collect();
+        let t = DecisionTree::induce(&data, &feats, 3);
+        for (x, y) in &data {
+            assert_eq!(t.classify(x), *y);
+        }
+        let mut m = Obdd::with_num_vars(3);
+        let f = t.compile(&mut m);
+        assert!(agrees_everywhere(&m, f, 3, &|x| t.classify(x)));
+    }
+
+    #[test]
+    fn trained_forest_compiles_faithfully() {
+        let data: Vec<(Assignment, bool)> = (0..32u64)
+            .map(|c| {
+                let a = Assignment::from_index(c, 5);
+                let y = (a.value(v(0)) && a.value(v(1))) || a.value(v(4));
+                (a, y)
+            })
+            .collect();
+        let forest = RandomForest::train(&data, 5, 5, 4, 99);
+        let mut m = Obdd::with_num_vars(5);
+        let f = forest.compile(&mut m);
+        assert!(agrees_everywhere(&m, f, 5, &|x| forest.classify(x)));
+        assert!(forest.accuracy(&data) > 0.8, "{}", forest.accuracy(&data));
+    }
+}

@@ -1,0 +1,124 @@
+//! Synthetic digit images: the workload standing in for the paper's
+//! 16×16 MNIST digits in Figs. 28–29 (see DESIGN.md's substitution table).
+//!
+//! Images are 4×4 binary pixels (16 inputs), so the *exact* exhaustive
+//! analyses of §5.2 — robustness of every one of the `2^16` instances —
+//! remain feasible, which is precisely the capability the paper
+//! showcases. Digit "0" is a ring, digit "1" a vertical bar; samples are
+//! prototypes with pseudo-random pixel noise.
+
+use trl_core::{Assignment, Var};
+
+/// Image side length.
+pub const SIDE: usize = 4;
+/// Number of pixels (= circuit inputs).
+pub const PIXELS: usize = SIDE * SIDE;
+
+/// The prototype of digit 0: a ring of on-pixels around the border.
+pub fn zero_prototype() -> Assignment {
+    let mut a = Assignment::all_false(PIXELS);
+    for r in 0..SIDE {
+        for c in 0..SIDE {
+            if r == 0 || r == SIDE - 1 || c == 0 || c == SIDE - 1 {
+                a.set(Var((r * SIDE + c) as u32), true);
+            }
+        }
+    }
+    // Hollow center is already false.
+    a
+}
+
+/// The prototype of digit 1: a vertical bar in the second column.
+pub fn one_prototype() -> Assignment {
+    let mut a = Assignment::all_false(PIXELS);
+    for r in 0..SIDE {
+        a.set(Var((r * SIDE + 1) as u32), true);
+    }
+    a
+}
+
+/// A deterministic noisy dataset: `per_class` samples of each digit, each
+/// pixel independently flipped with probability `noise`. Labels: digit 1 →
+/// `true`, digit 0 → `false`.
+pub fn digit_dataset(per_class: usize, noise: f64, seed: u64) -> Vec<(Assignment, bool)> {
+    let mut state = seed.max(1);
+    let mut uniform = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut out = Vec::with_capacity(per_class * 2);
+    for (proto, label) in [(zero_prototype(), false), (one_prototype(), true)] {
+        for _ in 0..per_class {
+            let mut img = proto.clone();
+            for p in 0..PIXELS {
+                if uniform() < noise {
+                    let v = Var(p as u32);
+                    img.set(v, !img.value(v));
+                }
+            }
+            out.push((img, label));
+        }
+    }
+    out
+}
+
+/// Renders an image as ASCII art (for experiment output).
+pub fn render(a: &Assignment) -> String {
+    let mut s = String::with_capacity(PIXELS + SIDE);
+    for r in 0..SIDE {
+        for c in 0..SIDE {
+            s.push(if a.value(Var((r * SIDE + c) as u32)) {
+                '█'
+            } else {
+                '·'
+            });
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototypes_differ_substantially() {
+        let z = zero_prototype();
+        let o = one_prototype();
+        assert!(z.hamming_distance(&o) >= 8);
+        // The ring has 12 on-pixels, the bar 4.
+        assert_eq!(z.values().iter().filter(|&&b| b).count(), 12);
+        assert_eq!(o.values().iter().filter(|&&b| b).count(), 4);
+    }
+
+    #[test]
+    fn dataset_is_deterministic_and_balanced() {
+        let d1 = digit_dataset(20, 0.1, 5);
+        let d2 = digit_dataset(20, 0.1, 5);
+        assert_eq!(d1.len(), 40);
+        assert_eq!(d1.iter().filter(|(_, y)| *y).count(), 20);
+        for (a, b) in d1.iter().zip(&d2) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1, b.1);
+        }
+    }
+
+    #[test]
+    fn zero_noise_reproduces_prototypes() {
+        let d = digit_dataset(3, 0.0, 9);
+        for (img, label) in d {
+            let proto = if label { one_prototype() } else { zero_prototype() };
+            assert_eq!(img, proto);
+        }
+    }
+
+    #[test]
+    fn render_shape() {
+        let s = render(&one_prototype());
+        assert_eq!(s.lines().count(), SIDE);
+        assert!(s.contains('█'));
+    }
+}

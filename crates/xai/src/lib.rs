@@ -1,0 +1,39 @@
+//! Logic for meta-reasoning (§5 of the paper): reasoning about the
+//! behavior of machine learning systems.
+//!
+//! The key observation: although classifiers are numeric and often
+//! model-free, they implement *discrete decision functions*, which can be
+//! extracted and represented as tractable circuits with the **same
+//! input–output behavior** (Fig. 23). Once compiled, questions that are
+//! intractable on the black box become circuit traversals:
+//!
+//! * [`naive_bayes`] — naive Bayes → ordered decision diagram (\[9\],
+//!   Fig. 25): the posterior-threshold test is a linear threshold in
+//!   log-odds space, compiled exactly.
+//! * [`neural`] — binarized neural networks → OBDD/SDD (\[15, 80\],
+//!   Figs. 28–29): each neuron is a threshold function; layers compose.
+//! * [`forest`] — decision trees and majority-vote random forests →
+//!   circuits (§5's "purely computational" case).
+//! * [`explain`] — sufficient reasons (PI-explanations \[82, 33\]),
+//!   complete-reason circuits extracted in linear time, decision and
+//!   classifier **bias** with respect to protected features, and
+//!   counterfactual "even if … because …" queries (Fig. 27).
+//! * [`robustness`] — decision robustness in linear time \[81\], exact model
+//!   robustness and full robustness histograms (Fig. 29), and formal
+//!   monotonicity verification.
+//! * [`images`] — the synthetic digit workload standing in for the paper's
+//!   16×16 MNIST digits (see DESIGN.md's substitution table).
+
+pub mod anchor;
+pub mod explain;
+pub mod forest;
+pub mod images;
+pub mod naive_bayes;
+pub mod neural;
+pub mod robustness;
+
+pub use anchor::{anchor, audit, AnchorVerdict};
+pub use explain::ReasonCircuit;
+pub use forest::{DecisionTree, RandomForest};
+pub use naive_bayes::NaiveBayes;
+pub use neural::Bnn;

@@ -1,0 +1,208 @@
+//! Compiling naive Bayes classifiers into ordered decision diagrams
+//! (\[9\], Fig. 25 of the paper).
+//!
+//! A naive Bayes classifier over binary features decides
+//! `Pr(class | features) ≥ T`, which in log-odds space is a **linear
+//! threshold test**: log-prior-odds plus a per-feature weight when the
+//! feature is positive. Compiling that test with the threshold DP yields an
+//! OBDD with the classifier's exact input–output behavior — the
+//! "pregnancy test" example of Fig. 25 is reproduced in `exp10`.
+
+use trl_core::Assignment;
+use trl_obdd::{BddRef, Obdd};
+
+/// A naive Bayes classifier with binary class and binary features.
+#[derive(Clone, Debug)]
+pub struct NaiveBayes {
+    /// `Pr(class = +)`.
+    pub prior: f64,
+    /// Per feature: `(Pr(feature=+ | class=+), Pr(feature=+ | class=−))`.
+    pub likelihoods: Vec<(f64, f64)>,
+    /// Decide positive when `Pr(class=+ | features) ≥ threshold`.
+    pub threshold: f64,
+}
+
+impl NaiveBayes {
+    /// Creates a classifier; all probabilities must be in `(0, 1)`.
+    pub fn new(prior: f64, likelihoods: Vec<(f64, f64)>, threshold: f64) -> Self {
+        assert!(prior > 0.0 && prior < 1.0);
+        assert!(threshold > 0.0 && threshold < 1.0);
+        assert!(likelihoods
+            .iter()
+            .all(|&(a, b)| a > 0.0 && a < 1.0 && b > 0.0 && b < 1.0));
+        NaiveBayes {
+            prior,
+            likelihoods,
+            threshold,
+        }
+    }
+
+    /// Number of features.
+    pub fn num_features(&self) -> usize {
+        self.likelihoods.len()
+    }
+
+    /// The canonical log-odds form: `(weights, offset)` such that the
+    /// decision is `offset + Σ_{i: xᵢ=1} weights[i] ≥ τ` with
+    /// `τ = ln(T/(1−T))`.
+    ///
+    /// Derivation: the posterior odds are
+    /// `prior-odds · Π p(xᵢ|+)/p(xᵢ|−)`; taking logs, a positive feature
+    /// contributes `ln(pᵢ/qᵢ)` and a negative one `ln((1−pᵢ)/(1−qᵢ))`;
+    /// folding the negative contributions into the offset leaves one
+    /// weight per positive feature.
+    pub fn log_odds_form(&self) -> (Vec<f64>, f64) {
+        let mut offset = (self.prior / (1.0 - self.prior)).ln();
+        let mut weights = Vec::with_capacity(self.likelihoods.len());
+        for &(p, q) in &self.likelihoods {
+            offset += ((1.0 - p) / (1.0 - q)).ln();
+            weights.push((p / q).ln() - ((1.0 - p) / (1.0 - q)).ln());
+        }
+        (weights, offset)
+    }
+
+    /// Classifies an instance. The decision is computed by the *same*
+    /// left-to-right f64 fold the compiler uses, so compilation is
+    /// bit-exactly faithful.
+    pub fn classify(&self, x: &Assignment) -> bool {
+        let (weights, offset) = self.log_odds_form();
+        let tau = (self.threshold / (1.0 - self.threshold)).ln();
+        let mut acc = 0.0f64;
+        for (i, w) in weights.iter().enumerate() {
+            if x.value(trl_core::Var(i as u32)) {
+                acc += w;
+            }
+        }
+        acc >= tau - offset
+    }
+
+    /// The posterior `Pr(class=+ | x)` (for reporting; the decision itself
+    /// goes through [`NaiveBayes::classify`]).
+    pub fn posterior(&self, x: &Assignment) -> f64 {
+        let mut pos = self.prior;
+        let mut neg = 1.0 - self.prior;
+        for (i, &(p, q)) in self.likelihoods.iter().enumerate() {
+            if x.value(trl_core::Var(i as u32)) {
+                pos *= p;
+                neg *= q;
+            } else {
+                pos *= 1.0 - p;
+                neg *= 1.0 - q;
+            }
+        }
+        pos / (pos + neg)
+    }
+
+    /// Compiles the classifier into an OBDD over features `0..n` — the
+    /// symbolic decision graph of Fig. 25. The diagram agrees with
+    /// [`NaiveBayes::classify`] on **every** instance.
+    pub fn compile(&self) -> (Obdd, BddRef) {
+        let (weights, offset) = self.log_odds_form();
+        let tau = (self.threshold / (1.0 - self.threshold)).ln();
+        let mut m = Obdd::with_num_vars(self.num_features());
+        let r = m.threshold_f64(&weights, tau - offset);
+        (m, r)
+    }
+
+    /// The Fig. 25 classifier: pregnancy (P) with blood (B), urine (U) and
+    /// scanning (S) tests. Parameters are fixed, documented choices such
+    /// that — as the paper narrates in §5.1 — `S = +` alone suffices for a
+    /// positive decision, and `B = +, U = +` is the only other sufficient
+    /// reason.
+    pub fn pregnancy() -> NaiveBayes {
+        NaiveBayes::new(
+            0.5,
+            vec![
+                (0.80, 0.15), // B: blood test
+                (0.85, 0.20), // U: urine test
+                (0.95, 0.02), // S: scanning test
+            ],
+            0.5,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_core::{Cube, Var};
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    #[test]
+    fn compiled_diagram_matches_classifier_everywhere() {
+        let nb = NaiveBayes::pregnancy();
+        let (m, r) = nb.compile();
+        for code in 0..8u64 {
+            let x = Assignment::from_index(code, 3);
+            assert_eq!(m.eval(r, &x), nb.classify(&x), "at {code:03b}");
+        }
+    }
+
+    #[test]
+    fn paper_narrative_sufficient_reasons_hold() {
+        // "Susan would be classified as pregnant as long as she tests
+        //  positive for the scanning test" and "B=+ve, U=+ve" is the only
+        //  other sufficient reason.
+        let nb = NaiveBayes::pregnancy();
+        let (mut m, r) = nb.compile();
+        // S=+ forces a positive decision regardless of B, U.
+        let s_only = m.condition(r, &Cube::from_lits([v(2).positive()]));
+        assert_eq!(s_only, Obdd::TRUE);
+        // B=+, U=+ forces a positive decision.
+        let bu = m.condition(r, &Cube::from_lits([v(0).positive(), v(1).positive()]));
+        assert_eq!(bu, Obdd::TRUE);
+        // Neither B=+ nor U=+ alone suffices.
+        for lit in [v(0).positive(), v(1).positive()] {
+            let c = m.condition(r, &Cube::from_lits([lit]));
+            assert_ne!(c, Obdd::TRUE);
+        }
+    }
+
+    #[test]
+    fn posterior_consistent_with_decision() {
+        let nb = NaiveBayes::pregnancy();
+        for code in 0..8u64 {
+            let x = Assignment::from_index(code, 3);
+            assert_eq!(
+                nb.classify(&x),
+                nb.posterior(&x) >= nb.threshold - 1e-12,
+                "at {code:03b}: posterior {}",
+                nb.posterior(&x)
+            );
+        }
+    }
+
+    #[test]
+    fn varying_threshold_changes_the_diagram() {
+        let strict = NaiveBayes::new(0.4, NaiveBayes::pregnancy().likelihoods, 0.99);
+        let (m, r) = strict.compile();
+        // At 99% confidence, no single test suffices: fewer accepting inputs.
+        let lax = NaiveBayes::pregnancy();
+        let (ml, rl) = lax.compile();
+        assert!(m.count_models(r) < ml.count_models(rl));
+        for code in 0..8u64 {
+            let x = Assignment::from_index(code, 3);
+            assert_eq!(m.eval(r, &x), strict.classify(&x));
+        }
+    }
+
+    #[test]
+    fn many_feature_classifier_compiles_and_agrees() {
+        // 10 features with varied informativeness.
+        let likelihoods: Vec<(f64, f64)> = (0..10)
+            .map(|i| {
+                let p = 0.55 + 0.04 * i as f64;
+                (p, 1.0 - p)
+            })
+            .collect();
+        let nb = NaiveBayes::new(0.3, likelihoods, 0.6);
+        let (m, r) = nb.compile();
+        for code in 0..1u64 << 10 {
+            let x = Assignment::from_index(code, 10);
+            assert_eq!(m.eval(r, &x), nb.classify(&x), "at {code:010b}");
+        }
+    }
+}

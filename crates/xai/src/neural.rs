@@ -1,0 +1,328 @@
+//! Compiling binarized neural networks into tractable circuits
+//! (\[15, 80\]; Figs. 28–29 of the paper).
+//!
+//! Each neuron with step activation is a linear threshold function
+//! `Σ wⱼ·inⱼ + b ≥ 0`; the input layer compiles with the threshold DP and
+//! deeper layers compile by thresholding over the previous layer's
+//! *diagrams* ([`Obdd::threshold_of`]). The result captures the network's
+//! exact input–output behavior, and — as §5.2 points out — each hidden
+//! neuron gets its own circuit, so per-neuron analysis ("of all inputs
+//! that fire this neuron, what fraction set pixel `i`?") is a counting
+//! query.
+//!
+//! Training is a deterministic hill climb over integer weights
+//! (see DESIGN.md: a stand-in for the paper's CNN training that preserves
+//! the compilation pipeline exactly).
+
+use trl_core::Assignment;
+use trl_obdd::{BddRef, Obdd};
+
+/// One layer of step-activation neurons over `{0,1}` inputs.
+#[derive(Clone, Debug)]
+pub struct BnnLayer {
+    /// `weights[j][i]`: weight of input `i` into neuron `j`.
+    pub weights: Vec<Vec<i64>>,
+    /// Bias per neuron; neuron fires when `Σ w·x + b ≥ 0`.
+    pub biases: Vec<i64>,
+}
+
+impl BnnLayer {
+    fn eval(&self, input: &[bool]) -> Vec<bool> {
+        self.weights
+            .iter()
+            .zip(&self.biases)
+            .map(|(w, &b)| {
+                let s: i64 = w
+                    .iter()
+                    .zip(input)
+                    .map(|(&wi, &x)| if x { wi } else { 0 })
+                    .sum();
+                s + b >= 0
+            })
+            .collect()
+    }
+}
+
+/// A binarized feed-forward network with a single output neuron.
+#[derive(Clone, Debug)]
+pub struct Bnn {
+    /// Number of input bits.
+    pub num_inputs: usize,
+    /// The layers; the last layer must have exactly one neuron.
+    pub layers: Vec<BnnLayer>,
+}
+
+impl Bnn {
+    /// Classifies an input.
+    pub fn classify(&self, x: &Assignment) -> bool {
+        let mut act: Vec<bool> = (0..self.num_inputs)
+            .map(|i| x.value(trl_core::Var(i as u32)))
+            .collect();
+        for layer in &self.layers {
+            act = layer.eval(&act);
+        }
+        debug_assert_eq!(act.len(), 1, "output layer must have one neuron");
+        act[0]
+    }
+
+    /// Compiles the network into an OBDD over the input variables. Returns
+    /// the manager, the output diagram, and the per-neuron diagrams of
+    /// every layer (outer index = layer), enabling the neuron-level
+    /// analysis of §5.2.
+    pub fn compile(&self) -> (Obdd, BddRef, Vec<Vec<BddRef>>) {
+        let mut m = Obdd::with_num_vars(self.num_inputs);
+        let mut per_layer: Vec<Vec<BddRef>> = Vec::with_capacity(self.layers.len());
+        // Input "activations" are the variables themselves.
+        let mut act: Vec<BddRef> = (0..self.num_inputs)
+            .map(|i| m.literal(trl_core::Var(i as u32).positive()))
+            .collect();
+        for layer in &self.layers {
+            let next: Vec<BddRef> = layer
+                .weights
+                .iter()
+                .zip(&layer.biases)
+                .map(|(w, &b)| m.threshold_of(&act, w, -b))
+                .collect();
+            per_layer.push(next.clone());
+            act = next;
+        }
+        let out = act[0];
+        (m, out, per_layer)
+    }
+
+    /// Of all inputs that make `neuron` fire, the fraction setting input
+    /// bit `i` — the neuron-interpretation query of §5.2. `None` if the
+    /// neuron never fires.
+    pub fn neuron_input_proportion(m: &Obdd, neuron: BddRef, i: usize) -> Option<f64> {
+        let total = m.count_models(neuron);
+        if total == 0 {
+            return None;
+        }
+        // Count models with bit i = 1 by conditioning through weights.
+        let mut w = trl_nnf::LitWeights::unit(m.num_vars());
+        w.set(trl_core::Var(i as u32).negative(), 0.0);
+        let with_bit = m.wmc(neuron, &w);
+        Some(with_bit / total as f64)
+    }
+
+    /// Trains a network of the given hidden width on labelled data by
+    /// deterministic coordinate-descent hill climbing over integer weights
+    /// in `[-bound, bound]`, with a handful of random restarts. Returns the
+    /// trained network and its training accuracy.
+    pub fn train(
+        num_inputs: usize,
+        hidden: usize,
+        data: &[(Assignment, bool)],
+        seed: u64,
+        passes: usize,
+    ) -> (Bnn, f64) {
+        let mut overall: Option<(Bnn, f64)> = None;
+        for restart in 0..5 {
+            let (net, acc) = Self::train_once(
+                num_inputs,
+                hidden,
+                data,
+                seed.wrapping_mul(0x9e37_79b9).wrapping_add(restart),
+                passes,
+            );
+            let better = overall.as_ref().is_none_or(|(_, best)| acc > *best);
+            if better {
+                overall = Some((net, acc));
+            }
+            if overall.as_ref().unwrap().1 >= 1.0 {
+                break;
+            }
+        }
+        overall.expect("at least one restart ran")
+    }
+
+    fn train_once(
+        num_inputs: usize,
+        hidden: usize,
+        data: &[(Assignment, bool)],
+        seed: u64,
+        passes: usize,
+    ) -> (Bnn, f64) {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let bound = 3i64;
+        let rand_w = |next: &mut dyn FnMut() -> u64| (next() % (2 * bound as u64 + 1)) as i64 - bound;
+        let mut net = Bnn {
+            num_inputs,
+            layers: vec![
+                BnnLayer {
+                    weights: (0..hidden)
+                        .map(|_| (0..num_inputs).map(|_| rand_w(&mut next)).collect())
+                        .collect(),
+                    biases: (0..hidden).map(|_| rand_w(&mut next)).collect(),
+                },
+                BnnLayer {
+                    weights: vec![(0..hidden).map(|_| rand_w(&mut next)).collect()],
+                    biases: vec![rand_w(&mut next)],
+                },
+            ],
+        };
+        let errors = |net: &Bnn| -> usize {
+            data.iter()
+                .filter(|(x, y)| net.classify(x) != *y)
+                .count()
+        };
+        let mut best = errors(&net);
+        for _ in 0..passes {
+            if best == 0 {
+                break;
+            }
+            for l in 0..net.layers.len() {
+                for j in 0..net.layers[l].weights.len() {
+                    for i in 0..=net.layers[l].weights[j].len() {
+                        let current = if i < net.layers[l].weights[j].len() {
+                            net.layers[l].weights[j][i]
+                        } else {
+                            net.layers[l].biases[j]
+                        };
+                        let mut best_val = current;
+                        for cand in -bound..=bound {
+                            if cand == current {
+                                continue;
+                            }
+                            if i < net.layers[l].weights[j].len() {
+                                net.layers[l].weights[j][i] = cand;
+                            } else {
+                                net.layers[l].biases[j] = cand;
+                            }
+                            let e = errors(&net);
+                            if e < best {
+                                best = e;
+                                best_val = cand;
+                            }
+                        }
+                        if i < net.layers[l].weights[j].len() {
+                            net.layers[l].weights[j][i] = best_val;
+                        } else {
+                            net.layers[l].biases[j] = best_val;
+                        }
+                    }
+                }
+            }
+        }
+        let acc = 1.0 - best as f64 / data.len().max(1) as f64;
+        (net, acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_core::Var;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    fn xor_net() -> Bnn {
+        // Exact XOR over 2 inputs with 2 hidden neurons:
+        // h1 = x0 ∨ x1 (x0 + x1 ≥ 1), h2 = ¬(x0 ∧ x1) (−x0 − x1 ≥ −1),
+        // out = h1 ∧ h2 (h1 + h2 ≥ 2).
+        Bnn {
+            num_inputs: 2,
+            layers: vec![
+                BnnLayer {
+                    weights: vec![vec![1, 1], vec![-1, -1]],
+                    biases: vec![-1, 1],
+                },
+                BnnLayer {
+                    weights: vec![vec![1, 1]],
+                    biases: vec![-2],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn handcrafted_xor_classifies_and_compiles() {
+        let net = xor_net();
+        let (m, out, layers) = net.compile();
+        for code in 0..4u64 {
+            let x = Assignment::from_index(code, 2);
+            let expected = (code & 1 == 1) != (code >> 1 & 1 == 1);
+            assert_eq!(net.classify(&x), expected, "classify at {code:02b}");
+            assert_eq!(m.eval(out, &x), expected, "circuit at {code:02b}");
+        }
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[0].len(), 2);
+    }
+
+    #[test]
+    fn compiled_network_matches_classifier_exhaustively() {
+        // A fixed arbitrary 4-input network with one hidden layer.
+        let net = Bnn {
+            num_inputs: 4,
+            layers: vec![
+                BnnLayer {
+                    weights: vec![vec![2, -1, 1, 0], vec![-2, 1, 1, 1], vec![1, 1, -2, -1]],
+                    biases: vec![-1, 0, 1],
+                },
+                BnnLayer {
+                    weights: vec![vec![1, -2, 2]],
+                    biases: vec![-1],
+                },
+            ],
+        };
+        let (m, out, _) = net.compile();
+        for code in 0..16u64 {
+            let x = Assignment::from_index(code, 4);
+            assert_eq!(m.eval(out, &x), net.classify(&x), "at {code:04b}");
+        }
+    }
+
+    #[test]
+    fn neuron_analysis_counts_firing_inputs() {
+        let net = xor_net();
+        let (m, _, layers) = net.compile();
+        // Hidden neuron h1 = x0 ∨ x1 fires on 3 inputs; 2 of them set x0.
+        let h1 = layers[0][0];
+        assert_eq!(m.count_models(h1), 3);
+        let p = Bnn::neuron_input_proportion(&m, h1, 0).unwrap();
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+        // A never-firing neuron reports None.
+        assert_eq!(Bnn::neuron_input_proportion(&m, Obdd::FALSE, 0), None);
+    }
+
+    #[test]
+    fn training_fits_a_separable_function() {
+        // Learn x0 ∧ x1 over 3 inputs from all 8 examples.
+        let data: Vec<(Assignment, bool)> = (0..8u64)
+            .map(|c| {
+                let a = Assignment::from_index(c, 3);
+                let y = a.value(v(0)) && a.value(v(1));
+                (a, y)
+            })
+            .collect();
+        let (net, acc) = Bnn::train(3, 2, &data, 42, 12);
+        assert!(acc >= 0.99, "training accuracy {acc}");
+        let (m, out, _) = net.compile();
+        for (x, y) in &data {
+            assert_eq!(m.eval(out, x), *y);
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let data: Vec<(Assignment, bool)> = (0..16u64)
+            .map(|c| {
+                let a = Assignment::from_index(c, 4);
+                (a, c.count_ones() >= 2)
+            })
+            .collect();
+        let (n1, a1) = Bnn::train(4, 3, &data, 7, 6);
+        let (n2, a2) = Bnn::train(4, 3, &data, 7, 6);
+        assert_eq!(a1, a2);
+        assert_eq!(n1.layers[0].weights, n2.layers[0].weights);
+        assert_eq!(n1.layers[1].biases, n2.layers[1].biases);
+    }
+}

@@ -1,0 +1,224 @@
+//! Robustness and formal properties (§5.2 of the paper, \[80, 81\]).
+//!
+//! * **Decision robustness** — the smallest number of feature flips that
+//!   change the decision on an instance. coNP-complete on the black box;
+//!   linear in a compiled OBDD \[81\].
+//! * **Model robustness** — the average decision robustness over *all*
+//!   instances \[80\]. Computed exactly here by layered Hamming-ball
+//!   expansion with circuit operations, producing the full histogram
+//!   behind Fig. 29 ("the robustness of 2^256 instances" — here 2^n).
+//! * **Monotonicity** — a global property provable on the circuit (§5.2's
+//!   closing example).
+
+use trl_core::{Assignment, Var};
+use trl_obdd::{BddRef, Obdd};
+
+/// The exact robustness profile of a classifier.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RobustnessProfile {
+    /// `histogram[k]` = number of instances with decision robustness
+    /// exactly `k + 1` (an instance at distance `d` from the decision
+    /// boundary set needs `d` flips; minimum meaningful robustness is 1).
+    pub histogram: Vec<u128>,
+    /// The average robustness over all `2^n` instances — the paper's
+    /// "model robustness" (11.77 vs 3.62 for the two nets of Fig. 29).
+    pub model_robustness: f64,
+    /// The largest robustness any instance attains (27 vs 13 in Fig. 29).
+    pub max_robustness: u32,
+}
+
+/// Decision robustness of `f` at `x`: the minimum flips changing the
+/// decision, or `None` for constant functions (no flip ever changes it).
+pub fn decision_robustness(m: &Obdd, f: BddRef, x: &Assignment) -> Option<u32> {
+    let current = m.eval(f, x);
+    m.min_flips_to(f, x, !current)
+}
+
+/// The exact robustness histogram of `f` over all `2^n` instances, by
+/// layered expansion: `L₀` = instances of the opposite class; `L_{k+1}` =
+/// `L_k` plus everything one flip away. Instances first reached at layer
+/// `k` have robustness `k`. Returns `None` for constant functions.
+pub fn robustness_profile(m: &mut Obdd, f: BddRef) -> Option<RobustnessProfile> {
+    if f == Obdd::TRUE || f == Obdd::FALSE {
+        return None;
+    }
+    let n = m.num_vars();
+    let vars: Vec<Var> = m.order().to_vec();
+    let total = 1u128 << n;
+    let mut histogram = Vec::new();
+    let mut weighted = 0u128;
+    let mut max_robustness = 0u32;
+
+    // Process each class: distance of class-c instances to the ¬c set.
+    for class in [true, false] {
+        let class_set = if class { f } else { m.not(f) };
+        let mut layer = m.not(class_set); // L₀: the opposite class
+        let mut k = 0u32;
+        let mut reached_prev = m.count_models(layer); // instances at distance ≤ k (incl. other class)
+        loop {
+            k += 1;
+            // Expand by one flip.
+            let mut next = layer;
+            for &v in &vars {
+                let flipped = m.flip_var(layer, v);
+                next = m.or(next, flipped);
+            }
+            let in_class_now = {
+                let x = m.and(next, class_set);
+                m.count_models(x)
+            };
+            let in_class_prev = {
+                let x = m.and(layer, class_set);
+                m.count_models(x)
+            };
+            let newly = in_class_now - in_class_prev;
+            if histogram.len() < k as usize {
+                histogram.resize(k as usize, 0);
+            }
+            histogram[(k - 1) as usize] += newly;
+            weighted += newly * k as u128;
+            if newly > 0 {
+                max_robustness = max_robustness.max(k);
+            }
+            let reached = m.count_models(next);
+            if reached == total {
+                break;
+            }
+            assert!(reached > reached_prev, "expansion stalled");
+            reached_prev = reached;
+            layer = next;
+        }
+    }
+    Some(RobustnessProfile {
+        model_robustness: weighted as f64 / total as f64,
+        max_robustness,
+        histogram,
+    })
+}
+
+/// Whether `f` is monotone (non-decreasing) in `var`: flipping `var` from
+/// 0 to 1 never turns the decision off. One implication check on the
+/// circuit — the formal property proof of §5.2.
+pub fn is_monotone_in(m: &mut Obdd, f: BddRef, var: Var) -> bool {
+    let f0 = m.restrict(f, var, false);
+    let f1 = m.restrict(f, var, true);
+    let imp = m.implies(f0, f1);
+    imp == Obdd::TRUE
+}
+
+/// Whether `f` is monotone in every variable — e.g. "a loan applicant is
+/// always approved when they only improve on an approved applicant".
+pub fn is_monotone(m: &mut Obdd, f: BddRef) -> bool {
+    let vars: Vec<Var> = m.order().to_vec();
+    vars.into_iter().all(|v| is_monotone_in(m, f, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_prop::Formula;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    fn brute_profile(m: &Obdd, f: BddRef) -> (f64, u32, Vec<u128>) {
+        let n = m.num_vars();
+        let mut hist: Vec<u128> = Vec::new();
+        let mut total = 0u128;
+        let mut maxr = 0u32;
+        for code in 0..1u64 << n {
+            let x = Assignment::from_index(code, n);
+            let cls = m.eval(f, &x);
+            let mut best = u32::MAX;
+            for other in 0..1u64 << n {
+                let y = Assignment::from_index(other, n);
+                if m.eval(f, &y) != cls {
+                    best = best.min(x.hamming_distance(&y) as u32);
+                }
+            }
+            total += best as u128;
+            maxr = maxr.max(best);
+            if hist.len() < best as usize {
+                hist.resize(best as usize, 0);
+            }
+            hist[(best - 1) as usize] += 1;
+        }
+        (total as f64 / (1u128 << n) as f64, maxr, hist)
+    }
+
+    #[test]
+    fn decision_robustness_matches_min_flips() {
+        let f = Formula::var(v(0))
+            .and(Formula::var(v(1)))
+            .or(Formula::var(v(2)).and(Formula::var(v(3))));
+        let mut m = Obdd::with_num_vars(4);
+        let r = m.build_formula(&f);
+        for code in 0..16u64 {
+            let x = Assignment::from_index(code, 4);
+            let rob = decision_robustness(&m, r, &x).unwrap();
+            let cls = m.eval(r, &x);
+            let brute = (0..16u64)
+                .map(|c| Assignment::from_index(c, 4))
+                .filter(|y| m.eval(r, y) != cls)
+                .map(|y| x.hamming_distance(&y) as u32)
+                .min()
+                .unwrap();
+            assert_eq!(rob, brute, "at {code:04b}");
+        }
+    }
+
+    #[test]
+    fn profile_matches_brute_force() {
+        let f = Formula::var(v(0))
+            .xor(Formula::var(v(1)))
+            .or(Formula::var(v(2)).and(Formula::var(v(3))));
+        let mut m = Obdd::with_num_vars(4);
+        let r = m.build_formula(&f);
+        let profile = robustness_profile(&mut m, r).unwrap();
+        let (avg, maxr, hist) = brute_profile(&m, r);
+        assert!((profile.model_robustness - avg).abs() < 1e-12);
+        assert_eq!(profile.max_robustness, maxr);
+        assert_eq!(profile.histogram, hist);
+        // Histogram totals the instance space.
+        let total: u128 = profile.histogram.iter().sum();
+        assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn profile_on_high_robustness_function() {
+        // A cube x0∧x1∧x2∧x3: the all-ones instance flips with 1;
+        // the all-zeros instance needs... distance to the unique model.
+        let f = Formula::conj((0..4).map(|i| Formula::var(v(i))));
+        let mut m = Obdd::with_num_vars(4);
+        let r = m.build_formula(&f);
+        let profile = robustness_profile(&mut m, r).unwrap();
+        let (avg, maxr, hist) = brute_profile(&m, r);
+        assert!((profile.model_robustness - avg).abs() < 1e-12);
+        assert_eq!(profile.max_robustness, maxr);
+        assert_eq!(maxr, 4);
+        assert_eq!(profile.histogram, hist);
+    }
+
+    #[test]
+    fn constants_have_no_profile() {
+        let mut m = Obdd::with_num_vars(3);
+        assert!(robustness_profile(&mut m, Obdd::TRUE).is_none());
+        let x = Assignment::from_index(0, 3);
+        assert_eq!(decision_robustness(&m, Obdd::TRUE, &x), None);
+    }
+
+    #[test]
+    fn monotonicity_checks() {
+        let mut m = Obdd::with_num_vars(3);
+        // Monotone: x0 ∨ (x1 ∧ x2).
+        let f = m.build_formula(&Formula::var(v(0)).or(Formula::var(v(1)).and(Formula::var(v(2)))));
+        assert!(is_monotone(&mut m, f));
+        // Not monotone in x1: x0 ⊕ x1.
+        let g = m.build_formula(&Formula::var(v(0)).xor(Formula::var(v(1))));
+        assert!(!is_monotone_in(&mut m, g, v(1)));
+        assert!(!is_monotone(&mut m, g));
+        // Monotone in an irrelevant variable.
+        assert!(is_monotone_in(&mut m, f, v(2)));
+    }
+}

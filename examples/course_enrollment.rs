@@ -1,0 +1,70 @@
+//! Role 2 — learning from data and knowledge: the course-enrollment PSDD
+//! of Figs. 13–15.
+//!
+//! ```sh
+//! cargo run --example course_enrollment
+//! ```
+
+use three_roles::core::{Assignment, PartialAssignment, Var};
+use three_roles::prop::Formula;
+use three_roles::psdd::Psdd;
+use three_roles::sdd::SddManager;
+
+const L: u32 = 0; // Logic
+const K: u32 = 1; // Knowledge Representation
+const P: u32 = 2; // Probability
+const A: u32 = 3; // Artificial Intelligence
+
+fn main() {
+    // Domain knowledge (Fig. 15): Logic or Probability is required; AI
+    // requires Probability; KR requires AI or Logic.
+    let constraint = Formula::conj([
+        Formula::var(Var(P)).or(Formula::var(Var(L))),
+        Formula::var(Var(A)).implies(Formula::var(Var(P))),
+        Formula::var(Var(K)).implies(Formula::var(Var(A)).or(Formula::var(Var(L)))),
+    ]);
+
+    // Compile the knowledge into an SDD: impossible enrollments vanish.
+    let mut m = SddManager::balanced(4);
+    let sdd = m.build_formula(&constraint);
+    println!("valid course combinations: {}", m.model_count(sdd));
+
+    // Attach a distribution: a PSDD with uniform initial parameters.
+    let mut psdd = Psdd::from_sdd(&m, sdd);
+
+    // The enrollment table (synthetic counts standing in for Fig. 15).
+    let counts = [30.0, 6.0, 5.0, 10.0, 12.0, 8.0, 4.0, 20.0, 5.0];
+    let data: Vec<(Assignment, f64)> = (0..16u64)
+        .map(|c| Assignment::from_index(c, 4))
+        .filter(|a| psdd.supports(a))
+        .zip(counts)
+        .collect();
+
+    // One-pass maximum-likelihood learning.
+    psdd.learn(&data, 0.0);
+    println!("learned PSDD with {} parameters (elements)\n", psdd.size());
+
+    // Reason with the learned distribution.
+    let mut kr = PartialAssignment::new(4);
+    kr.assign(Var(K).positive());
+    println!("Pr(takes KR) = {:.4}", psdd.marginal(&kr));
+
+    let mut ai = PartialAssignment::new(4);
+    ai.assign(Var(A).positive());
+    println!("Pr(takes AI | takes KR) = {:.4}", psdd.conditional(&ai, &kr));
+
+    let (mpe, p) = psdd.mpe(&PartialAssignment::new(4));
+    println!(
+        "most probable enrollment: L={} K={} P={} A={} (p = {:.4})",
+        mpe.value(Var(L)) as u8,
+        mpe.value(Var(K)) as u8,
+        mpe.value(Var(P)) as u8,
+        mpe.value(Var(A)) as u8,
+        p
+    );
+
+    // Impossible combinations keep probability 0 no matter the data.
+    let impossible = Assignment::from_index(0, 4); // nothing taken
+    assert_eq!(psdd.probability(&impossible), 0.0);
+    println!("\nPr(no courses at all) = 0 — excluded by the knowledge ✓");
+}

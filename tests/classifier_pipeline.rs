@@ -1,0 +1,84 @@
+//! Integration: classifier → circuit → explanation/robustness queries, with
+//! every verdict cross-checked against brute force.
+
+use three_roles::core::{Assignment, Var, VarSet};
+use three_roles::obdd::Obdd;
+use three_roles::prop::{sufficient_reasons, TruthTable};
+use three_roles::xai::robustness::{decision_robustness, robustness_profile};
+use three_roles::xai::{images, Bnn, NaiveBayes, RandomForest, ReasonCircuit};
+
+#[test]
+fn naive_bayes_explanations_match_oracle() {
+    let nb = NaiveBayes::pregnancy();
+    let (mut m, f) = nb.compile();
+    let tt = TruthTable::from_fn(3, |a| nb.classify(a));
+    for code in 0..8u64 {
+        let x = Assignment::from_index(code, 3);
+        let rc = ReasonCircuit::new(&mut m, f, &x);
+        assert_eq!(rc.sufficient_reasons(), sufficient_reasons(&tt, &x));
+    }
+}
+
+#[test]
+fn forest_robustness_matches_brute_force() {
+    let data: Vec<(Assignment, bool)> = (0..32u64)
+        .map(|c| {
+            let a = Assignment::from_index(c, 5);
+            (a, c.count_ones() >= 3)
+        })
+        .collect();
+    let forest = RandomForest::train(&data, 5, 5, 4, 3);
+    let mut m = Obdd::with_num_vars(5);
+    let f = forest.compile(&mut m);
+    for code in 0..32u64 {
+        let x = Assignment::from_index(code, 5);
+        let cls = m.eval(f, &x);
+        let brute = (0..32u64)
+            .map(|c| Assignment::from_index(c, 5))
+            .filter(|y| m.eval(f, y) != cls)
+            .map(|y| x.hamming_distance(&y) as u32)
+            .min();
+        assert_eq!(decision_robustness(&m, f, &x), brute);
+    }
+}
+
+#[test]
+fn bnn_pipeline_small_images() {
+    let train = images::digit_dataset(30, 0.05, 1);
+    let (net, acc) = Bnn::train(images::PIXELS, 2, &train, 9, 4);
+    assert!(acc > 0.9);
+    let (mut m, f, _) = net.compile();
+    // Circuit = network on every training image.
+    for (x, _) in &train {
+        assert_eq!(m.eval(f, x), net.classify(x));
+    }
+    // Robustness histogram covers the space.
+    if let Some(profile) = robustness_profile(&mut m, f) {
+        let total: u128 = profile.histogram.iter().sum();
+        assert_eq!(total, 1u128 << images::PIXELS);
+        assert!(profile.model_robustness >= 1.0);
+    }
+}
+
+#[test]
+fn bias_audit_consistency() {
+    // For every instance: decision_is_biased ⟺ flipping protected features
+    // alone can change the decision (here one protected feature).
+    let data: Vec<(Assignment, bool)> = (0..16u64)
+        .map(|c| {
+            let a = Assignment::from_index(c, 4);
+            let y = (a.value(Var(0)) && a.value(Var(1))) || a.value(Var(3));
+            (a, y)
+        })
+        .collect();
+    let forest = RandomForest::train(&data, 4, 3, 4, 12);
+    let mut m = Obdd::with_num_vars(4);
+    let f = forest.compile(&mut m);
+    let protected: VarSet = [Var(3)].into_iter().collect();
+    for code in 0..16u64 {
+        let x = Assignment::from_index(code, 4);
+        let mut rc = ReasonCircuit::new(&mut m, f, &x);
+        let brute = m.eval(f, &x.flipped(Var(3))) != m.eval(f, &x);
+        assert_eq!(rc.decision_is_biased(&protected), brute, "at {code:04b}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Integration: combinatorial spaces → circuits → PSDDs → learning.
+
+use three_roles::core::{Assignment, PartialAssignment, Var};
+use three_roles::psdd::Psdd;
+use three_roles::sdd::SddManager;
+use three_roles::spaces::rankings::RankingSpace;
+use three_roles::spaces::{compile_simple_paths, GridMap};
+use three_roles::vtree::Vtree;
+
+#[test]
+fn route_psdd_learning_end_to_end() {
+    let g = GridMap::new(3, 3);
+    let (s, t) = (g.node(0, 0), g.node(2, 2));
+    let (obdd, root) = compile_simple_paths(g.graph(), s, t);
+    let m_edges = g.graph().num_edges();
+    let mut sdd = SddManager::new(Vtree::right_linear(
+        &(0..m_edges as u32).map(Var).collect::<Vec<_>>(),
+    ));
+    let support = sdd.from_obdd(&obdd, root);
+    let mut psdd = Psdd::from_sdd(&sdd, support);
+
+    // Learn from two specific routes only.
+    let paths = g.graph().enumerate_simple_paths(s, t);
+    let data: Vec<(Assignment, f64)> = vec![
+        (g.graph().assignment_of(&paths[0]), 3.0),
+        (g.graph().assignment_of(&paths[1]), 1.0),
+    ];
+    psdd.learn(&data, 0.0);
+    let p0 = psdd.probability(&data[0].0);
+    let p1 = psdd.probability(&data[1].0);
+    assert!(p0 > p1, "heavier route should be more likely");
+    // Distribution normalizes over all routes.
+    let total: f64 = paths
+        .iter()
+        .map(|p| psdd.probability(&g.graph().assignment_of(p)))
+        .sum();
+    assert!((total - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn ranking_psdd_normalizes_over_permutations() {
+    let space = RankingSpace::new(3);
+    let (obdd, root) = space.compile();
+    let mut sdd = SddManager::new(Vtree::right_linear(
+        &(0..9u32).map(Var).collect::<Vec<_>>(),
+    ));
+    let support = sdd.from_obdd(&obdd, root);
+    let mut psdd = Psdd::from_sdd(&sdd, support);
+    let data = vec![
+        (space.encode(&[0, 1, 2]), 5.0),
+        (space.encode(&[1, 0, 2]), 2.0),
+        (space.encode(&[2, 1, 0]), 1.0),
+    ];
+    psdd.learn(&data, 0.1);
+    let mut total = 0.0;
+    for code in 0..1u64 << 9 {
+        let a = Assignment::from_index(code, 9);
+        let p = psdd.probability(&a);
+        if space.decode(&a).is_none() {
+            assert_eq!(p, 0.0, "invalid ranking got probability");
+        }
+        total += p;
+    }
+    assert!((total - 1.0).abs() < 1e-9);
+    // Marginal: item 0 first is the most likely.
+    let mut e = PartialAssignment::new(9);
+    e.assign(space.var(0, 0).positive());
+    assert!(psdd.marginal(&e) > 0.5);
+}
+
+#[test]
+fn sampled_routes_are_valid_and_match_marginals() {
+    let g = GridMap::new(3, 3);
+    let (s, t) = (g.node(0, 0), g.node(2, 2));
+    let (obdd, root) = compile_simple_paths(g.graph(), s, t);
+    let mut sdd = SddManager::new(Vtree::right_linear(
+        &(0..g.graph().num_edges() as u32).map(Var).collect::<Vec<_>>(),
+    ));
+    let support = sdd.from_obdd(&obdd, root);
+    let psdd = Psdd::from_sdd(&sdd, support);
+    let mut state = 0x51u64;
+    let mut uniform = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for _ in 0..500 {
+        let route = psdd.sample(&mut uniform);
+        assert!(g.graph().is_simple_path(&route, s, t));
+    }
+}
