@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Lint + format gate. Run from the repo root (or any subdirectory):
+#
+#   ci/check.sh          # clippy (all targets, warnings are errors) + fmt
+#   ci/check.sh --fix    # apply clippy suggestions and rustfmt in place
+#
+# The same commands run in CI; keep them byte-for-byte in sync.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--fix" ]]; then
+    cargo clippy --workspace --all-targets --fix --allow-dirty --allow-staged -- -D warnings
+    cargo fmt --all
+else
+    cargo clippy --workspace --all-targets -- -D warnings
+    cargo fmt --all --check
+fi
+
+echo "ci/check.sh: OK"

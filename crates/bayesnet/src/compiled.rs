@@ -59,11 +59,7 @@ impl CompiledBn {
         self.enc
             .indicators
             .iter()
-            .map(|ind| {
-                ind.iter()
-                    .map(|v| marginals[v.index()].0 / total)
-                    .collect()
-            })
+            .map(|ind| ind.iter().map(|v| marginals[v.index()].0 / total).collect())
             .collect()
     }
 

@@ -73,8 +73,7 @@ impl BnEncoding {
 
         for v in 0..bn.num_vars() {
             let parents = bn.parents(v).to_vec();
-            let parent_cards: Vec<usize> =
-                parents.iter().map(|&p| bn.cardinality(p)).collect();
+            let parent_cards: Vec<usize> = parents.iter().map(|&p| bn.cardinality(p)).collect();
             let n_configs: usize = parent_cards.iter().product();
             // Context cube of a row: λ_{v=x} ∧ λ_{u₁=c₁} ∧ ⋯
             let context = |config: usize, x: usize| -> Vec<Lit> {
@@ -162,8 +161,7 @@ impl BnEncoding {
                             for &r in &row_vars {
                                 clauses.push(vec![theta.positive(), r.negative()]);
                             }
-                            let mut big: Vec<Lit> =
-                                row_vars.iter().map(|r| r.positive()).collect();
+                            let mut big: Vec<Lit> = row_vars.iter().map(|r| r.positive()).collect();
                             big.push(theta.negative());
                             clauses.push(big);
                         }

@@ -65,9 +65,7 @@ impl Factor {
         let mut cards = Vec::new();
         let (mut i, mut j) = (0, 0);
         while i < self.vars.len() || j < other.vars.len() {
-            if j >= other.vars.len()
-                || (i < self.vars.len() && self.vars[i] < other.vars[j])
-            {
+            if j >= other.vars.len() || (i < self.vars.len() && self.vars[i] < other.vars[j]) {
                 vars.push(self.vars[i]);
                 cards.push(self.cards[i]);
                 i += 1;

@@ -88,7 +88,11 @@ pub fn random_network(seed: u64, n: usize, max_parents: usize, determinism: f64)
     let mut rng = NetRng::new(seed);
     let mut bn = BayesNet::new();
     for v in 0..n {
-        let n_parents = if v == 0 { 0 } else { rng.below(max_parents.min(v) + 1) };
+        let n_parents = if v == 0 {
+            0
+        } else {
+            rng.below(max_parents.min(v) + 1)
+        };
         let mut parents = Vec::with_capacity(n_parents);
         while parents.len() < n_parents {
             let p = rng.below(v);
@@ -107,8 +111,7 @@ pub fn random_network(seed: u64, n: usize, max_parents: usize, determinism: f64)
                 p_true.push(0.05 + 0.9 * rng.next_f64());
             }
         }
-        bn.add_bool_var(format!("X{v}"), &parents, &p_true)
-            .unwrap();
+        bn.add_bool_var(format!("X{v}"), &parents, &p_true).unwrap();
     }
     bn
 }

@@ -148,10 +148,7 @@ impl BayesNet {
         assert_eq!(instantiation.len(), self.num_vars());
         (0..self.num_vars())
             .map(|v| {
-                let pv: Vec<usize> = self.parents[v]
-                    .iter()
-                    .map(|&p| instantiation[p])
-                    .collect();
+                let pv: Vec<usize> = self.parents[v].iter().map(|&p| instantiation[p]).collect();
                 self.cpt_entry(v, instantiation[v], &pv)
             })
             .product()
@@ -213,12 +210,7 @@ mod tests {
         let mut bn = BayesNet::new();
         let a = bn.add_var("A", 3, &[], vec![0.2, 0.3, 0.5]).unwrap();
         let b = bn
-            .add_var(
-                "B",
-                2,
-                &[a],
-                vec![0.9, 0.1, 0.5, 0.5, 0.2, 0.8],
-            )
+            .add_var("B", 2, &[a], vec![0.9, 0.1, 0.5, 0.5, 0.2, 0.8])
             .unwrap();
         assert!((bn.cpt_entry(b, 1, &[2]) - 0.8).abs() < 1e-12);
         let total: f64 = bn.instantiations().map(|i| bn.joint(&i)).sum();
@@ -233,9 +225,7 @@ mod tests {
         assert!(bn.add_var("badsum", 2, &[], vec![0.5, 0.6]).is_err());
         assert!(bn.add_var("badparent", 2, &[3], vec![0.5, 0.5]).is_err());
         let a = bn.add_bool_var("A", &[], &[0.5]).unwrap();
-        assert!(bn
-            .add_var("badlen", 2, &[a], vec![0.5, 0.5])
-            .is_err());
+        assert!(bn.add_var("badlen", 2, &[a], vec![0.5, 0.5]).is_err());
         assert_eq!(bn.var_by_name("A"), Some(a));
         assert_eq!(bn.var_by_name("missing"), None);
     }

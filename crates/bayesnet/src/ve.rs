@@ -58,28 +58,22 @@ impl BayesNet {
     /// needed (min-degree style: smallest resulting factor first).
     fn eliminate_all(&self, mut factors: Vec<Factor>, keep: &[usize]) -> Factor {
         let mut to_eliminate: Vec<usize> = (0..self.num_vars())
-            .filter(|v| {
-                !keep.contains(v) && factors.iter().any(|f| f.vars().contains(v))
-            })
+            .filter(|v| !keep.contains(v) && factors.iter().any(|f| f.vars().contains(v)))
             .collect();
-        while let Some(&var) = to_eliminate
-            .iter()
-            .min_by_key(|&&v| {
-                // Greedy: eliminate the variable whose product factor is smallest.
-                let mut vars: Vec<usize> = Vec::new();
-                for f in &factors {
-                    if f.vars().contains(&v) {
-                        vars.extend_from_slice(f.vars());
-                    }
+        while let Some(&var) = to_eliminate.iter().min_by_key(|&&v| {
+            // Greedy: eliminate the variable whose product factor is smallest.
+            let mut vars: Vec<usize> = Vec::new();
+            for f in &factors {
+                if f.vars().contains(&v) {
+                    vars.extend_from_slice(f.vars());
                 }
-                vars.sort_unstable();
-                vars.dedup();
-                vars.iter().map(|&u| self.cardinality(u)).product::<usize>()
-            })
-        {
-            let (involved, rest): (Vec<Factor>, Vec<Factor>) = factors
-                .into_iter()
-                .partition(|f| f.vars().contains(&var));
+            }
+            vars.sort_unstable();
+            vars.dedup();
+            vars.iter().map(|&u| self.cardinality(u)).product::<usize>()
+        }) {
+            let (involved, rest): (Vec<Factor>, Vec<Factor>) =
+                factors.into_iter().partition(|f| f.vars().contains(&var));
             let mut prod = Factor::scalar(1.0);
             for f in involved {
                 prod = prod.multiply(&f);

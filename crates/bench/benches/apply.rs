@@ -1,6 +1,6 @@
-//! Criterion bench: the polytime apply operations of OBDDs and SDDs (§3).
+//! Bench: the polytime apply operations of OBDDs and SDDs (§3).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use trl_bench::harness::Harness;
 use trl_bench::{random_3cnf, Rng};
 use trl_obdd::Obdd;
 use trl_prop::Cnf;
@@ -13,37 +13,28 @@ fn halves(n: usize) -> (Cnf, Cnf) {
     (a, b)
 }
 
-fn bench_apply(c: &mut Criterion) {
+fn bench_apply(h: &Harness) {
     let n = 14;
     let (fa, fb) = halves(n);
-    let mut group = c.benchmark_group("apply");
-    group.bench_function("obdd-conjoin", |b| {
-        b.iter(|| {
-            let mut m = Obdd::with_num_vars(n);
-            let x = m.build_cnf(&fa);
-            let y = m.build_cnf(&fb);
-            m.and(x, y)
-        })
+    let mut group = h.group("apply");
+    group.bench_function("obdd-conjoin", || {
+        let mut m = Obdd::with_num_vars(n);
+        let x = m.build_cnf(&fa);
+        let y = m.build_cnf(&fb);
+        m.and(x, y)
     });
-    group.bench_function("sdd-conjoin-balanced", |b| {
-        b.iter(|| {
-            let mut m = SddManager::balanced(n);
-            let x = m.build_cnf(&fa);
-            let y = m.build_cnf(&fb);
-            m.and(x, y)
-        })
-    });
-    group.bench_function("sdd-negate", |b| {
+    group.bench_function("sdd-conjoin-balanced", || {
         let mut m = SddManager::balanced(n);
         let x = m.build_cnf(&fa);
-        b.iter(|| m.negate(x))
+        let y = m.build_cnf(&fb);
+        m.and(x, y)
     });
-    group.finish();
+    let mut m = SddManager::balanced(n);
+    let x = m.build_cnf(&fa);
+    group.bench_function("sdd-negate", || m.negate(x));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500)).sample_size(20);
-    targets = bench_apply
+fn main() {
+    let h = Harness::from_env();
+    bench_apply(&h);
 }
-criterion_main!(benches);

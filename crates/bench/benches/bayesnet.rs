@@ -1,29 +1,24 @@
-//! Criterion bench: MAR by variable elimination vs the compiled circuit —
-//! the dedicated-vs-reduction comparison of §2.
+//! Bench: MAR by variable elimination vs the compiled circuit — the
+//! dedicated-vs-reduction comparison of §2.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use trl_bayesnet::models::random_network;
 use trl_bayesnet::{CompiledBn, EncodingStyle};
+use trl_bench::harness::Harness;
 
-fn bench_bayesnet(c: &mut Criterion) {
+fn bench_bayesnet(h: &Harness) {
     let bn = random_network(7, 12, 3, 0.5);
     let compiled = CompiledBn::new(bn.clone(), EncodingStyle::LocalStructure);
     let ev = vec![(3usize, 1usize)];
-    let mut group = c.benchmark_group("bayesnet");
-    group.bench_function("mar-ve", |b| b.iter(|| bn.posterior(0, &ev)));
-    group.bench_function("mar-circuit-all-marginals", |b| {
-        b.iter(|| compiled.posteriors(&ev))
+    let mut group = h.group("bayesnet");
+    group.bench_function("mar-ve", || bn.posterior(0, &ev));
+    group.bench_function("mar-circuit-all-marginals", || compiled.posteriors(&ev));
+    group.bench_function("mpe-circuit", || compiled.mpe(&ev));
+    group.bench_function("compile-local-structure", || {
+        CompiledBn::new(bn.clone(), EncodingStyle::LocalStructure)
     });
-    group.bench_function("mpe-circuit", |b| b.iter(|| compiled.mpe(&ev)));
-    group.bench_function("compile-local-structure", |b| {
-        b.iter(|| CompiledBn::new(bn.clone(), EncodingStyle::LocalStructure))
-    });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500)).sample_size(20);
-    targets = bench_bayesnet
+fn main() {
+    let h = Harness::from_env();
+    bench_bayesnet(&h);
 }
-criterion_main!(benches);

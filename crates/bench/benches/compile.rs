@@ -1,43 +1,66 @@
-//! Criterion bench: compiling CNFs into the three circuit types of §3 —
-//! Decision-DNNF (top-down trace), OBDD and SDD (bottom-up apply) — plus
-//! the component-caching ablation.
+//! Bench: compiling CNFs into the three circuit types of §3 — Decision-DNNF
+//! (top-down trace), OBDD and SDD (bottom-up apply) — plus the component
+//! caching, signature, and branching-heuristic ablations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use trl_bench::{random_3cnf, Rng};
-use trl_compiler::{compile_obdd, compile_sdd, CacheMode, DecisionDnnfCompiler};
+use trl_bench::harness::Harness;
+use trl_bench::{random_3cnf, seed_compiler, Rng};
+use trl_compiler::{
+    compile_obdd, compile_sdd, CacheMode, DecisionDnnfCompiler, Heuristic, SignatureMode,
+};
 
-fn bench_compilers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compile");
+fn bench_compilers(h: &Harness) {
+    let mut group = h.group("compile");
     for n in [10usize, 14, 18] {
         let cnf = random_3cnf(&mut Rng::new(n as u64), n, (n as f64 * 3.0) as usize);
-        group.bench_with_input(BenchmarkId::new("decision-dnnf", n), &cnf, |b, cnf| {
-            b.iter(|| DecisionDnnfCompiler::default().compile(cnf))
+        group.bench_function(format!("decision-dnnf/{n}"), || {
+            DecisionDnnfCompiler::default().compile(&cnf)
         });
-        group.bench_with_input(BenchmarkId::new("obdd", n), &cnf, |b, cnf| {
-            b.iter(|| compile_obdd(cnf))
-        });
-        group.bench_with_input(BenchmarkId::new("sdd-balanced", n), &cnf, |b, cnf| {
-            b.iter(|| compile_sdd(cnf))
-        });
+        group.bench_function(format!("obdd/{n}"), || compile_obdd(&cnf));
+        group.bench_function(format!("sdd-balanced/{n}"), || compile_sdd(&cnf));
     }
-    group.finish();
 }
 
-fn bench_cache_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compile/cache-ablation");
+fn bench_cache_ablation(h: &Harness) {
+    let mut group = h.group("compile/cache-ablation");
     let cnf = random_3cnf(&mut Rng::new(5), 16, 40);
-    group.bench_function("components", |b| {
-        b.iter(|| DecisionDnnfCompiler::new(CacheMode::Components).compile(&cnf))
+    group.bench_function("components", || {
+        DecisionDnnfCompiler::new(CacheMode::Components).compile(&cnf)
     });
-    group.bench_function("none", |b| {
-        b.iter(|| DecisionDnnfCompiler::new(CacheMode::None).compile(&cnf))
+    group.bench_function("none", || {
+        DecisionDnnfCompiler::new(CacheMode::None).compile(&cnf)
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500)).sample_size(20);
-    targets = bench_compilers, bench_cache_ablation
+fn bench_fastpath_ablation(h: &Harness) {
+    // The packed-signature and dynamic-branching fast paths, one axis at a
+    // time against the acceptance instance.
+    let mut group = h.group("compile/fast-path");
+    let cnf = random_3cnf(&mut Rng::new(18), 18, 54);
+    group.bench_function("seed-compiler (baseline)", || seed_compiler::compile(&cnf));
+    group.bench_function("packed+vsads (default)", || {
+        DecisionDnnfCompiler::default().compile(&cnf)
+    });
+    group.bench_function("exact+vsads", || {
+        DecisionDnnfCompiler::default()
+            .with_signature(SignatureMode::Exact)
+            .compile(&cnf)
+    });
+    group.bench_function("packed+max-occurrence", || {
+        DecisionDnnfCompiler::default()
+            .with_heuristic(Heuristic::MaxOccurrence)
+            .compile(&cnf)
+    });
+    group.bench_function("exact+max-occurrence (seed behavior)", || {
+        DecisionDnnfCompiler::default()
+            .with_signature(SignatureMode::Exact)
+            .with_heuristic(Heuristic::MaxOccurrence)
+            .compile(&cnf)
+    });
 }
-criterion_main!(benches);
+
+fn main() {
+    let h = Harness::from_env();
+    bench_compilers(&h);
+    bench_cache_ablation(&h);
+    bench_fastpath_ablation(&h);
+}

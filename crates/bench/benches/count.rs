@@ -1,61 +1,62 @@
-//! Criterion bench: (weighted) model counting per circuit type — the
-//! "linear in the circuit" claim of Fig. 8 in wall-clock form.
+//! Bench: (weighted) model counting per circuit type — the "linear in the
+//! circuit" claim of Fig. 8 in wall-clock form.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use trl_bench::{random_3cnf, Rng};
+use trl_bench::harness::Harness;
+use trl_bench::{random_3cnf, seed_compiler, Rng};
 use trl_compiler::{compile_obdd, compile_sdd, DecisionDnnfCompiler};
 use trl_nnf::properties::smooth;
 use trl_nnf::LitWeights;
 
-fn bench_counting(c: &mut Criterion) {
-    let mut group = c.benchmark_group("count");
+fn bench_counting(h: &Harness) {
+    let mut group = h.group("count");
     for n in [12usize, 16] {
         let cnf = random_3cnf(&mut Rng::new(n as u64 + 1), n, (n as f64 * 3.0) as usize);
         let circuit = smooth(&DecisionDnnfCompiler::default().compile(&cnf));
         let w = LitWeights::unit(n);
-        group.bench_with_input(BenchmarkId::new("ddnnf-wmc", n), &(), |b, _| {
-            b.iter(|| circuit.wmc_presmoothed(&w))
-        });
+        group.bench_function(format!("ddnnf-wmc/{n}"), || circuit.wmc_presmoothed(&w));
         let (obdd, root) = compile_obdd(&cnf);
-        group.bench_with_input(BenchmarkId::new("obdd-count", n), &(), |b, _| {
-            b.iter(|| obdd.count_models(root))
-        });
+        group.bench_function(format!("obdd-count/{n}"), || obdd.count_models(root));
         let (sdd, sroot) = compile_sdd(&cnf);
-        group.bench_with_input(BenchmarkId::new("sdd-count", n), &(), |b, _| {
-            b.iter(|| sdd.model_count(sroot))
-        });
+        group.bench_function(format!("sdd-count/{n}"), || sdd.model_count(sroot));
     }
-    group.finish();
 }
 
-fn bench_marginals(c: &mut Criterion) {
+fn bench_marginals(h: &Harness) {
     // All marginals in one derivative pass vs n separate WMC calls.
     let n = 16usize;
     let cnf = random_3cnf(&mut Rng::new(3), n, 44);
     let circuit = DecisionDnnfCompiler::default().compile(&cnf);
     let w = LitWeights::unit(n);
-    let mut group = c.benchmark_group("count/marginals");
-    group.bench_function("derivative-pass-all", |b| {
-        b.iter(|| circuit.wmc_marginals(&w))
+    let mut group = h.group("count/marginals");
+    group.bench_function("derivative-pass-all", || circuit.wmc_marginals(&w));
+    group.bench_function("wmc-per-literal", || {
+        let smoothed = smooth(&circuit);
+        (0..n)
+            .map(|i| {
+                let mut wi = w.clone();
+                wi.set(trl_core::Var(i as u32).negative(), 0.0);
+                smoothed.wmc_presmoothed(&wi)
+            })
+            .sum::<f64>()
     });
-    group.bench_function("wmc-per-literal", |b| {
-        b.iter(|| {
-            let smoothed = smooth(&circuit);
-            (0..n)
-                .map(|i| {
-                    let mut wi = w.clone();
-                    wi.set(trl_core::Var(i as u32).negative(), 0.0);
-                    smoothed.wmc_presmoothed(&wi)
-                })
-                .sum::<f64>()
-        })
-    });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500)).sample_size(20);
-    targets = bench_counting, bench_marginals
+fn bench_compile_then_count(h: &Harness) {
+    // The full ModelCounter workflow, seed baseline vs current compiler.
+    let n = 16usize;
+    let cnf = random_3cnf(&mut Rng::new(n as u64 + 1), n, (n as f64 * 3.0) as usize);
+    let mut group = h.group("count/compile-then-count");
+    group.bench_function("seed-compiler (baseline)", || {
+        seed_compiler::compile(&cnf).0.model_count()
+    });
+    group.bench_function("current-default", || {
+        DecisionDnnfCompiler::default().compile(&cnf).model_count()
+    });
 }
-criterion_main!(benches);
+
+fn main() {
+    let h = Harness::from_env();
+    bench_counting(&h);
+    bench_marginals(&h);
+    bench_compile_then_count(&h);
+}

@@ -1,7 +1,7 @@
-//! Criterion bench: PSDD learning and inference — the "linear in the PSDD"
-//! claims of §4.
+//! Bench: PSDD learning and inference — the "linear in the PSDD" claims
+//! of §4.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use trl_bench::harness::Harness;
 use trl_core::{Assignment, PartialAssignment, Var};
 use trl_psdd::Psdd;
 use trl_sdd::SddManager;
@@ -27,25 +27,20 @@ fn route_psdd() -> (Psdd, Vec<(Assignment, f64)>) {
     (psdd, data)
 }
 
-fn bench_psdd(c: &mut Criterion) {
+fn bench_psdd(h: &Harness) {
     let (mut psdd, data) = route_psdd();
-    let mut group = c.benchmark_group("psdd");
-    group.bench_function("learn-184-routes", |b| b.iter(|| psdd.learn(&data, 0.1)));
+    let mut group = h.group("psdd");
+    group.bench_function("learn-184-routes", || psdd.learn(&data, 0.1));
     psdd.learn(&data, 0.1);
     let example = data[0].0.clone();
-    group.bench_function("probability", |b| b.iter(|| psdd.probability(&example)));
+    group.bench_function("probability", || psdd.probability(&example));
     let mut e = PartialAssignment::new(24);
     e.assign(Var(0).positive());
-    group.bench_function("marginal", |b| b.iter(|| psdd.marginal(&e)));
-    group.bench_function("mpe", |b| {
-        b.iter(|| psdd.mpe(&PartialAssignment::new(24)))
-    });
-    group.finish();
+    group.bench_function("marginal", || psdd.marginal(&e));
+    group.bench_function("mpe", || psdd.mpe(&PartialAssignment::new(24)));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500)).sample_size(20);
-    targets = bench_psdd
+fn main() {
+    let h = Harness::from_env();
+    bench_psdd(&h);
 }
-criterion_main!(benches);

@@ -1,33 +1,25 @@
-//! Criterion bench: decision robustness (linear in the OBDD, \[81\]) and the
-//! exact model-robustness computation behind Fig. 29.
+//! Bench: decision robustness (linear in the OBDD, \[81\]) and the exact
+//! model-robustness computation behind Fig. 29.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use trl_bench::harness::Harness;
 use trl_xai::images::{digit_dataset, one_prototype, PIXELS};
 use trl_xai::robustness::{decision_robustness, robustness_profile};
 use trl_xai::Bnn;
 
-fn bench_robustness(c: &mut Criterion) {
+fn bench_robustness(h: &Harness) {
     let train = digit_dataset(50, 0.1, 2024);
     let (net, _) = Bnn::train(PIXELS, 3, &train, 11, 4);
     let (m, f, _) = net.compile();
     let x = one_prototype();
-    let mut group = c.benchmark_group("robustness");
-    group.bench_function("decision-robustness", |b| {
-        b.iter(|| decision_robustness(&m, f, &x))
+    let mut group = h.group("robustness");
+    group.bench_function("decision-robustness", || decision_robustness(&m, f, &x));
+    group.bench_function("model-robustness-2^16", || {
+        let (mut m2, f2, _) = net.compile();
+        robustness_profile(&mut m2, f2)
     });
-    group.sample_size(10);
-    group.bench_function("model-robustness-2^16", |b| {
-        b.iter(|| {
-            let (mut m2, f2, _) = net.compile();
-            robustness_profile(&mut m2, f2)
-        })
-    });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500)).sample_size(20);
-    targets = bench_robustness
+fn main() {
+    let h = Harness::from_env();
+    bench_robustness(&h);
 }
-criterion_main!(benches);

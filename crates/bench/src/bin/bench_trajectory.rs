@@ -1,0 +1,188 @@
+//! Compilation-trajectory benchmark: measures the d-DNNF compiler before
+//! and after the fast-path work and writes `BENCH_compile.json` at the
+//! repository root, so future PRs have a perf baseline to compare against.
+//!
+//! "Before" is the seed algorithm itself, preserved in
+//! [`trl_bench::seed_compiler`] (fixpoint-rescan propagation, materialized
+//! `Vec<Vec<Lit>>` cache keys, union-find components, static max-occurrence
+//! branching). "After" is the current `DecisionDnnfCompiler` default
+//! (two-watched-literal propagation, packed component signatures,
+//! occurrence-list component discovery, VSADS branching). Run with
+//! `cargo run --release -p trl-bench --bin bench_trajectory`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use trl_bench::{banner, check, random_3cnf, row, section, seed_compiler, Rng};
+use trl_compiler::DecisionDnnfCompiler;
+use trl_nnf::{Circuit, NnfNode};
+use trl_prop::Cnf;
+
+/// Wall-clock samples per configuration; the median is reported. Each
+/// sample batches enough iterations to run ~[`TARGET_SAMPLE_SECS`], so
+/// sub-millisecond instances aren't noise-dominated.
+const REPS: usize = 7;
+const TARGET_SAMPLE_SECS: f64 = 0.05;
+
+struct Measurement {
+    wall_ms: f64,
+    nodes: u64,
+    edges: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    count: u128,
+}
+
+fn circuit_size(c: &Circuit) -> (u64, u64) {
+    let mut nodes = 0u64;
+    let mut edges = 0u64;
+    for id in c.ids() {
+        nodes += 1;
+        if let NnfNode::And(xs) | NnfNode::Or(xs) = c.node(id) {
+            edges += xs.len() as u64;
+        }
+    }
+    (nodes, edges)
+}
+
+fn measure(cnf: &Cnf, f: impl Fn(&Cnf) -> (Circuit, u64, u64)) -> Measurement {
+    // Warm-up run sizes the batch and provides the reported artifacts.
+    let start = Instant::now();
+    let (circuit, cache_hits, cache_misses) = f(cnf);
+    let once = start.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((TARGET_SAMPLE_SECS / once).ceil() as usize).clamp(1, 100_000);
+    let mut samples = [0.0f64; REPS];
+    for s in &mut samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f(cnf));
+        }
+        *s = start.elapsed().as_secs_f64() * 1e3 / iters as f64;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let (nodes, edges) = circuit_size(&circuit);
+    Measurement {
+        wall_ms: samples[REPS / 2],
+        nodes,
+        edges,
+        cache_hits,
+        cache_misses,
+        count: circuit.model_count(),
+    }
+}
+
+fn json_record(out: &mut String, label: &str, m: &Measurement) {
+    let _ = write!(
+        out,
+        "      \"{label}\": {{ \"nodes\": {}, \"edges\": {}, \"wall_ms\": {:.3}, \
+         \"cache_hits\": {}, \"cache_misses\": {} }}",
+        m.nodes, m.edges, m.wall_ms, m.cache_hits, m.cache_misses
+    );
+}
+
+fn chain_cnf(n: usize) -> Cnf {
+    use trl_core::Var;
+    let mut cnf = Cnf::new(n);
+    for i in 0..n as u32 - 1 {
+        cnf.add_clause([Var(i).positive(), Var(i + 1).positive()]);
+    }
+    cnf
+}
+
+fn print_side(label: &str, m: &Measurement) {
+    row(
+        &format!("{label}: wall ms (median)"),
+        format!("{:.3}", m.wall_ms),
+    );
+    row(
+        &format!("{label}: nodes/edges"),
+        format!("{}/{}", m.nodes, m.edges),
+    );
+    row(
+        &format!("{label}: cache hits/misses"),
+        format!("{}/{}", m.cache_hits, m.cache_misses),
+    );
+}
+
+fn main() {
+    banner(
+        "bench_trajectory",
+        "the compiler fast-path trajectory (BENCH_compile.json)",
+        "watched literals + packed signatures + VSADS give ≥2x over the seed compiler",
+    );
+
+    let instances: Vec<(String, Cnf)> = vec![
+        (
+            "random_3cnf(seed=18, n=18, m=54)".into(),
+            random_3cnf(&mut Rng::new(18), 18, 54),
+        ),
+        (
+            "random_3cnf(seed=5, n=16, m=40)".into(),
+            random_3cnf(&mut Rng::new(5), 16, 40),
+        ),
+        (
+            "random_3cnf(seed=7, n=20, m=60)".into(),
+            random_3cnf(&mut Rng::new(7), 20, 60),
+        ),
+        ("or_chain(n=1000)".into(), chain_cnf(1000)),
+    ];
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"bench_trajectory\",\n");
+    json.push_str(
+        "  \"configs\": {\n    \"before\": \"seed compiler (fixpoint-rescan propagation, Vec<Vec<Lit>> cache keys, max-occurrence branching)\",\n    \"after\": \"DecisionDnnfCompiler default (watched literals, packed signatures, VSADS)\"\n  },\n",
+    );
+    json.push_str("  \"instances\": [\n");
+
+    let mut acceptance_speedup = 0.0;
+    let mut all_counts_agree = true;
+    for (i, (name, cnf)) in instances.iter().enumerate() {
+        section(name);
+        let before = measure(cnf, |cnf| {
+            let (c, stats) = seed_compiler::compile(cnf);
+            (c, stats.cache_hits, stats.cache_misses)
+        });
+        let after = measure(cnf, |cnf| {
+            let (c, stats) = DecisionDnnfCompiler::default().compile_with_stats(cnf);
+            (c, stats.cache_hits, stats.cache_misses)
+        });
+        let speedup = before.wall_ms / after.wall_ms;
+        if i == 0 {
+            acceptance_speedup = speedup;
+        }
+        all_counts_agree &= before.count == after.count;
+
+        print_side("before (seed)", &before);
+        print_side("after (default)", &after);
+        row("speedup (before/after)", format!("{speedup:.2}x"));
+        row("model count", format!("{}", after.count));
+
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"instance\": \"{name}\",");
+        json_record(&mut json, "before", &before);
+        json.push_str(",\n");
+        json_record(&mut json, "after", &after);
+        json.push_str(",\n");
+        let _ = writeln!(json, "      \"speedup\": {speedup:.2}");
+        json.push_str(if i + 1 < instances.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_compile.json");
+    std::fs::write(path, &json).expect("write BENCH_compile.json");
+
+    section("criteria");
+    let ok = check(
+        "default compiler is >=2x faster than the seed on random_3cnf(18, 18, 54)",
+        acceptance_speedup >= 2.0,
+    ) & check(
+        "before/after model counts agree on every instance",
+        all_counts_agree,
+    );
+    println!("\nwrote {path}");
+    std::process::exit(if ok { 0 } else { 1 });
+}

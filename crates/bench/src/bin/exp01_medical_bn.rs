@@ -5,10 +5,10 @@
 //! elimination / enumeration) and by the reduction route (compiled
 //! circuit), and the two must agree.
 
-use trl_bench::{banner, check, row, section};
 use trl_bayesnet::compiled::{map_value_sdd, sdp_sdd};
 use trl_bayesnet::models::{medical, medical_vars::*};
 use trl_bayesnet::{CompiledBn, EncodingStyle};
+use trl_bench::{banner, check, row, section};
 
 fn main() {
     banner(

@@ -3,9 +3,9 @@
 //! have exactly eight models, which correspond to the network
 //! instantiations", each with weight equal to its probability.
 
-use trl_bench::{banner, check, row, section};
 use trl_bayesnet::models::abc;
 use trl_bayesnet::{BnEncoding, EncodingStyle};
+use trl_bench::{banner, check, row, section};
 use trl_compiler::ModelCounter;
 use trl_prop::Solver;
 
@@ -64,13 +64,14 @@ fn main() {
                 mar_ok &= (wmc - ve).abs() < 1e-12;
             }
         }
-        for ev in [vec![(0, 1), (1, 0)], vec![(1, 1), (2, 1)], vec![(0, 0), (2, 1)]] {
+        for ev in [
+            vec![(0, 1), (1, 0)],
+            vec![(1, 1), (2, 1)],
+            vec![(0, 0), (2, 1)],
+        ] {
             let wmc = counter.wmc(&enc.cnf, &enc.weights_with_evidence(&ev));
             let ve = bn.pr_evidence(&ev);
-            row(
-                &format!("Pr{ev:?}"),
-                format!("WMC {wmc:.9}   VE {ve:.9}"),
-            );
+            row(&format!("Pr{ev:?}"), format!("WMC {wmc:.9}   VE {ve:.9}"));
             mar_ok &= (wmc - ve).abs() < 1e-12;
         }
         all_ok &= check("MAR = WMC(Δ ∧ α) on all probed events", mar_ok);

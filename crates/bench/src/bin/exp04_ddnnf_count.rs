@@ -37,7 +37,10 @@ fn main() {
     let r = m.build_formula(&course_constraint());
     let circuit = m.to_nnf(r);
     row("SDD size (elements)", m.size(r));
-    row("NNF nodes / edges", format!("{} / {}", circuit.node_count(), circuit.edge_count()));
+    row(
+        "NNF nodes / edges",
+        format!("{} / {}", circuit.node_count(), circuit.edge_count()),
+    );
     all_ok &= check(
         "circuit is decomposable",
         properties::is_decomposable(&circuit),
@@ -55,7 +58,10 @@ fn main() {
     section("weighted model counting (WMC generalizes #SAT, §2.1)");
     let unit = circuit.wmc(&LitWeights::unit(4));
     row("WMC with unit weights", unit);
-    all_ok &= check("unit-weight WMC equals the count", (unit - 9.0).abs() < 1e-12);
+    all_ok &= check(
+        "unit-weight WMC equals the count",
+        (unit - 9.0).abs() < 1e-12,
+    );
     let mut w = LitWeights::unit(4);
     w.set(Var(0).positive(), 0.7);
     w.set(Var(0).negative(), 0.3);
@@ -67,8 +73,14 @@ fn main() {
         .filter(|a| course_constraint().eval(a))
         .map(|a| w.weight_of(&a))
         .sum();
-    row("WMC with test weights", format!("{weighted:.9} (brute {brute:.9})"));
-    all_ok &= check("weighted count matches brute force", (weighted - brute).abs() < 1e-12);
+    row(
+        "WMC with test weights",
+        format!("{weighted:.9} (brute {brute:.9})"),
+    );
+    all_ok &= check(
+        "weighted count matches brute force",
+        (weighted - brute).abs() < 1e-12,
+    );
 
     section("smoothness is load-bearing");
     // x0 ∨ (¬x0 ∧ x1): raw sum/product propagation on the unsmoothed
@@ -82,7 +94,10 @@ fn main() {
     let c = b.finish(root);
     row("is_smooth before transform", properties::is_smooth(&c));
     let smoothed = properties::smooth(&c);
-    row("is_smooth after transform", properties::is_smooth(&smoothed));
+    row(
+        "is_smooth after transform",
+        properties::is_smooth(&smoothed),
+    );
     row("count via smoothing (true count 3)", c.model_count());
     all_ok &= check("smoothing fixes the count", c.model_count() == 3);
 

@@ -17,9 +17,7 @@ use trl_vtree::{Shape, Vtree};
 /// the function must remember the whole x-block — but a vtree pairing each
 /// xᵢ with its yᵢ keeps every decision local.
 fn crossed_equalities(n: usize) -> Formula {
-    Formula::conj(
-        (0..n as u32).map(|i| Formula::var(Var(i)).iff(Formula::var(Var(i + n as u32)))),
-    )
+    Formula::conj((0..n as u32).map(|i| Formula::var(Var(i)).iff(Formula::var(Var(i + n as u32)))))
 }
 
 fn paired_vtree(n: usize) -> Vtree {
@@ -90,12 +88,15 @@ fn main() {
     section("shape analysis");
     let obdd_ratio = obdd_sizes.last().unwrap() / obdd_sizes[obdd_sizes.len() - 2];
     let sdd_growth = sdd_sizes.last().unwrap() / sdd_sizes[0];
-    row("OBDD growth factor at the last step", format!("{obdd_ratio:.2} (≈2 = exponential)"));
-    row("SDD total growth over the sweep", format!("{sdd_growth:.2}× (linear in n)"));
-    all_ok &= check(
-        "OBDD grows ~2x per pair (exponential)",
-        obdd_ratio > 1.8,
+    row(
+        "OBDD growth factor at the last step",
+        format!("{obdd_ratio:.2} (≈2 = exponential)"),
     );
+    row(
+        "SDD total growth over the sweep",
+        format!("{sdd_growth:.2}× (linear in n)"),
+    );
+    all_ok &= check("OBDD grows ~2x per pair (exponential)", obdd_ratio > 1.8);
     all_ok &= check(
         "pair-vtree SDD stays linear (≤ 12·n elements)",
         sdd_sizes

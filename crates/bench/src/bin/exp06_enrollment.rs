@@ -35,8 +35,14 @@ fn main() {
     section("step 1: compile the prerequisites (P∨L) ∧ (A⇒P) ∧ (K⇒(A∨L))");
     let mut m = SddManager::balanced(4);
     let r = m.build_formula(&constraint());
-    row("SDD size / model count", format!("{} / {}", m.size(r), m.model_count(r)));
-    all_ok &= check("the space has 9 valid course combinations", m.model_count(r) == 9);
+    row(
+        "SDD size / model count",
+        format!("{} / {}", m.size(r), m.model_count(r)),
+    );
+    all_ok &= check(
+        "the space has 9 valid course combinations",
+        m.model_count(r) == 9,
+    );
 
     section("step 2: the enrollment dataset (synthetic counts; see EXPERIMENTS.md)");
     let mut p = Psdd::from_sdd(&m, r);
@@ -64,7 +70,10 @@ fn main() {
     let outside = p.learn(&data, 0.0);
     let ll_ml = p.log_likelihood(&data);
     row("examples outside the support", outside);
-    row("log-likelihood uniform → ML", format!("{ll_uniform:.3} → {ll_ml:.3}"));
+    row(
+        "log-likelihood uniform → ML",
+        format!("{ll_uniform:.3} → {ll_ml:.3}"),
+    );
     all_ok &= check("ML improves the likelihood", ll_ml > ll_uniform);
 
     section("step 4: the induced distribution (Fig. 14)");
@@ -114,7 +123,10 @@ fn main() {
     let brute_best = (0..16u64)
         .map(|c| p.probability(&Assignment::from_index(c, 4)))
         .fold(0.0, f64::max);
-    all_ok &= check("MPE matches exhaustive max", (mpe_p - brute_best).abs() < 1e-12);
+    all_ok &= check(
+        "MPE matches exhaustive max",
+        (mpe_p - brute_best).abs() < 1e-12,
+    );
 
     println!();
     check("E06 overall", all_ok);

@@ -20,7 +20,10 @@ fn main() {
     let mut all_ok = true;
 
     section("compile corner-to-corner simple paths of n×n grids");
-    println!("{:>6} {:>10} {:>14} {:>12}", "grid", "edges", "paths", "OBDD size");
+    println!(
+        "{:>6} {:>10} {:>14} {:>12}",
+        "grid", "edges", "paths", "OBDD size"
+    );
     for n in 2..=6usize {
         let g = GridMap::new(n, n);
         let (obdd, root) = compile_simple_paths(g.graph(), g.node(0, 0), g.node(n - 1, n - 1));
@@ -91,7 +94,10 @@ fn main() {
         data.push((g.graph().assignment_of(&paths[pick]), 1.0));
     }
     let outside = psdd.learn(&data, 0.1);
-    row("training routes / outside support", format!("{} / {}", data.len(), outside));
+    row(
+        "training routes / outside support",
+        format!("{} / {}", data.len(), outside),
+    );
     all_ok &= check("all sampled routes are valid", outside == 0.0);
 
     section("learned vs planted route probabilities");
@@ -110,8 +116,14 @@ fn main() {
         max_err = max_err.max((psdd.probability(&a) - planted[i]).abs());
         let _ = i;
     }
-    row("max |learned − planted| over all routes", format!("{max_err:.4}"));
-    all_ok &= check("learned distribution close to planted (< 0.05)", max_err < 0.05);
+    row(
+        "max |learned − planted| over all routes",
+        format!("{max_err:.4}"),
+    );
+    all_ok &= check(
+        "learned distribution close to planted (< 0.05)",
+        max_err < 0.05,
+    );
 
     section("edge marginals (the Fig. 16 usage: how busy is each street?)");
     let mut e0 = PartialAssignment::new(m_edges);
@@ -119,7 +131,10 @@ fn main() {
     let marginal0 = psdd.marginal(&e0);
     let empirical0 =
         data.iter().filter(|(a, _)| a.value(Var(0))).count() as f64 / data.len() as f64;
-    row("Pr(edge 0 used) learned / empirical", format!("{marginal0:.4} / {empirical0:.4}"));
+    row(
+        "Pr(edge 0 used) learned / empirical",
+        format!("{marginal0:.4} / {empirical0:.4}"),
+    );
     all_ok &= check(
         "edge marginal tracks empirical frequency",
         (marginal0 - empirical0).abs() < 0.05,

@@ -22,7 +22,10 @@ fn main() {
     let mut all_ok = true;
 
     section("compile ranking spaces (n² variables, Fig. 17)");
-    println!("{:>4} {:>8} {:>12} {:>12}", "n", "vars", "models", "OBDD size");
+    println!(
+        "{:>4} {:>8} {:>12} {:>12}",
+        "n", "vars", "models", "OBDD size"
+    );
     for n in 2..=6usize {
         let space = RankingSpace::new(n);
         let (obdd, root) = space.compile();
@@ -58,12 +61,12 @@ fn main() {
     ));
     let support = sdd.from_obdd(&obdd, root);
     let mut psdd = Psdd::from_sdd(&sdd, support);
-    let data: Vec<(Assignment, f64)> = rankings
-        .iter()
-        .map(|r| (space.encode(r), 1.0))
-        .collect();
+    let data: Vec<(Assignment, f64)> = rankings.iter().map(|r| (space.encode(r), 1.0)).collect();
     let outside = psdd.learn(&data, 0.05);
-    row("PSDD size / training examples", format!("{} / {}", psdd.size(), data.len()));
+    row(
+        "PSDD size / training examples",
+        format!("{} / {}", psdd.size(), data.len()),
+    );
     all_ok &= check("every sample is a valid ranking", outside == 0.0);
 
     // Dedicated baseline: Mallows with fitted center and θ.
@@ -71,7 +74,10 @@ fn main() {
     let center = Mallows::fit_center(n, &weighted);
     let theta = Mallows::fit_theta(&center, &weighted);
     let fitted = Mallows::new(center.clone(), theta);
-    row("Mallows MLE", format!("center {center:?}, θ = {theta:.3} (truth 1.0)"));
+    row(
+        "Mallows MLE",
+        format!("center {center:?}, θ = {theta:.3} (truth 1.0)"),
+    );
     all_ok &= check("baseline recovers the center", center == truth.center);
     all_ok &= check("baseline recovers θ within 0.1", (theta - 1.0).abs() < 0.1);
 

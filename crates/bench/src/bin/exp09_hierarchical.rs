@@ -112,14 +112,16 @@ fn main() {
                 let mut ca = trl_core::Assignment::all_false(k);
                 ca.set(trl_core::Var(c as u32), true);
                 let la = {
-                    let mut a =
-                        trl_core::Assignment::all_false(sbn_left_edges(&map).max(1));
+                    let mut a = trl_core::Assignment::all_false(sbn_left_edges(&map).max(1));
                     for &e in l {
                         a.set(trl_core::Var(e as u32), true);
                     }
                     a
                 };
-                (c, sbn.top.probability(&ca) * sbn.left.conditional_probability(&la, &ca))
+                (
+                    c,
+                    sbn.top.probability(&ca) * sbn.left.conditional_probability(&la, &ca),
+                )
             })
             .max_by(|a, b| a.1.total_cmp(&b.1))
             .unwrap()
@@ -129,7 +131,10 @@ fn main() {
         }
     }
     let acc = correct as f64 / routes.len() as f64;
-    row("crossing prediction accuracy from left segment", format!("{acc:.3}"));
+    row(
+        "crossing prediction accuracy from left segment",
+        format!("{acc:.3}"),
+    );
     all_ok &= check("left segment is informative (accuracy ≥ 0.9)", acc >= 0.9);
 
     println!();

@@ -58,12 +58,12 @@ fn main() {
         println!("  sufficient reason: {r}");
     }
     all_ok &= check("exactly two sufficient reasons", reasons.len() == 2);
-    let has_s_alone = reasons.iter().any(|r| {
-        r.len() == 1 && r.value(Var(2)) == Some(true)
-    });
-    let has_bu = reasons.iter().any(|r| {
-        r.len() == 2 && r.value(Var(0)) == Some(true) && r.value(Var(1)) == Some(true)
-    });
+    let has_s_alone = reasons
+        .iter()
+        .any(|r| r.len() == 1 && r.value(Var(2)) == Some(true));
+    let has_bu = reasons
+        .iter()
+        .any(|r| r.len() == 2 && r.value(Var(0)) == Some(true) && r.value(Var(1)) == Some(true));
     all_ok &= check("S=+ alone is a sufficient reason", has_s_alone);
     all_ok &= check("B=+, U=+ is the other sufficient reason", has_bu);
 

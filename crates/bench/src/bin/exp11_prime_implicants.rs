@@ -39,9 +39,7 @@ fn main() {
     }
     all_ok &= check("three prime implicants", pis.len() == 3);
     let has = |lits: &[(u32, bool)]| {
-        let cube = trl_core::Cube::from_lits(
-            lits.iter().map(|&(v, pos)| Var(v).literal(pos)),
-        );
+        let cube = trl_core::Cube::from_lits(lits.iter().map(|&(v, pos)| Var(v).literal(pos)));
         pis.contains(&cube)
     };
     all_ok &= check("AB is prime", has(&[(0, true), (1, true)]));
@@ -53,7 +51,10 @@ fn main() {
     for pi in &neg_pis {
         println!("  {pi}");
     }
-    all_ok &= check("three prime implicants of the complement", neg_pis.len() == 3);
+    all_ok &= check(
+        "three prime implicants of the complement",
+        neg_pis.len() == 3,
+    );
 
     section("sufficient reasons, via both routes");
     let mut m = Obdd::with_num_vars(3);
@@ -76,8 +77,7 @@ fn main() {
     all_ok &= check("oracle and reason circuit agree", from_tt == from_rc);
     all_ok &= check("exactly one sufficient reason (¬A∧C)", {
         from_rc.len() == 1
-            && from_rc[0]
-                == trl_core::Cube::from_lits([Var(0).negative(), Var(2).positive()])
+            && from_rc[0] == trl_core::Cube::from_lits([Var(0).negative(), Var(2).positive()])
     });
 
     section("exhaustive agreement across every instance");

@@ -44,7 +44,10 @@ fn main() {
     let f = m.build_formula(&admissions());
     let protected: VarSet = [Var(R)].into_iter().collect();
     row("classifier OBDD size", m.size(f));
-    row("admitted applicants", format!("{} of 32", m.count_models(f)));
+    row(
+        "admitted applicants",
+        format!("{} of 32", m.count_models(f)),
+    );
 
     section("Robin: R=1, E=1, G=1, W=1, V=1 — admitted");
     let robin = Assignment::from_values(&[true, true, true, true, true]);
@@ -53,10 +56,16 @@ fn main() {
     let reasons = rc.sufficient_reasons();
     for r in &reasons {
         let touches = r.value(Var(R)).is_some();
-        println!("  sufficient reason: {r}{}", if touches { "   (uses protected R)" } else { "" });
+        println!(
+            "  sufficient reason: {r}{}",
+            if touches { "   (uses protected R)" } else { "" }
+        );
     }
     let with_r = reasons.iter().filter(|r| r.value(Var(R)).is_some()).count();
-    row("reasons / with protected feature", format!("{} / {with_r}", reasons.len()));
+    row(
+        "reasons / with protected feature",
+        format!("{} / {with_r}", reasons.len()),
+    );
     let robin_biased = rc.decision_is_biased(&protected);
     let classifier_biased = rc.some_reason_touches(&protected);
     row("decision biased?", robin_biased);
@@ -77,7 +86,10 @@ fn main() {
         println!("  sufficient reason: {r}");
     }
     let all_protected = reasons.iter().all(|r| r.value(Var(R)).is_some());
-    row("reasons / all touch protected", format!("{} / {all_protected}", reasons.len()));
+    row(
+        "reasons / all touch protected",
+        format!("{} / {all_protected}", reasons.len()),
+    );
     let scott_biased = rc.decision_is_biased(&protected);
     row("decision biased?", scott_biased);
     all_ok &= check("every reason uses R ⇒ the decision IS biased", scott_biased);
@@ -119,7 +131,10 @@ fn main() {
             biased_decisions += 1;
         }
     }
-    row("instances with biased decisions", format!("{biased_decisions} of 32"));
+    row(
+        "instances with biased decisions",
+        format!("{biased_decisions} of 32"),
+    );
     all_ok &= check(
         "the classifier makes at least one biased decision (it is biased)",
         biased_decisions > 0,

@@ -21,12 +21,12 @@ fn main() {
     let train = digit_dataset(60, 0.08, 2024);
     let test = digit_dataset(40, 0.08, 4048);
     let (net, train_acc) = Bnn::train(PIXELS, 3, &train, 11, 8);
-    let test_acc = test
-        .iter()
-        .filter(|(x, y)| net.classify(x) == *y)
-        .count() as f64
-        / test.len() as f64;
-    row("training / test accuracy", format!("{train_acc:.4} / {test_acc:.4}"));
+    let test_acc =
+        test.iter().filter(|(x, y)| net.classify(x) == *y).count() as f64 / test.len() as f64;
+    row(
+        "training / test accuracy",
+        format!("{train_acc:.4} / {test_acc:.4}"),
+    );
     all_ok &= check("the network learned the task (test ≥ 0.9)", test_acc >= 0.9);
 
     section("compile the network (input–output equivalent circuit)");

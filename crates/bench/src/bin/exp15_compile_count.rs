@@ -3,7 +3,7 @@
 //! component-caching ablation called out in DESIGN.md.
 
 use trl_bench::{banner, check, random_3cnf, row, section, timed, Rng};
-use trl_compiler::{CacheMode, DecisionDnnfCompiler};
+use trl_compiler::{CacheMode, DecisionDnnfCompiler, Heuristic, SignatureMode};
 use trl_core::Var;
 use trl_nnf::properties::smooth;
 use trl_nnf::LitWeights;
@@ -57,7 +57,11 @@ fn main() {
     let mut cached_total = 0.0;
     let mut uncached_total = 0.0;
     for n in [14usize, 16, 18] {
-        let cnf = random_3cnf(&mut Rng::new(n as u64 * 3 + 1), n, (n as f64 * 2.2) as usize);
+        let cnf = random_3cnf(
+            &mut Rng::new(n as u64 * 3 + 1),
+            n,
+            (n as f64 * 2.2) as usize,
+        );
         let (cached, t_cached) =
             timed(|| DecisionDnnfCompiler::new(CacheMode::Components).compile(&cnf));
         let (uncached, t_uncached) =
@@ -85,6 +89,69 @@ fn main() {
         all_ok &= cached.model_count() == uncached.model_count();
     }
     all_ok &= check("chain-CNF counts agree across cache modes", all_ok);
+
+    section("cache signature ablation: packed (hashed) vs exact keys");
+    // The packed signature hashes reduced clause content instead of
+    // materializing it; the count must be identical, and probe cost drops.
+    let mut sig_agree = true;
+    let mut t_packed = 0.0;
+    let mut t_exact = 0.0;
+    for n in [14usize, 16, 18] {
+        let cnf = random_3cnf(
+            &mut Rng::new(n as u64 * 5 + 2),
+            n,
+            (n as f64 * 3.0) as usize,
+        );
+        let (packed, tp) = timed(|| {
+            DecisionDnnfCompiler::default()
+                .with_signature(SignatureMode::Packed)
+                .compile(&cnf)
+        });
+        let (exact, te) = timed(|| {
+            DecisionDnnfCompiler::default()
+                .with_signature(SignatureMode::Exact)
+                .compile(&cnf)
+        });
+        sig_agree &= packed.model_count() == exact.model_count();
+        t_packed += tp;
+        t_exact += te;
+    }
+    row("packed signatures total", format!("{t_packed:.4}s"));
+    row("exact keys total", format!("{t_exact:.4}s"));
+    all_ok &= check("packed and exact signatures count identically", sig_agree);
+
+    section("branching heuristic ablation: VSADS vs static orders");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>14}",
+        "n", "vsads", "max-occ", "first-var", "count"
+    );
+    let mut heur_agree = true;
+    for n in [14usize, 16, 18] {
+        let cnf = random_3cnf(
+            &mut Rng::new(n as u64 * 7 + 3),
+            n,
+            (n as f64 * 3.0) as usize,
+        );
+        let (vsads, tv) = timed(|| {
+            DecisionDnnfCompiler::default()
+                .with_heuristic(Heuristic::Vsads)
+                .compile(&cnf)
+        });
+        let (maxocc, tm) = timed(|| {
+            DecisionDnnfCompiler::default()
+                .with_heuristic(Heuristic::MaxOccurrence)
+                .compile(&cnf)
+        });
+        let (first, tf) = timed(|| {
+            DecisionDnnfCompiler::default()
+                .with_heuristic(Heuristic::FirstUnassigned)
+                .compile(&cnf)
+        });
+        let count = vsads.model_count();
+        println!("{n:>8} {tv:>11.4}s {tm:>11.4}s {tf:>11.4}s {count:>14}");
+        heur_agree &= count == maxocc.model_count() && count == first.model_count();
+    }
+    all_ok &= check("all heuristics count identically", heur_agree);
 
     section("amortization: one compilation, many weighted queries (Fig. 1)");
     let n = 14;

@@ -97,7 +97,10 @@ fn main() {
     });
     row(
         &format!("circuit at |Y|+|Z| = {}", ny + nz),
-        format!("{t_circuit:.4}s (brute force would enumerate 2^{} pairs)", ny + nz),
+        format!(
+            "{t_circuit:.4}s (brute force would enumerate 2^{} pairs)",
+            ny + nz
+        ),
     );
     all_ok &= check("large instance finishes under a second", t_circuit < 1.0);
 

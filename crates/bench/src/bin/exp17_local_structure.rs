@@ -3,9 +3,9 @@
 //! network determinism and compares circuit sizes under the baseline vs
 //! local-structure encodings, and circuit query time vs VE.
 
-use trl_bench::{banner, check, row, section, timed};
 use trl_bayesnet::models::random_network;
 use trl_bayesnet::{BnEncoding, CompiledBn, EncodingStyle};
+use trl_bench::{banner, check, row, section, timed};
 use trl_compiler::DecisionDnnfCompiler;
 
 fn main() {
@@ -73,10 +73,10 @@ fn main() {
 
     section("repeated queries: compiled circuit vs VE (the practical win)");
     let bn = random_network(7, 14, 3, 0.6);
-    let (compiled, t_compile) = timed(|| CompiledBn::new(bn.clone(), EncodingStyle::LocalStructure));
-    let queries: Vec<Vec<(usize, usize)>> = (0..40)
-        .map(|q| vec![((q * 3 + 1) % 14, q % 2)])
-        .collect();
+    let (compiled, t_compile) =
+        timed(|| CompiledBn::new(bn.clone(), EncodingStyle::LocalStructure));
+    let queries: Vec<Vec<(usize, usize)>> =
+        (0..40).map(|q| vec![((q * 3 + 1) % 14, q % 2)]).collect();
     let (_, t_circuit) = timed(|| {
         for ev in &queries {
             if compiled.pr_evidence(ev) > 0.0 {
@@ -88,7 +88,7 @@ fn main() {
         for ev in &queries {
             if bn.pr_evidence(ev) > 0.0 {
                 #[allow(clippy::needless_range_loop)] // v indexes parallel per-variable tables
-        for v in 0..bn.num_vars() {
+                for v in 0..bn.num_vars() {
                     let _ = bn.posterior(v, ev);
                 }
             }
@@ -103,7 +103,10 @@ fn main() {
         &format!("{} full posterior sweeps with VE", queries.len()),
         format!("{t_ve:.4}s"),
     );
-    row("query-time speedup", format!("{:.1}×", t_ve / t_circuit.max(1e-9)));
+    row(
+        "query-time speedup",
+        format!("{:.1}×", t_ve / t_circuit.max(1e-9)),
+    );
     all_ok &= check("compiled queries are faster than VE", t_circuit < t_ve);
 
     println!();

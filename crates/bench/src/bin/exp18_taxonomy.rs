@@ -5,9 +5,9 @@
 
 use trl_bench::{banner, check, random_3cnf, row, section, Rng};
 use trl_compiler::{compile_obdd, compile_sdd, DecisionDnnfCompiler};
+use trl_core::Var;
 use trl_nnf::taxonomy::classify;
 use trl_nnf::{properties, CircuitBuilder};
-use trl_core::Var;
 
 fn main() {
     banner(

@@ -1,0 +1,121 @@
+//! A minimal wall-clock bench harness for the `benches/` targets.
+//!
+//! The crate's benches run with `harness = false`, so each bench file is a
+//! plain binary; this module supplies the measurement loop. Compared to a
+//! full statistics framework the contract is deliberately small: adaptive
+//! batching to a target sample time, a handful of samples, and the median
+//! reported — enough to compare circuit types and ablations on one machine.
+//!
+//! `cargo bench -p trl-bench` runs every bench; pass a substring to filter,
+//! e.g. `cargo bench -p trl-bench -- compile/cache`.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Samples collected per benchmark.
+const SAMPLES: usize = 10;
+/// Target wall time per sample; iterations are batched to reach it.
+const TARGET_SAMPLE_SECS: f64 = 0.05;
+
+/// Top-level driver: parses the CLI filter and owns the output format.
+pub struct Harness {
+    filter: Option<String>,
+}
+
+impl Harness {
+    /// Builds a harness from `std::env::args`, ignoring the flags cargo
+    /// passes to bench binaries (`--bench`, `--exact`, ...). The first
+    /// free argument, if any, is a substring filter on `group/label`.
+    pub fn from_env() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Harness { filter }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn group(&self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn matches(&self, full: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full.contains(f))
+    }
+}
+
+/// A named group of related benchmarks; labels print as `group/label`.
+pub struct Group<'a> {
+    harness: &'a Harness,
+    name: String,
+}
+
+impl Group<'_> {
+    /// Measures `f`, printing the median over [`SAMPLES`] adaptive batches.
+    pub fn bench_function<T>(&mut self, label: impl std::fmt::Display, mut f: impl FnMut() -> T) {
+        let full = format!("{}/{label}", self.name);
+        if !self.harness.matches(&full) {
+            return;
+        }
+        // Warm up and size the batch so one sample lasts ~TARGET_SAMPLE_SECS.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((TARGET_SAMPLE_SECS / once).ceil() as usize).clamp(1, 1_000_000);
+        let mut samples = [0.0f64; SAMPLES];
+        for s in &mut samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            *s = start.elapsed().as_secs_f64() / iters as f64;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[SAMPLES / 2];
+        println!(
+            "{full:<44} {:>12}   ({SAMPLES} samples x {iters} iters)",
+            format_duration(median)
+        );
+    }
+}
+
+/// Formats seconds with an auto-selected unit.
+pub fn format_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(format_duration(2.5), "2.500 s");
+        assert_eq!(format_duration(2.5e-3), "2.500 ms");
+        assert_eq!(format_duration(2.5e-6), "2.500 us");
+        assert_eq!(format_duration(2.5e-9), "2.5 ns");
+    }
+
+    #[test]
+    fn filter_matches_substring() {
+        let h = Harness {
+            filter: Some("compile/cache".into()),
+        };
+        assert!(h.matches("compile/cache-ablation/none"));
+        assert!(!h.matches("count/marginals"));
+        let h = Harness { filter: None };
+        assert!(h.matches("anything"));
+    }
+}

@@ -1,10 +1,15 @@
-//! Shared infrastructure for the experiment binaries (`exp01`–`exp17`) and
-//! criterion benches.
+//! Shared infrastructure for the experiment binaries (`exp01`–`exp19`) and
+//! the wall-clock benches.
 //!
 //! Each binary regenerates one figure-level artifact of the paper; the
 //! mapping is the per-experiment index in DESIGN.md, and the measured
 //! numbers are recorded against the paper's in EXPERIMENTS.md. Run one with
-//! `cargo run --release -p trl-bench --bin exp04_ddnnf_count`.
+//! `cargo run --release -p trl-bench --bin exp04_ddnnf_count`. The benches
+//! under `benches/` use the self-contained [`harness`] module (no external
+//! bench framework), so they build in offline environments.
+
+pub mod harness;
+pub mod seed_compiler;
 
 use std::time::Instant;
 

@@ -1,0 +1,296 @@
+//! The seed d-DNNF compiler, preserved verbatim as a benchmark baseline.
+//!
+//! This is the naive Dsharp-style trace the repository started with:
+//! component keys are fully materialized `Vec<Vec<Lit>>` of reduced clauses
+//! (allocated, sorted, and hashed on every probe), unit propagation rescans
+//! every clause of the component until fixpoint, components come from
+//! union-find over repeated clause scans, and branching is static
+//! max-occurrence. `trl-compiler` replaced all four mechanisms (packed
+//! signatures, two-watched-literal propagation, occurrence-list component
+//! discovery, VSADS); this copy exists so `bench_trajectory` and
+//! `benches/compile.rs` can report honest before/after numbers against the
+//! original algorithm on the machine at hand. Do not use it for anything
+//! but benchmarking — the real compiler is strictly better.
+
+use trl_core::{FxHashMap, Lit, Var};
+use trl_nnf::{Circuit, CircuitBuilder, NnfId};
+use trl_prop::Cnf;
+
+/// Cache counters for the baseline run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SeedStats {
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+}
+
+/// Compiles with the seed algorithm, returning the circuit and counters.
+pub fn compile(cnf: &Cnf) -> (Circuit, SeedStats) {
+    let mut st = Compilation::new(cnf);
+    let all: Vec<u32> = (0..cnf.clauses().len() as u32).collect();
+    let root = st.compile_component(&all);
+    let stats = st.stats;
+    (st.builder.finish(root), stats)
+}
+
+/// Signature of a reduced component: the sorted list of reduced clauses.
+type ComponentKey = Vec<Vec<Lit>>;
+
+struct Compilation<'a> {
+    cnf: &'a Cnf,
+    builder: CircuitBuilder,
+    /// Current values: 0 = unset, 1 = false, 2 = true.
+    value: Vec<u8>,
+    trail: Vec<Var>,
+    cache: FxHashMap<ComponentKey, NnfId>,
+    stats: SeedStats,
+}
+
+impl<'a> Compilation<'a> {
+    fn new(cnf: &'a Cnf) -> Self {
+        Compilation {
+            cnf,
+            builder: CircuitBuilder::new(cnf.num_vars()),
+            value: vec![0; cnf.num_vars()],
+            trail: Vec::new(),
+            cache: FxHashMap::default(),
+            stats: SeedStats::default(),
+        }
+    }
+
+    fn lit_value(&self, l: Lit) -> u8 {
+        match self.value[l.var().index()] {
+            0 => 0,
+            v => {
+                let is_true = v == 2;
+                if l.is_positive() == is_true {
+                    2
+                } else {
+                    1
+                }
+            }
+        }
+    }
+
+    fn assign(&mut self, l: Lit) {
+        self.value[l.var().index()] = if l.is_positive() { 2 } else { 1 };
+        self.trail.push(l.var());
+    }
+
+    fn backtrack_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let v = self.trail.pop().unwrap();
+            self.value[v.index()] = 0;
+        }
+    }
+
+    /// Unit propagation by fixpoint rescans over the given clauses.
+    fn propagate(&mut self, clauses: &[u32]) -> Option<Vec<Lit>> {
+        let mut implied = Vec::new();
+        loop {
+            let mut progressed = false;
+            'clauses: for &ci in clauses {
+                let c = &self.cnf.clauses()[ci as usize];
+                let mut unassigned = None;
+                let mut n_un = 0;
+                for &l in c.literals() {
+                    match self.lit_value(l) {
+                        2 => continue 'clauses,
+                        1 => {}
+                        _ => {
+                            unassigned = Some(l);
+                            n_un += 1;
+                            if n_un > 1 {
+                                continue 'clauses;
+                            }
+                        }
+                    }
+                }
+                match (n_un, unassigned) {
+                    (0, _) => return None,
+                    (1, Some(l)) => {
+                        self.assign(l);
+                        implied.push(l);
+                        progressed = true;
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            if !progressed {
+                return Some(implied);
+            }
+        }
+    }
+
+    fn active_clauses(&self, clauses: &[u32]) -> Vec<u32> {
+        clauses
+            .iter()
+            .copied()
+            .filter(|&ci| {
+                self.cnf.clauses()[ci as usize]
+                    .literals()
+                    .iter()
+                    .all(|&l| self.lit_value(l) != 2)
+            })
+            .collect()
+    }
+
+    /// Partitions active clauses by shared unassigned variables
+    /// (union-find over variables).
+    fn components(&self, active: &[u32]) -> Vec<Vec<u32>> {
+        let n = self.cnf.num_vars();
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        for &ci in active {
+            let mut first: Option<u32> = None;
+            for &l in self.cnf.clauses()[ci as usize].literals() {
+                if self.lit_value(l) != 0 {
+                    continue;
+                }
+                let v = l.var().0;
+                match first {
+                    None => first = Some(v),
+                    Some(f) => {
+                        let (a, b) = (find(&mut parent, f), find(&mut parent, v));
+                        parent[a as usize] = b;
+                    }
+                }
+            }
+        }
+        let mut groups: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        for &ci in active {
+            let rep = self.cnf.clauses()[ci as usize]
+                .literals()
+                .iter()
+                .find(|&&l| self.lit_value(l) == 0)
+                .map(|&l| find(&mut parent, l.var().0))
+                .expect("active clause has an unassigned literal");
+            groups.entry(rep).or_default().push(ci);
+        }
+        let mut out: Vec<Vec<u32>> = groups.into_values().collect();
+        out.sort_by_key(|g| g[0]);
+        out
+    }
+
+    fn component_key(&self, clauses: &[u32]) -> ComponentKey {
+        let mut key: ComponentKey = clauses
+            .iter()
+            .map(|&ci| {
+                self.cnf.clauses()[ci as usize]
+                    .literals()
+                    .iter()
+                    .copied()
+                    .filter(|&l| self.lit_value(l) == 0)
+                    .collect::<Vec<Lit>>()
+            })
+            .collect();
+        key.sort();
+        key.dedup();
+        key
+    }
+
+    /// Picks the unassigned variable occurring most often in the clauses.
+    fn pick_branch(&self, clauses: &[u32]) -> Var {
+        let mut counts: FxHashMap<Var, u32> = FxHashMap::default();
+        for &ci in clauses {
+            for &l in self.cnf.clauses()[ci as usize].literals() {
+                if self.lit_value(l) == 0 {
+                    *counts.entry(l.var()).or_insert(0) += 1;
+                }
+            }
+        }
+        counts
+            .into_iter()
+            .max_by_key(|&(v, c)| (c, std::cmp::Reverse(v.0)))
+            .expect("no unassigned variable in active component")
+            .0
+    }
+
+    fn compile_component(&mut self, clauses: &[u32]) -> NnfId {
+        let mark = self.trail.len();
+        let Some(implied) = self.propagate(clauses) else {
+            self.backtrack_to(mark);
+            return self.builder.false_();
+        };
+        let implied_cube: Vec<Lit> = implied.clone();
+        let active = self.active_clauses(clauses);
+        let result = if active.is_empty() {
+            self.builder.cube(implied_cube.iter().copied())
+        } else {
+            let comps = self.components(&active);
+            let mut parts: Vec<NnfId> = Vec::with_capacity(comps.len() + 1);
+            parts.push(self.builder.cube(implied_cube.iter().copied()));
+            let mut failed = false;
+            for comp in comps {
+                let sub = self.compile_one(&comp);
+                if self.builder_is_false(sub) {
+                    failed = true;
+                    parts.clear();
+                    break;
+                }
+                parts.push(sub);
+            }
+            if failed {
+                self.builder.false_()
+            } else {
+                self.builder.and(parts)
+            }
+        };
+        self.backtrack_to(mark);
+        result
+    }
+
+    fn builder_is_false(&mut self, id: NnfId) -> bool {
+        id == self.builder.false_()
+    }
+
+    fn compile_one(&mut self, comp: &[u32]) -> NnfId {
+        let key = self.component_key(comp);
+        if let Some(&id) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
+            return id;
+        }
+        self.stats.cache_misses += 1;
+        let v = self.pick_branch(comp);
+        let mark = self.trail.len();
+
+        self.assign(v.positive());
+        let pos_body = self.compile_component(comp);
+        self.backtrack_to(mark);
+
+        self.assign(v.negative());
+        let neg_body = self.compile_component(comp);
+        self.backtrack_to(mark);
+
+        let pos_lit = self.builder.lit(v.positive());
+        let neg_lit = self.builder.lit(v.negative());
+        let pos = self.builder.and([pos_lit, pos_body]);
+        let neg = self.builder.and([neg_lit, neg_body]);
+        let id = self.builder.or([pos, neg]);
+        self.cache.insert(key, id);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{random_3cnf, Rng};
+    use trl_compiler::DecisionDnnfCompiler;
+
+    #[test]
+    fn seed_baseline_agrees_with_current_compiler() {
+        let mut rng = Rng::new(9);
+        for _ in 0..10 {
+            let cnf = random_3cnf(&mut rng, 10, 24);
+            let (seed, _) = compile(&cnf);
+            let new = DecisionDnnfCompiler::default().compile(&cnf);
+            assert_eq!(seed.model_count(), new.model_count());
+        }
+    }
+}

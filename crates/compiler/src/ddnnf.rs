@@ -8,14 +8,44 @@
 //! components so shared subproblems compile once. This is exactly how
 //! Dsharp arises from sharpSAT \[56, 88\].
 //!
+//! The search core uses the machinery of modern model counters:
+//!
+//! * **Two-watched-literal propagation.** Each clause of length ≥ 2 keeps
+//!   two watched literals; assigning a literal only visits the clauses
+//!   watching its negation. Watches need no restoration on backtracking.
+//!   Global watches are sound under component decomposition: a clause
+//!   outside the current component shares no unassigned variable with it,
+//!   so it can never become unit while the component is being compiled.
+//! * **Packed component signatures.** A component is keyed by its sorted
+//!   clause-index list plus a 64-bit hash of its reduced literal content,
+//!   computed in one pass over the component — no per-clause allocation,
+//!   unlike re-materializing reduced clause sets. Distinct clause sets
+//!   never collide (the index list is compared exactly); distinct reduced
+//!   contents over the *same* clause set collide with probability ~2⁻⁶⁴,
+//!   the standard sharpSAT/Dsharp trade. [`SignatureMode::Exact`] keeps
+//!   the allocation-heavy exact keys for ablation, and debug builds
+//!   shadow every packed entry with its exact key to detect collisions.
+//! * **Dynamic branching.** The default [`Heuristic::Vsads`] scores a
+//!   variable by clause activity (bumped on every conflict, periodically
+//!   halved) plus its occurrence count in the current component —
+//!   sharpSAT's VSADS. The seed's static max-occurrence rule and a naive
+//!   first-unassigned rule remain as ablation baselines.
+//! * **Adjacency-driven component discovery.** Components are found by a
+//!   breadth-first sweep over the var→clause index
+//!   ([`trl_prop::Occurrences`]) with epoch-stamped visited arrays, so
+//!   discovery allocates nothing beyond the component lists themselves.
+//!
 //! The output [`Circuit`] is decomposable and deterministic **by
 //! construction**, so every d-DNNF query of `trl-nnf` applies.
 
+use std::hash::Hasher;
+
+use trl_core::hash::FxHasher;
 use trl_core::{FxHashMap, Lit, Var};
 use trl_nnf::{Circuit, CircuitBuilder, LitWeights, NnfId};
-use trl_prop::Cnf;
+use trl_prop::{Cnf, Occurrences};
 
-/// Component-cache configuration, the ablation knob of `exp15`.
+/// Component-cache configuration, an ablation knob of `exp15`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum CacheMode {
     /// Cache compiled components keyed on their reduced clause sets.
@@ -25,186 +55,447 @@ pub enum CacheMode {
     None,
 }
 
+/// How cached components are keyed, an ablation knob of `exp15`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SignatureMode {
+    /// Sorted clause-index list + 64-bit content hash. No per-clause
+    /// allocation on probes; collisions are possible but astronomically
+    /// unlikely (and checked in debug builds).
+    #[default]
+    Packed,
+    /// The reduced clause sets themselves. Exact, but every probe
+    /// materializes the component's clauses.
+    Exact,
+}
+
+/// Branching heuristic, an ablation knob of `exp15`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Heuristic {
+    /// VSADS: conflict-driven variable activity plus the occurrence count
+    /// in the current component. Activities are bumped for the variables
+    /// of every conflicting clause and halved every 128 conflicts.
+    #[default]
+    Vsads,
+    /// The variable occurring most often in the component (ties broken
+    /// toward the lowest index) — the seed compiler's static rule.
+    MaxOccurrence,
+    /// The lowest-indexed unassigned variable — the naive baseline.
+    FirstUnassigned,
+}
+
+/// Counters describing one compilation run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CompileStats {
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Conflicts hit during unit propagation.
+    pub conflicts: u64,
+    /// Literals processed by the watched-literal propagator.
+    pub propagations: u64,
+    /// Component-cache hits.
+    pub cache_hits: u64,
+    /// Component-cache misses (each miss compiles a component).
+    pub cache_misses: u64,
+    /// Nodes in the finished circuit.
+    pub nodes: usize,
+    /// Edges in the finished circuit.
+    pub edges: usize,
+}
+
 /// CNF → Decision-DNNF compiler.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DecisionDnnfCompiler {
     /// Cache configuration.
     pub cache: CacheMode,
+    /// Component-key representation.
+    pub signature: SignatureMode,
+    /// Branching heuristic.
+    pub heuristic: Heuristic,
 }
 
+/// Compilations over at least this many variables run on a dedicated
+/// big-stack thread: the search recurses once per decision level, and deep
+/// instances (e.g. 50k-variable chains) overflow the default stack.
+const BIG_INSTANCE_VARS: usize = 5_000;
+const COMPILE_STACK_BYTES: usize = 256 * 1024 * 1024;
+
 impl DecisionDnnfCompiler {
-    /// Creates a compiler with the given cache mode.
+    /// Creates a compiler with the given cache mode and default signature
+    /// and heuristic.
     pub fn new(cache: CacheMode) -> Self {
-        DecisionDnnfCompiler { cache }
+        DecisionDnnfCompiler {
+            cache,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the component-key representation.
+    pub fn with_signature(mut self, signature: SignatureMode) -> Self {
+        self.signature = signature;
+        self
+    }
+
+    /// Sets the branching heuristic.
+    pub fn with_heuristic(mut self, heuristic: Heuristic) -> Self {
+        self.heuristic = heuristic;
+        self
     }
 
     /// Compiles a CNF into a Decision-DNNF circuit over the CNF's variable
     /// universe.
     pub fn compile(&self, cnf: &Cnf) -> Circuit {
-        let mut st = Compilation::new(cnf, self.cache);
-        let all: Vec<u32> = (0..cnf.clauses().len() as u32).collect();
-        let root = st.compile_component(&all);
-        st.builder.finish(root)
+        self.compile_with_stats(cnf).0
+    }
+
+    /// Compiles and reports search statistics.
+    ///
+    /// Large instances are compiled on a dedicated thread with a big stack
+    /// (the search recurses per decision level), so callers never need to
+    /// manage stack size themselves.
+    pub fn compile_with_stats(&self, cnf: &Cnf) -> (Circuit, CompileStats) {
+        if cnf.num_vars() < BIG_INSTANCE_VARS {
+            return self.run(cnf);
+        }
+        std::thread::scope(|scope| {
+            match std::thread::Builder::new()
+                .name("ddnnf-compile".into())
+                .stack_size(COMPILE_STACK_BYTES)
+                .spawn_scoped(scope, || self.run(cnf))
+            {
+                Ok(handle) => handle.join().expect("compilation thread panicked"),
+                // Thread spawn failed (resource limits): degrade to the
+                // caller's stack rather than giving up.
+                Err(_) => self.run(cnf),
+            }
+        })
+    }
+
+    fn run(&self, cnf: &Cnf) -> (Circuit, CompileStats) {
+        let mut st = Compilation::new(cnf, *self);
+        let root = st.compile_root();
+        let mut stats = st.stats;
+        let circuit = st.builder.finish(root);
+        stats.nodes = circuit.node_count();
+        stats.edges = circuit.edge_count();
+        (circuit, stats)
     }
 }
 
-/// Signature of a reduced component: the sorted list of reduced clauses.
-type ComponentKey = Vec<Vec<Lit>>;
+const UNSET: u8 = 0;
+const FALSE: u8 = 1;
+const TRUE: u8 = 2;
+
+/// Exact component key: the sorted list of reduced clauses.
+type ExactKey = Vec<Vec<Lit>>;
+
+/// One packed-cache bucket: entries sharing a content hash, distinguished
+/// by their exact clause-index lists.
+type PackedBucket = Vec<(Box<[u32]>, NnfId)>;
 
 struct Compilation<'a> {
     cnf: &'a Cnf,
-    cache_mode: CacheMode,
+    cfg: DecisionDnnfCompiler,
     builder: CircuitBuilder,
-    /// Current values: 0 = unset, 1 = false, 2 = true.
+    /// Current variable values ([`UNSET`] / [`FALSE`] / [`TRUE`]).
     value: Vec<u8>,
-    trail: Vec<Var>,
-    cache: FxHashMap<ComponentKey, NnfId>,
+    /// Assigned literals in assignment order.
+    trail: Vec<Lit>,
+    /// Flattened clause literals; the slice for clause `ci` is
+    /// `lits[clause_start[ci]..clause_start[ci + 1]]`, and for clauses of
+    /// length ≥ 2 its first two slots hold the watched literals.
+    lits: Vec<Lit>,
+    clause_start: Vec<u32>,
+    /// Per literal code: indices of clauses watching that literal.
+    watchers: Vec<Vec<u32>>,
+    /// Var→clause adjacency, built once per compilation.
+    occ: Occurrences,
+    initial_units: Vec<Lit>,
+    trivially_false: bool,
+    /// Epoch counter for the stamped scratch arrays below; each discovery
+    /// or scoring pass bumps it instead of clearing the arrays.
+    stamp: u64,
+    var_mark: Vec<u64>,
+    clause_mark: Vec<u64>,
+    var_stack: Vec<u32>,
+    /// VSADS activity per variable.
+    activity: Vec<f64>,
+    score_mark: Vec<u64>,
+    score_count: Vec<u32>,
+    /// Packed cache: content hash → entries whose clause-index lists are
+    /// compared exactly. Probes allocate nothing; inserts clone the
+    /// component's index list once.
+    packed_cache: FxHashMap<u64, PackedBucket>,
+    exact_cache: FxHashMap<ExactKey, NnfId>,
+    /// Debug shadow of the packed cache: every packed entry also records
+    /// its exact key, so a signature collision trips an assertion instead
+    /// of silently reusing the wrong component.
+    #[cfg(debug_assertions)]
+    shadow: FxHashMap<(u64, Vec<u32>), ExactKey>,
+    stats: CompileStats,
 }
 
 impl<'a> Compilation<'a> {
-    fn new(cnf: &'a Cnf, cache_mode: CacheMode) -> Self {
+    fn new(cnf: &'a Cnf, cfg: DecisionDnnfCompiler) -> Self {
+        let n = cnf.num_vars();
+        let m = cnf.clauses().len();
+        let total: usize = cnf.clauses().iter().map(|c| c.len()).sum();
+        let mut lits = Vec::with_capacity(total);
+        let mut clause_start = Vec::with_capacity(m + 1);
+        clause_start.push(0u32);
+        for c in cnf.clauses() {
+            lits.extend_from_slice(c.literals());
+            clause_start.push(lits.len() as u32);
+        }
+        let mut watchers = vec![Vec::new(); 2 * n];
+        let mut initial_units = Vec::new();
+        let mut trivially_false = false;
+        for ci in 0..m {
+            let s = clause_start[ci] as usize;
+            let e = clause_start[ci + 1] as usize;
+            match e - s {
+                0 => trivially_false = true,
+                1 => initial_units.push(lits[s]),
+                _ => {
+                    watchers[lits[s].code() as usize].push(ci as u32);
+                    watchers[lits[s + 1].code() as usize].push(ci as u32);
+                }
+            }
+        }
         Compilation {
             cnf,
-            cache_mode,
-            builder: CircuitBuilder::new(cnf.num_vars()),
-            value: vec![0; cnf.num_vars()],
+            cfg,
+            builder: CircuitBuilder::new(n),
+            value: vec![UNSET; n],
             trail: Vec::new(),
-            cache: FxHashMap::default(),
+            lits,
+            clause_start,
+            watchers,
+            occ: cnf.occurrences(),
+            initial_units,
+            trivially_false,
+            stamp: 0,
+            var_mark: vec![0; n],
+            clause_mark: vec![0; m],
+            var_stack: Vec::new(),
+            activity: vec![0.0; n],
+            score_mark: vec![0; n],
+            score_count: vec![0; n],
+            packed_cache: FxHashMap::default(),
+            exact_cache: FxHashMap::default(),
+            #[cfg(debug_assertions)]
+            shadow: FxHashMap::default(),
+            stats: CompileStats::default(),
         }
     }
 
     fn lit_value(&self, l: Lit) -> u8 {
         match self.value[l.var().index()] {
-            0 => 0,
+            UNSET => UNSET,
             v => {
-                let is_true = v == 2;
-                if l.is_positive() == is_true {
-                    2
+                if (v == TRUE) == l.is_positive() {
+                    TRUE
                 } else {
-                    1
+                    FALSE
                 }
             }
         }
     }
 
     fn assign(&mut self, l: Lit) {
-        self.value[l.var().index()] = if l.is_positive() { 2 } else { 1 };
-        self.trail.push(l.var());
+        self.value[l.var().index()] = if l.is_positive() { TRUE } else { FALSE };
+        self.trail.push(l);
     }
 
     fn backtrack_to(&mut self, mark: usize) {
         while self.trail.len() > mark {
-            let v = self.trail.pop().unwrap();
-            self.value[v.index()] = 0;
+            let l = self.trail.pop().unwrap();
+            self.value[l.var().index()] = UNSET;
         }
     }
 
-    /// Unit propagation over the given clauses. Returns the implied
-    /// literals, or `None` on conflict (caller must backtrack).
-    fn propagate(&mut self, clauses: &[u32]) -> Option<Vec<Lit>> {
-        let mut implied = Vec::new();
-        loop {
-            let mut progressed = false;
-            'clauses: for &ci in clauses {
-                let c = &self.cnf.clauses()[ci as usize];
-                let mut unassigned = None;
-                let mut n_un = 0;
-                for &l in c.literals() {
-                    match self.lit_value(l) {
-                        2 => continue 'clauses,
-                        1 => {}
-                        _ => {
-                            unassigned = Some(l);
-                            n_un += 1;
-                            if n_un > 1 {
-                                continue 'clauses;
-                            }
+    /// Watched-literal propagation of everything on the trail from `from`
+    /// onward. Returns `false` on conflict (caller must backtrack).
+    fn propagate(&mut self, from: usize) -> bool {
+        let mut qhead = from;
+        while qhead < self.trail.len() {
+            let l = self.trail[qhead];
+            qhead += 1;
+            self.stats.propagations += 1;
+            let fl = !l;
+            let fcode = fl.code() as usize;
+            let mut i = 0;
+            'watch: while i < self.watchers[fcode].len() {
+                let ci = self.watchers[fcode][i] as usize;
+                let start = self.clause_start[ci] as usize;
+                let end = self.clause_start[ci + 1] as usize;
+                // Normalize: the falsified watch sits at `start + 1`.
+                if self.lits[start] == fl {
+                    self.lits.swap(start, start + 1);
+                }
+                let first = self.lits[start];
+                if self.lit_value(first) == TRUE {
+                    i += 1;
+                    continue;
+                }
+                for k in (start + 2)..end {
+                    let cand = self.lits[k];
+                    if self.lit_value(cand) != FALSE {
+                        // Move the new watch into position and transfer the
+                        // clause to its watch list.
+                        self.lits.swap(start + 1, k);
+                        self.watchers[cand.code() as usize].push(ci as u32);
+                        self.watchers[fcode].swap_remove(i);
+                        continue 'watch;
+                    }
+                }
+                // All other literals false: unit on `first`, or conflict.
+                match self.lit_value(first) {
+                    FALSE => {
+                        self.on_conflict(ci);
+                        return false;
+                    }
+                    UNSET => self.assign(first),
+                    _ => unreachable!(),
+                }
+                i += 1;
+            }
+        }
+        true
+    }
+
+    fn on_conflict(&mut self, ci: usize) {
+        self.stats.conflicts += 1;
+        if self.cfg.heuristic != Heuristic::Vsads {
+            return;
+        }
+        let s = self.clause_start[ci] as usize;
+        let e = self.clause_start[ci + 1] as usize;
+        for k in s..e {
+            let vi = self.lits[k].var().index();
+            self.activity[vi] += 1.0;
+        }
+        if self.stats.conflicts.is_multiple_of(128) {
+            for a in &mut self.activity {
+                *a *= 0.5;
+            }
+        }
+    }
+
+    /// Partitions the still-active clauses of `parent` into connected
+    /// components by a breadth-first sweep over the var→clause adjacency.
+    /// Component clause lists come out sorted (canonical for caching).
+    fn components(&mut self, parent: &[u32], out: &mut Vec<Vec<u32>>) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let Compilation {
+            occ,
+            var_stack,
+            clause_mark,
+            var_mark,
+            lits,
+            clause_start,
+            value,
+            ..
+        } = self;
+        let satisfied = |ci: usize| {
+            lits[clause_start[ci] as usize..clause_start[ci + 1] as usize]
+                .iter()
+                .any(|&l| {
+                    let v = value[l.var().index()];
+                    v != UNSET && (v == TRUE) == l.is_positive()
+                })
+        };
+        for &seed_ci in parent {
+            let seed_ci = seed_ci as usize;
+            if clause_mark[seed_ci] == stamp {
+                continue;
+            }
+            clause_mark[seed_ci] = stamp;
+            if satisfied(seed_ci) {
+                continue;
+            }
+            let mut comp: Vec<u32> = vec![seed_ci as u32];
+            var_stack.clear();
+            let s = clause_start[seed_ci] as usize;
+            let e = clause_start[seed_ci + 1] as usize;
+            for &l in &lits[s..e] {
+                let vi = l.var().index();
+                if value[vi] == UNSET && var_mark[vi] != stamp {
+                    var_mark[vi] = stamp;
+                    var_stack.push(vi as u32);
+                }
+            }
+            while let Some(v) = var_stack.pop() {
+                for &cj in occ.of(Var(v)) {
+                    let cj = cj as usize;
+                    if clause_mark[cj] == stamp {
+                        continue;
+                    }
+                    clause_mark[cj] = stamp;
+                    if satisfied(cj) {
+                        continue;
+                    }
+                    comp.push(cj as u32);
+                    let s = clause_start[cj] as usize;
+                    let e = clause_start[cj + 1] as usize;
+                    for &l in &lits[s..e] {
+                        let vi = l.var().index();
+                        if value[vi] == UNSET && var_mark[vi] != stamp {
+                            var_mark[vi] = stamp;
+                            var_stack.push(vi as u32);
                         }
                     }
                 }
-                match (n_un, unassigned) {
-                    (0, _) => return None,
-                    (1, Some(l)) => {
-                        self.assign(l);
-                        implied.push(l);
-                        progressed = true;
-                    }
-                    _ => unreachable!(),
-                }
             }
-            if !progressed {
-                return Some(implied);
-            }
+            comp.sort_unstable();
+            out.push(comp);
         }
     }
 
-    /// The clauses still active (not satisfied) under the current values.
-    fn active_clauses(&self, clauses: &[u32]) -> Vec<u32> {
-        clauses
-            .iter()
-            .copied()
-            .filter(|&ci| {
-                self.cnf.clauses()[ci as usize]
-                    .literals()
-                    .iter()
-                    .all(|&l| self.lit_value(l) != 2)
-            })
-            .collect()
-    }
-
-    /// Partitions active clauses into connected components by shared
-    /// unassigned variables (union-find over variables).
-    fn components(&self, active: &[u32]) -> Vec<Vec<u32>> {
-        let n = self.cnf.num_vars();
-        let mut parent: Vec<u32> = (0..n as u32).collect();
-        fn find(parent: &mut [u32], mut x: u32) -> u32 {
-            while parent[x as usize] != x {
-                parent[x as usize] = parent[parent[x as usize] as usize];
-                x = parent[x as usize];
-            }
-            x
+    /// 64-bit content hash of a component: clause indices plus their
+    /// unassigned literals. One pass, no allocation. Each clause's literal
+    /// contribution is a commutative sum of per-literal mixes, because
+    /// watch swaps permute the stored literal order between probes of the
+    /// same logical component.
+    fn signature(&self, comp: &[u32]) -> u64 {
+        fn mix64(x: u64) -> u64 {
+            let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
         }
-        for &ci in active {
-            let mut first: Option<u32> = None;
-            for &l in self.cnf.clauses()[ci as usize].literals() {
-                if self.lit_value(l) != 0 {
-                    continue;
-                }
-                let v = l.var().0;
-                match first {
-                    None => first = Some(v),
-                    Some(f) => {
-                        let (a, b) = (find(&mut parent, f), find(&mut parent, v));
-                        parent[a as usize] = b;
-                    }
+        let mut h = FxHasher::default();
+        h.write_usize(comp.len());
+        for &ci in comp {
+            h.write_u32(ci);
+            let s = self.clause_start[ci as usize] as usize;
+            let e = self.clause_start[ci as usize + 1] as usize;
+            let mut content: u64 = 0;
+            for &l in &self.lits[s..e] {
+                if self.value[l.var().index()] == UNSET {
+                    content = content.wrapping_add(mix64(l.code() as u64 + 1));
                 }
             }
+            h.write_u64(content);
         }
-        let mut groups: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
-        for &ci in active {
-            let rep = self.cnf.clauses()[ci as usize]
-                .literals()
-                .iter()
-                .find(|&&l| self.lit_value(l) == 0)
-                .map(|&l| find(&mut parent, l.var().0))
-                .expect("active clause has an unassigned literal");
-            groups.entry(rep).or_default().push(ci);
-        }
-        let mut out: Vec<Vec<u32>> = groups.into_values().collect();
-        out.sort_by_key(|g| g[0]);
-        out
+        h.finish()
     }
 
-    fn component_key(&self, clauses: &[u32]) -> ComponentKey {
-        let mut key: ComponentKey = clauses
+    /// The exact key: the component's reduced clauses, each re-sorted
+    /// (watch swaps permute stored literal order), then sorted and deduped.
+    fn exact_key(&self, comp: &[u32]) -> ExactKey {
+        let mut key: ExactKey = comp
             .iter()
             .map(|&ci| {
-                self.cnf.clauses()[ci as usize]
-                    .literals()
+                let s = self.clause_start[ci as usize] as usize;
+                let e = self.clause_start[ci as usize + 1] as usize;
+                let mut reduced: Vec<Lit> = self.lits[s..e]
                     .iter()
                     .copied()
-                    .filter(|&l| self.lit_value(l) == 0)
-                    .collect::<Vec<Lit>>()
+                    .filter(|&l| self.value[l.var().index()] == UNSET)
+                    .collect();
+                reduced.sort_unstable();
+                reduced
             })
             .collect();
         key.sort();
@@ -212,46 +503,102 @@ impl<'a> Compilation<'a> {
         key
     }
 
-    /// Picks the unassigned variable occurring most often in the clauses.
-    fn pick_branch(&self, clauses: &[u32]) -> Var {
-        let mut counts: FxHashMap<Var, u32> = FxHashMap::default();
-        for &ci in clauses {
-            for &l in self.cnf.clauses()[ci as usize].literals() {
-                if self.lit_value(l) == 0 {
-                    *counts.entry(l.var()).or_insert(0) += 1;
+    /// Picks the branching variable for a component according to the
+    /// configured heuristic.
+    fn pick_branch(&mut self, comp: &[u32]) -> Var {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let heuristic = self.cfg.heuristic;
+        let Compilation {
+            var_stack,
+            score_mark,
+            score_count,
+            lits,
+            clause_start,
+            value,
+            activity,
+            ..
+        } = self;
+        var_stack.clear();
+        for &ci in comp {
+            let s = clause_start[ci as usize] as usize;
+            let e = clause_start[ci as usize + 1] as usize;
+            for &l in &lits[s..e] {
+                let vi = l.var().index();
+                if value[vi] != UNSET {
+                    continue;
                 }
+                if score_mark[vi] != stamp {
+                    score_mark[vi] = stamp;
+                    score_count[vi] = 0;
+                    var_stack.push(vi as u32);
+                }
+                score_count[vi] += 1;
             }
         }
-        counts
-            .into_iter()
-            .max_by_key(|&(v, c)| (c, std::cmp::Reverse(v.0)))
-            .expect("no unassigned variable in active component")
-            .0
+        debug_assert!(
+            !var_stack.is_empty(),
+            "component has no unassigned variable"
+        );
+        let v = match heuristic {
+            Heuristic::FirstUnassigned => *var_stack.iter().min().unwrap(),
+            Heuristic::MaxOccurrence => *var_stack
+                .iter()
+                .max_by_key(|&&v| (score_count[v as usize], std::cmp::Reverse(v)))
+                .unwrap(),
+            Heuristic::Vsads => {
+                let mut best_v = u32::MAX;
+                let mut best_s = f64::NEG_INFINITY;
+                for &v in var_stack.iter() {
+                    let s = activity[v as usize] + score_count[v as usize] as f64;
+                    if s > best_s || (s == best_s && v < best_v) {
+                        best_s = s;
+                        best_v = v;
+                    }
+                }
+                best_v
+            }
+        };
+        Var(v)
     }
 
-    /// Compiles the sub-CNF given by `clauses` under the current partial
-    /// assignment, returning a circuit node over its unassigned variables
-    /// conjoined with any literals it implies.
-    fn compile_component(&mut self, clauses: &[u32]) -> NnfId {
-        let mark = self.trail.len();
-        let Some(implied) = self.propagate(clauses) else {
-            self.backtrack_to(mark);
+    fn compile_root(&mut self) -> NnfId {
+        if self.trivially_false {
             return self.builder.false_();
-        };
-        let implied_cube: Vec<Lit> = implied.clone();
-        let active = self.active_clauses(clauses);
-        let result = if active.is_empty() {
-            self.builder.cube(implied_cube.iter().copied())
+        }
+        for l in std::mem::take(&mut self.initial_units) {
+            match self.lit_value(l) {
+                FALSE => return self.builder.false_(),
+                TRUE => {}
+                _ => self.assign(l),
+            }
+        }
+        let all: Vec<u32> = (0..self.cnf.clauses().len() as u32).collect();
+        self.compile_component(&all, 0, 0)
+    }
+
+    /// Compiles the sub-CNF given by `comp` under the current partial
+    /// assignment. `qfrom` is the trail index of the first literal not yet
+    /// propagated; `imp_from` is the trail index from which assignments
+    /// count as this call's implied cube (and to which it backtracks).
+    fn compile_component(&mut self, comp: &[u32], qfrom: usize, imp_from: usize) -> NnfId {
+        if !self.propagate(qfrom) {
+            self.backtrack_to(imp_from);
+            return self.builder.false_();
+        }
+        let implied: Vec<Lit> = self.trail[imp_from..].to_vec();
+        let mut comps = Vec::new();
+        self.components(comp, &mut comps);
+        let result = if comps.is_empty() {
+            self.builder.cube(implied.iter().copied())
         } else {
-            let comps = self.components(&active);
             let mut parts: Vec<NnfId> = Vec::with_capacity(comps.len() + 1);
-            parts.push(self.builder.cube(implied_cube.iter().copied()));
+            parts.push(self.builder.cube(implied.iter().copied()));
             let mut failed = false;
-            for comp in comps {
-                let sub = self.compile_one(&comp);
+            for sub_comp in &comps {
+                let sub = self.compile_one(sub_comp);
                 if self.builder_is_false(sub) {
                     failed = true;
-                    parts.clear();
                     break;
                 }
                 parts.push(sub);
@@ -262,7 +609,7 @@ impl<'a> Compilation<'a> {
                 self.builder.and(parts)
             }
         };
-        self.backtrack_to(mark);
+        self.backtrack_to(imp_from);
         result
     }
 
@@ -272,24 +619,20 @@ impl<'a> Compilation<'a> {
 
     /// Compiles a single connected component (no propagation pending).
     fn compile_one(&mut self, comp: &[u32]) -> NnfId {
-        let key = if self.cache_mode == CacheMode::Components {
-            let key = self.component_key(comp);
-            if let Some(&id) = self.cache.get(&key) {
-                return id;
-            }
-            Some(key)
-        } else {
-            None
+        let pending = match self.probe_cache(comp) {
+            Probe::Hit(id) => return id,
+            Probe::Miss(pending) => pending,
         };
         let v = self.pick_branch(comp);
+        self.stats.decisions += 1;
         let mark = self.trail.len();
 
         self.assign(v.positive());
-        let pos_body = self.compile_component(comp);
+        let pos_body = self.compile_component(comp, mark, mark + 1);
         self.backtrack_to(mark);
 
         self.assign(v.negative());
-        let neg_body = self.compile_component(comp);
+        let neg_body = self.compile_component(comp, mark, mark + 1);
         self.backtrack_to(mark);
 
         let pos_lit = self.builder.lit(v.positive());
@@ -297,11 +640,81 @@ impl<'a> Compilation<'a> {
         let pos = self.builder.and([pos_lit, pos_body]);
         let neg = self.builder.and([neg_lit, neg_body]);
         let id = self.builder.or([pos, neg]);
-        if let Some(key) = key {
-            self.cache.insert(key, id);
-        }
+        self.store_cache(comp, pending, id);
         id
     }
+
+    fn probe_cache(&mut self, comp: &[u32]) -> Probe {
+        if self.cfg.cache != CacheMode::Components {
+            return Probe::Miss(PendingKey::None);
+        }
+        match self.cfg.signature {
+            SignatureMode::Packed => {
+                let sig = self.signature(comp);
+                if let Some(bucket) = self.packed_cache.get(&sig) {
+                    if let Some(&(_, id)) = bucket.iter().find(|(cl, _)| &cl[..] == comp) {
+                        self.stats.cache_hits += 1;
+                        #[cfg(debug_assertions)]
+                        self.assert_no_collision(sig, comp);
+                        return Probe::Hit(id);
+                    }
+                }
+                self.stats.cache_misses += 1;
+                Probe::Miss(PendingKey::Packed(sig))
+            }
+            SignatureMode::Exact => {
+                let key = self.exact_key(comp);
+                if let Some(&id) = self.exact_cache.get(&key) {
+                    self.stats.cache_hits += 1;
+                    return Probe::Hit(id);
+                }
+                self.stats.cache_misses += 1;
+                Probe::Miss(PendingKey::Exact(key))
+            }
+        }
+    }
+
+    fn store_cache(&mut self, comp: &[u32], pending: PendingKey, id: NnfId) {
+        match pending {
+            PendingKey::None => {}
+            PendingKey::Packed(sig) => {
+                #[cfg(debug_assertions)]
+                self.shadow
+                    .insert((sig, comp.to_vec()), self.exact_key(comp));
+                self.packed_cache
+                    .entry(sig)
+                    .or_default()
+                    .push((comp.to_vec().into_boxed_slice(), id));
+            }
+            PendingKey::Exact(key) => {
+                self.exact_cache.insert(key, id);
+            }
+        }
+    }
+
+    /// On a packed-cache hit, verify against the shadow exact key that the
+    /// hit is not a content-hash collision.
+    #[cfg(debug_assertions)]
+    fn assert_no_collision(&self, sig: u64, comp: &[u32]) {
+        if let Some(stored) = self.shadow.get(&(sig, comp.to_vec())) {
+            assert_eq!(
+                stored,
+                &self.exact_key(comp),
+                "packed component signature collision"
+            );
+        }
+    }
+}
+
+enum Probe {
+    Hit(NnfId),
+    Miss(PendingKey),
+}
+
+enum PendingKey {
+    None,
+    Packed(u64),
+    Exact(ExactKey),
 }
 
 /// A model counter in the compile-then-count architecture the paper
@@ -351,8 +764,7 @@ mod tests {
 
     #[test]
     fn output_is_decomposable_and_deterministic() {
-        let cnf =
-            Cnf::parse_dimacs("p cnf 5 4\n1 2 0\n-2 3 0\n4 5 0\n-4 -5 0\n").unwrap();
+        let cnf = Cnf::parse_dimacs("p cnf 5 4\n1 2 0\n-2 3 0\n4 5 0\n-4 -5 0\n").unwrap();
         let c = DecisionDnnfCompiler::default().compile(&cnf);
         assert!(properties::is_decomposable(&c));
         assert!(properties::is_deterministic_exhaustive(&c));
@@ -454,5 +866,65 @@ mod tests {
         cnf.add_clause([lit(2)]);
         let c = DecisionDnnfCompiler::default().compile(&cnf);
         assert_eq!(c.model_count(), 2);
+    }
+
+    #[test]
+    fn signature_modes_agree() {
+        let cnf =
+            Cnf::parse_dimacs("p cnf 6 5\n1 2 0\n-1 3 0\n-2 -3 4 0\n4 5 0\n-5 6 0\n").unwrap();
+        let expected = Solver::new(&cnf).count_models() as u128;
+        for sig in [SignatureMode::Packed, SignatureMode::Exact] {
+            let c = DecisionDnnfCompiler::default()
+                .with_signature(sig)
+                .compile(&cnf);
+            assert_eq!(c.model_count(), expected, "signature {sig:?}");
+        }
+    }
+
+    #[test]
+    fn heuristics_agree_on_counts() {
+        let cnf =
+            Cnf::parse_dimacs("p cnf 6 5\n1 2 0\n-1 3 0\n-2 -3 4 0\n4 5 0\n-5 6 0\n").unwrap();
+        let expected = Solver::new(&cnf).count_models() as u128;
+        for h in [
+            Heuristic::Vsads,
+            Heuristic::MaxOccurrence,
+            Heuristic::FirstUnassigned,
+        ] {
+            let c = DecisionDnnfCompiler::default()
+                .with_heuristic(h)
+                .compile(&cnf);
+            assert_eq!(c.model_count(), expected, "heuristic {h:?}");
+            assert!(properties::is_decomposable(&c), "heuristic {h:?}");
+        }
+    }
+
+    #[test]
+    fn stats_report_search_and_cache_activity() {
+        // Branching on x0 implies x1 and x4 either way, so the clause
+        // (¬x1∨x2∨x3) reduces to the same component {(x2∨x3)} — with the
+        // same clause index — under both branches: a packed-cache hit.
+        let cnf = Cnf::parse_dimacs("p cnf 5 5\n-1 2 0\n1 2 0\n-2 3 4 0\n1 5 0\n-1 5 0\n").unwrap();
+        let expected = Solver::new(&cnf).count_models() as u128;
+        let (circuit, stats) = DecisionDnnfCompiler::default().compile_with_stats(&cnf);
+        assert_eq!(circuit.model_count(), expected);
+        assert!(stats.decisions > 0);
+        assert!(stats.cache_misses > 0);
+        assert!(stats.propagations > 0);
+        assert_eq!(stats.nodes, circuit.node_count());
+        assert_eq!(stats.edges, circuit.edge_count());
+        assert!(
+            stats.cache_hits > 0,
+            "shared component should hit: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn unit_clause_conflicts_compile_to_false() {
+        let cnf = Cnf::parse_dimacs("p cnf 2 3\n1 0\n-1 0\n2 0\n").unwrap();
+        for mode in [CacheMode::Components, CacheMode::None] {
+            let c = DecisionDnnfCompiler::new(mode).compile(&cnf);
+            assert_eq!(c.model_count(), 0, "mode {mode:?}");
+        }
     }
 }

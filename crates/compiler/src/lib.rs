@@ -18,7 +18,9 @@
 
 pub mod ddnnf;
 
-pub use ddnnf::{CacheMode, DecisionDnnfCompiler, ModelCounter};
+pub use ddnnf::{
+    CacheMode, CompileStats, DecisionDnnfCompiler, Heuristic, ModelCounter, SignatureMode,
+};
 
 use trl_core::{Var, VarSet};
 use trl_obdd::{BddRef, Obdd};

@@ -1,0 +1,66 @@
+//! Cross-checking the compiler's configuration space.
+//!
+//! For a batch of random CNFs, the model count must be invariant across
+//! every `CacheMode` × `SignatureMode` × `Heuristic` combination and must
+//! match the DPLL `Solver`'s count. This guards against packed-signature
+//! collisions (a collision merges distinct components and corrupts the
+//! count), heuristic-dependent compilation bugs, and cache-soundness
+//! regressions. In debug builds the compiler additionally shadows every
+//! packed probe with an exact key and panics on any collision, so running
+//! this suite under `cargo test` doubles as a collision hunt.
+
+use trl_compiler::{CacheMode, DecisionDnnfCompiler, Heuristic, SignatureMode};
+use trl_core::SplitMix64;
+use trl_prop::{gen::random_cnf, Cnf, Solver};
+
+const CACHE_MODES: [CacheMode; 2] = [CacheMode::Components, CacheMode::None];
+const SIGNATURES: [SignatureMode; 2] = [SignatureMode::Packed, SignatureMode::Exact];
+const HEURISTICS: [Heuristic; 3] = [
+    Heuristic::Vsads,
+    Heuristic::MaxOccurrence,
+    Heuristic::FirstUnassigned,
+];
+
+fn check_all_configs(cnf: &Cnf, label: &str) {
+    let expected = Solver::new(cnf).count_models() as u128;
+    for cache in CACHE_MODES {
+        for signature in SIGNATURES {
+            for heuristic in HEURISTICS {
+                let compiler = DecisionDnnfCompiler::new(cache)
+                    .with_signature(signature)
+                    .with_heuristic(heuristic);
+                let got = compiler.compile(cnf).model_count();
+                assert_eq!(
+                    got, expected,
+                    "{label}: count mismatch under {cache:?}/{signature:?}/{heuristic:?}"
+                );
+            }
+        }
+    }
+}
+
+/// 50 random CNFs of mixed shape, every configuration vs the DPLL count.
+#[test]
+fn random_cnfs_agree_across_all_configurations() {
+    let mut rng = SplitMix64::new(0x5eed_c0de);
+    for i in 0..50 {
+        // Vary size and density: 4–13 variables, up to ~3.5 clauses/var.
+        let n = 4 + (i % 10);
+        let m = 2 + ((i * 7) % (3 * n + 4));
+        let cnf = random_cnf(&mut rng, n, m, 4);
+        check_all_configs(&cnf, &format!("random_cnf #{i} (n={n}, m={m})"));
+    }
+}
+
+/// Unsatisfiable and trivial edge cases run through every configuration.
+#[test]
+fn edge_cases_agree_across_all_configurations() {
+    let empty = Cnf::new(3);
+    check_all_configs(&empty, "empty CNF");
+
+    let contradiction = Cnf::parse_dimacs("p cnf 2 2\n1 0\n-1 0\n").unwrap();
+    check_all_configs(&contradiction, "unit contradiction");
+
+    let unsat = Cnf::parse_dimacs("p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n").unwrap();
+    check_all_configs(&unsat, "full binary unsat");
+}

@@ -1,0 +1,102 @@
+//! Regression tests for very deep instances.
+//!
+//! Chain CNFs force either long propagation sequences or deeply nested
+//! branch/component recursion. These tests pin down three behaviours:
+//! the compiler must not overflow the stack (large instances run on a
+//! dedicated big-stack thread), and the query passes (`model_count`,
+//! `wmc`) must stay iterative and memory-frugal on the huge circuits
+//! that result.
+
+use trl_compiler::DecisionDnnfCompiler;
+use trl_core::Var;
+use trl_nnf::LitWeights;
+use trl_prop::Cnf;
+
+/// A unit-seeded implication chain over 50k variables:
+/// `x0 ∧ (¬x0 ∨ x1) ∧ ⋯ ∧ (¬x_{n-2} ∨ x_{n-1})`.
+///
+/// Everything follows by unit propagation, so the compiled circuit is a
+/// 50k-literal cube. Exercises the iterative watched-literal propagator,
+/// the query evaluators, and the or-free smoothing fast path (the general
+/// smoothing path would materialize a `VarSet` per node — hundreds of
+/// megabytes here).
+#[test]
+fn unit_seeded_implication_chain_50k() {
+    const N: usize = 50_000;
+    let mut cnf = Cnf::new(N);
+    cnf.add_clause([Var(0).positive()]);
+    for i in 0..N as u32 - 1 {
+        cnf.add_clause([Var(i).negative(), Var(i + 1).positive()]);
+    }
+    let (c, stats) = DecisionDnnfCompiler::default().compile_with_stats(&cnf);
+    assert_eq!(stats.decisions, 0, "the chain is pure propagation");
+    assert!(c.sat_dnnf());
+    assert_eq!(c.model_count(), 1);
+    let w = LitWeights::unit(N);
+    assert!((c.wmc(&w) - 1.0).abs() < 1e-9);
+}
+
+/// An or-chain `(x0 ∨ x1) ∧ (x1 ∨ x2) ∧ ⋯` over 6k variables.
+///
+/// Branching peels the chain a couple of variables at a time, so the
+/// compiler recurses thousands of frames deep — past the default-stack
+/// comfort zone and onto the dedicated big-stack thread (the instance is
+/// above `BIG_INSTANCE_VARS`). Models are exactly the assignments with no
+/// two consecutive false variables, so the count follows a Fibonacci-style
+/// recurrence we replay in-test.
+#[test]
+fn deep_or_chain_counts_match_dp() {
+    const N: usize = 6_000;
+    let mut cnf = Cnf::new(N);
+    for i in 0..N as u32 - 1 {
+        cnf.add_clause([Var(i).positive(), Var(i + 1).positive()]);
+    }
+    let (c, _) = DecisionDnnfCompiler::default().compile_with_stats(&cnf);
+    assert!(c.sat_dnnf());
+
+    // Weighted count with weight(true) = 0.7, weight(false) = 3/7. These
+    // satisfy p + p·q = 1, so the chain DP has dominant eigenvalue 1 and
+    // the expected value stays O(1) instead of vanishing in f64.
+    const P: f64 = 0.7;
+    const Q: f64 = 3.0 / 7.0;
+    let mut w = LitWeights::unit(N);
+    for i in 0..N as u32 {
+        w.set(Var(i).positive(), P);
+        w.set(Var(i).negative(), Q);
+    }
+    // DP over prefixes: a_k = weight of models of the first k vars ending
+    // true, b_k = ending false (previous var must then be true).
+    let (mut a, mut b) = (P, Q);
+    for _ in 1..N {
+        let na = P * (a + b);
+        let nb = Q * a;
+        a = na;
+        b = nb;
+    }
+    let expect = a + b;
+    let got = c.wmc(&w);
+    assert!(
+        (got - expect).abs() < 1e-6 * expect.max(1.0),
+        "wmc {got} vs dp {expect}"
+    );
+}
+
+/// Unweighted count of a 180-variable or-chain equals Fibonacci
+/// (assignments avoiding two consecutive falses); F(182) still fits u128.
+#[test]
+fn or_chain_count_is_fibonacci() {
+    const N: usize = 180;
+    let mut cnf = Cnf::new(N);
+    for i in 0..N as u32 - 1 {
+        cnf.add_clause([Var(i).positive(), Var(i + 1).positive()]);
+    }
+    let c = DecisionDnnfCompiler::default().compile(&cnf);
+    // f(k) = #models over k chained vars: f(1) = 2, f(2) = 3, Fibonacci.
+    let (mut prev, mut cur) = (2u128, 3u128);
+    for _ in 2..N {
+        let next = prev + cur;
+        prev = cur;
+        cur = next;
+    }
+    assert_eq!(c.model_count(), cur);
+}

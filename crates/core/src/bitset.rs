@@ -84,10 +84,7 @@ impl VarSet {
 
     /// Whether the two sets share no variable.
     pub fn is_disjoint(&self, other: &VarSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & b == 0)
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
     }
 
     /// Whether `self ⊆ other`.

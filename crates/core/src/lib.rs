@@ -16,6 +16,9 @@
 //!   Unique tables and apply caches hash tiny integer keys millions of times;
 //!   SipHash is measurably the wrong default there (see the workspace
 //!   DESIGN.md for the justification).
+//! * [`rng`] — a tiny deterministic SplitMix64 stream so randomized tests
+//!   and workload generators need no external dependency (the workspace
+//!   builds air-gapped).
 //! * [`semiring`] — the evaluation semirings that make one circuit traversal
 //!   serve many queries: counting, weighted counting, and max-product (MPE).
 
@@ -23,10 +26,12 @@ pub mod bitset;
 pub mod error;
 pub mod hash;
 pub mod lit;
+pub mod rng;
 pub mod semiring;
 
 pub use bitset::VarSet;
 pub use error::{Error, Result};
-pub use hash::{FxHashMap, FxHashSet};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use lit::{Assignment, Cube, Lit, PartialAssignment, Var};
+pub use rng::SplitMix64;
 pub use semiring::{MaxProd, Real, Semiring};

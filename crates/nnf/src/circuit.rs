@@ -1,6 +1,6 @@
 //! The NNF circuit representation: an arena DAG with structural hashing.
 
-use trl_core::{Assignment, FxHashMap, Lit, PartialAssignment, Var, VarSet};
+use trl_core::{Assignment, Lit, PartialAssignment, Var, VarSet};
 
 /// Index of a node within a [`Circuit`] arena.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -143,46 +143,58 @@ impl Circuit {
     }
 
     /// Renders a compact textual form, mainly for debugging and docs.
+    ///
+    /// Iterative (explicit work stack), so arbitrarily deep circuits — e.g.
+    /// compiled 50k-variable chains — render without stack overflow.
     pub fn display(&self) -> String {
-        fn go(c: &Circuit, id: NnfId, out: &mut String) {
-            match c.node(id) {
-                NnfNode::True => out.push('⊤'),
-                NnfNode::False => out.push('⊥'),
-                NnfNode::Lit(l) => out.push_str(&format!("{l}")),
-                NnfNode::And(xs) => {
-                    out.push('(');
-                    for (i, x) in xs.iter().enumerate() {
-                        if i > 0 {
-                            out.push_str(" ∧ ");
+        enum Item {
+            Node(NnfId),
+            Text(&'static str),
+        }
+        let mut out = String::new();
+        let mut stack = vec![Item::Node(self.root)];
+        while let Some(item) = stack.pop() {
+            match item {
+                Item::Text(t) => out.push_str(t),
+                Item::Node(id) => match self.node(id) {
+                    NnfNode::True => out.push('⊤'),
+                    NnfNode::False => out.push('⊥'),
+                    NnfNode::Lit(l) => out.push_str(&format!("{l}")),
+                    NnfNode::And(xs) | NnfNode::Or(xs) => {
+                        let sep = if matches!(self.node(id), NnfNode::And(_)) {
+                            " ∧ "
+                        } else {
+                            " ∨ "
+                        };
+                        out.push('(');
+                        stack.push(Item::Text(")"));
+                        for (i, x) in xs.iter().enumerate().rev() {
+                            stack.push(Item::Node(*x));
+                            if i > 0 {
+                                stack.push(Item::Text(sep));
+                            }
                         }
-                        go(c, *x, out);
                     }
-                    out.push(')');
-                }
-                NnfNode::Or(xs) => {
-                    out.push('(');
-                    for (i, x) in xs.iter().enumerate() {
-                        if i > 0 {
-                            out.push_str(" ∨ ");
-                        }
-                        go(c, *x, out);
-                    }
-                    out.push(')');
-                }
+                },
             }
         }
-        let mut s = String::new();
-        go(self, self.root, &mut s);
-        s
+        out
     }
 }
 
 /// Builds NNF circuits with structural hashing: identical gates share one
 /// node, and trivial gates are simplified on the fly
 /// (`∧` with a `⊥` input is `⊥`, single-input gates collapse, etc.).
+///
+/// Deduplication uses an open-addressing table of node ids that compares
+/// candidates against the arena, so interning never clones a gate's input
+/// vector and probes allocate nothing — the builder sits on the hot path
+/// of every compiler in the workspace.
 pub struct CircuitBuilder {
     nodes: Vec<NnfNode>,
-    dedup: FxHashMap<NnfNode, NnfId>,
+    /// Open-addressing dedup table over `nodes`; entries are `id + 1`,
+    /// `0` means empty. Capacity is a power of two.
+    table: Vec<u32>,
     num_vars: usize,
 }
 
@@ -191,19 +203,55 @@ impl CircuitBuilder {
     pub fn new(num_vars: usize) -> Self {
         CircuitBuilder {
             nodes: Vec::new(),
-            dedup: FxHashMap::default(),
+            table: vec![0; 64],
             num_vars,
         }
     }
 
+    fn hash_node(node: &NnfNode) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = trl_core::FxHasher::default();
+        node.hash(&mut h);
+        h.finish()
+    }
+
     fn intern(&mut self, node: NnfNode) -> NnfId {
-        if let Some(&id) = self.dedup.get(&node) {
-            return id;
+        let mask = self.table.len() - 1;
+        let mut idx = Self::hash_node(&node) as usize & mask;
+        loop {
+            match self.table[idx] {
+                0 => break,
+                slot => {
+                    let id = NnfId(slot - 1);
+                    if self.nodes[id.index()] == node {
+                        return id;
+                    }
+                    idx = (idx + 1) & mask;
+                }
+            }
         }
         let id = NnfId(self.nodes.len() as u32);
-        self.nodes.push(node.clone());
-        self.dedup.insert(node, id);
+        self.nodes.push(node);
+        self.table[idx] = id.0 + 1;
+        // Keep the load factor below 1/2.
+        if (self.nodes.len() + 1) * 2 > self.table.len() {
+            self.grow_table();
+        }
         id
+    }
+
+    fn grow_table(&mut self) {
+        let cap = self.table.len() * 2;
+        let mask = cap - 1;
+        let mut table = vec![0u32; cap];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let mut idx = Self::hash_node(node) as usize & mask;
+            while table[idx] != 0 {
+                idx = (idx + 1) & mask;
+            }
+            table[idx] = i as u32 + 1;
+        }
+        self.table = table;
     }
 
     /// The constant true.

@@ -50,7 +50,10 @@ pub fn is_smooth(c: &Circuit) -> bool {
 /// input, each or-gate has at most one high input. Exponential in
 /// `num_vars`; intended for tests and small demos.
 pub fn is_deterministic_exhaustive(c: &Circuit) -> bool {
-    assert!(c.num_vars() <= 20, "exhaustive determinism check limited to 20 vars");
+    assert!(
+        c.num_vars() <= 20,
+        "exhaustive determinism check limited to 20 vars"
+    );
     for code in 0..1u64 << c.num_vars() {
         let a = Assignment::from_index(code, c.num_vars());
         let mut val = vec![false; c.node_count()];
@@ -130,6 +133,9 @@ fn respects_some_node(vt: &Vtree, ls: &VarSet, rs: &VarSet) -> bool {
 /// The root is additionally smoothed to mention every variable in
 /// `0..num_vars`, so counting needs no final scaling.
 pub fn smooth(c: &Circuit) -> Circuit {
+    if !c.ids().any(|id| matches!(c.node(id), NnfNode::Or(_))) {
+        return smooth_or_free(c);
+    }
     // Normalize first: fold constants out of gates so that every remaining
     // gate input is non-constant and scope bookkeeping below stays exact.
     let c = &c.condition(&trl_core::PartialAssignment::new(c.num_vars()));
@@ -181,6 +187,70 @@ pub fn smooth(c: &Circuit) -> Circuit {
         let mut parts = vec![root];
         for v in missing.iter() {
             parts.push(gadget(&mut b, v));
+        }
+        root = b.and_raw(parts);
+    }
+    b.finish(root)
+}
+
+/// Smoothing for circuits without or-gates — e.g. the literal cube the
+/// compiler emits for a pure-propagation instance. Such circuits are
+/// trivially smooth, so only the root-universe gap needs gadgets. Scope
+/// bookkeeping shrinks to a single reachability walk with one `VarSet`;
+/// the general path's `VarSet` per node costs hundreds of megabytes on a
+/// 50k-literal cube.
+fn smooth_or_free(c: &Circuit) -> Circuit {
+    let mut b = CircuitBuilder::new(c.num_vars());
+    let mut map: Vec<NnfId> = Vec::with_capacity(c.node_count());
+    for id in c.ids() {
+        let new_id = match c.node(id) {
+            NnfNode::True => b.true_(),
+            NnfNode::False => b.false_(),
+            NnfNode::Lit(l) => b.lit(*l),
+            NnfNode::And(xs) => {
+                let inputs: Vec<NnfId> = xs.iter().map(|x| map[x.index()]).collect();
+                b.and(inputs)
+            }
+            NnfNode::Or(_) => unreachable!("fast path requires an or-free circuit"),
+        };
+        map.push(new_id);
+    }
+    let mut root = map[c.root().index()];
+
+    // The root's scope: literals reachable from the (original) root. With
+    // no or-gates, any reachable false child folds the rebuilt root to ⊥,
+    // so whenever gadgets are actually added below this scope is exact.
+    let mut scope = VarSet::new();
+    let mut seen = vec![false; c.node_count()];
+    let mut stack = vec![c.root()];
+    seen[c.root().index()] = true;
+    while let Some(id) = stack.pop() {
+        match c.node(id) {
+            NnfNode::Lit(l) => {
+                scope.insert(l.var());
+            }
+            NnfNode::And(xs) => {
+                for x in xs {
+                    if !seen[x.index()] {
+                        seen[x.index()] = true;
+                        stack.push(*x);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let full: VarSet = (0..c.num_vars() as u32).map(Var).collect();
+    let missing = full.difference(&scope);
+    let false_id = b.false_();
+    if !missing.is_empty() && root != false_id {
+        let mut parts = vec![root];
+        for v in missing.iter() {
+            let pos = b.lit(v.positive());
+            let neg = b.lit(v.negative());
+            let g = b.or_raw([pos, neg]);
+            parts.push(g);
         }
         root = b.and_raw(parts);
     }

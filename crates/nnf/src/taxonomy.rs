@@ -33,11 +33,7 @@ impl CircuitClass {
     /// The most specific language name from Fig. 12's spine that the
     /// observed properties certify.
     pub fn language(&self) -> &'static str {
-        match (
-            self.decomposable,
-            self.deterministic,
-            self.structured,
-        ) {
+        match (self.decomposable, self.deterministic, self.structured) {
             (true, Some(true), Some(true)) => "structured d-DNNF (SDD-style)",
             (true, Some(true), _) => "d-DNNF",
             (true, _, Some(true)) => "structured DNNF",
@@ -52,8 +48,7 @@ impl CircuitClass {
 pub fn classify(c: &Circuit, vtree: Option<&Vtree>, check_determinism: bool) -> CircuitClass {
     CircuitClass {
         decomposable: properties::is_decomposable(c),
-        deterministic: check_determinism
-            .then(|| properties::is_deterministic_exhaustive(c)),
+        deterministic: check_determinism.then(|| properties::is_deterministic_exhaustive(c)),
         smooth: properties::is_smooth(c),
         structured: vtree.map(|vt| properties::respects_vtree(c, vt)),
     }

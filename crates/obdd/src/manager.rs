@@ -100,11 +100,7 @@ impl Obdd {
 
     /// The level of a variable. Panics if the variable is not in the order.
     pub fn level_of(&self, v: Var) -> u32 {
-        let l = self
-            .level_of
-            .get(v.index())
-            .copied()
-            .unwrap_or(u32::MAX);
+        let l = self.level_of.get(v.index()).copied().unwrap_or(u32::MAX);
         assert_ne!(l, u32::MAX, "{v} is not in this manager's order");
         l
     }
@@ -393,12 +389,7 @@ impl Obdd {
         self.flip_rec(f, level, &mut memo)
     }
 
-    fn flip_rec(
-        &mut self,
-        f: BddRef,
-        level: u32,
-        memo: &mut FxHashMap<BddRef, BddRef>,
-    ) -> BddRef {
+    fn flip_rec(&mut self, f: BddRef, level: u32, memo: &mut FxHashMap<BddRef, BddRef>) -> BddRef {
         let n = self.node(f);
         if n.level > level {
             return f;

@@ -285,7 +285,9 @@ mod tests {
         let mut m = Obdd::with_num_vars(5);
         let f = Formula::var(v(0))
             .and(Formula::var(v(1)))
-            .or(Formula::var(v(2)).and(Formula::var(v(3))).and(Formula::var(v(4))));
+            .or(Formula::var(v(2))
+                .and(Formula::var(v(3)))
+                .and(Formula::var(v(4))));
         let r = m.build_formula(&f);
         for code in 0..32u64 {
             let x = Assignment::from_index(code, 5);

@@ -35,7 +35,15 @@ impl Obdd {
             max_suffix[i] = max_suffix[i + 1] + weights[i].max(0);
         }
         let mut memo: FxHashMap<(u32, i64), BddRef> = FxHashMap::default();
-        self.threshold_rec(0, 0, weights, threshold, &min_suffix, &max_suffix, &mut memo)
+        self.threshold_rec(
+            0,
+            0,
+            weights,
+            threshold,
+            &min_suffix,
+            &max_suffix,
+            &mut memo,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -128,7 +136,16 @@ impl Obdd {
             max_suffix[i] = max_suffix[i + 1] + weights[i].max(0);
         }
         let mut memo: FxHashMap<(usize, i64), BddRef> = FxHashMap::default();
-        self.threshold_of_rec(0, 0, fs, weights, threshold, &min_suffix, &max_suffix, &mut memo)
+        self.threshold_of_rec(
+            0,
+            0,
+            fs,
+            weights,
+            threshold,
+            &min_suffix,
+            &max_suffix,
+            &mut memo,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]

@@ -1,121 +1,153 @@
 //! Property-based tests for the OBDD algebra: every operation is compared
 //! against truth-table semantics on random formulas.
+//!
+//! Gated behind the `proptest` feature (default on): `cargo test -p trl-obdd
+//! --no-default-features` skips the randomized sweeps. Instances come from
+//! the workspace's deterministic generator — on failure, rerun with the
+//! seed printed in the assertion message.
+#![cfg(feature = "proptest")]
 
-use proptest::prelude::*;
-use trl_core::{Assignment, Var};
+use trl_core::{Assignment, SplitMix64, Var};
 use trl_obdd::Obdd;
-use trl_prop::{Formula, TruthTable};
-
-fn arb_formula(n: u32) -> impl Strategy<Value = Formula> {
-    let leaf = (0..n).prop_map(|i| Formula::var(Var(i)));
-    leaf.prop_recursive(4, 20, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.xor(b)),
-            inner.prop_map(|a| a.not()),
-        ]
-    })
-}
+use trl_prop::gen::random_formula;
+use trl_prop::TruthTable;
 
 const N: usize = 4;
+const CASES: u64 = 96;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn build_matches_truth_table(f in arb_formula(N as u32)) {
+#[test]
+fn build_matches_truth_table() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let f = random_formula(&mut rng, N as u32, 10);
         let mut m = Obdd::with_num_vars(N);
         let r = m.build_formula(&f);
         let tt = TruthTable::from_formula(&f, N);
         for code in 0..1u64 << N {
-            prop_assert_eq!(m.eval(r, &Assignment::from_index(code, N)), tt.get(code));
+            assert_eq!(
+                m.eval(r, &Assignment::from_index(code, N)),
+                tt.get(code),
+                "seed {seed}, input {code:04b}"
+            );
         }
-        prop_assert_eq!(m.count_models(r), tt.count() as u128);
+        assert_eq!(m.count_models(r), tt.count() as u128, "seed {seed}");
     }
+}
 
-    #[test]
-    fn restrict_is_semantic_cofactor(f in arb_formula(N as u32), var in 0..N as u32, val in any::<bool>()) {
+#[test]
+fn restrict_is_semantic_cofactor() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let f = random_formula(&mut rng, N as u32, 10);
+        let var = Var(rng.below(N) as u32);
+        let val = rng.coin();
         let mut m = Obdd::with_num_vars(N);
         let r = m.build_formula(&f);
-        let c = m.restrict(r, Var(var), val);
+        let c = m.restrict(r, var, val);
         for code in 0..1u64 << N {
             let mut a = Assignment::from_index(code, N);
-            a.set(Var(var), val);
+            a.set(var, val);
             // On the fixed-variable half-space the cofactor equals f…
-            prop_assert_eq!(m.eval(c, &a), m.eval(r, &a));
+            assert_eq!(m.eval(c, &a), m.eval(r, &a), "seed {seed}");
             // …and elsewhere it repeats that half-space's values.
-            prop_assert_eq!(m.eval(c, &a.flipped(Var(var))), m.eval(c, &a));
+            assert_eq!(m.eval(c, &a.flipped(var)), m.eval(c, &a), "seed {seed}");
         }
         // The cofactor no longer depends on the variable.
-        prop_assert!(!m.support(c).contains(Var(var)));
+        assert!(!m.support(c).contains(var), "seed {seed}");
     }
+}
 
-    #[test]
-    fn quantification_identities(f in arb_formula(N as u32), var in 0..N as u32) {
+#[test]
+fn quantification_identities() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let f = random_formula(&mut rng, N as u32, 10);
+        let v = Var(rng.below(N) as u32);
         let mut m = Obdd::with_num_vars(N);
         let r = m.build_formula(&f);
-        let v = Var(var);
         let ex = m.exists(r, v);
         let fa = m.forall(r, v);
         // ∀x.f ⇒ f ⇒ ∃x.f
         let i1 = m.implies(fa, r);
         let i2 = m.implies(r, ex);
-        prop_assert_eq!(i1, Obdd::TRUE);
-        prop_assert_eq!(i2, Obdd::TRUE);
+        assert_eq!(i1, Obdd::TRUE, "seed {seed}");
+        assert_eq!(i2, Obdd::TRUE, "seed {seed}");
         // ¬∃x.f = ∀x.¬f (De Morgan for quantifiers)
         let nex = m.not(ex);
         let nr = m.not(r);
         let fanr = m.forall(nr, v);
-        prop_assert_eq!(nex, fanr);
+        assert_eq!(nex, fanr, "seed {seed}");
     }
+}
 
-    #[test]
-    fn compose_matches_substitution(f in arb_formula(N as u32), g in arb_formula(N as u32), var in 0..N as u32) {
+#[test]
+fn compose_matches_substitution() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let f = random_formula(&mut rng, N as u32, 10);
+        let g = random_formula(&mut rng, N as u32, 10);
+        let var = Var(rng.below(N) as u32);
         let mut m = Obdd::with_num_vars(N);
         let rf = m.build_formula(&f);
         let rg = m.build_formula(&g);
-        let composed = m.compose(rf, Var(var), rg);
+        let composed = m.compose(rf, var, rg);
         for code in 0..1u64 << N {
             let a = Assignment::from_index(code, N);
             let mut a2 = a.clone();
-            a2.set(Var(var), m.eval(rg, &a));
-            prop_assert_eq!(m.eval(composed, &a), m.eval(rf, &a2));
+            a2.set(var, m.eval(rg, &a));
+            assert_eq!(m.eval(composed, &a), m.eval(rf, &a2), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn flip_is_involutive_and_semantic(f in arb_formula(N as u32), var in 0..N as u32) {
+#[test]
+fn flip_is_involutive_and_semantic() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let f = random_formula(&mut rng, N as u32, 10);
+        let v = Var(rng.below(N) as u32);
         let mut m = Obdd::with_num_vars(N);
         let r = m.build_formula(&f);
-        let v = Var(var);
         let flipped = m.flip_var(r, v);
         for code in 0..1u64 << N {
             let a = Assignment::from_index(code, N);
-            prop_assert_eq!(m.eval(flipped, &a), m.eval(r, &a.flipped(v)));
+            assert_eq!(m.eval(flipped, &a), m.eval(r, &a.flipped(v)), "seed {seed}");
         }
         let back = m.flip_var(flipped, v);
-        prop_assert_eq!(back, r);
+        assert_eq!(back, r, "seed {seed}");
     }
+}
 
-    #[test]
-    fn xor_cancellation(f in arb_formula(N as u32), g in arb_formula(N as u32)) {
+#[test]
+fn xor_cancellation() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let f = random_formula(&mut rng, N as u32, 10);
+        let g = random_formula(&mut rng, N as u32, 10);
         let mut m = Obdd::with_num_vars(N);
         let rf = m.build_formula(&f);
         let rg = m.build_formula(&g);
         let x = m.xor(rf, rg);
         let back = m.xor(x, rg);
-        prop_assert_eq!(back, rf);
+        assert_eq!(back, rf, "seed {seed}");
     }
+}
 
-    #[test]
-    fn threshold_matches_weighted_sum(ws in prop::collection::vec(-4i64..=4, N), t in -6i64..=6) {
+#[test]
+fn threshold_matches_weighted_sum() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let ws: Vec<i64> = (0..N).map(|_| rng.below(9) as i64 - 4).collect();
+        let t = rng.below(13) as i64 - 6;
         let mut m = Obdd::with_num_vars(N);
         let r = m.threshold(&ws, t);
         for code in 0..1u64 << N {
             let a = Assignment::from_index(code, N);
-            let s: i64 = (0..N).filter(|&i| a.value(Var(i as u32))).map(|i| ws[i]).sum();
-            prop_assert_eq!(m.eval(r, &a), s >= t);
+            let s: i64 = (0..N)
+                .filter(|&i| a.value(Var(i as u32)))
+                .map(|i| ws[i])
+                .sum();
+            assert_eq!(m.eval(r, &a), s >= t, "seed {seed}, weights {ws:?}, t {t}");
         }
     }
 }

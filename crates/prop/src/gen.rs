@@ -1,0 +1,82 @@
+//! Deterministic random-instance generators for tests and benches.
+//!
+//! These replace the `proptest` strategies the seed used: the workspace
+//! builds air-gapped, so randomized tests draw from [`SplitMix64`] instead
+//! of an external shrinking framework. Failures print the seed (every
+//! generator is a pure function of it), which substitutes for shrinking:
+//! rerun with the printed seed to reproduce.
+
+use crate::cnf::Cnf;
+use crate::formula::Formula;
+use trl_core::{Lit, SplitMix64, Var};
+
+/// A random formula over variables `0..n`, grown by `ops` random connective
+/// applications over a pool that starts with the `n` variable leaves —
+/// the same shape distribution as the seed's `prop_recursive` strategy.
+pub fn random_formula(rng: &mut SplitMix64, n: u32, ops: usize) -> Formula {
+    assert!(n > 0, "need at least one variable");
+    let mut pool: Vec<Formula> = (0..n).map(|i| Formula::var(Var(i))).collect();
+    for _ in 0..ops {
+        let a = pool[rng.below(pool.len())].clone();
+        let b = pool[rng.below(pool.len())].clone();
+        let combined = match rng.below(6) {
+            0 => a.and(b),
+            1 => a.or(b),
+            2 => a.xor(b),
+            3 => a.implies(b),
+            4 => a.iff(b),
+            _ => a.not(),
+        };
+        pool.push(combined);
+    }
+    pool.last().unwrap().clone()
+}
+
+/// A random CNF over `n` variables with `m` clauses of length `1..=max_len`
+/// (distinct variables per clause, random polarities).
+pub fn random_cnf(rng: &mut SplitMix64, n: usize, m: usize, max_len: usize) -> Cnf {
+    assert!(n > 0 && max_len > 0);
+    let mut cnf = Cnf::new(n);
+    for _ in 0..m {
+        let len = (1 + rng.below(max_len)).min(n);
+        let mut lits: Vec<Lit> = Vec::with_capacity(len);
+        while lits.len() < len {
+            let v = Var(rng.below(n) as u32);
+            if lits.iter().all(|l| l.var() != v) {
+                lits.push(v.literal(rng.coin()));
+            }
+        }
+        cnf.add_clause(lits);
+    }
+    cnf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_mentions_only_declared_vars() {
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..20 {
+            let f = random_formula(&mut rng, 4, 8);
+            assert!(f.vars().iter().all(|v| v.index() < 4));
+        }
+    }
+
+    #[test]
+    fn cnf_shape_is_respected() {
+        let mut rng = SplitMix64::new(5);
+        let cnf = random_cnf(&mut rng, 6, 10, 3);
+        assert_eq!(cnf.num_vars(), 6);
+        assert_eq!(cnf.clauses().len(), 10);
+        assert!(cnf.clauses().iter().all(|c| (1..=3).contains(&c.len())));
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let f1 = random_formula(&mut SplitMix64::new(9), 5, 10);
+        let f2 = random_formula(&mut SplitMix64::new(9), 5, 10);
+        assert_eq!(format!("{f1:?}"), format!("{f2:?}"));
+    }
+}

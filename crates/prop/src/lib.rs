@@ -18,11 +18,12 @@
 
 pub mod cnf;
 pub mod formula;
+pub mod gen;
 pub mod prime;
 pub mod solver;
 pub mod truthtable;
 
-pub use cnf::{Clause, Cnf};
+pub use cnf::{Clause, Cnf, Occurrences};
 pub use formula::Formula;
 pub use prime::{prime_implicants, sufficient_reasons};
 pub use solver::Solver;

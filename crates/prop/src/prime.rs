@@ -24,9 +24,11 @@ struct Term {
 
 impl Term {
     fn to_cube(self) -> Cube {
-        Cube::from_lits((0..32).filter(|i| self.mask >> i & 1 == 1).map(|i| {
-            Var(i).literal(self.values >> i & 1 == 1)
-        }))
+        Cube::from_lits(
+            (0..32)
+                .filter(|i| self.mask >> i & 1 == 1)
+                .map(|i| Var(i).literal(self.values >> i & 1 == 1)),
+        )
     }
 }
 
@@ -38,7 +40,10 @@ impl Term {
 /// none.
 pub fn prime_implicants(f: &TruthTable) -> Vec<Cube> {
     let n = f.num_vars();
-    assert!(n <= 24, "prime implicant computation limited to 24 variables");
+    assert!(
+        n <= 24,
+        "prime implicant computation limited to 24 variables"
+    );
     if !f.is_sat() {
         return Vec::new();
     }
@@ -98,11 +103,7 @@ pub fn prime_implicants(f: &TruthTable) -> Vec<Cube> {
 /// * if `f(x) = 1`, the prime implicants of `f` consistent with `x`;
 /// * if `f(x) = 0`, the prime implicants of `¬f` consistent with `x`.
 pub fn sufficient_reasons(f: &TruthTable, x: &Assignment) -> Vec<Cube> {
-    let target = if f.eval(x) {
-        f.clone()
-    } else {
-        f.complement()
-    };
+    let target = if f.eval(x) { f.clone() } else { f.complement() };
     prime_implicants(&target)
         .into_iter()
         .filter(|c| c.consistent_with(x))
@@ -192,10 +193,7 @@ mod tests {
         let x = Assignment::from_values(&[false, true, true]);
         assert!(!f.eval(&x));
         let reasons = sufficient_reasons(&f, &x);
-        assert_eq!(
-            reasons,
-            vec![cube(&[v(0).negative(), v(2).positive()])]
-        );
+        assert_eq!(reasons, vec![cube(&[v(0).negative(), v(2).positive()])]);
     }
 
     #[test]

@@ -185,10 +185,7 @@ impl TruthTable {
 
     /// Whether `self ⇒ other` pointwise.
     pub fn implies(&self, other: &TruthTable) -> bool {
-        self.bits
-            .iter()
-            .zip(&other.bits)
-            .all(|(a, b)| a & !b == 0)
+        self.bits.iter().zip(&other.bits).all(|(a, b)| a & !b == 0)
     }
 
     /// Whether the function is satisfiable.

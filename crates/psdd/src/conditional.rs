@@ -105,8 +105,7 @@ impl ConditionalPsdd {
     ///
     /// Distributions shared between classes pool the data of those classes.
     pub fn learn(&mut self, data: &[(Assignment, Assignment, f64)], alpha: f64) -> f64 {
-        let mut per_dist: Vec<Vec<(Assignment, f64)>> =
-            vec![Vec::new(); self.distributions.len()];
+        let mut per_dist: Vec<Vec<(Assignment, f64)>> = vec![Vec::new(); self.distributions.len()];
         let mut outside = 0.0;
         for (parents, children, w) in data {
             let class = self.class_of(parents);
@@ -189,9 +188,15 @@ mod tests {
     fn supports_differ_by_class() {
         let c = fig21();
         // Under (a₀,b₀): X∧Y is impossible; otherwise ¬X∧¬Y is impossible.
-        assert_eq!(c.conditional_probability(&ch(true, true), &pa(false, false)), 0.0);
+        assert_eq!(
+            c.conditional_probability(&ch(true, true), &pa(false, false)),
+            0.0
+        );
         assert!(c.conditional_probability(&ch(false, false), &pa(false, false)) > 0.0);
-        assert_eq!(c.conditional_probability(&ch(false, false), &pa(true, true)), 0.0);
+        assert_eq!(
+            c.conditional_probability(&ch(false, false), &pa(true, true)),
+            0.0
+        );
         assert!(c.conditional_probability(&ch(true, true), &pa(true, true)) > 0.0);
     }
 
@@ -228,7 +233,9 @@ mod tests {
         ];
         let outside = c.learn(&data, 0.0);
         assert_eq!(outside, 0.0);
-        assert!((c.conditional_probability(&ch(false, true), &pa(false, false)) - 1.0).abs() < 1e-12);
+        assert!(
+            (c.conditional_probability(&ch(false, true), &pa(false, false)) - 1.0).abs() < 1e-12
+        );
         assert!((c.conditional_probability(&ch(true, true), &pa(true, false)) - 1.0).abs() < 1e-12);
     }
 

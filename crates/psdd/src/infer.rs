@@ -88,9 +88,7 @@ impl Psdd {
                     let (k, v) = elements
                         .iter()
                         .enumerate()
-                        .map(|(k, e2)| {
-                            (k, e2.theta * val[e2.prime.index()] * val[e2.sub.index()])
-                        })
+                        .map(|(k, e2)| (k, e2.theta * val[e2.prime.index()] * val[e2.sub.index()]))
                         .max_by(|a, b| a.1.total_cmp(&b.1))
                         .expect("decision node with no elements");
                     best[i] = k;

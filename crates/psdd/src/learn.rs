@@ -173,8 +173,7 @@ mod tests {
             for n in q.nodes.iter_mut() {
                 match n {
                     PsddNode::Decision { elements, .. } => {
-                        let raw: Vec<f64> =
-                            elements.iter().map(|_| uniform() + 1e-3).collect();
+                        let raw: Vec<f64> = elements.iter().map(|_| uniform() + 1e-3).collect();
                         let total: f64 = raw.iter().sum();
                         for (e, r) in elements.iter_mut().zip(raw) {
                             e.theta = r / total;
@@ -272,7 +271,13 @@ impl Psdd {
     /// values summed out by the linear-time marginal.
     pub fn log_likelihood_incomplete(&self, data: &IncompleteDataset) -> f64 {
         data.iter()
-            .map(|(e, w)| if *w == 0.0 { 0.0 } else { w * self.marginal(e).ln() })
+            .map(|(e, w)| {
+                if *w == 0.0 {
+                    0.0
+                } else {
+                    w * self.marginal(e).ln()
+                }
+            })
             .sum()
     }
 
@@ -285,17 +290,15 @@ impl Psdd {
     ///
     /// The E-step enumerates each example's missing variables, so examples
     /// may leave at most 20 variables unassigned.
-    pub fn learn_em(
-        &mut self,
-        data: &IncompleteDataset,
-        alpha: f64,
-        iterations: usize,
-    ) -> f64 {
+    pub fn learn_em(&mut self, data: &IncompleteDataset, alpha: f64, iterations: usize) -> f64 {
         use trl_core::Var;
         let vars: Vec<Var> = self.vtree.variable_order();
         for (e, _) in data {
             let missing = vars.iter().filter(|v| e.value(**v).is_none()).count();
-            assert!(missing <= 20, "E-step enumeration limited to 20 missing variables");
+            assert!(
+                missing <= 20,
+                "E-step enumeration limited to 20 missing variables"
+            );
         }
         for _ in 0..iterations {
             // E-step: fractional complete-data counts.

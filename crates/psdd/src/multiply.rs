@@ -133,13 +133,7 @@ impl<'a> Multiplier<'a> {
                 });
                 Some((id, c))
             }
-            (
-                PsddNode::Bernoulli { var, p_true },
-                PsddNode::Bernoulli {
-                    p_true: p2,
-                    ..
-                },
-            ) => {
+            (PsddNode::Bernoulli { var, p_true }, PsddNode::Bernoulli { p_true: p2, .. }) => {
                 let pt = p_true * p2;
                 let pf = (1.0 - p_true) * (1.0 - p2);
                 let c = pt + pf;

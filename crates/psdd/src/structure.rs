@@ -133,9 +133,9 @@ impl Psdd {
         match self.node(id) {
             PsddNode::Literal { var, value } => a.value(*var) == *value,
             PsddNode::Bernoulli { .. } => true,
-            PsddNode::Decision { elements, .. } => elements.iter().any(|e| {
-                self.supports_node(e.prime, a) && self.supports_node(e.sub, a)
-            }),
+            PsddNode::Decision { elements, .. } => elements
+                .iter()
+                .any(|e| self.supports_node(e.prime, a) && self.supports_node(e.sub, a)),
         }
     }
 
@@ -143,9 +143,7 @@ impl Psdd {
     /// if any (primes partition the left space, but dropped `⊥`-sub
     /// elements leave holes).
     pub(crate) fn active_element(&self, elements: &[PsddElement], a: &Assignment) -> Option<usize> {
-        elements
-            .iter()
-            .position(|e| self.supports_node(e.prime, a))
+        elements.iter().position(|e| self.supports_node(e.prime, a))
     }
 }
 

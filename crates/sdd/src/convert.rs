@@ -161,9 +161,9 @@ mod tests {
         let mut m = SddManager::right_linear(4);
         let s = m.build_formula(&f);
         let obdd_internal = obdd.size(b) - 2; // minus terminals
-        // Each OBDD node maps to one decision node except the deepest level:
-        // nodes of the form (x, ⊤, ⊥) trim to literals in a canonical SDD.
-        // XOR over 4 variables has exactly two such nodes.
+                                              // Each OBDD node maps to one decision node except the deepest level:
+                                              // nodes of the form (x, ⊤, ⊥) trim to literals in a canonical SDD.
+                                              // XOR over 4 variables has exactly two such nodes.
         assert_eq!(m.node_count(s), obdd_internal - 2);
     }
 

@@ -28,4 +28,4 @@ pub mod manager;
 pub mod queries;
 pub mod spine;
 
-pub use manager::{SddManager, SddRef};
+pub use manager::{ApplyCacheStats, SddManager, SddRef};

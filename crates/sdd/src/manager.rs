@@ -48,12 +48,131 @@ enum Op {
     Or,
 }
 
+/// Counters and shape of the manager's apply cache.
+#[derive(Clone, Copy, Debug)]
+pub struct ApplyCacheStats {
+    /// Probes answered from the cache.
+    pub hits: u64,
+    /// Probes that fell through to a fresh apply.
+    pub misses: u64,
+    /// Current number of slots.
+    pub capacity: usize,
+    /// Current generation (bumped by [`SddManager::clear_apply_cache`]).
+    pub generation: u32,
+}
+
+#[derive(Clone, Copy)]
+struct ApplyEntry {
+    stamp: u32,
+    op: Op,
+    a: SddRef,
+    b: SddRef,
+    result: SddRef,
+}
+
+const VACANT: ApplyEntry = ApplyEntry {
+    stamp: 0,
+    op: Op::And,
+    a: SddRef::False,
+    b: SddRef::False,
+    result: SddRef::False,
+};
+
+/// Bounded, generation-stamped apply cache.
+///
+/// Apply results are memoized in a direct-mapped, power-of-two table keyed
+/// on the canonicalized `(op, min, max)` operand pair. A colliding insert
+/// overwrites its slot — recomputing a lost entry is always sound — so the
+/// table never chains or rehashes, and probes are one slot read. Clearing
+/// bumps a generation stamp instead of touching memory (stale entries are
+/// lazily overwritten). The table doubles whenever the manager's unique
+/// table outgrows it — a load-factor-one policy against live decision
+/// nodes — and is capped so a pathological apply cannot exhaust memory.
+struct ApplyCache {
+    entries: Vec<ApplyEntry>,
+    stamp: u32,
+    hits: u64,
+    misses: u64,
+}
+
+impl ApplyCache {
+    const INITIAL_CAPACITY: usize = 1 << 10;
+    const MAX_CAPACITY: usize = 1 << 22;
+
+    fn new() -> Self {
+        ApplyCache {
+            entries: vec![VACANT; Self::INITIAL_CAPACITY],
+            stamp: 1,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn slot(&self, op: Op, a: SddRef, b: SddRef) -> usize {
+        fn mix64(x: u64) -> u64 {
+            let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        let tag = match op {
+            Op::And => 0u64,
+            Op::Or => 1u64,
+        };
+        let x = a.key() ^ b.key().rotate_left(21) ^ (tag << 62);
+        mix64(x) as usize & (self.entries.len() - 1)
+    }
+
+    fn get(&mut self, op: Op, a: SddRef, b: SddRef) -> Option<SddRef> {
+        let e = self.entries[self.slot(op, a, b)];
+        if e.stamp == self.stamp && e.op == op && e.a == a && e.b == b {
+            self.hits += 1;
+            Some(e.result)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    fn insert(&mut self, op: Op, a: SddRef, b: SddRef, result: SddRef) {
+        let s = self.slot(op, a, b);
+        self.entries[s] = ApplyEntry {
+            stamp: self.stamp,
+            op,
+            a,
+            b,
+            result,
+        };
+    }
+
+    /// Doubles the table while the unique table is larger (contents are
+    /// discarded; they repopulate on the fly).
+    fn sync_capacity(&mut self, live_nodes: usize) {
+        let mut cap = self.entries.len();
+        while cap < Self::MAX_CAPACITY && live_nodes > cap {
+            cap *= 2;
+        }
+        if cap != self.entries.len() {
+            self.entries = vec![VACANT; cap];
+        }
+    }
+
+    fn clear(&mut self) {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            // Generation counter wrapped: scrub for real, once per 2³² clears.
+            self.entries.fill(VACANT);
+            self.stamp = 1;
+        }
+    }
+}
+
 /// An SDD manager over a fixed vtree.
 pub struct SddManager {
     vtree: Vtree,
     pub(crate) nodes: Vec<DecisionNode>,
     unique: FxHashMap<(VtreeNodeId, Box<[Element]>), u32>,
-    apply_cache: FxHashMap<(Op, SddRef, SddRef), SddRef>,
+    apply_cache: ApplyCache,
     neg_cache: FxHashMap<u32, SddRef>,
 }
 
@@ -64,7 +183,7 @@ impl SddManager {
             vtree,
             nodes: Vec::new(),
             unique: FxHashMap::default(),
-            apply_cache: FxHashMap::default(),
+            apply_cache: ApplyCache::new(),
             neg_cache: FxHashMap::default(),
         }
     }
@@ -142,11 +261,7 @@ impl SddManager {
         if elements.len() == 2 {
             let subs: Vec<SddRef> = elements.iter().map(|e| e.1).collect();
             if subs.contains(&SddRef::True) && subs.contains(&SddRef::False) {
-                let p_true = elements
-                    .iter()
-                    .find(|e| e.1 == SddRef::True)
-                    .unwrap()
-                    .0;
+                let p_true = elements.iter().find(|e| e.1 == SddRef::True).unwrap().0;
                 return p_true;
             }
         }
@@ -269,23 +384,22 @@ impl SddManager {
             }
         }
         let (a, b) = if a.key() <= b.key() { (a, b) } else { (b, a) };
-        if let Some(&r) = self.apply_cache.get(&(op, a, b)) {
+        self.apply_cache.sync_capacity(self.nodes.len());
+        if let Some(r) = self.apply_cache.get(op, a, b) {
             return r;
         }
         let va = self.vtree_of(a).expect("non-constant");
         let vb = self.vtree_of(b).expect("non-constant");
-        let v = if va == vb {
-            va
-        } else {
-            self.vtree.lca(va, vb)
-        };
+        let v = if va == vb { va } else { self.vtree.lca(va, vb) };
         // If the lca is a leaf both operands are literals of the same
         // variable — handled above — so `v` is internal here unless the
         // operands equal; normalize to an internal ancestor.
         let v = if self.vtree.is_internal(v) {
             v
         } else {
-            self.vtree.parent(v).expect("leaf lca implies same variable")
+            self.vtree
+                .parent(v)
+                .expect("leaf lca implies same variable")
         };
         let ea = self.expand(a, v);
         let eb = self.expand(b, v);
@@ -301,8 +415,25 @@ impl SddManager {
             }
         }
         let r = self.compress_and_intern(v, elements);
-        self.apply_cache.insert((op, a, b), r);
+        self.apply_cache.insert(op, a, b, r);
         r
+    }
+
+    /// Apply-cache counters and shape.
+    pub fn apply_cache_stats(&self) -> ApplyCacheStats {
+        ApplyCacheStats {
+            hits: self.apply_cache.hits,
+            misses: self.apply_cache.misses,
+            capacity: self.apply_cache.entries.len(),
+            generation: self.apply_cache.stamp,
+        }
+    }
+
+    /// Invalidates every apply-cache entry in O(1) by bumping the
+    /// generation stamp. Canonicity is untouched: the unique table, which
+    /// guarantees equal handles for equal functions, is not a cache.
+    pub fn clear_apply_cache(&mut self) {
+        self.apply_cache.clear();
     }
 
     /// Conjunction (polytime apply).
@@ -615,15 +746,13 @@ mod tests {
             .or(Formula::var(v(2)).and(Formula::var(v(3))));
         let r = m.build_formula(&f);
         let c = m.condition(r, v(0).positive());
-        let expected = m.build_formula(
-            &Formula::var(v(1)).or(Formula::var(v(2)).and(Formula::var(v(3)))),
-        );
+        let expected =
+            m.build_formula(&Formula::var(v(1)).or(Formula::var(v(2)).and(Formula::var(v(3)))));
         assert_eq!(c, expected);
         // Conditioning both polarities then disjoining = ∃.
         let e = m.exists(r, v(0));
-        let expected = m.build_formula(
-            &Formula::var(v(1)).or(Formula::var(v(2)).and(Formula::var(v(3)))),
-        );
+        let expected =
+            m.build_formula(&Formula::var(v(1)).or(Formula::var(v(2)).and(Formula::var(v(3)))));
         assert_eq!(e, expected);
     }
 
@@ -646,6 +775,64 @@ mod tests {
         let a = m.build_formula(&f);
         let b = m.build_cnf(&cnf);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn apply_cache_hits_and_survives_clearing() {
+        let mut m = SddManager::balanced(4);
+        let f = Formula::var(v(0))
+            .iff(Formula::var(v(2)))
+            .or(Formula::var(v(1)).and(Formula::var(v(3)).not()));
+        let r1 = m.build_formula(&f);
+        let stats = m.apply_cache_stats();
+        assert!(stats.misses > 0);
+        // Rebuilding replays the same applies: mostly hits now.
+        let r2 = m.build_formula(&f);
+        assert_eq!(r1, r2);
+        assert!(m.apply_cache_stats().hits > stats.hits);
+        // Clearing is a generation bump; results stay canonical.
+        let gen = m.apply_cache_stats().generation;
+        m.clear_apply_cache();
+        assert_eq!(m.apply_cache_stats().generation, gen + 1);
+        let r3 = m.build_formula(&f);
+        assert_eq!(r1, r3);
+        check_equal_formula(&mut m, r3, &f, 4);
+    }
+
+    #[test]
+    fn apply_cache_overwrites_stay_sound_in_shared_manager() {
+        // Many formulas through ONE manager, forcing slot collisions and
+        // overwrites in the direct-mapped cache; every result must still
+        // match semantics (a lost entry may cost time, never correctness).
+        let mut state = 0x51f0aa11u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let n = 5;
+        let mut m = SddManager::balanced(n);
+        for _ in 0..30 {
+            let mut fs: Vec<Formula> = (0..n as u32).map(|i| Formula::var(v(i))).collect();
+            for _ in 0..8 {
+                let i = (next() % fs.len() as u64) as usize;
+                let j = (next() % fs.len() as u64) as usize;
+                let combined = match next() % 4 {
+                    0 => fs[i].clone().and(fs[j].clone()),
+                    1 => fs[i].clone().or(fs[j].clone()),
+                    2 => fs[i].clone().xor(fs[j].clone()),
+                    _ => fs[i].clone().not(),
+                };
+                fs.push(combined);
+            }
+            let f = fs.last().unwrap().clone();
+            let r = m.build_formula(&f);
+            check_equal_formula(&mut m, r, &f, n);
+        }
+        let stats = m.apply_cache_stats();
+        assert!(stats.hits > 0, "{stats:?}");
+        assert!(stats.capacity.is_power_of_two());
     }
 
     #[test]

@@ -40,12 +40,7 @@ impl SddManager {
         total
     }
 
-    fn size_rec(
-        &self,
-        f: SddRef,
-        seen: &mut trl_core::FxHashSet<u32>,
-        total: &mut usize,
-    ) {
+    fn size_rec(&self, f: SddRef, seen: &mut trl_core::FxHashSet<u32>, total: &mut usize) {
         if let SddRef::Decision(i) = f {
             if !seen.insert(i) {
                 return;
@@ -116,8 +111,7 @@ impl SddManager {
                             elements
                                 .iter()
                                 .map(|&(p, s)| {
-                                    self.count_in(p, left, memo)
-                                        * self.count_in(s, right, memo)
+                                    self.count_in(p, left, memo) * self.count_in(s, right, memo)
                                 })
                                 .sum()
                         }

@@ -182,7 +182,15 @@ impl SddManager {
         let mut memo: FxHashMap<(SddRef, VtreeNodeId), f64> = FxHashMap::default();
         let mut wmc_memo = FxHashMap::default();
         let mut max_memo = FxHashMap::default();
-        self.spine_max_rec(f, self.vtree().root(), u, w, &mut memo, &mut wmc_memo, &mut max_memo)
+        self.spine_max_rec(
+            f,
+            self.vtree().root(),
+            u,
+            w,
+            &mut memo,
+            &mut wmc_memo,
+            &mut max_memo,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -349,16 +357,15 @@ mod tests {
         out
     }
 
-    fn setup(
-        f: &Formula,
-        y_vars: &[Var],
-        z_vars: &[Var],
-    ) -> (SddManager, SddRef, VtreeNodeId) {
+    fn setup(f: &Formula, y_vars: &[Var], z_vars: &[Var]) -> (SddManager, SddRef, VtreeNodeId) {
         let vt = Vtree::constrained(y_vars, z_vars);
         let z_set: trl_core::VarSet = z_vars.iter().copied().collect();
         let mut m = SddManager::new(vt);
         let r = m.build_formula(f);
-        let u = m.vtree().constrained_node(&z_set).expect("constrained node");
+        let u = m
+            .vtree()
+            .constrained_node(&z_set)
+            .expect("constrained node");
         (m, r, u)
     }
 

@@ -1,27 +1,22 @@
 //! Property-based tests for the SDD algebra, on all three standard vtree
 //! shapes: apply/negate/condition match semantics; canonicity holds.
+//!
+//! Gated behind the `proptest` feature (default on): `cargo test -p trl-sdd
+//! --no-default-features` skips the randomized sweeps. Instances come from
+//! the workspace's deterministic generator — on failure, rerun with the
+//! seed printed in the assertion message.
+#![cfg(feature = "proptest")]
 
-use proptest::prelude::*;
-use trl_core::{Assignment, Var};
-use trl_prop::{Formula, TruthTable};
+use trl_core::{Assignment, SplitMix64, Var};
+use trl_prop::gen::random_formula;
+use trl_prop::TruthTable;
 use trl_sdd::{SddManager, SddRef};
 use trl_vtree::Vtree;
 
-fn arb_formula(n: u32) -> impl Strategy<Value = Formula> {
-    let leaf = (0..n).prop_map(|i| Formula::var(Var(i)));
-    leaf.prop_recursive(4, 20, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.iff(b)),
-            inner.prop_map(|a| a.not()),
-        ]
-    })
-}
-
 const N: usize = 4;
+const CASES: u64 = 96;
 
-fn manager(shape: u8) -> SddManager {
+fn manager(shape: u64) -> SddManager {
     let order: Vec<Var> = (0..N as u32).map(Var).collect();
     match shape % 3 {
         0 => SddManager::new(Vtree::balanced(&order)),
@@ -30,37 +25,59 @@ fn manager(shape: u8) -> SddManager {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn build_matches_truth_table(f in arb_formula(N as u32), shape in 0u8..3) {
-        let mut m = manager(shape);
+#[test]
+fn build_matches_truth_table() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let f = random_formula(&mut rng, N as u32, 10);
+        let mut m = manager(seed);
         let r = m.build_formula(&f);
         let tt = TruthTable::from_formula(&f, N);
         for code in 0..1u64 << N {
-            prop_assert_eq!(m.eval(r, &Assignment::from_index(code, N)), tt.get(code));
+            assert_eq!(
+                m.eval(r, &Assignment::from_index(code, N)),
+                tt.get(code),
+                "seed {seed}, input {code:04b}"
+            );
         }
-        prop_assert_eq!(m.model_count(r), tt.count() as u128);
+        assert_eq!(m.model_count(r), tt.count() as u128, "seed {seed}");
     }
+}
 
-    #[test]
-    fn conjoin_disjoin_are_pointwise(f in arb_formula(N as u32), g in arb_formula(N as u32), shape in 0u8..3) {
-        let mut m = manager(shape);
+#[test]
+fn conjoin_disjoin_are_pointwise() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let f = random_formula(&mut rng, N as u32, 10);
+        let g = random_formula(&mut rng, N as u32, 10);
+        let mut m = manager(seed);
         let rf = m.build_formula(&f);
         let rg = m.build_formula(&g);
         let and = m.and(rf, rg);
         let or = m.or(rf, rg);
         for code in 0..1u64 << N {
             let a = Assignment::from_index(code, N);
-            prop_assert_eq!(m.eval(and, &a), m.eval(rf, &a) && m.eval(rg, &a));
-            prop_assert_eq!(m.eval(or, &a), m.eval(rf, &a) || m.eval(rg, &a));
+            assert_eq!(
+                m.eval(and, &a),
+                m.eval(rf, &a) && m.eval(rg, &a),
+                "seed {seed}"
+            );
+            assert_eq!(
+                m.eval(or, &a),
+                m.eval(rf, &a) || m.eval(rg, &a),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn de_morgan_holds_by_canonicity(f in arb_formula(N as u32), g in arb_formula(N as u32), shape in 0u8..3) {
-        let mut m = manager(shape);
+#[test]
+fn de_morgan_holds_by_canonicity() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let f = random_formula(&mut rng, N as u32, 10);
+        let g = random_formula(&mut rng, N as u32, 10);
+        let mut m = manager(seed);
         let rf = m.build_formula(&f);
         let rg = m.build_formula(&g);
         let and = m.and(rf, rg);
@@ -68,28 +85,38 @@ proptest! {
         let nf = m.negate(rf);
         let ng = m.negate(rg);
         let rhs = m.or(nf, ng);
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs, "seed {seed}");
     }
+}
 
-    #[test]
-    fn condition_is_semantic_cofactor(f in arb_formula(N as u32), var in 0..N as u32, val in any::<bool>(), shape in 0u8..3) {
-        let mut m = manager(shape);
+#[test]
+fn condition_is_semantic_cofactor() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let f = random_formula(&mut rng, N as u32, 10);
+        let var = rng.below(N) as u32;
+        let val = rng.coin();
+        let mut m = manager(seed);
         let r = m.build_formula(&f);
         let lit = Var(var).literal(val);
         let c = m.condition(r, lit);
         for code in 0..1u64 << N {
             let mut a = Assignment::from_index(code, N);
             a.set(Var(var), val);
-            prop_assert_eq!(m.eval(c, &a), m.eval(r, &a));
+            assert_eq!(m.eval(c, &a), m.eval(r, &a), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn shannon_expansion_reconstructs(f in arb_formula(N as u32), var in 0..N as u32, shape in 0u8..3) {
-        // f = (x ∧ f|x) ∨ (¬x ∧ f|¬x), and canonicity makes it identical.
-        let mut m = manager(shape);
+#[test]
+fn shannon_expansion_reconstructs() {
+    // f = (x ∧ f|x) ∨ (¬x ∧ f|¬x), and canonicity makes it identical.
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let f = random_formula(&mut rng, N as u32, 10);
+        let v = Var(rng.below(N) as u32);
+        let mut m = manager(seed);
         let r = m.build_formula(&f);
-        let v = Var(var);
         let hi = m.condition(r, v.positive());
         let lo = m.condition(r, v.negative());
         let pos = m.literal(v.positive());
@@ -97,15 +124,19 @@ proptest! {
         let a = m.and(pos, hi);
         let b = m.and(neg, lo);
         let rebuilt = m.or(a, b);
-        prop_assert_eq!(rebuilt, r);
+        assert_eq!(rebuilt, r, "seed {seed}");
     }
+}
 
-    #[test]
-    fn satisfiable_iff_not_false(f in arb_formula(N as u32), shape in 0u8..3) {
-        let mut m = manager(shape);
+#[test]
+fn satisfiable_iff_not_false() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let f = random_formula(&mut rng, N as u32, 10);
+        let mut m = manager(seed);
         let r = m.build_formula(&f);
         let tt = TruthTable::from_formula(&f, N);
-        prop_assert_eq!(r != SddRef::False, tt.is_sat());
-        prop_assert_eq!(r == SddRef::True, tt.count() == 1 << N);
+        assert_eq!(r != SddRef::False, tt.is_sat(), "seed {seed}");
+        assert_eq!(r == SddRef::True, tt.count() == 1 << N, "seed {seed}");
     }
 }

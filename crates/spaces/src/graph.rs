@@ -234,9 +234,7 @@ mod tests {
     #[test]
     fn enumerate_paths_on_2x2() {
         let g = GridMap::new(2, 2);
-        let paths = g
-            .graph()
-            .enumerate_simple_paths(g.node(0, 0), g.node(1, 1));
+        let paths = g.graph().enumerate_simple_paths(g.node(0, 0), g.node(1, 1));
         // Two paths across a 2x2 grid.
         assert_eq!(paths.len(), 2);
         for p in &paths {
@@ -248,9 +246,7 @@ mod tests {
     #[test]
     fn enumerate_paths_on_3x3() {
         let g = GridMap::new(3, 3);
-        let paths = g
-            .graph()
-            .enumerate_simple_paths(g.node(0, 0), g.node(2, 2));
+        let paths = g.graph().enumerate_simple_paths(g.node(0, 0), g.node(2, 2));
         // Known: 12 simple paths corner-to-corner on a 3x3 grid graph.
         assert_eq!(paths.len(), 12);
     }

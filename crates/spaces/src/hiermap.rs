@@ -125,7 +125,10 @@ impl TwoRegionMap {
         if used_crossings.len() != 1 {
             return None;
         }
-        let crossing = self.crossings.iter().position(|&c| c == used_crossings[0])?;
+        let crossing = self
+            .crossings
+            .iter()
+            .position(|&c| c == used_crossings[0])?;
         let mut left = Vec::new();
         let mut right = Vec::new();
         for &e in route {
@@ -175,11 +178,9 @@ impl TwoRegionMap {
         let k = self.crossings.len();
         // Root cluster: exactly-one over k crossing indicator variables.
         let top = {
-            let mut m = SddManager::new(Vtree::balanced(
-                &(0..k as u32).map(Var).collect::<Vec<_>>(),
-            ));
-            let lits: Vec<trl_core::Lit> =
-                (0..k as u32).map(|i| Var(i).positive()).collect();
+            let mut m =
+                SddManager::new(Vtree::balanced(&(0..k as u32).map(Var).collect::<Vec<_>>()));
+            let lits: Vec<trl_core::Lit> = (0..k as u32).map(|i| Var(i).positive()).collect();
             let f = m.build_formula(&Formula::exactly_one(&lits));
             Psdd::from_sdd(&m, f)
         };
@@ -189,9 +190,8 @@ impl TwoRegionMap {
                                   from: usize,
                                   crossing_end: &dyn Fn(usize) -> usize|
          -> ConditionalPsdd {
-            let mut selector = SddManager::new(Vtree::balanced(
-                &(0..k as u32).map(Var).collect::<Vec<_>>(),
-            ));
+            let mut selector =
+                SddManager::new(Vtree::balanced(&(0..k as u32).map(Var).collect::<Vec<_>>()));
             let mut classes = Vec::new();
             let mut dists = Vec::new();
             let n_edges = region.0.num_edges().max(1);
@@ -204,8 +204,8 @@ impl TwoRegionMap {
                     let f = Formula::conj(lits.iter().map(|&l| Formula::lit(l)));
                     selector.build_formula(&f)
                 };
-                let boundary = node_map[crossing_end(j)]
-                    .expect("crossing endpoint lies in the region");
+                let boundary =
+                    node_map[crossing_end(j)].expect("crossing endpoint lies in the region");
                 let (obdd, paths) = compile_simple_paths(&region.0, from, boundary);
                 let mut m = SddManager::new(Vtree::right_linear(&order));
                 let support = m.from_obdd(&obdd, paths);
@@ -219,8 +219,7 @@ impl TwoRegionMap {
             // Catch-all class for invalid crossing patterns (probability 0
             // under the root): any distribution works; use the uniform one.
             let rest = {
-                let lits: Vec<trl_core::Lit> =
-                    (0..k as u32).map(|i| Var(i).positive()).collect();
+                let lits: Vec<trl_core::Lit> = (0..k as u32).map(|i| Var(i).positive()).collect();
                 let f = Formula::exactly_one(&lits).not();
                 selector.build_formula(&f)
             };
@@ -253,8 +252,7 @@ impl TwoRegionMap {
         let left_source = self.left_nodes[self.source].expect("source in left region");
         let right_target = self.right_nodes[self.target].expect("target in right region");
         let left = region_conditional(&self.left, &self.left_nodes, left_source, &left_end);
-        let right =
-            region_conditional(&self.right, &self.right_nodes, right_target, &right_end);
+        let right = region_conditional(&self.right, &self.right_nodes, right_target, &right_end);
         Sbn {
             k,
             top,

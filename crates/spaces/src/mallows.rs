@@ -123,9 +123,7 @@ impl Mallows {
             / total;
         let mut lo = 0.0f64;
         let mut hi = 30.0f64;
-        let expected = |theta: f64| {
-            Mallows::new(center.to_vec(), theta).expected_distance()
-        };
+        let expected = |theta: f64| Mallows::new(center.to_vec(), theta).expected_distance();
         if mean >= expected(lo) {
             return 0.0;
         }
@@ -240,8 +238,9 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        let data: Vec<(Vec<usize>, f64)> =
-            (0..30_000).map(|_| (truth.sample(&mut uniform), 1.0)).collect();
+        let data: Vec<(Vec<usize>, f64)> = (0..30_000)
+            .map(|_| (truth.sample(&mut uniform), 1.0))
+            .collect();
         let theta = Mallows::fit_theta(&truth.center, &data);
         assert!((theta - 1.2).abs() < 0.1, "fitted {theta}");
     }
@@ -256,8 +255,9 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        let data: Vec<(Vec<usize>, f64)> =
-            (0..20_000).map(|_| (truth.sample(&mut uniform), 1.0)).collect();
+        let data: Vec<(Vec<usize>, f64)> = (0..20_000)
+            .map(|_| (truth.sample(&mut uniform), 1.0))
+            .collect();
         let center = Mallows::fit_center(4, &data);
         assert_eq!(center, truth.center);
     }

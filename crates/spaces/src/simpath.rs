@@ -204,11 +204,7 @@ mod tests {
             let (s, t) = (g.node(sr, sc), g.node(tr, tc));
             let (obdd, root) = compile_simple_paths(g.graph(), s, t);
             let expected = g.graph().enumerate_simple_paths(s, t).len() as u128;
-            assert_eq!(
-                obdd.count_models(root),
-                expected,
-                "{rows}x{cols} {s}->{t}"
-            );
+            assert_eq!(obdd.count_models(root), expected, "{rows}x{cols} {s}->{t}");
         }
     }
 

@@ -24,7 +24,10 @@ pub type VtreeNodeId = usize;
 #[derive(Clone, Debug)]
 enum Node {
     Leaf(Var),
-    Internal { left: VtreeNodeId, right: VtreeNodeId },
+    Internal {
+        left: VtreeNodeId,
+        right: VtreeNodeId,
+    },
 }
 
 /// An immutable vtree over a set of variables.
@@ -70,7 +73,10 @@ impl Vtree {
     /// [`Vtree::constrained_node`] as the node `u` whose variables are
     /// exactly `bottom`.
     pub fn constrained(top: &[Var], bottom: &[Var]) -> Vtree {
-        assert!(!bottom.is_empty(), "constrained vtree needs bottom variables");
+        assert!(
+            !bottom.is_empty(),
+            "constrained vtree needs bottom variables"
+        );
         let mut shape = Shape::balanced(bottom);
         for &v in top.iter().rev() {
             shape = Shape::Internal(Box::new(Shape::Leaf(v)), Box::new(shape));
@@ -474,10 +480,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "appears twice")]
     fn duplicate_variable_panics() {
-        let shape = Shape::Internal(
-            Box::new(Shape::Leaf(Var(0))),
-            Box::new(Shape::Leaf(Var(0))),
-        );
+        let shape = Shape::Internal(Box::new(Shape::Leaf(Var(0))), Box::new(Shape::Leaf(Var(0))));
         let _ = Vtree::from_shape(&shape);
     }
 

@@ -138,7 +138,9 @@ mod tests {
     #[test]
     fn audit_classifies_the_three_cases() {
         // f = (x0 ∧ x1) ∨ x2, instance (1,1,1).
-        let f = Formula::var(v(0)).and(Formula::var(v(1))).or(Formula::var(v(2)));
+        let f = Formula::var(v(0))
+            .and(Formula::var(v(1)))
+            .or(Formula::var(v(2)));
         let mut m = Obdd::with_num_vars(3);
         let r = m.build_formula(&f);
         let x = Assignment::from_values(&[true, true, true]);
@@ -147,22 +149,24 @@ mod tests {
         assert_eq!(audit(&mut m, r, &x, &exact), AnchorVerdict::Exact);
         let optimistic = Cube::from_lits([v(0).positive()]);
         assert_eq!(audit(&mut m, r, &x, &optimistic), AnchorVerdict::Optimistic);
-        let pessimistic =
-            Cube::from_lits([v(0).positive(), v(1).positive(), v(2).positive()]);
-        assert_eq!(audit(&mut m, r, &x, &pessimistic), AnchorVerdict::Pessimistic);
+        let pessimistic = Cube::from_lits([v(0).positive(), v(1).positive(), v(2).positive()]);
+        assert_eq!(
+            audit(&mut m, r, &x, &pessimistic),
+            AnchorVerdict::Pessimistic
+        );
     }
 
     #[test]
     fn anchor_search_reaches_target_precision_exactly_at_a_reason() {
         // On a simple function with ample samples, the greedy anchor tends
         // to find a genuinely sufficient set.
-        let f = Formula::var(v(0)).and(Formula::var(v(1))).or(Formula::var(v(2)));
+        let f = Formula::var(v(0))
+            .and(Formula::var(v(1)))
+            .or(Formula::var(v(2)));
         let mut m = Obdd::with_num_vars(3);
         let r = m.build_formula(&f);
         let x = Assignment::from_values(&[true, true, false]);
-        let classify = |y: &Assignment| {
-            (y.value(v(0)) && y.value(v(1))) || y.value(v(2))
-        };
+        let classify = |y: &Assignment| (y.value(v(0)) && y.value(v(1))) || y.value(v(2));
         let mut uniform = xorshift(5);
         let a = anchor(&classify, &x, 3, 1.0, 400, &mut uniform);
         // With precision target 1.0 and enough samples, the anchor must be

@@ -114,14 +114,11 @@ impl ReasonCircuit {
     /// worst case (the paper's motivation for reasoning on the circuit
     /// instead — see the bias queries below).
     pub fn sufficient_reasons(&self) -> Vec<Cube> {
-        let mut memo: trl_core::FxHashMap<BddRef, Vec<Vec<Var>>> =
-            trl_core::FxHashMap::default();
+        let mut memo: trl_core::FxHashMap<BddRef, Vec<Vec<Var>>> = trl_core::FxHashMap::default();
         let sets = self.primes(self.root, &mut memo);
         let mut cubes: Vec<Cube> = sets
             .into_iter()
-            .map(|vars| {
-                Cube::from_lits(vars.into_iter().map(|v| self.instance.literal_of(v)))
-            })
+            .map(|vars| Cube::from_lits(vars.into_iter().map(|v| self.instance.literal_of(v))))
             .collect();
         cubes.sort();
         cubes

@@ -154,10 +154,7 @@ impl RandomForest {
         if data.is_empty() {
             return 1.0;
         }
-        let correct = data
-            .iter()
-            .filter(|(x, y)| self.classify(x) == *y)
-            .count();
+        let correct = data.iter().filter(|(x, y)| self.classify(x) == *y).count();
         correct as f64 / data.len() as f64
     }
 }

@@ -110,7 +110,11 @@ mod tests {
     fn zero_noise_reproduces_prototypes() {
         let d = digit_dataset(3, 0.0, 9);
         for (img, label) in d {
-            let proto = if label { one_prototype() } else { zero_prototype() };
+            let proto = if label {
+                one_prototype()
+            } else {
+                zero_prototype()
+            };
             assert_eq!(img, proto);
         }
     }

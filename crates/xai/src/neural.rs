@@ -151,7 +151,8 @@ impl Bnn {
             state
         };
         let bound = 3i64;
-        let rand_w = |next: &mut dyn FnMut() -> u64| (next() % (2 * bound as u64 + 1)) as i64 - bound;
+        let rand_w =
+            |next: &mut dyn FnMut() -> u64| (next() % (2 * bound as u64 + 1)) as i64 - bound;
         let mut net = Bnn {
             num_inputs,
             layers: vec![
@@ -167,11 +168,8 @@ impl Bnn {
                 },
             ],
         };
-        let errors = |net: &Bnn| -> usize {
-            data.iter()
-                .filter(|(x, y)| net.classify(x) != *y)
-                .count()
-        };
+        let errors =
+            |net: &Bnn| -> usize { data.iter().filter(|(x, y)| net.classify(x) != *y).count() };
         let mut best = errors(&net);
         for _ in 0..passes {
             if best == 0 {

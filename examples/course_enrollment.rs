@@ -51,7 +51,10 @@ fn main() {
 
     let mut ai = PartialAssignment::new(4);
     ai.assign(Var(A).positive());
-    println!("Pr(takes AI | takes KR) = {:.4}", psdd.conditional(&ai, &kr));
+    println!(
+        "Pr(takes AI | takes KR) = {:.4}",
+        psdd.conditional(&ai, &kr)
+    );
 
     let (mpe, p) = psdd.mpe(&PartialAssignment::new(4));
     println!(

@@ -31,7 +31,11 @@ fn main() {
         })
         .collect();
     let forest = RandomForest::train(&data, 5, 7, 4, 2026);
-    println!("forest of {} trees, training accuracy {:.3}", forest.trees.len(), forest.accuracy(&data));
+    println!(
+        "forest of {} trees, training accuracy {:.3}",
+        forest.trees.len(),
+        forest.accuracy(&data)
+    );
 
     // Compile the whole forest into one circuit with identical behavior.
     let mut m = Obdd::with_num_vars(5);

@@ -14,9 +14,9 @@ fn main() {
     //    wifi=0, bluetooth=1, gps=2, low_power=3
     let f = |i: u32| Formula::var(Var(i));
     let constraints = Formula::conj([
-        f(2).implies(f(0).or(f(1))),       // GPS needs a radio
-        f(3).implies(f(0).not()),          // low-power mode disables wifi
-        f(0).or(f(1)).or(f(2)).or(f(3)),   // something must be on
+        f(2).implies(f(0).or(f(1))),     // GPS needs a radio
+        f(3).implies(f(0).not()),        // low-power mode disables wifi
+        f(0).or(f(1)).or(f(2)).or(f(3)), // something must be on
     ]);
     let cnf: Cnf = constraints.to_cnf(4);
     println!("knowledge (CNF):\n{}", cnf.to_dimacs());
@@ -48,7 +48,10 @@ fn main() {
         .filter(|&i| best.value(Var(i as u32)))
         .map(|i| names[i])
         .collect();
-    println!("most likely valid configuration: {{{}}} (p = {p:.4})", on.join(", "));
+    println!(
+        "most likely valid configuration: {{{}}} (p = {p:.4})",
+        on.join(", ")
+    );
 
     // Every query agrees with brute force on this tiny example.
     let brute = (0..16u64)

@@ -54,7 +54,11 @@ fn main() {
     // The most probable route.
     let (best, p) = psdd.mpe(&PartialAssignment::new(g.num_edges()));
     let streets: Vec<usize> = g.chosen_edges(&best);
-    println!("most probable route uses {} streets (p = {:.4})", streets.len(), p);
+    println!(
+        "most probable route uses {} streets (p = {:.4})",
+        streets.len(),
+        p
+    );
     assert!(g.is_simple_path(&best, s, t));
     println!("…and it is a valid simple route ✓");
 }

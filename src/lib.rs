@@ -18,25 +18,25 @@
 //! assert_eq!(circuit.model_count(), 2);
 //! ```
 
+/// Bayesian networks, their queries, and the reduction to weighted model counting.
+pub use trl_bayesnet as bayesnet;
+/// Knowledge compilers: CNF → Decision-DNNF / OBDD / SDD, and model counters.
+pub use trl_compiler as compiler;
 /// Shared primitives: variables, literals, assignments, bitsets, semirings.
 pub use trl_core as core;
-/// Propositional logic: CNF, DIMACS, SAT, prime implicants.
-pub use trl_prop as prop;
-/// Vtrees: the structure dimension of SDDs and structured DNNFs.
-pub use trl_vtree as vtree;
 /// NNF circuits, their tractability properties, and their polytime queries.
 pub use trl_nnf as nnf;
 /// Ordered binary decision diagrams.
 pub use trl_obdd as obdd;
-/// Sentential decision diagrams.
-pub use trl_sdd as sdd;
-/// Knowledge compilers: CNF → Decision-DNNF / OBDD / SDD, and model counters.
-pub use trl_compiler as compiler;
-/// Bayesian networks, their queries, and the reduction to weighted model counting.
-pub use trl_bayesnet as bayesnet;
+/// Propositional logic: CNF, DIMACS, SAT, prime implicants.
+pub use trl_prop as prop;
 /// Probabilistic SDDs: learning distributions from data and symbolic knowledge.
 pub use trl_psdd as psdd;
+/// Sentential decision diagrams.
+pub use trl_sdd as sdd;
 /// Combinatorial/structured probability spaces: routes, rankings, hierarchical maps.
 pub use trl_spaces as spaces;
+/// Vtrees: the structure dimension of SDDs and structured DNNFs.
+pub use trl_vtree as vtree;
 /// Meta-reasoning: compiling classifiers into circuits; explanations, bias, robustness.
 pub use trl_xai as xai;

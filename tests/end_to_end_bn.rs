@@ -17,8 +17,9 @@ fn random_networks_circuit_equals_ve() {
             if p_ve > 1e-12 {
                 let posts = compiled.posteriors(&ev);
                 #[allow(clippy::needless_range_loop)] // v indexes parallel per-variable tables
-                #[allow(clippy::needless_range_loop)] // v indexes parallel per-variable tables
-    for v in 0..bn.num_vars() {
+                #[allow(clippy::needless_range_loop)]
+                // v indexes parallel per-variable tables
+                for v in 0..bn.num_vars() {
                     let ve = bn.posterior(v, &ev);
                     for val in 0..2 {
                         assert!(
@@ -40,7 +41,11 @@ fn both_encoding_styles_agree() {
     let bn = medical();
     let base = CompiledBn::new(bn.clone(), EncodingStyle::Baseline);
     let local = CompiledBn::new(bn, EncodingStyle::LocalStructure);
-    for ev in [vec![], vec![(2usize, 1usize), (3usize, 1usize)], vec![(4, 0)]] {
+    for ev in [
+        vec![],
+        vec![(2usize, 1usize), (3usize, 1usize)],
+        vec![(4, 0)],
+    ] {
         assert!((base.pr_evidence(&ev) - local.pr_evidence(&ev)).abs() < 1e-12);
     }
 }

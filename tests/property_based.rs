@@ -1,107 +1,117 @@
-//! Property-based tests (proptest) over the core invariants.
+//! Property-based tests over the core invariants.
+//!
+//! Gated behind the `proptest` feature (default on): `cargo test
+//! --no-default-features` skips the randomized sweeps. Instances come from
+//! the workspace's deterministic generator — on failure, rerun with the
+//! seed printed in the assertion message.
+#![cfg(feature = "proptest")]
 
-use proptest::prelude::*;
 use three_roles::compiler::DecisionDnnfCompiler;
-use three_roles::core::{Assignment, Lit, Var};
-use three_roles::prop::{Cnf, Formula, TruthTable};
+use three_roles::core::{Assignment, SplitMix64};
+use three_roles::prop::gen::{random_cnf, random_formula};
+use three_roles::prop::TruthTable;
 use three_roles::sdd::SddManager;
 
-fn arb_formula(n: u32) -> impl Strategy<Value = Formula> {
-    let leaf = (0..n).prop_map(|i| Formula::var(Var(i)));
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.xor(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
-            inner.prop_map(|a| a.not()),
-        ]
-    })
-}
+const CASES: u64 = 64;
 
-fn arb_cnf(n: usize) -> impl Strategy<Value = Cnf> {
-    prop::collection::vec(
-        prop::collection::vec((0..n as u32, any::<bool>()), 1..4),
-        0..8,
-    )
-    .prop_map(move |clauses| {
-        let mut cnf = Cnf::new(n);
-        for c in clauses {
-            let lits: Vec<Lit> = c.into_iter().map(|(v, s)| Var(v).literal(s)).collect();
-            cnf.add_clause(lits);
-        }
-        cnf
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn compiled_count_equals_truth_table(cnf in arb_cnf(5)) {
+#[test]
+fn compiled_count_equals_truth_table() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let m = rng.below(8);
+        let cnf = random_cnf(&mut rng, 5, m, 3);
         let circuit = DecisionDnnfCompiler::default().compile(&cnf);
         let tt = TruthTable::from_cnf(&cnf);
-        prop_assert_eq!(circuit.model_count(), tt.count() as u128);
+        assert_eq!(circuit.model_count(), tt.count() as u128, "seed {seed}");
     }
+}
 
-    #[test]
-    fn sdd_apply_matches_semantics(f in arb_formula(4)) {
+#[test]
+fn sdd_apply_matches_semantics() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let f = random_formula(&mut rng, 4, 12);
         let mut m = SddManager::balanced(4);
         let r = m.build_formula(&f);
         for code in 0..16u64 {
             let a = Assignment::from_index(code, 4);
-            prop_assert_eq!(m.eval(r, &a), f.eval(&a));
+            assert_eq!(m.eval(r, &a), f.eval(&a), "seed {seed}, input {code:04b}");
         }
     }
+}
 
-    #[test]
-    fn sdd_negation_is_complement(f in arb_formula(4)) {
+#[test]
+fn sdd_negation_is_complement() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let f = random_formula(&mut rng, 4, 12);
         let mut m = SddManager::balanced(4);
         let r = m.build_formula(&f);
         let nr = m.negate(r);
         let count = m.model_count(r);
-        prop_assert_eq!(m.model_count(nr), 16 - count);
-        prop_assert_eq!(m.negate(nr), r);
+        assert_eq!(m.model_count(nr), 16 - count, "seed {seed}");
+        assert_eq!(m.negate(nr), r, "seed {seed}");
     }
+}
 
-    #[test]
-    fn obdd_and_sdd_counts_coincide(f in arb_formula(5)) {
+#[test]
+fn obdd_and_sdd_counts_coincide() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let f = random_formula(&mut rng, 5, 12);
         let mut obdd = three_roles::obdd::Obdd::with_num_vars(5);
         let b = obdd.build_formula(&f);
         let mut sdd = SddManager::balanced(5);
         let s = sdd.build_formula(&f);
-        prop_assert_eq!(obdd.count_models(b), sdd.model_count(s));
+        assert_eq!(obdd.count_models(b), sdd.model_count(s), "seed {seed}");
     }
+}
 
-    #[test]
-    fn psdd_probabilities_normalize(f in arb_formula(4)) {
+#[test]
+fn psdd_probabilities_normalize() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let f = random_formula(&mut rng, 4, 12);
         let mut m = SddManager::balanced(4);
         let r = m.build_formula(&f);
-        prop_assume!(r != three_roles::sdd::SddRef::False);
+        if r == three_roles::sdd::SddRef::False {
+            continue; // unsatisfiable: no distribution to normalize
+        }
         let p = three_roles::psdd::Psdd::from_sdd(&m, r);
         let total: f64 = (0..16u64)
             .map(|c| p.probability(&Assignment::from_index(c, 4)))
             .sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
+        assert!((total - 1.0).abs() < 1e-9, "seed {seed}: total {total}");
     }
+}
 
-    #[test]
-    fn reason_circuit_reasons_are_sufficient_and_minimal(f in arb_formula(4)) {
+#[test]
+fn reason_circuit_reasons_are_sufficient_and_minimal() {
+    for seed in 0..CASES / 4 {
+        let mut rng = SplitMix64::new(seed);
+        let f = random_formula(&mut rng, 4, 12);
         let mut m = three_roles::obdd::Obdd::with_num_vars(4);
         let r = m.build_formula(&f);
-        prop_assume!(!m.is_terminal(r));
+        if m.is_terminal(r) {
+            continue; // constant function: no reasons to extract
+        }
         let tt = TruthTable::from_formula(&f, 4);
         for code in 0..16u64 {
             let x = Assignment::from_index(code, 4);
             let rc = three_roles::xai::ReasonCircuit::new(&mut m, r, &x);
             let got = rc.sufficient_reasons();
             let expected = three_roles::prop::sufficient_reasons(&tt, &x);
-            prop_assert_eq!(got, expected);
+            assert_eq!(got, expected, "seed {seed}, input {code:04b}");
         }
     }
+}
 
-    #[test]
-    fn min_flips_equals_hamming_search(f in arb_formula(4), code in 0..16u64) {
+#[test]
+fn min_flips_equals_hamming_search() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let f = random_formula(&mut rng, 4, 12);
+        let code = rng.below(16) as u64;
         let mut m = three_roles::obdd::Obdd::with_num_vars(4);
         let r = m.build_formula(&f);
         let x = Assignment::from_index(code, 4);
@@ -111,16 +121,20 @@ proptest! {
             .filter(|y| m.eval(r, y) != cls)
             .map(|y| x.hamming_distance(&y) as u32)
             .min();
-        prop_assert_eq!(m.min_flips_to(r, &x, !cls), brute);
+        assert_eq!(m.min_flips_to(r, &x, !cls), brute, "seed {seed}");
     }
+}
 
-    #[test]
-    fn tseitin_preserves_counts(f in arb_formula(4)) {
+#[test]
+fn tseitin_preserves_counts() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let f = random_formula(&mut rng, 4, 12);
         let brute = (0..16u64)
             .filter(|&c| f.eval(&Assignment::from_index(c, 4)))
             .count() as u128;
         let (cnf, _) = f.to_cnf_tseitin(4);
         let circuit = DecisionDnnfCompiler::default().compile(&cnf);
-        prop_assert_eq!(circuit.model_count(), brute);
+        assert_eq!(circuit.model_count(), brute, "seed {seed}");
     }
 }

@@ -41,9 +41,7 @@ fn route_psdd_learning_end_to_end() {
 fn ranking_psdd_normalizes_over_permutations() {
     let space = RankingSpace::new(3);
     let (obdd, root) = space.compile();
-    let mut sdd = SddManager::new(Vtree::right_linear(
-        &(0..9u32).map(Var).collect::<Vec<_>>(),
-    ));
+    let mut sdd = SddManager::new(Vtree::right_linear(&(0..9u32).map(Var).collect::<Vec<_>>()));
     let support = sdd.from_obdd(&obdd, root);
     let mut psdd = Psdd::from_sdd(&sdd, support);
     let data = vec![
@@ -74,7 +72,9 @@ fn sampled_routes_are_valid_and_match_marginals() {
     let (s, t) = (g.node(0, 0), g.node(2, 2));
     let (obdd, root) = compile_simple_paths(g.graph(), s, t);
     let mut sdd = SddManager::new(Vtree::right_linear(
-        &(0..g.graph().num_edges() as u32).map(Var).collect::<Vec<_>>(),
+        &(0..g.graph().num_edges() as u32)
+            .map(Var)
+            .collect::<Vec<_>>(),
     ));
     let support = sdd.from_obdd(&obdd, root);
     let psdd = Psdd::from_sdd(&sdd, support);
