@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Lint + format gate. Run from the repo root (or any subdirectory):
+# Lint + format + feature-matrix + doc gate. Run from the repo root (or any
+# subdirectory):
 #
-#   ci/check.sh          # clippy (all targets, warnings are errors) + fmt
+#   ci/check.sh          # clippy (all targets, warnings are errors), fmt,
+#                        # no-default-features build+test, docs (warnings
+#                        # are errors)
 #   ci/check.sh --fix    # apply clippy suggestions and rustfmt in place
 #
 # The same commands run in CI; keep them byte-for-byte in sync.
@@ -15,5 +18,14 @@ else
     cargo clippy --workspace --all-targets -- -D warnings
     cargo fmt --all --check
 fi
+
+# The umbrella crate's `proptest` feature is on by default; the workspace
+# must also build and test cleanly without it.
+cargo build --workspace --no-default-features --quiet
+cargo test --workspace --no-default-features --quiet
+
+# Rendered docs are part of the API surface: broken intra-doc links and
+# malformed doc comments fail the gate.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "ci/check.sh: OK"

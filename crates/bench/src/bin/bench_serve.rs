@@ -1,0 +1,75 @@
+//! Serving benchmark: batched multi-worker query execution against a
+//! prepared circuit versus the one-query-at-a-time baseline, written to
+//! `BENCH_engine.json` at the repository root. Run with
+//! `cargo run --release -p trl-bench --bin bench_serve`.
+//!
+//! The baseline answers each WMC query directly on the raw circuit — the
+//! pre-engine pattern, which re-smooths per query. The served
+//! configurations push the same stream through `trl_engine::Executor`
+//! batches against a `PreparedCircuit` that smoothed once, so the speedup
+//! measures what the engine exists to deliver: amortizing preparation
+//! across a batch, with worker parallelism layered on top where cores
+//! allow.
+
+use trl_bench::{banner, check, random_3cnf, row, section, Rng};
+use trl_compiler::DecisionDnnfCompiler;
+use trl_engine::serving_benchmark;
+
+/// Queries answered per (workers, batch size) configuration.
+const QUERIES_PER_CONFIG: usize = 512;
+
+fn main() {
+    banner(
+        "bench_serve",
+        "compile-once / query-many serving throughput (BENCH_engine.json)",
+        "batched multi-worker execution gives >=2x over one-at-a-time serving",
+    );
+
+    let instance = "random_3cnf(seed=18, n=18, m=54)";
+    let cnf = random_3cnf(&mut Rng::new(18), 18, 54);
+    let circuit = DecisionDnnfCompiler::default().compile(&cnf);
+
+    let max_workers = std::thread::available_parallelism().map_or(2, |p| p.get().max(2));
+    let report = serving_benchmark(
+        instance,
+        &circuit,
+        &[1, max_workers],
+        &[1, 32, 256],
+        QUERIES_PER_CONFIG,
+        0x5eed_0002,
+    );
+
+    section(instance);
+    row(
+        "circuit nodes (raw/smoothed)",
+        format!("{}/{}", report.raw_nodes, report.smoothed_nodes),
+    );
+    row("prepare once", format!("{:.3} ms", report.prepare_ms));
+    row(
+        "baseline (1 thread, no batching)",
+        format!("{:.0} qps", report.baseline_qps),
+    );
+    for c in &report.configs {
+        row(
+            &format!("workers={} batch={}", c.workers, c.batch_size),
+            format!(
+                "{:.0} qps ({:.2}x), mean latency {:.1} us",
+                c.qps, c.speedup, c.mean_latency_us
+            ),
+        );
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, report.to_json()).expect("write BENCH_engine.json");
+
+    section("criteria");
+    let ok = check(
+        "served answers agree bit-for-bit with the baseline",
+        report.answers_agree,
+    ) & check(
+        "best batched multi-worker config is >=2x the baseline",
+        report.best_batched_multiworker_speedup() >= 2.0,
+    );
+    println!("\nwrote {path}");
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -55,7 +55,7 @@ pub struct Group<'a> {
 }
 
 impl Group<'_> {
-    /// Measures `f`, printing the median over [`SAMPLES`] adaptive batches.
+    /// Measures `f`, printing the median over `SAMPLES` adaptive batches.
     pub fn bench_function<T>(&mut self, label: impl std::fmt::Display, mut f: impl FnMut() -> T) {
         let full = format!("{}/{label}", self.name);
         if !self.harness.matches(&full) {

@@ -1,0 +1,367 @@
+//! The versioned binary artifact format for compiled circuits.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"TRLC"
+//!      4     2  format version (currently 1)
+//!      6     2  reserved (0)
+//!      8     4  num_vars
+//!     12     4  node count
+//!     16     4  root node id
+//!     20     8  payload length in bytes
+//!     28     8  payload checksum (FxHash-64 of the payload bytes)
+//!     36     8  header checksum  (FxHash-64 of bytes 0..36)
+//!     44     …  payload: one record per node, in arena (topological) order
+//! ```
+//!
+//! Node records: a tag byte — `0`=⊤, `1`=⊥, `2`=literal, `3`=and, `4`=or —
+//! followed by a `u32` literal code for literals, or a `u32` input count and
+//! that many `u32` input ids for gates.
+//!
+//! Both checksums are verified before any node is decoded, so truncation and
+//! bit-flips surface as [`EngineError::ChecksumMismatch`] / `Format`, never
+//! as a panic or a silently wrong circuit. After decoding, the arena is
+//! validated by [`Circuit::from_parts`] and — under [`Validation::Full`] —
+//! the d-DNNF properties are re-verified ([`crate::validate`]).
+
+use std::hash::Hasher;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::error::{EngineError, Result};
+use crate::validate::{self, Validation};
+use trl_core::{FxHasher, Lit};
+use trl_nnf::{Circuit, NnfId, NnfNode};
+
+/// The newest artifact format version this build reads and writes.
+pub const FORMAT_VERSION: u16 = 1;
+
+const MAGIC: [u8; 4] = *b"TRLC";
+const HEADER_LEN: usize = 44;
+
+const TAG_TRUE: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_LIT: u8 = 2;
+const TAG_AND: u8 = 3;
+const TAG_OR: u8 = 4;
+
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Serializes a circuit into the binary artifact format.
+pub fn write_binary(c: &Circuit, out: &mut impl Write) -> Result<()> {
+    let mut payload = Vec::with_capacity(c.node_count() * 8);
+    for id in c.ids() {
+        match c.node(id) {
+            NnfNode::True => payload.push(TAG_TRUE),
+            NnfNode::False => payload.push(TAG_FALSE),
+            NnfNode::Lit(l) => {
+                payload.push(TAG_LIT);
+                payload.extend_from_slice(&l.code().to_le_bytes());
+            }
+            NnfNode::And(xs) | NnfNode::Or(xs) => {
+                payload.push(if matches!(c.node(id), NnfNode::And(_)) {
+                    TAG_AND
+                } else {
+                    TAG_OR
+                });
+                payload.extend_from_slice(&(xs.len() as u32).to_le_bytes());
+                for x in xs {
+                    payload.extend_from_slice(&x.0.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    let mut header = Vec::with_capacity(HEADER_LEN);
+    header.extend_from_slice(&MAGIC);
+    header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header.extend_from_slice(&0u16.to_le_bytes());
+    header.extend_from_slice(&(c.num_vars() as u32).to_le_bytes());
+    header.extend_from_slice(&(c.node_count() as u32).to_le_bytes());
+    header.extend_from_slice(&c.root().0.to_le_bytes());
+    header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    header.extend_from_slice(&checksum(&payload).to_le_bytes());
+    let hc = checksum(&header);
+    header.extend_from_slice(&hc.to_le_bytes());
+    debug_assert_eq!(header.len(), HEADER_LEN);
+
+    out.write_all(&header)?;
+    out.write_all(&payload)?;
+    Ok(())
+}
+
+/// A cursor over the payload bytes with bounds-checked reads.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| EngineError::Format("payload truncated".into()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        let s = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| EngineError::Format("payload truncated".into()))?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(s.try_into().unwrap()))
+    }
+}
+
+fn le_u16(b: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes(b[at..at + 2].try_into().unwrap())
+}
+
+fn le_u32(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(b[at..at + 4].try_into().unwrap())
+}
+
+fn le_u64(b: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(b[at..at + 8].try_into().unwrap())
+}
+
+/// Deserializes a circuit from the binary artifact format, verifying
+/// checksums and structure, and re-verifying the d-DNNF properties when
+/// `validation` is [`Validation::Full`].
+pub fn read_binary(input: &mut impl Read, validation: Validation) -> Result<Circuit> {
+    let mut header = [0u8; HEADER_LEN];
+    input
+        .read_exact(&mut header)
+        .map_err(|_| EngineError::Format("artifact shorter than its header".into()))?;
+    if header[0..4] != MAGIC {
+        return Err(EngineError::Format(
+            "bad magic: not a trl-engine circuit artifact".into(),
+        ));
+    }
+    let stored_header_sum = le_u64(&header, 36);
+    let computed_header_sum = checksum(&header[..36]);
+    if stored_header_sum != computed_header_sum {
+        return Err(EngineError::ChecksumMismatch {
+            section: "header",
+            stored: stored_header_sum,
+            computed: computed_header_sum,
+        });
+    }
+    let version = le_u16(&header, 4);
+    if version == 0 || version > FORMAT_VERSION {
+        return Err(EngineError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let num_vars = le_u32(&header, 8) as usize;
+    let node_count = le_u32(&header, 12) as usize;
+    let root = NnfId(le_u32(&header, 16));
+    let payload_len = le_u64(&header, 20);
+    let payload_len_usize = usize::try_from(payload_len)
+        .map_err(|_| EngineError::Format("payload length overflows this platform".into()))?;
+    // Sanity bound before allocating: every node needs at least a tag byte.
+    if payload_len_usize < node_count {
+        return Err(EngineError::Format(format!(
+            "payload of {payload_len} bytes cannot hold {node_count} nodes"
+        )));
+    }
+    let mut payload = vec![0u8; payload_len_usize];
+    input
+        .read_exact(&mut payload)
+        .map_err(|_| EngineError::Format("payload truncated".into()))?;
+    let stored_payload_sum = le_u64(&header, 28);
+    let computed_payload_sum = checksum(&payload);
+    if stored_payload_sum != computed_payload_sum {
+        return Err(EngineError::ChecksumMismatch {
+            section: "payload",
+            stored: stored_payload_sum,
+            computed: computed_payload_sum,
+        });
+    }
+
+    let mut cur = Cursor {
+        bytes: &payload,
+        pos: 0,
+    };
+    let mut nodes = Vec::with_capacity(node_count);
+    for i in 0..node_count {
+        let node = match cur.u8()? {
+            TAG_TRUE => NnfNode::True,
+            TAG_FALSE => NnfNode::False,
+            TAG_LIT => NnfNode::Lit(Lit::from_code(cur.u32()?)),
+            tag @ (TAG_AND | TAG_OR) => {
+                let k = cur.u32()? as usize;
+                if k > node_count {
+                    return Err(EngineError::Format(format!(
+                        "node {i}: gate fan-in {k} exceeds node count"
+                    )));
+                }
+                let mut xs = Vec::with_capacity(k);
+                for _ in 0..k {
+                    xs.push(NnfId(cur.u32()?));
+                }
+                if tag == TAG_AND {
+                    NnfNode::And(xs)
+                } else {
+                    NnfNode::Or(xs)
+                }
+            }
+            tag => {
+                return Err(EngineError::Format(format!(
+                    "node {i}: unknown node tag {tag}"
+                )))
+            }
+        };
+        nodes.push(node);
+    }
+    if cur.pos != payload.len() {
+        return Err(EngineError::Format(format!(
+            "{} trailing payload bytes after the last node",
+            payload.len() - cur.pos
+        )));
+    }
+
+    let circuit = Circuit::from_parts(num_vars, nodes, root)?;
+    validate::run(&circuit, validation)?;
+    Ok(circuit)
+}
+
+/// Writes a circuit artifact to `path`.
+pub fn save_binary(c: &Circuit, path: impl AsRef<Path>) -> Result<()> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_binary(c, &mut file)?;
+    file.flush()?;
+    Ok(())
+}
+
+/// Reads a circuit artifact from `path`.
+pub fn load_binary(path: impl AsRef<Path>, validation: Validation) -> Result<Circuit> {
+    let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+    read_binary(&mut file, validation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_compiler::DecisionDnnfCompiler;
+    use trl_prop::Cnf;
+
+    fn compiled() -> Circuit {
+        let cnf = Cnf::parse_dimacs("p cnf 5 4\n1 2 0\n-2 3 4 0\n-1 -4 0\n5 1 0\n").unwrap();
+        DecisionDnnfCompiler::default().compile(&cnf)
+    }
+
+    fn to_bytes(c: &Circuit) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_binary(c, &mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn round_trip_preserves_structure_exactly() {
+        let c = compiled();
+        let bytes = to_bytes(&c);
+        let back = read_binary(&mut bytes.as_slice(), Validation::Full).unwrap();
+        assert_eq!(back.num_vars(), c.num_vars());
+        assert_eq!(back.node_count(), c.node_count());
+        assert_eq!(back.root(), c.root());
+        for id in c.ids() {
+            assert_eq!(back.node(id), c.node(id));
+        }
+        assert_eq!(back.model_count(), c.model_count());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = to_bytes(&compiled());
+        bytes[0] = b'X';
+        assert!(matches!(
+            read_binary(&mut bytes.as_slice(), Validation::Full),
+            Err(EngineError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn header_corruption_rejected() {
+        let mut bytes = to_bytes(&compiled());
+        bytes[8] ^= 0xff; // num_vars
+        assert!(matches!(
+            read_binary(&mut bytes.as_slice(), Validation::Full),
+            Err(EngineError::ChecksumMismatch {
+                section: "header",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn payload_corruption_rejected() {
+        let mut bytes = to_bytes(&compiled());
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            read_binary(&mut bytes.as_slice(), Validation::Full),
+            Err(EngineError::ChecksumMismatch {
+                section: "payload",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = to_bytes(&compiled());
+        for cut in [0, 10, HEADER_LEN, bytes.len() - 3] {
+            let mut slice = &bytes[..cut];
+            assert!(
+                read_binary(&mut slice, Validation::Full).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let c = compiled();
+        let mut bytes = to_bytes(&c);
+        bytes[4..6].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        // Re-stamp the header checksum so version skew is what's reported.
+        let sum = checksum(&bytes[..36]);
+        bytes[36..44].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            read_binary(&mut bytes.as_slice(), Validation::Full),
+            Err(EngineError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn save_and_load_paths() {
+        let dir = std::env::temp_dir().join("trl_engine_binary_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.trlc");
+        let c = compiled();
+        save_binary(&c, &path).unwrap();
+        let back = load_binary(&path, Validation::Full).unwrap();
+        assert_eq!(back.model_count(), c.model_count());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            load_binary("/nonexistent/trl-engine.trlc", Validation::Full),
+            Err(EngineError::Io(_))
+        ));
+    }
+}

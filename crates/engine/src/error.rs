@@ -1,0 +1,108 @@
+//! The engine's typed error surface.
+//!
+//! Everything that can go wrong between a byte stream and a served query —
+//! I/O, malformed artifacts, version skew, checksum mismatches, and circuits
+//! that fail the tractability re-verification — is reported through
+//! [`EngineError`], never a panic: a serving process must survive a
+//! corrupted artifact on disk.
+
+use std::fmt;
+
+/// Errors surfaced by artifact persistence, validation, and the registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// An underlying I/O operation failed.
+    Io(String),
+    /// The artifact's bytes or text do not follow the format.
+    Format(String),
+    /// The artifact declares a format version this build cannot read.
+    UnsupportedVersion {
+        /// Version found in the artifact header.
+        found: u16,
+        /// Newest version this build understands.
+        supported: u16,
+    },
+    /// A checksum over the named section did not match its stored value.
+    ChecksumMismatch {
+        /// Which section failed (`"header"` or `"payload"`).
+        section: &'static str,
+        /// Checksum stored in the artifact.
+        stored: u64,
+        /// Checksum recomputed from the bytes.
+        computed: u64,
+    },
+    /// The decoded circuit fails a tractability property (decomposability
+    /// or determinism) required for the poly-time queries.
+    Property(String),
+    /// The decoded arena violates a structural invariant (bad root, edge
+    /// order, variable out of universe, …).
+    Structure(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Io(m) => write!(f, "i/o error: {m}"),
+            EngineError::Format(m) => write!(f, "artifact format error: {m}"),
+            EngineError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported artifact version {found} (this build reads up to {supported})"
+            ),
+            EngineError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "{section} checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            EngineError::Property(m) => write!(f, "circuit property validation failed: {m}"),
+            EngineError::Structure(m) => write!(f, "circuit structure invalid: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e.to_string())
+    }
+}
+
+impl From<trl_core::Error> for EngineError {
+    fn from(e: trl_core::Error) -> Self {
+        EngineError::Structure(e.to_string())
+    }
+}
+
+/// Convenience alias for engine results.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = EngineError::ChecksumMismatch {
+            section: "payload",
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("payload checksum"));
+        let e = EngineError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn conversions_preserve_messages() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        assert!(EngineError::from(io).to_string().contains("gone"));
+        let core = trl_core::Error::Invalid("root out of range".into());
+        assert!(EngineError::from(core).to_string().contains("root"));
+    }
+}

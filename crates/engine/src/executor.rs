@@ -1,0 +1,303 @@
+//! The batched query executor: a fixed worker pool over shared circuits.
+//!
+//! Workers are plain `std::thread`s pulling jobs off a shared channel;
+//! circuits are shared as `Arc<PreparedCircuit>` so a batch touching one
+//! artifact clones a pointer, not a circuit. Each answered query reports
+//! its service latency, so `bench-serve` can record tail behaviour, not
+//! just throughput.
+//!
+//! The pool is deliberately dependency-free (std threads + `mpsc`): the
+//! workspace builds air-gapped.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::error::{EngineError, Result};
+use crate::prepared::PreparedCircuit;
+use trl_core::Assignment;
+use trl_nnf::LitWeights;
+
+/// One inference request against a compiled circuit.
+#[derive(Clone, Debug)]
+pub enum Query {
+    /// Satisfiability (linear on DNNF).
+    Sat,
+    /// Model count over the circuit's universe.
+    ModelCount,
+    /// Weighted model count under the given literal weights.
+    Wmc(LitWeights),
+    /// WMC plus every literal's marginal in one derivative pass.
+    Marginals(LitWeights),
+    /// Maximum assignment weight and a maximizer (MPE once weights encode
+    /// probabilities).
+    MaxWeight(LitWeights),
+}
+
+impl Query {
+    /// Checks that the query is well-formed for a circuit over `num_vars`
+    /// variables (weighted queries must cover the universe).
+    pub fn validate(&self, num_vars: usize) -> Result<()> {
+        let weights = match self {
+            Query::Sat | Query::ModelCount => return Ok(()),
+            Query::Wmc(w) | Query::Marginals(w) | Query::MaxWeight(w) => w,
+        };
+        if weights.num_vars() < num_vars {
+            return Err(EngineError::Structure(format!(
+                "weights cover {} variables but the circuit has {num_vars}",
+                weights.num_vars()
+            )));
+        }
+        Ok(())
+    }
+
+    /// A short name for logs and benchmark tables.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Query::Sat => "sat",
+            Query::ModelCount => "model_count",
+            Query::Wmc(_) => "wmc",
+            Query::Marginals(_) => "marginals",
+            Query::MaxWeight(_) => "max_weight",
+        }
+    }
+}
+
+/// The value a [`Query`] produced.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryAnswer {
+    /// Answer to [`Query::Sat`].
+    Sat(bool),
+    /// Answer to [`Query::ModelCount`].
+    ModelCount(u128),
+    /// Answer to [`Query::Wmc`].
+    Wmc(f64),
+    /// Answer to [`Query::Marginals`].
+    Marginals {
+        /// The total weighted model count.
+        wmc: f64,
+        /// Per variable: `(WMC(Δ∧v), WMC(Δ∧¬v))`.
+        marginals: Vec<(f64, f64)>,
+    },
+    /// Answer to [`Query::MaxWeight`]: `None` iff unsatisfiable.
+    MaxWeight(Option<(f64, Assignment)>),
+}
+
+impl QueryAnswer {
+    /// The model count, if this is a counting answer.
+    pub fn model_count(&self) -> Option<u128> {
+        match self {
+            QueryAnswer::ModelCount(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The WMC value, if this is a weighted-counting answer.
+    pub fn wmc(&self) -> Option<f64> {
+        match self {
+            QueryAnswer::Wmc(x) => Some(*x),
+            QueryAnswer::Marginals { wmc, .. } => Some(*wmc),
+            _ => None,
+        }
+    }
+}
+
+/// One answered query: the answer plus its service latency (time between a
+/// worker picking the job up and finishing it).
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// The computed answer.
+    pub answer: QueryAnswer,
+    /// Worker service time for this query.
+    pub latency: Duration,
+}
+
+struct Job {
+    circuit: Arc<PreparedCircuit>,
+    query: Query,
+    index: usize,
+    reply: Sender<(usize, QueryOutcome)>,
+}
+
+/// A fixed pool of worker threads answering query batches against shared
+/// immutable circuits. Dropping the executor shuts the workers down.
+pub struct Executor {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Spawns a pool of `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("trl-engine-worker-{i}"))
+                    .spawn(move || Self::worker_loop(&rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Executor {
+            tx: Some(tx),
+            workers: handles,
+        }
+    }
+
+    fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+        loop {
+            // Hold the lock only to receive, never while answering.
+            let job = match rx.lock() {
+                Ok(guard) => guard.recv(),
+                Err(_) => return, // a sibling panicked; shut down
+            };
+            let Ok(job) = job else {
+                return; // executor dropped: no more jobs
+            };
+            let start = Instant::now();
+            let answer = job.circuit.answer(&job.query);
+            let outcome = QueryOutcome {
+                answer,
+                latency: start.elapsed(),
+            };
+            // The batch collector may have given up; that's its business.
+            let _ = job.reply.send((job.index, outcome));
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Validates a batch of queries against a circuit and answers them on
+    /// the pool, returning outcomes in submission order.
+    pub fn run_batch(
+        &self,
+        circuit: &Arc<PreparedCircuit>,
+        queries: Vec<Query>,
+    ) -> Vec<QueryOutcome> {
+        self.try_run_batch(circuit, queries)
+            .expect("batch queries valid for this circuit")
+    }
+
+    /// [`Executor::run_batch`], returning the first validation error
+    /// instead of panicking. No query runs unless the whole batch is valid.
+    pub fn try_run_batch(
+        &self,
+        circuit: &Arc<PreparedCircuit>,
+        queries: Vec<Query>,
+    ) -> Result<Vec<QueryOutcome>> {
+        for q in &queries {
+            q.validate(circuit.num_vars())?;
+        }
+        let n = queries.len();
+        let (reply_tx, reply_rx) = channel();
+        let tx = self.tx.as_ref().expect("executor is live until dropped");
+        for (index, query) in queries.into_iter().enumerate() {
+            let job = Job {
+                circuit: Arc::clone(circuit),
+                query,
+                index,
+                reply: reply_tx.clone(),
+            };
+            tx.send(job).expect("worker pool alive");
+        }
+        drop(reply_tx);
+        let mut out: Vec<Option<QueryOutcome>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (index, outcome) = reply_rx.recv().expect("a worker died mid-batch");
+            out[index] = Some(outcome);
+        }
+        Ok(out
+            .into_iter()
+            .map(|o| o.expect("every index answered exactly once"))
+            .collect())
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's recv loop.
+        self.tx.take();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_compiler::DecisionDnnfCompiler;
+    use trl_prop::Cnf;
+
+    fn prepared() -> Arc<PreparedCircuit> {
+        let cnf = Cnf::parse_dimacs("p cnf 4 3\n1 2 0\n-1 3 0\n-2 -4 0\n").unwrap();
+        Arc::new(PreparedCircuit::new(
+            DecisionDnnfCompiler::default().compile(&cnf),
+        ))
+    }
+
+    #[test]
+    fn batch_answers_in_submission_order() {
+        let p = prepared();
+        let expected_count = p.raw().model_count();
+        let ex = Executor::new(3);
+        assert_eq!(ex.num_workers(), 3);
+        let mut queries = Vec::new();
+        for _ in 0..17 {
+            queries.push(Query::ModelCount);
+            queries.push(Query::Sat);
+            queries.push(Query::Wmc(LitWeights::unit(4)));
+        }
+        let outcomes = ex.run_batch(&p, queries);
+        assert_eq!(outcomes.len(), 51);
+        for chunk in outcomes.chunks(3) {
+            assert_eq!(chunk[0].answer.model_count(), Some(expected_count));
+            assert_eq!(chunk[1].answer, QueryAnswer::Sat(true));
+            assert_eq!(chunk[2].answer.wmc(), Some(expected_count as f64));
+            assert!(chunk.iter().all(|o| o.latency > Duration::ZERO));
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let ex = Executor::new(2);
+        assert!(ex.run_batch(&prepared(), Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn undersized_weights_rejected_before_running() {
+        let ex = Executor::new(1);
+        let bad = vec![Query::ModelCount, Query::Wmc(LitWeights::unit(2))];
+        assert!(matches!(
+            ex.try_run_batch(&prepared(), bad),
+            Err(EngineError::Structure(_))
+        ));
+    }
+
+    #[test]
+    fn many_batches_reuse_the_pool() {
+        let p = prepared();
+        let ex = Executor::new(2);
+        for _ in 0..10 {
+            let outcomes = ex.run_batch(&p, vec![Query::ModelCount; 8]);
+            assert!(outcomes
+                .iter()
+                .all(|o| o.answer.model_count() == Some(p.raw().model_count())));
+        }
+    }
+
+    #[test]
+    fn zero_worker_request_still_gets_one() {
+        let ex = Executor::new(0);
+        assert_eq!(ex.num_workers(), 1);
+        let outcomes = ex.run_batch(&prepared(), vec![Query::Sat]);
+        assert_eq!(outcomes[0].answer, QueryAnswer::Sat(true));
+    }
+}

@@ -1,0 +1,60 @@
+//! The compile-once / query-many inference engine.
+//!
+//! The point of knowledge compilation (§2–3 of the paper) is to pay the
+//! compilation cost *once* and then answer many poly-time queries against
+//! the compiled circuit. This crate turns the workspace's substrates into a
+//! long-lived serving architecture around that contract:
+//!
+//! * [`binary`] — a versioned, checksummed binary artifact format for
+//!   `trl-nnf` circuits, so a compiled d-DNNF outlives the process;
+//! * [`text`] — c2d-compatible `.nnf` and SDD-library-compatible `.vtree`
+//!   text formats for interop with external compilers;
+//! * [`validate`] — load-time re-verification of the tractability
+//!   properties (decomposability, determinism) that the poly-time queries
+//!   rely on, so a corrupted or foreign artifact is rejected with a typed
+//!   [`EngineError`] instead of silently answering wrong;
+//! * [`prepared`] — [`PreparedCircuit`]: a circuit smoothed **once**, ready
+//!   to serve every counting-style query without per-query smoothing;
+//! * [`registry`] — a bounded LRU artifact store keyed on CNF
+//!   [`fingerprint`], compiling on miss and evicting by retained node count;
+//! * [`executor`] — a fixed worker pool (std threads + channels) that
+//!   answers batches of [`Query`] values against shared `Arc`'d circuits,
+//!   reporting per-query latency;
+//! * [`serve_bench`] — the serving benchmark behind `three-roles
+//!   bench-serve` and the `bench_serve` binary (`BENCH_engine.json`).
+//!
+//! ```
+//! use trl_engine::{Executor, PreparedCircuit, Query, Registry};
+//! use trl_prop::Cnf;
+//! use std::sync::Arc;
+//!
+//! let cnf = Cnf::parse_dimacs("p cnf 2 2\n1 2 0\n-1 2 0\n").unwrap();
+//! let mut registry = Registry::new(1 << 20);
+//! let circuit = registry.get_or_compile(&cnf); // compiles: miss
+//! let again = registry.get_or_compile(&cnf);   // hit: same Arc
+//! assert!(Arc::ptr_eq(&circuit, &again));
+//!
+//! let executor = Executor::new(2);
+//! let outcomes = executor.run_batch(&circuit, vec![Query::ModelCount, Query::Sat]);
+//! assert_eq!(outcomes[0].answer.model_count(), Some(2));
+//! ```
+
+pub mod binary;
+pub mod error;
+pub mod executor;
+pub mod prepared;
+pub mod registry;
+pub mod serve_bench;
+pub mod text;
+pub mod validate;
+
+pub use binary::{load_binary, read_binary, save_binary, write_binary, FORMAT_VERSION};
+pub use error::EngineError;
+pub use executor::{Executor, Query, QueryAnswer, QueryOutcome};
+pub use prepared::PreparedCircuit;
+pub use registry::{fingerprint, Registry, RegistryStats};
+pub use serve_bench::{serving_benchmark, ServeConfigReport, ServeReport};
+pub use text::{
+    load_nnf, load_vtree, read_nnf, read_vtree, save_nnf, save_vtree, write_nnf, write_vtree,
+};
+pub use validate::{check_ddnnf, Validation};

@@ -1,0 +1,109 @@
+//! A circuit prepared for serving: smoothed once, queried many times.
+//!
+//! Every counting-style query in `trl-nnf` (`model_count`, `wmc`,
+//! `wmc_marginals`, `max_weight`) smooths the circuit internally — correct,
+//! but wasteful when the *same* circuit answers thousands of queries: the
+//! smoothing copy dominates the single numeric pass that follows it.
+//! [`PreparedCircuit`] hoists that work out of the query path, which is the
+//! batch-amortization the executor's throughput numbers come from
+//! (`BENCH_engine.json`).
+
+use crate::executor::{Query, QueryAnswer};
+use trl_nnf::{smooth, Circuit};
+
+/// An immutable, shareable serving artifact: the compiled circuit plus its
+/// smoothed form. Wrap it in an `Arc` and hand it to any number of
+/// executor workers.
+#[derive(Clone, Debug)]
+pub struct PreparedCircuit {
+    raw: Circuit,
+    smoothed: Circuit,
+}
+
+impl PreparedCircuit {
+    /// Prepares a compiled circuit for serving (smooths it once).
+    pub fn new(raw: Circuit) -> Self {
+        let smoothed = smooth(&raw);
+        PreparedCircuit { raw, smoothed }
+    }
+
+    /// The circuit as compiled/loaded (not smoothed).
+    pub fn raw(&self) -> &Circuit {
+        &self.raw
+    }
+
+    /// The smoothed circuit the counting queries run on.
+    pub fn smoothed(&self) -> &Circuit {
+        &self.smoothed
+    }
+
+    /// Number of variables in the universe.
+    pub fn num_vars(&self) -> usize {
+        self.raw.num_vars()
+    }
+
+    /// Retained footprint in arena nodes (raw + smoothed), the unit the
+    /// registry's eviction budget is denominated in.
+    pub fn retained_nodes(&self) -> usize {
+        self.raw.node_count() + self.smoothed.node_count()
+    }
+
+    /// Answers one query. Weighted queries require weights covering the
+    /// circuit's universe (checked; see [`Query::validate`]).
+    pub fn answer(&self, query: &Query) -> QueryAnswer {
+        query
+            .validate(self.num_vars())
+            .expect("query validated against this circuit");
+        match query {
+            Query::Sat => QueryAnswer::Sat(self.raw.sat_dnnf()),
+            Query::ModelCount => QueryAnswer::ModelCount(self.smoothed.model_count_presmoothed()),
+            Query::Wmc(w) => QueryAnswer::Wmc(self.smoothed.wmc_presmoothed(w)),
+            Query::Marginals(w) => {
+                let (wmc, marginals) = self.smoothed.wmc_marginals_presmoothed(w);
+                QueryAnswer::Marginals { wmc, marginals }
+            }
+            Query::MaxWeight(w) => QueryAnswer::MaxWeight(self.smoothed.max_weight_presmoothed(w)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_compiler::DecisionDnnfCompiler;
+    use trl_nnf::LitWeights;
+    use trl_prop::Cnf;
+
+    #[test]
+    fn answers_match_direct_queries() {
+        let cnf = Cnf::parse_dimacs("p cnf 4 3\n1 2 0\n-1 3 0\n-2 -4 0\n").unwrap();
+        let c = DecisionDnnfCompiler::default().compile(&cnf);
+        let mut w = LitWeights::unit(4);
+        w.set(trl_core::Var(1).positive(), 0.4);
+        w.set(trl_core::Var(1).negative(), 0.6);
+        let p = PreparedCircuit::new(c.clone());
+
+        assert_eq!(p.answer(&Query::Sat), QueryAnswer::Sat(true));
+        assert_eq!(
+            p.answer(&Query::ModelCount),
+            QueryAnswer::ModelCount(c.model_count())
+        );
+        assert_eq!(
+            p.answer(&Query::Wmc(w.clone())),
+            QueryAnswer::Wmc(c.wmc(&w))
+        );
+        let (wmc, marginals) = c.wmc_marginals(&w);
+        assert_eq!(
+            p.answer(&Query::Marginals(w.clone())),
+            QueryAnswer::Marginals { wmc, marginals }
+        );
+        assert_eq!(
+            p.answer(&Query::MaxWeight(w.clone())),
+            QueryAnswer::MaxWeight(c.max_weight(&w))
+        );
+        assert_eq!(
+            p.retained_nodes(),
+            p.raw().node_count() + p.smoothed().node_count()
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! The artifact registry: a bounded LRU store of prepared circuits keyed on
+//! CNF fingerprints, compiling on miss.
+//!
+//! A serving process sees the same formulas again and again; recompiling
+//! per request throws away exactly the work knowledge compilation exists to
+//! amortize. The registry keeps compiled artifacts hot, bounded not by
+//! entry count but by **retained arena nodes** — the unit memory is
+//! actually spent in — and evicts least-recently-used artifacts when a new
+//! compilation would exceed the budget.
+
+use std::sync::Arc;
+
+use std::hash::Hasher;
+use trl_compiler::DecisionDnnfCompiler;
+use trl_core::{FxHashMap, FxHasher};
+use trl_prop::Cnf;
+
+use crate::prepared::PreparedCircuit;
+
+/// A 64-bit fingerprint of a CNF: its universe size and every clause's
+/// literal codes, in clause order. Two structurally identical formulas
+/// fingerprint identically; the probability of distinct formulas colliding
+/// is the usual ~2⁻⁶⁴ content-hash trade (the same one the compiler's
+/// packed component signatures make).
+pub fn fingerprint(cnf: &Cnf) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(cnf.num_vars() as u64);
+    h.write_u64(cnf.clauses().len() as u64);
+    for clause in cnf.clauses() {
+        h.write_u32(clause.len() as u32);
+        for &l in clause.literals() {
+            h.write_u32(l.code());
+        }
+    }
+    h.finish()
+}
+
+/// Running counters for a registry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Lookups served from the store.
+    pub hits: u64,
+    /// Lookups that compiled a new artifact.
+    pub misses: u64,
+    /// Artifacts evicted to stay under the node budget.
+    pub evictions: u64,
+}
+
+/// A bounded compile-on-miss store of [`PreparedCircuit`]s.
+pub struct Registry {
+    compiler: DecisionDnnfCompiler,
+    max_retained_nodes: usize,
+    entries: FxHashMap<u64, Arc<PreparedCircuit>>,
+    /// LRU order: front is coldest. Registries hold few, large artifacts,
+    /// so the O(len) reorder on touch is noise next to a single query.
+    order: Vec<u64>,
+    retained_nodes: usize,
+    stats: RegistryStats,
+}
+
+impl Registry {
+    /// A registry with the default compiler and the given retained-node
+    /// budget.
+    pub fn new(max_retained_nodes: usize) -> Self {
+        Self::with_compiler(max_retained_nodes, DecisionDnnfCompiler::default())
+    }
+
+    /// A registry compiling misses with a specific compiler configuration.
+    pub fn with_compiler(max_retained_nodes: usize, compiler: DecisionDnnfCompiler) -> Self {
+        Registry {
+            compiler,
+            max_retained_nodes,
+            entries: FxHashMap::default(),
+            order: Vec::new(),
+            retained_nodes: 0,
+            stats: RegistryStats::default(),
+        }
+    }
+
+    /// The artifact for `cnf`, compiling and preparing it on miss.
+    pub fn get_or_compile(&mut self, cnf: &Cnf) -> Arc<PreparedCircuit> {
+        let key = fingerprint(cnf);
+        if let Some(found) = self.entries.get(&key) {
+            let found = Arc::clone(found);
+            self.touch(key);
+            self.stats.hits += 1;
+            return found;
+        }
+        self.stats.misses += 1;
+        let prepared = Arc::new(PreparedCircuit::new(self.compiler.compile(cnf)));
+        self.insert(key, Arc::clone(&prepared));
+        prepared
+    }
+
+    /// The artifact under a fingerprint, if retained. Touches LRU order.
+    pub fn get(&mut self, key: u64) -> Option<Arc<PreparedCircuit>> {
+        let found = self.entries.get(&key).cloned();
+        if found.is_some() {
+            self.touch(key);
+            self.stats.hits += 1;
+        }
+        found
+    }
+
+    /// Inserts an externally produced artifact (e.g. one loaded from disk)
+    /// under a fingerprint, then evicts cold entries down to the budget.
+    pub fn insert(&mut self, key: u64, artifact: Arc<PreparedCircuit>) {
+        if let Some(old) = self.entries.insert(key, artifact) {
+            self.retained_nodes -= old.retained_nodes();
+            self.order.retain(|&k| k != key);
+        }
+        self.retained_nodes += self.entries[&key].retained_nodes();
+        self.order.push(key);
+        self.evict_to_budget();
+    }
+
+    /// Evicts coldest-first until under budget. The hottest entry is never
+    /// evicted, even if it alone exceeds the budget — a registry that
+    /// cannot hold its current working artifact would thrash forever.
+    fn evict_to_budget(&mut self) {
+        while self.retained_nodes > self.max_retained_nodes && self.order.len() > 1 {
+            let coldest = self.order.remove(0);
+            let gone = self
+                .entries
+                .remove(&coldest)
+                .expect("order and entries agree");
+            self.retained_nodes -= gone.retained_nodes();
+            self.stats.evictions += 1;
+        }
+    }
+
+    fn touch(&mut self, key: u64) {
+        if let Some(at) = self.order.iter().position(|&k| k == key) {
+            let k = self.order.remove(at);
+            self.order.push(k);
+        }
+    }
+
+    /// Number of retained artifacts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total retained arena nodes across artifacts (raw + smoothed).
+    pub fn retained_nodes(&self) -> usize {
+        self.retained_nodes
+    }
+
+    /// The retained-node budget.
+    pub fn max_retained_nodes(&self) -> usize {
+        self.max_retained_nodes
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> RegistryStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_core::SplitMix64;
+    use trl_prop::gen::random_cnf;
+
+    #[test]
+    fn fingerprint_distinguishes_formulas() {
+        let a = Cnf::parse_dimacs("p cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        let b = Cnf::parse_dimacs("p cnf 3 2\n1 -2 0\n2 -3 0\n").unwrap();
+        let wider = Cnf::parse_dimacs("p cnf 4 2\n1 -2 0\n2 3 0\n").unwrap();
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(fingerprint(&a), fingerprint(&wider));
+        assert_eq!(fingerprint(&a), fingerprint(&a.clone()));
+    }
+
+    #[test]
+    fn hit_returns_the_same_arc() {
+        let cnf = Cnf::parse_dimacs("p cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        let mut r = Registry::new(1 << 20);
+        let first = r.get_or_compile(&cnf);
+        let second = r.get_or_compile(&cnf);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(
+            r.stats(),
+            RegistryStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.retained_nodes(), first.retained_nodes());
+    }
+
+    #[test]
+    fn lru_evicts_coldest_by_node_budget() {
+        let mut rng = SplitMix64::new(42);
+        let cnfs: Vec<Cnf> = (0..4).map(|_| random_cnf(&mut rng, 8, 16, 3)).collect();
+        // Budget sized to hold roughly two artifacts.
+        let mut probe = Registry::new(usize::MAX);
+        let sizes: Vec<usize> = cnfs
+            .iter()
+            .map(|c| probe.get_or_compile(c).retained_nodes())
+            .collect();
+        let budget = sizes[0] + sizes[1] + sizes[2] / 2;
+
+        let mut r = Registry::new(budget);
+        r.get_or_compile(&cnfs[0]);
+        r.get_or_compile(&cnfs[1]);
+        // Touch 0 so 1 is coldest when 2 arrives.
+        r.get_or_compile(&cnfs[0]);
+        r.get_or_compile(&cnfs[2]);
+        assert!(r.stats().evictions > 0);
+        assert!(r.retained_nodes() <= budget);
+        // 1 was evicted; 0 survived.
+        let before = r.stats().misses;
+        r.get_or_compile(&cnfs[0]);
+        assert_eq!(r.stats().misses, before, "cnfs[0] should still be a hit");
+        r.get_or_compile(&cnfs[1]);
+        assert_eq!(r.stats().misses, before + 1, "cnfs[1] must recompile");
+    }
+
+    #[test]
+    fn single_oversized_artifact_is_kept() {
+        let cnf = Cnf::parse_dimacs("p cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        let mut r = Registry::new(1); // absurdly small budget
+        let a = r.get_or_compile(&cnf);
+        assert_eq!(r.len(), 1);
+        assert!(r.retained_nodes() >= a.retained_nodes());
+        // A second formula displaces it (the new one is the working set).
+        let other = Cnf::parse_dimacs("p cnf 2 1\n1 2 0\n").unwrap();
+        r.get_or_compile(&other);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.stats().evictions, 1);
+    }
+
+    #[test]
+    fn insert_replaces_under_same_key() {
+        let cnf = Cnf::parse_dimacs("p cnf 2 1\n1 2 0\n").unwrap();
+        let mut r = Registry::new(1 << 20);
+        let a = r.get_or_compile(&cnf);
+        let key = fingerprint(&cnf);
+        r.insert(key, Arc::clone(&a));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.retained_nodes(), a.retained_nodes());
+        assert!(r.get(key).is_some());
+        assert!(r.get(key ^ 1).is_none());
+    }
+}

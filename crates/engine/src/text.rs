@@ -1,0 +1,522 @@
+//! c2d-compatible `.nnf` and SDD-library-compatible `.vtree` text formats.
+//!
+//! The `.nnf` dialect is the one c2d, d4, and dsharp exchange:
+//!
+//! ```text
+//! nnf <node-count> <edge-count> <var-count>
+//! L <dimacs-literal>          a literal leaf
+//! A <k> <id...>               an and-gate over k earlier nodes ("A 0" is ⊤)
+//! O <j> <k> <id...>           an or-gate; j is the decision variable or 0
+//!                             ("O 0 0" is ⊥)
+//! ```
+//!
+//! Nodes are numbered by line order starting at 0; the last node is the
+//! root; `c` lines are comments. The writer emits every node reachable from
+//! the root verbatim (including smoothing gadgets), renumbered compactly so
+//! the root lands last as the format requires; only dead arena entries are
+//! dropped, so text round-trips preserve every query answer exactly.
+//!
+//! The `.vtree` dialect is the SDD library's:
+//!
+//! ```text
+//! vtree <node-count>
+//! L <id> <dimacs-var>         a leaf
+//! I <id> <left-id> <right-id> an internal node (children declared earlier)
+//! ```
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::error::{EngineError, Result};
+use crate::validate::{self, Validation};
+use trl_core::{FxHashMap, Var};
+use trl_nnf::{Circuit, NnfId, NnfNode};
+use trl_vtree::{Shape, Vtree};
+
+fn dimacs_lit(l: trl_core::Lit) -> i64 {
+    let x = l.var().index() as i64 + 1;
+    if l.is_positive() {
+        x
+    } else {
+        -x
+    }
+}
+
+/// The decision-variable hint for an or-gate: the variable on whose two
+/// literals a binary or-gate's branches disagree (directly), or `None`.
+fn decision_var(c: &Circuit, xs: &[NnfId]) -> Option<Var> {
+    let direct = |id: NnfId| -> Vec<trl_core::Lit> {
+        match c.node(id) {
+            NnfNode::Lit(l) => vec![*l],
+            NnfNode::And(ys) => ys
+                .iter()
+                .filter_map(|y| match c.node(*y) {
+                    NnfNode::Lit(l) => Some(*l),
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        }
+    };
+    if let [a, b] = xs {
+        for l in direct(*a) {
+            if direct(*b).contains(&l.negated()) {
+                return Some(l.var());
+            }
+        }
+    }
+    None
+}
+
+/// Renders a circuit in the c2d `.nnf` text format.
+///
+/// The format fixes the root as the last line, so the writer emits exactly
+/// the nodes **reachable from the root**, renumbered compactly. Edges point
+/// backward in the arena, so every reachable id is ≤ the root's and the
+/// original order is already topological with the root last; reachable
+/// nodes (including smoothing gadgets) survive verbatim, only dead arena
+/// entries are dropped.
+pub fn write_nnf(c: &Circuit) -> String {
+    let mut reachable = vec![false; c.node_count()];
+    reachable[c.root().index()] = true;
+    for id in (0..=c.root().0).rev().map(NnfId) {
+        if !reachable[id.index()] {
+            continue;
+        }
+        if let NnfNode::And(xs) | NnfNode::Or(xs) = c.node(id) {
+            for x in xs {
+                reachable[x.index()] = true;
+            }
+        }
+    }
+    // Compact renumbering: new id of old node i, for reachable i.
+    let mut renum = vec![0u32; c.node_count()];
+    let mut kept = 0usize;
+    let mut edges = 0usize;
+    for id in c.ids() {
+        if reachable[id.index()] {
+            renum[id.index()] = kept as u32;
+            kept += 1;
+            if let NnfNode::And(xs) | NnfNode::Or(xs) = c.node(id) {
+                edges += xs.len();
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "nnf {kept} {edges} {}", c.num_vars());
+    for id in c.ids() {
+        if !reachable[id.index()] {
+            continue;
+        }
+        match c.node(id) {
+            // c2d encodes the constants as empty gates.
+            NnfNode::True => out.push_str("A 0\n"),
+            NnfNode::False => out.push_str("O 0 0\n"),
+            NnfNode::Lit(l) => {
+                let _ = writeln!(out, "L {}", dimacs_lit(*l));
+            }
+            NnfNode::And(xs) => {
+                let _ = write!(out, "A {}", xs.len());
+                for x in xs {
+                    let _ = write!(out, " {}", renum[x.index()]);
+                }
+                out.push('\n');
+            }
+            NnfNode::Or(xs) => {
+                let j = decision_var(c, xs).map_or(0, |v| v.index() as i64 + 1);
+                let _ = write!(out, "O {j} {}", xs.len());
+                for x in xs {
+                    let _ = write!(out, " {}", renum[x.index()]);
+                }
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Parses the c2d `.nnf` text format, verifying the declared node/edge/var
+/// counts and — under [`Validation::Full`] — the d-DNNF properties.
+///
+/// The root is the **last** node, per the c2d convention.
+pub fn read_nnf(text: &str, validation: Validation) -> Result<Circuit> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('c'));
+    let header = lines
+        .next()
+        .ok_or_else(|| EngineError::Format("empty .nnf document".into()))?;
+    let mut it = header.split_whitespace();
+    if it.next() != Some("nnf") {
+        return Err(EngineError::Format(
+            "expected 'nnf <nodes> <edges> <vars>' header".into(),
+        ));
+    }
+    let mut count = |what: &str| -> Result<usize> {
+        it.next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| EngineError::Format(format!("bad {what} count in .nnf header")))
+    };
+    let node_count = count("node")?;
+    let edge_count = count("edge")?;
+    let num_vars = count("var")?;
+    if node_count == 0 {
+        return Err(EngineError::Format(".nnf declares zero nodes".into()));
+    }
+
+    let mut nodes: Vec<NnfNode> = Vec::with_capacity(node_count);
+    let mut edges = 0usize;
+    for line in lines {
+        let mut tok = line.split_whitespace();
+        let kind = tok.next().expect("non-empty line has a first token");
+        let node = match kind {
+            "L" => {
+                let x: i64 = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| EngineError::Format(format!("bad literal line '{line}'")))?;
+                if x == 0 {
+                    return Err(EngineError::Format("literal 0 in .nnf".into()));
+                }
+                let var = Var((x.unsigned_abs() - 1) as u32);
+                NnfNode::Lit(var.literal(x > 0))
+            }
+            "A" | "O" => {
+                if kind == "O" {
+                    // The decision-variable hint; validated loosely (it is
+                    // advisory in every tool that writes it).
+                    let j: i64 = tok
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| EngineError::Format(format!("bad or-gate line '{line}'")))?;
+                    if j < 0 {
+                        return Err(EngineError::Format(format!(
+                            "negative decision variable in '{line}'"
+                        )));
+                    }
+                }
+                let k: usize = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| EngineError::Format(format!("bad gate line '{line}'")))?;
+                let mut xs = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let id: u32 = tok.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+                        EngineError::Format(format!("gate line '{line}' shorter than its arity"))
+                    })?;
+                    xs.push(NnfId(id));
+                }
+                edges += k;
+                // c2d constants: "A 0" is ⊤ and "O 0 0" is ⊥. Decode them to
+                // the constant nodes so queries treat them uniformly.
+                match (kind, xs.len()) {
+                    ("A", 0) => NnfNode::True,
+                    ("O", 0) => NnfNode::False,
+                    ("A", _) => NnfNode::And(xs),
+                    _ => NnfNode::Or(xs),
+                }
+            }
+            other => {
+                return Err(EngineError::Format(format!(
+                    "unknown .nnf line kind '{other}'"
+                )))
+            }
+        };
+        if tok.next().is_some() {
+            return Err(EngineError::Format(format!(
+                "trailing tokens on line '{line}'"
+            )));
+        }
+        nodes.push(node);
+        if nodes.len() > node_count {
+            return Err(EngineError::Format(format!(
+                "more than the declared {node_count} nodes"
+            )));
+        }
+    }
+    if nodes.len() != node_count {
+        return Err(EngineError::Format(format!(
+            "header declared {node_count} nodes, found {}",
+            nodes.len()
+        )));
+    }
+    if edges != edge_count {
+        return Err(EngineError::Format(format!(
+            "header declared {edge_count} edges, found {edges}"
+        )));
+    }
+    let root = NnfId(node_count as u32 - 1);
+    let circuit = Circuit::from_parts(num_vars, nodes, root)?;
+    validate::run(&circuit, validation)?;
+    Ok(circuit)
+}
+
+/// Writes a circuit to `path` in `.nnf` text format.
+pub fn save_nnf(c: &Circuit, path: impl AsRef<Path>) -> Result<()> {
+    std::fs::write(path, write_nnf(c))?;
+    Ok(())
+}
+
+/// Reads a `.nnf` text artifact from `path`.
+pub fn load_nnf(path: impl AsRef<Path>, validation: Validation) -> Result<Circuit> {
+    read_nnf(&std::fs::read_to_string(path)?, validation)
+}
+
+/// Renders a vtree in the SDD library's `.vtree` text format, numbering
+/// nodes in post-order.
+pub fn write_vtree(vt: &Vtree) -> String {
+    let order = vt.post_order();
+    let mut pos: FxHashMap<usize, usize> = FxHashMap::default();
+    for (i, &n) in order.iter().enumerate() {
+        pos.insert(n, i);
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "vtree {}", order.len());
+    for (i, &n) in order.iter().enumerate() {
+        if let Some(v) = vt.leaf_var(n) {
+            let _ = writeln!(out, "L {i} {}", v.index() + 1);
+        } else {
+            let _ = writeln!(out, "I {i} {} {}", pos[&vt.left(n)], pos[&vt.right(n)]);
+        }
+    }
+    out
+}
+
+/// Parses the SDD library's `.vtree` text format. Children must be declared
+/// before their parent, and exactly one node (the root) must be left
+/// unconsumed.
+pub fn read_vtree(text: &str) -> Result<Vtree> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('c'));
+    let header = lines
+        .next()
+        .ok_or_else(|| EngineError::Format("empty .vtree document".into()))?;
+    let mut it = header.split_whitespace();
+    if it.next() != Some("vtree") {
+        return Err(EngineError::Format(
+            "expected 'vtree <count>' header".into(),
+        ));
+    }
+    let node_count: usize = it
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| EngineError::Format("bad node count in .vtree header".into()))?;
+
+    // Shapes under construction, by declared id. A child is *moved out* when
+    // its parent consumes it, so whatever remains at the end is the root.
+    let mut pending: FxHashMap<u64, Shape> = FxHashMap::default();
+    let mut declared = 0usize;
+    for line in lines {
+        let mut tok = line.split_whitespace();
+        let kind = tok.next().expect("non-empty line has a first token");
+        let mut num = |what: &str| -> Result<u64> {
+            tok.next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| EngineError::Format(format!("bad {what} in .vtree line '{line}'")))
+        };
+        let shape = match kind {
+            "L" => {
+                let id = num("id")?;
+                let var = num("variable")?;
+                if var == 0 {
+                    return Err(EngineError::Format("variable 0 in .vtree".into()));
+                }
+                (id, Shape::Leaf(Var((var - 1) as u32)))
+            }
+            "I" => {
+                let id = num("id")?;
+                let l = num("left child")?;
+                let r = num("right child")?;
+                let left = pending.remove(&l).ok_or_else(|| {
+                    EngineError::Format(format!("child {l} undeclared or already used"))
+                })?;
+                let right = pending.remove(&r).ok_or_else(|| {
+                    EngineError::Format(format!("child {r} undeclared or already used"))
+                })?;
+                (id, Shape::Internal(Box::new(left), Box::new(right)))
+            }
+            other => {
+                return Err(EngineError::Format(format!(
+                    "unknown .vtree line kind '{other}'"
+                )))
+            }
+        };
+        if pending.insert(shape.0, shape.1).is_some() {
+            return Err(EngineError::Format(format!(
+                "duplicate .vtree node id {}",
+                shape.0
+            )));
+        }
+        declared += 1;
+    }
+    if declared != node_count {
+        return Err(EngineError::Format(format!(
+            "header declared {node_count} nodes, found {declared}"
+        )));
+    }
+    if pending.len() != 1 {
+        return Err(EngineError::Format(format!(
+            "expected one root, found {} disconnected nodes",
+            pending.len()
+        )));
+    }
+    let root = pending.into_values().next().expect("one root");
+    Ok(Vtree::from_shape(&root))
+}
+
+/// Writes a vtree to `path` in `.vtree` text format.
+pub fn save_vtree(vt: &Vtree, path: impl AsRef<Path>) -> Result<()> {
+    std::fs::write(path, write_vtree(vt))?;
+    Ok(())
+}
+
+/// Reads a `.vtree` text file from `path`.
+pub fn load_vtree(path: impl AsRef<Path>) -> Result<Vtree> {
+    read_vtree(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_compiler::DecisionDnnfCompiler;
+    use trl_prop::Cnf;
+
+    fn compiled() -> Circuit {
+        let cnf = Cnf::parse_dimacs("p cnf 5 4\n1 2 0\n-2 3 4 0\n-1 -4 0\n5 1 0\n").unwrap();
+        DecisionDnnfCompiler::default().compile(&cnf)
+    }
+
+    #[test]
+    fn nnf_round_trip_is_reachable_exact() {
+        let c = compiled();
+        let text = write_nnf(&c);
+        let back = read_nnf(&text, Validation::Full).unwrap();
+        assert_eq!(back.num_vars(), c.num_vars());
+        // The writer drops dead arena entries (the root must land last);
+        // everything reachable survives verbatim, so once round-tripped the
+        // circuit is a fixpoint: further trips are node- and byte-exact.
+        assert!(back.node_count() <= c.node_count());
+        assert_eq!(back.model_count(), c.model_count());
+        assert_eq!(write_nnf(&back), text);
+        let again = read_nnf(&write_nnf(&back), Validation::Full).unwrap();
+        assert_eq!(again.node_count(), back.node_count());
+        for id in back.ids() {
+            assert_eq!(again.node(id), back.node(id));
+        }
+    }
+
+    #[test]
+    fn smoothed_round_trip_preserves_gadgets() {
+        let c = trl_nnf::smooth(&compiled());
+        let back = read_nnf(&write_nnf(&c), Validation::Full).unwrap();
+        assert!(trl_nnf::properties::is_smooth(&back));
+        assert_eq!(back.model_count_presmoothed(), c.model_count_presmoothed());
+    }
+
+    #[test]
+    fn reads_handwritten_c2d_document() {
+        // x1 XOR x2 in c2d syntax, with comments and the root last.
+        let text = "c tiny xor\nnnf 7 6 2\nL 1\nL -2\nA 2 0 1\nL -1\nL 2\nA 2 3 4\nO 1 2 2 5\n";
+        let c = read_nnf(text, Validation::Full).unwrap();
+        assert_eq!(c.model_count(), 2);
+    }
+
+    #[test]
+    fn constants_round_trip() {
+        let text = "nnf 1 0 2\nA 0\n";
+        let c = read_nnf(text, Validation::Full).unwrap();
+        assert_eq!(c.model_count(), 4); // ⊤ over 2 vars
+        assert_eq!(write_nnf(&c), text);
+        let f = read_nnf("nnf 1 0 2\nO 0 0\n", Validation::Full).unwrap();
+        assert_eq!(f.model_count(), 0);
+    }
+
+    #[test]
+    fn malformed_nnf_rejected() {
+        for bad in [
+            "",
+            "nnf x y z\n",
+            "nnf 1 0 2\n",                   // fewer nodes than declared
+            "nnf 1 0 2\nL 1\nL 2\n",         // more nodes than declared
+            "nnf 1 5 2\nL 1\n",              // edge count mismatch
+            "nnf 1 0 2\nL 0\n",              // literal 0
+            "nnf 2 1 2\nL 1\nQ 1 0\n",       // unknown kind
+            "nnf 2 1 2\nL 1\nA 2 0\n",       // arity longer than tokens
+            "nnf 2 1 2\nL 1\nA 1 0 extra\n", // trailing tokens
+            "nnf 2 2 2\nL 1\nO -1 1 0\n",    // negative decision var
+        ] {
+            assert!(
+                matches!(read_nnf(bad, Validation::Full), Err(EngineError::Format(_))),
+                "accepted malformed document {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn arena_violations_are_structure_errors() {
+        for bad in [
+            "nnf 1 0 2\nL 5\n",        // var out of universe
+            "nnf 2 1 2\nA 1 1\nL 1\n", // forward edge
+        ] {
+            assert!(
+                matches!(
+                    read_nnf(bad, Validation::Full),
+                    Err(EngineError::Structure(_))
+                ),
+                "accepted arena violation {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nnf_validation_catches_property_violations() {
+        // x1 ∨ x2: decomposable but not deterministic.
+        let text = "nnf 3 2 2\nL 1\nL 2\nO 0 2 0 1\n";
+        assert!(matches!(
+            read_nnf(text, Validation::Full),
+            Err(EngineError::Property(_))
+        ));
+        // Trust loads it anyway (caller takes responsibility).
+        assert!(read_nnf(text, Validation::Trust).is_ok());
+    }
+
+    #[test]
+    fn vtree_round_trip_all_shapes() {
+        let vars: Vec<Var> = (0..7).map(Var).collect();
+        for vt in [
+            Vtree::balanced(&vars),
+            Vtree::right_linear(&vars),
+            Vtree::left_linear(&vars),
+            Vtree::constrained(&vars[..3], &vars[3..]),
+        ] {
+            let text = write_vtree(&vt);
+            let back = read_vtree(&text).unwrap();
+            assert_eq!(back.node_count(), vt.node_count());
+            assert_eq!(back.variable_order(), vt.variable_order());
+            assert_eq!(write_vtree(&back), text);
+        }
+    }
+
+    #[test]
+    fn malformed_vtree_rejected() {
+        for bad in [
+            "",
+            "vtree zero\n",
+            "vtree 1\n",                        // missing node
+            "vtree 1\nL 0 0\n",                 // variable 0
+            "vtree 3\nL 0 1\nL 1 2\n",          // count mismatch
+            "vtree 3\nL 0 1\nL 1 2\nI 2 0 5\n", // undeclared child
+            "vtree 2\nL 0 1\nL 0 2\n",          // duplicate id
+            "vtree 2\nL 0 1\nL 1 2\n",          // two roots
+        ] {
+            assert!(
+                matches!(read_vtree(bad), Err(EngineError::Format(_))),
+                "accepted malformed vtree {bad:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Persistence round-trips over the crosscheck CNF corpus.
+//!
+//! The same 50-instance random corpus the compiler's crosscheck suite uses
+//! (same generator, same seed) is compiled and pushed through both
+//! persistence paths — binary serialize→deserialize and `.nnf` text
+//! export→import — and every query the engine serves (`model_count`, `wmc`,
+//! `wmc_marginals`) must come back **exactly** equal: both formats preserve
+//! the arena node-for-node, so even the floating-point answers are
+//! bit-identical.
+
+use trl_compiler::DecisionDnnfCompiler;
+use trl_core::{SplitMix64, Var};
+use trl_engine::{read_binary, read_nnf, write_binary, write_nnf, Validation};
+use trl_nnf::{Circuit, LitWeights};
+use trl_prop::gen::random_cnf;
+
+fn binary_round_trip(c: &Circuit) -> Circuit {
+    let mut bytes = Vec::new();
+    write_binary(c, &mut bytes).expect("serialize");
+    read_binary(&mut bytes.as_slice(), Validation::Full).expect("deserialize")
+}
+
+fn text_round_trip(c: &Circuit) -> Circuit {
+    read_nnf(&write_nnf(c), Validation::Full).expect("import")
+}
+
+fn skewed_weights(num_vars: usize, rng: &mut SplitMix64) -> LitWeights {
+    let mut w = LitWeights::unit(num_vars);
+    for v in 0..num_vars as u32 {
+        let p = 0.05 + 0.9 * rng.uniform();
+        w.set(Var(v).positive(), p);
+        w.set(Var(v).negative(), 1.0 - p);
+    }
+    w
+}
+
+#[test]
+fn crosscheck_corpus_round_trips_exactly() {
+    // Same corpus shape as crates/compiler/tests/crosscheck.rs.
+    let mut rng = SplitMix64::new(0x5eed_c0de);
+    let mut weight_rng = SplitMix64::new(0xbead_feed);
+    for i in 0..50 {
+        let n = 4 + (i % 10);
+        let m = 2 + ((i * 7) % (3 * n + 4));
+        let cnf = random_cnf(&mut rng, n, m, 4);
+        let label = format!("random_cnf #{i} (n={n}, m={m})");
+
+        let original = DecisionDnnfCompiler::default().compile(&cnf);
+        let w = skewed_weights(n, &mut weight_rng);
+        let expected_count = original.model_count();
+        let expected_wmc = original.wmc(&w);
+        let expected_marginals = original.wmc_marginals(&w);
+
+        for (path, restored) in [
+            ("binary", binary_round_trip(&original)),
+            ("text", text_round_trip(&original)),
+        ] {
+            assert_eq!(
+                restored.model_count(),
+                expected_count,
+                "{label}: model_count via {path}"
+            );
+            // Node-exact restoration makes the float pipelines identical,
+            // so exact equality is the right assertion — any tolerance
+            // would mask a format bug.
+            assert_eq!(restored.wmc(&w), expected_wmc, "{label}: wmc via {path}");
+            assert_eq!(
+                restored.wmc_marginals(&w),
+                expected_marginals,
+                "{label}: wmc_marginals via {path}"
+            );
+        }
+    }
+}
+
+#[test]
+fn smoothed_circuits_round_trip_too() {
+    // Serving artifacts may be persisted post-smoothing; the formats must
+    // not collapse the smoothing gadgets.
+    let mut rng = SplitMix64::new(0xabcd);
+    for i in 0..10 {
+        let n = 5 + (i % 6);
+        let cnf = random_cnf(&mut rng, n, 2 * n, 3);
+        let smoothed = trl_nnf::smooth(&DecisionDnnfCompiler::default().compile(&cnf));
+        for restored in [binary_round_trip(&smoothed), text_round_trip(&smoothed)] {
+            assert!(trl_nnf::properties::is_smooth(&restored), "instance {i}");
+            // Text export drops dead arena entries; everything reachable
+            // (gadgets included) survives, so counts can only shrink.
+            assert!(restored.node_count() <= smoothed.node_count());
+            assert_eq!(
+                restored.model_count_presmoothed(),
+                smoothed.model_count_presmoothed()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_flipped_byte_is_detected_or_harmless() {
+    // Exhaustive single-byte corruption of a small artifact: each flip must
+    // either fail loading with a typed error (the common case: checksums)
+    // or — never — load successfully yet answer differently.
+    let cnf = trl_prop::Cnf::parse_dimacs("p cnf 4 3\n1 2 0\n-1 3 0\n-2 -4 0\n").unwrap();
+    let c = DecisionDnnfCompiler::default().compile(&cnf);
+    let expected = c.model_count();
+    let mut bytes = Vec::new();
+    write_binary(&c, &mut bytes).expect("serialize");
+    for at in 0..bytes.len() {
+        let mut corrupt = bytes.clone();
+        corrupt[at] ^= 0x40;
+        if let Ok(loaded) = read_binary(&mut corrupt.as_slice(), Validation::Full) {
+            assert_eq!(
+                loaded.model_count(),
+                expected,
+                "byte {at}: corruption loaded and changed the answer"
+            );
+        }
+    }
+}

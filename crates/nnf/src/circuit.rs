@@ -1,6 +1,6 @@
 //! The NNF circuit representation: an arena DAG with structural hashing.
 
-use trl_core::{Assignment, Lit, PartialAssignment, Var, VarSet};
+use trl_core::{Assignment, Error, Lit, PartialAssignment, Result, Var, VarSet};
 
 /// Index of a node within a [`Circuit`] arena.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -42,6 +42,55 @@ pub struct Circuit {
 }
 
 impl Circuit {
+    /// Builds a circuit directly from a raw node arena, validating the
+    /// arena invariants that every traversal in this crate relies on:
+    /// the root is in range, every gate input strictly precedes the gate
+    /// (topological order), and every literal variable lies in the
+    /// universe `0..num_vars`.
+    ///
+    /// This is the entry point for deserializers (`trl-engine`'s binary
+    /// and c2d text readers), which must reconstruct circuits
+    /// *node-for-node* — going through [`CircuitBuilder`] would simplify
+    /// and renumber gates, destroying the on-disk structure (e.g.
+    /// smoothing gadgets `(x ∨ ¬x)` would collapse to `⊤`).
+    pub fn from_parts(num_vars: usize, nodes: Vec<NnfNode>, root: NnfId) -> Result<Circuit> {
+        if root.index() >= nodes.len() {
+            return Err(Error::Invalid(format!(
+                "root {} out of range for {} nodes",
+                root.0,
+                nodes.len()
+            )));
+        }
+        for (i, n) in nodes.iter().enumerate() {
+            match n {
+                NnfNode::True | NnfNode::False => {}
+                NnfNode::Lit(l) => {
+                    if l.var().index() >= num_vars {
+                        return Err(Error::Invalid(format!(
+                            "node {i}: literal variable {} out of universe 0..{num_vars}",
+                            l.var().index()
+                        )));
+                    }
+                }
+                NnfNode::And(xs) | NnfNode::Or(xs) => {
+                    for x in xs {
+                        if x.index() >= i {
+                            return Err(Error::Invalid(format!(
+                                "node {i}: input {} violates topological order",
+                                x.0
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Circuit {
+            nodes,
+            root,
+            num_vars,
+        })
+    }
+
     /// The root node.
     pub fn root(&self) -> NnfId {
         self.root
@@ -439,6 +488,31 @@ mod tests {
         let o = b.or([a, x0]);
         let c = b.finish(o);
         assert_eq!(c.edge_count(), 5);
+    }
+
+    #[test]
+    fn from_parts_accepts_valid_and_rejects_invalid() {
+        // (x0 ∧ x1) built by hand.
+        let nodes = vec![
+            NnfNode::Lit(v(0).positive()),
+            NnfNode::Lit(v(1).positive()),
+            NnfNode::And(vec![NnfId(0), NnfId(1)]),
+        ];
+        let c = Circuit::from_parts(2, nodes.clone(), NnfId(2)).unwrap();
+        assert_eq!(c.node_count(), 3);
+        assert_eq!(c.model_count(), 1);
+
+        // Root out of range.
+        assert!(Circuit::from_parts(2, nodes.clone(), NnfId(3)).is_err());
+        // Forward edge (topological violation).
+        let fwd = vec![NnfNode::And(vec![NnfId(1)]), NnfNode::True];
+        assert!(Circuit::from_parts(2, fwd, NnfId(0)).is_err());
+        // Self loop.
+        let looped = vec![NnfNode::Or(vec![NnfId(0)])];
+        assert!(Circuit::from_parts(2, looped, NnfId(0)).is_err());
+        // Literal outside the universe.
+        let bad_lit = vec![NnfNode::Lit(v(5).positive())];
+        assert!(Circuit::from_parts(2, bad_lit, NnfId(0)).is_err());
     }
 
     #[test]

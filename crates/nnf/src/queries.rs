@@ -84,17 +84,24 @@ impl Circuit {
     /// verbatim: literals and `⊤` count 1, `⊥` counts 0, and-gates multiply,
     /// or-gates sum).
     pub fn model_count(&self) -> u128 {
-        let s = smooth(self);
-        let mut val = vec![0u128; s.node_count()];
-        for id in s.ids() {
-            val[id.index()] = match s.node(id) {
+        smooth(self).model_count_presmoothed()
+    }
+
+    /// Model count assuming the circuit is **already smooth** with the root
+    /// covering the full universe — one bottom-up pass, no copies. The
+    /// batched query executor (`trl-engine`) smooths once per circuit and
+    /// serves every count in a batch through this entry point.
+    pub fn model_count_presmoothed(&self) -> u128 {
+        let mut val = vec![0u128; self.node_count()];
+        for id in self.ids() {
+            val[id.index()] = match self.node(id) {
                 NnfNode::True | NnfNode::Lit(_) => 1,
                 NnfNode::False => 0,
                 NnfNode::And(xs) => xs.iter().map(|x| val[x.index()]).product(),
                 NnfNode::Or(xs) => xs.iter().map(|x| val[x.index()]).sum(),
             };
         }
-        val[s.root().index()]
+        val[self.root().index()]
     }
 
     /// Weighted model count on a **decomposable, deterministic** circuit
@@ -129,7 +136,13 @@ impl Circuit {
     ///
     /// Returns `None` if the circuit is unsatisfiable.
     pub fn max_weight(&self, w: &LitWeights) -> Option<(f64, Assignment)> {
-        let s = smooth(self);
+        smooth(self).max_weight_presmoothed(w)
+    }
+
+    /// [`Circuit::max_weight`] assuming the circuit is **already smooth**
+    /// with the root covering the full universe — no smoothing copy.
+    pub fn max_weight_presmoothed(&self, w: &LitWeights) -> Option<(f64, Assignment)> {
+        let s = self;
         let n = s.num_vars();
         let mut val = vec![f64::NEG_INFINITY; s.node_count()];
         for id in s.ids() {
@@ -181,7 +194,13 @@ impl Circuit {
     /// Requires decomposability and determinism; smooths internally.
     /// Returns `(wmc, marginals)` where `marginals[v] = (WMC(Δ∧v), WMC(Δ∧¬v))`.
     pub fn wmc_marginals(&self, w: &LitWeights) -> (f64, Vec<(f64, f64)>) {
-        let s = smooth(self);
+        smooth(self).wmc_marginals_presmoothed(w)
+    }
+
+    /// [`Circuit::wmc_marginals`] assuming the circuit is **already smooth**
+    /// with the root covering the full universe — no smoothing copy.
+    pub fn wmc_marginals_presmoothed(&self, w: &LitWeights) -> (f64, Vec<(f64, f64)>) {
+        let s = self;
         let n = s.num_vars();
         let mut val = vec![0.0f64; s.node_count()];
         for id in s.ids() {
@@ -525,6 +544,26 @@ mod tests {
             // Marginals of a variable's two literals sum to the total.
             assert!((marg[i].0 + marg[i].1 - total).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn presmoothed_variants_match_smoothing_entry_points() {
+        let c = figure_circuit();
+        let s = smooth(&c);
+        let mut w = LitWeights::unit(4);
+        w.set(v(0).positive(), 0.2);
+        w.set(v(0).negative(), 0.8);
+        w.set(v(3).positive(), 1.5);
+        assert_eq!(c.model_count(), s.model_count_presmoothed());
+        assert_eq!(c.wmc(&w), s.wmc_presmoothed(&w));
+        let (total, marg) = c.wmc_marginals(&w);
+        let (total2, marg2) = s.wmc_marginals_presmoothed(&w);
+        assert_eq!(total, total2);
+        assert_eq!(marg, marg2);
+        let (mw, ma) = c.max_weight(&w).unwrap();
+        let (mw2, ma2) = s.max_weight_presmoothed(&w).unwrap();
+        assert_eq!(mw, mw2);
+        assert_eq!(ma, ma2);
     }
 
     #[test]

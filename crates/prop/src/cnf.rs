@@ -219,6 +219,12 @@ impl Cnf {
     /// Parses a DIMACS CNF document.
     ///
     /// DIMACS numbers variables from 1; variable `i` becomes [`Var`] `i - 1`.
+    ///
+    /// Accepts the dialect quirks found in real benchmark suites: `c`
+    /// comment lines interleaved anywhere (including after clauses), CR-LF
+    /// line endings, clauses spanning lines or sharing a line, and the
+    /// SATLIB footer convention — a `%` line ends the clause section and
+    /// everything after it (conventionally a lone `0`) is ignored.
     pub fn parse_dimacs(text: &str) -> Result<Cnf> {
         let mut num_vars: Option<usize> = None;
         let mut declared_clauses: Option<usize> = None;
@@ -226,7 +232,16 @@ impl Cnf {
         let mut current: Vec<Lit> = Vec::new();
         for line in text.lines() {
             let line = line.trim();
-            if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            if line.starts_with('%') {
+                // SATLIB footer: the clause section is over.
+                break;
+            }
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            // A lone `0` after all declared clauses is the other half of the
+            // SATLIB footer; don't read it as an empty clause.
+            if line == "0" && current.is_empty() && declared_clauses == Some(clauses.len()) {
                 continue;
             }
             if let Some(rest) = line.strip_prefix('p') {
@@ -465,6 +480,41 @@ mod tests {
             assert_eq!(occ.of(Var(v)), &expect[..], "var {v}");
             assert_eq!(occ.degree(Var(v)), expect.len());
         }
+    }
+
+    #[test]
+    fn dimacs_interleaved_comments_after_clauses() {
+        let text = "c head\np cnf 3 3\n1 2 0\nc between clauses\n-1 3 0\nc another\n-2 0\nc tail\n";
+        let f = Cnf::parse_dimacs(text).unwrap();
+        assert_eq!(f.clauses().len(), 3);
+        assert_eq!(f.clauses()[1], Clause::new([lit(-1), lit(3)]));
+    }
+
+    #[test]
+    fn dimacs_satlib_footer() {
+        // SATLIB uf* files end with "%\n0\n" (and often a blank line).
+        let text = "p cnf 3 2\n1 -2 0\n2 3 0\n%\n0\n\n";
+        let f = Cnf::parse_dimacs(text).unwrap();
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.clauses().len(), 2);
+        // Footer without the % line: a lone trailing 0.
+        let g = Cnf::parse_dimacs("p cnf 3 2\n1 -2 0\n2 3 0\n0\n").unwrap();
+        assert_eq!(g, f);
+        // Junk after % is ignored, even unparsable junk.
+        let h = Cnf::parse_dimacs("p cnf 3 2\n1 -2 0\n2 3 0\n%\nnot a clause\n").unwrap();
+        assert_eq!(h, f);
+        // But a lone 0 *before* the declared count is still an empty clause,
+        // caught by the count check.
+        assert!(Cnf::parse_dimacs("p cnf 3 2\n1 -2 0\n0\n2 3 0\n").is_err());
+    }
+
+    #[test]
+    fn dimacs_crlf_line_endings() {
+        let text = "c dos file\r\np cnf 2 2\r\n1 2 0\r\n-1 2 0\r\n";
+        let f = Cnf::parse_dimacs(text).unwrap();
+        assert_eq!(f.num_vars(), 2);
+        assert_eq!(f.clauses().len(), 2);
+        assert_eq!(f.clauses()[1], Clause::new([lit(-1), lit(2)]));
     }
 
     #[test]

@@ -24,6 +24,9 @@ pub use trl_bayesnet as bayesnet;
 pub use trl_compiler as compiler;
 /// Shared primitives: variables, literals, assignments, bitsets, semirings.
 pub use trl_core as core;
+/// Compile-once/query-many serving: circuit persistence, the artifact
+/// registry, and the batched query executor.
+pub use trl_engine as engine;
 /// NNF circuits, their tractability properties, and their polytime queries.
 pub use trl_nnf as nnf;
 /// Ordered binary decision diagrams.

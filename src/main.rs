@@ -1,0 +1,319 @@
+//! The `three-roles` command-line interface: compile once, query many.
+//!
+//! ```text
+//! three-roles compile <cnf> [-o ARTIFACT] [--text] [--emit-vtree PATH] [--stats]
+//! three-roles query <artifact> [--count] [--sat] [--wmc] [--marginals] [--mpe]
+//!                   [--weight LIT=W]... [--workers N] [--trust]
+//! three-roles bench-serve <cnf> [-o PATH] [--queries N] [--seed S]
+//! ```
+//!
+//! `compile` turns a DIMACS CNF into a persisted d-DNNF artifact — the
+//! checksummed binary format by default, the c2d-compatible `.nnf` text
+//! format with `--text`. `query` loads an artifact (picking the reader by
+//! `.nnf` extension), re-verifies the d-DNNF properties unless `--trust`,
+//! and answers the requested queries through the batched executor. `bench-serve`
+//! runs the serving benchmark and writes `BENCH_engine.json`.
+
+use std::process::ExitCode;
+
+use three_roles::compiler::DecisionDnnfCompiler;
+use three_roles::core::{Lit, Var};
+use three_roles::engine::{
+    load_binary, load_nnf, save_binary, save_nnf, save_vtree, serving_benchmark, Executor, Query,
+    QueryAnswer, Validation,
+};
+use three_roles::nnf::{Circuit, LitWeights};
+use three_roles::prop::Cnf;
+use three_roles::vtree::Vtree;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let run = match cmd.as_str() {
+        "compile" => cmd_compile(rest),
+        "query" => cmd_query(rest),
+        "bench-serve" => cmd_bench_serve(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
+    };
+    match run {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+three-roles — tractable circuits: compile once, query many
+
+USAGE:
+  three-roles compile <cnf> [-o ARTIFACT] [--text] [--emit-vtree PATH] [--stats]
+  three-roles query <artifact> [--count] [--sat] [--wmc] [--marginals] [--mpe]
+                    [--weight LIT=W]... [--workers N] [--trust]
+  three-roles bench-serve <cnf> [-o PATH] [--queries N] [--seed S]
+
+COMPILE:
+  -o ARTIFACT        output path (default: input with .trlc / .nnf extension)
+  --text             write the c2d-compatible .nnf text format instead of binary
+  --emit-vtree PATH  also write a balanced vtree over the CNF's variables
+  --stats            print compilation statistics
+
+QUERY (artifacts ending in .nnf use the text reader, anything else binary):
+  --count            model count (default when no query flag is given)
+  --sat              satisfiability
+  --wmc              weighted model count
+  --marginals        WMC plus per-variable marginals in one pass
+  --mpe              maximum-weight model (MPE under probability weights)
+  --weight LIT=W     set a DIMACS literal's weight (e.g. --weight -3=0.2);
+                     unset literals weigh 1
+  --workers N        executor worker threads (default 1)
+  --trust            skip d-DNNF property re-verification on load
+
+BENCH-SERVE:
+  -o PATH            where to write the JSON report (default BENCH_engine.json)
+  --queries N        queries per configuration (default 256)
+  --seed S           query-stream seed (default 0x5eed)
+";
+
+/// Pulls the value of `flag` out of `args`, removing both tokens.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(at) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if at + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let value = args.remove(at + 1);
+    args.remove(at);
+    Ok(Some(value))
+}
+
+/// Removes every occurrence of a boolean `flag`, reporting whether any was
+/// present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != flag);
+    args.len() != before
+}
+
+/// After all flags are consumed, exactly one positional argument remains.
+fn take_positional(mut args: Vec<String>, what: &str) -> Result<String, String> {
+    if let Some(stray) = args.iter().find(|a| a.starts_with('-')) {
+        return Err(format!("unknown flag '{stray}'"));
+    }
+    match args.len() {
+        0 => Err(format!("missing {what}")),
+        1 => Ok(args.remove(0)),
+        _ => Err(format!("expected one {what}, got {args:?}")),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad {what} '{s}'"))
+}
+
+fn read_cnf(path: &str) -> Result<Cnf, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Cnf::parse_dimacs(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let out = take_value(&mut args, "-o")?;
+    let vtree_out = take_value(&mut args, "--emit-vtree")?;
+    let text = take_flag(&mut args, "--text");
+    let stats = take_flag(&mut args, "--stats");
+    let input = take_positional(args, "input CNF path")?;
+
+    let cnf = read_cnf(&input)?;
+    let (circuit, compile_stats) = DecisionDnnfCompiler::default().compile_with_stats(&cnf);
+    let out = out.unwrap_or_else(|| {
+        let stem = input
+            .strip_suffix(".cnf")
+            .or_else(|| input.strip_suffix(".dimacs"))
+            .unwrap_or(&input);
+        format!("{stem}.{}", if text { "nnf" } else { "trlc" })
+    });
+    if text {
+        save_nnf(&circuit, &out).map_err(|e| format!("writing {out}: {e}"))?;
+    } else {
+        save_binary(&circuit, &out).map_err(|e| format!("writing {out}: {e}"))?;
+    }
+    println!(
+        "compiled {input}: {} vars, {} clauses -> {} ({} nodes, {} edges)",
+        cnf.num_vars(),
+        cnf.clauses().len(),
+        out,
+        circuit.node_count(),
+        circuit.edge_count()
+    );
+    if stats {
+        println!(
+            "  decisions {}  conflicts {}  propagations {}  cache {}/{} hits",
+            compile_stats.decisions,
+            compile_stats.conflicts,
+            compile_stats.propagations,
+            compile_stats.cache_hits,
+            compile_stats.cache_hits + compile_stats.cache_misses
+        );
+    }
+    if let Some(vtree_path) = vtree_out {
+        let vars: Vec<Var> = (0..cnf.num_vars() as u32).map(Var).collect();
+        save_vtree(&Vtree::balanced(&vars), &vtree_path)
+            .map_err(|e| format!("writing {vtree_path}: {e}"))?;
+        println!("  vtree -> {vtree_path}");
+    }
+    Ok(())
+}
+
+fn load_artifact(path: &str, validation: Validation) -> Result<Circuit, String> {
+    let loaded = if path.ends_with(".nnf") {
+        load_nnf(path, validation)
+    } else {
+        load_binary(path, validation)
+    };
+    loaded.map_err(|e| format!("loading {path}: {e}"))
+}
+
+/// Parses `LIT=W` with a DIMACS literal, e.g. `-3=0.2`.
+fn parse_weight(spec: &str) -> Result<(Lit, f64), String> {
+    let (lit, w) = spec
+        .split_once('=')
+        .ok_or_else(|| format!("--weight expects LIT=W, got '{spec}'"))?;
+    let lit: i64 = parse_num(lit, "DIMACS literal")?;
+    if lit == 0 {
+        return Err("literal 0 has no weight".into());
+    }
+    let var = Var((lit.unsigned_abs() - 1) as u32);
+    Ok((var.literal(lit > 0), parse_num(w, "weight")?))
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let mut weights_spec = Vec::new();
+    while let Some(spec) = take_value(&mut args, "--weight")? {
+        weights_spec.push(parse_weight(&spec)?);
+    }
+    let workers = match take_value(&mut args, "--workers")? {
+        Some(n) => parse_num(&n, "worker count")?,
+        None => 1usize,
+    };
+    let validation = if take_flag(&mut args, "--trust") {
+        Validation::Trust
+    } else {
+        Validation::Full
+    };
+    let mut queries = Vec::new();
+    let weighted = |w: &[(Lit, f64)], n: usize| {
+        let mut lw = LitWeights::unit(n);
+        for &(l, x) in w {
+            lw.set(l, x);
+        }
+        lw
+    };
+    // Flag order in `queries` mirrors the fixed check order below.
+    let want_count = take_flag(&mut args, "--count");
+    let want_sat = take_flag(&mut args, "--sat");
+    let want_wmc = take_flag(&mut args, "--wmc");
+    let want_marginals = take_flag(&mut args, "--marginals");
+    let want_mpe = take_flag(&mut args, "--mpe");
+    let artifact = take_positional(args, "artifact path")?;
+
+    let circuit = load_artifact(&artifact, validation)?;
+    let n = circuit.num_vars();
+    for &(l, _) in &weights_spec {
+        if l.var().index() >= n {
+            return Err(format!(
+                "--weight literal {} outside the circuit's {n} variables",
+                l.var().index() + 1
+            ));
+        }
+    }
+    if want_count || !(want_sat || want_wmc || want_marginals || want_mpe) {
+        queries.push(Query::ModelCount);
+    }
+    if want_sat {
+        queries.push(Query::Sat);
+    }
+    if want_wmc {
+        queries.push(Query::Wmc(weighted(&weights_spec, n)));
+    }
+    if want_marginals {
+        queries.push(Query::Marginals(weighted(&weights_spec, n)));
+    }
+    if want_mpe {
+        queries.push(Query::MaxWeight(weighted(&weights_spec, n)));
+    }
+
+    let prepared = std::sync::Arc::new(three_roles::engine::PreparedCircuit::new(circuit));
+    let executor = Executor::new(workers);
+    let outcomes = executor
+        .try_run_batch(&prepared, queries.clone())
+        .map_err(|e| e.to_string())?;
+    for (query, outcome) in queries.iter().zip(outcomes) {
+        print!("{:<12}", query.kind());
+        match outcome.answer {
+            QueryAnswer::Sat(yes) => print!("{}", if yes { "SAT" } else { "UNSAT" }),
+            QueryAnswer::ModelCount(c) => print!("{c}"),
+            QueryAnswer::Wmc(x) => print!("{x}"),
+            QueryAnswer::Marginals { wmc, marginals } => {
+                print!("{wmc}");
+                for (v, (pos, neg)) in marginals.iter().enumerate() {
+                    print!("\n  x{:<10}{pos} / {neg}", v + 1);
+                }
+            }
+            QueryAnswer::MaxWeight(None) => print!("UNSAT"),
+            QueryAnswer::MaxWeight(Some((w, ref a))) => {
+                print!("{w}  [");
+                for v in 0..a.len() {
+                    let sign = if a.value(Var(v as u32)) { "" } else { "-" };
+                    print!("{}{sign}{}", if v > 0 { " " } else { "" }, v + 1);
+                }
+                print!("]");
+            }
+        }
+        println!("   ({:.1} us)", outcome.latency.as_secs_f64() * 1e6);
+    }
+    Ok(())
+}
+
+fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let out = take_value(&mut args, "-o")?.unwrap_or_else(|| "BENCH_engine.json".into());
+    let queries = match take_value(&mut args, "--queries")? {
+        Some(n) => parse_num(&n, "query count")?,
+        None => 256usize,
+    };
+    let seed = match take_value(&mut args, "--seed")? {
+        Some(s) => parse_num(&s, "seed")?,
+        None => 0x5eedu64,
+    };
+    let input = take_positional(args, "input CNF path")?;
+
+    let cnf = read_cnf(&input)?;
+    let circuit = DecisionDnnfCompiler::default().compile(&cnf);
+    let max_workers = std::thread::available_parallelism().map_or(2, |p| p.get().max(2));
+    let report = serving_benchmark(
+        &input,
+        &circuit,
+        &[1, max_workers],
+        &[1, 32, 256],
+        queries,
+        seed,
+    );
+    std::fs::write(&out, report.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "bench-serve {input}: baseline {:.0} qps; best batched multi-worker speedup {:.2}x; report -> {out}",
+        report.baseline_qps,
+        report.best_batched_multiworker_speedup()
+    );
+    Ok(())
+}
