@@ -4,7 +4,7 @@
 #
 #   ci/check.sh          # clippy (all targets, warnings are errors), fmt,
 #                        # no-default-features build+test, docs (warnings
-#                        # are errors)
+#                        # are errors), kernel perf smoke (bench_eval --smoke)
 #   ci/check.sh --fix    # apply clippy suggestions and rustfmt in place
 #
 # The same commands run in CI; keep them byte-for-byte in sync.
@@ -27,5 +27,10 @@ cargo test --workspace --no-default-features --quiet
 # Rendered docs are part of the API surface: broken intra-doc links and
 # malformed doc comments fail the gate.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+# Perf smoke: the lane-batched evaluation kernels must answer bit-for-bit
+# like the scalar queries and must never be *slower* than them (sanity
+# floor — the tight >=4x gate lives in the full bench_eval run).
+cargo run --release --quiet -p trl-bench --bin bench_eval -- --smoke
 
 echo "ci/check.sh: OK"

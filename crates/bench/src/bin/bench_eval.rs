@@ -1,0 +1,89 @@
+//! Evaluation-kernel benchmark: scalar vs. tape vs. lane-batched vs.
+//! layer-parallel WMC sweeps over one compiled circuit, written to
+//! `BENCH_eval.json` at the repository root. Run with
+//! `cargo run --release -p trl-bench --bin bench_eval`; pass `--smoke`
+//! for the fast CI sanity leg (smaller stream, 1x floor, no JSON).
+//!
+//! The scalar baseline is the pre-kernel hot path — one
+//! `wmc_presmoothed` arena walk per query on the smoothed circuit, so
+//! smoothing cost is already amortized and the comparison isolates the
+//! sweep itself. The tape variant runs the same single-query sweep over
+//! the contiguous instruction tape; lane batching amortizes one tape scan
+//! across `LANES` queries; layer-parallel adds threads within each
+//! dependency layer. Every variant must answer bit-for-bit identically to
+//! scalar, on the acceptance instance and across the crosscheck corpus.
+
+use trl_bench::{banner, check, random_3cnf, row, section, Rng};
+use trl_compiler::DecisionDnnfCompiler;
+use trl_engine::eval_benchmark;
+
+/// Queries in the full benchmark stream.
+const QUERIES: usize = 2048;
+/// Queries in the `--smoke` stream.
+const SMOKE_QUERIES: usize = 256;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    banner(
+        "bench_eval",
+        "evaluation-kernel throughput: scalar vs tape vs lanes (BENCH_eval.json)",
+        "lane-batched kernels give >=4x single-query scalar WMC throughput",
+    );
+
+    let instance = "random_3cnf(seed=18, n=18, m=54)";
+    let cnf = random_3cnf(&mut Rng::new(18), 18, 54);
+    let circuit = DecisionDnnfCompiler::default().compile(&cnf);
+
+    let layer_threads = std::thread::available_parallelism().map_or(2, |p| p.get().max(2));
+    let queries = if smoke { SMOKE_QUERIES } else { QUERIES };
+    let report = eval_benchmark(instance, &circuit, queries, 0x5eed_0003, layer_threads);
+
+    section(instance);
+    row(
+        "tape (nodes/layers)",
+        format!("{}/{}", report.tape_nodes, report.tape_layers),
+    );
+    row("queries", format!("{queries}"));
+    for v in &report.variants {
+        row(
+            v.name,
+            format!(
+                "{:.0} qps ({:.2}x), p50 {:.1} us, p99 {:.1} us{}",
+                v.qps,
+                v.speedup,
+                v.latency.p50_us,
+                v.latency.p99_us,
+                if v.identical { "" } else { "  [MISMATCH]" }
+            ),
+        );
+    }
+    row(
+        "corpus identity sweep",
+        format!(
+            "{} instances, identical={}",
+            report.corpus_instances, report.corpus_identical
+        ),
+    );
+
+    section("criteria");
+    let mut ok = check(
+        "every kernel variant is bit-identical to scalar (instance + corpus)",
+        report.all_identical(),
+    );
+    if smoke {
+        // CI sanity floor: batching must never be slower than scalar.
+        ok &= check(
+            "lane-batched throughput is at least the scalar baseline",
+            report.lane_batched_speedup() >= 1.0,
+        );
+    } else {
+        ok &= check(
+            "lane-batched kernel is >=4x the scalar baseline",
+            report.lane_batched_speedup() >= 4.0,
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
+        std::fs::write(path, report.to_json()).expect("write BENCH_eval.json");
+        println!("\nwrote {path}");
+    }
+    std::process::exit(if ok { 0 } else { 1 });
+}

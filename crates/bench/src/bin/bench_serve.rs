@@ -53,8 +53,8 @@ fn main() {
         row(
             &format!("workers={} batch={}", c.workers, c.batch_size),
             format!(
-                "{:.0} qps ({:.2}x), mean latency {:.1} us",
-                c.qps, c.speedup, c.mean_latency_us
+                "{:.0} qps ({:.2}x), p50 {:.1} us, p99 {:.1} us",
+                c.qps, c.speedup, c.latency.p50_us, c.latency.p99_us
             ),
         );
     }

@@ -1,0 +1,360 @@
+//! The kernel-comparison benchmark behind the `bench_eval` binary
+//! (`BENCH_eval.json`): scalar vs. tape vs. lane-batched vs.
+//! layer-parallel evaluation of the same WMC query stream.
+//!
+//! Four variants answer an identical deterministic stream against one
+//! circuit:
+//!
+//! * **scalar** — the pre-kernel hot path: one [`Circuit::wmc_presmoothed`]
+//!   arena walk per query (smoothing already amortized, so this isolates
+//!   the sweep itself);
+//! * **tape** — one [`EvalTape::wmc`] scan per query: same work, but over
+//!   the contiguous struct-of-arrays tape instead of pointer-chasing enum
+//!   nodes;
+//! * **lane_batched** — [`EvalTape::wmc_batch`] in groups of
+//!   [`trl_nnf::LANES`]: one tape scan fills all lanes' value planes, so
+//!   the traversal cost is amortized across the group;
+//! * **layer_parallel** — [`EvalTape::wmc_batch_layered`]: lane batching
+//!   plus each dependency layer fanned across threads.
+//!
+//! Every variant's answers are compared bit-for-bit against the scalar
+//! reference, and [`kernel_identity_sweep`] repeats that comparison for
+//! WMC, model count, counting under evidence, and marginals across the
+//! whole crosscheck corpus.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use crate::serve_bench::LatencySummary;
+use trl_compiler::DecisionDnnfCompiler;
+use trl_core::{PartialAssignment, SplitMix64, Var};
+use trl_nnf::{smooth, Circuit, EvalTape, LitWeights, LANES};
+use trl_prop::gen::random_cnf;
+
+/// Measurements for one evaluation variant.
+#[derive(Clone, Debug)]
+pub struct EvalVariantReport {
+    /// Variant name (`scalar`, `tape`, `lane_batched`, `layer_parallel`).
+    pub name: &'static str,
+    /// Wall-clock for the whole stream, seconds.
+    pub wall_secs: f64,
+    /// Throughput, queries per second.
+    pub qps: f64,
+    /// Per-query latency distribution (group sweep time for batched
+    /// variants — the time a query actually waits).
+    pub latency: LatencySummary,
+    /// Throughput relative to the scalar variant.
+    pub speedup: f64,
+    /// Whether every answer bit-matched the scalar reference.
+    pub identical: bool,
+}
+
+/// The full kernel benchmark result.
+#[derive(Clone, Debug)]
+pub struct EvalReport {
+    /// Human-readable instance name.
+    pub instance: String,
+    /// Nodes in the compiled circuit.
+    pub raw_nodes: usize,
+    /// Instructions on the evaluation tape (reachable smoothed nodes).
+    pub tape_nodes: usize,
+    /// Dependency layers on the tape.
+    pub tape_layers: usize,
+    /// Queries in the stream.
+    pub queries: usize,
+    /// Threads used by the layer-parallel variant.
+    pub layer_threads: usize,
+    /// One row per variant; `scalar` is first.
+    pub variants: Vec<EvalVariantReport>,
+    /// Crosscheck-corpus instances swept for bit-identity.
+    pub corpus_instances: usize,
+    /// Whether every kernel answer across the corpus bit-matched scalar.
+    pub corpus_identical: bool,
+}
+
+impl EvalReport {
+    /// The lane-batched variant's speedup over scalar — the acceptance
+    /// number for `bench_eval`.
+    pub fn lane_batched_speedup(&self) -> f64 {
+        self.variants
+            .iter()
+            .find(|v| v.name == "lane_batched")
+            .map_or(0.0, |v| v.speedup)
+    }
+
+    /// Whether every variant (on the instance and across the corpus)
+    /// answered bit-identically to scalar.
+    pub fn all_identical(&self) -> bool {
+        self.corpus_identical && self.variants.iter().all(|v| v.identical)
+    }
+
+    /// Renders the report as the `BENCH_eval.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"bench_eval\",\n");
+        let _ = writeln!(out, "  \"instance\": \"{}\",", self.instance);
+        let _ = writeln!(
+            out,
+            "  \"circuit\": {{ \"nodes\": {}, \"tape_nodes\": {}, \"tape_layers\": {} }},",
+            self.raw_nodes, self.tape_nodes, self.tape_layers
+        );
+        let _ = writeln!(
+            out,
+            "  \"queries\": {}, \"lanes\": {}, \"layer_threads\": {},",
+            self.queries, LANES, self.layer_threads
+        );
+        out.push_str("  \"variants\": [\n");
+        for (i, v) in self.variants.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{ \"name\": \"{}\", \"wall_secs\": {:.6}, \"qps\": {:.1}, \"latency\": {}, \"speedup\": {:.2}, \"identical\": {} }}",
+                v.name,
+                v.wall_secs,
+                v.qps,
+                v.latency.to_json_fragment(),
+                v.speedup,
+                v.identical
+            );
+            out.push_str(if i + 1 < self.variants.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+        let _ = writeln!(
+            out,
+            "  \"corpus\": {{ \"instances\": {}, \"identical\": {} }},",
+            self.corpus_instances, self.corpus_identical
+        );
+        let _ = writeln!(
+            out,
+            "  \"acceptance\": {{ \"all_identical\": {}, \"lane_batched_speedup\": {:.2}, \"pass\": {} }}",
+            self.all_identical(),
+            self.lane_batched_speedup(),
+            self.all_identical() && self.lane_batched_speedup() >= 4.0
+        );
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// A deterministic stream of WMC weight vectors (same shape as the
+/// serving benchmark's query stream).
+fn weight_stream(num_vars: usize, count: usize, seed: u64) -> Vec<LitWeights> {
+    let mut rng = SplitMix64::new(seed);
+    (0..count)
+        .map(|_| {
+            let mut w = LitWeights::unit(num_vars);
+            for v in 0..num_vars as u32 {
+                let p = 0.05 + 0.9 * rng.uniform();
+                w.set(Var(v).positive(), p);
+                w.set(Var(v).negative(), 1.0 - p);
+            }
+            w
+        })
+        .collect()
+}
+
+/// One timed run: answers, wall-clock seconds, per-query latencies (µs).
+type TimedRun = (Vec<f64>, f64, Vec<f64>);
+
+/// Times a per-query evaluation loop, recording each query's latency.
+fn run_scalar<F: FnMut(&LitWeights) -> f64>(weights: &[LitWeights], mut eval: F) -> TimedRun {
+    let start = Instant::now();
+    let mut latencies_us = Vec::with_capacity(weights.len());
+    let mut answers = Vec::with_capacity(weights.len());
+    for w in weights {
+        let t = Instant::now();
+        answers.push(eval(w));
+        latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    (
+        answers,
+        start.elapsed().as_secs_f64().max(1e-12),
+        latencies_us,
+    )
+}
+
+/// Times a batched evaluation the way the executor dispatches it: one call
+/// over the whole stream for wall-clock/throughput, preceded by a
+/// per-lane-group timing pass for the latency distribution (each query is
+/// charged its group's sweep time — what it would actually wait).
+fn run_batched<F: Fn(&[&LitWeights]) -> Vec<f64>>(weights: &[LitWeights], eval: F) -> TimedRun {
+    let refs: Vec<&LitWeights> = weights.iter().collect();
+    let mut latencies_us = Vec::with_capacity(weights.len());
+    for group in refs.chunks(LANES) {
+        let t = Instant::now();
+        let _ = eval(group);
+        let us = t.elapsed().as_secs_f64() * 1e6;
+        latencies_us.extend(std::iter::repeat_n(us, group.len()));
+    }
+    let start = Instant::now();
+    let answers = eval(&refs);
+    (
+        answers,
+        start.elapsed().as_secs_f64().max(1e-12),
+        latencies_us,
+    )
+}
+
+/// Runs the four-variant kernel benchmark for one compiled circuit.
+pub fn eval_benchmark(
+    instance: &str,
+    circuit: &Circuit,
+    num_queries: usize,
+    seed: u64,
+    layer_threads: usize,
+) -> EvalReport {
+    let weights = weight_stream(circuit.num_vars(), num_queries, seed);
+    let smoothed = smooth(circuit);
+    let tape = EvalTape::new(&smoothed);
+
+    let (reference, scalar_secs, mut scalar_lat) =
+        run_scalar(&weights, |w| smoothed.wmc_presmoothed(w));
+    let scalar_qps = weights.len() as f64 / scalar_secs;
+
+    let mut variants = vec![EvalVariantReport {
+        name: "scalar",
+        wall_secs: scalar_secs,
+        qps: scalar_qps,
+        latency: LatencySummary::from_us(&mut scalar_lat),
+        speedup: 1.0,
+        identical: true,
+    }];
+
+    let runs: [(&'static str, TimedRun); 3] = [
+        ("tape", run_scalar(&weights, |w| tape.wmc(w))),
+        ("lane_batched", run_batched(&weights, |g| tape.wmc_batch(g))),
+        (
+            "layer_parallel",
+            run_batched(&weights, |g| tape.wmc_batch_layered(g, layer_threads)),
+        ),
+    ];
+    for (name, (answers, wall_secs, mut lat)) in runs {
+        let qps = weights.len() as f64 / wall_secs;
+        variants.push(EvalVariantReport {
+            name,
+            wall_secs,
+            qps,
+            latency: LatencySummary::from_us(&mut lat),
+            speedup: qps / scalar_qps,
+            identical: answers
+                .iter()
+                .zip(&reference)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+        });
+    }
+
+    let (corpus_instances, corpus_identical) = kernel_identity_sweep();
+
+    EvalReport {
+        instance: instance.to_string(),
+        raw_nodes: circuit.node_count(),
+        tape_nodes: tape.len(),
+        tape_layers: tape.num_layers(),
+        queries: weights.len(),
+        layer_threads,
+        variants,
+        corpus_instances,
+        corpus_identical,
+    }
+}
+
+/// Sweeps the crosscheck corpus (the same 50 deterministic instances the
+/// compiler's crosscheck tests use) asserting every kernel variant answers
+/// WMC, model count, counting under evidence, and marginals bit-identically
+/// to the scalar `queries` functions. Returns `(instances, all_identical)`.
+pub fn kernel_identity_sweep() -> (usize, bool) {
+    let mut rng = SplitMix64::new(0x5eed_c0de);
+    let compiler = DecisionDnnfCompiler::default();
+    let instances = 50;
+    let mut identical = true;
+    for i in 0..instances {
+        let n = 4 + (i % 10);
+        let m = 2 + ((i * 7) % (3 * n + 4));
+        let cnf = random_cnf(&mut rng, n, m, 4);
+        let circuit = compiler.compile(&cnf);
+        let smoothed = smooth(&circuit);
+        let tape = EvalTape::new(&smoothed);
+
+        let weights = weight_stream(n, LANES + 3, 0xC0FF_EE00 ^ i as u64);
+        let refs: Vec<&LitWeights> = weights.iter().collect();
+
+        // WMC: tape scalar, lane-batched, layer-parallel vs. scalar.
+        let reference: Vec<f64> = weights
+            .iter()
+            .map(|w| smoothed.wmc_presmoothed(w))
+            .collect();
+        let bits = |xs: &[f64]| -> Vec<u64> { xs.iter().map(|x| x.to_bits()).collect() };
+        identical &=
+            bits(&weights.iter().map(|w| tape.wmc(w)).collect::<Vec<_>>()) == bits(&reference);
+        identical &= bits(&tape.wmc_batch(&refs)) == bits(&reference);
+        identical &= bits(&tape.wmc_batch_layered(&refs, 2)) == bits(&reference);
+
+        // Model count, plain and under evidence.
+        identical &= tape.model_count() == smoothed.model_count_presmoothed();
+        let mut pa = PartialAssignment::new(n);
+        pa.assign(Var(0).literal(i % 2 == 0));
+        if n > 4 {
+            pa.assign(Var((i % (n - 1)) as u32 + 1).literal(i % 3 == 0));
+        }
+        let empty = PartialAssignment::new(n);
+        let expect_under: Vec<u128> = [&empty, &pa]
+            .iter()
+            .map(|pa| smoothed.model_count_under_presmoothed(pa))
+            .collect();
+        identical &= tape.model_count_under(&pa) == expect_under[1];
+        identical &= tape.model_count_under_batch(&[&empty, &pa]) == expect_under;
+
+        // Marginals: wmc and every per-literal pair, bit for bit.
+        let expect: Vec<(f64, Vec<(f64, f64)>)> = weights
+            .iter()
+            .map(|w| smoothed.wmc_marginals_presmoothed(w))
+            .collect();
+        let marg_bits = |xs: &[(f64, Vec<(f64, f64)>)]| -> Vec<(u64, Vec<(u64, u64)>)> {
+            xs.iter()
+                .map(|(wmc, m)| {
+                    (
+                        wmc.to_bits(),
+                        m.iter().map(|(p, q)| (p.to_bits(), q.to_bits())).collect(),
+                    )
+                })
+                .collect()
+        };
+        identical &= marg_bits(
+            &weights
+                .iter()
+                .map(|w| tape.marginals(w))
+                .collect::<Vec<_>>(),
+        ) == marg_bits(&expect);
+        identical &= marg_bits(&tape.marginals_batch(&refs)) == marg_bits(&expect);
+        identical &= marg_bits(&tape.marginals_batch_layered(&refs, 2)) == marg_bits(&expect);
+    }
+    (instances, identical)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_prop::Cnf;
+
+    #[test]
+    fn report_is_consistent_and_identical() {
+        let cnf =
+            Cnf::parse_dimacs("p cnf 6 5\n1 2 0\n-2 3 4 0\n-1 -4 0\n5 1 0\n-5 6 0\n").unwrap();
+        let c = DecisionDnnfCompiler::default().compile(&cnf);
+        let report = eval_benchmark("test instance", &c, 64, 9, 2);
+        assert_eq!(report.variants.len(), 4);
+        assert_eq!(report.variants[0].name, "scalar");
+        assert!(report.variants.iter().all(|v| v.identical && v.qps > 0.0));
+        assert!(report.corpus_identical);
+        assert_eq!(report.corpus_instances, 50);
+        assert!(report.all_identical());
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"bench_eval\""));
+        assert!(json.contains("\"lane_batched\""));
+        assert!(json.contains("\"p99_us\""));
+        assert!(json.contains("\"lane_batched_speedup\""));
+    }
+}

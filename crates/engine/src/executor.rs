@@ -1,10 +1,16 @@
-//! The batched query executor: a fixed worker pool over shared circuits.
+//! The batched query executor: a fixed worker pool dispatching grouped
+//! queries through the evaluation kernels.
 //!
 //! Workers are plain `std::thread`s pulling jobs off a shared channel;
 //! circuits are shared as `Arc<PreparedCircuit>` so a batch touching one
-//! artifact clones a pointer, not a circuit. Each answered query reports
-//! its service latency, so `bench-serve` can record tail behaviour, not
-//! just throughput.
+//! artifact clones a pointer, not a circuit. A job is no longer one query:
+//! [`Executor::run_batch`] groups compatible queries (same kind, same
+//! circuit) and ships them as a unit, so a worker answers each group with
+//! one lane-batched tape sweep ([`trl_nnf::EvalTape`]) instead of one
+//! scalar arena walk per query. For large circuits the whole group goes to
+//! a single worker that fans each tape layer across the pool's width
+//! instead. Each answered query reports its service latency, so
+//! `bench-serve` can record tail behaviour, not just throughput.
 //!
 //! The pool is deliberately dependency-free (std threads + `mpsc`): the
 //! workspace builds air-gapped.
@@ -16,8 +22,15 @@ use std::time::{Duration, Instant};
 
 use crate::error::{EngineError, Result};
 use crate::prepared::PreparedCircuit;
-use trl_core::Assignment;
-use trl_nnf::LitWeights;
+use trl_core::{Assignment, PartialAssignment};
+use trl_nnf::{LitWeights, LANES};
+
+/// Circuits at least this many raw arena nodes wide stop chunking groups
+/// across workers and instead run each group as one layer-parallel sweep
+/// over the whole pool: past this size a single tape scan already saturates
+/// memory bandwidth, and splitting *within* layers beats splitting the
+/// batch.
+const LAYERED_NODE_THRESHOLD: usize = 1 << 16;
 
 /// One inference request against a compiled circuit.
 #[derive(Clone, Debug)]
@@ -26,6 +39,9 @@ pub enum Query {
     Sat,
     /// Model count over the circuit's universe.
     ModelCount,
+    /// Model count restricted to models consistent with the given
+    /// evidence (partial assignment).
+    ModelCountUnder(PartialAssignment),
     /// Weighted model count under the given literal weights.
     Wmc(LitWeights),
     /// WMC plus every literal's marginal in one derivative pass.
@@ -37,10 +53,19 @@ pub enum Query {
 
 impl Query {
     /// Checks that the query is well-formed for a circuit over `num_vars`
-    /// variables (weighted queries must cover the universe).
+    /// variables (weighted queries and evidence must cover the universe).
     pub fn validate(&self, num_vars: usize) -> Result<()> {
         let weights = match self {
             Query::Sat | Query::ModelCount => return Ok(()),
+            Query::ModelCountUnder(pa) => {
+                if pa.len() < num_vars {
+                    return Err(EngineError::Structure(format!(
+                        "evidence covers {} variables but the circuit has {num_vars}",
+                        pa.len()
+                    )));
+                }
+                return Ok(());
+            }
             Query::Wmc(w) | Query::Marginals(w) | Query::MaxWeight(w) => w,
         };
         if weights.num_vars() < num_vars {
@@ -57,9 +82,30 @@ impl Query {
         match self {
             Query::Sat => "sat",
             Query::ModelCount => "model_count",
+            Query::ModelCountUnder(_) => "model_count_under",
             Query::Wmc(_) => "wmc",
             Query::Marginals(_) => "marginals",
             Query::MaxWeight(_) => "max_weight",
+        }
+    }
+
+    /// Whether queries of this kind benefit from being grouped into one
+    /// lane-batched kernel sweep.
+    fn groupable(&self) -> bool {
+        matches!(
+            self,
+            Query::ModelCount | Query::ModelCountUnder(_) | Query::Wmc(_) | Query::Marginals(_)
+        )
+    }
+
+    /// Bucket index for grouping; only meaningful for groupable queries.
+    fn group_bucket(&self) -> usize {
+        match self {
+            Query::ModelCount => 0,
+            Query::ModelCountUnder(_) => 1,
+            Query::Wmc(_) => 2,
+            Query::Marginals(_) => 3,
+            Query::Sat | Query::MaxWeight(_) => usize::MAX,
         }
     }
 }
@@ -69,7 +115,7 @@ impl Query {
 pub enum QueryAnswer {
     /// Answer to [`Query::Sat`].
     Sat(bool),
-    /// Answer to [`Query::ModelCount`].
+    /// Answer to [`Query::ModelCount`] and [`Query::ModelCountUnder`].
     ModelCount(u128),
     /// Answer to [`Query::Wmc`].
     Wmc(f64),
@@ -103,20 +149,26 @@ impl QueryAnswer {
     }
 }
 
-/// One answered query: the answer plus its service latency (time between a
-/// worker picking the job up and finishing it).
+/// One answered query: the answer plus its service latency. For a query
+/// answered as part of a kernel group, the latency is the group's sweep
+/// time — the wall time that query actually waited on a worker.
 #[derive(Clone, Debug)]
 pub struct QueryOutcome {
     /// The computed answer.
     pub answer: QueryAnswer,
-    /// Worker service time for this query.
+    /// Worker service time for this query (shared across a group).
     pub latency: Duration,
 }
 
+/// A group of same-kind queries shipped to one worker as a unit.
 struct Job {
     circuit: Arc<PreparedCircuit>,
-    query: Query,
-    index: usize,
+    /// Submission indices, parallel to `queries`.
+    indices: Vec<usize>,
+    queries: Vec<Query>,
+    /// Threads the worker may fan each tape layer across (1 = lane-batched
+    /// only).
+    layer_threads: usize,
     reply: Sender<(usize, QueryOutcome)>,
 }
 
@@ -159,13 +211,12 @@ impl Executor {
                 return; // executor dropped: no more jobs
             };
             let start = Instant::now();
-            let answer = job.circuit.answer(&job.query);
-            let outcome = QueryOutcome {
-                answer,
-                latency: start.elapsed(),
-            };
-            // The batch collector may have given up; that's its business.
-            let _ = job.reply.send((job.index, outcome));
+            let answers = job.circuit.answer_batch(&job.queries, job.layer_threads);
+            let latency = start.elapsed();
+            for (&index, answer) in job.indices.iter().zip(answers) {
+                // The batch collector may have given up; that's its business.
+                let _ = job.reply.send((index, QueryOutcome { answer, latency }));
+            }
         }
     }
 
@@ -187,6 +238,11 @@ impl Executor {
 
     /// [`Executor::run_batch`], returning the first validation error
     /// instead of panicking. No query runs unless the whole batch is valid.
+    ///
+    /// Queries of the same counting kind are grouped and each group split
+    /// into lane-aligned chunks across the pool (or handed whole to a
+    /// layer-parallel sweep for circuits past `LAYERED_NODE_THRESHOLD`
+    /// nodes); SAT and MPE queries run individually.
     pub fn try_run_batch(
         &self,
         circuit: &Arc<PreparedCircuit>,
@@ -198,15 +254,63 @@ impl Executor {
         let n = queries.len();
         let (reply_tx, reply_rx) = channel();
         let tx = self.tx.as_ref().expect("executor is live until dropped");
+
+        // Partition into per-kind groups (indices + queries, in submission
+        // order) and ungroupable singles.
+        let mut buckets: [(Vec<usize>, Vec<Query>); 4] = Default::default();
+        let mut singles: Vec<(usize, Query)> = Vec::new();
         for (index, query) in queries.into_iter().enumerate() {
+            if query.groupable() {
+                let b = &mut buckets[query.group_bucket()];
+                b.0.push(index);
+                b.1.push(query);
+            } else {
+                singles.push((index, query));
+            }
+        }
+
+        let workers = self.num_workers();
+        let layered = circuit.raw().node_count() >= LAYERED_NODE_THRESHOLD;
+        let send = |indices: Vec<usize>, queries: Vec<Query>, layer_threads: usize| {
             let job = Job {
                 circuit: Arc::clone(circuit),
-                query,
-                index,
+                indices,
+                queries,
+                layer_threads,
                 reply: reply_tx.clone(),
             };
             tx.send(job).expect("worker pool alive");
+        };
+
+        for (indices, group) in buckets {
+            if group.is_empty() {
+                continue;
+            }
+            if layered {
+                // One job, whole group: the worker fans each tape layer
+                // across the pool's width.
+                send(indices, group, workers);
+                continue;
+            }
+            // Split the group across workers in lane-aligned chunks, so
+            // every chunk fills whole value planes.
+            let per_worker = group.len().div_ceil(workers);
+            let chunk = per_worker.max(LANES).div_ceil(LANES) * LANES;
+            let mut indices = indices.into_iter();
+            let mut group = group.into_iter();
+            loop {
+                let ix: Vec<usize> = indices.by_ref().take(chunk).collect();
+                if ix.is_empty() {
+                    break;
+                }
+                let qs: Vec<Query> = group.by_ref().take(ix.len()).collect();
+                send(ix, qs, 1);
+            }
         }
+        for (index, query) in singles {
+            send(vec![index], vec![query], 1);
+        }
+
         drop(reply_tx);
         let mut out: Vec<Option<QueryOutcome>> = (0..n).map(|_| None).collect();
         for _ in 0..n {
@@ -266,6 +370,33 @@ mod tests {
     }
 
     #[test]
+    fn mixed_kind_batch_matches_direct_answers() {
+        let p = prepared();
+        let mut w = LitWeights::unit(4);
+        for v in 0..4u32 {
+            w.set(trl_core::Var(v).positive(), 0.3 + 0.1 * v as f64);
+            w.set(trl_core::Var(v).negative(), 0.7 - 0.1 * v as f64);
+        }
+        let mut pa = PartialAssignment::new(4);
+        pa.assign(trl_core::Var(0).positive());
+        let mut queries = Vec::new();
+        for i in 0..9 {
+            queries.push(Query::Wmc(w.clone()));
+            queries.push(Query::Marginals(w.clone()));
+            queries.push(Query::ModelCountUnder(pa.clone()));
+            queries.push(Query::MaxWeight(w.clone()));
+            if i % 2 == 0 {
+                queries.push(Query::Sat);
+            }
+        }
+        let ex = Executor::new(2);
+        let outcomes = ex.run_batch(&p, queries.clone());
+        for (q, o) in queries.iter().zip(&outcomes) {
+            assert_eq!(o.answer, p.answer(q), "kind={}", q.kind());
+        }
+    }
+
+    #[test]
     fn empty_batch_is_fine() {
         let ex = Executor::new(2);
         assert!(ex.run_batch(&prepared(), Vec::new()).is_empty());
@@ -277,6 +408,11 @@ mod tests {
         let bad = vec![Query::ModelCount, Query::Wmc(LitWeights::unit(2))];
         assert!(matches!(
             ex.try_run_batch(&prepared(), bad),
+            Err(EngineError::Structure(_))
+        ));
+        let bad_evidence = vec![Query::ModelCountUnder(PartialAssignment::new(2))];
+        assert!(matches!(
+            ex.try_run_batch(&prepared(), bad_evidence),
             Err(EngineError::Structure(_))
         ));
     }

@@ -13,15 +13,18 @@
 //!   properties (decomposability, determinism) that the poly-time queries
 //!   rely on, so a corrupted or foreign artifact is rejected with a typed
 //!   [`EngineError`] instead of silently answering wrong;
-//! * [`prepared`] — [`PreparedCircuit`]: a circuit smoothed **once**, ready
-//!   to serve every counting-style query without per-query smoothing;
+//! * [`prepared`] — [`PreparedCircuit`]: a circuit smoothed and linearized
+//!   into a [`trl_nnf::EvalTape`] lazily, **once**, then queried many
+//!   times through scalar or lane-batched kernels;
 //! * [`registry`] — a bounded LRU artifact store keyed on CNF
 //!   [`fingerprint`], compiling on miss and evicting by retained node count;
 //! * [`executor`] — a fixed worker pool (std threads + channels) that
-//!   answers batches of [`Query`] values against shared `Arc`'d circuits,
-//!   reporting per-query latency;
+//!   groups compatible [`Query`] values per circuit and answers each group
+//!   with one lane-batched kernel sweep, reporting per-query latency;
 //! * [`serve_bench`] — the serving benchmark behind `three-roles
-//!   bench-serve` and the `bench_serve` binary (`BENCH_engine.json`).
+//!   bench-serve` and the `bench_serve` binary (`BENCH_engine.json`),
+//!   plus the kernel-comparison benchmark behind `bench_eval`
+//!   (`BENCH_eval.json`).
 //!
 //! ```
 //! use trl_engine::{Executor, PreparedCircuit, Query, Registry};
@@ -41,6 +44,7 @@
 
 pub mod binary;
 pub mod error;
+pub mod eval_bench;
 pub mod executor;
 pub mod prepared;
 pub mod registry;
@@ -50,10 +54,11 @@ pub mod validate;
 
 pub use binary::{load_binary, read_binary, save_binary, write_binary, FORMAT_VERSION};
 pub use error::EngineError;
+pub use eval_bench::{eval_benchmark, kernel_identity_sweep, EvalReport, EvalVariantReport};
 pub use executor::{Executor, Query, QueryAnswer, QueryOutcome};
 pub use prepared::PreparedCircuit;
 pub use registry::{fingerprint, Registry, RegistryStats};
-pub use serve_bench::{serving_benchmark, ServeConfigReport, ServeReport};
+pub use serve_bench::{serving_benchmark, LatencySummary, ServeConfigReport, ServeReport};
 pub use text::{
     load_nnf, load_vtree, read_nnf, read_vtree, save_nnf, save_vtree, write_nnf, write_vtree,
 };

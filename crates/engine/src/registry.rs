@@ -50,7 +50,11 @@ pub struct RegistryStats {
 pub struct Registry {
     compiler: DecisionDnnfCompiler,
     max_retained_nodes: usize,
-    entries: FxHashMap<u64, Arc<PreparedCircuit>>,
+    /// Artifact plus the node cost it was charged at insert time. The
+    /// charge is snapshotted because a [`PreparedCircuit`]'s footprint
+    /// grows when lazy smoothing materializes; re-reading it at eviction
+    /// would debit more than was credited and underflow the budget.
+    entries: FxHashMap<u64, (Arc<PreparedCircuit>, usize)>,
     /// LRU order: front is coldest. Registries hold few, large artifacts,
     /// so the O(len) reorder on touch is noise next to a single query.
     order: Vec<u64>,
@@ -80,7 +84,7 @@ impl Registry {
     /// The artifact for `cnf`, compiling and preparing it on miss.
     pub fn get_or_compile(&mut self, cnf: &Cnf) -> Arc<PreparedCircuit> {
         let key = fingerprint(cnf);
-        if let Some(found) = self.entries.get(&key) {
+        if let Some((found, _)) = self.entries.get(&key) {
             let found = Arc::clone(found);
             self.touch(key);
             self.stats.hits += 1;
@@ -94,7 +98,7 @@ impl Registry {
 
     /// The artifact under a fingerprint, if retained. Touches LRU order.
     pub fn get(&mut self, key: u64) -> Option<Arc<PreparedCircuit>> {
-        let found = self.entries.get(&key).cloned();
+        let found = self.entries.get(&key).map(|(a, _)| Arc::clone(a));
         if found.is_some() {
             self.touch(key);
             self.stats.hits += 1;
@@ -104,12 +108,15 @@ impl Registry {
 
     /// Inserts an externally produced artifact (e.g. one loaded from disk)
     /// under a fingerprint, then evicts cold entries down to the budget.
+    /// The artifact's current footprint is charged against the budget for
+    /// the rest of its residence.
     pub fn insert(&mut self, key: u64, artifact: Arc<PreparedCircuit>) {
-        if let Some(old) = self.entries.insert(key, artifact) {
-            self.retained_nodes -= old.retained_nodes();
+        let charged = artifact.retained_nodes();
+        if let Some((_, old_charged)) = self.entries.insert(key, (artifact, charged)) {
+            self.retained_nodes -= old_charged;
             self.order.retain(|&k| k != key);
         }
-        self.retained_nodes += self.entries[&key].retained_nodes();
+        self.retained_nodes += charged;
         self.order.push(key);
         self.evict_to_budget();
     }
@@ -120,11 +127,11 @@ impl Registry {
     fn evict_to_budget(&mut self) {
         while self.retained_nodes > self.max_retained_nodes && self.order.len() > 1 {
             let coldest = self.order.remove(0);
-            let gone = self
+            let (_, gone_charged) = self
                 .entries
                 .remove(&coldest)
                 .expect("order and entries agree");
-            self.retained_nodes -= gone.retained_nodes();
+            self.retained_nodes -= gone_charged;
             self.stats.evictions += 1;
         }
     }
@@ -146,7 +153,9 @@ impl Registry {
         self.entries.is_empty()
     }
 
-    /// Total retained arena nodes across artifacts (raw + smoothed).
+    /// Total retained arena nodes across artifacts, as charged at their
+    /// insert time (raw circuit, plus smoothed copy and kernel tape if
+    /// they had materialized by then).
     pub fn retained_nodes(&self) -> usize {
         self.retained_nodes
     }
@@ -237,6 +246,22 @@ mod tests {
         r.get_or_compile(&other);
         assert_eq!(r.len(), 1);
         assert_eq!(r.stats().evictions, 1);
+    }
+
+    #[test]
+    fn eviction_balances_even_after_lazy_materialization() {
+        // An artifact's footprint grows when its first counting query
+        // smooths it. Eviction must debit the insert-time charge, not the
+        // grown footprint — otherwise the running total underflows.
+        let cnf = Cnf::parse_dimacs("p cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        let mut r = Registry::new(1); // force eviction on the next insert
+        let a = r.get_or_compile(&cnf);
+        a.answer(&crate::executor::Query::ModelCount); // grow footprint
+        assert!(a.retained_nodes() > a.raw().node_count());
+        let other = Cnf::parse_dimacs("p cnf 2 1\n1 2 0\n").unwrap();
+        r.get_or_compile(&other); // evicts `a`; must not panic
+        assert_eq!(r.stats().evictions, 1);
+        assert_eq!(r.len(), 1);
     }
 
     #[test]

@@ -24,6 +24,53 @@ use crate::prepared::PreparedCircuit;
 use trl_core::{SplitMix64, Var};
 use trl_nnf::{Circuit, LitWeights};
 
+/// Mean, tail percentiles, and max over a set of per-query service times,
+/// in microseconds. Percentiles are nearest-rank, so every reported value
+/// is an actual observed latency.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencySummary {
+    /// Mean latency.
+    pub mean_us: f64,
+    /// Median (50th percentile).
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Maximum.
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes latency samples in microseconds (sorts in place).
+    /// An empty sample set summarizes to all zeros.
+    pub fn from_us(samples: &mut [f64]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let nearest_rank = |q: f64| {
+            let rank = (q * samples.len() as f64).ceil() as usize;
+            samples[rank.clamp(1, samples.len()) - 1]
+        };
+        LatencySummary {
+            mean_us: samples.iter().sum::<f64>() / samples.len() as f64,
+            p50_us: nearest_rank(0.50),
+            p95_us: nearest_rank(0.95),
+            p99_us: nearest_rank(0.99),
+            max_us: samples[samples.len() - 1],
+        }
+    }
+
+    /// The summary as an inline JSON object fragment.
+    pub fn to_json_fragment(&self) -> String {
+        format!(
+            "{{ \"mean_us\": {:.2}, \"p50_us\": {:.2}, \"p95_us\": {:.2}, \"p99_us\": {:.2}, \"max_us\": {:.2} }}",
+            self.mean_us, self.p50_us, self.p95_us, self.p99_us, self.max_us
+        )
+    }
+}
+
 /// Measurements for one (workers, batch size) configuration.
 #[derive(Clone, Debug)]
 pub struct ServeConfigReport {
@@ -37,10 +84,8 @@ pub struct ServeConfigReport {
     pub wall_secs: f64,
     /// Throughput, queries per second.
     pub qps: f64,
-    /// Mean per-query service latency, microseconds.
-    pub mean_latency_us: f64,
-    /// Maximum per-query service latency, microseconds.
-    pub max_latency_us: f64,
+    /// Per-query service latency distribution.
+    pub latency: LatencySummary,
     /// Throughput relative to the baseline.
     pub speedup: f64,
 }
@@ -64,6 +109,8 @@ pub struct ServeReport {
     pub baseline_wall_secs: f64,
     /// Baseline throughput, queries per second.
     pub baseline_qps: f64,
+    /// Baseline per-query latency distribution.
+    pub baseline_latency: LatencySummary,
     /// One row per (workers, batch size) configuration.
     pub configs: Vec<ServeConfigReport>,
     /// Whether every served answer bit-matched its baseline answer.
@@ -94,21 +141,23 @@ impl ServeReport {
         );
         let _ = writeln!(
             out,
-            "  \"baseline\": {{ \"description\": \"one WMC query at a time, one thread, smoothing per query\", \"queries\": {}, \"wall_secs\": {:.6}, \"qps\": {:.1} }},",
-            self.queries_per_config, self.baseline_wall_secs, self.baseline_qps
+            "  \"baseline\": {{ \"description\": \"one WMC query at a time, one thread, smoothing per query\", \"queries\": {}, \"wall_secs\": {:.6}, \"qps\": {:.1}, \"latency\": {} }},",
+            self.queries_per_config,
+            self.baseline_wall_secs,
+            self.baseline_qps,
+            self.baseline_latency.to_json_fragment()
         );
         out.push_str("  \"configs\": [\n");
         for (i, c) in self.configs.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{ \"workers\": {}, \"batch_size\": {}, \"queries\": {}, \"wall_secs\": {:.6}, \"qps\": {:.1}, \"mean_latency_us\": {:.2}, \"max_latency_us\": {:.2}, \"speedup\": {:.2} }}",
+                "    {{ \"workers\": {}, \"batch_size\": {}, \"queries\": {}, \"wall_secs\": {:.6}, \"qps\": {:.1}, \"latency\": {}, \"speedup\": {:.2} }}",
                 c.workers,
                 c.batch_size,
                 c.queries,
                 c.wall_secs,
                 c.qps,
-                c.mean_latency_us,
-                c.max_latency_us,
+                c.latency.to_json_fragment(),
                 c.speedup
             );
             out.push_str(if i + 1 < self.configs.len() {
@@ -164,15 +213,22 @@ pub fn serving_benchmark(
 
     // Baseline: one at a time, one thread, smoothing inside every query.
     let start = Instant::now();
+    let mut baseline_latencies_us: Vec<f64> = Vec::with_capacity(queries.len());
     let baseline_answers: Vec<f64> = queries
         .iter()
-        .map(|q| match q {
-            Query::Wmc(w) => circuit.wmc(w),
-            _ => unreachable!("stream is all WMC"),
+        .map(|q| {
+            let t = Instant::now();
+            let answer = match q {
+                Query::Wmc(w) => circuit.wmc(w),
+                _ => unreachable!("stream is all WMC"),
+            };
+            baseline_latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+            answer
         })
         .collect();
     let baseline_wall_secs = start.elapsed().as_secs_f64().max(1e-12);
     let baseline_qps = queries.len() as f64 / baseline_wall_secs;
+    let baseline_latency = LatencySummary::from_us(&mut baseline_latencies_us);
 
     // Prepare once; every served configuration shares the artifact.
     let start = Instant::now();
@@ -197,8 +253,6 @@ pub fn serving_benchmark(
             }
             let wall_secs = start.elapsed().as_secs_f64().max(1e-12);
             answers_agree &= served == baseline_answers;
-            let mean = latencies_us.iter().sum::<f64>() / latencies_us.len().max(1) as f64;
-            let max = latencies_us.iter().fold(0.0f64, |a, &b| a.max(b));
             let qps = queries.len() as f64 / wall_secs;
             configs.push(ServeConfigReport {
                 workers: executor.num_workers(),
@@ -206,8 +260,7 @@ pub fn serving_benchmark(
                 queries: queries.len(),
                 wall_secs,
                 qps,
-                mean_latency_us: mean,
-                max_latency_us: max,
+                latency: LatencySummary::from_us(&mut latencies_us),
                 speedup: qps / baseline_qps,
             });
         }
@@ -222,6 +275,7 @@ pub fn serving_benchmark(
         queries_per_config,
         baseline_wall_secs,
         baseline_qps,
+        baseline_latency,
         configs,
         answers_agree,
     }
@@ -243,6 +297,12 @@ mod tests {
         assert_eq!(report.configs.len(), 4);
         assert!(report.configs.iter().all(|c| c.qps > 0.0));
         assert!(report.baseline_qps > 0.0);
+        for l in
+            std::iter::once(report.baseline_latency).chain(report.configs.iter().map(|c| c.latency))
+        {
+            assert!(l.p50_us <= l.p95_us && l.p95_us <= l.p99_us && l.p99_us <= l.max_us);
+            assert!(l.max_us > 0.0);
+        }
         // Multi-worker batched config exists and its speedup feeds acceptance.
         assert!(report
             .configs
@@ -251,5 +311,21 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"bench_serve\""));
         assert!(json.contains("\"best_batched_multiworker_speedup\""));
+        assert!(json.contains("\"p99_us\""));
+    }
+
+    #[test]
+    fn latency_summary_percentiles_are_nearest_rank() {
+        let mut us: Vec<f64> = (1..=100).map(f64::from).rev().collect();
+        let l = LatencySummary::from_us(&mut us);
+        assert_eq!(l.p50_us, 50.0);
+        assert_eq!(l.p95_us, 95.0);
+        assert_eq!(l.p99_us, 99.0);
+        assert_eq!(l.max_us, 100.0);
+        assert!((l.mean_us - 50.5).abs() < 1e-12);
+        assert_eq!(LatencySummary::from_us(&mut []).max_us, 0.0);
+        let mut one = [7.0];
+        let l = LatencySummary::from_us(&mut one);
+        assert_eq!((l.p50_us, l.p99_us, l.max_us), (7.0, 7.0, 7.0));
     }
 }

@@ -1,0 +1,752 @@
+//! Lane-batched, cache-blocked evaluation kernels over a linearized tape.
+//!
+//! The polytime queries of [`crate::queries`] are linear arena sweeps — the
+//! same DAG walked again and again with different leaf values. That is the
+//! hot path of a compile-once/query-many deployment, and it is
+//! embarrassingly regular, so this module trades the pointer-chasing
+//! `NnfNode` walk for a dense instruction tape built once per circuit:
+//!
+//! * **[`EvalTape`]** — the reachable arena linearized into struct-of-arrays
+//!   form: one op tag per node, child edges in a single CSR arc array, and
+//!   literals in a parallel column. A sweep is a forward scan over
+//!   contiguous slices; nothing is re-discovered per query.
+//! * **Lane batching** — [`EvalTape::wmc_batch`] and friends give every node
+//!   a `[f64; LANES]` value plane and answer `LANES` queries per tape scan.
+//!   One traversal is amortized over the whole lane group and the per-node
+//!   inner loops are plain fixed-length array arithmetic, which the
+//!   compiler auto-vectorizes.
+//! * **Layer scheduling** — nodes are stored grouped by dependency depth
+//!   (children always in strictly earlier layers), so each layer is a
+//!   contiguous block that can be fanned out across threads
+//!   ([`EvalTape::wmc_batch_layered`]) with one barrier per layer.
+//!
+//! Every kernel returns answers **bit-identical** to the corresponding
+//! scalar entry point in [`crate::queries`] (`wmc_presmoothed`,
+//! `model_count_presmoothed`, `model_count_under_presmoothed`,
+//! `wmc_marginals_presmoothed`): per node, the same floating-point
+//! operations run in the same order, and the order-sensitive derivative
+//! accumulation of the marginal kernel replays the original arena order via
+//! a stored permutation. `crates/nnf/tests/kernel_equiv.rs` asserts this
+//! across the crosscheck corpus.
+//!
+//! Preconditions match the `_presmoothed` queries: the circuit must be
+//! decomposable, deterministic, and already smooth with the root covering
+//! the full universe (`trl-engine`'s `PreparedCircuit` guarantees this).
+
+use std::cell::UnsafeCell;
+use std::sync::Barrier;
+
+use crate::circuit::{Circuit, NnfId, NnfNode};
+use crate::queries::LitWeights;
+use trl_core::{Lit, PartialAssignment, Var};
+
+/// Queries answered per tape scan by the lane-batched kernels. Eight `f64`
+/// lanes fill two AVX2 registers (or one AVX-512 register); the inner loops
+/// are written so the compiler vectorizes them.
+pub const LANES: usize = 8;
+
+/// One instruction tag on the tape.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Op {
+    /// The constant false.
+    False,
+    /// The constant true.
+    True,
+    /// A literal leaf; the literal lives in the parallel `lits` column.
+    Lit,
+    /// An and-gate over a CSR edge slice.
+    And,
+    /// An or-gate over a CSR edge slice.
+    Or,
+}
+
+/// A value plane cell the layer-parallel kernels write through. Threads are
+/// handed disjoint node ranges per layer and synchronize on a barrier
+/// between layers, so no two threads ever touch the same cell concurrently.
+#[repr(transparent)]
+struct ValCell(UnsafeCell<[f64; LANES]>);
+
+// SAFETY: shared across the scoped worker threads of the layered kernels
+// only; the layer schedule assigns each cell to exactly one writer per
+// sweep, and a barrier separates every layer's writes from the next
+// layer's reads.
+unsafe impl Sync for ValCell {}
+
+/// The reachable arena of a smooth circuit, linearized into a contiguous,
+/// layer-ordered instruction tape (struct-of-arrays). Build once per
+/// circuit with [`EvalTape::new`], then answer any number of counting-style
+/// queries through the kernels; see the module docs for the layout.
+#[derive(Clone, Debug)]
+pub struct EvalTape {
+    num_vars: usize,
+    /// Op tag per tape slot.
+    ops: Vec<Op>,
+    /// Literal per tape slot; meaningful only where `ops` says `Lit`.
+    lits: Vec<Lit>,
+    /// CSR offsets into `edges`, one entry per tape slot plus a sentinel.
+    edge_start: Vec<u32>,
+    /// Child tape indices of every gate, concatenated in gate-input order.
+    edges: Vec<u32>,
+    /// Layer boundaries: nodes `layer_start[l]..layer_start[l+1]` form
+    /// dependency layer `l`; all their children sit in earlier layers.
+    layer_start: Vec<u32>,
+    /// Tape indices listed in original arena order — the replay schedule
+    /// for the order-sensitive derivative pass of the marginal kernel.
+    arena_order: Vec<u32>,
+    /// The root's tape slot (always the last slot: the root is an ancestor
+    /// of every reachable node, so it alone occupies the top layer).
+    root: u32,
+}
+
+impl EvalTape {
+    /// Linearizes the nodes reachable from the root of `circuit`.
+    ///
+    /// Unreachable arena nodes are dropped; the survivors are stored
+    /// grouped by dependency layer (stable within a layer, so leaves keep
+    /// their arena-relative order) with gate inputs rewritten to tape
+    /// indices.
+    pub fn new(circuit: &Circuit) -> EvalTape {
+        let root = circuit.root().index();
+        // Reachability: the arena is topological, so one reverse scan from
+        // the root marks every reachable node.
+        let mut reach = vec![false; root + 1];
+        reach[root] = true;
+        for i in (0..=root).rev() {
+            if !reach[i] {
+                continue;
+            }
+            if let NnfNode::And(xs) | NnfNode::Or(xs) = circuit.node(NnfId(i as u32)) {
+                for x in xs {
+                    reach[x.index()] = true;
+                }
+            }
+        }
+
+        // Dependency depth per reachable node: leaves are layer 0, gates
+        // sit one past their deepest input.
+        let mut level = vec![0u32; root + 1];
+        let mut max_level = 0u32;
+        for i in 0..=root {
+            if !reach[i] {
+                continue;
+            }
+            if let NnfNode::And(xs) | NnfNode::Or(xs) = circuit.node(NnfId(i as u32)) {
+                let l = xs.iter().map(|x| level[x.index()] + 1).max().unwrap_or(0);
+                level[i] = l;
+                max_level = max_level.max(l);
+            }
+        }
+
+        // Stable counting sort by layer: `slot[i]` is node `i`'s tape index.
+        let layers = max_level as usize + 1;
+        let mut layer_start = vec![0u32; layers + 1];
+        for i in 0..=root {
+            if reach[i] {
+                layer_start[level[i] as usize + 1] += 1;
+            }
+        }
+        for l in 0..layers {
+            layer_start[l + 1] += layer_start[l];
+        }
+        let mut cursor = layer_start.clone();
+        let mut slot = vec![u32::MAX; root + 1];
+        let mut arena_order = Vec::with_capacity(layer_start[layers] as usize);
+        for i in 0..=root {
+            if reach[i] {
+                let s = cursor[level[i] as usize];
+                cursor[level[i] as usize] += 1;
+                slot[i] = s;
+                arena_order.push(s);
+            }
+        }
+
+        // Fill the tape columns in tape order.
+        let count = layer_start[layers] as usize;
+        let mut ops = vec![Op::False; count];
+        let mut lits = vec![Var(0).positive(); count];
+        let mut edge_start = vec![0u32; count + 1];
+        let mut edges = Vec::new();
+        let mut inverse = vec![0u32; count];
+        for i in 0..=root {
+            if reach[i] {
+                inverse[slot[i] as usize] = i as u32;
+            }
+        }
+        for t in 0..count {
+            let node = circuit.node(NnfId(inverse[t]));
+            edge_start[t] = edges.len() as u32;
+            ops[t] = match node {
+                NnfNode::False => Op::False,
+                NnfNode::True => Op::True,
+                NnfNode::Lit(l) => {
+                    lits[t] = *l;
+                    Op::Lit
+                }
+                NnfNode::And(xs) => {
+                    edges.extend(xs.iter().map(|x| slot[x.index()]));
+                    Op::And
+                }
+                NnfNode::Or(xs) => {
+                    edges.extend(xs.iter().map(|x| slot[x.index()]));
+                    Op::Or
+                }
+            };
+        }
+        edge_start[count] = edges.len() as u32;
+
+        debug_assert_eq!(slot[root] as usize, count - 1, "root tops the tape");
+        EvalTape {
+            num_vars: circuit.num_vars(),
+            ops,
+            lits,
+            edge_start,
+            edges,
+            layer_start,
+            arena_order,
+            root: (count - 1) as u32,
+        }
+    }
+
+    /// Number of tape slots (reachable circuit nodes).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the tape is empty (never: even `⊥` occupies one slot).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of dependency layers.
+    pub fn num_layers(&self) -> usize {
+        self.layer_start.len() - 1
+    }
+
+    /// The variable universe size of the underlying circuit.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The tape's child slice for slot `i`.
+    #[inline]
+    fn children(&self, i: usize) -> &[u32] {
+        &self.edges[self.edge_start[i] as usize..self.edge_start[i + 1] as usize]
+    }
+
+    // ------------------------------------------------------------------
+    // Scalar tape kernels: one query per scan, no `NnfNode` dispatch.
+    // ------------------------------------------------------------------
+
+    /// Weighted model count: bit-identical to
+    /// [`Circuit::wmc_presmoothed`](crate::circuit::Circuit).
+    pub fn wmc(&self, w: &LitWeights) -> f64 {
+        let mut val = vec![0.0f64; self.len()];
+        for i in 0..self.len() {
+            val[i] = match self.ops[i] {
+                Op::False => 0.0,
+                Op::True => 1.0,
+                Op::Lit => w.get(self.lits[i]),
+                Op::And => {
+                    let mut acc = 1.0;
+                    for &ch in self.children(i) {
+                        acc *= val[ch as usize];
+                    }
+                    acc
+                }
+                Op::Or => {
+                    let mut acc = 0.0;
+                    for &ch in self.children(i) {
+                        acc += val[ch as usize];
+                    }
+                    acc
+                }
+            };
+        }
+        val[self.root as usize]
+    }
+
+    /// Model count: equal to
+    /// [`Circuit::model_count_presmoothed`](crate::circuit::Circuit).
+    pub fn model_count(&self) -> u128 {
+        self.count_with(|_| 1)
+    }
+
+    /// Model count under evidence: equal to
+    /// [`Circuit::model_count_under_presmoothed`](crate::circuit::Circuit).
+    pub fn model_count_under(&self, pa: &PartialAssignment) -> u128 {
+        self.count_with(|l| (pa.eval(l) != Some(false)) as u128)
+    }
+
+    fn count_with(&self, leaf: impl Fn(Lit) -> u128) -> u128 {
+        let mut val = vec![0u128; self.len()];
+        for i in 0..self.len() {
+            val[i] = match self.ops[i] {
+                Op::False => 0,
+                Op::True => 1,
+                Op::Lit => leaf(self.lits[i]),
+                Op::And => self
+                    .children(i)
+                    .iter()
+                    .map(|&ch| val[ch as usize])
+                    .product(),
+                Op::Or => self.children(i).iter().map(|&ch| val[ch as usize]).sum(),
+            };
+        }
+        val[self.root as usize]
+    }
+
+    /// WMC plus all literal marginals: bit-identical to
+    /// [`Circuit::wmc_marginals_presmoothed`](crate::circuit::Circuit).
+    pub fn marginals(&self, w: &LitWeights) -> (f64, Vec<(f64, f64)>) {
+        let mut out = self.marginals_batch(&[w]);
+        out.pop().expect("one lane in, one answer out")
+    }
+
+    // ------------------------------------------------------------------
+    // Lane-batched kernels: LANES queries per scan.
+    // ------------------------------------------------------------------
+
+    /// Answers one WMC query per weight table, `LANES` at a time: a single
+    /// tape scan fills every lane of a `[f64; LANES]` value plane, so the
+    /// traversal cost is amortized across the group and the per-node
+    /// arithmetic vectorizes. Answers are bit-identical to calling
+    /// [`EvalTape::wmc`] per table.
+    pub fn wmc_batch(&self, weights: &[&LitWeights]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(weights.len());
+        let mut plane = vec![[0.0f64; LANES]; self.len()];
+        for group in weights.chunks(LANES) {
+            self.wmc_lanes(group, &mut plane);
+            let root = &plane[self.root as usize];
+            out.extend_from_slice(&root[..group.len()]);
+        }
+        out
+    }
+
+    /// One lane-group forward sweep; `group.len() <= LANES`, dead lanes
+    /// evaluate under all-zero weights (harmlessly finite).
+    fn wmc_lanes(&self, group: &[&LitWeights], plane: &mut [[f64; LANES]]) {
+        debug_assert!(group.len() <= LANES && plane.len() == self.len());
+        for i in 0..self.len() {
+            plane[i] = self.node_lanes(i, group, |ch, lane| plane[ch][lane]);
+        }
+    }
+
+    /// Computes one tape slot's `[f64; LANES]` value, reading child values
+    /// through `read` (direct indexing for the sequential kernels, a
+    /// cell read for the layered ones).
+    #[inline]
+    fn node_lanes(
+        &self,
+        i: usize,
+        group: &[&LitWeights],
+        read: impl Fn(usize, usize) -> f64,
+    ) -> [f64; LANES] {
+        match self.ops[i] {
+            Op::False => [0.0; LANES],
+            Op::True => [1.0; LANES],
+            Op::Lit => {
+                let l = self.lits[i];
+                let mut v = [0.0; LANES];
+                for (lane, w) in group.iter().enumerate() {
+                    v[lane] = w.get(l);
+                }
+                v
+            }
+            Op::And => {
+                let mut acc = [1.0; LANES];
+                for &ch in self.children(i) {
+                    for (lane, a) in acc.iter_mut().enumerate() {
+                        *a *= read(ch as usize, lane);
+                    }
+                }
+                acc
+            }
+            Op::Or => {
+                let mut acc = [0.0; LANES];
+                for &ch in self.children(i) {
+                    for (lane, a) in acc.iter_mut().enumerate() {
+                        *a += read(ch as usize, lane);
+                    }
+                }
+                acc
+            }
+        }
+    }
+
+    /// Lane-batched model counting under evidence: one `[u128; LANES]`
+    /// plane scan per group of partial assignments. Counts are exact, so
+    /// agreement with the scalar kernels is plain equality.
+    pub fn model_count_under_batch(&self, evidence: &[&PartialAssignment]) -> Vec<u128> {
+        let mut out = Vec::with_capacity(evidence.len());
+        let mut plane = vec![[0u128; LANES]; self.len()];
+        for group in evidence.chunks(LANES) {
+            for i in 0..self.len() {
+                plane[i] = match self.ops[i] {
+                    Op::False => [0; LANES],
+                    Op::True => [1; LANES],
+                    Op::Lit => {
+                        let l = self.lits[i];
+                        let mut v = [0; LANES];
+                        for (lane, pa) in group.iter().enumerate() {
+                            v[lane] = (pa.eval(l) != Some(false)) as u128;
+                        }
+                        v
+                    }
+                    Op::And => {
+                        let mut acc = [1u128; LANES];
+                        for &ch in self.children(i) {
+                            let v = plane[ch as usize];
+                            for (lane, a) in acc.iter_mut().enumerate() {
+                                *a *= v[lane];
+                            }
+                        }
+                        acc
+                    }
+                    Op::Or => {
+                        let mut acc = [0u128; LANES];
+                        for &ch in self.children(i) {
+                            let v = plane[ch as usize];
+                            for (lane, a) in acc.iter_mut().enumerate() {
+                                *a += v[lane];
+                            }
+                        }
+                        acc
+                    }
+                };
+            }
+            let root = &plane[self.root as usize];
+            out.extend_from_slice(&root[..group.len()]);
+        }
+        out
+    }
+
+    /// Lane-batched marginals: one upward plane sweep plus one downward
+    /// derivative sweep per group of `LANES` weight tables. Bit-identical
+    /// to [`Circuit::wmc_marginals_presmoothed`](crate::circuit::Circuit)
+    /// per lane: the downward pass replays the original arena order and
+    /// skips zero derivatives exactly like the scalar code.
+    pub fn marginals_batch(&self, weights: &[&LitWeights]) -> Vec<(f64, Vec<(f64, f64)>)> {
+        let n = self.num_vars;
+        let mut out = Vec::with_capacity(weights.len());
+        let mut plane = vec![[0.0f64; LANES]; self.len()];
+        let mut der = vec![[0.0f64; LANES]; self.len()];
+        let mut prefix: Vec<[f64; LANES]> = Vec::new();
+        for group in weights.chunks(LANES) {
+            self.wmc_lanes(group, &mut plane);
+            self.derivative_lanes(&plane, &mut der, &mut prefix);
+            // Per-lane literal marginal accumulation, leaves in arena order
+            // (layer 0 is stably sorted, so tape order agrees).
+            let mut marginals = vec![vec![(0.0f64, 0.0f64); n]; group.len()];
+            self.accumulate_lit_marginals(group, &der, &mut marginals);
+            let root = plane[self.root as usize];
+            for (lane, m) in marginals.into_iter().enumerate() {
+                out.push((root[lane], m));
+            }
+        }
+        out
+    }
+
+    /// Folds each literal slot's weighted derivative into the per-lane
+    /// marginal table (positive/negative split per variable).
+    fn accumulate_lit_marginals(
+        &self,
+        group: &[&LitWeights],
+        der: &[[f64; LANES]],
+        marginals: &mut [Vec<(f64, f64)>],
+    ) {
+        for ((op, l), d) in self.ops.iter().zip(&self.lits).zip(der) {
+            if *op != Op::Lit {
+                continue;
+            }
+            for (lane, w) in group.iter().enumerate() {
+                let m = w.get(*l) * d[lane];
+                let slot = &mut marginals[lane][l.var().index()];
+                if l.is_positive() {
+                    slot.0 += m;
+                } else {
+                    slot.1 += m;
+                }
+            }
+        }
+    }
+
+    /// The downward derivative sweep shared by the marginal kernels. The
+    /// accumulation into a child's derivative is order-sensitive, so the
+    /// sweep replays the reverse of the original arena order.
+    fn derivative_lanes(
+        &self,
+        plane: &[[f64; LANES]],
+        der: &mut Vec<[f64; LANES]>,
+        prefix: &mut Vec<[f64; LANES]>,
+    ) {
+        der.clear();
+        der.resize(self.len(), [0.0; LANES]);
+        der[self.root as usize] = [1.0; LANES];
+        for &t in self.arena_order.iter().rev() {
+            let i = t as usize;
+            let d = der[i];
+            if d.iter().all(|&x| x == 0.0) {
+                continue;
+            }
+            match self.ops[i] {
+                Op::Or => {
+                    for &ch in self.children(i) {
+                        for lane in 0..LANES {
+                            if d[lane] != 0.0 {
+                                der[ch as usize][lane] += d[lane];
+                            }
+                        }
+                    }
+                }
+                Op::And => {
+                    // ∂(∏ v_i)/∂v_j via prefix and suffix products, exactly
+                    // as the scalar pass: d * prefix[i] * suffix, in order.
+                    let children = self.children(i);
+                    let k = children.len();
+                    prefix.clear();
+                    prefix.resize(k + 1, [1.0; LANES]);
+                    for (c, &ch) in children.iter().enumerate() {
+                        let v = plane[ch as usize];
+                        for lane in 0..LANES {
+                            prefix[c + 1][lane] = prefix[c][lane] * v[lane];
+                        }
+                    }
+                    let mut suffix = [1.0f64; LANES];
+                    for c in (0..k).rev() {
+                        let ch = children[c] as usize;
+                        for lane in 0..LANES {
+                            if d[lane] != 0.0 {
+                                der[ch][lane] += d[lane] * prefix[c][lane] * suffix[lane];
+                            }
+                            suffix[lane] *= plane[ch][lane];
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Layer-parallel kernels: one lane group, many cores.
+    // ------------------------------------------------------------------
+
+    /// [`EvalTape::wmc_batch`] with each dependency layer fanned out
+    /// across `threads` scoped worker threads (one barrier per layer).
+    /// Intended for large circuits, where a layer holds enough nodes to
+    /// amortize the synchronization; answers remain bit-identical because
+    /// every node still runs the same per-node arithmetic, only the
+    /// schedule changes. `threads <= 1` falls back to the sequential
+    /// lane-batched kernel.
+    pub fn wmc_batch_layered(&self, weights: &[&LitWeights], threads: usize) -> Vec<f64> {
+        if threads <= 1 || self.len() < 2 {
+            return self.wmc_batch(weights);
+        }
+        let mut plane: Vec<ValCell> = (0..self.len())
+            .map(|_| ValCell(UnsafeCell::new([0.0; LANES])))
+            .collect();
+        let mut out = Vec::with_capacity(weights.len());
+        for group in weights.chunks(LANES) {
+            self.forward_lanes_layered(group, &plane, threads);
+            let root = plane[self.root as usize].0.get_mut();
+            out.extend_from_slice(&root[..group.len()]);
+        }
+        out
+    }
+
+    /// Layer-parallel marginals: the upward sweep fans out across
+    /// `threads`; the order-sensitive downward sweep stays sequential so
+    /// the derivative accumulation replays the arena order bit-for-bit.
+    pub fn marginals_batch_layered(
+        &self,
+        weights: &[&LitWeights],
+        threads: usize,
+    ) -> Vec<(f64, Vec<(f64, f64)>)> {
+        if threads <= 1 || self.len() < 2 {
+            return self.marginals_batch(weights);
+        }
+        let n = self.num_vars;
+        let mut cells: Vec<ValCell> = (0..self.len())
+            .map(|_| ValCell(UnsafeCell::new([0.0; LANES])))
+            .collect();
+        let mut der = vec![[0.0f64; LANES]; self.len()];
+        let mut prefix: Vec<[f64; LANES]> = Vec::new();
+        let mut plane = vec![[0.0f64; LANES]; self.len()];
+        let mut out = Vec::with_capacity(weights.len());
+        for group in weights.chunks(LANES) {
+            self.forward_lanes_layered(group, &cells, threads);
+            for (dst, cell) in plane.iter_mut().zip(cells.iter_mut()) {
+                *dst = *cell.0.get_mut();
+            }
+            self.derivative_lanes(&plane, &mut der, &mut prefix);
+            let mut marginals = vec![vec![(0.0f64, 0.0f64); n]; group.len()];
+            self.accumulate_lit_marginals(group, &der, &mut marginals);
+            let root = plane[self.root as usize];
+            for (lane, m) in marginals.into_iter().enumerate() {
+                out.push((root[lane], m));
+            }
+        }
+        out
+    }
+
+    /// The shared layered forward sweep: spawns `threads` scoped workers;
+    /// worker `t` computes an equal share of each contiguous layer block,
+    /// then waits on a barrier before anyone reads that layer.
+    fn forward_lanes_layered(&self, group: &[&LitWeights], plane: &[ValCell], threads: usize) {
+        let barrier = Barrier::new(threads);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    for l in 0..self.num_layers() {
+                        let (a, b) = (
+                            self.layer_start[l] as usize,
+                            self.layer_start[l + 1] as usize,
+                        );
+                        let len = b - a;
+                        let lo = a + len * t / threads;
+                        let hi = a + len * (t + 1) / threads;
+                        for i in lo..hi {
+                            let v = self.node_lanes(i, group, |ch, lane| {
+                                // SAFETY: `ch` sits in a strictly earlier
+                                // layer, fully written before the previous
+                                // barrier; nobody writes it now.
+                                unsafe { (*plane[ch].0.get())[lane] }
+                            });
+                            // SAFETY: slot `i` belongs to this thread's
+                            // exclusive share of layer `l`; no other
+                            // thread reads it until after the barrier.
+                            unsafe { *plane[i].0.get() = v };
+                        }
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+    use crate::properties::smooth;
+    use trl_core::SplitMix64;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    /// A small smooth d-DNNF: ((x0 ∧ (x1 ∨ ¬x1)) ∨ (¬x0 ∧ x1)).
+    fn small_smooth() -> Circuit {
+        let mut b = CircuitBuilder::new(2);
+        let x0 = b.var(v(0));
+        let x1 = b.var(v(1));
+        let nx0 = b.lit(v(0).negative());
+        let nx1 = b.lit(v(1).negative());
+        let taut = b.or_raw([x1, nx1]);
+        let left = b.and([x0, taut]);
+        let right = b.and([nx0, x1]);
+        let root = b.or_raw([left, right]);
+        b.finish(root)
+    }
+
+    fn skewed(n: usize, seed: u64) -> LitWeights {
+        let mut rng = SplitMix64::new(seed);
+        let mut w = LitWeights::unit(n);
+        for i in 0..n as u32 {
+            let p = 0.05 + 0.9 * rng.uniform();
+            w.set(v(i).positive(), p);
+            w.set(v(i).negative(), 1.0 - p);
+        }
+        w
+    }
+
+    #[test]
+    fn tape_matches_scalar_queries_on_small_circuit() {
+        let c = small_smooth();
+        let tape = EvalTape::new(&c);
+        assert_eq!(tape.num_vars(), 2);
+        assert_eq!(tape.model_count(), c.model_count_presmoothed());
+        let w = skewed(2, 7);
+        assert_eq!(tape.wmc(&w).to_bits(), c.wmc_presmoothed(&w).to_bits());
+        let (total, marg) = tape.marginals(&w);
+        let (total2, marg2) = c.wmc_marginals_presmoothed(&w);
+        assert_eq!(total.to_bits(), total2.to_bits());
+        assert_eq!(marg, marg2);
+    }
+
+    #[test]
+    fn tape_drops_unreachable_nodes() {
+        let mut b = CircuitBuilder::new(2);
+        let x0 = b.var(v(0));
+        let x1 = b.var(v(1));
+        let _orphan = b.and([x0, x1]); // never referenced by the root
+        let nx0 = b.lit(v(0).negative());
+        let root = b.or_raw([x0, nx0]);
+        let c = b.finish(root);
+        let tape = EvalTape::new(&c);
+        assert!(tape.len() < c.node_count());
+        assert_eq!(tape.model_count(), c.model_count_presmoothed());
+    }
+
+    #[test]
+    fn batch_kernels_agree_with_scalar_tape() {
+        let c = smooth(&small_smooth());
+        let tape = EvalTape::new(&c);
+        let weights: Vec<LitWeights> = (0..19).map(|s| skewed(2, 100 + s)).collect();
+        let refs: Vec<&LitWeights> = weights.iter().collect();
+        let batched = tape.wmc_batch(&refs);
+        let layered = tape.wmc_batch_layered(&refs, 3);
+        for (i, w) in weights.iter().enumerate() {
+            let scalar = tape.wmc(w);
+            assert_eq!(batched[i].to_bits(), scalar.to_bits(), "lane {i}");
+            assert_eq!(layered[i].to_bits(), scalar.to_bits(), "layered {i}");
+        }
+        let marg_b = tape.marginals_batch(&refs);
+        let marg_l = tape.marginals_batch_layered(&refs, 3);
+        for (i, w) in weights.iter().enumerate() {
+            let scalar = c.wmc_marginals_presmoothed(w);
+            assert_eq!(marg_b[i].0.to_bits(), scalar.0.to_bits());
+            assert_eq!(marg_b[i].1, scalar.1);
+            assert_eq!(marg_l[i].0.to_bits(), scalar.0.to_bits());
+            assert_eq!(marg_l[i].1, scalar.1);
+        }
+    }
+
+    #[test]
+    fn evidence_counts_match_conditioning() {
+        let c = small_smooth();
+        let tape = EvalTape::new(&c);
+        let mut pa = PartialAssignment::new(2);
+        assert_eq!(tape.model_count_under(&pa), 3);
+        pa.assign(v(0).positive());
+        assert_eq!(tape.model_count_under(&pa), 2);
+        assert_eq!(
+            tape.model_count_under(&pa),
+            c.model_count_under_presmoothed(&pa)
+        );
+        let mut pb = PartialAssignment::new(2);
+        pb.assign(v(0).negative());
+        pb.assign(v(1).negative());
+        let empty = PartialAssignment::new(2);
+        let batch = tape.model_count_under_batch(&[&empty, &pa, &pb]);
+        assert_eq!(batch, vec![3, 2, 0]);
+    }
+
+    #[test]
+    fn single_node_circuits_linearize() {
+        type Build = fn(&mut CircuitBuilder) -> NnfId;
+        let cases: [(Build, u128); 2] = [(|b| b.true_(), 2), (|b| b.false_(), 0)];
+        for (build, expect) in cases {
+            let mut b = CircuitBuilder::new(1);
+            let root = build(&mut b);
+            let c = b.finish(root);
+            let tape = EvalTape::new(&smooth(&c));
+            assert!(!tape.is_empty());
+            assert_eq!(tape.model_count(), expect);
+            let unit = LitWeights::unit(1);
+            assert_eq!(tape.wmc_batch_layered(&[&unit], 2), vec![expect as f64]);
+        }
+    }
+}

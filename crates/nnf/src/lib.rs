@@ -19,16 +19,24 @@
 //!   smoothness and structuredness, exhaustive determinism checking for
 //!   test-sized circuits, and the smoothing transform;
 //! * [`queries`] — the polytime queries themselves: SAT on DNNF, model
-//!   counting / weighted model counting (Fig. 8) / MPE / all-marginals on
-//!   smooth d-DNNF, model enumeration, and minimum cardinality.
+//!   counting (optionally under evidence) / weighted model counting
+//!   (Fig. 8) / MPE / all-marginals on smooth d-DNNF, model enumeration,
+//!   and minimum cardinality;
+//! * [`kernel`] — the serving-grade evaluation kernels: the reachable
+//!   arena linearized into a layer-ordered instruction tape
+//!   ([`EvalTape`]), swept by scalar, lane-batched ([`LANES`] queries per
+//!   scan), and layer-parallel kernels whose answers are bit-identical to
+//!   the scalar [`queries`].
 
 pub mod circuit;
+pub mod kernel;
 pub mod properties;
 pub mod queries;
 pub mod sample;
 pub mod taxonomy;
 
 pub use circuit::{Circuit, CircuitBuilder, NnfId, NnfNode};
+pub use kernel::{EvalTape, LANES};
 pub use properties::smooth;
 pub use queries::LitWeights;
 pub use sample::ModelSampler;

@@ -11,7 +11,7 @@
 
 use crate::circuit::{Circuit, NnfId, NnfNode};
 use crate::properties::smooth;
-use trl_core::{Assignment, Lit, Var};
+use trl_core::{Assignment, Lit, PartialAssignment, Var};
 
 /// Literal weights for weighted model counting: `W(x)` and `W(¬x)` per
 /// variable. `#SAT` is the special case where every weight is 1 (§2.1).
@@ -97,6 +97,33 @@ impl Circuit {
             val[id.index()] = match self.node(id) {
                 NnfNode::True | NnfNode::Lit(_) => 1,
                 NnfNode::False => 0,
+                NnfNode::And(xs) => xs.iter().map(|x| val[x.index()]).product(),
+                NnfNode::Or(xs) => xs.iter().map(|x| val[x.index()]).sum(),
+            };
+        }
+        val[self.root().index()]
+    }
+
+    /// Model count under evidence: the number of models (over the full
+    /// universe) consistent with the given partial assignment. Requires
+    /// decomposability and determinism; smooths internally. This is WMC
+    /// with 0/1 weights, kept in exact `u128` arithmetic.
+    pub fn model_count_under(&self, pa: &PartialAssignment) -> u128 {
+        smooth(self).model_count_under_presmoothed(pa)
+    }
+
+    /// [`Circuit::model_count_under`] assuming the circuit is **already
+    /// smooth** with the root covering the full universe — one bottom-up
+    /// pass, no copies. Evidence literals decided against by `pa` count 0;
+    /// everything else counts 1.
+    pub fn model_count_under_presmoothed(&self, pa: &PartialAssignment) -> u128 {
+        debug_assert!(pa.len() >= self.num_vars());
+        let mut val = vec![0u128; self.node_count()];
+        for id in self.ids() {
+            val[id.index()] = match self.node(id) {
+                NnfNode::True => 1,
+                NnfNode::False => 0,
+                NnfNode::Lit(l) => (pa.eval(*l) != Some(false)) as u128,
                 NnfNode::And(xs) => xs.iter().map(|x| val[x.index()]).product(),
                 NnfNode::Or(xs) => xs.iter().map(|x| val[x.index()]).sum(),
             };

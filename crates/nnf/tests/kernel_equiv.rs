@@ -1,0 +1,160 @@
+//! Bit-identity of the evaluation kernels against the scalar queries,
+//! across the crosscheck corpus.
+//!
+//! Every kernel variant — tape scalar, lane-batched, layer-parallel — must
+//! return answers **bit-identical** (`f64::to_bits`, exact `u128` equality)
+//! to the corresponding `queries.rs` entry point on the same smoothed
+//! circuit: WMC, model count, model count under evidence, and marginals.
+//! The corpus is the same 50 deterministic instances the compiler's
+//! crosscheck suite sweeps, so any divergence pins to a seed.
+
+use trl_compiler::DecisionDnnfCompiler;
+use trl_core::{PartialAssignment, SplitMix64, Var};
+use trl_nnf::{smooth, Circuit, EvalTape, LitWeights, LANES};
+
+/// Per-variable weights skewed away from 1 so products differ per lane and
+/// rounding is actually exercised.
+fn skewed_weights(n: usize, seed: u64) -> LitWeights {
+    let mut rng = SplitMix64::new(seed);
+    let mut w = LitWeights::unit(n);
+    for v in 0..n as u32 {
+        let p = 0.05 + 0.9 * rng.uniform();
+        w.set(Var(v).positive(), p);
+        w.set(Var(v).negative(), 1.0 - p);
+    }
+    w
+}
+
+/// Deterministic evidence: a couple of assigned variables per instance.
+fn evidence(n: usize, i: usize) -> PartialAssignment {
+    let mut pa = PartialAssignment::new(n);
+    pa.assign(Var(0).literal(i.is_multiple_of(2)));
+    if n > 2 {
+        pa.assign(Var((1 + i % (n - 1)) as u32).literal(!i.is_multiple_of(3)));
+    }
+    pa
+}
+
+fn corpus() -> Vec<(usize, Circuit)> {
+    let mut rng = SplitMix64::new(0x5eed_c0de);
+    let compiler = DecisionDnnfCompiler::default();
+    (0..50)
+        .map(|i| {
+            let n = 4 + (i % 10);
+            let m = 2 + ((i * 7) % (3 * n + 4));
+            let cnf = trl_prop::gen::random_cnf(&mut rng, n, m, 4);
+            (n, compiler.compile(&cnf))
+        })
+        .collect()
+}
+
+#[test]
+fn wmc_kernels_bit_match_scalar_queries() {
+    for (i, (n, circuit)) in corpus().into_iter().enumerate() {
+        let smoothed = smooth(&circuit);
+        let tape = EvalTape::new(&smoothed);
+        // An awkward batch size: crosses one lane-group boundary.
+        let weights: Vec<LitWeights> = (0..LANES + 3)
+            .map(|k| skewed_weights(n, (i * 1000 + k) as u64))
+            .collect();
+        let refs: Vec<&LitWeights> = weights.iter().collect();
+
+        let expect: Vec<u64> = weights
+            .iter()
+            .map(|w| smoothed.wmc_presmoothed(w).to_bits())
+            .collect();
+        let tape_scalar: Vec<u64> = weights.iter().map(|w| tape.wmc(w).to_bits()).collect();
+        let batched: Vec<u64> = tape.wmc_batch(&refs).iter().map(|x| x.to_bits()).collect();
+        let layered: Vec<u64> = tape
+            .wmc_batch_layered(&refs, 3)
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        assert_eq!(tape_scalar, expect, "instance {i}: tape scalar diverged");
+        assert_eq!(batched, expect, "instance {i}: lane-batched diverged");
+        assert_eq!(layered, expect, "instance {i}: layer-parallel diverged");
+    }
+}
+
+#[test]
+fn counting_kernels_match_scalar_queries() {
+    for (i, (n, circuit)) in corpus().into_iter().enumerate() {
+        let smoothed = smooth(&circuit);
+        let tape = EvalTape::new(&smoothed);
+        assert_eq!(
+            tape.model_count(),
+            smoothed.model_count_presmoothed(),
+            "instance {i}"
+        );
+        let pa = evidence(n, i);
+        let empty = PartialAssignment::new(n);
+        assert_eq!(
+            tape.model_count_under(&pa),
+            smoothed.model_count_under_presmoothed(&pa),
+            "instance {i}"
+        );
+        assert_eq!(
+            tape.model_count_under_batch(&[&empty, &pa, &empty, &pa]),
+            vec![
+                smoothed.model_count_presmoothed(),
+                smoothed.model_count_under_presmoothed(&pa),
+                smoothed.model_count_presmoothed(),
+                smoothed.model_count_under_presmoothed(&pa),
+            ],
+            "instance {i}"
+        );
+    }
+}
+
+#[test]
+fn marginal_kernels_bit_match_scalar_queries() {
+    let as_bits = |(wmc, marg): &(f64, Vec<(f64, f64)>)| -> (u64, Vec<(u64, u64)>) {
+        (
+            wmc.to_bits(),
+            marg.iter()
+                .map(|(p, q)| (p.to_bits(), q.to_bits()))
+                .collect(),
+        )
+    };
+    for (i, (n, circuit)) in corpus().into_iter().enumerate() {
+        let smoothed = smooth(&circuit);
+        let tape = EvalTape::new(&smoothed);
+        let weights: Vec<LitWeights> = (0..LANES + 1)
+            .map(|k| skewed_weights(n, (7 * i + k + 1) as u64))
+            .collect();
+        let refs: Vec<&LitWeights> = weights.iter().collect();
+
+        let expect: Vec<_> = weights
+            .iter()
+            .map(|w| as_bits(&smoothed.wmc_marginals_presmoothed(w)))
+            .collect();
+        let tape_scalar: Vec<_> = weights
+            .iter()
+            .map(|w| as_bits(&tape.marginals(w)))
+            .collect();
+        let batched: Vec<_> = tape.marginals_batch(&refs).iter().map(as_bits).collect();
+        let layered: Vec<_> = tape
+            .marginals_batch_layered(&refs, 3)
+            .iter()
+            .map(as_bits)
+            .collect();
+        assert_eq!(tape_scalar, expect, "instance {i}: tape scalar diverged");
+        assert_eq!(batched, expect, "instance {i}: lane-batched diverged");
+        assert_eq!(layered, expect, "instance {i}: layer-parallel diverged");
+    }
+}
+
+#[test]
+fn tape_layers_are_topological_and_root_is_last() {
+    for (i, (_, circuit)) in corpus().into_iter().enumerate() {
+        let smoothed = smooth(&circuit);
+        let tape = EvalTape::new(&smoothed);
+        assert!(!tape.is_empty(), "instance {i}");
+        assert!(
+            tape.len() <= smoothed.node_count(),
+            "instance {i}: tape holds only reachable nodes"
+        );
+        assert!(tape.num_layers() >= 1, "instance {i}");
+        assert_eq!(tape.num_vars(), smoothed.num_vars(), "instance {i}");
+    }
+}

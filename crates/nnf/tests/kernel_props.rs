@@ -1,0 +1,163 @@
+//! Randomized property tests for the evaluation kernels: on random CNFs
+//! with random (sometimes zero) weights, random evidence, random batch
+//! sizes, and random thread counts, every kernel variant must stay
+//! bit-identical to the scalar queries.
+//!
+//! Zero weights matter: they drive node values — and therefore derivative
+//! flows — to exact `0.0`, exercising the marginal kernels' zero-skip path,
+//! which is where an execution-order difference would first show up.
+//!
+//! Gated behind the `proptest` feature (default on): `cargo test -p trl-nnf
+//! --no-default-features` skips the randomized sweeps. Instances come from
+//! the workspace's deterministic generator — on failure, rerun with the
+//! seed printed in the assertion message.
+#![cfg(feature = "proptest")]
+
+use trl_compiler::DecisionDnnfCompiler;
+use trl_core::{PartialAssignment, SplitMix64, Var};
+use trl_nnf::{smooth, EvalTape, LitWeights, LANES};
+
+const CASES: u64 = 60;
+
+/// Random weights; roughly one literal in six weighs exactly zero.
+fn random_weights(rng: &mut SplitMix64, n: usize) -> LitWeights {
+    let mut w = LitWeights::unit(n);
+    for v in 0..n as u32 {
+        for lit in [Var(v).positive(), Var(v).negative()] {
+            let x = if rng.below(6) == 0 {
+                0.0
+            } else {
+                3.0 * rng.uniform()
+            };
+            w.set(lit, x);
+        }
+    }
+    w
+}
+
+fn random_evidence(rng: &mut SplitMix64, n: usize) -> PartialAssignment {
+    let mut pa = PartialAssignment::new(n);
+    for v in 0..n as u32 {
+        match rng.below(3) {
+            0 => pa.assign(Var(v).positive()),
+            1 => pa.assign(Var(v).negative()),
+            _ => {}
+        }
+    }
+    pa
+}
+
+#[test]
+fn kernels_bit_match_scalar_on_random_instances() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let n = 3 + rng.below(8);
+        let m = 1 + rng.below(3 * n + 1);
+        let k = 2 + rng.below(3);
+        let cnf = trl_prop::gen::random_cnf(&mut rng, n, m, k);
+        let circuit = DecisionDnnfCompiler::default().compile(&cnf);
+        let smoothed = smooth(&circuit);
+        let tape = EvalTape::new(&smoothed);
+
+        let batch = 1 + rng.below(3 * LANES);
+        let threads = 2 + rng.below(3);
+        let weights: Vec<LitWeights> = (0..batch).map(|_| random_weights(&mut rng, n)).collect();
+        let refs: Vec<&LitWeights> = weights.iter().collect();
+
+        // WMC, all variants.
+        let expect: Vec<u64> = weights
+            .iter()
+            .map(|w| smoothed.wmc_presmoothed(w).to_bits())
+            .collect();
+        let scalar: Vec<u64> = weights.iter().map(|w| tape.wmc(w).to_bits()).collect();
+        let batched: Vec<u64> = tape.wmc_batch(&refs).iter().map(|x| x.to_bits()).collect();
+        let layered: Vec<u64> = tape
+            .wmc_batch_layered(&refs, threads)
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        assert_eq!(scalar, expect, "seed {seed}: tape wmc");
+        assert_eq!(batched, expect, "seed {seed}: wmc_batch");
+        assert_eq!(layered, expect, "seed {seed}: wmc_batch_layered({threads})");
+
+        // Marginals, all variants, all literals bit-for-bit.
+        let expect: Vec<(u64, Vec<(u64, u64)>)> = weights
+            .iter()
+            .map(|w| {
+                let (wmc, marg) = smoothed.wmc_marginals_presmoothed(w);
+                (
+                    wmc.to_bits(),
+                    marg.iter()
+                        .map(|(p, q)| (p.to_bits(), q.to_bits()))
+                        .collect(),
+                )
+            })
+            .collect();
+        for (name, got) in [
+            (
+                "marginals",
+                weights
+                    .iter()
+                    .map(|w| tape.marginals(w))
+                    .collect::<Vec<_>>(),
+            ),
+            ("marginals_batch", tape.marginals_batch(&refs)),
+            (
+                "marginals_batch_layered",
+                tape.marginals_batch_layered(&refs, threads),
+            ),
+        ] {
+            let got: Vec<(u64, Vec<(u64, u64)>)> = got
+                .iter()
+                .map(|(wmc, marg)| {
+                    (
+                        wmc.to_bits(),
+                        marg.iter()
+                            .map(|(p, q)| (p.to_bits(), q.to_bits()))
+                            .collect(),
+                    )
+                })
+                .collect();
+            assert_eq!(got, expect, "seed {seed}: {name}");
+        }
+
+        // Counting, plain and under random evidence.
+        assert_eq!(
+            tape.model_count(),
+            smoothed.model_count_presmoothed(),
+            "seed {seed}"
+        );
+        let evidence: Vec<PartialAssignment> =
+            (0..batch).map(|_| random_evidence(&mut rng, n)).collect();
+        let erefs: Vec<&PartialAssignment> = evidence.iter().collect();
+        let expect: Vec<u128> = evidence
+            .iter()
+            .map(|pa| smoothed.model_count_under_presmoothed(pa))
+            .collect();
+        let scalar: Vec<u128> = evidence
+            .iter()
+            .map(|pa| tape.model_count_under(pa))
+            .collect();
+        assert_eq!(scalar, expect, "seed {seed}: model_count_under");
+        assert_eq!(
+            tape.model_count_under_batch(&erefs),
+            expect,
+            "seed {seed}: model_count_under_batch"
+        );
+
+        // Evidence counting agrees with brute-force model filtering.
+        let models = smoothed.enumerate_models();
+        for (pa, &count) in evidence.iter().zip(&expect) {
+            let brute = models
+                .iter()
+                .filter(|m| {
+                    (0..n).all(|v| {
+                        pa.value(Var(v as u32))
+                            .is_none_or(|want| m.value(Var(v as u32)) == want)
+                    })
+                })
+                .count() as u128;
+            assert_eq!(count, brute, "seed {seed}: evidence count vs enumeration");
+        }
+    }
+}

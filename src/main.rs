@@ -3,24 +3,31 @@
 //! ```text
 //! three-roles compile <cnf> [-o ARTIFACT] [--text] [--emit-vtree PATH] [--stats]
 //! three-roles query <artifact> [--count] [--sat] [--wmc] [--marginals] [--mpe]
-//!                   [--weight LIT=W]... [--workers N] [--trust]
+//!                   [--weight LIT=W]... [--under LIT]... [--batch FILE]
+//!                   [--workers N] [--trust]
 //! three-roles bench-serve <cnf> [-o PATH] [--queries N] [--seed S]
+//! three-roles bench-eval <cnf> [-o PATH] [--queries N] [--seed S]
 //! ```
 //!
 //! `compile` turns a DIMACS CNF into a persisted d-DNNF artifact — the
 //! checksummed binary format by default, the c2d-compatible `.nnf` text
 //! format with `--text`. `query` loads an artifact (picking the reader by
 //! `.nnf` extension), re-verifies the d-DNNF properties unless `--trust`,
-//! and answers the requested queries through the batched executor. `bench-serve`
-//! runs the serving benchmark and writes `BENCH_engine.json`.
+//! and answers the requested queries through the batched executor — either
+//! from flags or, with `--batch`, from a file of one query per line (which
+//! exercises the lane-batched kernel path: same-kind queries are grouped
+//! into shared tape sweeps). `bench-serve` runs the serving benchmark and
+//! writes `BENCH_engine.json`; `bench-eval` runs the kernel-variant
+//! benchmark and writes `BENCH_eval.json`.
 
 use std::process::ExitCode;
 
 use three_roles::compiler::DecisionDnnfCompiler;
+use three_roles::core::PartialAssignment;
 use three_roles::core::{Lit, Var};
 use three_roles::engine::{
-    load_binary, load_nnf, save_binary, save_nnf, save_vtree, serving_benchmark, Executor, Query,
-    QueryAnswer, Validation,
+    eval_benchmark, load_binary, load_nnf, save_binary, save_nnf, save_vtree, serving_benchmark,
+    Executor, Query, QueryAnswer, Validation,
 };
 use three_roles::nnf::{Circuit, LitWeights};
 use three_roles::prop::Cnf;
@@ -36,6 +43,7 @@ fn main() -> ExitCode {
         "compile" => cmd_compile(rest),
         "query" => cmd_query(rest),
         "bench-serve" => cmd_bench_serve(rest),
+        "bench-eval" => cmd_bench_eval(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -57,8 +65,10 @@ three-roles — tractable circuits: compile once, query many
 USAGE:
   three-roles compile <cnf> [-o ARTIFACT] [--text] [--emit-vtree PATH] [--stats]
   three-roles query <artifact> [--count] [--sat] [--wmc] [--marginals] [--mpe]
-                    [--weight LIT=W]... [--workers N] [--trust]
+                    [--weight LIT=W]... [--under LIT]... [--batch FILE]
+                    [--workers N] [--trust]
   three-roles bench-serve <cnf> [-o PATH] [--queries N] [--seed S]
+  three-roles bench-eval <cnf> [-o PATH] [--queries N] [--seed S]
 
 COMPILE:
   -o ARTIFACT        output path (default: input with .trlc / .nnf extension)
@@ -74,12 +84,25 @@ QUERY (artifacts ending in .nnf use the text reader, anything else binary):
   --mpe              maximum-weight model (MPE under probability weights)
   --weight LIT=W     set a DIMACS literal's weight (e.g. --weight -3=0.2);
                      unset literals weigh 1
+  --under LIT        model count under evidence: assert a DIMACS literal
+                     (repeatable; implies a count-under-evidence query)
+  --batch FILE       answer one query per line from FILE; lines are
+                       sat | count [LIT...] | wmc [LIT=W...] |
+                       marginals [LIT=W...] | mpe [LIT=W...]
+                     ('count 1 -3' counts models with x1 true, x3 false;
+                      blank lines and '#' comments are skipped). Same-kind
+                     queries are grouped into shared lane-batched sweeps.
   --workers N        executor worker threads (default 1)
   --trust            skip d-DNNF property re-verification on load
 
 BENCH-SERVE:
   -o PATH            where to write the JSON report (default BENCH_engine.json)
   --queries N        queries per configuration (default 256)
+  --seed S           query-stream seed (default 0x5eed)
+
+BENCH-EVAL:
+  -o PATH            where to write the JSON report (default BENCH_eval.json)
+  --queries N        WMC queries in the stream (default 1024)
   --seed S           query-stream seed (default 0x5eed)
 ";
 
@@ -183,17 +206,91 @@ fn load_artifact(path: &str, validation: Validation) -> Result<Circuit, String> 
     loaded.map_err(|e| format!("loading {path}: {e}"))
 }
 
+/// Parses a non-zero DIMACS literal, e.g. `-3`.
+fn parse_dimacs_lit(s: &str) -> Result<Lit, String> {
+    let lit: i64 = parse_num(s, "DIMACS literal")?;
+    if lit == 0 {
+        return Err("literal 0 names no variable".into());
+    }
+    let var = Var((lit.unsigned_abs() - 1) as u32);
+    Ok(var.literal(lit > 0))
+}
+
 /// Parses `LIT=W` with a DIMACS literal, e.g. `-3=0.2`.
 fn parse_weight(spec: &str) -> Result<(Lit, f64), String> {
     let (lit, w) = spec
         .split_once('=')
         .ok_or_else(|| format!("--weight expects LIT=W, got '{spec}'"))?;
-    let lit: i64 = parse_num(lit, "DIMACS literal")?;
-    if lit == 0 {
-        return Err("literal 0 has no weight".into());
+    Ok((parse_dimacs_lit(lit)?, parse_num(w, "weight")?))
+}
+
+/// Builds a [`LitWeights`] table over `n` variables from `LIT=W` pairs.
+fn weighted(w: &[(Lit, f64)], n: usize) -> LitWeights {
+    let mut lw = LitWeights::unit(n);
+    for &(l, x) in w {
+        lw.set(l, x);
     }
-    let var = Var((lit.unsigned_abs() - 1) as u32);
-    Ok((var.literal(lit > 0), parse_num(w, "weight")?))
+    lw
+}
+
+/// Parses one `--batch` file line into a query, or `None` for blank and
+/// comment lines. Grammar (DIMACS literals throughout):
+/// `sat` | `count [LIT...]` | `wmc [LIT=W...]` | `marginals [LIT=W...]`
+/// | `mpe [LIT=W...]`.
+fn parse_batch_line(line: &str, n: usize) -> Result<Option<Query>, String> {
+    let line = line.split('#').next().unwrap_or("").trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let mut tokens = line.split_whitespace();
+    let kind = tokens.next().expect("non-empty line has a first token");
+    let rest: Vec<&str> = tokens.collect();
+    let weights = |rest: &[&str]| -> Result<LitWeights, String> {
+        let mut spec = Vec::new();
+        for tok in rest {
+            spec.push(parse_weight(tok)?);
+        }
+        check_weight_vars(&spec, n)?;
+        Ok(weighted(&spec, n))
+    };
+    let query = match kind {
+        "sat" if rest.is_empty() => Query::Sat,
+        "sat" => return Err(format!("sat takes no arguments, got {rest:?}")),
+        "count" if rest.is_empty() => Query::ModelCount,
+        "count" => {
+            let mut pa = PartialAssignment::new(n);
+            for tok in &rest {
+                let l = parse_dimacs_lit(tok)?;
+                if l.var().index() >= n {
+                    return Err(format!("literal {tok} outside the circuit's {n} variables"));
+                }
+                pa.assign(l);
+            }
+            Query::ModelCountUnder(pa)
+        }
+        "wmc" => Query::Wmc(weights(&rest)?),
+        "marginals" => Query::Marginals(weights(&rest)?),
+        "mpe" => Query::MaxWeight(weights(&rest)?),
+        other => {
+            return Err(format!(
+                "unknown query '{other}' (expected sat, count, wmc, marginals, or mpe)"
+            ))
+        }
+    };
+    Ok(Some(query))
+}
+
+/// Rejects weight specs naming variables outside the circuit's universe.
+fn check_weight_vars(spec: &[(Lit, f64)], n: usize) -> Result<(), String> {
+    for &(l, _) in spec {
+        if l.var().index() >= n {
+            return Err(format!(
+                "literal {} outside the circuit's {n} variables",
+                l.var().index() + 1
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
@@ -202,6 +299,11 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     while let Some(spec) = take_value(&mut args, "--weight")? {
         weights_spec.push(parse_weight(&spec)?);
     }
+    let mut under_spec = Vec::new();
+    while let Some(spec) = take_value(&mut args, "--under")? {
+        under_spec.push(parse_dimacs_lit(&spec)?);
+    }
+    let batch_path = take_value(&mut args, "--batch")?;
     let workers = match take_value(&mut args, "--workers")? {
         Some(n) => parse_num(&n, "worker count")?,
         None => 1usize,
@@ -212,13 +314,6 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         Validation::Full
     };
     let mut queries = Vec::new();
-    let weighted = |w: &[(Lit, f64)], n: usize| {
-        let mut lw = LitWeights::unit(n);
-        for &(l, x) in w {
-            lw.set(l, x);
-        }
-        lw
-    };
     // Flag order in `queries` mirrors the fixed check order below.
     let want_count = take_flag(&mut args, "--count");
     let want_sat = take_flag(&mut args, "--sat");
@@ -229,15 +324,22 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 
     let circuit = load_artifact(&artifact, validation)?;
     let n = circuit.num_vars();
-    for &(l, _) in &weights_spec {
+    check_weight_vars(&weights_spec, n).map_err(|e| format!("--weight {e}"))?;
+    for l in &under_spec {
         if l.var().index() >= n {
             return Err(format!(
-                "--weight literal {} outside the circuit's {n} variables",
+                "--under literal {} outside the circuit's {n} variables",
                 l.var().index() + 1
             ));
         }
     }
-    if want_count || !(want_sat || want_wmc || want_marginals || want_mpe) {
+    let any_other = want_sat
+        || want_wmc
+        || want_marginals
+        || want_mpe
+        || !under_spec.is_empty()
+        || batch_path.is_some();
+    if want_count || !any_other {
         queries.push(Query::ModelCount);
     }
     if want_sat {
@@ -252,6 +354,23 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if want_mpe {
         queries.push(Query::MaxWeight(weighted(&weights_spec, n)));
     }
+    if !under_spec.is_empty() {
+        let mut pa = PartialAssignment::new(n);
+        for &l in &under_spec {
+            pa.assign(l);
+        }
+        queries.push(Query::ModelCountUnder(pa));
+    }
+    if let Some(path) = &batch_path {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        for (lineno, line) in text.lines().enumerate() {
+            if let Some(q) =
+                parse_batch_line(line, n).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?
+            {
+                queries.push(q);
+            }
+        }
+    }
 
     let prepared = std::sync::Arc::new(three_roles::engine::PreparedCircuit::new(circuit));
     let executor = Executor::new(workers);
@@ -259,7 +378,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         .try_run_batch(&prepared, queries.clone())
         .map_err(|e| e.to_string())?;
     for (query, outcome) in queries.iter().zip(outcomes) {
-        print!("{:<12}", query.kind());
+        print!("{:<19}", query.kind());
         match outcome.answer {
             QueryAnswer::Sat(yes) => print!("{}", if yes { "SAT" } else { "UNSAT" }),
             QueryAnswer::ModelCount(c) => print!("{c}"),
@@ -314,6 +433,32 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
         "bench-serve {input}: baseline {:.0} qps; best batched multi-worker speedup {:.2}x; report -> {out}",
         report.baseline_qps,
         report.best_batched_multiworker_speedup()
+    );
+    Ok(())
+}
+
+fn cmd_bench_eval(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let out = take_value(&mut args, "-o")?.unwrap_or_else(|| "BENCH_eval.json".into());
+    let queries = match take_value(&mut args, "--queries")? {
+        Some(n) => parse_num(&n, "query count")?,
+        None => 1024usize,
+    };
+    let seed = match take_value(&mut args, "--seed")? {
+        Some(s) => parse_num(&s, "seed")?,
+        None => 0x5eedu64,
+    };
+    let input = take_positional(args, "input CNF path")?;
+
+    let cnf = read_cnf(&input)?;
+    let circuit = DecisionDnnfCompiler::default().compile(&cnf);
+    let layer_threads = std::thread::available_parallelism().map_or(2, |p| p.get().max(2));
+    let report = eval_benchmark(&input, &circuit, queries, seed, layer_threads);
+    std::fs::write(&out, report.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "bench-eval {input}: lane-batched speedup {:.2}x over scalar; identical={}; report -> {out}",
+        report.lane_batched_speedup(),
+        report.all_identical()
     );
     Ok(())
 }
