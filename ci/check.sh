@@ -4,7 +4,9 @@
 #
 #   ci/check.sh          # clippy (all targets, warnings are errors), fmt,
 #                        # no-default-features build+test, docs (warnings
-#                        # are errors), kernel perf smoke (bench_eval --smoke)
+#                        # are errors), kernel perf smoke (bench_eval --smoke),
+#                        # network serving smoke (serve/client round trip
+#                        # diffed against local answers + bench_net --smoke)
 #   ci/check.sh --fix    # apply clippy suggestions and rustfmt in place
 #
 # The same commands run in CI; keep them byte-for-byte in sync.
@@ -32,5 +34,44 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 # like the scalar queries and must never be *slower* than them (sanity
 # floor — the tight >=4x gate lives in the full bench_eval run).
 cargo run --release --quiet -p trl-bench --bin bench_eval -- --smoke
+
+# Net smoke: a real server on an ephemeral port must answer every query
+# kind over the wire byte-identically to the local CLI (up to the latency
+# suffix), and the closed-loop load generator must pass its bit-identity
+# and typed-overload criteria.
+cargo build --release --quiet --bin three-roles
+cargo build --release --quiet -p trl-bench --bin bench_net
+net_dir="$(mktemp -d)"
+trap 'kill "${serve_pid:-}" 2>/dev/null; rm -rf "$net_dir"' EXIT
+printf 'p cnf 6 7\n1 2 0\n-1 3 0\n-2 -4 0\n4 5 0\n-5 6 0\n2 -6 0\n1 -3 5 0\n' \
+    > "$net_dir/smoke.cnf"
+target/release/three-roles serve 127.0.0.1:0 --workers 2 \
+    > "$net_dir/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q '^listening on ' "$net_dir/serve.log" && break
+    sleep 0.1
+done
+addr="$(sed -n 's/^listening on //p' "$net_dir/serve.log" | head -n 1)"
+[[ -n "$addr" ]] || { echo "net-smoke: server never came up" >&2; exit 1; }
+net_flags=(--sat --count --wmc --marginals --mpe
+           --weight 1=0.3 --weight -1=0.7 --under 2)
+target/release/three-roles client "$addr" ping > /dev/null
+target/release/three-roles client "$addr" query "$net_dir/smoke.cnf" \
+    "${net_flags[@]}" > "$net_dir/net.out"
+target/release/three-roles compile "$net_dir/smoke.cnf" \
+    -o "$net_dir/smoke.trlc" > /dev/null
+target/release/three-roles query "$net_dir/smoke.trlc" \
+    "${net_flags[@]}" > "$net_dir/local.out"
+sed 's/ *([0-9.]* us)$//' "$net_dir/net.out"   > "$net_dir/net.stripped"
+sed 's/ *([0-9.]* us)$//' "$net_dir/local.out" > "$net_dir/local.stripped"
+if ! diff "$net_dir/local.stripped" "$net_dir/net.stripped"; then
+    echo "net-smoke: networked answers differ from local answers" >&2
+    exit 1
+fi
+target/release/three-roles client "$addr" shutdown > /dev/null
+wait "$serve_pid"
+unset serve_pid
+target/release/bench_net --smoke
 
 echo "ci/check.sh: OK"

@@ -1,0 +1,298 @@
+//! Networked serving benchmark: a closed-loop multi-connection load
+//! generator over the `trl-server` TCP frontend, written to
+//! `BENCH_net.json` at the repository root. Run with
+//! `cargo run --release -p trl-bench --bin bench_net`; pass `--smoke`
+//! for the fast CI sanity leg (shorter stream, no JSON).
+//!
+//! Three phases. **Load**: 8 client connections each drive the same
+//! deterministic query stream (every query kind, varying weights and
+//! evidence) closed-loop — one request in flight per connection — against
+//! a server on an ephemeral port; every networked answer is compared
+//! bit-for-bit against the in-process executor's answer computed up
+//! front, and per-request wall latencies feed nearest-rank p50/p95/p99.
+//! **Overload**: a second server with a 2-slot submission queue and one
+//! worker receives batches wider than the whole queue; every rejection
+//! must be the typed `overloaded` error on a connection that then goes on
+//! to serve a normal request — no dropped connections, no panics.
+//! **Shutdown**: the load server drains through its handle and reports
+//! final counters.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use trl_bench::{banner, check, random_3cnf, row, section, Rng};
+use trl_compiler::DecisionDnnfCompiler;
+use trl_core::{PartialAssignment, Var};
+use trl_engine::{Engine, Executor, LatencySummary, PreparedCircuit, Query, QueryAnswer};
+use trl_nnf::LitWeights;
+use trl_prop::Cnf;
+use trl_server::{Client, ClientError, Server, ServerConfig, WireError};
+
+/// Concurrent client connections in the load phase.
+const CONNECTIONS: usize = 8;
+/// Requests per connection in the full benchmark.
+const REQUESTS_PER_CONN: usize = 256;
+/// Requests per connection under `--smoke`.
+const SMOKE_REQUESTS_PER_CONN: usize = 24;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    banner(
+        "bench_net",
+        "networked serving: throughput + tail latency over TCP (BENCH_net.json)",
+        "8 closed-loop connections complete 100% bit-identical to in-process",
+    );
+
+    let instance = "random_3cnf(seed=18, n=18, m=54)";
+    let cnf = random_3cnf(&mut Rng::new(18), 18, 54);
+    let per_conn = if smoke {
+        SMOKE_REQUESTS_PER_CONN
+    } else {
+        REQUESTS_PER_CONN
+    };
+    let stream = query_stream(cnf.num_vars(), per_conn, 0x5eed_0004);
+
+    // In-process ground truth (and a single-worker baseline for context):
+    // the server must reproduce these answers bit-for-bit over the wire.
+    let prepared = Arc::new(PreparedCircuit::new(
+        DecisionDnnfCompiler::default().compile(&cnf),
+    ));
+    let baseline = Executor::new(1);
+    let start = Instant::now();
+    let expected: Vec<QueryAnswer> = baseline
+        .run_batch(&prepared, stream.clone())
+        .into_iter()
+        .map(|o| o.answer)
+        .collect();
+    let inprocess_qps = stream.len() as f64 / start.elapsed().as_secs_f64();
+    drop(baseline);
+    drop(prepared);
+
+    // Load phase: CONNECTIONS closed-loop clients over real sockets.
+    let engine = Arc::new(Engine::new(1 << 22, None));
+    let handle = Server::bind("127.0.0.1:0", engine, ServerConfig::default()).expect("bind server");
+    let addr = handle.addr();
+
+    let start = Instant::now();
+    let mut clients = Vec::new();
+    for _ in 0..CONNECTIONS {
+        let cnf = cnf.clone();
+        let stream = stream.clone();
+        let expected = expected.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut latencies_us = Vec::with_capacity(stream.len());
+            let mut mismatches = 0usize;
+            let mut client = Client::connect(addr).expect("connect");
+            let key = client.compile(&cnf).expect("server-side compile").key;
+            for (query, want) in stream.into_iter().zip(&expected) {
+                let sent = Instant::now();
+                let got = client.query(key, query).expect("query");
+                latencies_us.push(sent.elapsed().as_secs_f64() * 1e6);
+                if &got != want {
+                    mismatches += 1;
+                }
+            }
+            (latencies_us, mismatches)
+        }));
+    }
+    let mut latencies_us = Vec::new();
+    let mut mismatches = 0usize;
+    for c in clients {
+        let (lat, mis) = c.join().expect("client thread");
+        latencies_us.extend(lat);
+        mismatches += mis;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let requests = latencies_us.len();
+    let net_qps = requests as f64 / elapsed;
+    let latency = LatencySummary::from_us(&mut latencies_us);
+    let counters = handle.shutdown();
+
+    section(instance);
+    row("connections", CONNECTIONS);
+    row("requests", requests);
+    row(
+        "in-process 1-worker baseline",
+        format!("{inprocess_qps:.0} qps"),
+    );
+    row(
+        "networked closed-loop",
+        format!(
+            "{net_qps:.0} qps, p50 {:.1} us, p95 {:.1} us, p99 {:.1} us",
+            latency.p50_us, latency.p95_us, latency.p99_us
+        ),
+    );
+    row(
+        "server counters",
+        format!(
+            "{} served / {} connections / {} overloaded",
+            counters.served, counters.connections, counters.overloaded
+        ),
+    );
+
+    // Overload phase: a queue the batches cannot fit in must reject with
+    // the typed error, and every connection must keep serving afterwards.
+    let overload = overload_phase(&cnf);
+    row(
+        "overload phase",
+        format!(
+            "{}/{} typed rejections, {}/{} connections survived",
+            overload.typed_rejections, overload.attempts, overload.survived, overload.attempts
+        ),
+    );
+
+    section("criteria");
+    let mut ok = check(
+        "every networked answer is bit-identical to the in-process executor",
+        mismatches == 0 && requests == CONNECTIONS * per_conn,
+    );
+    ok &= check(
+        "no client connection was dropped under load",
+        counters.connections as usize >= CONNECTIONS && counters.overloaded == 0,
+    );
+    ok &= check(
+        "a full queue rejects with typed overloaded and the connection survives",
+        overload.typed_rejections == overload.attempts && overload.survived == overload.attempts,
+    );
+    if !smoke {
+        let json = to_json(
+            instance,
+            requests,
+            inprocess_qps,
+            net_qps,
+            &latency,
+            mismatches == 0,
+            &overload,
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json");
+        std::fs::write(path, json).expect("write BENCH_net.json");
+        println!("\nwrote {path}");
+    }
+    std::process::exit(if ok { 0 } else { 1 });
+}
+
+/// A deterministic stream mixing every query kind with varying weights
+/// and evidence, seeded so the in-process and networked runs agree.
+fn query_stream(n: usize, len: usize, seed: u64) -> Vec<Query> {
+    let mut rng = Rng::new(seed);
+    let mut queries = Vec::with_capacity(len);
+    for i in 0..len {
+        let mut w = LitWeights::unit(n);
+        for v in 0..n as u32 {
+            let p = rng.uniform();
+            w.set(Var(v).positive(), p);
+            w.set(Var(v).negative(), 1.0 - p);
+        }
+        queries.push(match i % 6 {
+            0 => Query::Sat,
+            1 => Query::ModelCount,
+            2 => {
+                let mut pa = PartialAssignment::new(n);
+                pa.assign(Var(rng.below(n) as u32).literal(rng.next_u64() & 1 == 0));
+                Query::ModelCountUnder(pa)
+            }
+            3 => Query::Wmc(w),
+            4 => Query::Marginals(w),
+            _ => Query::MaxWeight(w),
+        });
+    }
+    queries
+}
+
+/// Retries an operation while the server reports typed backpressure;
+/// any other failure is a bench bug and panics.
+fn retry_overloaded<T>(mut op: impl FnMut() -> Result<T, ClientError>) -> T {
+    loop {
+        match op() {
+            Ok(value) => return value,
+            Err(ClientError::Server(WireError::Overloaded { .. })) => {
+                std::thread::yield_now();
+            }
+            Err(other) => panic!("non-backpressure failure under overload: {other}"),
+        }
+    }
+}
+
+struct OverloadOutcome {
+    attempts: usize,
+    typed_rejections: usize,
+    survived: usize,
+}
+
+/// Runs the overload phase against a deliberately tiny submission queue.
+fn overload_phase(cnf: &Cnf) -> OverloadOutcome {
+    let engine = Arc::new(Engine::new(1 << 22, Some(1)));
+    let config = ServerConfig {
+        queue_capacity: 2,
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", engine, config).expect("bind overload server");
+    let addr = handle.addr();
+
+    let mut clients = Vec::new();
+    for _ in 0..CONNECTIONS {
+        let cnf = cnf.clone();
+        clients.push(std::thread::spawn(move || {
+            // With 8 clients contending for a 2-slot queue, even compiles
+            // and follow-up queries can be (correctly) rejected; retrying
+            // on the typed error is the backpressure contract in action.
+            // What must never happen is a dropped connection or an
+            // untyped failure.
+            let mut client = Client::connect(addr).expect("connect");
+            let key = retry_overloaded(|| client.compile(&cnf).map(|s| s.key));
+            // Wider than the whole queue: can never be admitted.
+            let typed = matches!(
+                client.batch(key, vec![Query::ModelCount; 3]),
+                Err(ClientError::Server(WireError::Overloaded {
+                    capacity: 2,
+                    ..
+                }))
+            );
+            // The same connection must still serve a normal request.
+            let survived =
+                retry_overloaded(|| client.query(key, Query::Sat)) == QueryAnswer::Sat(true);
+            (typed, survived)
+        }));
+    }
+    let mut outcome = OverloadOutcome {
+        attempts: CONNECTIONS,
+        typed_rejections: 0,
+        survived: 0,
+    };
+    for c in clients {
+        let (typed, survived) = c.join().expect("overload client");
+        outcome.typed_rejections += typed as usize;
+        outcome.survived += survived as usize;
+    }
+    handle.shutdown();
+    outcome
+}
+
+/// Renders the `BENCH_net.json` document.
+fn to_json(
+    instance: &str,
+    requests: usize,
+    inprocess_qps: f64,
+    net_qps: f64,
+    latency: &LatencySummary,
+    identical: bool,
+    overload: &OverloadOutcome,
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"bench_net\",\n");
+    let _ = writeln!(out, "  \"instance\": \"{instance}\",");
+    let _ = writeln!(out, "  \"connections\": {CONNECTIONS},");
+    let _ = writeln!(out, "  \"requests\": {requests},");
+    let _ = writeln!(out, "  \"inprocess_qps\": {inprocess_qps:.0},");
+    let _ = writeln!(out, "  \"net_qps\": {net_qps:.0},");
+    let _ = writeln!(out, "  \"latency\": {},", latency.to_json_fragment());
+    let _ = writeln!(out, "  \"identical\": {identical},");
+    let _ = writeln!(
+        out,
+        "  \"overload\": {{ \"attempts\": {}, \"typed_rejections\": {}, \"connections_survived\": {} }}",
+        overload.attempts, overload.typed_rejections, overload.survived
+    );
+    out.push_str("}\n");
+    out
+}

@@ -1,0 +1,190 @@
+//! The [`Engine`]: one shareable handle bundling the artifact registry and
+//! the query executor, with a serving-stats surface.
+//!
+//! The registry and executor were designed as separable pieces (PRs 2–3);
+//! a serving frontend wants them as one object it can put behind an `Arc`
+//! and hand to every connection thread: compile-or-fetch through a shared
+//! registry, answer through a shared worker pool, and report one coherent
+//! [`StatsSnapshot`] (registry hit/miss/eviction counters, retained-node
+//! budget pressure, executor backlog) for operational visibility — the
+//! `stats` wire request and `three-roles client stats` read exactly this.
+
+use std::sync::{Arc, Mutex};
+
+use crate::error::Result;
+use crate::executor::{Executor, Query, QueryOutcome};
+use crate::prepared::PreparedCircuit;
+use crate::registry::{fingerprint, Registry, RegistryStats};
+use trl_prop::Cnf;
+
+/// One coherent view of a serving engine's counters, taken atomically with
+/// respect to the registry (the executor backlog is an instantaneous gauge).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Registry hit/miss/eviction counters since engine creation.
+    pub registry: RegistryStats,
+    /// Artifacts currently retained.
+    pub artifacts: usize,
+    /// Arena nodes currently charged against the registry budget.
+    pub retained_nodes: usize,
+    /// The registry's retained-node budget.
+    pub max_retained_nodes: usize,
+    /// Executor worker threads.
+    pub workers: usize,
+    /// Executor jobs submitted and not yet answered.
+    pub queue_depth: usize,
+}
+
+/// A compile-once/query-many engine: a [`Registry`] behind a mutex plus a
+/// shared [`Executor`]. Clone-free sharing: wrap it in an `Arc`.
+///
+/// The mutex guards only registry bookkeeping (lookup, LRU touch, insert);
+/// compilation of a missed formula happens *outside* the lock so a slow
+/// compile never blocks queries against already-resident artifacts.
+pub struct Engine {
+    registry: Mutex<Registry>,
+    executor: Executor,
+}
+
+impl Engine {
+    /// An engine with the given retained-node budget and worker count;
+    /// `None` workers defaults to one per hardware thread
+    /// ([`Executor::with_default_workers`]).
+    pub fn new(max_retained_nodes: usize, workers: Option<usize>) -> Self {
+        Engine {
+            registry: Mutex::new(Registry::new(max_retained_nodes)),
+            executor: match workers {
+                Some(n) => Executor::new(n),
+                None => Executor::with_default_workers(),
+            },
+        }
+    }
+
+    /// An engine around an existing registry and executor.
+    pub fn from_parts(registry: Registry, executor: Executor) -> Self {
+        Engine {
+            registry: Mutex::new(registry),
+            executor,
+        }
+    }
+
+    /// The artifact for `cnf`, compiling on miss. Returns the artifact and
+    /// its registry key (the CNF [`fingerprint`]) for key-addressed queries.
+    ///
+    /// On a miss the compile runs without holding the registry lock; if two
+    /// threads race on the same formula both compile and the second insert
+    /// wins — wasted work, never a wrong answer, and the lock is never held
+    /// across a compilation.
+    pub fn compile(&self, cnf: &Cnf) -> (u64, Arc<PreparedCircuit>) {
+        let key = fingerprint(cnf);
+        if let Some(found) = self.lock().get(key) {
+            return (key, found);
+        }
+        let prepared = Arc::new(PreparedCircuit::new(
+            trl_compiler::DecisionDnnfCompiler::default().compile(cnf),
+        ));
+        let mut registry = self.lock();
+        // Count the compile as the miss it served.
+        registry.note_miss();
+        registry.insert(key, Arc::clone(&prepared));
+        (key, prepared)
+    }
+
+    /// The artifact under a registry key, if still resident (touches LRU).
+    pub fn get(&self, key: u64) -> Option<Arc<PreparedCircuit>> {
+        self.lock().get(key)
+    }
+
+    /// Validates and answers a batch on the shared worker pool
+    /// ([`Executor::try_run_batch`]).
+    pub fn run_batch(
+        &self,
+        circuit: &Arc<PreparedCircuit>,
+        queries: Vec<Query>,
+    ) -> Result<Vec<QueryOutcome>> {
+        self.executor.try_run_batch(circuit, queries)
+    }
+
+    /// The shared executor (for callers that manage circuits themselves).
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// One coherent stats snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        let registry = self.lock();
+        StatsSnapshot {
+            registry: registry.stats(),
+            artifacts: registry.len(),
+            retained_nodes: registry.retained_nodes(),
+            max_retained_nodes: registry.max_retained_nodes(),
+            workers: self.executor.num_workers(),
+            queue_depth: self.executor.queue_depth(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Registry> {
+        // The registry holds no lock-ordering obligations and every
+        // critical section is bookkeeping-only, so poisoning can only come
+        // from a panic in map/Vec ops; propagating it would just turn one
+        // failed request into a dead server.
+        match self.registry.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cnf() -> Cnf {
+        Cnf::parse_dimacs("p cnf 3 2\n1 -2 0\n2 3 0\n").unwrap()
+    }
+
+    #[test]
+    fn compile_hits_on_second_request() {
+        let engine = Engine::new(1 << 20, Some(2));
+        let (key, first) = engine.compile(&cnf());
+        let (key2, second) = engine.compile(&cnf());
+        assert_eq!(key, key2);
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = engine.stats();
+        assert_eq!(stats.registry.hits, 1);
+        assert_eq!(stats.registry.misses, 1);
+        assert_eq!(stats.artifacts, 1);
+        assert_eq!(stats.workers, 2);
+    }
+
+    #[test]
+    fn get_by_key_and_run_batch() {
+        let engine = Engine::new(1 << 20, Some(1));
+        let (key, circuit) = engine.compile(&cnf());
+        assert!(engine.get(key).is_some());
+        assert!(engine.get(key ^ 1).is_none());
+        let outcomes = engine
+            .run_batch(&circuit, vec![Query::ModelCount, Query::Sat])
+            .unwrap();
+        assert_eq!(
+            outcomes[0].answer.model_count(),
+            Some(circuit.raw().model_count())
+        );
+    }
+
+    #[test]
+    fn default_workers_match_available_parallelism() {
+        let engine = Engine::new(1 << 20, None);
+        let expect = std::thread::available_parallelism().map_or(1, |p| p.get());
+        assert_eq!(engine.stats().workers, expect);
+    }
+
+    #[test]
+    fn stats_reflect_budget() {
+        let engine = Engine::new(12345, Some(1));
+        let snapshot = engine.stats();
+        assert_eq!(snapshot.max_retained_nodes, 12345);
+        assert_eq!(snapshot.queue_depth, 0);
+        assert_eq!(snapshot.artifacts, 0);
+    }
+}

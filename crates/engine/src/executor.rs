@@ -15,6 +15,7 @@
 //! The pool is deliberately dependency-free (std threads + `mpsc`): the
 //! workspace builds air-gapped.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -33,7 +34,7 @@ use trl_nnf::{LitWeights, LANES};
 const LAYERED_NODE_THRESHOLD: usize = 1 << 16;
 
 /// One inference request against a compiled circuit.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Query {
     /// Satisfiability (linear on DNNF).
     Sat,
@@ -177,6 +178,9 @@ struct Job {
 pub struct Executor {
     tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    /// Jobs submitted but not yet fully answered, across all callers —
+    /// the pool's instantaneous backlog, surfaced as a serving stat.
+    in_flight: Arc<AtomicUsize>,
 }
 
 impl Executor {
@@ -185,22 +189,32 @@ impl Executor {
         let workers = workers.max(1);
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
+        let in_flight = Arc::new(AtomicUsize::new(0));
         let handles = (0..workers)
             .map(|i| {
                 let rx = Arc::clone(&rx);
+                let in_flight = Arc::clone(&in_flight);
                 std::thread::Builder::new()
                     .name(format!("trl-engine-worker-{i}"))
-                    .spawn(move || Self::worker_loop(&rx))
+                    .spawn(move || Self::worker_loop(&rx, &in_flight))
                     .expect("spawn worker thread")
             })
             .collect();
         Executor {
             tx: Some(tx),
             workers: handles,
+            in_flight,
         }
     }
 
-    fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    /// Spawns one worker per hardware thread
+    /// ([`std::thread::available_parallelism`], falling back to 1) — the
+    /// default when no explicit worker count is configured.
+    pub fn with_default_workers() -> Self {
+        Executor::new(std::thread::available_parallelism().map_or(1, |p| p.get()))
+    }
+
+    fn worker_loop(rx: &Mutex<Receiver<Job>>, in_flight: &AtomicUsize) {
         loop {
             // Hold the lock only to receive, never while answering.
             let job = match rx.lock() {
@@ -217,12 +231,19 @@ impl Executor {
                 // The batch collector may have given up; that's its business.
                 let _ = job.reply.send((index, QueryOutcome { answer, latency }));
             }
+            in_flight.fetch_sub(1, Ordering::Relaxed);
         }
     }
 
     /// Number of worker threads.
     pub fn num_workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Jobs submitted to the pool and not yet answered — an instantaneous
+    /// backlog gauge for serving stats, not a synchronization primitive.
+    pub fn queue_depth(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
     }
 
     /// Validates a batch of queries against a circuit and answers them on
@@ -279,6 +300,7 @@ impl Executor {
                 layer_threads,
                 reply: reply_tx.clone(),
             };
+            self.in_flight.fetch_add(1, Ordering::Relaxed);
             tx.send(job).expect("worker pool alive");
         };
 

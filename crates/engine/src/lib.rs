@@ -21,6 +21,9 @@
 //! * [`executor`] — a fixed worker pool (std threads + channels) that
 //!   groups compatible [`Query`] values per circuit and answers each group
 //!   with one lane-batched kernel sweep, reporting per-query latency;
+//! * [`engine`] — [`Engine`]: the registry and executor bundled behind one
+//!   `Arc`-shareable handle with a [`StatsSnapshot`] counter surface — what
+//!   a serving frontend (`trl-server`) holds;
 //! * [`serve_bench`] — the serving benchmark behind `three-roles
 //!   bench-serve` and the `bench_serve` binary (`BENCH_engine.json`),
 //!   plus the kernel-comparison benchmark behind `bench_eval`
@@ -43,6 +46,7 @@
 //! ```
 
 pub mod binary;
+pub mod engine;
 pub mod error;
 pub mod eval_bench;
 pub mod executor;
@@ -53,6 +57,7 @@ pub mod text;
 pub mod validate;
 
 pub use binary::{load_binary, read_binary, save_binary, write_binary, FORMAT_VERSION};
+pub use engine::{Engine, StatsSnapshot};
 pub use error::EngineError;
 pub use eval_bench::{eval_benchmark, kernel_identity_sweep, EvalReport, EvalVariantReport};
 pub use executor::{Executor, Query, QueryAnswer, QueryOutcome};

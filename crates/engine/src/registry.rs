@@ -106,6 +106,14 @@ impl Registry {
         found
     }
 
+    /// Records a miss that was served by an out-of-band compilation — used
+    /// by callers (the [`crate::Engine`]) that compile outside the registry
+    /// lock and then [`Registry::insert`], so the hit/miss counters still
+    /// add up to total lookups.
+    pub fn note_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
     /// Inserts an externally produced artifact (e.g. one loaded from disk)
     /// under a fingerprint, then evicts cold entries down to the budget.
     /// The artifact's current footprint is charged against the budget for

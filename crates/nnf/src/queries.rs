@@ -15,7 +15,9 @@ use trl_core::{Assignment, Lit, PartialAssignment, Var};
 
 /// Literal weights for weighted model counting: `W(x)` and `W(¬x)` per
 /// variable. `#SAT` is the special case where every weight is 1 (§2.1).
-#[derive(Clone, Debug)]
+/// Equality is bitwise per weight (IEEE semantics via `f64 == f64`), which
+/// is what wire-protocol round-trip checks want.
+#[derive(Clone, Debug, PartialEq)]
 pub struct LitWeights {
     pos: Vec<f64>,
     neg: Vec<f64>,

@@ -1,0 +1,201 @@
+//! A blocking client for the `trl-server` wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection and speaks strict
+//! request/response: every method writes one frame and reads one frame.
+//! Server-side failures arrive as [`ClientError::Server`] carrying the
+//! typed [`WireError`] — the connection stays usable afterwards (that is
+//! how a caller sees and reacts to [`WireError::Overloaded`]
+//! backpressure). Protocol-level failures ([`ClientError::Protocol`])
+//! mean the stream is broken; reconnect.
+
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{
+    read_response, write_request, ProtocolError, Request, Response, WireError,
+    DEFAULT_MAX_FRAME_LEN,
+};
+use trl_engine::{Query, QueryAnswer, StatsSnapshot};
+use trl_prop::Cnf;
+
+/// What a [`Client`] call can fail with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// The stream or framing layer failed; the connection is unusable.
+    Protocol(ProtocolError),
+    /// The server answered with a typed error; the connection is fine.
+    Server(WireError),
+    /// The server answered with a well-formed frame of the wrong type.
+    UnexpectedResponse {
+        /// What the call was waiting for.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::UnexpectedResponse { expected } => {
+                write!(f, "unexpected response type (expected {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Protocol(ProtocolError::from(e))
+    }
+}
+
+/// Convenience alias for client results.
+pub type Result<T> = std::result::Result<T, ClientError>;
+
+/// Summary of a compiled artifact, from [`Response::Compiled`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompiledSummary {
+    /// Registry key addressing the artifact in query requests.
+    pub key: u64,
+    /// Variables in the circuit's universe.
+    pub num_vars: u32,
+    /// Nodes in the compiled circuit.
+    pub nodes: u32,
+    /// Edges in the compiled circuit.
+    pub edges: u32,
+}
+
+/// One blocking connection to a `trl-server`.
+pub struct Client {
+    stream: TcpStream,
+    max_frame_len: u32,
+}
+
+impl Client {
+    /// Connects to `addr` with default timeouts (30 s read/write) and the
+    /// default frame-length ceiling.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Client::from_stream(stream)
+    }
+
+    /// Connects with a bound on connection establishment itself.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> Result<Client> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        Client::from_stream(stream)
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<Client> {
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Client {
+            stream,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        })
+    }
+
+    /// Sets the per-call read/write deadlines (`None` blocks forever).
+    pub fn set_timeouts(&mut self, read: Option<Duration>, write: Option<Duration>) -> Result<()> {
+        self.stream.set_read_timeout(read)?;
+        self.stream.set_write_timeout(write)?;
+        Ok(())
+    }
+
+    /// Sets the ceiling on inbound frame payloads.
+    pub fn set_max_frame_len(&mut self, max: u32) {
+        self.max_frame_len = max;
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response> {
+        write_request(&mut self.stream, request)?;
+        let response = read_response(&mut self.stream, self.max_frame_len)?;
+        if let Response::Error(e) = response {
+            return Err(ClientError::Server(e));
+        }
+        Ok(response)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse { expected: "pong" }),
+        }
+    }
+
+    /// Compiles (or fetches, if the server already holds it) an artifact
+    /// for `cnf`, returning the registry key for query requests.
+    pub fn compile(&mut self, cnf: &Cnf) -> Result<CompiledSummary> {
+        match self.call(&Request::Compile(cnf.clone()))? {
+            Response::Compiled {
+                key,
+                num_vars,
+                nodes,
+                edges,
+            } => Ok(CompiledSummary {
+                key,
+                num_vars,
+                nodes,
+                edges,
+            }),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "compiled",
+            }),
+        }
+    }
+
+    /// Answers one query against the artifact under `key`.
+    pub fn query(&mut self, key: u64, query: Query) -> Result<QueryAnswer> {
+        match self.call(&Request::Query { key, query })? {
+            Response::Answer(a) => Ok(a),
+            _ => Err(ClientError::UnexpectedResponse { expected: "answer" }),
+        }
+    }
+
+    /// Answers a batch of queries against the artifact under `key`, in
+    /// submission order (grouped into shared kernel sweeps server-side).
+    pub fn batch(&mut self, key: u64, queries: Vec<Query>) -> Result<Vec<QueryAnswer>> {
+        let expected = queries.len();
+        match self.call(&Request::Batch { key, queries })? {
+            Response::Batch(answers) if answers.len() == expected => Ok(answers),
+            Response::Batch(_) => Err(ClientError::UnexpectedResponse {
+                expected: "one answer per query",
+            }),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "answer batch",
+            }),
+        }
+    }
+
+    /// Snapshots the server's registry/executor counters.
+    pub fn stats(&mut self) -> Result<StatsSnapshot> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            _ => Err(ClientError::UnexpectedResponse { expected: "stats" }),
+        }
+    }
+
+    /// Asks the server to shut down gracefully; returns once the server
+    /// acknowledges (drain and thread-join happen server-side after the
+    /// acknowledgement).
+    pub fn shutdown_server(&mut self) -> Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "shutdown acknowledgement",
+            }),
+        }
+    }
+}

@@ -1,0 +1,1086 @@
+//! The versioned, length-prefixed binary wire protocol between a
+//! `trl-server` and its clients.
+//!
+//! Every message travels as one **frame**:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"TRLW"
+//!      4     2  protocol version (currently 1)
+//!      6     1  frame kind tag (request 0x01..., response 0x81...)
+//!      7     1  reserved (0)
+//!      8     4  payload length in bytes (u32)
+//!     12     8  payload checksum (FxHash-64 of the payload bytes)
+//!     20     8  header checksum  (FxHash-64 of bytes 0..20)
+//!     28     …  payload (kind-specific encoding, little-endian throughout)
+//! ```
+//!
+//! The discipline matches the engine's artifact format ([`trl_engine::binary`]):
+//! checks run magic → header checksum → version → length bound → payload
+//! checksum → decode, so a corrupt, truncated, or oversized frame surfaces
+//! as a typed [`ProtocolError`] **before** any allocation it would have
+//! sized — never a panic, never a half-decoded message. Floating-point
+//! values travel as IEEE-754 bit patterns (`f64::to_bits`), so a decoded
+//! answer is bit-identical to the served one.
+//!
+//! Requests are [`Request`]; responses are [`Response`]. Application-level
+//! failures (overload, unknown registry key, malformed query) come back as
+//! [`Response::Error`] carrying a typed [`WireError`] — a protocol error
+//! means the *stream* is unusable, a wire error means the *request* failed.
+
+use std::fmt;
+use std::hash::Hasher;
+use std::io::{Read, Write};
+
+use trl_core::{Assignment, FxHasher, Lit, PartialAssignment, Var};
+use trl_engine::{Query, QueryAnswer, RegistryStats, StatsSnapshot};
+use trl_nnf::LitWeights;
+use trl_prop::Cnf;
+
+/// The newest protocol version this build speaks.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Frame magic: "TRL Wire".
+pub const MAGIC: [u8; 4] = *b"TRLW";
+
+/// Bytes in a frame header.
+pub const HEADER_LEN: usize = 28;
+
+/// Default ceiling on a frame's payload length. A CNF worth compiling
+/// over the wire fits comfortably; anything larger is treated as hostile
+/// or corrupt and rejected before allocation.
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// Ceiling on a declared variable universe (vars in a CNF, weight table,
+/// or assignment). Caps attacker-controlled allocations that are not
+/// otherwise proportional to payload bytes.
+pub const MAX_UNIVERSE: u32 = 1 << 24;
+
+const KIND_REQ_PING: u8 = 0x01;
+const KIND_REQ_COMPILE: u8 = 0x02;
+const KIND_REQ_QUERY: u8 = 0x03;
+const KIND_REQ_BATCH: u8 = 0x04;
+const KIND_REQ_STATS: u8 = 0x05;
+const KIND_REQ_SHUTDOWN: u8 = 0x06;
+
+const KIND_RESP_PONG: u8 = 0x81;
+const KIND_RESP_COMPILED: u8 = 0x82;
+const KIND_RESP_ANSWER: u8 = 0x83;
+const KIND_RESP_BATCH: u8 = 0x84;
+const KIND_RESP_STATS: u8 = 0x85;
+const KIND_RESP_SHUTTING_DOWN: u8 = 0x86;
+const KIND_RESP_ERROR: u8 = 0x87;
+
+/// Errors that make a frame (and usually the stream carrying it)
+/// unusable. Application-level failures travel as [`WireError`] instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// An underlying socket/stream operation failed.
+    Io(String),
+    /// The peer closed the stream mid-frame.
+    Disconnected,
+    /// The frame does not start with the protocol magic.
+    BadMagic([u8; 4]),
+    /// The peer speaks a protocol version this build cannot.
+    UnsupportedVersion {
+        /// Version found in the frame header.
+        found: u16,
+        /// Newest version this build understands.
+        supported: u16,
+    },
+    /// The frame declares a payload larger than the configured ceiling.
+    FrameTooLarge {
+        /// Declared payload length.
+        declared: u32,
+        /// The ceiling it exceeded.
+        max: u32,
+    },
+    /// A checksum over the named section did not match its stored value.
+    ChecksumMismatch {
+        /// Which section failed (`"header"` or `"payload"`).
+        section: &'static str,
+        /// Checksum stored in the frame.
+        stored: u64,
+        /// Checksum recomputed from the bytes.
+        computed: u64,
+    },
+    /// The payload bytes do not decode as the frame kind claims.
+    Malformed(String),
+    /// A structurally valid frame of the wrong kind (e.g. a request where
+    /// a response was expected).
+    UnexpectedFrame {
+        /// The frame kind tag that arrived.
+        kind: u8,
+        /// What the caller was decoding.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Io(m) => write!(f, "i/o error: {m}"),
+            ProtocolError::Disconnected => write!(f, "peer disconnected mid-frame"),
+            ProtocolError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            ProtocolError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported protocol version {found} (this build speaks up to {supported})"
+            ),
+            ProtocolError::FrameTooLarge { declared, max } => {
+                write!(
+                    f,
+                    "frame payload of {declared} bytes exceeds the {max}-byte limit"
+                )
+            }
+            ProtocolError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "{section} checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            ProtocolError::Malformed(m) => write!(f, "malformed frame payload: {m}"),
+            ProtocolError::UnexpectedFrame { kind, expected } => {
+                write!(
+                    f,
+                    "unexpected frame kind {kind:#04x} while reading {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ProtocolError::Disconnected
+        } else {
+            ProtocolError::Io(e.to_string())
+        }
+    }
+}
+
+/// Convenience alias for protocol results.
+pub type Result<T> = std::result::Result<T, ProtocolError>;
+
+/// An application-level failure, carried inside a [`Response::Error`]
+/// frame. The stream stays healthy; only this request failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The server's bounded submission queue is full; retry later.
+    Overloaded {
+        /// Queries in flight when the request was rejected.
+        queue_depth: u64,
+        /// The server's admission capacity.
+        capacity: u64,
+    },
+    /// No artifact is resident under this registry key (evicted or never
+    /// compiled here); re-send a compile request.
+    UnknownKey(u64),
+    /// The request decoded but is not answerable (bad universe, weights
+    /// not covering the circuit, …).
+    Invalid(String),
+    /// The engine failed the request (validation, structure, …).
+    Engine(String),
+    /// The server is draining for shutdown and no longer admits work.
+    ShuttingDown,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Overloaded {
+                queue_depth,
+                capacity,
+            } => write!(
+                f,
+                "server overloaded ({queue_depth}/{capacity} queries in flight)"
+            ),
+            WireError::UnknownKey(k) => write!(f, "no artifact under key {k:#018x}"),
+            WireError::Invalid(m) => write!(f, "invalid request: {m}"),
+            WireError::Engine(m) => write!(f, "engine error: {m}"),
+            WireError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Compile (or fetch, if resident) an artifact for this CNF; answered
+    /// with [`Response::Compiled`] carrying the registry key.
+    Compile(Cnf),
+    /// Answer one query against the artifact under `key`.
+    Query {
+        /// Registry key from a [`Response::Compiled`].
+        key: u64,
+        /// The query to answer.
+        query: Query,
+    },
+    /// Answer a batch of queries against the artifact under `key`,
+    /// grouped into shared kernel sweeps server-side.
+    Batch {
+        /// Registry key from a [`Response::Compiled`].
+        key: u64,
+        /// The queries, answered in submission order.
+        queries: Vec<Query>,
+    },
+    /// Snapshot the server's registry/executor counters.
+    Stats,
+    /// Ask the server to shut down gracefully: stop accepting, drain
+    /// in-flight work, join connection threads.
+    Shutdown,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Compile`].
+    Compiled {
+        /// Registry key addressing the artifact in later requests.
+        key: u64,
+        /// Variables in the circuit's universe.
+        num_vars: u32,
+        /// Nodes in the compiled circuit.
+        nodes: u32,
+        /// Edges in the compiled circuit.
+        edges: u32,
+    },
+    /// Answer to [`Request::Query`].
+    Answer(QueryAnswer),
+    /// Answer to [`Request::Batch`], in submission order.
+    Batch(Vec<QueryAnswer>),
+    /// Answer to [`Request::Stats`].
+    Stats(StatsSnapshot),
+    /// Acknowledgement of [`Request::Shutdown`].
+    ShuttingDown,
+    /// The request failed; the connection remains usable.
+    Error(WireError),
+}
+
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+// ---------------------------------------------------------------- framing
+
+/// Writes one frame: header (with checksums) followed by the payload.
+fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<()> {
+    let mut header = Vec::with_capacity(HEADER_LEN);
+    header.extend_from_slice(&MAGIC);
+    header.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    header.push(kind);
+    header.push(0);
+    header.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    header.extend_from_slice(&checksum(payload).to_le_bytes());
+    let hc = checksum(&header);
+    header.extend_from_slice(&hc.to_le_bytes());
+    debug_assert_eq!(header.len(), HEADER_LEN);
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, returning its kind tag and verified payload. Frames
+/// declaring more than `max_frame_len` payload bytes are rejected before
+/// the payload is allocated.
+fn read_frame(r: &mut impl Read, max_frame_len: u32) -> Result<(u8, Vec<u8>)> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    if header[0..4] != MAGIC {
+        return Err(ProtocolError::BadMagic(header[0..4].try_into().unwrap()));
+    }
+    let stored_header_sum = u64::from_le_bytes(header[20..28].try_into().unwrap());
+    let computed_header_sum = checksum(&header[..20]);
+    if stored_header_sum != computed_header_sum {
+        return Err(ProtocolError::ChecksumMismatch {
+            section: "header",
+            stored: stored_header_sum,
+            computed: computed_header_sum,
+        });
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().unwrap());
+    if version == 0 || version > PROTOCOL_VERSION {
+        return Err(ProtocolError::UnsupportedVersion {
+            found: version,
+            supported: PROTOCOL_VERSION,
+        });
+    }
+    let kind = header[6];
+    let payload_len = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    if payload_len > max_frame_len {
+        return Err(ProtocolError::FrameTooLarge {
+            declared: payload_len,
+            max: max_frame_len,
+        });
+    }
+    let mut payload = vec![0u8; payload_len as usize];
+    r.read_exact(&mut payload)?;
+    let stored_payload_sum = u64::from_le_bytes(header[12..20].try_into().unwrap());
+    let computed_payload_sum = checksum(&payload);
+    if stored_payload_sum != computed_payload_sum {
+        return Err(ProtocolError::ChecksumMismatch {
+            section: "payload",
+            stored: stored_payload_sum,
+            computed: computed_payload_sum,
+        });
+    }
+    Ok((kind, payload))
+}
+
+// ------------------------------------------------------------- encoding
+
+/// Little-endian payload builder.
+#[derive(Default)]
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, x: u8) {
+        self.0.push(x);
+    }
+    fn u32(&mut self, x: u32) {
+        self.0.extend_from_slice(&x.to_le_bytes());
+    }
+    fn u64(&mut self, x: u64) {
+        self.0.extend_from_slice(&x.to_le_bytes());
+    }
+    fn u128(&mut self, x: u128) {
+        self.0.extend_from_slice(&x.to_le_bytes());
+    }
+    fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian payload reader.
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Dec { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| ProtocolError::Malformed("payload truncated".into()))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn u128(&mut self) -> Result<u128> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ProtocolError::Malformed("string is not UTF-8".into()))
+    }
+
+    /// Guards a wire-declared element count against the bytes actually
+    /// present, so a lying count cannot size a huge allocation.
+    fn counted(&self, count: u32, min_bytes_each: usize) -> Result<usize> {
+        let count = count as usize;
+        if count.saturating_mul(min_bytes_each) > self.remaining() {
+            return Err(ProtocolError::Malformed(format!(
+                "declared {count} elements but only {} payload bytes remain",
+                self.remaining()
+            )));
+        }
+        Ok(count)
+    }
+
+    fn finish(self) -> Result<()> {
+        if self.pos != self.bytes.len() {
+            return Err(ProtocolError::Malformed(format!(
+                "{} trailing payload bytes",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn check_universe(n: u32) -> Result<usize> {
+    if n > MAX_UNIVERSE {
+        return Err(ProtocolError::Malformed(format!(
+            "universe of {n} variables exceeds the {MAX_UNIVERSE}-variable wire limit"
+        )));
+    }
+    Ok(n as usize)
+}
+
+fn decode_lit(code: u32, num_vars: usize) -> Result<Lit> {
+    let lit = Lit::from_code(code);
+    if lit.var().index() >= num_vars {
+        return Err(ProtocolError::Malformed(format!(
+            "literal code {code} names variable {} outside the {num_vars}-variable universe",
+            lit.var().index()
+        )));
+    }
+    Ok(lit)
+}
+
+fn encode_cnf(e: &mut Enc, cnf: &Cnf) {
+    e.u32(cnf.num_vars() as u32);
+    e.u32(cnf.clauses().len() as u32);
+    for clause in cnf.clauses() {
+        e.u32(clause.len() as u32);
+        for &l in clause.literals() {
+            e.u32(l.code());
+        }
+    }
+}
+
+fn decode_cnf(d: &mut Dec) -> Result<Cnf> {
+    let num_vars = check_universe(d.u32()?)?;
+    let declared_clauses = d.u32()?;
+    let num_clauses = d.counted(declared_clauses, 4)?;
+    let mut cnf = Cnf::new(num_vars);
+    for _ in 0..num_clauses {
+        let declared_len = d.u32()?;
+        let len = d.counted(declared_len, 4)?;
+        let mut lits = Vec::with_capacity(len);
+        for _ in 0..len {
+            lits.push(decode_lit(d.u32()?, num_vars)?);
+        }
+        cnf.add_clause(lits);
+    }
+    Ok(cnf)
+}
+
+fn encode_weights(e: &mut Enc, w: &LitWeights) {
+    let n = w.num_vars();
+    e.u32(n as u32);
+    for v in 0..n as u32 {
+        e.f64(w.get(Var(v).positive()));
+        e.f64(w.get(Var(v).negative()));
+    }
+}
+
+fn decode_weights(d: &mut Dec) -> Result<LitWeights> {
+    let n = check_universe(d.u32()?)?;
+    d.counted(n as u32, 16)?;
+    let mut w = LitWeights::unit(n);
+    for v in 0..n as u32 {
+        w.set(Var(v).positive(), d.f64()?);
+        w.set(Var(v).negative(), d.f64()?);
+    }
+    Ok(w)
+}
+
+fn encode_partial(e: &mut Enc, pa: &PartialAssignment) {
+    e.u32(pa.len() as u32);
+    e.u32(pa.assigned_count() as u32);
+    for l in pa.literals() {
+        e.u32(l.code());
+    }
+}
+
+fn decode_partial(d: &mut Dec) -> Result<PartialAssignment> {
+    let n = check_universe(d.u32()?)?;
+    let declared = d.u32()?;
+    let assigned = d.counted(declared, 4)?;
+    let mut pa = PartialAssignment::new(n);
+    for _ in 0..assigned {
+        pa.assign(decode_lit(d.u32()?, n)?);
+    }
+    Ok(pa)
+}
+
+fn encode_assignment(e: &mut Enc, a: &Assignment) {
+    e.u32(a.len() as u32);
+    let mut byte = 0u8;
+    for (i, &v) in a.values().iter().enumerate() {
+        if v {
+            byte |= 1 << (i % 8);
+        }
+        if i % 8 == 7 {
+            e.u8(byte);
+            byte = 0;
+        }
+    }
+    if !a.len().is_multiple_of(8) {
+        e.u8(byte);
+    }
+}
+
+fn decode_assignment(d: &mut Dec) -> Result<Assignment> {
+    let n = check_universe(d.u32()?)?;
+    let bytes = d.take(n.div_ceil(8))?;
+    let values: Vec<bool> = (0..n).map(|i| bytes[i / 8] >> (i % 8) & 1 == 1).collect();
+    Ok(Assignment::from_values(&values))
+}
+
+const QUERY_SAT: u8 = 0;
+const QUERY_MODEL_COUNT: u8 = 1;
+const QUERY_MODEL_COUNT_UNDER: u8 = 2;
+const QUERY_WMC: u8 = 3;
+const QUERY_MARGINALS: u8 = 4;
+const QUERY_MAX_WEIGHT: u8 = 5;
+
+fn encode_query(e: &mut Enc, q: &Query) {
+    match q {
+        Query::Sat => e.u8(QUERY_SAT),
+        Query::ModelCount => e.u8(QUERY_MODEL_COUNT),
+        Query::ModelCountUnder(pa) => {
+            e.u8(QUERY_MODEL_COUNT_UNDER);
+            encode_partial(e, pa);
+        }
+        Query::Wmc(w) => {
+            e.u8(QUERY_WMC);
+            encode_weights(e, w);
+        }
+        Query::Marginals(w) => {
+            e.u8(QUERY_MARGINALS);
+            encode_weights(e, w);
+        }
+        Query::MaxWeight(w) => {
+            e.u8(QUERY_MAX_WEIGHT);
+            encode_weights(e, w);
+        }
+    }
+}
+
+fn decode_query(d: &mut Dec) -> Result<Query> {
+    Ok(match d.u8()? {
+        QUERY_SAT => Query::Sat,
+        QUERY_MODEL_COUNT => Query::ModelCount,
+        QUERY_MODEL_COUNT_UNDER => Query::ModelCountUnder(decode_partial(d)?),
+        QUERY_WMC => Query::Wmc(decode_weights(d)?),
+        QUERY_MARGINALS => Query::Marginals(decode_weights(d)?),
+        QUERY_MAX_WEIGHT => Query::MaxWeight(decode_weights(d)?),
+        tag => return Err(ProtocolError::Malformed(format!("unknown query tag {tag}"))),
+    })
+}
+
+const ANSWER_SAT: u8 = 0;
+const ANSWER_MODEL_COUNT: u8 = 1;
+const ANSWER_WMC: u8 = 2;
+const ANSWER_MARGINALS: u8 = 3;
+const ANSWER_MAX_WEIGHT: u8 = 4;
+
+fn encode_answer(e: &mut Enc, a: &QueryAnswer) {
+    match a {
+        QueryAnswer::Sat(yes) => {
+            e.u8(ANSWER_SAT);
+            e.u8(u8::from(*yes));
+        }
+        QueryAnswer::ModelCount(c) => {
+            e.u8(ANSWER_MODEL_COUNT);
+            e.u128(*c);
+        }
+        QueryAnswer::Wmc(x) => {
+            e.u8(ANSWER_WMC);
+            e.f64(*x);
+        }
+        QueryAnswer::Marginals { wmc, marginals } => {
+            e.u8(ANSWER_MARGINALS);
+            e.f64(*wmc);
+            e.u32(marginals.len() as u32);
+            for &(pos, neg) in marginals {
+                e.f64(pos);
+                e.f64(neg);
+            }
+        }
+        QueryAnswer::MaxWeight(best) => {
+            e.u8(ANSWER_MAX_WEIGHT);
+            match best {
+                None => e.u8(0),
+                Some((weight, assignment)) => {
+                    e.u8(1);
+                    e.f64(*weight);
+                    encode_assignment(e, assignment);
+                }
+            }
+        }
+    }
+}
+
+fn decode_answer(d: &mut Dec) -> Result<QueryAnswer> {
+    Ok(match d.u8()? {
+        ANSWER_SAT => QueryAnswer::Sat(d.u8()? != 0),
+        ANSWER_MODEL_COUNT => QueryAnswer::ModelCount(d.u128()?),
+        ANSWER_WMC => QueryAnswer::Wmc(d.f64()?),
+        ANSWER_MARGINALS => {
+            let wmc = d.f64()?;
+            let declared = d.u32()?;
+            let n = d.counted(declared, 16)?;
+            let mut marginals = Vec::with_capacity(n);
+            for _ in 0..n {
+                marginals.push((d.f64()?, d.f64()?));
+            }
+            QueryAnswer::Marginals { wmc, marginals }
+        }
+        ANSWER_MAX_WEIGHT => match d.u8()? {
+            0 => QueryAnswer::MaxWeight(None),
+            1 => {
+                let weight = d.f64()?;
+                let assignment = decode_assignment(d)?;
+                QueryAnswer::MaxWeight(Some((weight, assignment)))
+            }
+            tag => {
+                return Err(ProtocolError::Malformed(format!(
+                    "unknown max-weight presence tag {tag}"
+                )))
+            }
+        },
+        tag => {
+            return Err(ProtocolError::Malformed(format!(
+                "unknown answer tag {tag}"
+            )))
+        }
+    })
+}
+
+const ERR_OVERLOADED: u8 = 0;
+const ERR_UNKNOWN_KEY: u8 = 1;
+const ERR_INVALID: u8 = 2;
+const ERR_ENGINE: u8 = 3;
+const ERR_SHUTTING_DOWN: u8 = 4;
+
+fn encode_wire_error(e: &mut Enc, err: &WireError) {
+    match err {
+        WireError::Overloaded {
+            queue_depth,
+            capacity,
+        } => {
+            e.u8(ERR_OVERLOADED);
+            e.u64(*queue_depth);
+            e.u64(*capacity);
+        }
+        WireError::UnknownKey(k) => {
+            e.u8(ERR_UNKNOWN_KEY);
+            e.u64(*k);
+        }
+        WireError::Invalid(m) => {
+            e.u8(ERR_INVALID);
+            e.str(m);
+        }
+        WireError::Engine(m) => {
+            e.u8(ERR_ENGINE);
+            e.str(m);
+        }
+        WireError::ShuttingDown => e.u8(ERR_SHUTTING_DOWN),
+    }
+}
+
+fn decode_wire_error(d: &mut Dec) -> Result<WireError> {
+    Ok(match d.u8()? {
+        ERR_OVERLOADED => WireError::Overloaded {
+            queue_depth: d.u64()?,
+            capacity: d.u64()?,
+        },
+        ERR_UNKNOWN_KEY => WireError::UnknownKey(d.u64()?),
+        ERR_INVALID => WireError::Invalid(d.str()?),
+        ERR_ENGINE => WireError::Engine(d.str()?),
+        ERR_SHUTTING_DOWN => WireError::ShuttingDown,
+        tag => {
+            return Err(ProtocolError::Malformed(format!(
+                "unknown wire-error tag {tag}"
+            )))
+        }
+    })
+}
+
+fn encode_stats(e: &mut Enc, s: &StatsSnapshot) {
+    e.u64(s.registry.hits);
+    e.u64(s.registry.misses);
+    e.u64(s.registry.evictions);
+    e.u64(s.artifacts as u64);
+    e.u64(s.retained_nodes as u64);
+    e.u64(s.max_retained_nodes as u64);
+    e.u32(s.workers as u32);
+    e.u64(s.queue_depth as u64);
+}
+
+fn decode_stats(d: &mut Dec) -> Result<StatsSnapshot> {
+    Ok(StatsSnapshot {
+        registry: RegistryStats {
+            hits: d.u64()?,
+            misses: d.u64()?,
+            evictions: d.u64()?,
+        },
+        artifacts: d.u64()? as usize,
+        retained_nodes: d.u64()? as usize,
+        max_retained_nodes: d.u64()? as usize,
+        workers: d.u32()? as usize,
+        queue_depth: d.u64()? as usize,
+    })
+}
+
+// ------------------------------------------------------- public surface
+
+impl Request {
+    fn encode(&self) -> (u8, Vec<u8>) {
+        let mut e = Enc::default();
+        let kind = match self {
+            Request::Ping => KIND_REQ_PING,
+            Request::Compile(cnf) => {
+                encode_cnf(&mut e, cnf);
+                KIND_REQ_COMPILE
+            }
+            Request::Query { key, query } => {
+                e.u64(*key);
+                encode_query(&mut e, query);
+                KIND_REQ_QUERY
+            }
+            Request::Batch { key, queries } => {
+                e.u64(*key);
+                e.u32(queries.len() as u32);
+                for q in queries {
+                    encode_query(&mut e, q);
+                }
+                KIND_REQ_BATCH
+            }
+            Request::Stats => KIND_REQ_STATS,
+            Request::Shutdown => KIND_REQ_SHUTDOWN,
+        };
+        (kind, e.0)
+    }
+
+    fn decode(kind: u8, payload: &[u8]) -> Result<Request> {
+        let mut d = Dec::new(payload);
+        let req = match kind {
+            KIND_REQ_PING => Request::Ping,
+            KIND_REQ_COMPILE => Request::Compile(decode_cnf(&mut d)?),
+            KIND_REQ_QUERY => Request::Query {
+                key: d.u64()?,
+                query: decode_query(&mut d)?,
+            },
+            KIND_REQ_BATCH => {
+                let key = d.u64()?;
+                let declared = d.u32()?;
+                let n = d.counted(declared, 1)?;
+                let mut queries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    queries.push(decode_query(&mut d)?);
+                }
+                Request::Batch { key, queries }
+            }
+            KIND_REQ_STATS => Request::Stats,
+            KIND_REQ_SHUTDOWN => Request::Shutdown,
+            kind => {
+                return Err(ProtocolError::UnexpectedFrame {
+                    kind,
+                    expected: "a request",
+                })
+            }
+        };
+        d.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    fn encode(&self) -> (u8, Vec<u8>) {
+        let mut e = Enc::default();
+        let kind = match self {
+            Response::Pong => KIND_RESP_PONG,
+            Response::Compiled {
+                key,
+                num_vars,
+                nodes,
+                edges,
+            } => {
+                e.u64(*key);
+                e.u32(*num_vars);
+                e.u32(*nodes);
+                e.u32(*edges);
+                KIND_RESP_COMPILED
+            }
+            Response::Answer(a) => {
+                encode_answer(&mut e, a);
+                KIND_RESP_ANSWER
+            }
+            Response::Batch(answers) => {
+                e.u32(answers.len() as u32);
+                for a in answers {
+                    encode_answer(&mut e, a);
+                }
+                KIND_RESP_BATCH
+            }
+            Response::Stats(s) => {
+                encode_stats(&mut e, s);
+                KIND_RESP_STATS
+            }
+            Response::ShuttingDown => KIND_RESP_SHUTTING_DOWN,
+            Response::Error(err) => {
+                encode_wire_error(&mut e, err);
+                KIND_RESP_ERROR
+            }
+        };
+        (kind, e.0)
+    }
+
+    fn decode(kind: u8, payload: &[u8]) -> Result<Response> {
+        let mut d = Dec::new(payload);
+        let resp = match kind {
+            KIND_RESP_PONG => Response::Pong,
+            KIND_RESP_COMPILED => Response::Compiled {
+                key: d.u64()?,
+                num_vars: d.u32()?,
+                nodes: d.u32()?,
+                edges: d.u32()?,
+            },
+            KIND_RESP_ANSWER => Response::Answer(decode_answer(&mut d)?),
+            KIND_RESP_BATCH => {
+                let declared = d.u32()?;
+                let n = d.counted(declared, 1)?;
+                let mut answers = Vec::with_capacity(n);
+                for _ in 0..n {
+                    answers.push(decode_answer(&mut d)?);
+                }
+                Response::Batch(answers)
+            }
+            KIND_RESP_STATS => Response::Stats(decode_stats(&mut d)?),
+            KIND_RESP_SHUTTING_DOWN => Response::ShuttingDown,
+            KIND_RESP_ERROR => Response::Error(decode_wire_error(&mut d)?),
+            kind => {
+                return Err(ProtocolError::UnexpectedFrame {
+                    kind,
+                    expected: "a response",
+                })
+            }
+        };
+        d.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Writes one request frame.
+pub fn write_request(w: &mut impl Write, req: &Request) -> Result<()> {
+    let (kind, payload) = req.encode();
+    write_frame(w, kind, &payload)
+}
+
+/// Reads one request frame, rejecting payloads over `max_frame_len`.
+pub fn read_request(r: &mut impl Read, max_frame_len: u32) -> Result<Request> {
+    let (kind, payload) = read_frame(r, max_frame_len)?;
+    Request::decode(kind, &payload)
+}
+
+/// Writes one response frame.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<()> {
+    let (kind, payload) = resp.encode();
+    write_frame(w, kind, &payload)
+}
+
+/// Reads one response frame, rejecting payloads over `max_frame_len`.
+pub fn read_response(r: &mut impl Read, max_frame_len: u32) -> Result<Response> {
+    let (kind, payload) = read_frame(r, max_frame_len)?;
+    Response::decode(kind, &payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: &Request) -> Request {
+        let mut bytes = Vec::new();
+        write_request(&mut bytes, req).unwrap();
+        read_request(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap()
+    }
+
+    fn round_trip_response(resp: &Response) -> Response {
+        let mut bytes = Vec::new();
+        write_response(&mut bytes, resp).unwrap();
+        read_response(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap()
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        let cnf = Cnf::parse_dimacs("p cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        let mut w = LitWeights::unit(3);
+        w.set(Var(1).positive(), 0.25);
+        let mut pa = PartialAssignment::new(3);
+        pa.assign(Var(0).negative());
+        for req in [
+            Request::Ping,
+            Request::Compile(cnf),
+            Request::Query {
+                key: 0xdead_beef,
+                query: Query::Sat,
+            },
+            Request::Query {
+                key: 1,
+                query: Query::ModelCountUnder(pa),
+            },
+            Request::Batch {
+                key: 2,
+                queries: vec![
+                    Query::ModelCount,
+                    Query::Wmc(w.clone()),
+                    Query::Marginals(w.clone()),
+                    Query::MaxWeight(w),
+                ],
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ] {
+            assert_eq!(round_trip_request(&req), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn response_frames_round_trip() {
+        let assignment = Assignment::from_values(&[true, false, true, true, false]);
+        for resp in [
+            Response::Pong,
+            Response::Compiled {
+                key: 7,
+                num_vars: 3,
+                nodes: 10,
+                edges: 14,
+            },
+            Response::Answer(QueryAnswer::Sat(true)),
+            Response::Answer(QueryAnswer::ModelCount(u128::MAX - 17)),
+            Response::Answer(QueryAnswer::Wmc(0.1 + 0.2)),
+            Response::Answer(QueryAnswer::Marginals {
+                wmc: 1.5,
+                marginals: vec![(0.5, 1.0), (0.25, 1.25)],
+            }),
+            Response::Answer(QueryAnswer::MaxWeight(None)),
+            Response::Answer(QueryAnswer::MaxWeight(Some((0.75, assignment)))),
+            Response::Batch(vec![QueryAnswer::Sat(false), QueryAnswer::ModelCount(42)]),
+            Response::Stats(StatsSnapshot {
+                registry: RegistryStats {
+                    hits: 3,
+                    misses: 2,
+                    evictions: 1,
+                },
+                artifacts: 2,
+                retained_nodes: 1000,
+                max_retained_nodes: 4000,
+                workers: 8,
+                queue_depth: 5,
+            }),
+            Response::ShuttingDown,
+            Response::Error(WireError::Overloaded {
+                queue_depth: 128,
+                capacity: 128,
+            }),
+            Response::Error(WireError::UnknownKey(99)),
+            Response::Error(WireError::Invalid("weights cover 2 vars".into())),
+            Response::Error(WireError::Engine("structure".into())),
+            Response::Error(WireError::ShuttingDown),
+        ] {
+            assert_eq!(round_trip_response(&resp), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn floats_survive_bit_exactly() {
+        for x in [0.1 + 0.2, f64::MIN_POSITIVE, 1e300, -0.0, f64::INFINITY] {
+            let Response::Answer(QueryAnswer::Wmc(back)) =
+                round_trip_response(&Response::Answer(QueryAnswer::Wmc(x)))
+            else {
+                panic!("wrong frame");
+            };
+            assert_eq!(back.to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn oversized_declared_length_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        write_request(&mut bytes, &Request::Ping).unwrap();
+        // Declare a 3-GiB payload and restamp the header checksum so the
+        // length bound itself is what rejects the frame.
+        bytes[8..12].copy_from_slice(&(3u32 << 30).to_le_bytes());
+        let sum = checksum(&bytes[..20]);
+        bytes[20..28].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            read_request(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN),
+            Err(ProtocolError::FrameTooLarge { declared, .. }) if declared == 3 << 30
+        ));
+    }
+
+    #[test]
+    fn mid_frame_disconnect_is_typed() {
+        let mut bytes = Vec::new();
+        write_request(
+            &mut bytes,
+            &Request::Query {
+                key: 5,
+                query: Query::ModelCount,
+            },
+        )
+        .unwrap();
+        for cut in [1, HEADER_LEN - 1, HEADER_LEN, bytes.len() - 1] {
+            let mut slice = &bytes[..cut];
+            assert_eq!(
+                read_request(&mut slice, DEFAULT_MAX_FRAME_LEN),
+                Err(ProtocolError::Disconnected),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_direction_frame_is_unexpected() {
+        let mut bytes = Vec::new();
+        write_response(&mut bytes, &Response::Pong).unwrap();
+        assert!(matches!(
+            read_request(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN),
+            Err(ProtocolError::UnexpectedFrame { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = Vec::new();
+        write_request(&mut bytes, &Request::Stats).unwrap();
+        // Graft 4 payload bytes on and fix up both checksums.
+        bytes.extend_from_slice(&[1, 2, 3, 4]);
+        bytes[8..12].copy_from_slice(&4u32.to_le_bytes());
+        let psum = checksum(&bytes[HEADER_LEN..]);
+        bytes[12..20].copy_from_slice(&psum.to_le_bytes());
+        let hsum = checksum(&bytes[..20]);
+        bytes[20..28].copy_from_slice(&hsum.to_le_bytes());
+        assert!(matches!(
+            read_request(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+}

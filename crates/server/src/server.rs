@@ -1,0 +1,446 @@
+//! The TCP serving frontend: thread-per-connection over
+//! [`std::net::TcpListener`], with admission control and graceful shutdown.
+//!
+//! Architecture (all std, no external deps — the workspace builds
+//! air-gapped):
+//!
+//! * an **accept thread** owns the listener. Before each `accept` it takes
+//!   a permit from a bounded connection gate ([`ServerConfig::max_connections`]),
+//!   so excess clients queue in the kernel backlog instead of spawning
+//!   unbounded threads — no connection is ever dropped by admission;
+//! * each connection gets a **dedicated thread** running a
+//!   read-request/write-response loop with per-request read/write
+//!   deadlines (`set_read_timeout` / `set_write_timeout`). Between
+//!   requests the thread idle-polls with a short `peek` timeout so it can
+//!   notice shutdown without consuming bytes;
+//! * a **bounded submission queue** guards the shared
+//!   [`Engine`]: each admitted query holds one unit of
+//!   [`ServerConfig::queue_capacity`] until answered. A request that would
+//!   exceed the bound is rejected with a typed
+//!   [`WireError::Overloaded`] response — backpressure, not buffering;
+//! * **graceful shutdown** ([`ServerHandle::shutdown`], or a wire
+//!   [`Request::Shutdown`]) stops accepting, lets every in-flight request
+//!   finish and flush its response, then joins the accept thread and all
+//!   connection threads.
+//!
+//! Protocol-level failures (corrupt frame, oversized length prefix,
+//! version skew) are answered with a typed [`Response::Error`] frame where
+//! the stream still permits one, and the connection is closed — a broken
+//! framing layer cannot be resynchronized.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::protocol::{
+    read_request, write_response, ProtocolError, Request, Response, WireError,
+    DEFAULT_MAX_FRAME_LEN,
+};
+use trl_engine::{Engine, EngineError};
+
+/// How often an idle connection thread wakes to check for shutdown.
+const IDLE_POLL: Duration = Duration::from_millis(25);
+
+/// Tunables for a [`Server`]. The defaults suit tests and small
+/// deployments; serving real traffic wants them set explicitly.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Maximum concurrently served connections; further clients wait in
+    /// the kernel accept backlog.
+    pub max_connections: usize,
+    /// Maximum queries admitted into the engine at once, across all
+    /// connections. A request pushing past this is answered with
+    /// [`WireError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Per-request read deadline (and the cap on a mid-frame stall).
+    pub read_timeout: Duration,
+    /// Per-response write deadline.
+    pub write_timeout: Duration,
+    /// Ceiling on an inbound frame's payload length.
+    pub max_frame_len: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            queue_capacity: 1024,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// Counters the server keeps about its own traffic (monotonic since bind).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerCounters {
+    /// Requests answered successfully.
+    pub served: u64,
+    /// Requests rejected with [`WireError::Overloaded`].
+    pub overloaded: u64,
+    /// Connections accepted.
+    pub connections: u64,
+}
+
+/// A semaphore built from a mutex and condvar (std has no semaphore).
+struct Gate {
+    held: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Gate {
+            held: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a permit is free or `cancel` turns true; returns
+    /// whether a permit was taken.
+    fn acquire(&self, max: usize, cancel: &AtomicBool) -> bool {
+        let mut held = self.held.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if cancel.load(Ordering::Acquire) {
+                return false;
+            }
+            if *held < max {
+                *held += 1;
+                return true;
+            }
+            let (guard, _) = self
+                .freed
+                .wait_timeout(held, IDLE_POLL)
+                .unwrap_or_else(|p| p.into_inner());
+            held = guard;
+        }
+    }
+
+    fn release(&self) {
+        let mut held = self.held.lock().unwrap_or_else(|p| p.into_inner());
+        *held = held.saturating_sub(1);
+        drop(held);
+        self.freed.notify_all();
+    }
+}
+
+/// State shared by the accept thread, every connection thread, and the
+/// [`ServerHandle`].
+struct Shared {
+    engine: Arc<Engine>,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    /// Pair used to block [`ServerHandle::wait`] until shutdown.
+    shutdown_signal: (Mutex<bool>, Condvar),
+    conn_gate: Gate,
+    /// Queries admitted into the engine and not yet answered.
+    admitted: AtomicUsize,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+    served: AtomicU64,
+    overloaded: AtomicU64,
+    connections: AtomicU64,
+}
+
+impl Shared {
+    fn begin_shutdown(&self, addr: SocketAddr) {
+        self.shutdown.store(true, Ordering::Release);
+        let (lock, cv) = &self.shutdown_signal;
+        *lock.lock().unwrap_or_else(|p| p.into_inner()) = true;
+        cv.notify_all();
+        // Unblock an accept() parked in the kernel: a throwaway connection
+        // to ourselves makes it return, after which it sees the flag.
+        let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
+    }
+
+    /// Admits `n` queries against the bounded submission queue, or reports
+    /// the typed overload. Admission is all-or-nothing per request.
+    fn try_admit(&self, n: usize) -> Result<(), WireError> {
+        let cap = self.config.queue_capacity;
+        let admit = self
+            .admitted
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                (cur + n <= cap).then_some(cur + n)
+            });
+        match admit {
+            Ok(_) => Ok(()),
+            Err(cur) => {
+                self.overloaded.fetch_add(1, Ordering::Relaxed);
+                Err(WireError::Overloaded {
+                    queue_depth: cur as u64,
+                    capacity: cap as u64,
+                })
+            }
+        }
+    }
+
+    fn release_admitted(&self, n: usize) {
+        self.admitted.fetch_sub(n, Ordering::AcqRel);
+    }
+}
+
+/// A running server. Bind with [`Server::bind`]; the returned
+/// [`ServerHandle`] is the only way to address or stop it.
+pub struct Server;
+
+/// Handle to a bound, accepting server: its address, a shutdown trigger,
+/// and the join points for every thread it spawned.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), spawns
+    /// the accept thread, and returns the handle. The engine is shared —
+    /// several servers (or in-process callers) may serve one engine.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        engine: Arc<Engine>,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine,
+            config,
+            shutdown: AtomicBool::new(false),
+            shutdown_signal: (Mutex::new(false), Condvar::new()),
+            conn_gate: Gate::new(),
+            admitted: AtomicUsize::new(0),
+            conns: Mutex::new(Vec::new()),
+            served: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("trl-server-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared, addr))?;
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves `:0` ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Traffic counters so far.
+    pub fn counters(&self) -> ServerCounters {
+        ServerCounters {
+            served: self.shared.served.load(Ordering::Relaxed),
+            overloaded: self.shared.overloaded.load(Ordering::Relaxed),
+            connections: self.shared.connections.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether shutdown has been triggered (locally or over the wire).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Triggers graceful shutdown and joins every server thread: stops
+    /// accepting, drains in-flight requests, then returns final counters.
+    pub fn shutdown(mut self) -> ServerCounters {
+        self.shared.begin_shutdown(self.addr);
+        self.join_all()
+    }
+
+    /// Blocks until something triggers shutdown (a wire
+    /// [`Request::Shutdown`], or [`ServerHandle::shutdown`] from another
+    /// thread via a clone — there is none, so in practice the wire), then
+    /// joins every server thread.
+    pub fn wait(mut self) -> ServerCounters {
+        let (lock, cv) = &self.shared.shutdown_signal;
+        {
+            let mut down = lock.lock().unwrap_or_else(|p| p.into_inner());
+            while !*down {
+                down = cv.wait(down).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+        self.join_all()
+    }
+
+    fn join_all(&mut self) -> ServerCounters {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let conns =
+            std::mem::take(&mut *self.shared.conns.lock().unwrap_or_else(|p| p.into_inner()));
+        for c in conns {
+            let _ = c.join();
+        }
+        self.counters()
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // A dropped handle still stops the server; shutdown()/wait() only
+        // add the explicit join-and-report path.
+        if self.accept_thread.is_some() {
+            self.shared.begin_shutdown(self.addr);
+            self.join_all();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, addr: SocketAddr) {
+    loop {
+        if !shared
+            .conn_gate
+            .acquire(shared.config.max_connections, &shared.shutdown)
+        {
+            return; // shutdown while waiting for a permit
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                shared.conn_gate.release();
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            // The wake-up connection from begin_shutdown, or a client that
+            // raced shutdown; either way, stop accepting.
+            shared.conn_gate.release();
+            return;
+        }
+        shared.connections.fetch_add(1, Ordering::Relaxed);
+        let conn_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name("trl-server-conn".into())
+            .spawn(move || {
+                connection_loop(stream, &conn_shared, addr);
+                conn_shared.conn_gate.release();
+            });
+        match spawned {
+            Ok(handle) => {
+                let mut conns = shared.conns.lock().unwrap_or_else(|p| p.into_inner());
+                // Reap finished threads (dropping a finished JoinHandle
+                // detaches nothing that still runs) so a long-lived
+                // server's handle list tracks live connections.
+                conns.retain(|h| !h.is_finished());
+                conns.push(handle);
+            }
+            Err(_) => shared.conn_gate.release(),
+        }
+    }
+}
+
+/// Serves one connection until the peer leaves, the stream breaks, or
+/// shutdown drains it.
+fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>, addr: SocketAddr) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    loop {
+        // Idle-poll for the next frame without consuming bytes, so
+        // shutdown is noticed between requests, never mid-frame.
+        let _ = stream.set_read_timeout(Some(IDLE_POLL));
+        let mut probe = [0u8; 1];
+        match stream.peek(&mut probe) {
+            Ok(0) => return, // peer closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        // A frame is arriving: switch to the per-request deadline.
+        let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+        let request = match read_request(&mut stream, shared.config.max_frame_len) {
+            Ok(req) => req,
+            Err(ProtocolError::Disconnected) => return,
+            Err(ProtocolError::Io(_)) => return,
+            Err(e) => {
+                // Typed rejection, then close: framing cannot resync.
+                let resp = Response::Error(WireError::Invalid(e.to_string()));
+                let _ = write_response(&mut stream, &resp);
+                return;
+            }
+        };
+        let is_shutdown_request = matches!(request, Request::Shutdown);
+        let response = handle_request(request, shared);
+        if write_response(&mut stream, &response).is_err() {
+            return;
+        }
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        if is_shutdown_request {
+            shared.begin_shutdown(addr);
+            return;
+        }
+    }
+}
+
+fn handle_request(request: Request, shared: &Shared) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Stats => Response::Stats(shared.engine.stats()),
+        Request::Shutdown => Response::ShuttingDown,
+        Request::Compile(cnf) => match shared.try_admit(1) {
+            Err(e) => Response::Error(e),
+            Ok(()) => {
+                let (key, circuit) = shared.engine.compile(&cnf);
+                shared.release_admitted(1);
+                Response::Compiled {
+                    key,
+                    num_vars: circuit.num_vars() as u32,
+                    nodes: circuit.raw().node_count() as u32,
+                    edges: circuit.raw().edge_count() as u32,
+                }
+            }
+        },
+        Request::Query { key, query } => match run_queries(shared, key, vec![query]) {
+            Ok(mut answers) => Response::Answer(answers.remove(0)),
+            Err(e) => Response::Error(e),
+        },
+        Request::Batch { key, queries } => match run_queries(shared, key, queries) {
+            Ok(answers) => Response::Batch(answers),
+            Err(e) => Response::Error(e),
+        },
+    }
+}
+
+fn run_queries(
+    shared: &Shared,
+    key: u64,
+    queries: Vec<trl_engine::Query>,
+) -> Result<Vec<trl_engine::QueryAnswer>, WireError> {
+    let n = queries.len();
+    if n > 0 {
+        shared.try_admit(n)?;
+    }
+    let result = (|| {
+        let circuit = shared.engine.get(key).ok_or(WireError::UnknownKey(key))?;
+        let outcomes = shared
+            .engine
+            .run_batch(&circuit, queries)
+            .map_err(|e| match e {
+                EngineError::Structure(m) => WireError::Invalid(m),
+                other => WireError::Engine(other.to_string()),
+            })?;
+        Ok(outcomes.into_iter().map(|o| o.answer).collect())
+    })();
+    if n > 0 {
+        shared.release_admitted(n);
+    }
+    result
+}

@@ -1,0 +1,282 @@
+//! End-to-end serving: concurrent clients over real sockets must get
+//! answers bit-identical to direct in-process executor calls, overload
+//! must surface as typed backpressure, and shutdown must drain cleanly.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use trl_compiler::DecisionDnnfCompiler;
+use trl_core::{PartialAssignment, Var};
+use trl_engine::{Engine, Executor, PreparedCircuit, Query, QueryAnswer};
+use trl_nnf::LitWeights;
+use trl_prop::Cnf;
+use trl_server::{Client, ClientError, Server, ServerConfig, WireError};
+
+fn acceptance_cnf() -> Cnf {
+    Cnf::parse_dimacs("p cnf 6 7\n1 2 0\n-1 3 0\n-2 -4 0\n4 5 0\n-5 6 0\n2 -6 0\n1 -3 5 0\n")
+        .unwrap()
+}
+
+fn query_stream(n_vars: usize, rounds: usize) -> Vec<Query> {
+    let mut queries = Vec::new();
+    for i in 0..rounds {
+        let mut w = LitWeights::unit(n_vars);
+        for v in 0..n_vars as u32 {
+            w.set(
+                Var(v).positive(),
+                0.25 + 0.05 * ((i as u32 + v) % 10) as f64,
+            );
+            w.set(
+                Var(v).negative(),
+                0.75 - 0.05 * ((i as u32 + v) % 10) as f64,
+            );
+        }
+        let mut pa = PartialAssignment::new(n_vars);
+        pa.assign(Var((i % n_vars) as u32).literal(i % 2 == 0));
+        queries.push(Query::Sat);
+        queries.push(Query::ModelCount);
+        queries.push(Query::ModelCountUnder(pa));
+        queries.push(Query::Wmc(w.clone()));
+        queries.push(Query::Marginals(w.clone()));
+        queries.push(Query::MaxWeight(w));
+    }
+    queries
+}
+
+/// 8 concurrent client connections hammer the server with every query
+/// kind; every networked answer must be bit-identical to the direct
+/// in-process executor answer, and shutdown must join cleanly.
+#[test]
+fn eight_concurrent_clients_get_bit_identical_answers() {
+    let cnf = acceptance_cnf();
+    let direct = Arc::new(PreparedCircuit::new(
+        DecisionDnnfCompiler::default().compile(&cnf),
+    ));
+    let direct_executor = Executor::new(2);
+
+    let engine = Arc::new(Engine::new(1 << 22, Some(4)));
+    let handle = Server::bind("127.0.0.1:0", engine, ServerConfig::default()).unwrap();
+    let addr = handle.addr();
+
+    let queries = query_stream(cnf.num_vars(), 6);
+    let expected: Vec<QueryAnswer> = direct_executor
+        .run_batch(&direct, queries.clone())
+        .into_iter()
+        .map(|o| o.answer)
+        .collect();
+
+    let mut clients = Vec::new();
+    for worker in 0..8 {
+        let cnf = cnf.clone();
+        let queries = queries.clone();
+        let expected = expected.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            let compiled = client.compile(&cnf).expect("compile");
+            // Half the clients go query-by-query, half in one batch.
+            if worker % 2 == 0 {
+                for (q, want) in queries.iter().zip(&expected) {
+                    let got = client.query(compiled.key, q.clone()).expect("query");
+                    assert_eq!(&got, want, "worker {worker} kind {}", q.kind());
+                }
+            } else {
+                let got = client.batch(compiled.key, queries.clone()).expect("batch");
+                assert_eq!(got, expected, "worker {worker} batch");
+            }
+        }));
+    }
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    let counters = handle.shutdown();
+    assert!(counters.connections >= 8);
+    assert_eq!(counters.overloaded, 0);
+}
+
+/// A full submission queue rejects with typed Overloaded; the connection
+/// stays usable and later requests succeed.
+#[test]
+fn overload_is_typed_and_survivable() {
+    let cnf = acceptance_cnf();
+    let engine = Arc::new(Engine::new(1 << 22, Some(1)));
+    let config = ServerConfig {
+        queue_capacity: 2,
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", engine, config).unwrap();
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let compiled = client.compile(&cnf).unwrap();
+
+    // A batch wider than the whole queue can never be admitted: typed
+    // rejection carrying the capacity, not a hang or a dropped socket.
+    let too_wide = vec![Query::ModelCount; 3];
+    match client.batch(compiled.key, too_wide) {
+        Err(ClientError::Server(WireError::Overloaded { capacity, .. })) => {
+            assert_eq!(capacity, 2);
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+
+    // The same connection still serves.
+    let answer = client.query(compiled.key, Query::ModelCount).unwrap();
+    assert!(answer.model_count().is_some());
+    handle.shutdown();
+}
+
+/// Unknown registry keys are a typed error, not a dead connection.
+#[test]
+fn unknown_key_is_typed() {
+    let engine = Arc::new(Engine::new(1 << 22, Some(1)));
+    let handle = Server::bind("127.0.0.1:0", engine, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    match client.query(0xdead_beef, Query::Sat) {
+        Err(ClientError::Server(WireError::UnknownKey(k))) => assert_eq!(k, 0xdead_beef),
+        other => panic!("expected UnknownKey, got {other:?}"),
+    }
+    client.ping().unwrap();
+    handle.shutdown();
+}
+
+/// Invalid queries (weights not covering the universe) are typed errors.
+#[test]
+fn invalid_query_is_typed() {
+    let cnf = acceptance_cnf();
+    let engine = Arc::new(Engine::new(1 << 22, Some(1)));
+    let handle = Server::bind("127.0.0.1:0", engine, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let compiled = client.compile(&cnf).unwrap();
+    match client.query(compiled.key, Query::Wmc(LitWeights::unit(2))) {
+        Err(ClientError::Server(WireError::Invalid(_))) => {}
+        other => panic!("expected Invalid, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// A client that disconnects mid-frame (or sends garbage) must not take
+/// the server down; later connections serve normally.
+#[test]
+fn garbage_and_mid_frame_disconnects_do_not_kill_the_server() {
+    use std::io::Write;
+    let cnf = acceptance_cnf();
+    let engine = Arc::new(Engine::new(1 << 22, Some(1)));
+    let handle = Server::bind("127.0.0.1:0", engine, ServerConfig::default()).unwrap();
+
+    // Garbage bytes.
+    {
+        let mut s = std::net::TcpStream::connect(handle.addr()).unwrap();
+        s.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    }
+    // A legitimate frame prefix, cut mid-payload.
+    {
+        let mut bytes = Vec::new();
+        trl_server::write_request(&mut bytes, &trl_server::Request::Compile(cnf.clone())).unwrap();
+        let mut s = std::net::TcpStream::connect(handle.addr()).unwrap();
+        s.write_all(&bytes[..bytes.len() / 2]).unwrap();
+        // Dropping the stream closes it mid-frame.
+    }
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let compiled = client.compile(&cnf).unwrap();
+    let direct = DecisionDnnfCompiler::default().compile(&cnf);
+    assert_eq!(
+        client.query(compiled.key, Query::ModelCount).unwrap(),
+        QueryAnswer::ModelCount(direct.model_count())
+    );
+    handle.shutdown();
+}
+
+/// Graceful shutdown: a request in flight when shutdown triggers still
+/// gets its complete response, and every server thread joins.
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let cnf = acceptance_cnf();
+    let engine = Arc::new(Engine::new(1 << 22, Some(2)));
+    let handle = Server::bind("127.0.0.1:0", engine, ServerConfig::default()).unwrap();
+    let addr = handle.addr();
+
+    let mut client = Client::connect(addr).unwrap();
+    let compiled = client.compile(&cnf).unwrap();
+    let key = compiled.key;
+
+    // Several clients keep a stream of batches in flight while the wire
+    // shutdown lands; each outstanding request must complete.
+    let queries = query_stream(cnf.num_vars(), 2);
+    let mut busy = Vec::new();
+    for _ in 0..4 {
+        let queries = queries.clone();
+        let mut c = Client::connect(addr).unwrap();
+        busy.push(std::thread::spawn(move || {
+            let mut completed = 0usize;
+            for _ in 0..50 {
+                match c.batch(key, queries.clone()) {
+                    Ok(answers) => {
+                        assert_eq!(answers.len(), queries.len());
+                        completed += 1;
+                    }
+                    // After the drain the server closes the stream; any
+                    // protocol error past that point is the clean end of
+                    // the connection, never a half-written frame (which
+                    // would decode as Malformed/Checksum and also land
+                    // here — the assert below separates them).
+                    Err(ClientError::Protocol(e)) => {
+                        assert!(
+                            matches!(
+                                e,
+                                trl_server::ProtocolError::Disconnected
+                                    | trl_server::ProtocolError::Io(_)
+                            ),
+                            "unclean stream end: {e:?}"
+                        );
+                        break;
+                    }
+                    Err(ClientError::Server(WireError::ShuttingDown)) => break,
+                    Err(other) => panic!("unexpected failure: {other:?}"),
+                }
+            }
+            completed
+        }));
+    }
+
+    std::thread::sleep(Duration::from_millis(50));
+    let mut shutter = Client::connect(addr).unwrap();
+    shutter.shutdown_server().unwrap();
+
+    // shutdown-by-wire: the handle's wait() must observe it and join.
+    let counters = handle.wait();
+    for b in busy {
+        let completed = b.join().expect("busy client");
+        assert!(completed > 0, "client never completed a batch");
+    }
+    assert!(counters.served > 0);
+
+    // The port is released: a fresh bind to the same address succeeds.
+    let rebind = std::net::TcpListener::bind(addr);
+    assert!(rebind.is_ok(), "port still held after shutdown");
+}
+
+/// Stats over the wire reflect engine activity.
+#[test]
+fn stats_snapshot_over_the_wire() {
+    let cnf = acceptance_cnf();
+    let engine = Arc::new(Engine::new(1 << 22, Some(3)));
+    let handle = Server::bind("127.0.0.1:0", engine, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let before = client.stats().unwrap();
+    assert_eq!(before.artifacts, 0);
+    assert_eq!(before.workers, 3);
+
+    let compiled = client.compile(&cnf).unwrap();
+    client.compile(&cnf).unwrap(); // hit
+    client.query(compiled.key, Query::ModelCount).unwrap();
+
+    let after = client.stats().unwrap();
+    assert_eq!(after.artifacts, 1);
+    assert_eq!(after.registry.misses, 1);
+    assert!(after.registry.hits >= 2, "compile hit + key lookup");
+    assert!(after.retained_nodes > 0);
+    handle.shutdown();
+}

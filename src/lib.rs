@@ -37,6 +37,8 @@ pub use trl_prop as prop;
 pub use trl_psdd as psdd;
 /// Sentential decision diagrams.
 pub use trl_sdd as sdd;
+/// Network serving: wire protocol, TCP server, and blocking client.
+pub use trl_server as server;
 /// Combinatorial/structured probability spaces: routes, rankings, hierarchical maps.
 pub use trl_spaces as spaces;
 /// Vtrees: the structure dimension of SDDs and structured DNNFs.

@@ -1,11 +1,17 @@
-//! The `three-roles` command-line interface: compile once, query many.
+//! The `three-roles` command-line interface: compile once, query many —
+//! in-process or over the network.
 //!
 //! ```text
 //! three-roles compile <cnf> [-o ARTIFACT] [--text] [--emit-vtree PATH] [--stats]
 //! three-roles query <artifact> [--count] [--sat] [--wmc] [--marginals] [--mpe]
 //!                   [--weight LIT=W]... [--under LIT]... [--batch FILE]
 //!                   [--workers N] [--trust]
-//! three-roles bench-serve <cnf> [-o PATH] [--queries N] [--seed S]
+//! three-roles serve <addr> [--workers N] [--budget NODES] [--max-conns N]
+//!                   [--queue N] [--timeout-secs S]
+//! three-roles client <addr> ping | stats | shutdown
+//! three-roles client <addr> compile <cnf>
+//! three-roles client <addr> query <cnf> [query flags as above]
+//! three-roles bench-serve <cnf> [-o PATH] [--queries N] [--seed S] [--workers N]
 //! three-roles bench-eval <cnf> [-o PATH] [--queries N] [--seed S]
 //! ```
 //!
@@ -16,21 +22,27 @@
 //! and answers the requested queries through the batched executor — either
 //! from flags or, with `--batch`, from a file of one query per line (which
 //! exercises the lane-batched kernel path: same-kind queries are grouped
-//! into shared tape sweeps). `bench-serve` runs the serving benchmark and
+//! into shared tape sweeps). `serve` runs the `trl-server` TCP frontend
+//! over a shared engine; `client` speaks its wire protocol (a `client
+//! query` compiles server-side first — a registry hit when already
+//! resident — and prints answers in exactly the local `query` format, so
+//! the two are diffable). `bench-serve` runs the serving benchmark and
 //! writes `BENCH_engine.json`; `bench-eval` runs the kernel-variant
 //! benchmark and writes `BENCH_eval.json`.
 
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 use three_roles::compiler::DecisionDnnfCompiler;
 use three_roles::core::PartialAssignment;
 use three_roles::core::{Lit, Var};
 use three_roles::engine::{
     eval_benchmark, load_binary, load_nnf, save_binary, save_nnf, save_vtree, serving_benchmark,
-    Executor, Query, QueryAnswer, Validation,
+    Engine, Executor, Query, QueryAnswer, Validation,
 };
 use three_roles::nnf::{Circuit, LitWeights};
 use three_roles::prop::Cnf;
+use three_roles::server::{Client, Server, ServerConfig};
 use three_roles::vtree::Vtree;
 
 fn main() -> ExitCode {
@@ -42,6 +54,8 @@ fn main() -> ExitCode {
     let run = match cmd.as_str() {
         "compile" => cmd_compile(rest),
         "query" => cmd_query(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "bench-serve" => cmd_bench_serve(rest),
         "bench-eval" => cmd_bench_eval(rest),
         "help" | "--help" | "-h" => {
@@ -67,7 +81,12 @@ USAGE:
   three-roles query <artifact> [--count] [--sat] [--wmc] [--marginals] [--mpe]
                     [--weight LIT=W]... [--under LIT]... [--batch FILE]
                     [--workers N] [--trust]
-  three-roles bench-serve <cnf> [-o PATH] [--queries N] [--seed S]
+  three-roles serve <addr> [--workers N] [--budget NODES] [--max-conns N]
+                    [--queue N] [--timeout-secs S]
+  three-roles client <addr> ping | stats | shutdown
+  three-roles client <addr> compile <cnf>
+  three-roles client <addr> query <cnf> [query flags as above]
+  three-roles bench-serve <cnf> [-o PATH] [--queries N] [--seed S] [--workers N]
   three-roles bench-eval <cnf> [-o PATH] [--queries N] [--seed S]
 
 COMPILE:
@@ -92,13 +111,30 @@ QUERY (artifacts ending in .nnf use the text reader, anything else binary):
                      ('count 1 -3' counts models with x1 true, x3 false;
                       blank lines and '#' comments are skipped). Same-kind
                      queries are grouped into shared lane-batched sweeps.
-  --workers N        executor worker threads (default 1)
+  --workers N        executor worker threads (default: all available cores)
   --trust            skip d-DNNF property re-verification on load
+
+SERVE (TCP frontend; `client query` answers are bit-identical to `query`):
+  --workers N        engine worker threads (default: all available cores)
+  --budget NODES     registry node-retention budget (default 2^24)
+  --max-conns N      concurrent connection limit (default 64); excess
+                     connections wait in the accept queue, none are dropped
+  --queue N          submission-queue capacity (default 1024); a full queue
+                     rejects requests with a typed `overloaded` error
+  --timeout-secs S   per-request read/write deadline (default 30)
+
+CLIENT (speaks the trl-server wire protocol to a running `serve`):
+  ping | stats | shutdown      liveness, engine counters, graceful drain
+  compile <cnf>                compile server-side, print the registry key
+  query <cnf> [query flags]    compile (a registry hit when warm), then
+                               answer queries; accepts the QUERY flags above
+                               except --workers/--trust (server-side concerns)
 
 BENCH-SERVE:
   -o PATH            where to write the JSON report (default BENCH_engine.json)
   --queries N        queries per configuration (default 256)
   --seed S           query-stream seed (default 0x5eed)
+  --workers N        max worker-thread count (default: all available cores)
 
 BENCH-EVAL:
   -o PATH            where to write the JSON report (default BENCH_eval.json)
@@ -293,115 +329,290 @@ fn check_weight_vars(spec: &[(Lit, f64)], n: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// The query-selection flags shared by the local `query` subcommand and the
+/// networked `client query` subcommand: which queries to run, under what
+/// weights and evidence. Parsing is split from building so both commands
+/// consume identical flags, then materialise against the circuit's actual
+/// variable count (known only after load or server-side compile).
+struct QuerySpec {
+    weights_spec: Vec<(Lit, f64)>,
+    under_spec: Vec<Lit>,
+    batch_path: Option<String>,
+    want_count: bool,
+    want_sat: bool,
+    want_wmc: bool,
+    want_marginals: bool,
+    want_mpe: bool,
+}
+
+impl QuerySpec {
+    /// Consumes the query flags out of `args`, leaving any positionals.
+    fn take(args: &mut Vec<String>) -> Result<QuerySpec, String> {
+        let mut weights_spec = Vec::new();
+        while let Some(spec) = take_value(args, "--weight")? {
+            weights_spec.push(parse_weight(&spec)?);
+        }
+        let mut under_spec = Vec::new();
+        while let Some(spec) = take_value(args, "--under")? {
+            under_spec.push(parse_dimacs_lit(&spec)?);
+        }
+        Ok(QuerySpec {
+            weights_spec,
+            under_spec,
+            batch_path: take_value(args, "--batch")?,
+            want_count: take_flag(args, "--count"),
+            want_sat: take_flag(args, "--sat"),
+            want_wmc: take_flag(args, "--wmc"),
+            want_marginals: take_flag(args, "--marginals"),
+            want_mpe: take_flag(args, "--mpe"),
+        })
+    }
+
+    /// Materialises the flags into queries over an `n`-variable circuit.
+    /// Flag order in the result mirrors the fixed check order below.
+    fn build(&self, n: usize) -> Result<Vec<Query>, String> {
+        check_weight_vars(&self.weights_spec, n).map_err(|e| format!("--weight {e}"))?;
+        for l in &self.under_spec {
+            if l.var().index() >= n {
+                return Err(format!(
+                    "--under literal {} outside the circuit's {n} variables",
+                    l.var().index() + 1
+                ));
+            }
+        }
+        let mut queries = Vec::new();
+        let any_other = self.want_sat
+            || self.want_wmc
+            || self.want_marginals
+            || self.want_mpe
+            || !self.under_spec.is_empty()
+            || self.batch_path.is_some();
+        if self.want_count || !any_other {
+            queries.push(Query::ModelCount);
+        }
+        if self.want_sat {
+            queries.push(Query::Sat);
+        }
+        if self.want_wmc {
+            queries.push(Query::Wmc(weighted(&self.weights_spec, n)));
+        }
+        if self.want_marginals {
+            queries.push(Query::Marginals(weighted(&self.weights_spec, n)));
+        }
+        if self.want_mpe {
+            queries.push(Query::MaxWeight(weighted(&self.weights_spec, n)));
+        }
+        if !self.under_spec.is_empty() {
+            let mut pa = PartialAssignment::new(n);
+            for &l in &self.under_spec {
+                pa.assign(l);
+            }
+            queries.push(Query::ModelCountUnder(pa));
+        }
+        if let Some(path) = &self.batch_path {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            for (lineno, line) in text.lines().enumerate() {
+                if let Some(q) =
+                    parse_batch_line(line, n).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?
+                {
+                    queries.push(q);
+                }
+            }
+        }
+        Ok(queries)
+    }
+}
+
+/// Prints one answered query in the CLI's stable line format. Both `query`
+/// and `client query` route through here, so a local and a networked run of
+/// the same queries produce byte-identical output up to the latency suffix.
+fn print_outcome(kind: &str, answer: &QueryAnswer, latency: Duration) {
+    print!("{kind:<19}");
+    match answer {
+        QueryAnswer::Sat(yes) => print!("{}", if *yes { "SAT" } else { "UNSAT" }),
+        QueryAnswer::ModelCount(c) => print!("{c}"),
+        QueryAnswer::Wmc(x) => print!("{x}"),
+        QueryAnswer::Marginals { wmc, marginals } => {
+            print!("{wmc}");
+            for (v, (pos, neg)) in marginals.iter().enumerate() {
+                print!("\n  x{:<10}{pos} / {neg}", v + 1);
+            }
+        }
+        QueryAnswer::MaxWeight(None) => print!("UNSAT"),
+        QueryAnswer::MaxWeight(Some((w, a))) => {
+            print!("{w}  [");
+            for v in 0..a.len() {
+                let sign = if a.value(Var(v as u32)) { "" } else { "-" };
+                print!("{}{sign}{}", if v > 0 { " " } else { "" }, v + 1);
+            }
+            print!("]");
+        }
+    }
+    println!("   ({:.1} us)", latency.as_secs_f64() * 1e6);
+}
+
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
-    let mut weights_spec = Vec::new();
-    while let Some(spec) = take_value(&mut args, "--weight")? {
-        weights_spec.push(parse_weight(&spec)?);
-    }
-    let mut under_spec = Vec::new();
-    while let Some(spec) = take_value(&mut args, "--under")? {
-        under_spec.push(parse_dimacs_lit(&spec)?);
-    }
-    let batch_path = take_value(&mut args, "--batch")?;
-    let workers = match take_value(&mut args, "--workers")? {
-        Some(n) => parse_num(&n, "worker count")?,
-        None => 1usize,
-    };
+    let spec = QuerySpec::take(&mut args)?;
+    let workers = take_value(&mut args, "--workers")?
+        .map(|n| parse_num(&n, "worker count"))
+        .transpose()?;
     let validation = if take_flag(&mut args, "--trust") {
         Validation::Trust
     } else {
         Validation::Full
     };
-    let mut queries = Vec::new();
-    // Flag order in `queries` mirrors the fixed check order below.
-    let want_count = take_flag(&mut args, "--count");
-    let want_sat = take_flag(&mut args, "--sat");
-    let want_wmc = take_flag(&mut args, "--wmc");
-    let want_marginals = take_flag(&mut args, "--marginals");
-    let want_mpe = take_flag(&mut args, "--mpe");
     let artifact = take_positional(args, "artifact path")?;
 
     let circuit = load_artifact(&artifact, validation)?;
-    let n = circuit.num_vars();
-    check_weight_vars(&weights_spec, n).map_err(|e| format!("--weight {e}"))?;
-    for l in &under_spec {
-        if l.var().index() >= n {
-            return Err(format!(
-                "--under literal {} outside the circuit's {n} variables",
-                l.var().index() + 1
-            ));
-        }
-    }
-    let any_other = want_sat
-        || want_wmc
-        || want_marginals
-        || want_mpe
-        || !under_spec.is_empty()
-        || batch_path.is_some();
-    if want_count || !any_other {
-        queries.push(Query::ModelCount);
-    }
-    if want_sat {
-        queries.push(Query::Sat);
-    }
-    if want_wmc {
-        queries.push(Query::Wmc(weighted(&weights_spec, n)));
-    }
-    if want_marginals {
-        queries.push(Query::Marginals(weighted(&weights_spec, n)));
-    }
-    if want_mpe {
-        queries.push(Query::MaxWeight(weighted(&weights_spec, n)));
-    }
-    if !under_spec.is_empty() {
-        let mut pa = PartialAssignment::new(n);
-        for &l in &under_spec {
-            pa.assign(l);
-        }
-        queries.push(Query::ModelCountUnder(pa));
-    }
-    if let Some(path) = &batch_path {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        for (lineno, line) in text.lines().enumerate() {
-            if let Some(q) =
-                parse_batch_line(line, n).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?
-            {
-                queries.push(q);
-            }
-        }
-    }
+    let queries = spec.build(circuit.num_vars())?;
 
     let prepared = std::sync::Arc::new(three_roles::engine::PreparedCircuit::new(circuit));
-    let executor = Executor::new(workers);
+    let executor = match workers {
+        Some(w) => Executor::new(w),
+        None => Executor::with_default_workers(),
+    };
     let outcomes = executor
         .try_run_batch(&prepared, queries.clone())
         .map_err(|e| e.to_string())?;
     for (query, outcome) in queries.iter().zip(outcomes) {
-        print!("{:<19}", query.kind());
-        match outcome.answer {
-            QueryAnswer::Sat(yes) => print!("{}", if yes { "SAT" } else { "UNSAT" }),
-            QueryAnswer::ModelCount(c) => print!("{c}"),
-            QueryAnswer::Wmc(x) => print!("{x}"),
-            QueryAnswer::Marginals { wmc, marginals } => {
-                print!("{wmc}");
-                for (v, (pos, neg)) in marginals.iter().enumerate() {
-                    print!("\n  x{:<10}{pos} / {neg}", v + 1);
-                }
-            }
-            QueryAnswer::MaxWeight(None) => print!("UNSAT"),
-            QueryAnswer::MaxWeight(Some((w, ref a))) => {
-                print!("{w}  [");
-                for v in 0..a.len() {
-                    let sign = if a.value(Var(v as u32)) { "" } else { "-" };
-                    print!("{}{sign}{}", if v > 0 { " " } else { "" }, v + 1);
-                }
-                print!("]");
-            }
-        }
-        println!("   ({:.1} us)", outcome.latency.as_secs_f64() * 1e6);
+        print_outcome(query.kind(), &outcome.answer, outcome.latency);
     }
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let workers = take_value(&mut args, "--workers")?
+        .map(|n| parse_num(&n, "worker count"))
+        .transpose()?;
+    let budget = match take_value(&mut args, "--budget")? {
+        Some(n) => parse_num(&n, "node budget")?,
+        None => 1usize << 24,
+    };
+    let mut config = ServerConfig::default();
+    if let Some(n) = take_value(&mut args, "--max-conns")? {
+        config.max_connections = parse_num(&n, "connection limit")?;
+    }
+    if let Some(n) = take_value(&mut args, "--queue")? {
+        config.queue_capacity = parse_num(&n, "queue capacity")?;
+    }
+    if let Some(s) = take_value(&mut args, "--timeout-secs")? {
+        let secs: u64 = parse_num(&s, "timeout")?;
+        config.read_timeout = Duration::from_secs(secs);
+        config.write_timeout = Duration::from_secs(secs);
+    }
+    let addr = take_positional(args, "listen address")?;
+
+    let engine = std::sync::Arc::new(Engine::new(budget, workers));
+    let stats = engine.stats();
+    let handle =
+        Server::bind(addr.as_str(), engine, config).map_err(|e| format!("binding {addr}: {e}"))?;
+    println!("listening on {}", handle.addr());
+    println!(
+        "  {} workers, {} node budget; shut down with `three-roles client {} shutdown`",
+        stats.workers,
+        stats.max_retained_nodes,
+        handle.addr()
+    );
+    let counters = handle.wait();
+    println!(
+        "served {} requests over {} connections ({} overload rejections)",
+        counters.served, counters.connections, counters.overloaded
+    );
+    Ok(())
+}
+
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    if args.len() < 2 {
+        return Err(format!("client needs an address and an action\n\n{USAGE}"));
+    }
+    let addr = args.remove(0);
+    let action = args.remove(0);
+    let connect =
+        || Client::connect(addr.as_str()).map_err(|e| format!("connecting to {addr}: {e}"));
+    match action.as_str() {
+        "ping" => {
+            expect_no_more(args, "ping")?;
+            let mut client = connect()?;
+            let start = Instant::now();
+            client.ping().map_err(|e| e.to_string())?;
+            println!(
+                "pong from {addr}   ({:.1} us)",
+                start.elapsed().as_secs_f64() * 1e6
+            );
+        }
+        "compile" => {
+            let input = take_positional(args, "input CNF path")?;
+            let cnf = read_cnf(&input)?;
+            let mut client = connect()?;
+            let summary = client.compile(&cnf).map_err(|e| e.to_string())?;
+            println!(
+                "compiled {input} on {addr}: key {:#018x}, {} vars ({} nodes, {} edges)",
+                summary.key, summary.num_vars, summary.nodes, summary.edges
+            );
+        }
+        "query" => {
+            let spec = QuerySpec::take(&mut args)?;
+            let input = take_positional(args, "input CNF path")?;
+            let cnf = read_cnf(&input)?;
+            let mut client = connect()?;
+            // Compiling is how a key is obtained; on a warm server this is
+            // a registry hit, not a recompilation.
+            let summary = client.compile(&cnf).map_err(|e| e.to_string())?;
+            let queries = spec.build(summary.num_vars as usize)?;
+            for query in queries {
+                let kind = query.kind();
+                let start = Instant::now();
+                let answer = client
+                    .query(summary.key, query)
+                    .map_err(|e| e.to_string())?;
+                print_outcome(kind, &answer, start.elapsed());
+            }
+        }
+        "stats" => {
+            expect_no_more(args, "stats")?;
+            let mut client = connect()?;
+            let s = client.stats().map_err(|e| e.to_string())?;
+            println!("stats for {addr}:");
+            println!(
+                "  registry   {} artifacts, {} hits, {} misses, {} evictions",
+                s.artifacts, s.registry.hits, s.registry.misses, s.registry.evictions
+            );
+            println!(
+                "  retained   {} / {} nodes",
+                s.retained_nodes, s.max_retained_nodes
+            );
+            println!(
+                "  executor   {} workers, {} queued",
+                s.workers, s.queue_depth
+            );
+        }
+        "shutdown" => {
+            expect_no_more(args, "shutdown")?;
+            let mut client = connect()?;
+            client.shutdown_server().map_err(|e| e.to_string())?;
+            println!("server at {addr} is shutting down");
+        }
+        other => {
+            return Err(format!(
+            "unknown client action '{other}' (expected ping, compile, query, stats, or shutdown)"
+        ))
+        }
+    }
+    Ok(())
+}
+
+/// Rejects leftover arguments after an action that takes none.
+fn expect_no_more(args: Vec<String>, action: &str) -> Result<(), String> {
+    if args.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "client {action} takes no further arguments, got {args:?}"
+        ))
+    }
 }
 
 fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
@@ -415,11 +626,16 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
         Some(s) => parse_num(&s, "seed")?,
         None => 0x5eedu64,
     };
+    let workers = take_value(&mut args, "--workers")?
+        .map(|n| parse_num(&n, "worker count"))
+        .transpose()?;
     let input = take_positional(args, "input CNF path")?;
 
     let cnf = read_cnf(&input)?;
     let circuit = DecisionDnnfCompiler::default().compile(&cnf);
-    let max_workers = std::thread::available_parallelism().map_or(2, |p| p.get().max(2));
+    let max_workers = workers
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(2, |p| p.get()))
+        .max(2);
     let report = serving_benchmark(
         &input,
         &circuit,
