@@ -74,4 +74,39 @@ wait "$serve_pid"
 unset serve_pid
 target/release/bench_net --smoke
 
+# Obs smoke: drive a fresh server with a known query mix, scrape the
+# Prometheus exposition, and check the cross-layer invariants — the
+# engine's total request counter equals the sum of its per-kind counters,
+# and every per-kind latency histogram counts exactly its counter.
+target/release/three-roles serve 127.0.0.1:0 --workers 2 \
+    > "$net_dir/obs-serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q '^listening on ' "$net_dir/obs-serve.log" && break
+    sleep 0.1
+done
+addr="$(sed -n 's/^listening on //p' "$net_dir/obs-serve.log" | head -n 1)"
+[[ -n "$addr" ]] || { echo "obs-smoke: server never came up" >&2; exit 1; }
+for _ in 1 2 3; do
+    target/release/three-roles client "$addr" query "$net_dir/smoke.cnf" \
+        "${net_flags[@]}" > /dev/null
+done
+target/release/three-roles client "$addr" stats > "$net_dir/obs-stats.out"
+grep -q 'queries *18 served' "$net_dir/obs-stats.out" \
+    || { echo "obs-smoke: expected 18 served queries" >&2; exit 1; }
+target/release/three-roles metrics "$addr" --prom > "$net_dir/obs.prom"
+target/release/three-roles client "$addr" shutdown > /dev/null
+wait "$serve_pid"
+unset serve_pid
+awk '
+    $1 == "trl_engine_requests" { total = $2 }
+    $1 ~ /^trl_engine_requests_/ { per_kind += $2 }
+    match($0, /^trl_engine_latency_[a-z_]+_us_count /) { hist += $2 }
+    END {
+        if (total == "" || total == 0) { print "obs-smoke: no trl_engine_requests in scrape"; exit 1 }
+        if (per_kind != total) { print "obs-smoke: per-kind sum " per_kind " != total " total; exit 1 }
+        if (hist != total) { print "obs-smoke: histogram count " hist " != total " total; exit 1 }
+    }
+' "$net_dir/obs.prom"
+
 echo "ci/check.sh: OK"

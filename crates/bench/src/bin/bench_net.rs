@@ -20,10 +20,11 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use trl_bench::harness::LatencySummary;
 use trl_bench::{banner, check, random_3cnf, row, section, Rng};
 use trl_compiler::DecisionDnnfCompiler;
 use trl_core::{PartialAssignment, Var};
-use trl_engine::{Engine, Executor, LatencySummary, PreparedCircuit, Query, QueryAnswer};
+use trl_engine::{Engine, Executor, PreparedCircuit, Query, QueryAnswer};
 use trl_nnf::LitWeights;
 use trl_prop::Cnf;
 use trl_server::{Client, ClientError, Server, ServerConfig, WireError};

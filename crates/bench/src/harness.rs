@@ -13,6 +13,12 @@ use std::time::Instant;
 
 pub use std::hint::black_box;
 
+// The workspace's one latency-distribution summary. It started life in
+// the serving benchmark, moved to `trl-obs` so histogram snapshots and
+// bench reports render percentiles through the same nearest-rank code,
+// and is re-exported here for the bench binaries.
+pub use trl_obs::LatencySummary;
+
 /// Samples collected per benchmark.
 const SAMPLES: usize = 10;
 /// Target wall time per sample; iterations are batched to reach it.

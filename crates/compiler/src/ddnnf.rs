@@ -39,6 +39,7 @@
 //! construction**, so every d-DNNF query of `trl-nnf` applies.
 
 use std::hash::Hasher;
+use std::time::{Duration, Instant};
 
 use trl_core::hash::FxHasher;
 use trl_core::{FxHashMap, Lit, Var};
@@ -171,14 +172,45 @@ impl DecisionDnnfCompiler {
     }
 
     fn run(&self, cnf: &Cnf) -> (Circuit, CompileStats) {
+        // Phase split: setup (occurrence lists, watches), search (the
+        // decision/propagation loop), emit (arena finalization). Four
+        // clock reads per compilation — noise next to the search itself.
+        let phase = Instant::now();
         let mut st = Compilation::new(cnf, *self);
+        let setup = phase.elapsed();
+        let phase = Instant::now();
         let root = st.compile_root();
+        let search = phase.elapsed();
         let mut stats = st.stats;
+        let phase = Instant::now();
         let circuit = st.builder.finish(root);
+        let emit = phase.elapsed();
         stats.nodes = circuit.node_count();
         stats.edges = circuit.edge_count();
+        record_compile_metrics(&stats, setup, search, emit);
         (circuit, stats)
     }
+}
+
+/// Publishes one finished compilation to the process-global metrics:
+/// search counters accumulated as one batch of adds (the search loop
+/// itself stays untouched), arena growth, and per-phase wall time.
+fn record_compile_metrics(stats: &CompileStats, setup: Duration, search: Duration, emit: Duration) {
+    trl_obs::counter!("compiler.compiles").inc();
+    trl_obs::counter!("compiler.decisions").add(stats.decisions);
+    trl_obs::counter!("compiler.conflicts").add(stats.conflicts);
+    trl_obs::counter!("compiler.propagations").add(stats.propagations);
+    trl_obs::counter!("compiler.cache_hits").add(stats.cache_hits);
+    trl_obs::counter!("compiler.cache_misses").add(stats.cache_misses);
+    trl_obs::counter!("compiler.arena_nodes").add(stats.nodes as u64);
+    trl_obs::counter!("compiler.arena_edges").add(stats.edges as u64);
+    trl_obs::histogram!("compiler.phase.setup_us").record(setup);
+    trl_obs::histogram!("compiler.phase.search_us").record(search);
+    trl_obs::histogram!("compiler.phase.emit_us").record(emit);
+    trl_obs::histogram!("compiler.compile_us").record(setup + search + emit);
+    trl_obs::record_span("compiler.setup", setup);
+    trl_obs::record_span("compiler.search", search);
+    trl_obs::record_span("compiler.emit", emit);
 }
 
 const UNSET: u8 = 0;

@@ -10,16 +10,24 @@
 //! `stats` wire request and `three-roles client stats` read exactly this.
 
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use crate::error::Result;
-use crate::executor::{Executor, Query, QueryOutcome};
+use crate::executor::{Executor, Query, QueryOutcome, QUERY_KINDS};
 use crate::prepared::PreparedCircuit;
 use crate::registry::{fingerprint, Registry, RegistryStats};
+use trl_obs::MetricsDump;
 use trl_prop::Cnf;
 
 /// One coherent view of a serving engine's counters, taken atomically with
 /// respect to the registry (the executor backlog is an instantaneous gauge).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// The first six fields are the legacy (wire version 1) surface and keep
+/// their exact encoding order; everything after `queue_depth` is the
+/// extended surface added with the observability layer. The
+/// `connections_*` fields are zero unless a serving frontend overlays
+/// them (the engine itself has no connections).
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct StatsSnapshot {
     /// Registry hit/miss/eviction counters since engine creation.
     pub registry: RegistryStats,
@@ -33,6 +41,17 @@ pub struct StatsSnapshot {
     pub workers: usize,
     /// Executor jobs submitted and not yet answered.
     pub queue_depth: usize,
+    /// Milliseconds since the engine was created.
+    pub uptime_ms: u64,
+    /// Queries answered per kind, in [`QUERY_KINDS`] order.
+    pub requests_served: Vec<(String, u64)>,
+    /// Connections accepted by the serving frontend since it started.
+    pub connections_accepted: u64,
+    /// Connections currently open on the serving frontend.
+    pub connections_active: u64,
+    /// A dump of every process-global metric (counters, gauges, latency
+    /// histograms) at snapshot time.
+    pub metrics: MetricsDump,
 }
 
 /// A compile-once/query-many engine: a [`Registry`] behind a mutex plus a
@@ -44,6 +63,8 @@ pub struct StatsSnapshot {
 pub struct Engine {
     registry: Mutex<Registry>,
     executor: Executor,
+    /// Creation time, the zero point of `uptime_ms`.
+    start: Instant,
 }
 
 impl Engine {
@@ -57,6 +78,7 @@ impl Engine {
                 Some(n) => Executor::new(n),
                 None => Executor::with_default_workers(),
             },
+            start: Instant::now(),
         }
     }
 
@@ -65,6 +87,7 @@ impl Engine {
         Engine {
             registry: Mutex::new(registry),
             executor,
+            start: Instant::now(),
         }
     }
 
@@ -76,8 +99,14 @@ impl Engine {
     /// wins — wasted work, never a wrong answer, and the lock is never held
     /// across a compilation.
     pub fn compile(&self, cnf: &Cnf) -> (u64, Arc<PreparedCircuit>) {
+        // Hit-vs-compile timing: the two histograms contrast what a cached
+        // fetch costs against what the fetch amortizes away.
+        let begin = Instant::now();
         let key = fingerprint(cnf);
         if let Some(found) = self.lock().get(key) {
+            let elapsed = begin.elapsed();
+            trl_obs::histogram!("engine.registry.hit_us").record(elapsed);
+            trl_obs::record_span("engine.registry.hit", elapsed);
             return (key, found);
         }
         let prepared = Arc::new(PreparedCircuit::new(
@@ -87,6 +116,9 @@ impl Engine {
         // Count the compile as the miss it served.
         registry.note_miss();
         registry.insert(key, Arc::clone(&prepared));
+        let elapsed = begin.elapsed();
+        trl_obs::histogram!("engine.registry.compile_us").record(elapsed);
+        trl_obs::record_span("engine.registry.compile", elapsed);
         (key, prepared)
     }
 
@@ -110,8 +142,12 @@ impl Engine {
         &self.executor
     }
 
-    /// One coherent stats snapshot.
+    /// One coherent stats snapshot. The `connections_*` fields are left
+    /// zero for a serving frontend to overlay; `metrics` is the
+    /// process-global dump, so it also reflects activity outside this
+    /// engine (a second engine in the same process shares it).
     pub fn stats(&self) -> StatsSnapshot {
+        let served = self.executor.served_by_kind();
         let registry = self.lock();
         StatsSnapshot {
             registry: registry.stats(),
@@ -120,6 +156,15 @@ impl Engine {
             max_retained_nodes: registry.max_retained_nodes(),
             workers: self.executor.num_workers(),
             queue_depth: self.executor.queue_depth(),
+            uptime_ms: self.start.elapsed().as_millis() as u64,
+            requests_served: QUERY_KINDS
+                .iter()
+                .zip(served)
+                .map(|(name, count)| (name.to_string(), count))
+                .collect(),
+            connections_accepted: 0,
+            connections_active: 0,
+            metrics: trl_obs::snapshot(),
         }
     }
 

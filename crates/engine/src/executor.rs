@@ -15,9 +15,9 @@
 //! The pool is deliberately dependency-free (std threads + `mpsc`): the
 //! workspace builds air-gapped.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -32,6 +32,19 @@ use trl_nnf::{LitWeights, LANES};
 /// memory bandwidth, and splitting *within* layers beats splitting the
 /// batch.
 const LAYERED_NODE_THRESHOLD: usize = 1 << 16;
+
+/// Canonical query-kind names in [`Query::kind_index`] order — the row
+/// order of per-kind serving stats ([`Executor::served_by_kind`], the
+/// `requests_served` table in the stats snapshot, and the
+/// `engine.requests.*` / `engine.latency.*_us` metric families).
+pub const QUERY_KINDS: [&str; 6] = [
+    "sat",
+    "model_count",
+    "model_count_under",
+    "wmc",
+    "marginals",
+    "max_weight",
+];
 
 /// One inference request against a compiled circuit.
 #[derive(Clone, Debug, PartialEq)]
@@ -80,13 +93,18 @@ impl Query {
 
     /// A short name for logs and benchmark tables.
     pub fn kind(&self) -> &'static str {
+        QUERY_KINDS[self.kind_index()]
+    }
+
+    /// This query's row in [`QUERY_KINDS`] and the per-kind stat tables.
+    pub fn kind_index(&self) -> usize {
         match self {
-            Query::Sat => "sat",
-            Query::ModelCount => "model_count",
-            Query::ModelCountUnder(_) => "model_count_under",
-            Query::Wmc(_) => "wmc",
-            Query::Marginals(_) => "marginals",
-            Query::MaxWeight(_) => "max_weight",
+            Query::Sat => 0,
+            Query::ModelCount => 1,
+            Query::ModelCountUnder(_) => 2,
+            Query::Wmc(_) => 3,
+            Query::Marginals(_) => 4,
+            Query::MaxWeight(_) => 5,
         }
     }
 
@@ -170,7 +188,29 @@ struct Job {
     /// Threads the worker may fan each tape layer across (1 = lane-batched
     /// only).
     layer_threads: usize,
+    /// When the job entered the channel — queue wait is measured from here
+    /// to the moment a worker picks the job up.
+    submitted: Instant,
     reply: Sender<(usize, QueryOutcome)>,
+}
+
+/// The `engine.requests.<kind>` counter for a [`Query::kind_index`] row,
+/// resolved once per kind for the process.
+fn kind_counter(kind: usize) -> &'static trl_obs::Counter {
+    static HANDLES: OnceLock<[&'static trl_obs::Counter; 6]> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        std::array::from_fn(|i| trl_obs::counter(&format!("engine.requests.{}", QUERY_KINDS[i])))
+    })[kind]
+}
+
+/// The `engine.latency.<kind>_us` histogram for a kind row.
+fn kind_histogram(kind: usize) -> &'static trl_obs::Histogram {
+    static HANDLES: OnceLock<[&'static trl_obs::Histogram; 6]> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        std::array::from_fn(|i| {
+            trl_obs::histogram(&format!("engine.latency.{}_us", QUERY_KINDS[i]))
+        })
+    })[kind]
 }
 
 /// A fixed pool of worker threads answering query batches against shared
@@ -181,6 +221,11 @@ pub struct Executor {
     /// Jobs submitted but not yet fully answered, across all callers —
     /// the pool's instantaneous backlog, surfaced as a serving stat.
     in_flight: Arc<AtomicUsize>,
+    /// Queries answered since construction, one row per
+    /// [`QUERY_KINDS`] entry — the per-kind `requests_served` table of
+    /// this executor's stats snapshot (engine-scoped, unlike the
+    /// process-global `engine.requests.*` counters).
+    served_by_kind: [AtomicU64; 6],
 }
 
 impl Executor {
@@ -204,6 +249,7 @@ impl Executor {
             tx: Some(tx),
             workers: handles,
             in_flight,
+            served_by_kind: [const { AtomicU64::new(0) }; 6],
         }
     }
 
@@ -224,9 +270,11 @@ impl Executor {
             let Ok(job) = job else {
                 return; // executor dropped: no more jobs
             };
+            trl_obs::histogram!("engine.queue_wait_us").record(job.submitted.elapsed());
             let start = Instant::now();
             let answers = job.circuit.answer_batch(&job.queries, job.layer_threads);
             let latency = start.elapsed();
+            trl_obs::histogram!("engine.service_us").record(latency);
             for (&index, answer) in job.indices.iter().zip(answers) {
                 // The batch collector may have given up; that's its business.
                 let _ = job.reply.send((index, QueryOutcome { answer, latency }));
@@ -244,6 +292,12 @@ impl Executor {
     /// backlog gauge for serving stats, not a synchronization primitive.
     pub fn queue_depth(&self) -> usize {
         self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Queries answered since construction, one row per [`QUERY_KINDS`]
+    /// entry.
+    pub fn served_by_kind(&self) -> [u64; 6] {
+        std::array::from_fn(|i| self.served_by_kind[i].load(Ordering::Relaxed))
     }
 
     /// Validates a batch of queries against a circuit and answers them on
@@ -273,6 +327,9 @@ impl Executor {
             q.validate(circuit.num_vars())?;
         }
         let n = queries.len();
+        // Kind per submission index, kept so outcomes can be attributed to
+        // per-kind counters and latency histograms after the batch drains.
+        let kinds: Vec<usize> = queries.iter().map(Query::kind_index).collect();
         let (reply_tx, reply_rx) = channel();
         let tx = self.tx.as_ref().expect("executor is live until dropped");
 
@@ -298,6 +355,7 @@ impl Executor {
                 indices,
                 queries,
                 layer_threads,
+                submitted: Instant::now(),
                 reply: reply_tx.clone(),
             };
             self.in_flight.fetch_add(1, Ordering::Relaxed);
@@ -339,10 +397,25 @@ impl Executor {
             let (index, outcome) = reply_rx.recv().expect("a worker died mid-batch");
             out[index] = Some(outcome);
         }
-        Ok(out
+        let outcomes: Vec<QueryOutcome> = out
             .into_iter()
             .map(|o| o.expect("every index answered exactly once"))
-            .collect())
+            .collect();
+
+        // One pass of stat attribution per batch: engine-scoped per-kind
+        // totals plus the process-global request counters and latency
+        // histograms — a few relaxed atomics per query.
+        trl_obs::counter!("engine.batches").inc();
+        trl_obs::counter!("engine.requests").add(n as u64);
+        if layered {
+            trl_obs::counter!("engine.layered_dispatches").inc();
+        }
+        for (&kind, outcome) in kinds.iter().zip(&outcomes) {
+            self.served_by_kind[kind].fetch_add(1, Ordering::Relaxed);
+            kind_counter(kind).inc();
+            kind_histogram(kind).record(outcome.latency);
+        }
+        Ok(outcomes)
     }
 }
 

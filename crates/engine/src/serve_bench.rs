@@ -24,52 +24,10 @@ use crate::prepared::PreparedCircuit;
 use trl_core::{SplitMix64, Var};
 use trl_nnf::{Circuit, LitWeights};
 
-/// Mean, tail percentiles, and max over a set of per-query service times,
-/// in microseconds. Percentiles are nearest-rank, so every reported value
-/// is an actual observed latency.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct LatencySummary {
-    /// Mean latency.
-    pub mean_us: f64,
-    /// Median (50th percentile).
-    pub p50_us: f64,
-    /// 95th percentile.
-    pub p95_us: f64,
-    /// 99th percentile.
-    pub p99_us: f64,
-    /// Maximum.
-    pub max_us: f64,
-}
-
-impl LatencySummary {
-    /// Summarizes latency samples in microseconds (sorts in place).
-    /// An empty sample set summarizes to all zeros.
-    pub fn from_us(samples: &mut [f64]) -> Self {
-        if samples.is_empty() {
-            return LatencySummary::default();
-        }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let nearest_rank = |q: f64| {
-            let rank = (q * samples.len() as f64).ceil() as usize;
-            samples[rank.clamp(1, samples.len()) - 1]
-        };
-        LatencySummary {
-            mean_us: samples.iter().sum::<f64>() / samples.len() as f64,
-            p50_us: nearest_rank(0.50),
-            p95_us: nearest_rank(0.95),
-            p99_us: nearest_rank(0.99),
-            max_us: samples[samples.len() - 1],
-        }
-    }
-
-    /// The summary as an inline JSON object fragment.
-    pub fn to_json_fragment(&self) -> String {
-        format!(
-            "{{ \"mean_us\": {:.2}, \"p50_us\": {:.2}, \"p95_us\": {:.2}, \"p99_us\": {:.2}, \"max_us\": {:.2} }}",
-            self.mean_us, self.p50_us, self.p95_us, self.p99_us, self.max_us
-        )
-    }
-}
+// The nearest-rank summary was born here; it now lives in `trl-obs` as
+// the workspace's single latency summary (shared with the bench harness
+// and histogram rendering) and is re-exported for compatibility.
+pub use trl_obs::LatencySummary;
 
 /// Measurements for one (workers, batch size) configuration.
 #[derive(Clone, Debug)]
@@ -312,20 +270,5 @@ mod tests {
         assert!(json.contains("\"bench\": \"bench_serve\""));
         assert!(json.contains("\"best_batched_multiworker_speedup\""));
         assert!(json.contains("\"p99_us\""));
-    }
-
-    #[test]
-    fn latency_summary_percentiles_are_nearest_rank() {
-        let mut us: Vec<f64> = (1..=100).map(f64::from).rev().collect();
-        let l = LatencySummary::from_us(&mut us);
-        assert_eq!(l.p50_us, 50.0);
-        assert_eq!(l.p95_us, 95.0);
-        assert_eq!(l.p99_us, 99.0);
-        assert_eq!(l.max_us, 100.0);
-        assert!((l.mean_us - 50.5).abs() < 1e-12);
-        assert_eq!(LatencySummary::from_us(&mut []).max_us, 0.0);
-        let mut one = [7.0];
-        let l = LatencySummary::from_us(&mut one);
-        assert_eq!((l.p50_us, l.p99_us, l.max_us), (7.0, 7.0, 7.0));
     }
 }

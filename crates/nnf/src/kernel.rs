@@ -45,6 +45,15 @@ use trl_core::{Lit, PartialAssignment, Var};
 /// are written so the compiler vectorizes them.
 pub const LANES: usize = 8;
 
+/// Publishes one batched-kernel entry to the process metrics: one sweep
+/// per lane group, plus the lanes actually filled (dead lanes excluded) —
+/// the ratio is the batch's lane utilization. A few relaxed atomic adds
+/// per *batch*, not per query.
+fn record_sweeps(queries: usize) {
+    trl_obs::counter!("kernel.sweeps").add(queries.div_ceil(LANES) as u64);
+    trl_obs::counter!("kernel.lanes_filled").add(queries as u64);
+}
+
 /// One instruction tag on the tape.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Op {
@@ -195,6 +204,8 @@ impl EvalTape {
         edge_start[count] = edges.len() as u32;
 
         debug_assert_eq!(slot[root] as usize, count - 1, "root tops the tape");
+        trl_obs::counter!("kernel.tape_builds").inc();
+        trl_obs::counter!("kernel.tape_nodes").add(count as u64);
         EvalTape {
             num_vars: circuit.num_vars(),
             ops,
@@ -312,6 +323,7 @@ impl EvalTape {
     /// arithmetic vectorizes. Answers are bit-identical to calling
     /// [`EvalTape::wmc`] per table.
     pub fn wmc_batch(&self, weights: &[&LitWeights]) -> Vec<f64> {
+        record_sweeps(weights.len());
         let mut out = Vec::with_capacity(weights.len());
         let mut plane = vec![[0.0f64; LANES]; self.len()];
         for group in weights.chunks(LANES) {
@@ -377,6 +389,7 @@ impl EvalTape {
     /// plane scan per group of partial assignments. Counts are exact, so
     /// agreement with the scalar kernels is plain equality.
     pub fn model_count_under_batch(&self, evidence: &[&PartialAssignment]) -> Vec<u128> {
+        record_sweeps(evidence.len());
         let mut out = Vec::with_capacity(evidence.len());
         let mut plane = vec![[0u128; LANES]; self.len()];
         for group in evidence.chunks(LANES) {
@@ -426,6 +439,7 @@ impl EvalTape {
     /// per lane: the downward pass replays the original arena order and
     /// skips zero derivatives exactly like the scalar code.
     pub fn marginals_batch(&self, weights: &[&LitWeights]) -> Vec<(f64, Vec<(f64, f64)>)> {
+        record_sweeps(weights.len());
         let n = self.num_vars;
         let mut out = Vec::with_capacity(weights.len());
         let mut plane = vec![[0.0f64; LANES]; self.len()];
@@ -542,6 +556,7 @@ impl EvalTape {
         if threads <= 1 || self.len() < 2 {
             return self.wmc_batch(weights);
         }
+        record_sweeps(weights.len());
         let mut plane: Vec<ValCell> = (0..self.len())
             .map(|_| ValCell(UnsafeCell::new([0.0; LANES])))
             .collect();
@@ -565,6 +580,7 @@ impl EvalTape {
         if threads <= 1 || self.len() < 2 {
             return self.marginals_batch(weights);
         }
+        record_sweeps(weights.len());
         let n = self.num_vars;
         let mut cells: Vec<ValCell> = (0..self.len())
             .map(|_| ValCell(UnsafeCell::new([0.0; LANES])))
@@ -593,6 +609,8 @@ impl EvalTape {
     /// worker `t` computes an equal share of each contiguous layer block,
     /// then waits on a barrier before anyone reads that layer.
     fn forward_lanes_layered(&self, group: &[&LitWeights], plane: &[ValCell], threads: usize) {
+        trl_obs::counter!("kernel.layered_sweeps").inc();
+        trl_obs::counter!("kernel.layered_threads").add(threads as u64);
         let barrier = Barrier::new(threads);
         std::thread::scope(|scope| {
             for t in 0..threads {

@@ -1,0 +1,41 @@
+//! Process-wide observability for the three-roles serving stack.
+//!
+//! The paper's computational claims are *performance* claims — compilation
+//! cost amortized over many tractable queries — so every layer of the
+//! stack (compiler, engine, kernels, server) needs cheap, always-on
+//! instrumentation to make those trade-offs measurable instead of argued.
+//! This crate is the shared substrate: std-only, no dependencies, safe to
+//! call from the hottest loops.
+//!
+//! Three pieces:
+//!
+//! - **Metrics** ([`Counter`], [`Gauge`], [`Histogram`]) registered in a
+//!   process-global registry by dotted name (`compiler.decisions`,
+//!   `engine.latency.wmc_us`). Registration hands out leaked `&'static`
+//!   handles, so a hot path cached behind [`counter!`]/[`histogram!`] pays
+//!   one relaxed atomic op per event. [`snapshot`] produces a
+//!   [`MetricsDump`] — a sorted, serializable view rendered as a human
+//!   table ([`MetricsDump::render_table`]) or Prometheus text exposition
+//!   ([`MetricsDump::render_prometheus`]).
+//! - **Spans** ([`span`]): scoped wall-clock timers dispatched to a
+//!   pluggable [`Subscriber`]. The default subscriber is *off* — a
+//!   disabled span never calls `Instant::now` — so instrumented code has
+//!   no observable cost until someone turns on the [`RingRecorder`]
+//!   (tests) or [`StderrJsonExporter`] (the `serve --obs-log` flag).
+//! - **[`LatencySummary`]**: the workspace's single nearest-rank
+//!   percentile summary, shared by the benches and by histogram
+//!   rendering.
+
+mod metrics;
+mod span;
+mod summary;
+
+pub use metrics::{
+    counter, gauge, histogram, snapshot, Counter, Gauge, Histogram, HistogramSnapshot, MetricValue,
+    MetricsDump, HISTOGRAM_BUCKETS,
+};
+pub use span::{
+    record_span, set_subscriber, span, subscriber_enabled, RingRecorder, Span, SpanRecord,
+    StderrJsonExporter, Subscriber,
+};
+pub use summary::LatencySummary;

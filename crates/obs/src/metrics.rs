@@ -1,0 +1,571 @@
+//! The process-global metric registry: atomic counters, gauges, and
+//! fixed-bucket latency histograms, plus the serializable [`MetricsDump`]
+//! snapshot and its table / Prometheus renderings.
+//!
+//! Metrics are registered once by dotted name and live for the process
+//! (handles are leaked `&'static` references), so recording is a single
+//! relaxed atomic op with no locking. The registry mutex is touched only
+//! on first registration of a name and on [`snapshot`].
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed level (active connections, resident bytes).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Overwrites the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket count for [`Histogram`]: power-of-two microsecond edges.
+///
+/// Bucket 0 holds sub-microsecond samples; bucket `i >= 1` holds samples
+/// in `[2^(i-1), 2^i)` µs; the last bucket is the catch-all for anything
+/// at or above `2^(HISTOGRAM_BUCKETS-2)` µs (~67 s) — wide enough for any
+/// single request this stack can serve without timing out.
+pub const HISTOGRAM_BUCKETS: usize = 28;
+
+/// A fixed-bucket latency histogram over power-of-two microsecond edges.
+///
+/// Recording is three relaxed atomic adds (bucket, count, sum); there is
+/// no locking and no allocation, so the hot path can record every request.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index a sample of `us` microseconds lands in.
+    #[inline]
+    fn index(us: u64) -> usize {
+        if us == 0 {
+            0
+        } else {
+            ((64 - us.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// The exclusive upper edge of bucket `i`, in microseconds.
+    pub fn bucket_edge_us(i: usize) -> u64 {
+        1u64 << i
+    }
+
+    /// Records a sample measured in microseconds.
+    #[inline]
+    pub fn record_us(&self, us: u64) {
+        self.buckets[Self::index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Records a [`Duration`] sample.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.record_us(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// A point-in-time copy of the buckets and totals.
+    ///
+    /// Buckets, count, and sum are read without a lock, so a snapshot
+    /// racing a recorder can be momentarily inconsistent by the in-flight
+    /// sample — fine for monitoring, which only needs monotonicity.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A serializable point-in-time view of one [`Histogram`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts, length [`HISTOGRAM_BUCKETS`].
+    pub buckets: Vec<u64>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples, microseconds.
+    pub sum_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile estimate in microseconds: the upper edge of
+    /// the bucket containing the `q`-ranked sample (0 when empty). The
+    /// estimate is conservative — at most one power of two above the true
+    /// sample — which is the resolution the fixed buckets buy.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return Histogram::bucket_edge_us(i) as f64;
+            }
+        }
+        Histogram::bucket_edge_us(HISTOGRAM_BUCKETS - 1) as f64
+    }
+
+    /// Median estimate (µs).
+    pub fn p50_us(&self) -> f64 {
+        self.quantile_us(0.50)
+    }
+
+    /// 95th-percentile estimate (µs).
+    pub fn p95_us(&self) -> f64 {
+        self.quantile_us(0.95)
+    }
+
+    /// 99th-percentile estimate (µs).
+    pub fn p99_us(&self) -> f64 {
+        self.quantile_us(0.99)
+    }
+}
+
+/// One registered metric handle.
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn lock_registry() -> std::sync::MutexGuard<'static, BTreeMap<String, Metric>> {
+    match registry().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The counter registered under `name`, creating it on first use.
+///
+/// Panics if `name` is already registered as a different metric type —
+/// that is a naming bug, not a runtime condition.
+pub fn counter(name: &str) -> &'static Counter {
+    let mut reg = lock_registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Counter(Box::leak(Box::new(Counter::new()))))
+    {
+        Metric::Counter(c) => c,
+        _ => panic!("metric {name:?} already registered with a different type"),
+    }
+}
+
+/// The gauge registered under `name`, creating it on first use.
+pub fn gauge(name: &str) -> &'static Gauge {
+    let mut reg = lock_registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Gauge(Box::leak(Box::new(Gauge::new()))))
+    {
+        Metric::Gauge(g) => g,
+        _ => panic!("metric {name:?} already registered with a different type"),
+    }
+}
+
+/// The histogram registered under `name`, creating it on first use. By
+/// convention latency histogram names end in `_us`.
+pub fn histogram(name: &str) -> &'static Histogram {
+    let mut reg = lock_registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Histogram(Box::leak(Box::new(Histogram::new()))))
+    {
+        Metric::Histogram(h) => h,
+        _ => panic!("metric {name:?} already registered with a different type"),
+    }
+}
+
+/// Resolves a counter once and caches the `&'static` handle in a local
+/// static, so steady-state cost is one `OnceLock` load plus one relaxed
+/// atomic add. Usage: `trl_obs::counter!("compiler.decisions").inc()`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::counter($name))
+    }};
+}
+
+/// [`counter!`] for gauges.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Gauge> = ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::gauge($name))
+    }};
+}
+
+/// [`counter!`] for histograms.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::histogram($name))
+    }};
+}
+
+/// One metric's point-in-time value in a [`MetricsDump`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A counter's total.
+    Counter(u64),
+    /// A gauge's level.
+    Gauge(i64),
+    /// A histogram's buckets and totals.
+    Histogram(HistogramSnapshot),
+}
+
+/// A sorted point-in-time dump of every registered metric — the payload
+/// of the extended `Stats` wire frame and the input to both renderings.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsDump {
+    /// `(name, value)` pairs, sorted by name.
+    pub metrics: Vec<(String, MetricValue)>,
+}
+
+/// Dumps every registered metric, sorted by name.
+pub fn snapshot() -> MetricsDump {
+    let reg = lock_registry();
+    MetricsDump {
+        metrics: reg
+            .iter()
+            .map(|(name, m)| {
+                let value = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (name.clone(), value)
+            })
+            .collect(),
+    }
+}
+
+impl MetricsDump {
+    /// The named counter's value, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.metrics.iter().find_map(|(n, v)| match v {
+            MetricValue::Counter(c) if n == name => Some(*c),
+            _ => None,
+        })
+    }
+
+    /// The named gauge's value, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.metrics.iter().find_map(|(n, v)| match v {
+            MetricValue::Gauge(g) if n == name => Some(*g),
+            _ => None,
+        })
+    }
+
+    /// The named histogram's snapshot, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.metrics.iter().find_map(|(n, v)| match v {
+            MetricValue::Histogram(h) if n == name => Some(h),
+            _ => None,
+        })
+    }
+
+    /// A fixed-width human table: one line per counter/gauge, one line
+    /// per histogram with count, mean, and nearest-rank p50/p95/p99.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write;
+        let width = self
+            .metrics
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0)
+            .max(6);
+        let mut out = String::new();
+        for (name, value) in &self.metrics {
+            match value {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "{name:width$}  {c}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "{name:width$}  {g}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "{name:width$}  count {}  mean {:.1} us  p50 {:.0} us  p95 {:.0} us  p99 {:.0} us",
+                        h.count,
+                        h.mean_us(),
+                        h.p50_us(),
+                        h.p95_us(),
+                        h.p99_us(),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Prometheus text exposition format, version 0.0.4.
+    ///
+    /// Dotted names become underscore names under a `trl_` prefix
+    /// (`engine.latency.wmc_us` → `trl_engine_latency_wmc_us`);
+    /// histograms expose cumulative `_bucket{le="..."}` series over the
+    /// power-of-two microsecond edges plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (name, value) in &self.metrics {
+            let prom = prometheus_name(name);
+            match value {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {prom} counter");
+                    let _ = writeln!(out, "{prom} {c}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {prom} gauge");
+                    let _ = writeln!(out, "{prom} {g}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {prom} histogram");
+                    let mut cumulative = 0u64;
+                    for (i, &b) in h.buckets.iter().enumerate() {
+                        cumulative += b;
+                        if i + 1 == h.buckets.len() {
+                            break; // the top bucket is the +Inf series
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{prom}_bucket{{le=\"{}\"}} {cumulative}",
+                            Histogram::bucket_edge_us(i)
+                        );
+                    }
+                    let _ = writeln!(out, "{prom}_bucket{{le=\"+Inf\"}} {}", h.count);
+                    let _ = writeln!(out, "{prom}_sum {}", h.sum_us);
+                    let _ = writeln!(out, "{prom}_count {}", h.count);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `trl_` + the dotted name with every non-alphanumeric byte folded to
+/// `_`, matching the Prometheus metric-name charset.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(4 + name.len());
+    out.push_str("trl_");
+    for ch in name.chars() {
+        out.push(if ch.is_ascii_alphanumeric() { ch } else { '_' });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_covers_powers_of_two() {
+        assert_eq!(Histogram::index(0), 0);
+        assert_eq!(Histogram::index(1), 1);
+        assert_eq!(Histogram::index(2), 2);
+        assert_eq!(Histogram::index(3), 2);
+        assert_eq!(Histogram::index(4), 3);
+        assert_eq!(Histogram::index(1023), 10);
+        assert_eq!(Histogram::index(1024), 11);
+        assert_eq!(Histogram::index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_conservative_upper_edges() {
+        let h = Histogram::new();
+        for us in [1u64, 2, 3, 100, 1000, 100_000] {
+            h.record_us(us);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.sum_us, 101_106);
+        // Median rank 3 is the 3 µs sample: bucket [2,4), edge 4.
+        assert_eq!(snap.p50_us(), 4.0);
+        // p99 rank 6 is the 100 ms sample: bucket [65536,131072), edge 2^17.
+        assert_eq!(snap.p99_us(), 131_072.0);
+        // Every true sample is at or below its estimate.
+        assert!(snap.quantile_us(1.0) >= 100_000.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.mean_us(), 0.0);
+        assert_eq!(snap.p50_us(), 0.0);
+        assert_eq!(snap.p99_us(), 0.0);
+    }
+
+    #[test]
+    fn registry_returns_the_same_handle_per_name() {
+        let a = counter("test.obs.registry_identity");
+        let b = counter("test.obs.registry_identity");
+        assert!(std::ptr::eq(a, b));
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+    }
+
+    #[test]
+    fn macro_handles_are_cached() {
+        let c = crate::counter!("test.obs.macro_cached");
+        c.add(5);
+        assert_eq!(crate::counter!("test.obs.macro_cached").get(), 5);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_typed() {
+        counter("test.obs.snap.counter").add(7);
+        gauge("test.obs.snap.gauge").set(-3);
+        histogram("test.obs.snap.hist_us").record_us(10);
+        let dump = snapshot();
+        let names: Vec<&str> = dump.metrics.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        assert_eq!(dump.counter("test.obs.snap.counter"), Some(7));
+        assert_eq!(dump.gauge("test.obs.snap.gauge"), Some(-3));
+        assert_eq!(dump.histogram("test.obs.snap.hist_us").unwrap().count, 1);
+        assert_eq!(dump.counter("test.obs.snap.gauge"), None);
+    }
+
+    #[test]
+    fn prometheus_rendering_has_consistent_series() {
+        counter("test.obs.prom.requests").add(4);
+        histogram("test.obs.prom.latency_us").record_us(3);
+        histogram("test.obs.prom.latency_us").record_us(300);
+        let text = snapshot().render_prometheus();
+        assert!(text.contains("# TYPE trl_test_obs_prom_requests counter"));
+        assert!(text.contains("trl_test_obs_prom_requests 4"));
+        assert!(text.contains("# TYPE trl_test_obs_prom_latency_us histogram"));
+        assert!(text.contains("trl_test_obs_prom_latency_us_count 2"));
+        assert!(text.contains("trl_test_obs_prom_latency_us_sum 303"));
+        assert!(text.contains("trl_test_obs_prom_latency_us_bucket{le=\"+Inf\"} 2"));
+        // Cumulative buckets never decrease.
+        let mut last = 0u64;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("trl_test_obs_prom_latency_us_bucket") {
+                let v: u64 = rest.split_whitespace().last().unwrap().parse().unwrap();
+                assert!(v >= last);
+                last = v;
+            }
+        }
+    }
+
+    #[test]
+    fn table_rendering_mentions_percentiles() {
+        histogram("test.obs.table.lat_us").record_us(50);
+        let table = snapshot().render_table();
+        let line = table
+            .lines()
+            .find(|l| l.starts_with("test.obs.table.lat_us"))
+            .unwrap();
+        assert!(line.contains("p50"), "{line}");
+        assert!(line.contains("p99"), "{line}");
+    }
+}

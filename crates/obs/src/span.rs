@@ -1,0 +1,222 @@
+//! Span timers with a pluggable subscriber.
+//!
+//! A [`span`] is a scoped wall-clock timer: it captures `Instant::now` at
+//! creation and reports the elapsed time to the installed [`Subscriber`]
+//! on drop. The crucial property is the *disabled* cost: until a
+//! subscriber is installed, [`span`] is a relaxed `AtomicBool` load and
+//! nothing else — no clock read, no allocation — so the serving hot path
+//! can be annotated unconditionally.
+//!
+//! Three subscribers ship with the crate: none (the default), a bounded
+//! [`RingRecorder`] for tests and the slow-query log, and a
+//! [`StderrJsonExporter`] behind the `serve --obs-log` CLI flag.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Receives completed spans. Implementations must be cheap and must not
+/// re-enter the span API.
+pub trait Subscriber: Send + Sync {
+    /// Called once per completed span with its wall-clock duration.
+    fn span(&self, name: &'static str, duration: Duration);
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn subscriber_slot() -> &'static Mutex<Option<Arc<dyn Subscriber>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<dyn Subscriber>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs (or, with `None`, removes) the process-global subscriber.
+/// Spans started before the change complete against whichever subscriber
+/// is installed when they drop.
+pub fn set_subscriber(subscriber: Option<Arc<dyn Subscriber>>) {
+    let mut slot = match subscriber_slot().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    ENABLED.store(subscriber.is_some(), Ordering::Release);
+    *slot = subscriber;
+}
+
+/// Whether a subscriber is currently installed.
+pub fn subscriber_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Starts a span. When no subscriber is installed this does not read the
+/// clock; the returned guard is inert.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    let start = if subscriber_enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    };
+    Span { name, start }
+}
+
+/// A live span; reports its elapsed time to the subscriber on drop.
+#[must_use = "a span measures the scope it is bound to"]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Ends the span now and returns its duration (None when disabled).
+    pub fn finish(mut self) -> Option<Duration> {
+        let elapsed = self.start.take().map(|s| s.elapsed());
+        if let Some(d) = elapsed {
+            dispatch(self.name, d);
+        }
+        elapsed
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            dispatch(self.name, start.elapsed());
+        }
+    }
+}
+
+fn dispatch(name: &'static str, duration: Duration) {
+    let subscriber = {
+        let slot = match subscriber_slot().lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        slot.clone()
+    };
+    if let Some(s) = subscriber {
+        s.span(name, duration);
+    }
+}
+
+/// Reports an externally measured duration to the subscriber under a
+/// span name — for call sites that already hold a timing (phase splits,
+/// slow-query breakdowns) and should not pay a second clock read. One
+/// atomic load when disabled.
+#[inline]
+pub fn record_span(name: &'static str, duration: Duration) {
+    if subscriber_enabled() {
+        dispatch(name, duration);
+    }
+}
+
+/// One completed span as seen by a [`RingRecorder`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The span's static name.
+    pub name: &'static str,
+    /// Its wall-clock duration.
+    pub duration: Duration,
+}
+
+/// A bounded in-memory recorder keeping the most recent spans — the test
+/// subscriber, and the buffer behind the slow-query log.
+pub struct RingRecorder {
+    capacity: usize,
+    entries: Mutex<VecDeque<SpanRecord>>,
+}
+
+impl RingRecorder {
+    /// A recorder keeping at most `capacity` spans (oldest dropped first).
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(RingRecorder {
+            capacity: capacity.max(1),
+            entries: Mutex::new(VecDeque::new()),
+        })
+    }
+
+    /// Drains and returns the recorded spans, oldest first.
+    pub fn take(&self) -> Vec<SpanRecord> {
+        let mut entries = match self.entries.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        entries.drain(..).collect()
+    }
+
+    /// Number of spans currently buffered.
+    pub fn len(&self) -> usize {
+        match self.entries.lock() {
+            Ok(g) => g.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Subscriber for RingRecorder {
+    fn span(&self, name: &'static str, duration: Duration) {
+        let mut entries = match self.entries.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if entries.len() == self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back(SpanRecord { name, duration });
+    }
+}
+
+/// Writes one JSON line per span to stderr:
+/// `{"span":"engine.compile","us":1234}`. Installed by `serve --obs-log`.
+#[derive(Debug, Default)]
+pub struct StderrJsonExporter;
+
+impl Subscriber for StderrJsonExporter {
+    fn span(&self, name: &'static str, duration: Duration) {
+        // A failed stderr write has no recovery path worth taking.
+        let _ = writeln!(
+            std::io::stderr().lock(),
+            "{{\"span\":\"{name}\",\"us\":{}}}",
+            duration.as_micros()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The subscriber slot is process-global, so every path through it
+    // lives in this one test (cargo test runs tests concurrently).
+    #[test]
+    fn spans_dispatch_only_while_a_subscriber_is_installed() {
+        // Disabled: inert guards, no clock, nothing recorded.
+        assert!(!subscriber_enabled());
+        assert_eq!(span("test.disabled").finish(), None);
+
+        let ring = RingRecorder::new(2);
+        set_subscriber(Some(ring.clone()));
+        assert!(subscriber_enabled());
+
+        assert!(span("test.a").finish().is_some());
+        {
+            let _guard = span("test.b"); // reports on drop
+        }
+        span("test.c").finish().unwrap(); // capacity 2: test.a falls out
+
+        let records = ring.take();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].name, "test.b");
+        assert_eq!(records[1].name, "test.c");
+
+        set_subscriber(None);
+        assert!(!subscriber_enabled());
+        assert_eq!(span("test.after").finish(), None);
+        assert!(ring.is_empty());
+    }
+}

@@ -46,7 +46,8 @@ pub mod server;
 
 pub use client::{Client, ClientError, CompiledSummary};
 pub use protocol::{
-    read_request, read_response, write_request, write_response, ProtocolError, Request, Response,
-    WireError, DEFAULT_MAX_FRAME_LEN, MAX_UNIVERSE, PROTOCOL_VERSION,
+    decode_stats_v1_prefix, read_request, read_response, write_request, write_response,
+    ProtocolError, Request, Response, WireError, DEFAULT_MAX_FRAME_LEN, MAX_UNIVERSE,
+    PROTOCOL_VERSION,
 };
 pub use server::{Server, ServerConfig, ServerCounters, ServerHandle};

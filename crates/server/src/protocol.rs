@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic  b"TRLW"
-//!      4     2  protocol version (currently 1)
+//!      4     2  protocol version (currently 2)
 //!      6     1  frame kind tag (request 0x01..., response 0x81...)
 //!      7     1  reserved (0)
 //!      8     4  payload length in bytes (u32)
@@ -27,6 +27,19 @@
 //! failures (overload, unknown registry key, malformed query) come back as
 //! [`Response::Error`] carrying a typed [`WireError`] — a protocol error
 //! means the *stream* is unusable, a wire error means the *request* failed.
+//!
+//! ## Version history
+//!
+//! * **1** — initial protocol; the stats payload carried eight fields
+//!   (registry hits/misses/evictions, artifacts, retained/max-retained
+//!   nodes, workers, queue depth).
+//! * **2** — the stats payload grew an observability extension *after* the
+//!   unchanged version-1 prefix: uptime, per-query-kind served counts,
+//!   connection counters, and a full metric dump (counters, gauges,
+//!   latency histograms). Readers accept versions `1..=2`, and a
+//!   prefix-tolerant version-1 reader ([`decode_stats_v1_prefix`]) still
+//!   recovers the legacy fields from a version-2 payload byte-for-byte.
+//!   Every other frame kind is encoded exactly as in version 1.
 
 use std::fmt;
 use std::hash::Hasher;
@@ -35,10 +48,11 @@ use std::io::{Read, Write};
 use trl_core::{Assignment, FxHasher, Lit, PartialAssignment, Var};
 use trl_engine::{Query, QueryAnswer, RegistryStats, StatsSnapshot};
 use trl_nnf::LitWeights;
+use trl_obs::{HistogramSnapshot, MetricValue, MetricsDump};
 use trl_prop::Cnf;
 
 /// The newest protocol version this build speaks.
-pub const PROTOCOL_VERSION: u16 = 1;
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Frame magic: "TRL Wire".
 pub const MAGIC: [u8; 4] = *b"TRLW";
@@ -723,7 +737,76 @@ fn decode_wire_error(d: &mut Dec) -> Result<WireError> {
     })
 }
 
+const METRIC_COUNTER: u8 = 0;
+const METRIC_GAUGE: u8 = 1;
+const METRIC_HISTOGRAM: u8 = 2;
+
+fn encode_metrics(e: &mut Enc, m: &MetricsDump) {
+    e.u32(m.metrics.len() as u32);
+    for (name, value) in &m.metrics {
+        e.str(name);
+        match value {
+            MetricValue::Counter(v) => {
+                e.u8(METRIC_COUNTER);
+                e.u64(*v);
+            }
+            MetricValue::Gauge(v) => {
+                e.u8(METRIC_GAUGE);
+                // Gauges are signed; travel as the two's-complement bits.
+                e.u64(*v as u64);
+            }
+            MetricValue::Histogram(h) => {
+                e.u8(METRIC_HISTOGRAM);
+                e.u64(h.count);
+                e.u64(h.sum_us);
+                e.u32(h.buckets.len() as u32);
+                for &b in &h.buckets {
+                    e.u64(b);
+                }
+            }
+        }
+    }
+}
+
+fn decode_metrics(d: &mut Dec) -> Result<MetricsDump> {
+    let declared = d.u32()?;
+    // A metric needs at least a name length (4) and a type tag (1).
+    let n = d.counted(declared, 5)?;
+    let mut metrics = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = d.str()?;
+        let value = match d.u8()? {
+            METRIC_COUNTER => MetricValue::Counter(d.u64()?),
+            METRIC_GAUGE => MetricValue::Gauge(d.u64()? as i64),
+            METRIC_HISTOGRAM => {
+                let count = d.u64()?;
+                let sum_us = d.u64()?;
+                let declared_buckets = d.u32()?;
+                let num_buckets = d.counted(declared_buckets, 8)?;
+                let mut buckets = Vec::with_capacity(num_buckets);
+                for _ in 0..num_buckets {
+                    buckets.push(d.u64()?);
+                }
+                MetricValue::Histogram(HistogramSnapshot {
+                    buckets,
+                    count,
+                    sum_us,
+                })
+            }
+            tag => {
+                return Err(ProtocolError::Malformed(format!(
+                    "unknown metric type tag {tag}"
+                )))
+            }
+        };
+        metrics.push((name, value));
+    }
+    Ok(MetricsDump { metrics })
+}
+
 fn encode_stats(e: &mut Enc, s: &StatsSnapshot) {
+    // Version-1 prefix — field order is load-bearing; a prefix-tolerant
+    // version-1 reader decodes exactly these bytes and stops.
     e.u64(s.registry.hits);
     e.u64(s.registry.misses);
     e.u64(s.registry.evictions);
@@ -732,9 +815,20 @@ fn encode_stats(e: &mut Enc, s: &StatsSnapshot) {
     e.u64(s.max_retained_nodes as u64);
     e.u32(s.workers as u32);
     e.u64(s.queue_depth as u64);
+    // Version-2 observability extension.
+    e.u64(s.uptime_ms);
+    e.u32(s.requests_served.len() as u32);
+    for (kind, count) in &s.requests_served {
+        e.str(kind);
+        e.u64(*count);
+    }
+    e.u64(s.connections_accepted);
+    e.u64(s.connections_active);
+    encode_metrics(e, &s.metrics);
 }
 
-fn decode_stats(d: &mut Dec) -> Result<StatsSnapshot> {
+/// Decodes the version-1 stats fields, leaving the extension at default.
+fn decode_stats_prefix(d: &mut Dec) -> Result<StatsSnapshot> {
     Ok(StatsSnapshot {
         registry: RegistryStats {
             hits: d.u64()?,
@@ -746,7 +840,42 @@ fn decode_stats(d: &mut Dec) -> Result<StatsSnapshot> {
         max_retained_nodes: d.u64()? as usize,
         workers: d.u32()? as usize,
         queue_depth: d.u64()? as usize,
+        ..StatsSnapshot::default()
     })
+}
+
+fn decode_stats(d: &mut Dec) -> Result<StatsSnapshot> {
+    let mut s = decode_stats_prefix(d)?;
+    s.uptime_ms = d.u64()?;
+    let declared = d.u32()?;
+    // Each per-kind entry carries a name length (4) and a count (8).
+    let n = d.counted(declared, 12)?;
+    let mut requests_served = Vec::with_capacity(n);
+    for _ in 0..n {
+        let kind = d.str()?;
+        let count = d.u64()?;
+        requests_served.push((kind, count));
+    }
+    s.requests_served = requests_served;
+    s.connections_accepted = d.u64()?;
+    s.connections_active = d.u64()?;
+    s.metrics = decode_metrics(d)?;
+    Ok(s)
+}
+
+/// Decodes only the **version-1 prefix** of a stats payload, ignoring any
+/// extension bytes that follow — byte-for-byte what a version-1
+/// `decode_stats` consumed.
+///
+/// This is how a forward-tolerant old client reads a version-2 stats
+/// payload: the legacy eight fields sit unchanged at the front, so a
+/// reader that stops after them (rather than demanding payload
+/// exhaustion) keeps working across the version bump. It exists as a
+/// public entry point so compatibility tests can prove the prefix never
+/// drifts.
+pub fn decode_stats_v1_prefix(payload: &[u8]) -> Result<StatsSnapshot> {
+    let mut d = Dec::new(payload);
+    decode_stats_prefix(&mut d)
 }
 
 // ------------------------------------------------------- public surface
@@ -916,6 +1045,41 @@ pub fn read_response(r: &mut impl Read, max_frame_len: u32) -> Result<Response> 
 mod tests {
     use super::*;
 
+    /// A stats snapshot exercising every extension shape: per-kind
+    /// counts, connection counters, and all three metric variants.
+    fn test_stats() -> StatsSnapshot {
+        StatsSnapshot {
+            registry: RegistryStats {
+                hits: 3,
+                misses: 2,
+                evictions: 1,
+            },
+            artifacts: 2,
+            retained_nodes: 1000,
+            max_retained_nodes: 4000,
+            workers: 8,
+            queue_depth: 5,
+            uptime_ms: 123_456,
+            requests_served: vec![("sat".into(), 7), ("wmc".into(), 41)],
+            connections_accepted: 19,
+            connections_active: 3,
+            metrics: MetricsDump {
+                metrics: vec![
+                    ("compiler.decisions".into(), MetricValue::Counter(991)),
+                    ("server.connections_active".into(), MetricValue::Gauge(-2)),
+                    (
+                        "engine.latency.wmc_us".into(),
+                        MetricValue::Histogram(HistogramSnapshot {
+                            buckets: vec![0, 5, 9, 1],
+                            count: 15,
+                            sum_us: 801,
+                        }),
+                    ),
+                ],
+            },
+        }
+    }
+
     fn round_trip_request(req: &Request) -> Request {
         let mut bytes = Vec::new();
         write_request(&mut bytes, req).unwrap();
@@ -983,18 +1147,7 @@ mod tests {
             Response::Answer(QueryAnswer::MaxWeight(None)),
             Response::Answer(QueryAnswer::MaxWeight(Some((0.75, assignment)))),
             Response::Batch(vec![QueryAnswer::Sat(false), QueryAnswer::ModelCount(42)]),
-            Response::Stats(StatsSnapshot {
-                registry: RegistryStats {
-                    hits: 3,
-                    misses: 2,
-                    evictions: 1,
-                },
-                artifacts: 2,
-                retained_nodes: 1000,
-                max_retained_nodes: 4000,
-                workers: 8,
-                queue_depth: 5,
-            }),
+            Response::Stats(test_stats()),
             Response::ShuttingDown,
             Response::Error(WireError::Overloaded {
                 queue_depth: 128,
@@ -1007,6 +1160,46 @@ mod tests {
         ] {
             assert_eq!(round_trip_response(&resp), resp, "{resp:?}");
         }
+    }
+
+    #[test]
+    fn stats_v1_prefix_survives_the_version_bump() {
+        // Encode a full version-2 stats payload, then decode it the way a
+        // prefix-tolerant version-1 client would: legacy fields intact,
+        // extension ignored.
+        let full = test_stats();
+        let mut bytes = Vec::new();
+        write_response(&mut bytes, &Response::Stats(full.clone())).unwrap();
+        let legacy = decode_stats_v1_prefix(&bytes[HEADER_LEN..]).unwrap();
+        assert_eq!(legacy.registry, full.registry);
+        assert_eq!(legacy.artifacts, full.artifacts);
+        assert_eq!(legacy.retained_nodes, full.retained_nodes);
+        assert_eq!(legacy.max_retained_nodes, full.max_retained_nodes);
+        assert_eq!(legacy.workers, full.workers);
+        assert_eq!(legacy.queue_depth, full.queue_depth);
+        // The extension is invisible to the legacy view.
+        assert_eq!(legacy.uptime_ms, 0);
+        assert!(legacy.requests_served.is_empty());
+        assert!(legacy.metrics.metrics.is_empty());
+    }
+
+    #[test]
+    fn unknown_metric_tag_is_malformed_not_a_panic() {
+        let mut e = Enc::default();
+        encode_stats(&mut e, &StatsSnapshot::default());
+        // One metric whose type tag (9) no decoder knows.
+        let mut payload = e.0;
+        payload.truncate(payload.len() - 4); // drop the empty metrics count
+        let mut tail = Enc::default();
+        tail.u32(1);
+        tail.str("mystery");
+        tail.u8(9);
+        payload.extend_from_slice(&tail.0);
+        let mut d = Dec::new(&payload);
+        assert!(matches!(
+            decode_stats(&mut d),
+            Err(ProtocolError::Malformed(m)) if m.contains("metric type tag")
+        ));
     }
 
     #[test]

@@ -29,20 +29,18 @@
 //! framing layer cannot be resynchronized.
 
 use std::io;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::protocol::{
     read_request, write_response, ProtocolError, Request, Response, WireError,
     DEFAULT_MAX_FRAME_LEN,
 };
 use trl_engine::{Engine, EngineError};
-
-/// How often an idle connection thread wakes to check for shutdown.
-const IDLE_POLL: Duration = Duration::from_millis(25);
 
 /// Tunables for a [`Server`]. The defaults suit tests and small
 /// deployments; serving real traffic wants them set explicitly.
@@ -61,6 +59,15 @@ pub struct ServerConfig {
     pub write_timeout: Duration,
     /// Ceiling on an inbound frame's payload length.
     pub max_frame_len: u32,
+    /// How often an idle connection thread (or the accept thread waiting
+    /// on a connection permit) wakes to check for shutdown. Shorter means
+    /// faster shutdown at more idle wakeups — the `server.idle_wakeups`
+    /// counter makes the actual cost visible.
+    pub idle_poll: Duration,
+    /// When set, any request whose total handling time (read + handle +
+    /// write) exceeds this threshold is logged to stderr as one JSON line
+    /// with its span breakdown.
+    pub slow_query: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +78,8 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(30),
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            idle_poll: Duration::from_millis(25),
+            slow_query: None,
         }
     }
 }
@@ -100,9 +109,9 @@ impl Gate {
         }
     }
 
-    /// Blocks until a permit is free or `cancel` turns true; returns
-    /// whether a permit was taken.
-    fn acquire(&self, max: usize, cancel: &AtomicBool) -> bool {
+    /// Blocks until a permit is free or `cancel` turns true, re-checking
+    /// `cancel` every `poll`; returns whether a permit was taken.
+    fn acquire(&self, max: usize, cancel: &AtomicBool, poll: Duration) -> bool {
         let mut held = self.held.lock().unwrap_or_else(|p| p.into_inner());
         loop {
             if cancel.load(Ordering::Acquire) {
@@ -114,7 +123,7 @@ impl Gate {
             }
             let (guard, _) = self
                 .freed
-                .wait_timeout(held, IDLE_POLL)
+                .wait_timeout(held, poll)
                 .unwrap_or_else(|p| p.into_inner());
             held = guard;
         }
@@ -143,6 +152,8 @@ struct Shared {
     served: AtomicU64,
     overloaded: AtomicU64,
     connections: AtomicU64,
+    /// Connections currently being served (accepted, not yet closed).
+    active: AtomicU64,
 }
 
 impl Shared {
@@ -169,6 +180,7 @@ impl Shared {
             Ok(_) => Ok(()),
             Err(cur) => {
                 self.overloaded.fetch_add(1, Ordering::Relaxed);
+                trl_obs::counter!("server.overloaded").inc();
                 Err(WireError::Overloaded {
                     queue_depth: cur as u64,
                     capacity: cap as u64,
@@ -216,6 +228,7 @@ impl Server {
             served: AtomicU64::new(0),
             overloaded: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            active: AtomicU64::new(0),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
@@ -297,12 +310,18 @@ impl Drop for ServerHandle {
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, addr: SocketAddr) {
     loop {
-        if !shared
-            .conn_gate
-            .acquire(shared.config.max_connections, &shared.shutdown)
-        {
+        // Gate wait is the server-side queue delay a connection pays
+        // before it can even be accepted — the counterpart of the
+        // per-request service time recorded in the connection loop.
+        let gate_wait = Instant::now();
+        if !shared.conn_gate.acquire(
+            shared.config.max_connections,
+            &shared.shutdown,
+            shared.config.idle_poll,
+        ) {
             return; // shutdown while waiting for a permit
         }
+        trl_obs::histogram!("server.gate_wait_us").record(gate_wait.elapsed());
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
             Err(_) => {
@@ -320,11 +339,16 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, addr: SocketAddr) {
             return;
         }
         shared.connections.fetch_add(1, Ordering::Relaxed);
+        shared.active.fetch_add(1, Ordering::Relaxed);
+        trl_obs::counter!("server.connections_accepted").inc();
+        trl_obs::gauge!("server.connections_active").inc();
         let conn_shared = Arc::clone(shared);
         let spawned = std::thread::Builder::new()
             .name("trl-server-conn".into())
             .spawn(move || {
                 connection_loop(stream, &conn_shared, addr);
+                conn_shared.active.fetch_sub(1, Ordering::Relaxed);
+                trl_obs::gauge!("server.connections_active").dec();
                 conn_shared.conn_gate.release();
             });
         match spawned {
@@ -336,20 +360,57 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, addr: SocketAddr) {
                 conns.retain(|h| !h.is_finished());
                 conns.push(handle);
             }
-            Err(_) => shared.conn_gate.release(),
+            Err(_) => {
+                shared.active.fetch_sub(1, Ordering::Relaxed);
+                trl_obs::gauge!("server.connections_active").dec();
+                shared.conn_gate.release();
+            }
         }
+    }
+}
+
+/// A byte-counting shim over the connection's stream, so the server can
+/// account request/response traffic without touching the protocol layer.
+struct Metered<'a> {
+    stream: &'a TcpStream,
+    read: u64,
+    written: u64,
+}
+
+impl Read for Metered<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.stream.read(buf)?;
+        self.read += n as u64;
+        Ok(n)
+    }
+}
+
+impl Write for Metered<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.stream.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.stream.flush()
     }
 }
 
 /// Serves one connection until the peer leaves, the stream breaks, or
 /// shutdown drains it.
-fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>, addr: SocketAddr) {
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, addr: SocketAddr) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let mut metered = Metered {
+        stream: &stream,
+        read: 0,
+        written: 0,
+    };
     loop {
         // Idle-poll for the next frame without consuming bytes, so
         // shutdown is noticed between requests, never mid-frame.
-        let _ = stream.set_read_timeout(Some(IDLE_POLL));
+        let _ = stream.set_read_timeout(Some(shared.config.idle_poll));
         let mut probe = [0u8; 1];
         match stream.peek(&mut probe) {
             Ok(0) => return, // peer closed
@@ -357,6 +418,7 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>, addr: SocketAddr
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
+                trl_obs::counter!("server.idle_wakeups").inc();
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
@@ -366,23 +428,39 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>, addr: SocketAddr
         }
         // A frame is arriving: switch to the per-request deadline.
         let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
-        let request = match read_request(&mut stream, shared.config.max_frame_len) {
+        let read_start = Instant::now();
+        let request = match read_request(&mut metered, shared.config.max_frame_len) {
             Ok(req) => req,
             Err(ProtocolError::Disconnected) => return,
             Err(ProtocolError::Io(_)) => return,
             Err(e) => {
                 // Typed rejection, then close: framing cannot resync.
                 let resp = Response::Error(WireError::Invalid(e.to_string()));
-                let _ = write_response(&mut stream, &resp);
+                let _ = write_response(&mut metered, &resp);
                 return;
             }
         };
+        let read_time = read_start.elapsed();
+        let kind = request_kind(&request);
         let is_shutdown_request = matches!(request, Request::Shutdown);
+
+        let handle_start = Instant::now();
         let response = handle_request(request, shared);
-        if write_response(&mut stream, &response).is_err() {
+        let handle_time = handle_start.elapsed();
+
+        let write_start = Instant::now();
+        if write_response(&mut metered, &response).is_err() {
             return;
         }
+        let write_time = write_start.elapsed();
         shared.served.fetch_add(1, Ordering::Relaxed);
+        record_request_metrics(&mut metered, kind, read_time, handle_time, write_time);
+        if let Some(threshold) = shared.config.slow_query {
+            let total = read_time + handle_time + write_time;
+            if total > threshold {
+                log_slow_query(kind, total, read_time, handle_time, write_time);
+            }
+        }
         if is_shutdown_request {
             shared.begin_shutdown(addr);
             return;
@@ -390,10 +468,76 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>, addr: SocketAddr
     }
 }
 
+/// The request's short name for metrics and the slow-query log.
+fn request_kind(request: &Request) -> &'static str {
+    match request {
+        Request::Ping => "ping",
+        Request::Compile(_) => "compile",
+        Request::Query { .. } => "query",
+        Request::Batch { .. } => "batch",
+        Request::Stats => "stats",
+        Request::Shutdown => "shutdown",
+    }
+}
+
+/// Publishes one answered request: traffic bytes (draining the shim's
+/// totals), the request/service counters, and the span breakdown.
+fn record_request_metrics(
+    metered: &mut Metered<'_>,
+    kind: &'static str,
+    read_time: Duration,
+    handle_time: Duration,
+    write_time: Duration,
+) {
+    trl_obs::counter!("server.requests").inc();
+    trl_obs::counter!("server.bytes_read").add(std::mem::take(&mut metered.read));
+    trl_obs::counter!("server.bytes_written").add(std::mem::take(&mut metered.written));
+    trl_obs::histogram!("server.service_us").record(handle_time);
+    trl_obs::histogram!("server.request_us").record(read_time + handle_time + write_time);
+    trl_obs::record_span("server.read", read_time);
+    trl_obs::record_span("server.handle", handle_time);
+    trl_obs::record_span("server.write", write_time);
+    match kind {
+        "ping" => trl_obs::counter!("server.requests.ping").inc(),
+        "compile" => trl_obs::counter!("server.requests.compile").inc(),
+        "query" => trl_obs::counter!("server.requests.query").inc(),
+        "batch" => trl_obs::counter!("server.requests.batch").inc(),
+        "stats" => trl_obs::counter!("server.requests.stats").inc(),
+        _ => trl_obs::counter!("server.requests.shutdown").inc(),
+    }
+}
+
+/// One JSON line on stderr describing a request that blew the
+/// [`ServerConfig::slow_query`] threshold, with its span breakdown.
+fn log_slow_query(
+    kind: &'static str,
+    total: Duration,
+    read_time: Duration,
+    handle_time: Duration,
+    write_time: Duration,
+) {
+    // A failed stderr write has no recovery path worth taking.
+    let _ = writeln!(
+        io::stderr().lock(),
+        "{{\"slow_query\":\"{kind}\",\"total_us\":{},\"read_us\":{},\"handle_us\":{},\"write_us\":{}}}",
+        total.as_micros(),
+        read_time.as_micros(),
+        handle_time.as_micros(),
+        write_time.as_micros()
+    );
+}
+
 fn handle_request(request: Request, shared: &Shared) -> Response {
     match request {
         Request::Ping => Response::Pong,
-        Request::Stats => Response::Stats(shared.engine.stats()),
+        Request::Stats => {
+            // The engine fills everything it can see; the connection
+            // counters are the server's to overlay.
+            let mut snapshot = shared.engine.stats();
+            snapshot.connections_accepted = shared.connections.load(Ordering::Relaxed);
+            snapshot.connections_active = shared.active.load(Ordering::Relaxed);
+            Response::Stats(snapshot)
+        }
         Request::Shutdown => Response::ShuttingDown,
         Request::Compile(cnf) => match shared.try_admit(1) {
             Err(e) => Response::Error(e),

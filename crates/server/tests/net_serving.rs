@@ -65,6 +65,10 @@ fn eight_concurrent_clients_get_bit_identical_answers() {
         .map(|o| o.answer)
         .collect();
 
+    let mut observer = Client::connect(addr).expect("observer connect");
+    let before = observer.stats().expect("stats before");
+    assert!(before.requests_served.iter().all(|(_, c)| *c == 0));
+
     let mut clients = Vec::new();
     for worker in 0..8 {
         let cnf = cnf.clone();
@@ -87,6 +91,38 @@ fn eight_concurrent_clients_get_bit_identical_answers() {
     }
     for c in clients {
         c.join().expect("client thread");
+    }
+
+    // Metric monotonicity under concurrency. `requests_served` is scoped
+    // to this server's engine, so the counts are exact: 8 clients × 6
+    // rounds × one query of each kind. The metric dump is process-global
+    // (other tests in this binary may run concurrently), so it is only
+    // asserted to have grown by at least this server's contribution.
+    let after = observer.stats().expect("stats after");
+    assert!(after.uptime_ms >= before.uptime_ms, "uptime went backwards");
+    assert_eq!(after.requests_served.len(), 6);
+    for (kind, count) in &after.requests_served {
+        assert_eq!(*count, 48, "kind {kind}: 8 clients x 6 rounds");
+    }
+    let total: u64 = after.requests_served.iter().map(|(_, c)| c).sum();
+    assert_eq!(total, 288);
+    assert!(after.connections_accepted >= 9, "8 clients + observer");
+    let metric_delta = |name: &str| {
+        after.metrics.counter(name).unwrap_or(0) - before.metrics.counter(name).unwrap_or(0)
+    };
+    assert!(metric_delta("engine.requests") >= 288);
+    // Server counters are per wire frame: the 4 query-by-query clients
+    // send 36 query frames each, the 4 batching clients one batch frame,
+    // and every client compiles once.
+    assert!(metric_delta("server.requests.query") >= 144);
+    assert!(metric_delta("server.requests.batch") >= 4);
+    assert!(metric_delta("server.requests.compile") >= 8);
+    for (kind, _) in &after.requests_served {
+        assert!(metric_delta(&format!("engine.requests.{kind}")) >= 48);
+        let hist = format!("engine.latency.{kind}_us");
+        let count =
+            |s: &trl_engine::StatsSnapshot| s.metrics.histogram(&hist).map_or(0, |h| h.count);
+        assert!(count(&after) - count(&before) >= 48, "{hist} undercounts");
     }
 
     let counters = handle.shutdown();
@@ -278,5 +314,22 @@ fn stats_snapshot_over_the_wire() {
     assert_eq!(after.registry.misses, 1);
     assert!(after.registry.hits >= 2, "compile hit + key lookup");
     assert!(after.retained_nodes > 0);
+
+    // The extended (version-2) surface travels too.
+    assert!(after.uptime_ms >= before.uptime_ms);
+    let served = |s: &trl_engine::StatsSnapshot, kind: &str| {
+        s.requests_served
+            .iter()
+            .find(|(k, _)| k == kind)
+            .map_or(0, |(_, c)| *c)
+    };
+    assert_eq!(served(&after, "model_count"), 1);
+    assert_eq!(served(&after, "wmc"), 0);
+    assert!(after.connections_accepted >= 1);
+    assert!(after.connections_active >= 1, "this client is connected");
+    assert!(
+        !after.metrics.metrics.is_empty(),
+        "metric dump travels with stats"
+    );
     handle.shutdown();
 }

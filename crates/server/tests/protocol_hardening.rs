@@ -3,12 +3,13 @@
 //! length declarations — can panic the decoder or slip through untyped.
 
 use trl_core::{PartialAssignment, Var};
-use trl_engine::{Query, QueryAnswer};
+use trl_engine::{Query, QueryAnswer, RegistryStats, StatsSnapshot};
 use trl_nnf::LitWeights;
+use trl_obs::{HistogramSnapshot, MetricValue, MetricsDump};
 use trl_prop::Cnf;
 use trl_server::{
-    read_request, read_response, write_request, write_response, ProtocolError, Request, Response,
-    WireError, DEFAULT_MAX_FRAME_LEN,
+    decode_stats_v1_prefix, read_request, read_response, write_request, write_response,
+    ProtocolError, Request, Response, WireError, DEFAULT_MAX_FRAME_LEN,
 };
 
 fn sample_cnf() -> Cnf {
@@ -198,6 +199,107 @@ fn universe_bomb_rejected() {
         read_request(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN),
         Err(ProtocolError::Malformed(_))
     ));
+}
+
+/// A version-2 stats snapshot with every extension shape populated:
+/// per-kind counts, connection counters, all three metric variants.
+fn extended_stats() -> StatsSnapshot {
+    StatsSnapshot {
+        registry: RegistryStats {
+            hits: 11,
+            misses: 4,
+            evictions: 2,
+        },
+        artifacts: 3,
+        retained_nodes: 5_000,
+        max_retained_nodes: 1 << 20,
+        workers: 4,
+        queue_depth: 1,
+        uptime_ms: 98_765,
+        requests_served: vec![
+            ("sat".into(), 10),
+            ("model_count".into(), 0),
+            ("wmc".into(), 310),
+        ],
+        connections_accepted: 27,
+        connections_active: 5,
+        metrics: MetricsDump {
+            metrics: vec![
+                ("compiler.decisions".into(), MetricValue::Counter(123_456)),
+                ("server.connections_active".into(), MetricValue::Gauge(5)),
+                (
+                    "engine.latency.wmc_us".into(),
+                    MetricValue::Histogram(HistogramSnapshot {
+                        buckets: vec![0, 1, 200, 100, 9],
+                        count: 310,
+                        sum_us: 44_000,
+                    }),
+                ),
+            ],
+        },
+    }
+}
+
+#[test]
+fn extended_stats_frame_round_trips() {
+    let resp = Response::Stats(extended_stats());
+    let mut bytes = Vec::new();
+    write_response(&mut bytes, &resp).unwrap();
+    let back = read_response(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap();
+    assert_eq!(back, resp);
+}
+
+#[test]
+fn extended_stats_single_byte_corruption_never_panics() {
+    let mut pristine = Vec::new();
+    write_response(&mut pristine, &Response::Stats(extended_stats())).unwrap();
+    for at in 0..pristine.len() {
+        for bit in [0x01u8, 0x80] {
+            let mut corrupt = pristine.clone();
+            corrupt[at] ^= bit;
+            assert!(
+                read_response(&mut corrupt.as_slice(), DEFAULT_MAX_FRAME_LEN).is_err(),
+                "flip of bit {bit:#x} at byte {at} went undetected"
+            );
+        }
+    }
+}
+
+#[test]
+fn extended_stats_truncation_at_every_cut_is_typed() {
+    let mut bytes = Vec::new();
+    write_response(&mut bytes, &Response::Stats(extended_stats())).unwrap();
+    for cut in 0..bytes.len() {
+        let mut slice = &bytes[..cut];
+        assert_eq!(
+            read_response(&mut slice, DEFAULT_MAX_FRAME_LEN),
+            Err(ProtocolError::Disconnected),
+            "cut at byte {cut}"
+        );
+    }
+}
+
+#[test]
+fn old_client_decodes_the_legacy_prefix_of_an_extended_stats_payload() {
+    // The version-1 stats decoder consumed exactly eight fields and
+    // stopped; `decode_stats_v1_prefix` is that decoder. Run it over a
+    // full version-2 payload and check the legacy fields arrive intact
+    // while the extension is invisible.
+    let full = extended_stats();
+    let mut bytes = Vec::new();
+    write_response(&mut bytes, &Response::Stats(full.clone())).unwrap();
+    let payload = &bytes[trl_server::protocol::HEADER_LEN..];
+    let legacy = decode_stats_v1_prefix(payload).unwrap();
+    assert_eq!(legacy.registry, full.registry);
+    assert_eq!(legacy.artifacts, full.artifacts);
+    assert_eq!(legacy.retained_nodes, full.retained_nodes);
+    assert_eq!(legacy.max_retained_nodes, full.max_retained_nodes);
+    assert_eq!(legacy.workers, full.workers);
+    assert_eq!(legacy.queue_depth, full.queue_depth);
+    assert_eq!(legacy.uptime_ms, 0);
+    assert!(legacy.requests_served.is_empty());
+    assert_eq!(legacy.connections_accepted, 0);
+    assert!(legacy.metrics.metrics.is_empty());
 }
 
 #[test]

@@ -31,6 +31,9 @@ pub use trl_engine as engine;
 pub use trl_nnf as nnf;
 /// Ordered binary decision diagrams.
 pub use trl_obdd as obdd;
+/// Observability: process-global counters, gauges, latency histograms,
+/// span timers, and their table/Prometheus expositions.
+pub use trl_obs as obs;
 /// Propositional logic: CNF, DIMACS, SAT, prime implicants.
 pub use trl_prop as prop;
 /// Probabilistic SDDs: learning distributions from data and symbolic knowledge.

@@ -7,10 +7,12 @@
 //!                   [--weight LIT=W]... [--under LIT]... [--batch FILE]
 //!                   [--workers N] [--trust]
 //! three-roles serve <addr> [--workers N] [--budget NODES] [--max-conns N]
-//!                   [--queue N] [--timeout-secs S]
-//! three-roles client <addr> ping | stats | shutdown
+//!                   [--queue N] [--timeout-secs S] [--idle-poll-ms MS]
+//!                   [--slow-ms MS] [--obs-log]
+//! three-roles client <addr> ping | stats [--watch] | shutdown
 //! three-roles client <addr> compile <cnf>
 //! three-roles client <addr> query <cnf> [query flags as above]
+//! three-roles metrics <addr> [--prom]
 //! three-roles bench-serve <cnf> [-o PATH] [--queries N] [--seed S] [--workers N]
 //! three-roles bench-eval <cnf> [-o PATH] [--queries N] [--seed S]
 //! ```
@@ -26,9 +28,14 @@
 //! over a shared engine; `client` speaks its wire protocol (a `client
 //! query` compiles server-side first — a registry hit when already
 //! resident — and prints answers in exactly the local `query` format, so
-//! the two are diffable). `bench-serve` runs the serving benchmark and
-//! writes `BENCH_engine.json`; `bench-eval` runs the kernel-variant
-//! benchmark and writes `BENCH_eval.json`.
+//! the two are diffable). `client stats` renders the server's extended
+//! stats surface — uptime, connections, and a per-query-kind latency
+//! table (p50/p95/p99) — and `--watch` refreshes it each second;
+//! `metrics` dumps every process-global metric as a table or, with
+//! `--prom`, in Prometheus text exposition for scraping. `bench-serve`
+//! runs the serving benchmark and writes `BENCH_engine.json`;
+//! `bench-eval` runs the kernel-variant benchmark and writes
+//! `BENCH_eval.json`.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -36,11 +43,13 @@ use std::time::{Duration, Instant};
 use three_roles::compiler::DecisionDnnfCompiler;
 use three_roles::core::PartialAssignment;
 use three_roles::core::{Lit, Var};
+use three_roles::engine::StatsSnapshot;
 use three_roles::engine::{
     eval_benchmark, load_binary, load_nnf, save_binary, save_nnf, save_vtree, serving_benchmark,
     Engine, Executor, Query, QueryAnswer, Validation,
 };
 use three_roles::nnf::{Circuit, LitWeights};
+use three_roles::obs::{LatencySummary, StderrJsonExporter};
 use three_roles::prop::Cnf;
 use three_roles::server::{Client, Server, ServerConfig};
 use three_roles::vtree::Vtree;
@@ -56,6 +65,7 @@ fn main() -> ExitCode {
         "query" => cmd_query(rest),
         "serve" => cmd_serve(rest),
         "client" => cmd_client(rest),
+        "metrics" => cmd_metrics(rest),
         "bench-serve" => cmd_bench_serve(rest),
         "bench-eval" => cmd_bench_eval(rest),
         "help" | "--help" | "-h" => {
@@ -82,10 +92,12 @@ USAGE:
                     [--weight LIT=W]... [--under LIT]... [--batch FILE]
                     [--workers N] [--trust]
   three-roles serve <addr> [--workers N] [--budget NODES] [--max-conns N]
-                    [--queue N] [--timeout-secs S]
-  three-roles client <addr> ping | stats | shutdown
+                    [--queue N] [--timeout-secs S] [--idle-poll-ms MS]
+                    [--slow-ms MS] [--obs-log]
+  three-roles client <addr> ping | stats [--watch] | shutdown
   three-roles client <addr> compile <cnf>
   three-roles client <addr> query <cnf> [query flags as above]
+  three-roles metrics <addr> [--prom]
   three-roles bench-serve <cnf> [-o PATH] [--queries N] [--seed S] [--workers N]
   three-roles bench-eval <cnf> [-o PATH] [--queries N] [--seed S]
 
@@ -122,13 +134,22 @@ SERVE (TCP frontend; `client query` answers are bit-identical to `query`):
   --queue N          submission-queue capacity (default 1024); a full queue
                      rejects requests with a typed `overloaded` error
   --timeout-secs S   per-request read/write deadline (default 30)
+  --idle-poll-ms MS  idle connection poll interval (default 25); each
+                     expiry with no request pending counts an idle wakeup
+  --slow-ms MS       log requests slower than MS to stderr as JSON lines
+                     with a read/handle/write span breakdown (default: off)
+  --obs-log          stream every finished span to stderr as JSON lines
 
 CLIENT (speaks the trl-server wire protocol to a running `serve`):
-  ping | stats | shutdown      liveness, engine counters, graceful drain
+  ping | stats | shutdown      liveness, serving stats, graceful drain
+  stats --watch                refresh the stats view every second
   compile <cnf>                compile server-side, print the registry key
   query <cnf> [query flags]    compile (a registry hit when warm), then
                                answer queries; accepts the QUERY flags above
                                except --workers/--trust (server-side concerns)
+
+METRICS (dump a serving process's metric registry):
+  --prom             Prometheus text exposition instead of a table
 
 BENCH-SERVE:
   -o PATH            where to write the JSON report (default BENCH_engine.json)
@@ -502,6 +523,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         config.read_timeout = Duration::from_secs(secs);
         config.write_timeout = Duration::from_secs(secs);
     }
+    if let Some(ms) = take_value(&mut args, "--idle-poll-ms")? {
+        let ms: u64 = parse_num(&ms, "idle-poll interval")?;
+        config.idle_poll = Duration::from_millis(ms.max(1));
+    }
+    if let Some(ms) = take_value(&mut args, "--slow-ms")? {
+        let ms: u64 = parse_num(&ms, "slow-query threshold")?;
+        config.slow_query = Some(Duration::from_millis(ms));
+    }
+    if take_flag(&mut args, "--obs-log") {
+        three_roles::obs::set_subscriber(Some(std::sync::Arc::new(StderrJsonExporter)));
+    }
     let addr = take_positional(args, "listen address")?;
 
     let engine = std::sync::Arc::new(Engine::new(budget, workers));
@@ -572,22 +604,18 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             }
         }
         "stats" => {
+            let watch = take_flag(&mut args, "--watch");
             expect_no_more(args, "stats")?;
             let mut client = connect()?;
-            let s = client.stats().map_err(|e| e.to_string())?;
-            println!("stats for {addr}:");
-            println!(
-                "  registry   {} artifacts, {} hits, {} misses, {} evictions",
-                s.artifacts, s.registry.hits, s.registry.misses, s.registry.evictions
-            );
-            println!(
-                "  retained   {} / {} nodes",
-                s.retained_nodes, s.max_retained_nodes
-            );
-            println!(
-                "  executor   {} workers, {} queued",
-                s.workers, s.queue_depth
-            );
+            loop {
+                let s = client.stats().map_err(|e| e.to_string())?;
+                print_stats(&addr, &s);
+                if !watch {
+                    break;
+                }
+                std::thread::sleep(Duration::from_secs(1));
+                println!();
+            }
         }
         "shutdown" => {
             expect_no_more(args, "shutdown")?;
@@ -600,6 +628,85 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             "unknown client action '{other}' (expected ping, compile, query, stats, or shutdown)"
         ))
         }
+    }
+    Ok(())
+}
+
+/// Renders the extended stats surface: engine counters, connection
+/// counters, and a per-query-kind latency table fed by the
+/// `engine.latency.<kind>_us` histograms in the metric dump.
+fn print_stats(addr: &str, s: &StatsSnapshot) {
+    println!("stats for {addr} (up {:.1} s):", s.uptime_ms as f64 / 1e3);
+    println!(
+        "  registry   {} artifacts, {} hits, {} misses, {} evictions",
+        s.artifacts, s.registry.hits, s.registry.misses, s.registry.evictions
+    );
+    println!(
+        "  retained   {} / {} nodes",
+        s.retained_nodes, s.max_retained_nodes
+    );
+    println!(
+        "  executor   {} workers, {} queued",
+        s.workers, s.queue_depth
+    );
+    println!(
+        "  network    {} connections accepted, {} active",
+        s.connections_accepted, s.connections_active
+    );
+    let total: u64 = s.requests_served.iter().map(|(_, c)| c).sum();
+    println!("  queries    {total} served");
+    println!(
+        "    {:<18} {:>10} {:>10} {:>10} {:>10}",
+        "kind", "served", "p50 us", "p95 us", "p99 us"
+    );
+    for (kind, count) in &s.requests_served {
+        let summary = s
+            .metrics
+            .histogram(&format!("engine.latency.{kind}_us"))
+            .filter(|h| h.count > 0)
+            .map(LatencySummary::from_histogram);
+        match summary {
+            Some(l) => println!(
+                "    {kind:<18} {count:>10} {:>10.0} {:>10.0} {:>10.0}",
+                l.p50_us, l.p95_us, l.p99_us
+            ),
+            None => println!(
+                "    {kind:<18} {count:>10} {:>10} {:>10} {:>10}",
+                "-", "-", "-"
+            ),
+        }
+    }
+    // The compiler/kernel counters most useful at a glance; the full dump
+    // is one `three-roles metrics` away.
+    let counter = |name: &str| s.metrics.counter(name).unwrap_or(0);
+    println!(
+        "  compiler   {} compiles, {} decisions, {} conflicts, cache {}/{} hits",
+        counter("compiler.compiles"),
+        counter("compiler.decisions"),
+        counter("compiler.conflicts"),
+        counter("compiler.cache_hits"),
+        counter("compiler.cache_hits") + counter("compiler.cache_misses"),
+    );
+    println!(
+        "  kernel     {} tape builds, {} sweeps, {} lanes filled, {} layered sweeps",
+        counter("kernel.tape_builds"),
+        counter("kernel.sweeps"),
+        counter("kernel.lanes_filled"),
+        counter("kernel.layered_sweeps"),
+    );
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let prom = take_flag(&mut args, "--prom");
+    let addr = take_positional(args, "server address")?;
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let s = client.stats().map_err(|e| e.to_string())?;
+    if prom {
+        print!("{}", s.metrics.render_prometheus());
+    } else {
+        print!("{}", s.metrics.render_table());
     }
     Ok(())
 }
