@@ -137,6 +137,21 @@ impl Engine {
         self.executor.try_run_batch(circuit, queries)
     }
 
+    /// Validates and submits a batch without blocking; the completion
+    /// callback fires on a worker thread once every query is answered
+    /// ([`Executor::submit_batch`]).
+    pub fn submit_batch<F>(
+        &self,
+        circuit: &Arc<PreparedCircuit>,
+        queries: Vec<Query>,
+        on_done: F,
+    ) -> Result<()>
+    where
+        F: FnOnce(Vec<QueryOutcome>) + Send + 'static,
+    {
+        self.executor.submit_batch(circuit, queries, on_done)
+    }
+
     /// The shared executor (for callers that manage circuits themselves).
     pub fn executor(&self) -> &Executor {
         &self.executor

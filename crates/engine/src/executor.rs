@@ -7,10 +7,18 @@
 //! [`Executor::run_batch`] groups compatible queries (same kind, same
 //! circuit) and ships them as a unit, so a worker answers each group with
 //! one lane-batched tape sweep ([`trl_nnf::EvalTape`]) instead of one
-//! scalar arena walk per query. For large circuits the whole group goes to
-//! a single worker that fans each tape layer across the pool's width
-//! instead. Each answered query reports its service latency, so
-//! `bench-serve` can record tail behaviour, not just throughput.
+//! scalar arena walk per query. When the opt-in [`ParallelPolicy`] says a
+//! circuit is wide enough, the whole group instead goes to a single worker
+//! that fans each tape layer across the pool's width. Each answered query
+//! reports its service latency, so `bench-serve` can record tail
+//! behaviour, not just throughput.
+//!
+//! Batches can be submitted two ways: [`Executor::run_batch`] /
+//! [`Executor::try_run_batch`] block the caller until the batch drains,
+//! while [`Executor::submit_batch`] returns immediately and fires a
+//! completion callback from the worker that answers the last job — the
+//! submission path the readiness-driven network server uses so its reactor
+//! threads never block on the pool.
 //!
 //! The pool is deliberately dependency-free (std threads + `mpsc`): the
 //! workspace builds air-gapped.
@@ -26,12 +34,44 @@ use crate::prepared::PreparedCircuit;
 use trl_core::{Assignment, PartialAssignment};
 use trl_nnf::{LitWeights, LANES};
 
-/// Circuits at least this many raw arena nodes wide stop chunking groups
-/// across workers and instead run each group as one layer-parallel sweep
-/// over the whole pool: past this size a single tape scan already saturates
-/// memory bandwidth, and splitting *within* layers beats splitting the
-/// batch.
-const LAYERED_NODE_THRESHOLD: usize = 1 << 16;
+/// The node count [`ParallelPolicy::Layered`] historically switched at.
+/// Kept as the suggested starting point for callers opting in.
+pub const DEFAULT_LAYERED_MIN_NODES: usize = 1 << 16;
+
+/// How the executor parallelizes one query group.
+///
+/// The scoped-thread layer-parallel sweep loses to the plain lane-batched
+/// kernel on every circuit measured so far (BENCH_eval.json records a
+/// 0.03x "speedup" — spawn and barrier overhead swamps the per-layer
+/// work), so it is opt-in: the default policy never dispatches it. Opt in
+/// with [`Executor::set_parallel_policy`] once a circuit is genuinely wide
+/// enough to amortize the fan-out, or leave the default and let the batch
+/// be split *across* workers in lane-aligned chunks instead.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ParallelPolicy {
+    /// Lane-batched kernels only; groups are chunked across the worker
+    /// pool, never fanned within a layer. The default.
+    #[default]
+    LaneOnly,
+    /// Groups against circuits with at least `min_nodes` raw arena nodes
+    /// run as one layer-parallel sweep across the pool's width
+    /// ([`DEFAULT_LAYERED_MIN_NODES`] is the historical cut-over).
+    Layered {
+        /// Minimum raw arena node count before a layered sweep dispatches.
+        min_nodes: usize,
+    },
+}
+
+impl ParallelPolicy {
+    /// A stable one-token description for logs and benchmark JSON
+    /// (`"lane-only"` or `"layered>=N"`).
+    pub fn describe(&self) -> String {
+        match self {
+            ParallelPolicy::LaneOnly => "lane-only".to_string(),
+            ParallelPolicy::Layered { min_nodes } => format!("layered>={min_nodes}"),
+        }
+    }
+}
 
 /// Canonical query-kind names in [`Query::kind_index`] order — the row
 /// order of per-kind serving stats ([`Executor::served_by_kind`], the
@@ -179,6 +219,64 @@ pub struct QueryOutcome {
     pub latency: Duration,
 }
 
+/// The completion callback of an asynchronously submitted batch.
+type Completion = Box<dyn FnOnce(Vec<QueryOutcome>) + Send + 'static>;
+
+/// Shared state of one submitted batch: the jobs it was split into all
+/// hold an `Arc` to it, and whichever worker finishes the last job
+/// attributes the batch's stats and runs the completion callback.
+struct Pending {
+    /// Outcome slot per submission index.
+    slots: Mutex<Vec<Option<QueryOutcome>>>,
+    /// Jobs not yet answered; the worker that decrements this to zero
+    /// finalizes the batch.
+    jobs_left: AtomicUsize,
+    /// Kind index per submission index, for per-kind stat attribution.
+    kinds: Vec<usize>,
+    /// Whether this batch dispatched layer-parallel sweeps.
+    layered: bool,
+    on_done: Mutex<Option<Completion>>,
+    /// The owning executor's served-by-kind table (shared so completion
+    /// can attribute from a worker thread).
+    stats: Arc<ExecutorStats>,
+}
+
+impl Pending {
+    /// Called by the worker that answered the batch's last job: drains the
+    /// outcome slots, attributes stats, and fires the completion callback.
+    fn finalize(&self) {
+        let outcomes: Vec<QueryOutcome> = {
+            let mut slots = self.slots.lock().expect("batch slots lock");
+            slots
+                .iter_mut()
+                .map(|s| s.take().expect("every index answered exactly once"))
+                .collect()
+        };
+        // One pass of stat attribution per batch: engine-scoped per-kind
+        // totals plus the process-global request counters and latency
+        // histograms — a few relaxed atomics per query.
+        trl_obs::counter!("engine.batches").inc();
+        trl_obs::counter!("engine.requests").add(outcomes.len() as u64);
+        if self.layered {
+            trl_obs::counter!("engine.layered_dispatches").inc();
+        }
+        for (&kind, outcome) in self.kinds.iter().zip(&outcomes) {
+            self.stats.served_by_kind[kind].fetch_add(1, Ordering::Relaxed);
+            kind_counter(kind).inc();
+            kind_histogram(kind).record(outcome.latency);
+        }
+        if let Some(done) = self.on_done.lock().expect("completion lock").take() {
+            done(outcomes);
+        }
+    }
+}
+
+/// Served-by-kind counters, shared between the executor handle and
+/// in-flight batch completions.
+struct ExecutorStats {
+    served_by_kind: [AtomicU64; 6],
+}
+
 /// A group of same-kind queries shipped to one worker as a unit.
 struct Job {
     circuit: Arc<PreparedCircuit>,
@@ -191,7 +289,7 @@ struct Job {
     /// When the job entered the channel — queue wait is measured from here
     /// to the moment a worker picks the job up.
     submitted: Instant,
-    reply: Sender<(usize, QueryOutcome)>,
+    pending: Arc<Pending>,
 }
 
 /// The `engine.requests.<kind>` counter for a [`Query::kind_index`] row,
@@ -225,7 +323,12 @@ pub struct Executor {
     /// [`QUERY_KINDS`] entry — the per-kind `requests_served` table of
     /// this executor's stats snapshot (engine-scoped, unlike the
     /// process-global `engine.requests.*` counters).
-    served_by_kind: [AtomicU64; 6],
+    stats: Arc<ExecutorStats>,
+    /// The [`ParallelPolicy`] encoded as a minimum node count: `0` means
+    /// lane-only (layered sweeps never dispatch), anything else is
+    /// `Layered { min_nodes }`. Atomic so serving frontends can flip the
+    /// policy through a shared `&Executor`.
+    layered_min_nodes: AtomicUsize,
 }
 
 impl Executor {
@@ -249,7 +352,10 @@ impl Executor {
             tx: Some(tx),
             workers: handles,
             in_flight,
-            served_by_kind: [const { AtomicU64::new(0) }; 6],
+            stats: Arc::new(ExecutorStats {
+                served_by_kind: [const { AtomicU64::new(0) }; 6],
+            }),
+            layered_min_nodes: AtomicUsize::new(0),
         }
     }
 
@@ -275,11 +381,18 @@ impl Executor {
             let answers = job.circuit.answer_batch(&job.queries, job.layer_threads);
             let latency = start.elapsed();
             trl_obs::histogram!("engine.service_us").record(latency);
-            for (&index, answer) in job.indices.iter().zip(answers) {
-                // The batch collector may have given up; that's its business.
-                let _ = job.reply.send((index, QueryOutcome { answer, latency }));
+            {
+                let mut slots = job.pending.slots.lock().expect("batch slots lock");
+                for (&index, answer) in job.indices.iter().zip(answers) {
+                    slots[index] = Some(QueryOutcome { answer, latency });
+                }
             }
             in_flight.fetch_sub(1, Ordering::Relaxed);
+            // The last job standing finalizes: stat attribution plus the
+            // batch's completion callback, both on this worker thread.
+            if job.pending.jobs_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                job.pending.finalize();
+            }
         }
     }
 
@@ -297,7 +410,29 @@ impl Executor {
     /// Queries answered since construction, one row per [`QUERY_KINDS`]
     /// entry.
     pub fn served_by_kind(&self) -> [u64; 6] {
-        std::array::from_fn(|i| self.served_by_kind[i].load(Ordering::Relaxed))
+        std::array::from_fn(|i| self.stats.served_by_kind[i].load(Ordering::Relaxed))
+    }
+
+    /// Sets how groups parallelize (see [`ParallelPolicy`]). Takes effect
+    /// for batches submitted after the call; safe through a shared
+    /// reference.
+    pub fn set_parallel_policy(&self, policy: ParallelPolicy) {
+        let encoded = match policy {
+            ParallelPolicy::LaneOnly => 0,
+            // `min_nodes == 0` means "always layered"; encode it as 1 so it
+            // stays distinguishable from the lane-only sentinel (every
+            // circuit has at least one node, so the behavior is identical).
+            ParallelPolicy::Layered { min_nodes } => min_nodes.max(1),
+        };
+        self.layered_min_nodes.store(encoded, Ordering::Relaxed);
+    }
+
+    /// The active [`ParallelPolicy`].
+    pub fn parallel_policy(&self) -> ParallelPolicy {
+        match self.layered_min_nodes.load(Ordering::Relaxed) {
+            0 => ParallelPolicy::LaneOnly,
+            min_nodes => ParallelPolicy::Layered { min_nodes },
+        }
     }
 
     /// Validates a batch of queries against a circuit and answers them on
@@ -314,30 +449,54 @@ impl Executor {
     /// [`Executor::run_batch`], returning the first validation error
     /// instead of panicking. No query runs unless the whole batch is valid.
     ///
-    /// Queries of the same counting kind are grouped and each group split
-    /// into lane-aligned chunks across the pool (or handed whole to a
-    /// layer-parallel sweep for circuits past `LAYERED_NODE_THRESHOLD`
-    /// nodes); SAT and MPE queries run individually.
+    /// Blocks until the batch drains; implemented over
+    /// [`Executor::submit_batch`] with a channel completion.
     pub fn try_run_batch(
         &self,
         circuit: &Arc<PreparedCircuit>,
         queries: Vec<Query>,
     ) -> Result<Vec<QueryOutcome>> {
+        let (done_tx, done_rx) = channel();
+        self.submit_batch(circuit, queries, move |outcomes| {
+            // The submitter may have given up waiting; that's its business.
+            let _ = done_tx.send(outcomes);
+        })?;
+        Ok(done_rx.recv().expect("a worker died mid-batch"))
+    }
+
+    /// Validates and submits a batch without blocking: `on_done` fires on
+    /// a worker thread (or inline, for an empty batch) once every query is
+    /// answered, receiving outcomes in submission order. This is the
+    /// readiness-driven server's path — a reactor thread submits a
+    /// pipelined connection's queries as one batch and keeps polling while
+    /// the pool works.
+    ///
+    /// Queries of the same counting kind are grouped and each group split
+    /// into lane-aligned chunks across the pool (or handed whole to a
+    /// layer-parallel sweep when the active [`ParallelPolicy`] says the
+    /// circuit is wide enough); SAT and MPE queries run individually.
+    pub fn submit_batch<F>(
+        &self,
+        circuit: &Arc<PreparedCircuit>,
+        queries: Vec<Query>,
+        on_done: F,
+    ) -> Result<()>
+    where
+        F: FnOnce(Vec<QueryOutcome>) + Send + 'static,
+    {
         for q in &queries {
             q.validate(circuit.num_vars())?;
         }
         let n = queries.len();
-        // Kind per submission index, kept so outcomes can be attributed to
-        // per-kind counters and latency histograms after the batch drains.
-        let kinds: Vec<usize> = queries.iter().map(Query::kind_index).collect();
-        let (reply_tx, reply_rx) = channel();
         let tx = self.tx.as_ref().expect("executor is live until dropped");
 
         // Partition into per-kind groups (indices + queries, in submission
         // order) and ungroupable singles.
         let mut buckets: [(Vec<usize>, Vec<Query>); 4] = Default::default();
         let mut singles: Vec<(usize, Query)> = Vec::new();
+        let mut kinds = Vec::with_capacity(n);
         for (index, query) in queries.into_iter().enumerate() {
+            kinds.push(query.kind_index());
             if query.groupable() {
                 let b = &mut buckets[query.group_bucket()];
                 b.0.push(index);
@@ -348,7 +507,22 @@ impl Executor {
         }
 
         let workers = self.num_workers();
-        let layered = circuit.raw().node_count() >= LAYERED_NODE_THRESHOLD;
+        let layered = match self.parallel_policy() {
+            ParallelPolicy::LaneOnly => false,
+            ParallelPolicy::Layered { min_nodes } => circuit.raw().node_count() >= min_nodes,
+        };
+        // `jobs_left` starts at 1: the submitter holds a guard so no job
+        // finishing early can finalize the batch before every job is in
+        // the channel. The guard drops after the last send.
+        let pending = Arc::new(Pending {
+            slots: Mutex::new((0..n).map(|_| None).collect()),
+            jobs_left: AtomicUsize::new(1),
+            kinds,
+            layered,
+            on_done: Mutex::new(Some(Box::new(on_done))),
+            stats: Arc::clone(&self.stats),
+        });
+
         let send = |indices: Vec<usize>, queries: Vec<Query>, layer_threads: usize| {
             let job = Job {
                 circuit: Arc::clone(circuit),
@@ -356,8 +530,9 @@ impl Executor {
                 queries,
                 layer_threads,
                 submitted: Instant::now(),
-                reply: reply_tx.clone(),
+                pending: Arc::clone(&pending),
             };
+            pending.jobs_left.fetch_add(1, Ordering::Relaxed);
             self.in_flight.fetch_add(1, Ordering::Relaxed);
             tx.send(job).expect("worker pool alive");
         };
@@ -391,31 +566,12 @@ impl Executor {
             send(vec![index], vec![query], 1);
         }
 
-        drop(reply_tx);
-        let mut out: Vec<Option<QueryOutcome>> = (0..n).map(|_| None).collect();
-        for _ in 0..n {
-            let (index, outcome) = reply_rx.recv().expect("a worker died mid-batch");
-            out[index] = Some(outcome);
+        // Drop the submission guard; if every job already drained (or the
+        // batch was empty) this thread finalizes inline.
+        if pending.jobs_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+            pending.finalize();
         }
-        let outcomes: Vec<QueryOutcome> = out
-            .into_iter()
-            .map(|o| o.expect("every index answered exactly once"))
-            .collect();
-
-        // One pass of stat attribution per batch: engine-scoped per-kind
-        // totals plus the process-global request counters and latency
-        // histograms — a few relaxed atomics per query.
-        trl_obs::counter!("engine.batches").inc();
-        trl_obs::counter!("engine.requests").add(n as u64);
-        if layered {
-            trl_obs::counter!("engine.layered_dispatches").inc();
-        }
-        for (&kind, outcome) in kinds.iter().zip(&outcomes) {
-            self.served_by_kind[kind].fetch_add(1, Ordering::Relaxed);
-            kind_counter(kind).inc();
-            kind_histogram(kind).record(outcome.latency);
-        }
-        Ok(outcomes)
+        Ok(())
     }
 }
 
@@ -423,8 +579,18 @@ impl Drop for Executor {
     fn drop(&mut self) {
         // Closing the channel ends every worker's recv loop.
         self.tx.take();
+        // The executor can be dropped *from one of its own workers*: an
+        // async completion callback may hold the last strong reference to
+        // whatever owns the executor and release it as the closure drops.
+        // Joining that thread would be a self-join (EDEADLK); detach it —
+        // the closed channel already guarantees it exits on its own.
+        let me = std::thread::current().id();
         for h in self.workers.drain(..) {
-            let _ = h.join();
+            if h.thread().id() == me {
+                drop(h);
+            } else {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -530,5 +696,97 @@ mod tests {
         assert_eq!(ex.num_workers(), 1);
         let outcomes = ex.run_batch(&prepared(), vec![Query::Sat]);
         assert_eq!(outcomes[0].answer, QueryAnswer::Sat(true));
+    }
+
+    #[test]
+    fn parallel_policy_defaults_off_and_round_trips() {
+        let ex = Executor::new(1);
+        assert_eq!(ex.parallel_policy(), ParallelPolicy::LaneOnly);
+        ex.set_parallel_policy(ParallelPolicy::Layered { min_nodes: 4096 });
+        assert_eq!(
+            ex.parallel_policy(),
+            ParallelPolicy::Layered { min_nodes: 4096 }
+        );
+        assert_eq!(ex.parallel_policy().describe(), "layered>=4096");
+        ex.set_parallel_policy(ParallelPolicy::LaneOnly);
+        assert_eq!(ex.parallel_policy(), ParallelPolicy::LaneOnly);
+        assert_eq!(ex.parallel_policy().describe(), "lane-only");
+    }
+
+    #[test]
+    fn layered_opt_in_answers_identically() {
+        let p = prepared();
+        let ex = Executor::new(2);
+        let lane = ex.run_batch(&p, vec![Query::ModelCount; 20]);
+        // min_nodes: 1 forces the layered sweep even on this tiny circuit.
+        ex.set_parallel_policy(ParallelPolicy::Layered { min_nodes: 1 });
+        let layered = ex.run_batch(&p, vec![Query::ModelCount; 20]);
+        for (a, b) in lane.iter().zip(&layered) {
+            assert_eq!(a.answer, b.answer);
+        }
+    }
+
+    #[test]
+    fn submit_batch_completes_asynchronously_in_submission_order() {
+        let p = prepared();
+        let ex = Executor::new(2);
+        let expected: Vec<_> = [
+            Query::ModelCount,
+            Query::Sat,
+            Query::Wmc(LitWeights::unit(4)),
+        ]
+        .iter()
+        .map(|q| p.answer(q))
+        .collect();
+        let (tx, rx) = std::sync::mpsc::channel();
+        for _ in 0..8 {
+            let tx = tx.clone();
+            ex.submit_batch(
+                &p,
+                vec![
+                    Query::ModelCount,
+                    Query::Sat,
+                    Query::Wmc(LitWeights::unit(4)),
+                ],
+                move |outcomes| {
+                    let _ = tx.send(outcomes);
+                },
+            )
+            .unwrap();
+        }
+        drop(tx);
+        let mut seen = 0;
+        while let Ok(outcomes) = rx.recv() {
+            assert_eq!(outcomes.len(), 3);
+            for (o, e) in outcomes.iter().zip(&expected) {
+                assert_eq!(&o.answer, e);
+            }
+            seen += 1;
+        }
+        assert_eq!(seen, 8);
+    }
+
+    #[test]
+    fn submit_batch_empty_fires_inline() {
+        let ex = Executor::new(1);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::clone(&fired);
+        ex.submit_batch(&prepared(), Vec::new(), move |outcomes| {
+            assert!(outcomes.is_empty());
+            flag.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn submit_batch_rejects_invalid_without_firing() {
+        let ex = Executor::new(1);
+        let result = ex.submit_batch(
+            &prepared(),
+            vec![Query::Wmc(LitWeights::unit(2))],
+            move |_| panic!("completion must not fire for a rejected batch"),
+        );
+        assert!(matches!(result, Err(EngineError::Structure(_))));
     }
 }

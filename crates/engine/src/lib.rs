@@ -60,7 +60,10 @@ pub use binary::{load_binary, read_binary, save_binary, write_binary, FORMAT_VER
 pub use engine::{Engine, StatsSnapshot};
 pub use error::EngineError;
 pub use eval_bench::{eval_benchmark, kernel_identity_sweep, EvalReport, EvalVariantReport};
-pub use executor::{Executor, Query, QueryAnswer, QueryOutcome, QUERY_KINDS};
+pub use executor::{
+    Executor, ParallelPolicy, Query, QueryAnswer, QueryOutcome, DEFAULT_LAYERED_MIN_NODES,
+    QUERY_KINDS,
+};
 pub use prepared::PreparedCircuit;
 pub use registry::{fingerprint, Registry, RegistryStats};
 pub use serve_bench::{serving_benchmark, LatencySummary, ServeConfigReport, ServeReport};

@@ -73,6 +73,9 @@ pub struct ServeReport {
     pub configs: Vec<ServeConfigReport>,
     /// Whether every served answer bit-matched its baseline answer.
     pub answers_agree: bool,
+    /// The executor [`crate::ParallelPolicy`] active during the run
+    /// (see `ParallelPolicy::describe`).
+    pub parallel_policy: String,
 }
 
 impl ServeReport {
@@ -92,6 +95,7 @@ impl ServeReport {
         let mut out = String::from("{\n");
         out.push_str("  \"bench\": \"bench_serve\",\n");
         let _ = writeln!(out, "  \"instance\": \"{}\",", self.instance);
+        let _ = writeln!(out, "  \"parallel_policy\": \"{}\",", self.parallel_policy);
         let _ = writeln!(
             out,
             "  \"circuit\": {{ \"nodes\": {}, \"edges\": {}, \"smoothed_nodes\": {}, \"prepare_ms\": {:.3} }},",
@@ -195,8 +199,10 @@ pub fn serving_benchmark(
 
     let mut configs = Vec::new();
     let mut answers_agree = true;
+    let mut parallel_policy = crate::ParallelPolicy::default().describe();
     for &workers in worker_counts {
         let executor = Executor::new(workers);
+        parallel_policy = executor.parallel_policy().describe();
         for &batch_size in batch_sizes {
             let batch_size = batch_size.max(1);
             let start = Instant::now();
@@ -236,6 +242,7 @@ pub fn serving_benchmark(
         baseline_latency,
         configs,
         answers_agree,
+        parallel_policy,
     }
 }
 

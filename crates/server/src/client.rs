@@ -1,7 +1,9 @@
 //! A blocking client for the `trl-server` wire protocol.
 //!
-//! One [`Client`] wraps one TCP connection and speaks strict
-//! request/response: every method writes one frame and reads one frame.
+//! One [`Client`] wraps one TCP connection. The classic methods speak
+//! strict request/response — one frame out, one frame in — while the
+//! `pipeline_*` family keeps many version-3 frames in flight on the same
+//! connection and matches responses by id as they complete.
 //! Server-side failures arrive as [`ClientError::Server`] carrying the
 //! typed [`WireError`] — the connection stays usable afterwards (that is
 //! how a caller sees and reacts to [`WireError::Overloaded`]
@@ -177,6 +179,78 @@ impl Client {
                 expected: "answer batch",
             }),
         }
+    }
+
+    /// Sends one pipelined batch frame (protocol version 3) **without
+    /// waiting for the response**. The caller picks `id` and must keep it
+    /// unique among its in-flight frames; the matching
+    /// [`Client::pipeline_recv`] may deliver ids in any order, because the
+    /// server answers pipelined frames as they complete.
+    pub fn pipeline_send(&mut self, id: u64, key: u64, queries: Vec<Query>) -> Result<()> {
+        write_request(
+            &mut self.stream,
+            &Request::PipelinedBatch { id, key, queries },
+        )?;
+        Ok(())
+    }
+
+    /// Receives the next pipelined response — whichever in-flight frame
+    /// completed first. Per-frame failures (overload, unknown key,
+    /// invalid queries) arrive as the `Err` half of the returned result
+    /// with the id still attached; the connection stays usable.
+    pub fn pipeline_recv(
+        &mut self,
+    ) -> Result<(u64, std::result::Result<Vec<QueryAnswer>, WireError>)> {
+        match read_response(&mut self.stream, self.max_frame_len)? {
+            Response::PipelinedBatch { id, result } => Ok((id, result)),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "pipelined batch",
+            }),
+        }
+    }
+
+    /// Convenience driver: answers every frame in `frames` against `key`,
+    /// keeping up to `depth` frames in flight. Returns one result per
+    /// frame, in the original frame order (ids are the frame indices).
+    /// Individual frames may fail (e.g. [`WireError::Overloaded`]) without
+    /// sinking the rest.
+    pub fn pipelined(
+        &mut self,
+        key: u64,
+        frames: Vec<Vec<Query>>,
+        depth: usize,
+    ) -> Result<Vec<std::result::Result<Vec<QueryAnswer>, WireError>>> {
+        let depth = depth.max(1);
+        let total = frames.len();
+        let mut results: Vec<Option<std::result::Result<Vec<QueryAnswer>, WireError>>> =
+            (0..total).map(|_| None).collect();
+        let mut next = frames.into_iter().enumerate();
+        let mut sent = 0usize;
+        let mut received = 0usize;
+        while received < total {
+            while sent < total && sent - received < depth {
+                let (id, queries) = next.next().expect("frame count mismatch");
+                self.pipeline_send(id as u64, key, queries)?;
+                sent += 1;
+            }
+            let (id, result) = self.pipeline_recv()?;
+            let slot = results
+                .get_mut(id as usize)
+                .ok_or(ClientError::UnexpectedResponse {
+                    expected: "a response id that was sent",
+                })?;
+            if slot.replace(result).is_some() {
+                return Err(ClientError::UnexpectedResponse {
+                    expected: "each response id exactly once",
+                });
+            }
+            received += 1;
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("all received"))
+            .collect())
     }
 
     /// Snapshots the server's registry/executor counters.

@@ -42,12 +42,14 @@
 
 pub mod client;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 
 pub use client::{Client, ClientError, CompiledSummary};
 pub use protocol::{
-    decode_stats_v1_prefix, read_request, read_response, write_request, write_response,
-    ProtocolError, Request, Response, WireError, DEFAULT_MAX_FRAME_LEN, MAX_UNIVERSE,
-    PROTOCOL_VERSION,
+    decode_stats_v1_prefix, read_request, read_response, scan_frame, write_request, write_response,
+    write_response_versioned, FrameScan, ProtocolError, Request, Response, WireError,
+    DEFAULT_MAX_FRAME_LEN, MAX_UNIVERSE, PROTOCOL_VERSION,
 };
+pub use reactor::{Event, Reactor, Waker};
 pub use server::{Server, ServerConfig, ServerCounters, ServerHandle};

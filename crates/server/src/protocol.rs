@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic  b"TRLW"
-//!      4     2  protocol version (currently 2)
+//!      4     2  protocol version (currently 3)
 //!      6     1  frame kind tag (request 0x01..., response 0x81...)
 //!      7     1  reserved (0)
 //!      8     4  payload length in bytes (u32)
@@ -40,6 +40,17 @@
 //!   prefix-tolerant version-1 reader ([`decode_stats_v1_prefix`]) still
 //!   recovers the legacy fields from a version-2 payload byte-for-byte.
 //!   Every other frame kind is encoded exactly as in version 1.
+//! * **3** — pipelining and frame batching. Two new frame kinds:
+//!   [`Request::PipelinedBatch`] (kind `0x07`: a client-chosen request id,
+//!   a registry key, and many queries under one checksummed length
+//!   prefix) and [`Response::PipelinedBatch`] (kind `0x88`: the id echoed
+//!   back with either the answers or a typed [`WireError`]). Ids let a
+//!   connection keep many frames in flight and match responses that
+//!   complete out of order. Every version-2 frame kind is encoded exactly
+//!   as before, readers accept versions `1..=3`, and a server stamps each
+//!   response with the version of the request frame it answers
+//!   ([`write_response_versioned`]) — a version-2 client never sees a
+//!   version-3 header.
 
 use std::fmt;
 use std::hash::Hasher;
@@ -52,7 +63,7 @@ use trl_obs::{HistogramSnapshot, MetricValue, MetricsDump};
 use trl_prop::Cnf;
 
 /// The newest protocol version this build speaks.
-pub const PROTOCOL_VERSION: u16 = 2;
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Frame magic: "TRL Wire".
 pub const MAGIC: [u8; 4] = *b"TRLW";
@@ -76,6 +87,7 @@ const KIND_REQ_QUERY: u8 = 0x03;
 const KIND_REQ_BATCH: u8 = 0x04;
 const KIND_REQ_STATS: u8 = 0x05;
 const KIND_REQ_SHUTDOWN: u8 = 0x06;
+const KIND_REQ_PIPELINED_BATCH: u8 = 0x07; // version 3
 
 const KIND_RESP_PONG: u8 = 0x81;
 const KIND_RESP_COMPILED: u8 = 0x82;
@@ -84,6 +96,7 @@ const KIND_RESP_BATCH: u8 = 0x84;
 const KIND_RESP_STATS: u8 = 0x85;
 const KIND_RESP_SHUTTING_DOWN: u8 = 0x86;
 const KIND_RESP_ERROR: u8 = 0x87;
+const KIND_RESP_PIPELINED_BATCH: u8 = 0x88; // version 3
 
 /// Errors that make a frame (and usually the stream carrying it)
 /// unusable. Application-level failures travel as [`WireError`] instead.
@@ -251,6 +264,20 @@ pub enum Request {
     /// Ask the server to shut down gracefully: stop accepting, drain
     /// in-flight work, join connection threads.
     Shutdown,
+    /// **Version 3.** A pipelined batch: many queries under one
+    /// checksummed length prefix, tagged with a client-chosen request id.
+    /// A connection may have any number of these in flight; the server
+    /// answers each with a [`Response::PipelinedBatch`] echoing the id,
+    /// possibly out of submission order.
+    PipelinedBatch {
+        /// Client-chosen id echoed in the response; the client's job to
+        /// keep unique among its in-flight requests.
+        id: u64,
+        /// Registry key from a [`Response::Compiled`].
+        key: u64,
+        /// The queries, answered in submission order within the batch.
+        queries: Vec<Query>,
+    },
 }
 
 /// A server-to-client message.
@@ -279,6 +306,16 @@ pub enum Response {
     ShuttingDown,
     /// The request failed; the connection remains usable.
     Error(WireError),
+    /// **Version 3.** Answer to [`Request::PipelinedBatch`]: the request
+    /// id echoed back with either every answer (in submission order) or
+    /// the typed failure that rejected the whole batch. The connection
+    /// remains usable either way.
+    PipelinedBatch {
+        /// The id from the request this frame answers.
+        id: u64,
+        /// Answers in submission order, or the batch's typed failure.
+        result: std::result::Result<Vec<QueryAnswer>, WireError>,
+    },
 }
 
 fn checksum(bytes: &[u8]) -> u64 {
@@ -289,11 +326,13 @@ fn checksum(bytes: &[u8]) -> u64 {
 
 // ---------------------------------------------------------------- framing
 
-/// Writes one frame: header (with checksums) followed by the payload.
-fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<()> {
+/// Writes one frame stamped with an explicit protocol version: header
+/// (with checksums) followed by the payload. Servers use this to echo the
+/// version of the request frame they are answering.
+fn write_frame_versioned(w: &mut impl Write, kind: u8, payload: &[u8], version: u16) -> Result<()> {
     let mut header = Vec::with_capacity(HEADER_LEN);
     header.extend_from_slice(&MAGIC);
-    header.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    header.extend_from_slice(&version.to_le_bytes());
     header.push(kind);
     header.push(0);
     header.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -307,12 +346,14 @@ fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<()> {
     Ok(())
 }
 
-/// Reads one frame, returning its kind tag and verified payload. Frames
-/// declaring more than `max_frame_len` payload bytes are rejected before
-/// the payload is allocated.
-fn read_frame(r: &mut impl Read, max_frame_len: u32) -> Result<(u8, Vec<u8>)> {
-    let mut header = [0u8; HEADER_LEN];
-    r.read_exact(&mut header)?;
+/// Writes one frame stamped with [`PROTOCOL_VERSION`].
+fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<()> {
+    write_frame_versioned(w, kind, payload, PROTOCOL_VERSION)
+}
+
+/// Verifies a complete header (magic, header checksum, version, length
+/// bound) and returns `(version, kind, payload_len)`.
+fn check_header(header: &[u8], max_frame_len: u32) -> Result<(u16, u8, u32)> {
     if header[0..4] != MAGIC {
         return Err(ProtocolError::BadMagic(header[0..4].try_into().unwrap()));
     }
@@ -340,10 +381,13 @@ fn read_frame(r: &mut impl Read, max_frame_len: u32) -> Result<(u8, Vec<u8>)> {
             max: max_frame_len,
         });
     }
-    let mut payload = vec![0u8; payload_len as usize];
-    r.read_exact(&mut payload)?;
+    Ok((version, kind, payload_len))
+}
+
+/// Verifies a payload checksum stored in `header` against `payload`.
+fn check_payload(header: &[u8], payload: &[u8]) -> Result<()> {
     let stored_payload_sum = u64::from_le_bytes(header[12..20].try_into().unwrap());
-    let computed_payload_sum = checksum(&payload);
+    let computed_payload_sum = checksum(payload);
     if stored_payload_sum != computed_payload_sum {
         return Err(ProtocolError::ChecksumMismatch {
             section: "payload",
@@ -351,7 +395,73 @@ fn read_frame(r: &mut impl Read, max_frame_len: u32) -> Result<(u8, Vec<u8>)> {
             computed: computed_payload_sum,
         });
     }
-    Ok((kind, payload))
+    Ok(())
+}
+
+/// Reads one frame, returning its header version, kind tag, and verified
+/// payload. Frames declaring more than `max_frame_len` payload bytes are
+/// rejected before the payload is allocated.
+fn read_frame(r: &mut impl Read, max_frame_len: u32) -> Result<(u16, u8, Vec<u8>)> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let (version, kind, payload_len) = check_header(&header, max_frame_len)?;
+    let mut payload = vec![0u8; payload_len as usize];
+    r.read_exact(&mut payload)?;
+    check_payload(&header, &payload)?;
+    Ok((version, kind, payload))
+}
+
+/// Outcome of scanning an in-memory byte buffer for one complete frame
+/// ([`scan_frame`]): either the buffer needs more bytes, or one verified
+/// frame was extracted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameScan {
+    /// The buffer holds no complete frame yet; at least `need` total
+    /// bytes (from the buffer's start) are required before the next scan
+    /// can make a decision. Header-level validation has already run if a
+    /// full header was present.
+    Incomplete {
+        /// Minimum total buffer length for the next scan to progress.
+        need: usize,
+    },
+    /// One verified frame.
+    Frame {
+        /// Protocol version stamped in the frame header.
+        version: u16,
+        /// Frame kind tag.
+        kind: u8,
+        /// Verified payload bytes.
+        payload: Vec<u8>,
+        /// Bytes the frame occupied; the caller consumes this many.
+        consumed: usize,
+    },
+}
+
+/// Scans the front of a byte buffer for one complete frame without
+/// blocking — the entry point for readiness-driven servers that
+/// accumulate nonblocking reads into a per-connection buffer and peel
+/// frames off as they complete. Validation order matches `read_frame`
+/// (magic → header checksum → version → length bound → payload checksum),
+/// and header-level errors surface as soon as the 28 header bytes are
+/// present, before any payload arrives.
+pub fn scan_frame(buf: &[u8], max_frame_len: u32) -> Result<FrameScan> {
+    if buf.len() < HEADER_LEN {
+        return Ok(FrameScan::Incomplete { need: HEADER_LEN });
+    }
+    let header = &buf[..HEADER_LEN];
+    let (version, kind, payload_len) = check_header(header, max_frame_len)?;
+    let total = HEADER_LEN + payload_len as usize;
+    if buf.len() < total {
+        return Ok(FrameScan::Incomplete { need: total });
+    }
+    let payload = &buf[HEADER_LEN..total];
+    check_payload(header, payload)?;
+    Ok(FrameScan::Frame {
+        version,
+        kind,
+        payload: payload.to_vec(),
+        consumed: total,
+    })
 }
 
 // ------------------------------------------------------------- encoding
@@ -514,11 +624,16 @@ fn encode_weights(e: &mut Enc, w: &LitWeights) {
 
 fn decode_weights(d: &mut Dec) -> Result<LitWeights> {
     let n = check_universe(d.u32()?)?;
-    d.counted(n as u32, 16)?;
+    // One bounds check for the whole table: the hot serving path decodes
+    // a weight table per WMC/marginals/MPE query, so the per-f64 checked
+    // reads add up.
+    let bytes = d.take(16 * n)?;
     let mut w = LitWeights::unit(n);
-    for v in 0..n as u32 {
-        w.set(Var(v).positive(), d.f64()?);
-        w.set(Var(v).negative(), d.f64()?);
+    for (v, pair) in bytes.chunks_exact(16).enumerate() {
+        let pos = f64::from_bits(u64::from_le_bytes(pair[..8].try_into().unwrap()));
+        let neg = f64::from_bits(u64::from_le_bytes(pair[8..].try_into().unwrap()));
+        w.set(Var(v as u32).positive(), pos);
+        w.set(Var(v as u32).negative(), neg);
     }
     Ok(w)
 }
@@ -904,11 +1019,20 @@ impl Request {
             }
             Request::Stats => KIND_REQ_STATS,
             Request::Shutdown => KIND_REQ_SHUTDOWN,
+            Request::PipelinedBatch { id, key, queries } => {
+                e.u64(*id);
+                e.u64(*key);
+                e.u32(queries.len() as u32);
+                for q in queries {
+                    encode_query(&mut e, q);
+                }
+                KIND_REQ_PIPELINED_BATCH
+            }
         };
         (kind, e.0)
     }
 
-    fn decode(kind: u8, payload: &[u8]) -> Result<Request> {
+    pub(crate) fn decode(kind: u8, payload: &[u8]) -> Result<Request> {
         let mut d = Dec::new(payload);
         let req = match kind {
             KIND_REQ_PING => Request::Ping,
@@ -929,6 +1053,17 @@ impl Request {
             }
             KIND_REQ_STATS => Request::Stats,
             KIND_REQ_SHUTDOWN => Request::Shutdown,
+            KIND_REQ_PIPELINED_BATCH => {
+                let id = d.u64()?;
+                let key = d.u64()?;
+                let declared = d.u32()?;
+                let n = d.counted(declared, 1)?;
+                let mut queries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    queries.push(decode_query(&mut d)?);
+                }
+                Request::PipelinedBatch { id, key, queries }
+            }
             kind => {
                 return Err(ProtocolError::UnexpectedFrame {
                     kind,
@@ -978,11 +1113,28 @@ impl Response {
                 encode_wire_error(&mut e, err);
                 KIND_RESP_ERROR
             }
+            Response::PipelinedBatch { id, result } => {
+                e.u64(*id);
+                match result {
+                    Ok(answers) => {
+                        e.u8(0);
+                        e.u32(answers.len() as u32);
+                        for a in answers {
+                            encode_answer(&mut e, a);
+                        }
+                    }
+                    Err(err) => {
+                        e.u8(1);
+                        encode_wire_error(&mut e, err);
+                    }
+                }
+                KIND_RESP_PIPELINED_BATCH
+            }
         };
         (kind, e.0)
     }
 
-    fn decode(kind: u8, payload: &[u8]) -> Result<Response> {
+    pub(crate) fn decode(kind: u8, payload: &[u8]) -> Result<Response> {
         let mut d = Dec::new(payload);
         let resp = match kind {
             KIND_RESP_PONG => Response::Pong,
@@ -1005,6 +1157,27 @@ impl Response {
             KIND_RESP_STATS => Response::Stats(decode_stats(&mut d)?),
             KIND_RESP_SHUTTING_DOWN => Response::ShuttingDown,
             KIND_RESP_ERROR => Response::Error(decode_wire_error(&mut d)?),
+            KIND_RESP_PIPELINED_BATCH => {
+                let id = d.u64()?;
+                let result = match d.u8()? {
+                    0 => {
+                        let declared = d.u32()?;
+                        let n = d.counted(declared, 1)?;
+                        let mut answers = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            answers.push(decode_answer(&mut d)?);
+                        }
+                        Ok(answers)
+                    }
+                    1 => Err(decode_wire_error(&mut d)?),
+                    tag => {
+                        return Err(ProtocolError::Malformed(format!(
+                            "unknown pipelined-batch result tag {tag}"
+                        )))
+                    }
+                };
+                Response::PipelinedBatch { id, result }
+            }
             kind => {
                 return Err(ProtocolError::UnexpectedFrame {
                     kind,
@@ -1017,7 +1190,7 @@ impl Response {
     }
 }
 
-/// Writes one request frame.
+/// Writes one request frame stamped with [`PROTOCOL_VERSION`].
 pub fn write_request(w: &mut impl Write, req: &Request) -> Result<()> {
     let (kind, payload) = req.encode();
     write_frame(w, kind, &payload)
@@ -1025,19 +1198,28 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> Result<()> {
 
 /// Reads one request frame, rejecting payloads over `max_frame_len`.
 pub fn read_request(r: &mut impl Read, max_frame_len: u32) -> Result<Request> {
-    let (kind, payload) = read_frame(r, max_frame_len)?;
+    let (_, kind, payload) = read_frame(r, max_frame_len)?;
     Request::decode(kind, &payload)
 }
 
-/// Writes one response frame.
+/// Writes one response frame stamped with [`PROTOCOL_VERSION`].
 pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<()> {
     let (kind, payload) = resp.encode();
     write_frame(w, kind, &payload)
 }
 
+/// Writes one response frame stamped with an explicit protocol version —
+/// how the server echoes the version of the request frame it is
+/// answering, so a version-2 client never has to decode a version-3
+/// header. The version is clamped to `1..=`[`PROTOCOL_VERSION`].
+pub fn write_response_versioned(w: &mut impl Write, resp: &Response, version: u16) -> Result<()> {
+    let (kind, payload) = resp.encode();
+    write_frame_versioned(w, kind, &payload, version.clamp(1, PROTOCOL_VERSION))
+}
+
 /// Reads one response frame, rejecting payloads over `max_frame_len`.
 pub fn read_response(r: &mut impl Read, max_frame_len: u32) -> Result<Response> {
-    let (kind, payload) = read_frame(r, max_frame_len)?;
+    let (_, kind, payload) = read_frame(r, max_frame_len)?;
     Response::decode(kind, &payload)
 }
 
@@ -1121,6 +1303,20 @@ mod tests {
             },
             Request::Stats,
             Request::Shutdown,
+            Request::PipelinedBatch {
+                id: 0xfeed_f00d,
+                key: 9,
+                queries: vec![
+                    Query::Sat,
+                    Query::ModelCount,
+                    Query::Wmc(LitWeights::unit(3)),
+                ],
+            },
+            Request::PipelinedBatch {
+                id: 0,
+                key: 1,
+                queries: Vec::new(),
+            },
         ] {
             assert_eq!(round_trip_request(&req), req, "{req:?}");
         }
@@ -1157,9 +1353,110 @@ mod tests {
             Response::Error(WireError::Invalid("weights cover 2 vars".into())),
             Response::Error(WireError::Engine("structure".into())),
             Response::Error(WireError::ShuttingDown),
+            Response::PipelinedBatch {
+                id: 17,
+                result: Ok(vec![QueryAnswer::Sat(true), QueryAnswer::ModelCount(8)]),
+            },
+            Response::PipelinedBatch {
+                id: 18,
+                result: Ok(Vec::new()),
+            },
+            Response::PipelinedBatch {
+                id: 19,
+                result: Err(WireError::Overloaded {
+                    queue_depth: 10,
+                    capacity: 10,
+                }),
+            },
         ] {
             assert_eq!(round_trip_response(&resp), resp, "{resp:?}");
         }
+    }
+
+    #[test]
+    fn scan_frame_peels_pipelined_frames_incrementally() {
+        let req = Request::PipelinedBatch {
+            id: 42,
+            key: 7,
+            queries: vec![Query::ModelCount, Query::Sat],
+        };
+        let mut bytes = Vec::new();
+        write_request(&mut bytes, &req).unwrap();
+        write_request(&mut bytes, &Request::Ping).unwrap();
+
+        // Every proper prefix is Incomplete, never an error.
+        for cut in 0..bytes.len() {
+            let first_len = {
+                let FrameScan::Frame { consumed, .. } =
+                    scan_frame(&bytes, DEFAULT_MAX_FRAME_LEN).unwrap()
+                else {
+                    panic!("full buffer must scan");
+                };
+                consumed
+            };
+            if cut >= first_len {
+                continue; // prefix already holds a whole first frame
+            }
+            match scan_frame(&bytes[..cut], DEFAULT_MAX_FRAME_LEN).unwrap() {
+                FrameScan::Incomplete { need } => assert!(need > cut),
+                other => panic!("cut {cut}: expected Incomplete, got {other:?}"),
+            }
+        }
+
+        // The full buffer yields both frames back-to-back.
+        let FrameScan::Frame {
+            version,
+            kind,
+            payload,
+            consumed,
+        } = scan_frame(&bytes, DEFAULT_MAX_FRAME_LEN).unwrap()
+        else {
+            panic!("expected a frame");
+        };
+        assert_eq!(version, PROTOCOL_VERSION);
+        assert_eq!(Request::decode(kind, &payload).unwrap(), req);
+        let FrameScan::Frame {
+            kind: kind2,
+            payload: payload2,
+            consumed: consumed2,
+            ..
+        } = scan_frame(&bytes[consumed..], DEFAULT_MAX_FRAME_LEN).unwrap()
+        else {
+            panic!("expected the second frame");
+        };
+        assert_eq!(Request::decode(kind2, &payload2).unwrap(), Request::Ping);
+        assert_eq!(consumed + consumed2, bytes.len());
+    }
+
+    #[test]
+    fn scan_frame_rejects_corruption_at_header_time() {
+        let mut bytes = Vec::new();
+        write_request(&mut bytes, &Request::Ping).unwrap();
+        bytes[0] ^= 0xff;
+        assert!(matches!(
+            scan_frame(&bytes[..HEADER_LEN], DEFAULT_MAX_FRAME_LEN),
+            Err(ProtocolError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn response_version_echo_round_trips_for_v2_clients() {
+        // A server answering a version-2 request stamps the response with
+        // version 2; a reader that only accepts `1..=2` must still verify
+        // and decode it. Simulate that reader by checking the header bytes.
+        let resp = Response::Answer(QueryAnswer::ModelCount(99));
+        let mut bytes = Vec::new();
+        write_response_versioned(&mut bytes, &resp, 2).unwrap();
+        assert_eq!(u16::from_le_bytes(bytes[4..6].try_into().unwrap()), 2);
+        let back = read_response(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert_eq!(back, resp);
+        // Versions are clamped so a bogus stamp can never poison a stream.
+        let mut clamped = Vec::new();
+        write_response_versioned(&mut clamped, &resp, 999).unwrap();
+        assert_eq!(
+            u16::from_le_bytes(clamped[4..6].try_into().unwrap()),
+            PROTOCOL_VERSION
+        );
     }
 
     #[test]

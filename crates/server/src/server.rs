@@ -1,46 +1,62 @@
-//! The TCP serving frontend: thread-per-connection over
-//! [`std::net::TcpListener`], with admission control and graceful shutdown.
+//! The TCP serving frontend: a readiness-driven multiplexed server over
+//! nonblocking sockets, with admission control and graceful shutdown.
 //!
 //! Architecture (all std, no external deps — the workspace builds
-//! air-gapped):
+//! air-gapped; the epoll wrapper lives in [`crate::reactor`]):
 //!
 //! * an **accept thread** owns the listener. Before each `accept` it takes
 //!   a permit from a bounded connection gate ([`ServerConfig::max_connections`]),
-//!   so excess clients queue in the kernel backlog instead of spawning
-//!   unbounded threads — no connection is ever dropped by admission;
-//! * each connection gets a **dedicated thread** running a
-//!   read-request/write-response loop with per-request read/write
-//!   deadlines (`set_read_timeout` / `set_write_timeout`). Between
-//!   requests the thread idle-polls with a short `peek` timeout so it can
-//!   notice shutdown without consuming bytes;
-//! * a **bounded submission queue** guards the shared
-//!   [`Engine`]: each admitted query holds one unit of
-//!   [`ServerConfig::queue_capacity`] until answered. A request that would
-//!   exceed the bound is rejected with a typed
-//!   [`WireError::Overloaded`] response — backpressure, not buffering;
+//!   so excess clients queue in the kernel backlog instead of piling into
+//!   the reactors — no connection is ever dropped by admission. Accepted
+//!   sockets are handed round-robin to the reactors;
+//! * **N reactor threads** ([`ServerConfig::reactors`]) each run an epoll
+//!   event loop over their shard of connections. Every socket is
+//!   nonblocking and registered edge-triggered; a per-connection state
+//!   machine accumulates partial frames in a read buffer, peels complete
+//!   frames off with [`crate::protocol::scan_frame`], and stages encoded
+//!   responses in a write buffer flushed as the socket allows. Idle
+//!   connections cost **zero** wakeups — the old 25 ms idle-poll loop (and
+//!   its `server.idle_wakeups` counter) is gone; shutdown and completed
+//!   work arrive through a per-reactor eventfd [`crate::reactor::Waker`];
+//! * **pipelining**: a connection may have any number of frames in
+//!   flight. Pre-version-3 request kinds are answered strictly in arrival
+//!   order (a reorder buffer holds responses that complete early);
+//!   [`Request::PipelinedBatch`] frames carry a client-chosen id and are
+//!   answered the moment they complete, out of order. All pipelined
+//!   frames that arrive in one readiness drain for the same registry key
+//!   are **coalesced into a single executor submission**, so the engine's
+//!   lane-batched kernels see one big batch instead of many small ones;
+//! * a **bounded submission queue** guards the shared [`Engine`]: each
+//!   admitted query holds one unit of [`ServerConfig::queue_capacity`]
+//!   until answered. A frame that would exceed the bound is rejected with
+//!   a typed [`WireError::Overloaded`] response — backpressure, not
+//!   buffering — and the connection stays usable;
 //! * **graceful shutdown** ([`ServerHandle::shutdown`], or a wire
-//!   [`Request::Shutdown`]) stops accepting, lets every in-flight request
-//!   finish and flush its response, then joins the accept thread and all
-//!   connection threads.
+//!   [`Request::Shutdown`]) stops accepting, stops reading, lets every
+//!   in-flight request finish and flush its response, then joins the
+//!   accept thread, every reactor, and any outstanding compile threads.
 //!
 //! Protocol-level failures (corrupt frame, oversized length prefix,
 //! version skew) are answered with a typed [`Response::Error`] frame where
 //! the stream still permits one, and the connection is closed — a broken
 //! framing layer cannot be resynchronized.
 
+use std::collections::BTreeMap;
 use std::io;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::protocol::{
-    read_request, write_response, ProtocolError, Request, Response, WireError,
-    DEFAULT_MAX_FRAME_LEN,
+    scan_frame, write_response_versioned, FrameScan, Request, Response, WireError,
+    DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
-use trl_engine::{Engine, EngineError};
+use crate::reactor::{Event, Reactor, Waker};
+use trl_engine::{Engine, EngineError, PreparedCircuit, Query, QueryOutcome};
 
 /// Tunables for a [`Server`]. The defaults suit tests and small
 /// deployments; serving real traffic wants them set explicitly.
@@ -53,22 +69,30 @@ pub struct ServerConfig {
     /// connections. A request pushing past this is answered with
     /// [`WireError::Overloaded`].
     pub queue_capacity: usize,
-    /// Per-request read deadline (and the cap on a mid-frame stall).
+    /// Cap on a mid-frame stall: a connection holding a partial frame
+    /// longer than this is closed.
     pub read_timeout: Duration,
-    /// Per-response write deadline.
+    /// Cap on a write stall: a connection that cannot absorb its staged
+    /// responses for this long is closed.
     pub write_timeout: Duration,
     /// Ceiling on an inbound frame's payload length.
     pub max_frame_len: u32,
-    /// How often an idle connection thread (or the accept thread waiting
-    /// on a connection permit) wakes to check for shutdown. Shorter means
-    /// faster shutdown at more idle wakeups — the `server.idle_wakeups`
-    /// counter makes the actual cost visible.
+    /// **Deprecated and ignored.** The readiness-driven server has no
+    /// idle-poll loop; idle connections cost zero wakeups. The field
+    /// survives so existing configs and `--idle-poll-ms` flags keep
+    /// parsing; setting it to a non-default value logs a one-line notice.
     pub idle_poll: Duration,
-    /// When set, any request whose total handling time (read + handle +
-    /// write) exceeds this threshold is logged to stderr as one JSON line
-    /// with its span breakdown.
+    /// Reactor (event-loop) threads the connections are sharded across.
+    /// Zero means "pick from available parallelism".
+    pub reactors: usize,
+    /// When set, any request whose handling time exceeds this threshold
+    /// is logged to stderr as one JSON line with its span breakdown.
     pub slow_query: Option<Duration>,
 }
+
+/// The `idle_poll` value [`ServerConfig::default`] carries; any other
+/// value was set deliberately and earns the deprecation notice.
+const DEPRECATED_IDLE_POLL_DEFAULT: Duration = Duration::from_millis(25);
 
 impl Default for ServerConfig {
     fn default() -> Self {
@@ -78,16 +102,28 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(30),
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
-            idle_poll: Duration::from_millis(25),
+            idle_poll: DEPRECATED_IDLE_POLL_DEFAULT,
+            reactors: 0,
             slow_query: None,
         }
+    }
+}
+
+impl ServerConfig {
+    /// The reactor count after resolving `0` to a hardware-derived
+    /// default (capped: reactors are I/O multiplexers, not compute).
+    fn effective_reactors(&self) -> usize {
+        if self.reactors > 0 {
+            return self.reactors;
+        }
+        std::thread::available_parallelism().map_or(1, |p| p.get().min(4))
     }
 }
 
 /// Counters the server keeps about its own traffic (monotonic since bind).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ServerCounters {
-    /// Requests answered successfully.
+    /// Response frames enqueued (answers and typed errors alike).
     pub served: u64,
     /// Requests rejected with [`WireError::Overloaded`].
     pub overloaded: u64,
@@ -109,9 +145,10 @@ impl Gate {
         }
     }
 
-    /// Blocks until a permit is free or `cancel` turns true, re-checking
-    /// `cancel` every `poll`; returns whether a permit was taken.
-    fn acquire(&self, max: usize, cancel: &AtomicBool, poll: Duration) -> bool {
+    /// Blocks until a permit is free or `cancel` turns true; returns
+    /// whether a permit was taken. Cancellation is wakeup-driven
+    /// ([`Gate::cancel_wake`]), not polled.
+    fn acquire(&self, max: usize, cancel: &AtomicBool) -> bool {
         let mut held = self.held.lock().unwrap_or_else(|p| p.into_inner());
         loop {
             if cancel.load(Ordering::Acquire) {
@@ -121,11 +158,7 @@ impl Gate {
                 *held += 1;
                 return true;
             }
-            let (guard, _) = self
-                .freed
-                .wait_timeout(held, poll)
-                .unwrap_or_else(|p| p.into_inner());
-            held = guard;
+            held = self.freed.wait(held).unwrap_or_else(|p| p.into_inner());
         }
     }
 
@@ -135,20 +168,81 @@ impl Gate {
         drop(held);
         self.freed.notify_all();
     }
+
+    /// Wakes every waiter so it can observe a cancellation flag. Taking
+    /// the lock first closes the check-then-wait race: a waiter between
+    /// its flag check and its park holds the lock, so the notification
+    /// cannot slip past it.
+    fn cancel_wake(&self) {
+        drop(self.held.lock().unwrap_or_else(|p| p.into_inner()));
+        self.freed.notify_all();
+    }
 }
 
-/// State shared by the accept thread, every connection thread, and the
+/// One encoded response frame headed back to a connection.
+///
+/// `seq` is `Some` for pre-version-3 request kinds, which the server
+/// answers strictly in arrival order (the sequence number is the
+/// request's arrival index on its connection); `None` for pipelined
+/// responses, which are written the moment they complete.
+type ResponseFrame = (Option<u64>, Vec<u8>);
+
+/// A completed piece of offloaded work (an executor batch or a compile),
+/// routed back to the owning reactor through its inbox.
+struct Completion {
+    /// The connection's registration token; stale tokens (the connection
+    /// died first) are dropped.
+    token: u64,
+    frames: Vec<ResponseFrame>,
+}
+
+/// What other threads hand a reactor: fresh connections from the accept
+/// thread, completions from executor workers and compile threads.
+#[derive(Default)]
+struct Inbox {
+    conns: Vec<TcpStream>,
+    completions: Vec<Completion>,
+}
+
+/// The cross-thread half of one reactor: its inbox and the eventfd that
+/// interrupts its epoll wait.
+struct ReactorShared {
+    waker: Waker,
+    inbox: Mutex<Inbox>,
+}
+
+impl ReactorShared {
+    fn push_completion(&self, completion: Completion) {
+        let was_empty = {
+            let mut inbox = self.inbox.lock().unwrap_or_else(|p| p.into_inner());
+            let was_empty = inbox.conns.is_empty() && inbox.completions.is_empty();
+            inbox.completions.push(completion);
+            was_empty
+        };
+        // A non-empty inbox already has an undrained wake pending (the
+        // reactor drains its eventfd before it empties the inbox), so
+        // only the emptiness edge needs the syscall.
+        if was_empty {
+            self.waker.wake();
+        }
+    }
+}
+
+/// State shared by the accept thread, the reactors, and the
 /// [`ServerHandle`].
 struct Shared {
     engine: Arc<Engine>,
     config: ServerConfig,
+    addr: SocketAddr,
     shutdown: AtomicBool,
     /// Pair used to block [`ServerHandle::wait`] until shutdown.
     shutdown_signal: (Mutex<bool>, Condvar),
     conn_gate: Gate,
     /// Queries admitted into the engine and not yet answered.
     admitted: AtomicUsize,
-    conns: Mutex<Vec<JoinHandle<()>>>,
+    reactors: Vec<Arc<ReactorShared>>,
+    /// Reactor threads plus any in-flight compile threads.
+    threads: Mutex<Vec<JoinHandle<()>>>,
     served: AtomicU64,
     overloaded: AtomicU64,
     connections: AtomicU64,
@@ -157,18 +251,25 @@ struct Shared {
 }
 
 impl Shared {
-    fn begin_shutdown(&self, addr: SocketAddr) {
+    fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
         let (lock, cv) = &self.shutdown_signal;
         *lock.lock().unwrap_or_else(|p| p.into_inner()) = true;
         cv.notify_all();
-        // Unblock an accept() parked in the kernel: a throwaway connection
-        // to ourselves makes it return, after which it sees the flag.
-        let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
+        // Wake the accept thread if it is parked waiting for a permit…
+        self.conn_gate.cancel_wake();
+        // …wake every reactor so it starts draining…
+        for r in &self.reactors {
+            r.waker.wake();
+        }
+        // …and unblock an accept() parked in the kernel: a throwaway
+        // connection to ourselves makes it return, after which it sees
+        // the flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
     }
 
     /// Admits `n` queries against the bounded submission queue, or reports
-    /// the typed overload. Admission is all-or-nothing per request.
+    /// the typed overload. Admission is all-or-nothing per frame.
     fn try_admit(&self, n: usize) -> Result<(), WireError> {
         let cap = self.config.queue_capacity;
         let admit = self
@@ -192,6 +293,14 @@ impl Shared {
     fn release_admitted(&self, n: usize) {
         self.admitted.fetch_sub(n, Ordering::AcqRel);
     }
+
+    /// Tracks a spawned thread (reactor or offloaded compile), reaping
+    /// finished handles so a long-lived server's list stays bounded.
+    fn track_thread(&self, handle: JoinHandle<()>) {
+        let mut threads = self.threads.lock().unwrap_or_else(|p| p.into_inner());
+        threads.retain(|h| !h.is_finished());
+        threads.push(handle);
+    }
 }
 
 /// A running server. Bind with [`Server::bind`]; the returned
@@ -208,32 +317,56 @@ pub struct ServerHandle {
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), spawns
-    /// the accept thread, and returns the handle. The engine is shared —
-    /// several servers (or in-process callers) may serve one engine.
+    /// the reactors and the accept thread, and returns the handle. The
+    /// engine is shared — several servers (or in-process callers) may
+    /// serve one engine.
     pub fn bind(
         addr: impl ToSocketAddrs,
         engine: Arc<Engine>,
         config: ServerConfig,
     ) -> io::Result<ServerHandle> {
+        if config.idle_poll != DEPRECATED_IDLE_POLL_DEFAULT {
+            eprintln!(
+                "trl-server: ServerConfig::idle_poll is deprecated and ignored; \
+                 the readiness-driven server has no idle-poll loop"
+            );
+        }
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let num_reactors = config.effective_reactors();
+        let mut reactors = Vec::with_capacity(num_reactors);
+        for _ in 0..num_reactors {
+            reactors.push(Arc::new(ReactorShared {
+                waker: Waker::new()?,
+                inbox: Mutex::new(Inbox::default()),
+            }));
+        }
         let shared = Arc::new(Shared {
             engine,
             config,
+            addr,
             shutdown: AtomicBool::new(false),
             shutdown_signal: (Mutex::new(false), Condvar::new()),
             conn_gate: Gate::new(),
             admitted: AtomicUsize::new(0),
-            conns: Mutex::new(Vec::new()),
+            reactors,
+            threads: Mutex::new(Vec::new()),
             served: AtomicU64::new(0),
             overloaded: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             active: AtomicU64::new(0),
         });
+        for idx in 0..num_reactors {
+            let reactor_shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("trl-server-reactor-{idx}"))
+                .spawn(move || reactor_loop(idx, &reactor_shared))?;
+            shared.track_thread(handle);
+        }
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
             .name("trl-server-accept".into())
-            .spawn(move || accept_loop(&listener, &accept_shared, addr))?;
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
         Ok(ServerHandle {
             addr,
             shared,
@@ -265,7 +398,7 @@ impl ServerHandle {
     /// Triggers graceful shutdown and joins every server thread: stops
     /// accepting, drains in-flight requests, then returns final counters.
     pub fn shutdown(mut self) -> ServerCounters {
-        self.shared.begin_shutdown(self.addr);
+        self.shared.begin_shutdown();
         self.join_all()
     }
 
@@ -288,10 +421,15 @@ impl ServerHandle {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        let conns =
-            std::mem::take(&mut *self.shared.conns.lock().unwrap_or_else(|p| p.into_inner()));
-        for c in conns {
-            let _ = c.join();
+        let threads = std::mem::take(
+            &mut *self
+                .shared
+                .threads
+                .lock()
+                .unwrap_or_else(|p| p.into_inner()),
+        );
+        for t in threads {
+            let _ = t.join();
         }
         self.counters()
     }
@@ -302,23 +440,23 @@ impl Drop for ServerHandle {
         // A dropped handle still stops the server; shutdown()/wait() only
         // add the explicit join-and-report path.
         if self.accept_thread.is_some() {
-            self.shared.begin_shutdown(self.addr);
+            self.shared.begin_shutdown();
             self.join_all();
         }
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, addr: SocketAddr) {
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut next_reactor = 0usize;
     loop {
         // Gate wait is the server-side queue delay a connection pays
         // before it can even be accepted — the counterpart of the
-        // per-request service time recorded in the connection loop.
+        // per-request service time recorded at completion.
         let gate_wait = Instant::now();
-        if !shared.conn_gate.acquire(
-            shared.config.max_connections,
-            &shared.shutdown,
-            shared.config.idle_poll,
-        ) {
+        if !shared
+            .conn_gate
+            .acquire(shared.config.max_connections, &shared.shutdown)
+        {
             return; // shutdown while waiting for a permit
         }
         trl_obs::histogram!("server.gate_wait_us").record(gate_wait.elapsed());
@@ -342,249 +480,893 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, addr: SocketAddr) {
         shared.active.fetch_add(1, Ordering::Relaxed);
         trl_obs::counter!("server.connections_accepted").inc();
         trl_obs::gauge!("server.connections_active").inc();
-        let conn_shared = Arc::clone(shared);
-        let spawned = std::thread::Builder::new()
-            .name("trl-server-conn".into())
-            .spawn(move || {
-                connection_loop(stream, &conn_shared, addr);
-                conn_shared.active.fetch_sub(1, Ordering::Relaxed);
-                trl_obs::gauge!("server.connections_active").dec();
-                conn_shared.conn_gate.release();
-            });
-        match spawned {
-            Ok(handle) => {
-                let mut conns = shared.conns.lock().unwrap_or_else(|p| p.into_inner());
-                // Reap finished threads (dropping a finished JoinHandle
-                // detaches nothing that still runs) so a long-lived
-                // server's handle list tracks live connections.
-                conns.retain(|h| !h.is_finished());
-                conns.push(handle);
-            }
-            Err(_) => {
-                shared.active.fetch_sub(1, Ordering::Relaxed);
-                trl_obs::gauge!("server.connections_active").dec();
-                shared.conn_gate.release();
-            }
+        // Shard round-robin: the permit travels with the connection and
+        // is released by the owning reactor when it closes.
+        let reactor = &shared.reactors[next_reactor % shared.reactors.len()];
+        next_reactor = next_reactor.wrapping_add(1);
+        let was_empty = {
+            let mut inbox = reactor.inbox.lock().unwrap_or_else(|p| p.into_inner());
+            let was_empty = inbox.conns.is_empty() && inbox.completions.is_empty();
+            inbox.conns.push(stream);
+            was_empty
+        };
+        if was_empty {
+            reactor.waker.wake();
         }
     }
 }
 
-/// A byte-counting shim over the connection's stream, so the server can
-/// account request/response traffic without touching the protocol layer.
-struct Metered<'a> {
-    stream: &'a TcpStream,
-    read: u64,
-    written: u64,
+// ---------------------------------------------------------- reactor side
+
+/// The inbox token reserved for the reactor's own waker eventfd.
+const WAKER_TOKEN: u64 = u64::MAX;
+
+/// Write buffer backlog beyond which the flushed prefix is compacted away
+/// instead of waiting for the buffer to drain completely.
+const OUTBUF_COMPACT: usize = 64 * 1024;
+
+/// Per-connection state machine: partial-frame read buffer, staged write
+/// buffer, pipelining bookkeeping.
+struct Conn {
+    stream: TcpStream,
+    /// Registration token: `generation << 32 | slot`.
+    token: u64,
+    /// Accumulated inbound bytes; `inpos` marks the consumed prefix.
+    inbuf: Vec<u8>,
+    inpos: usize,
+    /// Staged outbound bytes; `outpos` marks the flushed prefix.
+    outbuf: Vec<u8>,
+    outpos: usize,
+    /// Version stamped on the most recent request frame; responses echo
+    /// it so a version-2 client never sees a version-3 header.
+    version: u16,
+    /// Offloaded work items (executor batches, compiles) not yet
+    /// delivered back as completions.
+    in_flight: usize,
+    /// Arrival index handed to the next ordered (pre-v3) request.
+    next_seq: u64,
+    /// The ordered sequence number allowed to enter `outbuf` next.
+    next_enqueue: u64,
+    /// Ordered responses that completed before their turn.
+    held: BTreeMap<u64, Vec<u8>>,
+    /// No more requests will be read (peer EOF, protocol error, or
+    /// shutdown drain); the connection closes once quiescent.
+    read_closed: bool,
+    /// Unrecoverable transport failure; close immediately, discarding
+    /// any staged output.
+    broken: bool,
+    /// When the current partial frame started stalling.
+    partial_since: Option<Instant>,
+    /// When the current write backlog started stalling.
+    blocked_since: Option<Instant>,
 }
 
-impl Read for Metered<'_> {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        let n = self.stream.read(buf)?;
-        self.read += n as u64;
-        Ok(n)
+impl Conn {
+    /// Stages an ordered response, releasing any held successors that
+    /// become eligible.
+    fn enqueue_ordered(&mut self, seq: u64, bytes: Vec<u8>) {
+        self.held.insert(seq, bytes);
+        while let Some(bytes) = self.held.remove(&self.next_enqueue) {
+            self.outbuf.extend_from_slice(&bytes);
+            self.next_enqueue += 1;
+        }
+    }
+
+    /// Whether the connection has nothing left to do and can close.
+    fn drained(&self) -> bool {
+        self.broken
+            || (self.read_closed
+                && self.in_flight == 0
+                && self.held.is_empty()
+                && self.outpos == self.outbuf.len())
     }
 }
 
-impl Write for Metered<'_> {
-    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        let n = self.stream.write(buf)?;
-        self.written += n as u64;
-        Ok(n)
+/// One reactor's slab of connections. Tokens carry a generation so a
+/// completion for a closed connection can never be misdelivered to the
+/// slot's next tenant.
+struct Slab {
+    slots: Vec<Option<Conn>>,
+    generations: Vec<u64>,
+    free: Vec<usize>,
+    live: usize,
+}
+
+impl Slab {
+    fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            generations: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
     }
 
-    fn flush(&mut self) -> io::Result<()> {
-        self.stream.flush()
+    fn insert(&mut self, make: impl FnOnce(u64) -> Conn) -> usize {
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.slots.push(None);
+            self.generations.push(0);
+            self.slots.len() - 1
+        });
+        let token = (self.generations[slot] << 32) | slot as u64;
+        self.slots[slot] = Some(make(token));
+        self.live += 1;
+        slot
+    }
+
+    /// The connection registered under `token`, if it still exists.
+    fn get_mut(&mut self, token: u64) -> Option<&mut Conn> {
+        let slot = (token & 0xffff_ffff) as usize;
+        self.slots
+            .get_mut(slot)
+            .and_then(|s| s.as_mut())
+            .filter(|c| c.token == token)
+    }
+
+    fn remove(&mut self, slot: usize) -> Option<Conn> {
+        let conn = self.slots.get_mut(slot)?.take()?;
+        self.generations[slot] += 1;
+        self.free.push(slot);
+        self.live -= 1;
+        Some(conn)
     }
 }
 
-/// Serves one connection until the peer leaves, the stream breaks, or
-/// shutdown drains it.
-fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, addr: SocketAddr) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-    let mut metered = Metered {
-        stream: &stream,
-        read: 0,
-        written: 0,
+/// Pipelined frames from one readiness drain, grouped per registry key so
+/// the executor sees one submission per (connection, key) instead of one
+/// per frame.
+struct PipelineGroup {
+    circuit: Arc<PreparedCircuit>,
+    /// `(request id, that frame's queries)` in arrival order.
+    segments: Vec<(u64, Vec<Query>)>,
+}
+
+fn reactor_loop(idx: usize, shared: &Arc<Shared>) {
+    let rshared = Arc::clone(&shared.reactors[idx]);
+    let reactor = match Reactor::new() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trl-server: reactor {idx} failed to create epoll instance: {e}");
+            return;
+        }
     };
+    if let Err(e) = reactor.register_read(rshared.waker.raw_fd(), WAKER_TOKEN) {
+        eprintln!("trl-server: reactor {idx} failed to register waker: {e}");
+        return;
+    }
+    let conn_gauge = trl_obs::gauge(&format!("server.reactor.{idx}.connections"));
+    let mut slab = Slab::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    let mut draining = false;
+
     loop {
-        // Idle-poll for the next frame without consuming bytes, so
-        // shutdown is noticed between requests, never mid-frame.
-        let _ = stream.set_read_timeout(Some(shared.config.idle_poll));
-        let mut probe = [0u8; 1];
-        match stream.peek(&mut probe) {
-            Ok(0) => return, // peer closed
-            Ok(_) => {}
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                trl_obs::counter!("server.idle_wakeups").inc();
-                if shared.shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                continue;
-            }
-            Err(_) => return,
+        // 1. Take in what other threads handed over.
+        let (new_conns, completions) = {
+            let mut inbox = rshared.inbox.lock().unwrap_or_else(|p| p.into_inner());
+            (
+                std::mem::take(&mut inbox.conns),
+                std::mem::take(&mut inbox.completions),
+            )
+        };
+        for stream in new_conns {
+            conn_gauge.inc();
+            register_conn(
+                stream,
+                &reactor,
+                &mut slab,
+                shared,
+                &rshared,
+                conn_gauge,
+                &mut scratch,
+            );
         }
-        // A frame is arriving: switch to the per-request deadline.
-        let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
-        let read_start = Instant::now();
-        let request = match read_request(&mut metered, shared.config.max_frame_len) {
-            Ok(req) => req,
-            Err(ProtocolError::Disconnected) => return,
-            Err(ProtocolError::Io(_)) => return,
-            Err(e) => {
-                // Typed rejection, then close: framing cannot resync.
-                let resp = Response::Error(WireError::Invalid(e.to_string()));
-                let _ = write_response(&mut metered, &resp);
+        for completion in completions {
+            let Some(conn) = slab.get_mut(completion.token) else {
+                continue; // connection died before its work finished
+            };
+            conn.in_flight -= 1;
+            shared
+                .served
+                .fetch_add(completion.frames.len() as u64, Ordering::Relaxed);
+            for (seq, bytes) in completion.frames {
+                match seq {
+                    Some(seq) => conn.enqueue_ordered(seq, bytes),
+                    None => conn.outbuf.extend_from_slice(&bytes),
+                }
+            }
+            flush(conn);
+            let slot = (completion.token & 0xffff_ffff) as usize;
+            close_if_drained(&mut slab, slot, &reactor, shared, conn_gauge);
+        }
+
+        // 2. Shutdown turns every connection into drain mode: stop
+        // reading, finish in-flight work, flush, close. The sweep runs
+        // every iteration while draining so connections that raced the
+        // flag (or finished their last completion) are reaped.
+        if shared.shutdown.load(Ordering::Acquire) {
+            draining = true;
+        }
+        if draining {
+            for slot in 0..slab.slots.len() {
+                if let Some(conn) = slab.slots[slot].as_mut() {
+                    if !conn.read_closed {
+                        conn.read_closed = true;
+                    }
+                    flush(conn);
+                }
+                close_if_drained(&mut slab, slot, &reactor, shared, conn_gauge);
+            }
+            if slab.live == 0 {
                 return;
             }
-        };
-        let read_time = read_start.elapsed();
-        let kind = request_kind(&request);
-        let is_shutdown_request = matches!(request, Request::Shutdown);
-
-        let handle_start = Instant::now();
-        let response = handle_request(request, shared);
-        let handle_time = handle_start.elapsed();
-
-        let write_start = Instant::now();
-        if write_response(&mut metered, &response).is_err() {
-            return;
         }
-        let write_time = write_start.elapsed();
-        shared.served.fetch_add(1, Ordering::Relaxed);
-        record_request_metrics(&mut metered, kind, read_time, handle_time, write_time);
-        if let Some(threshold) = shared.config.slow_query {
-            let total = read_time + handle_time + write_time;
-            if total > threshold {
-                log_slow_query(kind, total, read_time, handle_time, write_time);
+
+        // 3. Park. With no deadlines pending the wait is indefinite —
+        // idle connections cost zero wakeups; the waker interrupts for
+        // new connections, completions, and shutdown.
+        let has_deadlines = slab
+            .slots
+            .iter()
+            .flatten()
+            .any(|c| c.partial_since.is_some() || c.blocked_since.is_some());
+        let timeout = if has_deadlines || draining {
+            Some(Duration::from_millis(100))
+        } else {
+            None
+        };
+        let n = match reactor.wait(&mut events, timeout) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("trl-server: reactor {idx} wait failed: {e}");
+                break;
+            }
+        };
+        trl_obs::counter!("server.reactor.wakeups").inc();
+        trl_obs::histogram!("server.reactor.ready_events").record_us(n as u64);
+
+        // 4. Service readiness.
+        for &event in &events {
+            if event.token == WAKER_TOKEN {
+                rshared.waker.drain();
+                continue;
+            }
+            let Some(conn) = slab.get_mut(event.token) else {
+                continue;
+            };
+            if event.writable {
+                flush(conn);
+            }
+            if event.readable || event.hangup {
+                read_drain(conn, shared, &rshared, &mut scratch);
+            }
+            let slot = (event.token & 0xffff_ffff) as usize;
+            close_if_drained(&mut slab, slot, &reactor, shared, conn_gauge);
+        }
+
+        // 5. Enforce stall deadlines (only armed connections pay).
+        if has_deadlines {
+            let now = Instant::now();
+            for slot in 0..slab.slots.len() {
+                if let Some(conn) = slab.slots[slot].as_mut() {
+                    let read_stalled = conn
+                        .partial_since
+                        .is_some_and(|t| now.duration_since(t) > shared.config.read_timeout);
+                    let write_stalled = conn
+                        .blocked_since
+                        .is_some_and(|t| now.duration_since(t) > shared.config.write_timeout);
+                    if read_stalled || write_stalled {
+                        conn.broken = true;
+                    }
+                }
+                close_if_drained(&mut slab, slot, &reactor, shared, conn_gauge);
             }
         }
-        if is_shutdown_request {
-            shared.begin_shutdown(addr);
-            return;
+    }
+
+    // Abnormal exit (epoll failure): release what we still hold so the
+    // accept gate cannot wedge.
+    for slot in 0..slab.slots.len() {
+        if slab.slots[slot].is_some() {
+            if let Some(conn) = slab.remove(slot) {
+                let _ = reactor.deregister(conn.stream.as_raw_fd());
+                release_conn(shared, conn_gauge);
+            }
         }
     }
 }
 
-/// The request's short name for metrics and the slow-query log.
-fn request_kind(request: &Request) -> &'static str {
-    match request {
-        Request::Ping => "ping",
-        Request::Compile(_) => "compile",
-        Request::Query { .. } => "query",
-        Request::Batch { .. } => "batch",
-        Request::Stats => "stats",
-        Request::Shutdown => "shutdown",
+/// Registers a fresh connection with the reactor and performs its initial
+/// read/flush (readiness present before registration would otherwise
+/// never deliver an edge).
+fn register_conn(
+    stream: TcpStream,
+    reactor: &Reactor,
+    slab: &mut Slab,
+    shared: &Arc<Shared>,
+    rshared: &Arc<ReactorShared>,
+    conn_gauge: &'static trl_obs::Gauge,
+    scratch: &mut [u8],
+) {
+    if stream.set_nonblocking(true).is_err() {
+        release_conn(shared, conn_gauge);
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let fd = stream.as_raw_fd();
+    let slot = slab.insert(|token| Conn {
+        stream,
+        token,
+        inbuf: Vec::new(),
+        inpos: 0,
+        outbuf: Vec::new(),
+        outpos: 0,
+        version: PROTOCOL_VERSION,
+        in_flight: 0,
+        next_seq: 0,
+        next_enqueue: 0,
+        held: BTreeMap::new(),
+        read_closed: false,
+        broken: false,
+        partial_since: None,
+        blocked_since: None,
+    });
+    let token = slab.slots[slot].as_ref().map(|c| c.token).unwrap_or(0);
+    if reactor.register_edge(fd, token).is_err() {
+        slab.remove(slot);
+        release_conn(shared, conn_gauge);
+        return;
+    }
+    let conn = slab.slots[slot].as_mut().expect("just inserted");
+    if shared.shutdown.load(Ordering::Acquire) {
+        conn.read_closed = true;
+    } else {
+        read_drain(conn, shared, rshared, scratch);
+        flush(conn);
     }
 }
 
-/// Publishes one answered request: traffic bytes (draining the shim's
-/// totals), the request/service counters, and the span breakdown.
-fn record_request_metrics(
-    metered: &mut Metered<'_>,
-    kind: &'static str,
-    read_time: Duration,
-    handle_time: Duration,
-    write_time: Duration,
+/// Undoes the accept-side accounting for one connection.
+fn release_conn(shared: &Arc<Shared>, conn_gauge: &'static trl_obs::Gauge) {
+    conn_gauge.dec();
+    shared.active.fetch_sub(1, Ordering::Relaxed);
+    trl_obs::gauge!("server.connections_active").dec();
+    shared.conn_gate.release();
+}
+
+/// Closes the connection in `slot` if it has fully drained.
+fn close_if_drained(
+    slab: &mut Slab,
+    slot: usize,
+    reactor: &Reactor,
+    shared: &Arc<Shared>,
+    conn_gauge: &'static trl_obs::Gauge,
+) {
+    let done = matches!(
+        slab.slots.get(slot),
+        Some(Some(conn)) if conn.drained()
+    );
+    if done {
+        if let Some(conn) = slab.remove(slot) {
+            let _ = reactor.deregister(conn.stream.as_raw_fd());
+            release_conn(shared, conn_gauge);
+            // The stream drops (and closes) here; pending completions for
+            // this token are dropped by the generation check.
+        }
+    }
+}
+
+/// Drains the socket into the connection's read buffer (edge-triggered
+/// discipline: read until `WouldBlock`), then processes every complete
+/// frame that arrived.
+fn read_drain(
+    conn: &mut Conn,
+    shared: &Arc<Shared>,
+    rshared: &Arc<ReactorShared>,
+    scratch: &mut [u8],
+) {
+    if conn.read_closed || conn.broken {
+        return;
+    }
+    let mut total = 0u64;
+    loop {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                conn.read_closed = true;
+                break;
+            }
+            Ok(n) => {
+                total += n as u64;
+                conn.inbuf.extend_from_slice(&scratch[..n]);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.broken = true;
+                return;
+            }
+        }
+    }
+    if total > 0 {
+        trl_obs::counter!("server.bytes_read").add(total);
+    }
+    process_frames(conn, shared, rshared);
+}
+
+/// Peels complete frames off the read buffer, dispatches each, and
+/// submits the drain's coalesced pipelined groups to the executor.
+fn process_frames(conn: &mut Conn, shared: &Arc<Shared>, rshared: &Arc<ReactorShared>) {
+    let mut groups: Vec<(u64, PipelineGroup)> = Vec::new();
+    while !conn.read_closed && !conn.broken {
+        match scan_frame(&conn.inbuf[conn.inpos..], shared.config.max_frame_len) {
+            Ok(FrameScan::Incomplete { .. }) => break,
+            Ok(FrameScan::Frame {
+                version,
+                kind,
+                payload,
+                consumed,
+            }) => {
+                conn.inpos += consumed;
+                conn.version = version;
+                match Request::decode(kind, &payload) {
+                    Ok(request) => dispatch(conn, request, &mut groups, shared, rshared),
+                    Err(e) => protocol_reject(conn, &e.to_string()),
+                }
+            }
+            Err(e) => {
+                protocol_reject(conn, &e.to_string());
+                break;
+            }
+        }
+    }
+    // Compact the consumed prefix away.
+    if conn.inpos == conn.inbuf.len() {
+        conn.inbuf.clear();
+        conn.inpos = 0;
+    } else if conn.inpos > 0 {
+        conn.inbuf.drain(..conn.inpos);
+        conn.inpos = 0;
+    }
+    // A leftover partial frame arms the read deadline; an empty buffer
+    // (or a closed read side) disarms it.
+    conn.partial_since = if conn.inbuf.is_empty() || conn.read_closed {
+        None
+    } else if conn.partial_since.is_some() {
+        conn.partial_since
+    } else {
+        Some(Instant::now())
+    };
+    for (_key, group) in groups {
+        submit_pipeline_group(conn, group, shared, rshared);
+    }
+    flush(conn);
+}
+
+/// Typed rejection, then drain-and-close: framing cannot resync.
+fn protocol_reject(conn: &mut Conn, message: &str) {
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
+    let resp = Response::Error(WireError::Invalid(message.to_string()));
+    conn.enqueue_ordered(seq, encode_response(&resp, conn.version));
+    conn.read_closed = true;
+}
+
+/// Encodes a response stamped with the connection's negotiated version.
+fn encode_response(resp: &Response, version: u16) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    // Writing into a Vec cannot fail.
+    let _ = write_response_versioned(&mut bytes, resp, version);
+    bytes
+}
+
+/// Handles one decoded request. Inline kinds (ping, stats, shutdown,
+/// rejections) answer immediately; compiles offload to a thread; queries
+/// go to the executor — pre-v3 kinds individually and in order, pipelined
+/// batches out-of-order and coalesced per key via `groups`.
+fn dispatch(
+    conn: &mut Conn,
+    request: Request,
+    groups: &mut Vec<(u64, PipelineGroup)>,
+    shared: &Arc<Shared>,
+    rshared: &Arc<ReactorShared>,
 ) {
     trl_obs::counter!("server.requests").inc();
-    trl_obs::counter!("server.bytes_read").add(std::mem::take(&mut metered.read));
-    trl_obs::counter!("server.bytes_written").add(std::mem::take(&mut metered.written));
-    trl_obs::histogram!("server.service_us").record(handle_time);
-    trl_obs::histogram!("server.request_us").record(read_time + handle_time + write_time);
-    trl_obs::record_span("server.read", read_time);
-    trl_obs::record_span("server.handle", handle_time);
-    trl_obs::record_span("server.write", write_time);
-    match kind {
-        "ping" => trl_obs::counter!("server.requests.ping").inc(),
-        "compile" => trl_obs::counter!("server.requests.compile").inc(),
-        "query" => trl_obs::counter!("server.requests.query").inc(),
-        "batch" => trl_obs::counter!("server.requests.batch").inc(),
-        "stats" => trl_obs::counter!("server.requests.stats").inc(),
-        _ => trl_obs::counter!("server.requests.shutdown").inc(),
-    }
-}
-
-/// One JSON line on stderr describing a request that blew the
-/// [`ServerConfig::slow_query`] threshold, with its span breakdown.
-fn log_slow_query(
-    kind: &'static str,
-    total: Duration,
-    read_time: Duration,
-    handle_time: Duration,
-    write_time: Duration,
-) {
-    // A failed stderr write has no recovery path worth taking.
-    let _ = writeln!(
-        io::stderr().lock(),
-        "{{\"slow_query\":\"{kind}\",\"total_us\":{},\"read_us\":{},\"handle_us\":{},\"write_us\":{}}}",
-        total.as_micros(),
-        read_time.as_micros(),
-        handle_time.as_micros(),
-        write_time.as_micros()
-    );
-}
-
-fn handle_request(request: Request, shared: &Shared) -> Response {
     match request {
-        Request::Ping => Response::Pong,
+        Request::Ping => {
+            trl_obs::counter!("server.requests.ping").inc();
+            respond_inline(conn, shared, &Response::Pong);
+        }
         Request::Stats => {
+            trl_obs::counter!("server.requests.stats").inc();
+            let started = Instant::now();
             // The engine fills everything it can see; the connection
             // counters are the server's to overlay.
             let mut snapshot = shared.engine.stats();
             snapshot.connections_accepted = shared.connections.load(Ordering::Relaxed);
             snapshot.connections_active = shared.active.load(Ordering::Relaxed);
-            Response::Stats(snapshot)
+            let resp = Response::Stats(snapshot);
+            trl_obs::histogram!("server.service_us").record(started.elapsed());
+            respond_inline(conn, shared, &resp);
         }
-        Request::Shutdown => Response::ShuttingDown,
-        Request::Compile(cnf) => match shared.try_admit(1) {
-            Err(e) => Response::Error(e),
-            Ok(()) => {
-                let (key, circuit) = shared.engine.compile(&cnf);
-                shared.release_admitted(1);
-                Response::Compiled {
-                    key,
-                    num_vars: circuit.num_vars() as u32,
-                    nodes: circuit.raw().node_count() as u32,
-                    edges: circuit.raw().edge_count() as u32,
+        Request::Shutdown => {
+            trl_obs::counter!("server.requests.shutdown").inc();
+            respond_inline(conn, shared, &Response::ShuttingDown);
+            conn.read_closed = true;
+            shared.begin_shutdown();
+        }
+        Request::Compile(cnf) => {
+            trl_obs::counter!("server.requests.compile").inc();
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            match shared.try_admit(1) {
+                Err(e) => {
+                    let bytes = encode_response(&Response::Error(e), conn.version);
+                    enqueue_seq(conn, shared, seq, bytes);
+                }
+                Ok(()) => {
+                    conn.in_flight += 1;
+                    spawn_compile(conn.token, seq, conn.version, cnf, shared, rshared);
                 }
             }
-        },
-        Request::Query { key, query } => match run_queries(shared, key, vec![query]) {
-            Ok(mut answers) => Response::Answer(answers.remove(0)),
-            Err(e) => Response::Error(e),
-        },
-        Request::Batch { key, queries } => match run_queries(shared, key, queries) {
-            Ok(answers) => Response::Batch(answers),
-            Err(e) => Response::Error(e),
-        },
+        }
+        Request::Query { key, query } => {
+            trl_obs::counter!("server.requests.query").inc();
+            submit_ordered(conn, key, vec![query], true, shared, rshared);
+        }
+        Request::Batch { key, queries } => {
+            trl_obs::counter!("server.requests.batch").inc();
+            submit_ordered(conn, key, queries, false, shared, rshared);
+        }
+        Request::PipelinedBatch { id, key, queries } => {
+            trl_obs::counter!("server.requests.pipeline").inc();
+            trl_obs::histogram!("server.pipeline.batch_size").record_us(queries.len() as u64);
+            stage_pipelined(conn, id, key, queries, groups, shared);
+        }
     }
 }
 
-fn run_queries(
-    shared: &Shared,
+/// Stages an inline (order-preserving) response produced on the reactor
+/// thread itself.
+fn respond_inline(conn: &mut Conn, shared: &Arc<Shared>, resp: &Response) {
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
+    let bytes = encode_response(resp, conn.version);
+    enqueue_seq(conn, shared, seq, bytes);
+}
+
+fn enqueue_seq(conn: &mut Conn, shared: &Arc<Shared>, seq: u64, bytes: Vec<u8>) {
+    shared.served.fetch_add(1, Ordering::Relaxed);
+    conn.enqueue_ordered(seq, bytes);
+}
+
+/// Stages an out-of-order pipelined response.
+fn enqueue_pipelined(
+    conn: &mut Conn,
+    shared: &Arc<Shared>,
+    id: u64,
+    result: Result<Vec<trl_engine::QueryAnswer>, WireError>,
+) {
+    shared.served.fetch_add(1, Ordering::Relaxed);
+    let resp = Response::PipelinedBatch { id, result };
+    let bytes = encode_response(&resp, conn.version);
+    conn.outbuf.extend_from_slice(&bytes);
+}
+
+/// Validates, admits, and stages one pipelined frame into this drain's
+/// coalesced groups; failures answer immediately without touching the
+/// rest of the drain.
+fn stage_pipelined(
+    conn: &mut Conn,
+    id: u64,
     key: u64,
-    queries: Vec<trl_engine::Query>,
-) -> Result<Vec<trl_engine::QueryAnswer>, WireError> {
+    queries: Vec<Query>,
+    groups: &mut Vec<(u64, PipelineGroup)>,
+    shared: &Arc<Shared>,
+) {
+    if queries.is_empty() {
+        enqueue_pipelined(conn, shared, id, Ok(Vec::new()));
+        return;
+    }
+    if let Err(e) = shared.try_admit(queries.len()) {
+        enqueue_pipelined(conn, shared, id, Err(e));
+        return;
+    }
+    let circuit = match groups.iter().find(|(k, _)| *k == key) {
+        Some((_, g)) => Arc::clone(&g.circuit),
+        None => match shared.engine.get(key) {
+            Some(c) => c,
+            None => {
+                shared.release_admitted(queries.len());
+                enqueue_pipelined(conn, shared, id, Err(WireError::UnknownKey(key)));
+                return;
+            }
+        },
+    };
+    // Per-frame validation up front, so one malformed frame cannot
+    // poison the coalesced submission its neighbors ride in.
+    if let Err(e) = queries
+        .iter()
+        .try_for_each(|q| q.validate(circuit.num_vars()))
+    {
+        shared.release_admitted(queries.len());
+        enqueue_pipelined(conn, shared, id, Err(engine_error_to_wire(e)));
+        return;
+    }
+    match groups.iter_mut().find(|(k, _)| *k == key) {
+        Some((_, g)) => g.segments.push((id, queries)),
+        None => groups.push((
+            key,
+            PipelineGroup {
+                circuit,
+                segments: vec![(id, queries)],
+            },
+        )),
+    }
+}
+
+fn engine_error_to_wire(e: EngineError) -> WireError {
+    match e {
+        EngineError::Structure(m) => WireError::Invalid(m),
+        other => WireError::Engine(other.to_string()),
+    }
+}
+
+/// Submits one coalesced pipelined group: every staged frame's queries as
+/// a single executor batch, split back per frame on completion.
+fn submit_pipeline_group(
+    conn: &mut Conn,
+    group: PipelineGroup,
+    shared: &Arc<Shared>,
+    rshared: &Arc<ReactorShared>,
+) {
+    let token = conn.token;
+    let version = conn.version;
+    let lens: Vec<(u64, usize)> = group
+        .segments
+        .iter()
+        .map(|(id, q)| (*id, q.len()))
+        .collect();
+    let ids: Vec<u64> = lens.iter().map(|(id, _)| *id).collect();
+    let total: usize = lens.iter().map(|(_, n)| n).sum();
+    let queries: Vec<Query> = group.segments.into_iter().flat_map(|(_, q)| q).collect();
+    let cb_shared = Arc::clone(shared);
+    let cb_rshared = Arc::clone(rshared);
+    let submitted = Instant::now();
+    let slow_query = shared.config.slow_query;
+    let result = shared
+        .engine
+        .submit_batch(&group.circuit, queries, move |outcomes| {
+            cb_shared.release_admitted(total);
+            let handle_time = submitted.elapsed();
+            trl_obs::record_span("server.handle", handle_time);
+            let mut frames = Vec::with_capacity(lens.len());
+            let mut outcomes = outcomes.into_iter();
+            for &(id, len) in &lens {
+                let answers: Vec<_> = outcomes.by_ref().take(len).map(|o| o.answer).collect();
+                trl_obs::histogram!("server.service_us").record(handle_time);
+                trl_obs::histogram!("server.request_us").record(handle_time);
+                let resp = Response::PipelinedBatch {
+                    id,
+                    result: Ok(answers),
+                };
+                frames.push((None, encode_response(&resp, version)));
+            }
+            if let Some(threshold) = slow_query {
+                if handle_time > threshold {
+                    log_slow_query("pipeline", handle_time, handle_time);
+                }
+            }
+            cb_rshared.push_completion(Completion { token, frames });
+        });
+    match result {
+        Ok(()) => conn.in_flight += 1,
+        Err(e) => {
+            // Should be unreachable (frames were pre-validated), but a
+            // defensive rejection keeps every staged frame answered.
+            shared.release_admitted(total);
+            let wire = engine_error_to_wire(e);
+            for id in ids {
+                enqueue_pipelined(conn, shared, id, Err(wire.clone()));
+            }
+        }
+    }
+}
+
+/// Submits a pre-v3 `Query`/`Batch` request: one executor submission, one
+/// ordered response.
+fn submit_ordered(
+    conn: &mut Conn,
+    key: u64,
+    queries: Vec<Query>,
+    single: bool,
+    shared: &Arc<Shared>,
+    rshared: &Arc<ReactorShared>,
+) {
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
     let n = queries.len();
+    let reject = |conn: &mut Conn, e: WireError| {
+        let bytes = encode_response(&Response::Error(e), conn.version);
+        enqueue_seq(conn, shared, seq, bytes);
+    };
     if n > 0 {
-        shared.try_admit(n)?;
+        if let Err(e) = shared.try_admit(n) {
+            reject(conn, e);
+            return;
+        }
     }
-    let result = (|| {
-        let circuit = shared.engine.get(key).ok_or(WireError::UnknownKey(key))?;
-        let outcomes = shared
+    let circuit = match shared.engine.get(key) {
+        Some(c) => c,
+        None => {
+            if n > 0 {
+                shared.release_admitted(n);
+            }
+            reject(conn, WireError::UnknownKey(key));
+            return;
+        }
+    };
+    let token = conn.token;
+    let version = conn.version;
+    let cb_shared = Arc::clone(shared);
+    let cb_rshared = Arc::clone(rshared);
+    let submitted = Instant::now();
+    let slow_query = shared.config.slow_query;
+    let result =
+        shared
             .engine
-            .run_batch(&circuit, queries)
-            .map_err(|e| match e {
-                EngineError::Structure(m) => WireError::Invalid(m),
-                other => WireError::Engine(other.to_string()),
-            })?;
-        Ok(outcomes.into_iter().map(|o| o.answer).collect())
-    })();
-    if n > 0 {
-        shared.release_admitted(n);
+            .submit_batch(&circuit, queries, move |outcomes: Vec<QueryOutcome>| {
+                if n > 0 {
+                    cb_shared.release_admitted(n);
+                }
+                let handle_time = submitted.elapsed();
+                trl_obs::record_span("server.handle", handle_time);
+                trl_obs::histogram!("server.service_us").record(handle_time);
+                trl_obs::histogram!("server.request_us").record(handle_time);
+                let mut answers = outcomes.into_iter().map(|o| o.answer);
+                let resp = if single {
+                    match answers.next() {
+                        Some(a) => Response::Answer(a),
+                        // A single query always yields one outcome; guard
+                        // anyway rather than panic on a worker thread.
+                        None => Response::Error(WireError::Engine("empty batch result".into())),
+                    }
+                } else {
+                    Response::Batch(answers.collect())
+                };
+                if let Some(threshold) = slow_query {
+                    if handle_time > threshold {
+                        log_slow_query(
+                            if single { "query" } else { "batch" },
+                            handle_time,
+                            handle_time,
+                        );
+                    }
+                }
+                cb_rshared.push_completion(Completion {
+                    token,
+                    frames: vec![(Some(seq), encode_response(&resp, version))],
+                });
+            });
+    match result {
+        Ok(()) => conn.in_flight += 1,
+        Err(e) => {
+            if n > 0 {
+                shared.release_admitted(n);
+            }
+            reject(conn, engine_error_to_wire(e));
+        }
     }
-    result
+}
+
+/// Offloads a compile to its own thread: compilation can take arbitrarily
+/// long and must not stall the reactor's event loop.
+fn spawn_compile(
+    token: u64,
+    seq: u64,
+    version: u16,
+    cnf: trl_prop::Cnf,
+    shared: &Arc<Shared>,
+    rshared: &Arc<ReactorShared>,
+) {
+    let cb_shared = Arc::clone(shared);
+    let cb_rshared = Arc::clone(rshared);
+    let slow_query = shared.config.slow_query;
+    let spawned = std::thread::Builder::new()
+        .name("trl-server-compile".into())
+        .spawn(move || {
+            let started = Instant::now();
+            let (key, circuit) = cb_shared.engine.compile(&cnf);
+            cb_shared.release_admitted(1);
+            let handle_time = started.elapsed();
+            trl_obs::record_span("server.handle", handle_time);
+            trl_obs::histogram!("server.service_us").record(handle_time);
+            trl_obs::histogram!("server.request_us").record(handle_time);
+            if let Some(threshold) = slow_query {
+                if handle_time > threshold {
+                    log_slow_query("compile", handle_time, handle_time);
+                }
+            }
+            let resp = Response::Compiled {
+                key,
+                num_vars: circuit.num_vars() as u32,
+                nodes: circuit.raw().node_count() as u32,
+                edges: circuit.raw().edge_count() as u32,
+            };
+            cb_rshared.push_completion(Completion {
+                token,
+                frames: vec![(Some(seq), encode_response(&resp, version))],
+            });
+        });
+    match spawned {
+        Ok(handle) => shared.track_thread(handle),
+        Err(_) => {
+            // Could not spawn a thread (resource exhaustion): the request
+            // still gets an answer, just a typed failure.
+            shared.release_admitted(1);
+            let resp = Response::Error(WireError::Engine(
+                "server could not spawn a compile thread".into(),
+            ));
+            rshared.push_completion(Completion {
+                token,
+                frames: vec![(Some(seq), encode_response(&resp, version))],
+            });
+        }
+    }
+}
+
+/// One JSON line on stderr describing a request that blew the
+/// [`ServerConfig::slow_query`] threshold. The read/write phases of the
+/// old thread-per-connection server no longer exist per request; their
+/// fields remain zero for log-shape compatibility.
+fn log_slow_query(kind: &'static str, total: Duration, handle_time: Duration) {
+    // A failed stderr write has no recovery path worth taking.
+    let _ = writeln!(
+        io::stderr().lock(),
+        "{{\"slow_query\":\"{kind}\",\"total_us\":{},\"read_us\":0,\"handle_us\":{},\"write_us\":0}}",
+        total.as_micros(),
+        handle_time.as_micros()
+    );
+}
+
+/// Writes staged response bytes until the socket stops accepting them
+/// (edge-triggered discipline).
+fn flush(conn: &mut Conn) {
+    if conn.broken {
+        return;
+    }
+    let mut total = 0u64;
+    while conn.outpos < conn.outbuf.len() {
+        match conn.stream.write(&conn.outbuf[conn.outpos..]) {
+            Ok(0) => {
+                conn.broken = true;
+                break;
+            }
+            Ok(n) => {
+                conn.outpos += n;
+                total += n as u64;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.broken = true;
+                break;
+            }
+        }
+    }
+    if total > 0 {
+        trl_obs::counter!("server.bytes_written").add(total);
+    }
+    if conn.outpos == conn.outbuf.len() {
+        conn.outbuf.clear();
+        conn.outpos = 0;
+        conn.blocked_since = None;
+    } else {
+        if conn.outpos > OUTBUF_COMPACT {
+            conn.outbuf.drain(..conn.outpos);
+            conn.outpos = 0;
+        }
+        if conn.blocked_since.is_none() {
+            conn.blocked_since = Some(Instant::now());
+        }
+    }
 }

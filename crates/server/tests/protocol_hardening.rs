@@ -61,6 +61,21 @@ fn all_requests() -> Vec<Request> {
         },
         Request::Stats,
         Request::Shutdown,
+        Request::PipelinedBatch {
+            id: 0xdead_beef,
+            key: 7,
+            queries: vec![
+                Query::Sat,
+                Query::Wmc(sample_weights()),
+                Query::Marginals(sample_weights()),
+            ],
+        },
+        // Zero-length pipelined batches are legal frames.
+        Request::PipelinedBatch {
+            id: 0,
+            key: 8,
+            queries: Vec::new(),
+        },
     ]
 }
 
@@ -312,6 +327,203 @@ fn typed_wire_errors_round_trip_with_context() {
     write_response(&mut bytes, &overloaded).unwrap();
     let back = read_response(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap();
     assert_eq!(back, overloaded);
+}
+
+#[test]
+fn pipelined_request_single_byte_corruption_never_panics() {
+    let req = Request::PipelinedBatch {
+        id: 0x0123_4567_89ab_cdef,
+        key: 9,
+        queries: vec![Query::Wmc(sample_weights()), Query::Sat, Query::ModelCount],
+    };
+    let mut pristine = Vec::new();
+    write_request(&mut pristine, &req).unwrap();
+    for at in 0..pristine.len() {
+        for bit in [0x01u8, 0x80] {
+            let mut corrupt = pristine.clone();
+            corrupt[at] ^= bit;
+            assert!(
+                read_request(&mut corrupt.as_slice(), DEFAULT_MAX_FRAME_LEN).is_err(),
+                "flip of bit {bit:#x} at byte {at} went undetected"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipelined_response_corruption_and_truncation_are_typed() {
+    let resp = Response::PipelinedBatch {
+        id: 42,
+        result: Ok(vec![
+            QueryAnswer::Sat(true),
+            QueryAnswer::Wmc(0.765625),
+            QueryAnswer::ModelCount(9),
+        ]),
+    };
+    let mut pristine = Vec::new();
+    write_response(&mut pristine, &resp).unwrap();
+    for at in 0..pristine.len() {
+        let mut corrupt = pristine.clone();
+        corrupt[at] ^= 0xff;
+        assert!(
+            read_response(&mut corrupt.as_slice(), DEFAULT_MAX_FRAME_LEN).is_err(),
+            "byte {at} flip went undetected"
+        );
+    }
+    for cut in 0..pristine.len() {
+        let mut slice = &pristine[..cut];
+        assert_eq!(
+            read_response(&mut slice, DEFAULT_MAX_FRAME_LEN),
+            Err(ProtocolError::Disconnected),
+            "cut at byte {cut}"
+        );
+    }
+}
+
+#[test]
+fn pipelined_error_response_round_trips() {
+    let resp = Response::PipelinedBatch {
+        id: 7,
+        result: Err(WireError::Overloaded {
+            queue_depth: 128,
+            capacity: 128,
+        }),
+    };
+    let mut bytes = Vec::new();
+    write_response(&mut bytes, &resp).unwrap();
+    let back = read_response(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap();
+    assert_eq!(back, resp);
+}
+
+#[test]
+fn pipelined_batch_count_bomb_rejected() {
+    // A tiny pipelined frame whose query-count word claims u32::MAX
+    // entries must be rejected by the remaining-bytes bound, not by
+    // attempting to reserve the declared capacity.
+    let mut bytes = Vec::new();
+    write_request(
+        &mut bytes,
+        &Request::PipelinedBatch {
+            id: 1,
+            key: 2,
+            queries: vec![Query::Sat],
+        },
+    )
+    .unwrap();
+    // Payload layout: u64 id, u64 key, u32 count, …
+    let count_at = 28 + 8 + 8;
+    bytes[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    restamp_payload_and_header(&mut bytes);
+    assert!(matches!(
+        read_request(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN),
+        Err(ProtocolError::Malformed(_))
+    ));
+}
+
+#[test]
+fn zero_length_pipelined_batch_round_trips_both_ways() {
+    let req = Request::PipelinedBatch {
+        id: u64::MAX,
+        key: 3,
+        queries: Vec::new(),
+    };
+    let mut bytes = Vec::new();
+    write_request(&mut bytes, &req).unwrap();
+    assert_eq!(
+        read_request(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap(),
+        req
+    );
+    let resp = Response::PipelinedBatch {
+        id: u64::MAX,
+        result: Ok(Vec::new()),
+    };
+    let mut bytes = Vec::new();
+    write_response(&mut bytes, &resp).unwrap();
+    assert_eq!(
+        read_response(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap(),
+        resp
+    );
+}
+
+/// Rewrites a well-formed frame's version word to `version` and restamps
+/// the header checksum, simulating a client that speaks an older protocol.
+fn stamp_version(bytes: &mut [u8], version: u16) {
+    bytes[4..6].copy_from_slice(&version.to_le_bytes());
+    restamp_header(bytes);
+}
+
+/// Reads one whole response frame off `stream` and returns the raw bytes
+/// (header + payload) so the test can inspect the version word the server
+/// actually stamped before decoding.
+fn read_raw_frame(stream: &mut std::net::TcpStream) -> Vec<u8> {
+    use std::io::Read;
+    let header_len = trl_server::protocol::HEADER_LEN;
+    let mut frame = vec![0u8; header_len];
+    stream.read_exact(&mut frame).unwrap();
+    let len = u32::from_le_bytes(frame[8..12].try_into().unwrap()) as usize;
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).unwrap();
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+#[test]
+fn version_2_client_still_works_against_the_v3_server() {
+    // A version-2 client hand-stamps its frames with version 2 and has
+    // never heard of pipelining. The readiness-driven v3 server must (a)
+    // accept those frames, (b) answer each one with a frame stamped
+    // version 2 so the old decoder's version check passes, and (c) never
+    // send a v3-only response kind on that connection.
+    use std::io::Write;
+    use std::sync::Arc;
+    use trl_engine::Engine;
+    use trl_server::{Server, ServerConfig};
+
+    let engine = Arc::new(Engine::new(1 << 20, Some(2)));
+    let handle = Server::bind("127.0.0.1:0", engine, ServerConfig::default()).unwrap();
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    let send_v2 = |stream: &mut std::net::TcpStream, req: &Request| {
+        let mut bytes = Vec::new();
+        write_request(&mut bytes, req).unwrap();
+        stamp_version(&mut bytes, 2);
+        stream.write_all(&bytes).unwrap();
+    };
+
+    // Compile, then query, then stats — the version-2 workload.
+    send_v2(&mut stream, &Request::Compile(sample_cnf()));
+    let frame = read_raw_frame(&mut stream);
+    assert_eq!(u16::from_le_bytes(frame[4..6].try_into().unwrap()), 2);
+    let key = match read_response(&mut frame.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap() {
+        Response::Compiled { key, .. } => key,
+        other => panic!("expected Compiled, got {other:?}"),
+    };
+
+    send_v2(
+        &mut stream,
+        &Request::Query {
+            key,
+            query: Query::ModelCount,
+        },
+    );
+    let frame = read_raw_frame(&mut stream);
+    assert_eq!(u16::from_le_bytes(frame[4..6].try_into().unwrap()), 2);
+    match read_response(&mut frame.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap() {
+        Response::Answer(QueryAnswer::ModelCount(n)) => assert!(n > 0),
+        other => panic!("expected Answer, got {other:?}"),
+    }
+
+    send_v2(&mut stream, &Request::Stats);
+    let frame = read_raw_frame(&mut stream);
+    assert_eq!(u16::from_le_bytes(frame[4..6].try_into().unwrap()), 2);
+    match read_response(&mut frame.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap() {
+        Response::Stats(s) => assert_eq!(s.artifacts, 1),
+        other => panic!("expected Stats, got {other:?}"),
+    }
+
+    drop(stream);
+    handle.shutdown();
 }
 
 /// Recomputes the header checksum after a deliberate header edit.

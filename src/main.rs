@@ -46,7 +46,7 @@ use three_roles::core::{Lit, Var};
 use three_roles::engine::StatsSnapshot;
 use three_roles::engine::{
     eval_benchmark, load_binary, load_nnf, save_binary, save_nnf, save_vtree, serving_benchmark,
-    Engine, Executor, Query, QueryAnswer, Validation,
+    Engine, Executor, ParallelPolicy, Query, QueryAnswer, Validation, DEFAULT_LAYERED_MIN_NODES,
 };
 use three_roles::nnf::{Circuit, LitWeights};
 use three_roles::obs::{LatencySummary, StderrJsonExporter};
@@ -92,8 +92,8 @@ USAGE:
                     [--weight LIT=W]... [--under LIT]... [--batch FILE]
                     [--workers N] [--trust]
   three-roles serve <addr> [--workers N] [--budget NODES] [--max-conns N]
-                    [--queue N] [--timeout-secs S] [--idle-poll-ms MS]
-                    [--slow-ms MS] [--obs-log]
+                    [--queue N] [--timeout-secs S] [--reactors N]
+                    [--layer-parallel] [--slow-ms MS] [--obs-log]
   three-roles client <addr> ping | stats [--watch] | shutdown
   three-roles client <addr> compile <cnf>
   three-roles client <addr> query <cnf> [query flags as above]
@@ -133,11 +133,15 @@ SERVE (TCP frontend; `client query` answers are bit-identical to `query`):
                      connections wait in the accept queue, none are dropped
   --queue N          submission-queue capacity (default 1024); a full queue
                      rejects requests with a typed `overloaded` error
-  --timeout-secs S   per-request read/write deadline (default 30)
-  --idle-poll-ms MS  idle connection poll interval (default 25); each
-                     expiry with no request pending counts an idle wakeup
+  --timeout-secs S   per-frame read/write stall deadline (default 30)
+  --reactors N       event-loop threads connections are sharded across
+                     (default: derived from available cores, capped at 4)
+  --layer-parallel   opt in to layered intra-query parallelism for large
+                     circuits (default off: lane-batched sweeps only)
+  --idle-poll-ms MS  deprecated, ignored: the readiness-driven server has
+                     no idle-poll loop (accepted so old invocations work)
   --slow-ms MS       log requests slower than MS to stderr as JSON lines
-                     with a read/handle/write span breakdown (default: off)
+                     (default: off)
   --obs-log          stream every finished span to stderr as JSON lines
 
 CLIENT (speaks the trl-server wire protocol to a running `serve`):
@@ -523,20 +527,34 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         config.read_timeout = Duration::from_secs(secs);
         config.write_timeout = Duration::from_secs(secs);
     }
+    if let Some(n) = take_value(&mut args, "--reactors")? {
+        config.reactors = parse_num(&n, "reactor count")?;
+    }
     if let Some(ms) = take_value(&mut args, "--idle-poll-ms")? {
+        // Still parsed so existing invocations don't break, but the
+        // readiness-driven server has nothing to poll.
         let ms: u64 = parse_num(&ms, "idle-poll interval")?;
         config.idle_poll = Duration::from_millis(ms.max(1));
+        eprintln!("note: --idle-poll-ms is deprecated and ignored; the server is readiness-driven");
     }
     if let Some(ms) = take_value(&mut args, "--slow-ms")? {
         let ms: u64 = parse_num(&ms, "slow-query threshold")?;
         config.slow_query = Some(Duration::from_millis(ms));
     }
+    let layer_parallel = take_flag(&mut args, "--layer-parallel");
     if take_flag(&mut args, "--obs-log") {
         three_roles::obs::set_subscriber(Some(std::sync::Arc::new(StderrJsonExporter)));
     }
     let addr = take_positional(args, "listen address")?;
 
     let engine = std::sync::Arc::new(Engine::new(budget, workers));
+    if layer_parallel {
+        engine
+            .executor()
+            .set_parallel_policy(ParallelPolicy::Layered {
+                min_nodes: DEFAULT_LAYERED_MIN_NODES,
+            });
+    }
     let stats = engine.stats();
     let handle =
         Server::bind(addr.as_str(), engine, config).map_err(|e| format!("binding {addr}: {e}"))?;
