@@ -6,7 +6,9 @@
 #                        # no-default-features build+test, docs (warnings
 #                        # are errors), kernel perf smoke (bench_eval --smoke),
 #                        # network serving smoke (serve/client round trip
-#                        # diffed against local answers + bench_net --smoke)
+#                        # diffed against local answers + bench_net --smoke),
+#                        # roles smoke (learn/space/explain over the wire
+#                        # diffed against in-process + bench_roles --smoke)
 #   ci/check.sh --fix    # apply clippy suggestions and rustfmt in place
 #
 # The same commands run in CI; keep them byte-for-byte in sync.
@@ -145,5 +147,62 @@ awk '
         if (hist != total) { print "obs-smoke: histogram count " hist " != total " total; exit 1 }
     }
 ' "$net_dir/obs.prom"
+
+# Roles smoke: the paper's other two roles over the wire. Learn a tiny
+# PSDD, compile a structured space and a classifier on a live server, and
+# answer one query of every new kind via the CLI both in-process and
+# through --server; after stripping the latency suffix the two outputs
+# must be byte-identical (floats travel as IEEE-754 bit patterns). Then
+# the per-kind roles load generator must pass its own bit-identity
+# criteria and write BENCH_roles.json.
+cargo build --release --quiet -p trl-bench --bin bench_roles
+printf 'p cnf 4 3\n1 2 0\n-2 3 0\n-1 4 0\n' > "$net_dir/roles.cnf"
+printf '1 -2 3 4 * 2\n-1 2 3 -4\n1 2 3 4 * 0.5\n-1 2 3 4\n' > "$net_dir/roles.data"
+printf '4 0 3\n0 1\n1 3\n0 2\n2 3\n1 2\n' > "$net_dir/roles.graph"
+target/release/three-roles serve 127.0.0.1:0 --workers 2 \
+    > "$net_dir/roles-serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q '^listening on ' "$net_dir/roles-serve.log" && break
+    sleep 0.1
+done
+addr="$(sed -n 's/^listening on //p' "$net_dir/roles-serve.log" | head -n 1)"
+[[ -n "$addr" ]] || { echo "roles-smoke: server never came up" >&2; exit 1; }
+learn_flags=(--data "$net_dir/roles.data" --ll --evidence 3)
+space_flags=(--count --under 1 --top --weight 2=3.0)
+explain_flags=(--instance '1 -2 3 4' --reason --robustness --bias '1 4')
+target/release/three-roles learn "$net_dir/roles.cnf" "${learn_flags[@]}" \
+    > "$net_dir/learn-local.out"
+target/release/three-roles learn "$net_dir/roles.cnf" "${learn_flags[@]}" \
+    --server "$addr" > "$net_dir/learn-net.out"
+target/release/three-roles space "$net_dir/roles.graph" "${space_flags[@]}" \
+    > "$net_dir/space-local.out"
+target/release/three-roles space "$net_dir/roles.graph" "${space_flags[@]}" \
+    --server "$addr" > "$net_dir/space-net.out"
+target/release/three-roles explain "$net_dir/roles.cnf" "${explain_flags[@]}" \
+    > "$net_dir/explain-local.out"
+target/release/three-roles explain "$net_dir/roles.cnf" "${explain_flags[@]}" \
+    --server "$addr" > "$net_dir/explain-net.out"
+for role in learn space explain; do
+    sed 's/ *([0-9.]* us)$//' "$net_dir/$role-local.out" > "$net_dir/$role-local.stripped"
+    sed 's/ *([0-9.]* us)$//' "$net_dir/$role-net.out"   > "$net_dir/$role-net.stripped"
+    if ! diff "$net_dir/$role-local.stripped" "$net_dir/$role-net.stripped"; then
+        echo "roles-smoke: networked $role answers differ from local answers" >&2
+        exit 1
+    fi
+done
+# The stats table must hold a row for every query kind, including the
+# circuit kinds this server never saw (zero-valued rows before first use).
+target/release/three-roles client "$addr" stats > "$net_dir/roles-stats.out"
+for kind in sat model_count wmc psdd_log_likelihood psdd_marginal \
+            space_count space_top sufficient_reason decision_robustness \
+            classifier_bias; do
+    grep -q "    $kind " "$net_dir/roles-stats.out" \
+        || { echo "roles-smoke: stats table is missing the $kind row" >&2; exit 1; }
+done
+target/release/three-roles client "$addr" shutdown > /dev/null
+wait "$serve_pid"
+unset serve_pid
+target/release/bench_roles --smoke
 
 echo "ci/check.sh: OK"

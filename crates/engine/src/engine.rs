@@ -12,12 +12,17 @@
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use crate::error::Result;
+use crate::artifact::{classifier_fingerprint, psdd_fingerprint, space_fingerprint, Artifact};
+use crate::error::{EngineError, Result};
 use crate::executor::{Executor, Query, QueryOutcome, QUERY_KINDS};
 use crate::prepared::PreparedCircuit;
 use crate::registry::{fingerprint, Registry, RegistryStats};
 use trl_obs::MetricsDump;
 use trl_prop::Cnf;
+use trl_psdd::learn::Dataset;
+use trl_psdd::PreparedPsdd;
+use trl_spaces::{Graph, PreparedSpace};
+use trl_xai::PreparedClassifier;
 
 /// One coherent view of a serving engine's counters, taken atomically with
 /// respect to the registry (the executor backlog is an instantaneous gauge).
@@ -103,7 +108,7 @@ impl Engine {
         // fetch costs against what the fetch amortizes away.
         let begin = Instant::now();
         let key = fingerprint(cnf);
-        if let Some(found) = self.lock().get(key) {
+        if let Some(Artifact::Circuit(found)) = self.lock().get(key) {
             let elapsed = begin.elapsed();
             trl_obs::histogram!("engine.registry.hit_us").record(elapsed);
             trl_obs::record_span("engine.registry.hit", elapsed);
@@ -115,15 +120,116 @@ impl Engine {
         let mut registry = self.lock();
         // Count the compile as the miss it served.
         registry.note_miss();
-        registry.insert(key, Arc::clone(&prepared));
+        registry.insert(key, Artifact::Circuit(Arc::clone(&prepared)));
         let elapsed = begin.elapsed();
         trl_obs::histogram!("engine.registry.compile_us").record(elapsed);
         trl_obs::record_span("engine.registry.compile", elapsed);
         (key, prepared)
     }
 
+    /// Learns a PSDD from CNF knowledge plus a weighted complete dataset
+    /// (role 2), registering it under a kind-salted fingerprint of the
+    /// whole learn request. A repeated identical request is a registry
+    /// hit — the compile-once/query-many contract applied to learning.
+    ///
+    /// Like [`Engine::compile`], the learn itself runs outside the
+    /// registry lock; wire-visible progress counters
+    /// (`engine.learn.jobs`, `engine.learn.examples`,
+    /// `engine.learn.train_us`) tick as jobs run, so a `stats` frame
+    /// observes learning activity while it happens.
+    pub fn learn_psdd(
+        &self,
+        cnf: &Cnf,
+        data: &Dataset,
+        alpha: f64,
+    ) -> Result<(u64, Arc<PreparedPsdd>)> {
+        let begin = Instant::now();
+        let key = psdd_fingerprint(cnf, data, alpha);
+        if let Some(Artifact::Psdd(found)) = self.lock().get(key) {
+            trl_obs::histogram!("engine.registry.hit_us").record(begin.elapsed());
+            return Ok((key, found));
+        }
+        trl_obs::counter!("engine.learn.jobs").inc();
+        let prepared = Arc::new(
+            PreparedPsdd::learn_from_cnf(cnf, data, alpha)
+                .map_err(|e| EngineError::Structure(e.to_string()))?,
+        );
+        trl_obs::counter!("engine.learn.examples").add(data.len() as u64);
+        trl_obs::histogram!("engine.learn.train_us").record(begin.elapsed());
+        let mut registry = self.lock();
+        registry.note_miss();
+        registry.insert(key, Artifact::Psdd(Arc::clone(&prepared)));
+        Ok((key, prepared))
+    }
+
+    /// Compiles the space of simple `s`–`t` paths of a graph (role 2),
+    /// registering it under a kind-salted fingerprint of the graph shape
+    /// and endpoints.
+    pub fn compile_space(
+        &self,
+        num_nodes: usize,
+        edges: &[(u32, u32)],
+        s: u32,
+        t: u32,
+    ) -> Result<(u64, Arc<PreparedSpace>)> {
+        if s == t {
+            return Err(EngineError::Structure(
+                "source and destination must differ".to_string(),
+            ));
+        }
+        for &(a, b) in edges {
+            if a as usize >= num_nodes || b as usize >= num_nodes || a == b {
+                return Err(EngineError::Structure(format!(
+                    "edge ({a}, {b}) invalid for a graph of {num_nodes} nodes"
+                )));
+            }
+        }
+        if s as usize >= num_nodes || t as usize >= num_nodes {
+            return Err(EngineError::Structure(format!(
+                "endpoints ({s}, {t}) outside a graph of {num_nodes} nodes"
+            )));
+        }
+        let begin = Instant::now();
+        let key = space_fingerprint(num_nodes, edges, s, t);
+        if let Some(Artifact::Space(found)) = self.lock().get(key) {
+            trl_obs::histogram!("engine.registry.hit_us").record(begin.elapsed());
+            return Ok((key, found));
+        }
+        let graph = Graph::new(
+            num_nodes,
+            edges
+                .iter()
+                .map(|&(a, b)| (a as usize, b as usize))
+                .collect(),
+        );
+        let prepared = Arc::new(PreparedSpace::compile(graph, s as usize, t as usize));
+        trl_obs::histogram!("engine.registry.compile_us").record(begin.elapsed());
+        let mut registry = self.lock();
+        registry.note_miss();
+        registry.insert(key, Artifact::Space(Arc::clone(&prepared)));
+        Ok((key, prepared))
+    }
+
+    /// Compiles a classifier's decision function (role 3), registering it
+    /// under a kind-salted fingerprint so the same CNF compiled as a plain
+    /// circuit stays a distinct entry.
+    pub fn compile_classifier(&self, cnf: &Cnf) -> (u64, Arc<PreparedClassifier>) {
+        let begin = Instant::now();
+        let key = classifier_fingerprint(cnf);
+        if let Some(Artifact::Classifier(found)) = self.lock().get(key) {
+            trl_obs::histogram!("engine.registry.hit_us").record(begin.elapsed());
+            return (key, found);
+        }
+        let prepared = Arc::new(PreparedClassifier::compile(cnf));
+        trl_obs::histogram!("engine.registry.compile_us").record(begin.elapsed());
+        let mut registry = self.lock();
+        registry.note_miss();
+        registry.insert(key, Artifact::Classifier(Arc::clone(&prepared)));
+        (key, prepared)
+    }
+
     /// The artifact under a registry key, if still resident (touches LRU).
-    pub fn get(&self, key: u64) -> Option<Arc<PreparedCircuit>> {
+    pub fn get(&self, key: u64) -> Option<Artifact> {
         self.lock().get(key)
     }
 
@@ -150,6 +256,31 @@ impl Engine {
         F: FnOnce(Vec<QueryOutcome>) + Send + 'static,
     {
         self.executor.submit_batch(circuit, queries, on_done)
+    }
+
+    /// Validates and answers a batch against any typed artifact
+    /// ([`Executor::try_run_artifact_batch`]).
+    pub fn run_artifact_batch(
+        &self,
+        artifact: &Artifact,
+        queries: Vec<Query>,
+    ) -> Result<Vec<QueryOutcome>> {
+        self.executor.try_run_artifact_batch(artifact, queries)
+    }
+
+    /// Validates and submits a batch against any typed artifact without
+    /// blocking ([`Executor::submit_artifact_batch`]).
+    pub fn submit_artifact_batch<F>(
+        &self,
+        artifact: &Artifact,
+        queries: Vec<Query>,
+        on_done: F,
+    ) -> Result<()>
+    where
+        F: FnOnce(Vec<QueryOutcome>) + Send + 'static,
+    {
+        self.executor
+            .submit_artifact_batch(artifact, queries, on_done)
     }
 
     /// The shared executor (for callers that manage circuits themselves).
@@ -237,6 +368,48 @@ mod tests {
         let engine = Engine::new(1 << 20, None);
         let expect = std::thread::available_parallelism().map_or(1, |p| p.get());
         assert_eq!(engine.stats().workers, expect);
+    }
+
+    #[test]
+    fn learn_space_and_classifier_register_and_hit() {
+        use trl_core::Assignment;
+        let engine = Engine::new(1 << 20, Some(2));
+        let data = vec![(Assignment::from_values(&[false, false, false]), 2.0)];
+        let (pkey, psdd) = engine.learn_psdd(&cnf(), &data, 0.1).unwrap();
+        let (pkey2, psdd2) = engine.learn_psdd(&cnf(), &data, 0.1).unwrap();
+        assert_eq!(pkey, pkey2);
+        assert!(Arc::ptr_eq(&psdd, &psdd2), "second learn is a registry hit");
+        let (skey, space) = engine.compile_space(3, &[(0, 1), (1, 2)], 0, 2).unwrap();
+        assert_eq!(space.path_count(), 1);
+        let (ckey, _clf) = engine.compile_classifier(&cnf());
+        let (circuit_key, _circuit) = engine.compile(&cnf());
+        assert_ne!(ckey, circuit_key, "classifier key is kind-salted");
+        assert_eq!(engine.stats().artifacts, 4);
+        // Typed retrieval round-trips through `get`.
+        assert!(matches!(engine.get(pkey), Some(Artifact::Psdd(_))));
+        assert!(matches!(engine.get(skey), Some(Artifact::Space(_))));
+        assert!(matches!(engine.get(ckey), Some(Artifact::Classifier(_))));
+        assert!(matches!(
+            engine.get(circuit_key),
+            Some(Artifact::Circuit(_))
+        ));
+        // And batches dispatch against the typed artifact.
+        let art = engine.get(skey).unwrap();
+        let outcomes = engine
+            .run_artifact_batch(
+                &art,
+                vec![Query::SpaceCount(trl_core::PartialAssignment::new(2))],
+            )
+            .unwrap();
+        assert_eq!(outcomes[0].answer.model_count(), Some(1));
+    }
+
+    #[test]
+    fn space_requests_validated() {
+        let engine = Engine::new(1 << 20, Some(1));
+        assert!(engine.compile_space(3, &[(0, 1)], 0, 0).is_err());
+        assert!(engine.compile_space(3, &[(0, 5)], 0, 2).is_err());
+        assert!(engine.compile_space(3, &[(0, 1)], 0, 7).is_err());
     }
 
     #[test]

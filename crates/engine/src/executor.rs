@@ -29,9 +29,10 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::artifact::{Artifact, ArtifactKind};
 use crate::error::{EngineError, Result};
 use crate::prepared::PreparedCircuit;
-use trl_core::{Assignment, PartialAssignment};
+use trl_core::{Assignment, Cube, PartialAssignment, Var};
 use trl_nnf::{LitWeights, LANES};
 
 /// The node count [`ParallelPolicy::Layered`] historically switched at.
@@ -77,13 +78,27 @@ impl ParallelPolicy {
 /// order of per-kind serving stats ([`Executor::served_by_kind`], the
 /// `requests_served` table in the stats snapshot, and the
 /// `engine.requests.*` / `engine.latency.*_us` metric families).
-pub const QUERY_KINDS: [&str; 6] = [
+///
+/// The first six rows are role-1 circuit queries; the rest are the roles
+/// subsystem: PSDD queries (role 2, learning), structured-space queries
+/// (role 2, combinatorial spaces), and classifier meta-reasoning queries
+/// (role 3). Every row's counter and latency histogram is registered
+/// eagerly at [`Executor::new`], so stats tables and Prometheus scrapes
+/// show zero-valued rows before a kind's first use.
+pub const QUERY_KINDS: [&str; 13] = [
     "sat",
     "model_count",
     "model_count_under",
     "wmc",
     "marginals",
     "max_weight",
+    "psdd_log_likelihood",
+    "psdd_marginal",
+    "space_count",
+    "space_top",
+    "sufficient_reason",
+    "decision_robustness",
+    "classifier_bias",
 ];
 
 /// One inference request against a compiled circuit.
@@ -103,32 +118,92 @@ pub enum Query {
     /// Maximum assignment weight and a maximizer (MPE once weights encode
     /// probabilities).
     MaxWeight(LitWeights),
+    /// Log-likelihood of a weighted complete dataset under a learned PSDD
+    /// (role 2).
+    PsddLogLikelihood(Vec<(Assignment, f64)>),
+    /// Marginal probability of evidence under a learned PSDD (role 2).
+    PsddMarginal(PartialAssignment),
+    /// Number of objects in a compiled structured space consistent with
+    /// the evidence (role 2).
+    SpaceCount(PartialAssignment),
+    /// Maximum-weight object of a compiled structured space (role 2).
+    SpaceTop(LitWeights),
+    /// The decision on an instance and one shortest sufficient reason for
+    /// it (role 3).
+    SufficientReason(Assignment),
+    /// Minimum feature flips that change a classifier's decision (role 3).
+    DecisionRobustness(Assignment),
+    /// Whether a classifier decides differently on some instance when only
+    /// the protected features change (role 3).
+    ClassifierBias(Vec<Var>),
 }
 
 impl Query {
-    /// Checks that the query is well-formed for a circuit over `num_vars`
-    /// variables (weighted queries and evidence must cover the universe).
+    /// Checks that the query is well-formed for an artifact over
+    /// `num_vars` variables (weighted queries, evidence, instances, and
+    /// datasets must cover the universe).
     pub fn validate(&self, num_vars: usize) -> Result<()> {
+        let undersized_evidence = |what: &str, len: usize| {
+            Err(EngineError::Structure(format!(
+                "{what} covers {len} variables but the artifact has {num_vars}"
+            )))
+        };
         let weights = match self {
             Query::Sat | Query::ModelCount => return Ok(()),
-            Query::ModelCountUnder(pa) => {
+            Query::ModelCountUnder(pa) | Query::PsddMarginal(pa) | Query::SpaceCount(pa) => {
                 if pa.len() < num_vars {
-                    return Err(EngineError::Structure(format!(
-                        "evidence covers {} variables but the circuit has {num_vars}",
-                        pa.len()
-                    )));
+                    return undersized_evidence("evidence", pa.len());
                 }
                 return Ok(());
             }
-            Query::Wmc(w) | Query::Marginals(w) | Query::MaxWeight(w) => w,
+            Query::SufficientReason(x) | Query::DecisionRobustness(x) => {
+                if x.len() < num_vars {
+                    return undersized_evidence("instance", x.len());
+                }
+                return Ok(());
+            }
+            Query::PsddLogLikelihood(data) => {
+                for (a, _) in data {
+                    if a.len() < num_vars {
+                        return undersized_evidence("dataset example", a.len());
+                    }
+                }
+                return Ok(());
+            }
+            Query::ClassifierBias(protected) => {
+                for v in protected {
+                    if v.index() >= num_vars {
+                        return Err(EngineError::Structure(format!(
+                            "protected variable {} outside the artifact's {num_vars} features",
+                            v.index()
+                        )));
+                    }
+                }
+                return Ok(());
+            }
+            Query::Wmc(w) | Query::Marginals(w) | Query::MaxWeight(w) | Query::SpaceTop(w) => w,
         };
         if weights.num_vars() < num_vars {
-            return Err(EngineError::Structure(format!(
-                "weights cover {} variables but the circuit has {num_vars}",
-                weights.num_vars()
-            )));
+            return undersized_evidence("weights", weights.num_vars());
         }
         Ok(())
+    }
+
+    /// The artifact kind this query runs against.
+    pub fn artifact_kind(&self) -> ArtifactKind {
+        match self {
+            Query::Sat
+            | Query::ModelCount
+            | Query::ModelCountUnder(_)
+            | Query::Wmc(_)
+            | Query::Marginals(_)
+            | Query::MaxWeight(_) => ArtifactKind::Circuit,
+            Query::PsddLogLikelihood(_) | Query::PsddMarginal(_) => ArtifactKind::Psdd,
+            Query::SpaceCount(_) | Query::SpaceTop(_) => ArtifactKind::Space,
+            Query::SufficientReason(_)
+            | Query::DecisionRobustness(_)
+            | Query::ClassifierBias(_) => ArtifactKind::Classifier,
+        }
     }
 
     /// A short name for logs and benchmark tables.
@@ -145,6 +220,13 @@ impl Query {
             Query::Wmc(_) => 3,
             Query::Marginals(_) => 4,
             Query::MaxWeight(_) => 5,
+            Query::PsddLogLikelihood(_) => 6,
+            Query::PsddMarginal(_) => 7,
+            Query::SpaceCount(_) => 8,
+            Query::SpaceTop(_) => 9,
+            Query::SufficientReason(_) => 10,
+            Query::DecisionRobustness(_) => 11,
+            Query::ClassifierBias(_) => 12,
         }
     }
 
@@ -164,7 +246,7 @@ impl Query {
             Query::ModelCountUnder(_) => 1,
             Query::Wmc(_) => 2,
             Query::Marginals(_) => 3,
-            Query::Sat | Query::MaxWeight(_) => usize::MAX,
+            _ => usize::MAX,
         }
     }
 }
@@ -174,7 +256,8 @@ impl Query {
 pub enum QueryAnswer {
     /// Answer to [`Query::Sat`].
     Sat(bool),
-    /// Answer to [`Query::ModelCount`] and [`Query::ModelCountUnder`].
+    /// Answer to [`Query::ModelCount`], [`Query::ModelCountUnder`], and
+    /// [`Query::SpaceCount`].
     ModelCount(u128),
     /// Answer to [`Query::Wmc`].
     Wmc(f64),
@@ -185,8 +268,27 @@ pub enum QueryAnswer {
         /// Per variable: `(WMC(Δ∧v), WMC(Δ∧¬v))`.
         marginals: Vec<(f64, f64)>,
     },
-    /// Answer to [`Query::MaxWeight`]: `None` iff unsatisfiable.
+    /// Answer to [`Query::MaxWeight`] and [`Query::SpaceTop`]: `None` iff
+    /// the space is empty.
     MaxWeight(Option<(f64, Assignment)>),
+    /// Answer to [`Query::PsddLogLikelihood`].
+    LogLikelihood(f64),
+    /// Answer to [`Query::PsddMarginal`].
+    Probability(f64),
+    /// Answer to [`Query::SufficientReason`]: the decision and one
+    /// shortest sufficient reason (`None` only for an unsatisfiable
+    /// target).
+    Reason {
+        /// The classifier's decision on the instance.
+        decision: bool,
+        /// A minimal cube of instance literals guaranteeing the decision.
+        reason: Option<Cube>,
+    },
+    /// Answer to [`Query::DecisionRobustness`]: `None` for constant
+    /// classifiers.
+    Robustness(Option<u32>),
+    /// Answer to [`Query::ClassifierBias`].
+    Bias(bool),
 }
 
 impl QueryAnswer {
@@ -274,12 +376,12 @@ impl Pending {
 /// Served-by-kind counters, shared between the executor handle and
 /// in-flight batch completions.
 struct ExecutorStats {
-    served_by_kind: [AtomicU64; 6],
+    served_by_kind: [AtomicU64; QUERY_KINDS.len()],
 }
 
 /// A group of same-kind queries shipped to one worker as a unit.
 struct Job {
-    circuit: Arc<PreparedCircuit>,
+    artifact: Artifact,
     /// Submission indices, parallel to `queries`.
     indices: Vec<usize>,
     queries: Vec<Query>,
@@ -295,7 +397,7 @@ struct Job {
 /// The `engine.requests.<kind>` counter for a [`Query::kind_index`] row,
 /// resolved once per kind for the process.
 fn kind_counter(kind: usize) -> &'static trl_obs::Counter {
-    static HANDLES: OnceLock<[&'static trl_obs::Counter; 6]> = OnceLock::new();
+    static HANDLES: OnceLock<[&'static trl_obs::Counter; QUERY_KINDS.len()]> = OnceLock::new();
     HANDLES.get_or_init(|| {
         std::array::from_fn(|i| trl_obs::counter(&format!("engine.requests.{}", QUERY_KINDS[i])))
     })[kind]
@@ -303,7 +405,7 @@ fn kind_counter(kind: usize) -> &'static trl_obs::Counter {
 
 /// The `engine.latency.<kind>_us` histogram for a kind row.
 fn kind_histogram(kind: usize) -> &'static trl_obs::Histogram {
-    static HANDLES: OnceLock<[&'static trl_obs::Histogram; 6]> = OnceLock::new();
+    static HANDLES: OnceLock<[&'static trl_obs::Histogram; QUERY_KINDS.len()]> = OnceLock::new();
     HANDLES.get_or_init(|| {
         std::array::from_fn(|i| {
             trl_obs::histogram(&format!("engine.latency.{}_us", QUERY_KINDS[i]))
@@ -348,12 +450,22 @@ impl Executor {
                     .expect("spawn worker thread")
             })
             .collect();
+        // Register every per-kind counter and latency histogram up front:
+        // stats tables and Prometheus scrapes must show zero-valued rows
+        // for kinds that have not been exercised yet, with no
+        // dynamic-label gaps when a new kind first fires.
+        for kind in 0..QUERY_KINDS.len() {
+            kind_counter(kind);
+            kind_histogram(kind);
+        }
+        let _ = trl_obs::counter!("engine.batches");
+        let _ = trl_obs::counter!("engine.requests");
         Executor {
             tx: Some(tx),
             workers: handles,
             in_flight,
             stats: Arc::new(ExecutorStats {
-                served_by_kind: [const { AtomicU64::new(0) }; 6],
+                served_by_kind: [const { AtomicU64::new(0) }; QUERY_KINDS.len()],
             }),
             layered_min_nodes: AtomicUsize::new(0),
         }
@@ -378,7 +490,13 @@ impl Executor {
             };
             trl_obs::histogram!("engine.queue_wait_us").record(job.submitted.elapsed());
             let start = Instant::now();
-            let answers = job.circuit.answer_batch(&job.queries, job.layer_threads);
+            let answers = match job.artifact.as_circuit() {
+                Some(circuit) => circuit.answer_batch(&job.queries, job.layer_threads),
+                // Role-2/3 artifacts have no lane-batched kernels; answer
+                // each query through the prepared form's `&self` entry
+                // point.
+                None => job.queries.iter().map(|q| job.artifact.answer(q)).collect(),
+            };
             let latency = start.elapsed();
             trl_obs::histogram!("engine.service_us").record(latency);
             {
@@ -409,7 +527,7 @@ impl Executor {
 
     /// Queries answered since construction, one row per [`QUERY_KINDS`]
     /// entry.
-    pub fn served_by_kind(&self) -> [u64; 6] {
+    pub fn served_by_kind(&self) -> [u64; QUERY_KINDS.len()] {
         std::array::from_fn(|i| self.stats.served_by_kind[i].load(Ordering::Relaxed))
     }
 
@@ -456,25 +574,25 @@ impl Executor {
         circuit: &Arc<PreparedCircuit>,
         queries: Vec<Query>,
     ) -> Result<Vec<QueryOutcome>> {
+        self.try_run_artifact_batch(&Artifact::Circuit(Arc::clone(circuit)), queries)
+    }
+
+    /// [`Executor::try_run_batch`] against any typed artifact.
+    pub fn try_run_artifact_batch(
+        &self,
+        artifact: &Artifact,
+        queries: Vec<Query>,
+    ) -> Result<Vec<QueryOutcome>> {
         let (done_tx, done_rx) = channel();
-        self.submit_batch(circuit, queries, move |outcomes| {
+        self.submit_artifact_batch(artifact, queries, move |outcomes| {
             // The submitter may have given up waiting; that's its business.
             let _ = done_tx.send(outcomes);
         })?;
         Ok(done_rx.recv().expect("a worker died mid-batch"))
     }
 
-    /// Validates and submits a batch without blocking: `on_done` fires on
-    /// a worker thread (or inline, for an empty batch) once every query is
-    /// answered, receiving outcomes in submission order. This is the
-    /// readiness-driven server's path — a reactor thread submits a
-    /// pipelined connection's queries as one batch and keeps polling while
-    /// the pool works.
-    ///
-    /// Queries of the same counting kind are grouped and each group split
-    /// into lane-aligned chunks across the pool (or handed whole to a
-    /// layer-parallel sweep when the active [`ParallelPolicy`] says the
-    /// circuit is wide enough); SAT and MPE queries run individually.
+    /// Validates and submits a circuit batch without blocking — see
+    /// [`Executor::submit_artifact_batch`] for the semantics.
     pub fn submit_batch<F>(
         &self,
         circuit: &Arc<PreparedCircuit>,
@@ -484,8 +602,33 @@ impl Executor {
     where
         F: FnOnce(Vec<QueryOutcome>) + Send + 'static,
     {
+        self.submit_artifact_batch(&Artifact::Circuit(Arc::clone(circuit)), queries, on_done)
+    }
+
+    /// Validates and submits a batch without blocking: `on_done` fires on
+    /// a worker thread (or inline, for an empty batch) once every query is
+    /// answered, receiving outcomes in submission order. This is the
+    /// readiness-driven server's path — a reactor thread submits a
+    /// pipelined connection's queries as one batch and keeps polling while
+    /// the pool works.
+    ///
+    /// Every query must be addressed to the artifact's kind
+    /// ([`Artifact::validate`]). Circuit queries of the same counting kind
+    /// are grouped and each group split into lane-aligned chunks across
+    /// the pool (or handed whole to a layer-parallel sweep when the active
+    /// [`ParallelPolicy`] says the circuit is wide enough); SAT, MPE, and
+    /// every role-2/3 query run individually.
+    pub fn submit_artifact_batch<F>(
+        &self,
+        artifact: &Artifact,
+        queries: Vec<Query>,
+        on_done: F,
+    ) -> Result<()>
+    where
+        F: FnOnce(Vec<QueryOutcome>) + Send + 'static,
+    {
         for q in &queries {
-            q.validate(circuit.num_vars())?;
+            artifact.validate(q)?;
         }
         let n = queries.len();
         let tx = self.tx.as_ref().expect("executor is live until dropped");
@@ -507,9 +650,11 @@ impl Executor {
         }
 
         let workers = self.num_workers();
-        let layered = match self.parallel_policy() {
-            ParallelPolicy::LaneOnly => false,
-            ParallelPolicy::Layered { min_nodes } => circuit.raw().node_count() >= min_nodes,
+        let layered = match (self.parallel_policy(), artifact.as_circuit()) {
+            (ParallelPolicy::Layered { min_nodes }, Some(circuit)) => {
+                circuit.raw().node_count() >= min_nodes
+            }
+            _ => false,
         };
         // `jobs_left` starts at 1: the submitter holds a guard so no job
         // finishing early can finalize the batch before every job is in
@@ -525,7 +670,7 @@ impl Executor {
 
         let send = |indices: Vec<usize>, queries: Vec<Query>, layer_threads: usize| {
             let job = Job {
-                circuit: Arc::clone(circuit),
+                artifact: artifact.clone(),
                 indices,
                 queries,
                 layer_threads,
@@ -777,6 +922,102 @@ mod tests {
         })
         .unwrap();
         assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn role_2_and_3_artifacts_answer_through_the_pool() {
+        use trl_core::Var;
+        let cnf = Cnf::parse_dimacs("p cnf 3 2\n-1 2 0\n-2 3 0\n").unwrap();
+        let data = vec![
+            (Assignment::from_values(&[false, false, false]), 3.0),
+            (Assignment::from_values(&[true, true, true]), 1.0),
+        ];
+        let psdd = Arc::new(trl_psdd::PreparedPsdd::learn_from_cnf(&cnf, &data, 0.1).unwrap());
+        let clf = Arc::new(trl_xai::PreparedClassifier::compile(&cnf));
+        let space = Arc::new(trl_spaces::PreparedSpace::compile(
+            trl_spaces::Graph::new(3, vec![(0, 1), (1, 2), (0, 2)]),
+            0,
+            2,
+        ));
+        let ex = Executor::new(2);
+
+        let mut e = PartialAssignment::new(3);
+        e.assign(Var(2).positive());
+        let art = Artifact::Psdd(Arc::clone(&psdd));
+        let outcomes = ex
+            .try_run_artifact_batch(
+                &art,
+                vec![
+                    Query::PsddLogLikelihood(data.clone()),
+                    Query::PsddMarginal(e.clone()),
+                ],
+            )
+            .unwrap();
+        assert_eq!(
+            outcomes[0].answer,
+            QueryAnswer::LogLikelihood(psdd.log_likelihood(&data))
+        );
+        assert_eq!(
+            outcomes[1].answer,
+            QueryAnswer::Probability(psdd.marginal(&e))
+        );
+
+        let art = Artifact::Space(Arc::clone(&space));
+        let outcomes = ex
+            .try_run_artifact_batch(
+                &art,
+                vec![
+                    Query::SpaceCount(PartialAssignment::new(3)),
+                    Query::SpaceTop(LitWeights::unit(3)),
+                ],
+            )
+            .unwrap();
+        assert_eq!(
+            outcomes[0].answer,
+            QueryAnswer::ModelCount(space.path_count())
+        );
+        assert!(matches!(
+            outcomes[1].answer,
+            QueryAnswer::MaxWeight(Some(_))
+        ));
+
+        let x = Assignment::from_values(&[true, true, true]);
+        let art = Artifact::Classifier(Arc::clone(&clf));
+        let outcomes = ex
+            .try_run_artifact_batch(
+                &art,
+                vec![
+                    Query::SufficientReason(x.clone()),
+                    Query::DecisionRobustness(x.clone()),
+                    Query::ClassifierBias(vec![Var(0)]),
+                ],
+            )
+            .unwrap();
+        let (decision, reason) = clf.sufficient_reason(&x);
+        assert_eq!(outcomes[0].answer, QueryAnswer::Reason { decision, reason });
+        assert_eq!(
+            outcomes[1].answer,
+            QueryAnswer::Robustness(clf.robustness(&x))
+        );
+        assert_eq!(
+            outcomes[2].answer,
+            QueryAnswer::Bias(clf.is_biased(&[Var(0)]))
+        );
+
+        let served = ex.served_by_kind();
+        for kind in 6..QUERY_KINDS.len() {
+            assert!(served[kind] > 0, "kind {} unattributed", QUERY_KINDS[kind]);
+        }
+    }
+
+    #[test]
+    fn kind_mismatch_rejected_before_running() {
+        let ex = Executor::new(1);
+        let result = ex.try_run_artifact_batch(
+            &Artifact::Circuit(prepared()),
+            vec![Query::SpaceCount(PartialAssignment::new(4))],
+        );
+        assert!(matches!(result, Err(EngineError::Structure(_))));
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //!   times through scalar or lane-batched kernels;
 //! * [`registry`] — a bounded LRU artifact store keyed on CNF
 //!   [`fingerprint`], compiling on miss and evicting by retained node count;
+//! * [`artifact`] — [`Artifact`]: the typed registry entry generalizing
+//!   "compiled circuit" to the paper's other two roles — learned PSDDs
+//!   (role 2), compiled structured spaces (role 2), and compiled
+//!   classifiers (role 3) — each with kind-salted fingerprints;
 //! * [`executor`] — a fixed worker pool (std threads + channels) that
 //!   groups compatible [`Query`] values per circuit and answers each group
 //!   with one lane-batched kernel sweep, reporting per-query latency;
@@ -45,6 +49,7 @@
 //! assert_eq!(outcomes[0].answer.model_count(), Some(2));
 //! ```
 
+pub mod artifact;
 pub mod binary;
 pub mod engine;
 pub mod error;
@@ -56,6 +61,9 @@ pub mod serve_bench;
 pub mod text;
 pub mod validate;
 
+pub use artifact::{
+    classifier_fingerprint, psdd_fingerprint, space_fingerprint, Artifact, ArtifactKind,
+};
 pub use binary::{load_binary, read_binary, save_binary, write_binary, FORMAT_VERSION};
 pub use engine::{Engine, StatsSnapshot};
 pub use error::EngineError;

@@ -110,6 +110,15 @@ impl PreparedCircuit {
             Query::MaxWeight(w) => {
                 QueryAnswer::MaxWeight(self.smoothed().max_weight_presmoothed(w))
             }
+            // Role-2/3 queries never reach a circuit: `Query::validate`
+            // only checks universes, but the executor's typed-artifact
+            // dispatch ([`crate::Artifact::validate`]) rejects the kind
+            // mismatch before any answer path runs.
+            _ => panic!(
+                "query kind {} requires a {} artifact, not a circuit",
+                query.kind(),
+                query.artifact_kind().name()
+            ),
         }
     }
 

@@ -1,12 +1,14 @@
-//! The artifact registry: a bounded LRU store of prepared circuits keyed on
-//! CNF fingerprints, compiling on miss.
+//! The artifact registry: a bounded LRU store of typed artifacts keyed on
+//! kind-salted fingerprints, compiling CNF circuits on miss.
 //!
 //! A serving process sees the same formulas again and again; recompiling
 //! per request throws away exactly the work knowledge compilation exists to
 //! amortize. The registry keeps compiled artifacts hot, bounded not by
 //! entry count but by **retained arena nodes** — the unit memory is
 //! actually spent in — and evicts least-recently-used artifacts when a new
-//! compilation would exceed the budget.
+//! compilation would exceed the budget. Since the roles subsystem, an
+//! entry is an [`Artifact`]: a compiled circuit, a learned PSDD, a compiled
+//! space, or a compiled classifier, all under one LRU/budget policy.
 
 use std::sync::Arc;
 
@@ -15,6 +17,7 @@ use trl_compiler::DecisionDnnfCompiler;
 use trl_core::{FxHashMap, FxHasher};
 use trl_prop::Cnf;
 
+use crate::artifact::Artifact;
 use crate::prepared::PreparedCircuit;
 
 /// A 64-bit fingerprint of a CNF: its universe size and every clause's
@@ -46,7 +49,7 @@ pub struct RegistryStats {
     pub evictions: u64,
 }
 
-/// A bounded compile-on-miss store of [`PreparedCircuit`]s.
+/// A bounded compile-on-miss store of typed [`Artifact`]s.
 pub struct Registry {
     compiler: DecisionDnnfCompiler,
     max_retained_nodes: usize,
@@ -54,7 +57,7 @@ pub struct Registry {
     /// charge is snapshotted because a [`PreparedCircuit`]'s footprint
     /// grows when lazy smoothing materializes; re-reading it at eviction
     /// would debit more than was credited and underflow the budget.
-    entries: FxHashMap<u64, (Arc<PreparedCircuit>, usize)>,
+    entries: FxHashMap<u64, (Artifact, usize)>,
     /// LRU order: front is coldest. Registries hold few, large artifacts,
     /// so the O(len) reorder on touch is noise next to a single query.
     order: Vec<u64>,
@@ -81,10 +84,12 @@ impl Registry {
         }
     }
 
-    /// The artifact for `cnf`, compiling and preparing it on miss.
+    /// The circuit for `cnf`, compiling and preparing it on miss. Circuit
+    /// keys are unsalted CNF [`fingerprint`]s, so this can never collide
+    /// with a role-2/3 artifact (their fingerprints are kind-salted).
     pub fn get_or_compile(&mut self, cnf: &Cnf) -> Arc<PreparedCircuit> {
         let key = fingerprint(cnf);
-        if let Some((found, _)) = self.entries.get(&key) {
+        if let Some(found) = self.entries.get(&key).and_then(|(a, _)| a.as_circuit()) {
             let found = Arc::clone(found);
             self.touch(key);
             self.stats.hits += 1;
@@ -92,13 +97,13 @@ impl Registry {
         }
         self.stats.misses += 1;
         let prepared = Arc::new(PreparedCircuit::new(self.compiler.compile(cnf)));
-        self.insert(key, Arc::clone(&prepared));
+        self.insert(key, Artifact::Circuit(Arc::clone(&prepared)));
         prepared
     }
 
     /// The artifact under a fingerprint, if retained. Touches LRU order.
-    pub fn get(&mut self, key: u64) -> Option<Arc<PreparedCircuit>> {
-        let found = self.entries.get(&key).map(|(a, _)| Arc::clone(a));
+    pub fn get(&mut self, key: u64) -> Option<Artifact> {
+        let found = self.entries.get(&key).map(|(a, _)| a.clone());
         if found.is_some() {
             self.touch(key);
             self.stats.hits += 1;
@@ -114,11 +119,11 @@ impl Registry {
         self.stats.misses += 1;
     }
 
-    /// Inserts an externally produced artifact (e.g. one loaded from disk)
-    /// under a fingerprint, then evicts cold entries down to the budget.
-    /// The artifact's current footprint is charged against the budget for
-    /// the rest of its residence.
-    pub fn insert(&mut self, key: u64, artifact: Arc<PreparedCircuit>) {
+    /// Inserts an externally produced artifact (e.g. one loaded from disk,
+    /// or a learned PSDD) under a fingerprint, then evicts cold entries
+    /// down to the budget. The artifact's current footprint is charged
+    /// against the budget for the rest of its residence.
+    pub fn insert(&mut self, key: u64, artifact: Artifact) {
         let charged = artifact.retained_nodes();
         if let Some((_, old_charged)) = self.entries.insert(key, (artifact, charged)) {
             self.retained_nodes -= old_charged;
@@ -278,10 +283,27 @@ mod tests {
         let mut r = Registry::new(1 << 20);
         let a = r.get_or_compile(&cnf);
         let key = fingerprint(&cnf);
-        r.insert(key, Arc::clone(&a));
+        r.insert(key, Artifact::Circuit(Arc::clone(&a)));
         assert_eq!(r.len(), 1);
         assert_eq!(r.retained_nodes(), a.retained_nodes());
         assert!(r.get(key).is_some());
         assert!(r.get(key ^ 1).is_none());
+    }
+
+    #[test]
+    fn mixed_kind_artifacts_share_one_lru_budget() {
+        use crate::artifact::{classifier_fingerprint, Artifact};
+        let cnf = Cnf::parse_dimacs("p cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        let mut r = Registry::new(1 << 20);
+        let circuit = r.get_or_compile(&cnf);
+        let clf = Arc::new(trl_xai::PreparedClassifier::compile(&cnf));
+        let clf_key = classifier_fingerprint(&cnf);
+        let clf_nodes = clf.node_count();
+        r.insert(clf_key, Artifact::Classifier(clf));
+        assert_eq!(r.len(), 2, "same CNF, two kinds, two entries");
+        assert_eq!(r.retained_nodes(), circuit.retained_nodes() + clf_nodes);
+        let got = r.get(clf_key).expect("classifier resident");
+        assert!(got.as_circuit().is_none());
+        assert_eq!(got.kind().name(), "classifier");
     }
 }

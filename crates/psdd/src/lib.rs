@@ -26,7 +26,9 @@ pub mod conditional;
 pub mod infer;
 pub mod learn;
 pub mod multiply;
+pub mod serve;
 pub mod structure;
 
 pub use conditional::ConditionalPsdd;
+pub use serve::{LearnError, PreparedPsdd};
 pub use structure::{Psdd, PsddId, PsddNode};

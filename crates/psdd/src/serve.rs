@@ -1,0 +1,234 @@
+//! Serving-facing prepared form of a learned PSDD (role 2 over the wire).
+//!
+//! The serving stack (`trl-engine` / `trl-server`) keeps artifacts behind
+//! `Arc`s and answers queries from a thread pool, so the prepared form must
+//! be **immutable after construction**: learning happens once, here, and
+//! every later query ([`PreparedPsdd::log_likelihood`],
+//! [`PreparedPsdd::marginal`]) takes `&self`. This mirrors
+//! `PreparedCircuit` in `trl-engine` for role-1 circuits.
+
+use crate::learn::Dataset;
+use crate::Psdd;
+use trl_core::{Assignment, PartialAssignment};
+use trl_prop::Cnf;
+use trl_sdd::{SddManager, SddRef};
+
+/// Why a learn request was rejected before any parameters were estimated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LearnError {
+    /// The knowledge base is unsatisfiable: no distribution exists on an
+    /// empty space.
+    UnsatisfiableSupport,
+    /// The knowledge base has no variables.
+    EmptyUniverse,
+    /// An example's length does not match the knowledge base universe.
+    ExampleLength { example: usize, len: usize },
+    /// An example weight is negative or non-finite.
+    BadWeight { example: usize },
+    /// No example carries positive weight.
+    EmptyDataset,
+}
+
+impl std::fmt::Display for LearnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LearnError::UnsatisfiableSupport => {
+                write!(f, "knowledge base is unsatisfiable; no distribution exists")
+            }
+            LearnError::EmptyUniverse => write!(f, "knowledge base has no variables"),
+            LearnError::ExampleLength { example, len } => {
+                write!(f, "example {example} has {len} values, expected num_vars")
+            }
+            LearnError::BadWeight { example } => {
+                write!(f, "example {example} has a negative or non-finite weight")
+            }
+            LearnError::EmptyDataset => write!(f, "dataset has no positive-weight example"),
+        }
+    }
+}
+
+impl std::error::Error for LearnError {}
+
+/// An immutable, `Arc`-shareable PSDD learned once from knowledge + data.
+///
+/// Construction follows the paper's Fig. 15 recipe end to end: compile the
+/// CNF knowledge base into an SDD (over a balanced vtree), induce the PSDD
+/// structure, then estimate maximum-likelihood parameters from the complete
+/// dataset in one pass. All inference afterwards is `&self`.
+#[derive(Debug)]
+pub struct PreparedPsdd {
+    psdd: Psdd,
+    num_vars: usize,
+    train_log_likelihood: f64,
+    outside_weight: f64,
+}
+
+impl PreparedPsdd {
+    /// Compiles `cnf`, learns ML parameters from `data` with Laplace
+    /// smoothing `alpha`, and freezes the result for serving.
+    pub fn learn_from_cnf(
+        cnf: &Cnf,
+        data: &Dataset,
+        alpha: f64,
+    ) -> Result<PreparedPsdd, LearnError> {
+        let n = cnf.num_vars();
+        if n == 0 {
+            return Err(LearnError::EmptyUniverse);
+        }
+        let mut total_weight = 0.0;
+        for (i, (a, w)) in data.iter().enumerate() {
+            if a.len() != n {
+                return Err(LearnError::ExampleLength {
+                    example: i,
+                    len: a.len(),
+                });
+            }
+            if !w.is_finite() || *w < 0.0 {
+                return Err(LearnError::BadWeight { example: i });
+            }
+            total_weight += w;
+        }
+        if total_weight <= 0.0 {
+            return Err(LearnError::EmptyDataset);
+        }
+        let mut manager = SddManager::balanced(n);
+        let root = manager.build_cnf(cnf);
+        if root == SddRef::False {
+            return Err(LearnError::UnsatisfiableSupport);
+        }
+        let mut psdd = Psdd::from_sdd(&manager, root);
+        let outside_weight = psdd.learn(data, alpha);
+        let train_log_likelihood = psdd.log_likelihood(data);
+        Ok(PreparedPsdd {
+            psdd,
+            num_vars: n,
+            train_log_likelihood,
+            outside_weight,
+        })
+    }
+
+    /// The learned PSDD.
+    pub fn psdd(&self) -> &Psdd {
+        &self.psdd
+    }
+
+    /// Number of variables in the universe.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of PSDD nodes (the registry charges this as retained size).
+    pub fn node_count(&self) -> usize {
+        self.psdd.node_count()
+    }
+
+    /// Log-likelihood of the training data at the learned parameters
+    /// (`-inf` when positive-weight examples fell outside the support).
+    pub fn train_log_likelihood(&self) -> f64 {
+        self.train_log_likelihood
+    }
+
+    /// Total training weight that fell outside the support and was ignored.
+    pub fn outside_weight(&self) -> f64 {
+        self.outside_weight
+    }
+
+    /// Log-likelihood of a held-out weighted dataset (`Σ w·ln Pr(a)`).
+    pub fn log_likelihood(&self, data: &[(Assignment, f64)]) -> f64 {
+        self.psdd.log_likelihood(data)
+    }
+
+    /// Marginal probability of the evidence (`Pr(e)`), linear in the PSDD.
+    pub fn marginal(&self, e: &PartialAssignment) -> f64 {
+        self.psdd.marginal(e)
+    }
+
+    /// Probability of one complete assignment.
+    pub fn probability(&self, a: &Assignment) -> f64 {
+        self.psdd.probability(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_core::{Lit, Var};
+
+    fn chain_cnf() -> Cnf {
+        // x1 -> x2, x2 -> x3 over 3 variables: 4 models.
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause([Lit::new(Var(0), false), Lit::new(Var(1), true)]);
+        cnf.add_clause([Lit::new(Var(1), false), Lit::new(Var(2), true)]);
+        cnf
+    }
+
+    fn dataset() -> Dataset {
+        vec![
+            (Assignment::from_values(&[false, false, false]), 4.0),
+            (Assignment::from_values(&[false, true, true]), 2.0),
+            (Assignment::from_values(&[true, true, true]), 1.0),
+        ]
+    }
+
+    #[test]
+    fn learned_distribution_normalizes_over_enumerated_models() {
+        let p = PreparedPsdd::learn_from_cnf(&chain_cnf(), &dataset(), 0.0).unwrap();
+        let total: f64 = (0..1u64 << 3)
+            .map(|code| p.probability(&Assignment::from_index(code, 3)))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12, "total probability {total}");
+    }
+
+    #[test]
+    fn marginal_matches_brute_force_enumeration() {
+        let p = PreparedPsdd::learn_from_cnf(&chain_cnf(), &dataset(), 0.1).unwrap();
+        let e = crate::infer::partial(3, &[(Var(1), true)]);
+        let brute: f64 = (0..1u64 << 3)
+            .map(|code| Assignment::from_index(code, 3))
+            .filter(|a| a.value(Var(1)))
+            .map(|a| p.probability(&a))
+            .sum();
+        assert!((p.marginal(&e) - brute).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_likelihood_matches_sum_of_example_log_probabilities() {
+        let p = PreparedPsdd::learn_from_cnf(&chain_cnf(), &dataset(), 0.5).unwrap();
+        let data = dataset();
+        let by_hand: f64 = data.iter().map(|(a, w)| w * p.probability(a).ln()).sum();
+        assert!((p.log_likelihood(&data) - by_hand).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_unsatisfiable_knowledge() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause([Lit::new(Var(0), true)]);
+        cnf.add_clause([Lit::new(Var(0), false)]);
+        let err = PreparedPsdd::learn_from_cnf(&cnf, &dataset_n(2), 0.0).unwrap_err();
+        assert_eq!(err, LearnError::UnsatisfiableSupport);
+    }
+
+    #[test]
+    fn rejects_wrong_length_examples_and_bad_weights() {
+        let cnf = chain_cnf();
+        let short = vec![(Assignment::all_false(2), 1.0)];
+        assert!(matches!(
+            PreparedPsdd::learn_from_cnf(&cnf, &short, 0.0),
+            Err(LearnError::ExampleLength { example: 0, len: 2 })
+        ));
+        let bad = vec![(Assignment::all_false(3), f64::NAN)];
+        assert!(matches!(
+            PreparedPsdd::learn_from_cnf(&cnf, &bad, 0.0),
+            Err(LearnError::BadWeight { example: 0 })
+        ));
+        let empty: Dataset = vec![];
+        assert!(matches!(
+            PreparedPsdd::learn_from_cnf(&cnf, &empty, 0.0),
+            Err(LearnError::EmptyDataset)
+        ));
+    }
+
+    fn dataset_n(n: usize) -> Dataset {
+        vec![(Assignment::all_false(n), 1.0)]
+    }
+}

@@ -78,6 +78,45 @@ pub struct CompiledSummary {
     pub edges: u32,
 }
 
+/// Summary of a learned PSDD, from [`Response::Learned`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LearnedSummary {
+    /// Registry key addressing the PSDD in query requests.
+    pub key: u64,
+    /// Variables in the PSDD's universe.
+    pub num_vars: u32,
+    /// Nodes in the learned PSDD.
+    pub nodes: u32,
+    /// Training-set log-likelihood under the learned parameters.
+    pub log_likelihood: f64,
+}
+
+/// Summary of a compiled structured space, from
+/// [`Response::SpaceCompiled`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpaceSummary {
+    /// Registry key addressing the space in query requests.
+    pub key: u64,
+    /// Edge variables in the space's universe.
+    pub num_edge_vars: u32,
+    /// Nodes in the compiled space.
+    pub nodes: u32,
+    /// Simple `s`–`t` paths the space contains.
+    pub paths: u128,
+}
+
+/// Summary of a compiled classifier, from
+/// [`Response::ClassifierCompiled`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClassifierSummary {
+    /// Registry key addressing the classifier in query requests.
+    pub key: u64,
+    /// Features in the classifier's universe.
+    pub num_vars: u32,
+    /// Nodes in the compiled classifier.
+    pub nodes: u32,
+}
+
 /// One blocking connection to a `trl-server`.
 pub struct Client {
     stream: TcpStream,
@@ -154,6 +193,88 @@ impl Client {
             }),
             _ => Err(ClientError::UnexpectedResponse {
                 expected: "compiled",
+            }),
+        }
+    }
+
+    /// Learns (or fetches, if the server already holds it) a PSDD over
+    /// `cnf`'s support from a weighted complete dataset (protocol
+    /// version 4), returning the registry key for query requests.
+    pub fn learn_psdd(
+        &mut self,
+        cnf: &Cnf,
+        data: &[(trl_core::Assignment, f64)],
+        alpha: f64,
+    ) -> Result<LearnedSummary> {
+        match self.call(&Request::LearnPsdd {
+            cnf: cnf.clone(),
+            alpha,
+            data: data.to_vec(),
+        })? {
+            Response::Learned {
+                key,
+                num_vars,
+                nodes,
+                log_likelihood,
+            } => Ok(LearnedSummary {
+                key,
+                num_vars,
+                nodes,
+                log_likelihood,
+            }),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "learned",
+            }),
+        }
+    }
+
+    /// Compiles (or fetches) the structured space of simple `s`–`t` paths
+    /// of a graph (protocol version 4).
+    pub fn compile_space(
+        &mut self,
+        num_nodes: u32,
+        edges: &[(u32, u32)],
+        s: u32,
+        t: u32,
+    ) -> Result<SpaceSummary> {
+        match self.call(&Request::CompileSpace {
+            num_nodes,
+            edges: edges.to_vec(),
+            s,
+            t,
+        })? {
+            Response::SpaceCompiled {
+                key,
+                num_edge_vars,
+                nodes,
+                paths,
+            } => Ok(SpaceSummary {
+                key,
+                num_edge_vars,
+                nodes,
+                paths,
+            }),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "space compiled",
+            }),
+        }
+    }
+
+    /// Compiles (or fetches) `cnf` as a classifier prepared for
+    /// explanation queries (protocol version 4).
+    pub fn compile_classifier(&mut self, cnf: &Cnf) -> Result<ClassifierSummary> {
+        match self.call(&Request::CompileClassifier(cnf.clone()))? {
+            Response::ClassifierCompiled {
+                key,
+                num_vars,
+                nodes,
+            } => Ok(ClassifierSummary {
+                key,
+                num_vars,
+                nodes,
+            }),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "classifier compiled",
             }),
         }
     }

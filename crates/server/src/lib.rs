@@ -9,11 +9,15 @@
 //! * [`protocol`] — a versioned, length-prefixed, checksummed binary wire
 //!   protocol with typed request/response frames for compile, SAT,
 //!   model-count(-under-evidence), WMC, marginals, MPE, batches, stats,
-//!   and shutdown. Corrupt, truncated, or oversized frames yield typed
+//!   and shutdown — and, since version 4, the paper's other two roles:
+//!   PSDD learning plus log-likelihood/marginal queries (role 2),
+//!   structured-space compilation with count/top queries (role 2), and
+//!   classifier compilation with sufficient-reason, robustness, and bias
+//!   queries (role 3). Corrupt, truncated, or oversized frames yield typed
 //!   [`ProtocolError`]s, never panics, and floats travel as IEEE-754 bit
 //!   patterns so served answers are **bit-identical** to in-process ones;
-//! * [`server`] — a thread-per-connection TCP server with a bounded
-//!   connection-acceptance gate, per-request read/write deadlines, a
+//! * [`server`] — a readiness-driven multiplexed TCP server with a bounded
+//!   connection-acceptance gate, per-connection stall deadlines, a
 //!   bounded submission queue that answers [`WireError::Overloaded`] when
 //!   full (backpressure instead of unbounded buffering), and graceful
 //!   shutdown that stops accepting, drains in-flight requests, and joins
@@ -45,7 +49,9 @@ pub mod protocol;
 pub mod reactor;
 pub mod server;
 
-pub use client::{Client, ClientError, CompiledSummary};
+pub use client::{
+    ClassifierSummary, Client, ClientError, CompiledSummary, LearnedSummary, SpaceSummary,
+};
 pub use protocol::{
     decode_stats_v1_prefix, read_request, read_response, scan_frame, write_request, write_response,
     write_response_versioned, FrameScan, ProtocolError, Request, Response, WireError,

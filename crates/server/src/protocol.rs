@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic  b"TRLW"
-//!      4     2  protocol version (currently 3)
+//!      4     2  protocol version (currently 4)
 //!      6     1  frame kind tag (request 0x01..., response 0x81...)
 //!      7     1  reserved (0)
 //!      8     4  payload length in bytes (u32)
@@ -51,19 +51,35 @@
 //!   response with the version of the request frame it answers
 //!   ([`write_response_versioned`]) — a version-2 client never sees a
 //!   version-3 header.
+//! * **4** — typed artifacts for the paper's other two roles. Three new
+//!   request kinds build non-circuit artifacts: [`Request::LearnPsdd`]
+//!   (kind `0x08`: a CNF support, a Laplace prior, and a weighted complete
+//!   dataset to learn a PSDD from), [`Request::CompileSpace`] (kind
+//!   `0x09`: a graph and terminals whose simple paths become a structured
+//!   space), and [`Request::CompileClassifier`] (kind `0x0a`: a CNF
+//!   compiled for explanation queries). Each is answered by its own
+//!   response kind ([`Response::Learned`] `0x89`,
+//!   [`Response::SpaceCompiled`] `0x8a`, [`Response::ClassifierCompiled`]
+//!   `0x8b`) carrying the registry key the artifact now lives under. The
+//!   existing query/batch/pipelined frames gained seven query tags
+//!   (`6..=12`: PSDD log-likelihood and marginal, space count and top,
+//!   sufficient reason, robustness, bias) and five answer tags (`5..=9`).
+//!   Every version-3 frame kind is encoded exactly as before, readers
+//!   accept versions `1..=4`, and responses keep echoing the request
+//!   frame's version.
 
 use std::fmt;
 use std::hash::Hasher;
 use std::io::{Read, Write};
 
-use trl_core::{Assignment, FxHasher, Lit, PartialAssignment, Var};
+use trl_core::{Assignment, Cube, FxHasher, Lit, PartialAssignment, Var};
 use trl_engine::{Query, QueryAnswer, RegistryStats, StatsSnapshot};
 use trl_nnf::LitWeights;
 use trl_obs::{HistogramSnapshot, MetricValue, MetricsDump};
 use trl_prop::Cnf;
 
 /// The newest protocol version this build speaks.
-pub const PROTOCOL_VERSION: u16 = 3;
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Frame magic: "TRL Wire".
 pub const MAGIC: [u8; 4] = *b"TRLW";
@@ -88,6 +104,9 @@ const KIND_REQ_BATCH: u8 = 0x04;
 const KIND_REQ_STATS: u8 = 0x05;
 const KIND_REQ_SHUTDOWN: u8 = 0x06;
 const KIND_REQ_PIPELINED_BATCH: u8 = 0x07; // version 3
+const KIND_REQ_LEARN_PSDD: u8 = 0x08; // version 4
+const KIND_REQ_COMPILE_SPACE: u8 = 0x09; // version 4
+const KIND_REQ_COMPILE_CLASSIFIER: u8 = 0x0a; // version 4
 
 const KIND_RESP_PONG: u8 = 0x81;
 const KIND_RESP_COMPILED: u8 = 0x82;
@@ -97,6 +116,9 @@ const KIND_RESP_STATS: u8 = 0x85;
 const KIND_RESP_SHUTTING_DOWN: u8 = 0x86;
 const KIND_RESP_ERROR: u8 = 0x87;
 const KIND_RESP_PIPELINED_BATCH: u8 = 0x88; // version 3
+const KIND_RESP_LEARNED: u8 = 0x89; // version 4
+const KIND_RESP_SPACE_COMPILED: u8 = 0x8a; // version 4
+const KIND_RESP_CLASSIFIER_COMPILED: u8 = 0x8b; // version 4
 
 /// Errors that make a frame (and usually the stream carrying it)
 /// unusable. Application-level failures travel as [`WireError`] instead.
@@ -278,6 +300,34 @@ pub enum Request {
         /// The queries, answered in submission order within the batch.
         queries: Vec<Query>,
     },
+    /// **Version 4.** Learn (or fetch, if resident) a PSDD over this CNF
+    /// support from a weighted complete dataset; answered with
+    /// [`Response::Learned`] carrying the registry key.
+    LearnPsdd {
+        /// The support constraint the PSDD respects.
+        cnf: Cnf,
+        /// Laplace smoothing pseudo-count.
+        alpha: f64,
+        /// Weighted complete examples over the CNF's universe.
+        data: Vec<(Assignment, f64)>,
+    },
+    /// **Version 4.** Compile (or fetch) the structured space of simple
+    /// `s`–`t` paths of a graph; answered with [`Response::SpaceCompiled`].
+    CompileSpace {
+        /// Number of graph nodes.
+        num_nodes: u32,
+        /// Undirected edges as node-index pairs; edge `i` becomes
+        /// variable `i` of the space's universe.
+        edges: Vec<(u32, u32)>,
+        /// Source node.
+        s: u32,
+        /// Target node.
+        t: u32,
+    },
+    /// **Version 4.** Compile (or fetch) a CNF as a classifier prepared
+    /// for explanation queries; answered with
+    /// [`Response::ClassifierCompiled`].
+    CompileClassifier(Cnf),
 }
 
 /// A server-to-client message.
@@ -315,6 +365,37 @@ pub enum Response {
         id: u64,
         /// Answers in submission order, or the batch's typed failure.
         result: std::result::Result<Vec<QueryAnswer>, WireError>,
+    },
+    /// **Version 4.** Answer to [`Request::LearnPsdd`].
+    Learned {
+        /// Registry key addressing the learned PSDD in later requests.
+        key: u64,
+        /// Variables in the PSDD's universe.
+        num_vars: u32,
+        /// Nodes in the learned PSDD.
+        nodes: u32,
+        /// Training-set log-likelihood under the learned parameters.
+        log_likelihood: f64,
+    },
+    /// **Version 4.** Answer to [`Request::CompileSpace`].
+    SpaceCompiled {
+        /// Registry key addressing the space in later requests.
+        key: u64,
+        /// Edge variables in the space's universe.
+        num_edge_vars: u32,
+        /// Nodes in the compiled space.
+        nodes: u32,
+        /// Simple `s`–`t` paths the space contains.
+        paths: u128,
+    },
+    /// **Version 4.** Answer to [`Request::CompileClassifier`].
+    ClassifierCompiled {
+        /// Registry key addressing the classifier in later requests.
+        key: u64,
+        /// Features in the classifier's universe.
+        num_vars: u32,
+        /// Nodes in the compiled classifier.
+        nodes: u32,
     },
 }
 
@@ -681,12 +762,69 @@ fn decode_assignment(d: &mut Dec) -> Result<Assignment> {
     Ok(Assignment::from_values(&values))
 }
 
+fn encode_dataset(e: &mut Enc, data: &[(Assignment, f64)]) {
+    e.u32(data.len() as u32);
+    for (a, w) in data {
+        encode_assignment(e, a);
+        e.f64(*w);
+    }
+}
+
+fn decode_dataset(d: &mut Dec) -> Result<Vec<(Assignment, f64)>> {
+    let declared = d.u32()?;
+    // Each example carries at least an assignment length (4) and a
+    // weight (8).
+    let n = d.counted(declared, 12)?;
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a = decode_assignment(d)?;
+        let w = d.f64()?;
+        data.push((a, w));
+    }
+    Ok(data)
+}
+
+fn encode_cube(e: &mut Enc, cube: &Cube) {
+    e.u32(cube.len() as u32);
+    for &l in cube.literals() {
+        e.u32(l.code());
+    }
+}
+
+fn decode_cube(d: &mut Dec) -> Result<Cube> {
+    let declared = d.u32()?;
+    let n = d.counted(declared, 4)?;
+    let mut lits = Vec::with_capacity(n);
+    for _ in 0..n {
+        lits.push(decode_lit(d.u32()?, MAX_UNIVERSE as usize)?);
+    }
+    // `Cube::from_lits` panics on an inconsistent term, so reject one
+    // here — a hostile frame must surface as Malformed, never a panic.
+    let mut sorted = lits.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted.windows(2).any(|w| w[0].var() == w[1].var()) {
+        return Err(ProtocolError::Malformed(
+            "cube assigns a variable both polarities".into(),
+        ));
+    }
+    Ok(Cube::from_lits(lits))
+}
+
 const QUERY_SAT: u8 = 0;
 const QUERY_MODEL_COUNT: u8 = 1;
 const QUERY_MODEL_COUNT_UNDER: u8 = 2;
 const QUERY_WMC: u8 = 3;
 const QUERY_MARGINALS: u8 = 4;
 const QUERY_MAX_WEIGHT: u8 = 5;
+// Version 4: role-2/3 queries against typed artifacts.
+const QUERY_PSDD_LOG_LIKELIHOOD: u8 = 6;
+const QUERY_PSDD_MARGINAL: u8 = 7;
+const QUERY_SPACE_COUNT: u8 = 8;
+const QUERY_SPACE_TOP: u8 = 9;
+const QUERY_SUFFICIENT_REASON: u8 = 10;
+const QUERY_DECISION_ROBUSTNESS: u8 = 11;
+const QUERY_CLASSIFIER_BIAS: u8 = 12;
 
 fn encode_query(e: &mut Enc, q: &Query) {
     match q {
@@ -708,6 +846,37 @@ fn encode_query(e: &mut Enc, q: &Query) {
             e.u8(QUERY_MAX_WEIGHT);
             encode_weights(e, w);
         }
+        Query::PsddLogLikelihood(data) => {
+            e.u8(QUERY_PSDD_LOG_LIKELIHOOD);
+            encode_dataset(e, data);
+        }
+        Query::PsddMarginal(pa) => {
+            e.u8(QUERY_PSDD_MARGINAL);
+            encode_partial(e, pa);
+        }
+        Query::SpaceCount(pa) => {
+            e.u8(QUERY_SPACE_COUNT);
+            encode_partial(e, pa);
+        }
+        Query::SpaceTop(w) => {
+            e.u8(QUERY_SPACE_TOP);
+            encode_weights(e, w);
+        }
+        Query::SufficientReason(x) => {
+            e.u8(QUERY_SUFFICIENT_REASON);
+            encode_assignment(e, x);
+        }
+        Query::DecisionRobustness(x) => {
+            e.u8(QUERY_DECISION_ROBUSTNESS);
+            encode_assignment(e, x);
+        }
+        Query::ClassifierBias(protected) => {
+            e.u8(QUERY_CLASSIFIER_BIAS);
+            e.u32(protected.len() as u32);
+            for v in protected {
+                e.u32(v.index() as u32);
+            }
+        }
     }
 }
 
@@ -719,6 +888,23 @@ fn decode_query(d: &mut Dec) -> Result<Query> {
         QUERY_WMC => Query::Wmc(decode_weights(d)?),
         QUERY_MARGINALS => Query::Marginals(decode_weights(d)?),
         QUERY_MAX_WEIGHT => Query::MaxWeight(decode_weights(d)?),
+        QUERY_PSDD_LOG_LIKELIHOOD => Query::PsddLogLikelihood(decode_dataset(d)?),
+        QUERY_PSDD_MARGINAL => Query::PsddMarginal(decode_partial(d)?),
+        QUERY_SPACE_COUNT => Query::SpaceCount(decode_partial(d)?),
+        QUERY_SPACE_TOP => Query::SpaceTop(decode_weights(d)?),
+        QUERY_SUFFICIENT_REASON => Query::SufficientReason(decode_assignment(d)?),
+        QUERY_DECISION_ROBUSTNESS => Query::DecisionRobustness(decode_assignment(d)?),
+        QUERY_CLASSIFIER_BIAS => {
+            let declared = d.u32()?;
+            let n = d.counted(declared, 4)?;
+            let mut protected = Vec::with_capacity(n);
+            for _ in 0..n {
+                let idx = d.u32()?;
+                check_universe(idx.saturating_add(1))?;
+                protected.push(Var(idx));
+            }
+            Query::ClassifierBias(protected)
+        }
         tag => return Err(ProtocolError::Malformed(format!("unknown query tag {tag}"))),
     })
 }
@@ -728,6 +914,12 @@ const ANSWER_MODEL_COUNT: u8 = 1;
 const ANSWER_WMC: u8 = 2;
 const ANSWER_MARGINALS: u8 = 3;
 const ANSWER_MAX_WEIGHT: u8 = 4;
+// Version 4: role-2/3 answers.
+const ANSWER_LOG_LIKELIHOOD: u8 = 5;
+const ANSWER_PROBABILITY: u8 = 6;
+const ANSWER_REASON: u8 = 7;
+const ANSWER_ROBUSTNESS: u8 = 8;
+const ANSWER_BIAS: u8 = 9;
 
 fn encode_answer(e: &mut Enc, a: &QueryAnswer) {
     match a {
@@ -763,6 +955,39 @@ fn encode_answer(e: &mut Enc, a: &QueryAnswer) {
                 }
             }
         }
+        QueryAnswer::LogLikelihood(x) => {
+            e.u8(ANSWER_LOG_LIKELIHOOD);
+            e.f64(*x);
+        }
+        QueryAnswer::Probability(x) => {
+            e.u8(ANSWER_PROBABILITY);
+            e.f64(*x);
+        }
+        QueryAnswer::Reason { decision, reason } => {
+            e.u8(ANSWER_REASON);
+            e.u8(u8::from(*decision));
+            match reason {
+                None => e.u8(0),
+                Some(cube) => {
+                    e.u8(1);
+                    encode_cube(e, cube);
+                }
+            }
+        }
+        QueryAnswer::Robustness(flips) => {
+            e.u8(ANSWER_ROBUSTNESS);
+            match flips {
+                None => e.u8(0),
+                Some(k) => {
+                    e.u8(1);
+                    e.u32(*k);
+                }
+            }
+        }
+        QueryAnswer::Bias(yes) => {
+            e.u8(ANSWER_BIAS);
+            e.u8(u8::from(*yes));
+        }
     }
 }
 
@@ -794,6 +1019,31 @@ fn decode_answer(d: &mut Dec) -> Result<QueryAnswer> {
                 )))
             }
         },
+        ANSWER_LOG_LIKELIHOOD => QueryAnswer::LogLikelihood(d.f64()?),
+        ANSWER_PROBABILITY => QueryAnswer::Probability(d.f64()?),
+        ANSWER_REASON => {
+            let decision = d.u8()? != 0;
+            let reason = match d.u8()? {
+                0 => None,
+                1 => Some(decode_cube(d)?),
+                tag => {
+                    return Err(ProtocolError::Malformed(format!(
+                        "unknown reason presence tag {tag}"
+                    )))
+                }
+            };
+            QueryAnswer::Reason { decision, reason }
+        }
+        ANSWER_ROBUSTNESS => match d.u8()? {
+            0 => QueryAnswer::Robustness(None),
+            1 => QueryAnswer::Robustness(Some(d.u32()?)),
+            tag => {
+                return Err(ProtocolError::Malformed(format!(
+                    "unknown robustness presence tag {tag}"
+                )))
+            }
+        },
+        ANSWER_BIAS => QueryAnswer::Bias(d.u8()? != 0),
         tag => {
             return Err(ProtocolError::Malformed(format!(
                 "unknown answer tag {tag}"
@@ -1028,6 +1278,32 @@ impl Request {
                 }
                 KIND_REQ_PIPELINED_BATCH
             }
+            Request::LearnPsdd { cnf, alpha, data } => {
+                encode_cnf(&mut e, cnf);
+                e.f64(*alpha);
+                encode_dataset(&mut e, data);
+                KIND_REQ_LEARN_PSDD
+            }
+            Request::CompileSpace {
+                num_nodes,
+                edges,
+                s,
+                t,
+            } => {
+                e.u32(*num_nodes);
+                e.u32(*s);
+                e.u32(*t);
+                e.u32(edges.len() as u32);
+                for &(a, b) in edges {
+                    e.u32(a);
+                    e.u32(b);
+                }
+                KIND_REQ_COMPILE_SPACE
+            }
+            Request::CompileClassifier(cnf) => {
+                encode_cnf(&mut e, cnf);
+                KIND_REQ_COMPILE_CLASSIFIER
+            }
         };
         (kind, e.0)
     }
@@ -1064,6 +1340,30 @@ impl Request {
                 }
                 Request::PipelinedBatch { id, key, queries }
             }
+            KIND_REQ_LEARN_PSDD => {
+                let cnf = decode_cnf(&mut d)?;
+                let alpha = d.f64()?;
+                let data = decode_dataset(&mut d)?;
+                Request::LearnPsdd { cnf, alpha, data }
+            }
+            KIND_REQ_COMPILE_SPACE => {
+                let num_nodes = check_universe(d.u32()?)? as u32;
+                let s = d.u32()?;
+                let t = d.u32()?;
+                let declared = d.u32()?;
+                let n = d.counted(declared, 8)?;
+                let mut edges = Vec::with_capacity(n);
+                for _ in 0..n {
+                    edges.push((d.u32()?, d.u32()?));
+                }
+                Request::CompileSpace {
+                    num_nodes,
+                    edges,
+                    s,
+                    t,
+                }
+            }
+            KIND_REQ_COMPILE_CLASSIFIER => Request::CompileClassifier(decode_cnf(&mut d)?),
             kind => {
                 return Err(ProtocolError::UnexpectedFrame {
                     kind,
@@ -1130,6 +1430,40 @@ impl Response {
                 }
                 KIND_RESP_PIPELINED_BATCH
             }
+            Response::Learned {
+                key,
+                num_vars,
+                nodes,
+                log_likelihood,
+            } => {
+                e.u64(*key);
+                e.u32(*num_vars);
+                e.u32(*nodes);
+                e.f64(*log_likelihood);
+                KIND_RESP_LEARNED
+            }
+            Response::SpaceCompiled {
+                key,
+                num_edge_vars,
+                nodes,
+                paths,
+            } => {
+                e.u64(*key);
+                e.u32(*num_edge_vars);
+                e.u32(*nodes);
+                e.u128(*paths);
+                KIND_RESP_SPACE_COMPILED
+            }
+            Response::ClassifierCompiled {
+                key,
+                num_vars,
+                nodes,
+            } => {
+                e.u64(*key);
+                e.u32(*num_vars);
+                e.u32(*nodes);
+                KIND_RESP_CLASSIFIER_COMPILED
+            }
         };
         (kind, e.0)
     }
@@ -1178,6 +1512,23 @@ impl Response {
                 };
                 Response::PipelinedBatch { id, result }
             }
+            KIND_RESP_LEARNED => Response::Learned {
+                key: d.u64()?,
+                num_vars: d.u32()?,
+                nodes: d.u32()?,
+                log_likelihood: d.f64()?,
+            },
+            KIND_RESP_SPACE_COMPILED => Response::SpaceCompiled {
+                key: d.u64()?,
+                num_edge_vars: d.u32()?,
+                nodes: d.u32()?,
+                paths: d.u128()?,
+            },
+            KIND_RESP_CLASSIFIER_COMPILED => Response::ClassifierCompiled {
+                key: d.u64()?,
+                num_vars: d.u32()?,
+                nodes: d.u32()?,
+            },
             kind => {
                 return Err(ProtocolError::UnexpectedFrame {
                     kind,
@@ -1317,6 +1668,37 @@ mod tests {
                 key: 1,
                 queries: Vec::new(),
             },
+            Request::LearnPsdd {
+                cnf: Cnf::parse_dimacs("p cnf 3 1\n1 2 3 0\n").unwrap(),
+                alpha: 0.5,
+                data: vec![
+                    (Assignment::from_values(&[true, false, true]), 2.0),
+                    (Assignment::from_values(&[false, true, false]), 1.5),
+                ],
+            },
+            Request::CompileSpace {
+                num_nodes: 4,
+                edges: vec![(0, 1), (1, 2), (2, 3), (0, 3)],
+                s: 0,
+                t: 3,
+            },
+            Request::CompileClassifier(Cnf::parse_dimacs("p cnf 2 2\n1 0\n-1 2 0\n").unwrap()),
+            Request::Batch {
+                key: 11,
+                queries: vec![
+                    Query::PsddLogLikelihood(vec![(
+                        Assignment::from_values(&[true, true, false]),
+                        1.0,
+                    )]),
+                    Query::PsddMarginal(PartialAssignment::new(3)),
+                    Query::SpaceCount(PartialAssignment::new(3)),
+                    Query::SpaceTop(LitWeights::unit(3)),
+                    Query::SufficientReason(Assignment::from_values(&[true, false, true])),
+                    Query::DecisionRobustness(Assignment::from_values(&[false, false, true])),
+                    Query::ClassifierBias(vec![Var(0), Var(2)]),
+                    Query::ClassifierBias(Vec::new()),
+                ],
+            },
         ] {
             assert_eq!(round_trip_request(&req), req, "{req:?}");
         }
@@ -1368,9 +1750,62 @@ mod tests {
                     capacity: 10,
                 }),
             },
+            Response::Learned {
+                key: 21,
+                num_vars: 3,
+                nodes: 17,
+                log_likelihood: -4.25,
+            },
+            Response::SpaceCompiled {
+                key: 22,
+                num_edge_vars: 4,
+                nodes: 9,
+                paths: u128::from(u64::MAX) + 7,
+            },
+            Response::ClassifierCompiled {
+                key: 23,
+                num_vars: 2,
+                nodes: 5,
+            },
+            Response::Answer(QueryAnswer::LogLikelihood(-1.5)),
+            Response::Answer(QueryAnswer::Probability(0.375)),
+            Response::Answer(QueryAnswer::Reason {
+                decision: true,
+                reason: Some(Cube::from_lits([Var(0).positive(), Var(2).negative()])),
+            }),
+            Response::Answer(QueryAnswer::Reason {
+                decision: false,
+                reason: None,
+            }),
+            Response::Answer(QueryAnswer::Reason {
+                decision: true,
+                reason: Some(Cube::empty()),
+            }),
+            Response::Answer(QueryAnswer::Robustness(None)),
+            Response::Answer(QueryAnswer::Robustness(Some(3))),
+            Response::Answer(QueryAnswer::Bias(true)),
+            Response::Answer(QueryAnswer::Bias(false)),
         ] {
             assert_eq!(round_trip_response(&resp), resp, "{resp:?}");
         }
+    }
+
+    #[test]
+    fn inconsistent_cube_is_malformed_not_a_panic() {
+        // Hand-craft a Reason answer whose cube assigns x0 both ways;
+        // `Cube::from_lits` would panic, so the decoder must reject first.
+        let mut e = Enc::default();
+        e.u8(ANSWER_REASON);
+        e.u8(1); // decision
+        e.u8(1); // reason present
+        e.u32(2);
+        e.u32(Var(0).positive().code());
+        e.u32(Var(0).negative().code());
+        let mut d = Dec::new(&e.0);
+        assert!(matches!(
+            decode_answer(&mut d),
+            Err(ProtocolError::Malformed(m)) if m.contains("both polarities")
+        ));
     }
 
     #[test]

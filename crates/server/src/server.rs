@@ -56,7 +56,7 @@ use crate::protocol::{
     DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 use crate::reactor::{Event, Reactor, Waker};
-use trl_engine::{Engine, EngineError, PreparedCircuit, Query, QueryOutcome};
+use trl_engine::{Artifact, Engine, EngineError, Query, QueryOutcome};
 
 /// Tunables for a [`Server`]. The defaults suit tests and small
 /// deployments; serving real traffic wants them set explicitly.
@@ -77,11 +77,6 @@ pub struct ServerConfig {
     pub write_timeout: Duration,
     /// Ceiling on an inbound frame's payload length.
     pub max_frame_len: u32,
-    /// **Deprecated and ignored.** The readiness-driven server has no
-    /// idle-poll loop; idle connections cost zero wakeups. The field
-    /// survives so existing configs and `--idle-poll-ms` flags keep
-    /// parsing; setting it to a non-default value logs a one-line notice.
-    pub idle_poll: Duration,
     /// Reactor (event-loop) threads the connections are sharded across.
     /// Zero means "pick from available parallelism".
     pub reactors: usize,
@@ -89,10 +84,6 @@ pub struct ServerConfig {
     /// is logged to stderr as one JSON line with its span breakdown.
     pub slow_query: Option<Duration>,
 }
-
-/// The `idle_poll` value [`ServerConfig::default`] carries; any other
-/// value was set deliberately and earns the deprecation notice.
-const DEPRECATED_IDLE_POLL_DEFAULT: Duration = Duration::from_millis(25);
 
 impl Default for ServerConfig {
     fn default() -> Self {
@@ -102,7 +93,6 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(30),
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
-            idle_poll: DEPRECATED_IDLE_POLL_DEFAULT,
             reactors: 0,
             slow_query: None,
         }
@@ -325,12 +315,6 @@ impl Server {
         engine: Arc<Engine>,
         config: ServerConfig,
     ) -> io::Result<ServerHandle> {
-        if config.idle_poll != DEPRECATED_IDLE_POLL_DEFAULT {
-            eprintln!(
-                "trl-server: ServerConfig::idle_poll is deprecated and ignored; \
-                 the readiness-driven server has no idle-poll loop"
-            );
-        }
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let num_reactors = config.effective_reactors();
@@ -616,7 +600,7 @@ impl Slab {
 /// the executor sees one submission per (connection, key) instead of one
 /// per frame.
 struct PipelineGroup {
-    circuit: Arc<PreparedCircuit>,
+    artifact: Artifact,
     /// `(request id, that frame's queries)` in arrival order.
     segments: Vec<(u64, Vec<Query>)>,
 }
@@ -1022,6 +1006,75 @@ fn dispatch(
             trl_obs::histogram!("server.pipeline.batch_size").record_us(queries.len() as u64);
             stage_pipelined(conn, id, key, queries, groups, shared);
         }
+        Request::LearnPsdd { cnf, alpha, data } => {
+            trl_obs::counter!("server.requests.learn").inc();
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            match shared.try_admit(1) {
+                Err(e) => {
+                    let bytes = encode_response(&Response::Error(e), conn.version);
+                    enqueue_seq(conn, shared, seq, bytes);
+                }
+                Ok(()) => {
+                    conn.in_flight += 1;
+                    spawn_learn(
+                        conn.token,
+                        seq,
+                        conn.version,
+                        cnf,
+                        alpha,
+                        data,
+                        shared,
+                        rshared,
+                    );
+                }
+            }
+        }
+        Request::CompileSpace {
+            num_nodes,
+            edges,
+            s,
+            t,
+        } => {
+            trl_obs::counter!("server.requests.space").inc();
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            match shared.try_admit(1) {
+                Err(e) => {
+                    let bytes = encode_response(&Response::Error(e), conn.version);
+                    enqueue_seq(conn, shared, seq, bytes);
+                }
+                Ok(()) => {
+                    conn.in_flight += 1;
+                    spawn_space(
+                        conn.token,
+                        seq,
+                        conn.version,
+                        num_nodes,
+                        edges,
+                        s,
+                        t,
+                        shared,
+                        rshared,
+                    );
+                }
+            }
+        }
+        Request::CompileClassifier(cnf) => {
+            trl_obs::counter!("server.requests.classifier").inc();
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            match shared.try_admit(1) {
+                Err(e) => {
+                    let bytes = encode_response(&Response::Error(e), conn.version);
+                    enqueue_seq(conn, shared, seq, bytes);
+                }
+                Ok(()) => {
+                    conn.in_flight += 1;
+                    spawn_classifier(conn.token, seq, conn.version, cnf, shared, rshared);
+                }
+            }
+        }
     }
 }
 
@@ -1071,10 +1124,10 @@ fn stage_pipelined(
         enqueue_pipelined(conn, shared, id, Err(e));
         return;
     }
-    let circuit = match groups.iter().find(|(k, _)| *k == key) {
-        Some((_, g)) => Arc::clone(&g.circuit),
+    let artifact = match groups.iter().find(|(k, _)| *k == key) {
+        Some((_, g)) => g.artifact.clone(),
         None => match shared.engine.get(key) {
-            Some(c) => c,
+            Some(a) => a,
             None => {
                 shared.release_admitted(queries.len());
                 enqueue_pipelined(conn, shared, id, Err(WireError::UnknownKey(key)));
@@ -1082,12 +1135,10 @@ fn stage_pipelined(
             }
         },
     };
-    // Per-frame validation up front, so one malformed frame cannot
-    // poison the coalesced submission its neighbors ride in.
-    if let Err(e) = queries
-        .iter()
-        .try_for_each(|q| q.validate(circuit.num_vars()))
-    {
+    // Per-frame validation up front (kind match and universe cover), so
+    // one malformed frame cannot poison the coalesced submission its
+    // neighbors ride in.
+    if let Err(e) = queries.iter().try_for_each(|q| artifact.validate(q)) {
         shared.release_admitted(queries.len());
         enqueue_pipelined(conn, shared, id, Err(engine_error_to_wire(e)));
         return;
@@ -1097,7 +1148,7 @@ fn stage_pipelined(
         None => groups.push((
             key,
             PipelineGroup {
-                circuit,
+                artifact,
                 segments: vec![(id, queries)],
             },
         )),
@@ -1135,7 +1186,7 @@ fn submit_pipeline_group(
     let slow_query = shared.config.slow_query;
     let result = shared
         .engine
-        .submit_batch(&group.circuit, queries, move |outcomes| {
+        .submit_artifact_batch(&group.artifact, queries, move |outcomes| {
             cb_shared.release_admitted(total);
             let handle_time = submitted.elapsed();
             trl_obs::record_span("server.handle", handle_time);
@@ -1195,8 +1246,8 @@ fn submit_ordered(
             return;
         }
     }
-    let circuit = match shared.engine.get(key) {
-        Some(c) => c,
+    let artifact = match shared.engine.get(key) {
+        Some(a) => a,
         None => {
             if n > 0 {
                 shared.release_admitted(n);
@@ -1211,42 +1262,43 @@ fn submit_ordered(
     let cb_rshared = Arc::clone(rshared);
     let submitted = Instant::now();
     let slow_query = shared.config.slow_query;
-    let result =
-        shared
-            .engine
-            .submit_batch(&circuit, queries, move |outcomes: Vec<QueryOutcome>| {
-                if n > 0 {
-                    cb_shared.release_admitted(n);
+    let result = shared.engine.submit_artifact_batch(
+        &artifact,
+        queries,
+        move |outcomes: Vec<QueryOutcome>| {
+            if n > 0 {
+                cb_shared.release_admitted(n);
+            }
+            let handle_time = submitted.elapsed();
+            trl_obs::record_span("server.handle", handle_time);
+            trl_obs::histogram!("server.service_us").record(handle_time);
+            trl_obs::histogram!("server.request_us").record(handle_time);
+            let mut answers = outcomes.into_iter().map(|o| o.answer);
+            let resp = if single {
+                match answers.next() {
+                    Some(a) => Response::Answer(a),
+                    // A single query always yields one outcome; guard
+                    // anyway rather than panic on a worker thread.
+                    None => Response::Error(WireError::Engine("empty batch result".into())),
                 }
-                let handle_time = submitted.elapsed();
-                trl_obs::record_span("server.handle", handle_time);
-                trl_obs::histogram!("server.service_us").record(handle_time);
-                trl_obs::histogram!("server.request_us").record(handle_time);
-                let mut answers = outcomes.into_iter().map(|o| o.answer);
-                let resp = if single {
-                    match answers.next() {
-                        Some(a) => Response::Answer(a),
-                        // A single query always yields one outcome; guard
-                        // anyway rather than panic on a worker thread.
-                        None => Response::Error(WireError::Engine("empty batch result".into())),
-                    }
-                } else {
-                    Response::Batch(answers.collect())
-                };
-                if let Some(threshold) = slow_query {
-                    if handle_time > threshold {
-                        log_slow_query(
-                            if single { "query" } else { "batch" },
-                            handle_time,
-                            handle_time,
-                        );
-                    }
+            } else {
+                Response::Batch(answers.collect())
+            };
+            if let Some(threshold) = slow_query {
+                if handle_time > threshold {
+                    log_slow_query(
+                        if single { "query" } else { "batch" },
+                        handle_time,
+                        handle_time,
+                    );
                 }
-                cb_rshared.push_completion(Completion {
-                    token,
-                    frames: vec![(Some(seq), encode_response(&resp, version))],
-                });
+            }
+            cb_rshared.push_completion(Completion {
+                token,
+                frames: vec![(Some(seq), encode_response(&resp, version))],
             });
+        },
+    );
     match result {
         Ok(()) => conn.in_flight += 1,
         Err(e) => {
@@ -1258,24 +1310,29 @@ fn submit_ordered(
     }
 }
 
-/// Offloads a compile to its own thread: compilation can take arbitrarily
-/// long and must not stall the reactor's event loop.
-fn spawn_compile(
+/// Offloads an artifact build (compile, learn, space) to its own thread:
+/// construction can take arbitrarily long and must not stall the
+/// reactor's event loop. `build` runs on the spawned thread and returns
+/// the ordered response for `seq`.
+fn spawn_build<F>(
     token: u64,
     seq: u64,
     version: u16,
-    cnf: trl_prop::Cnf,
+    kind: &'static str,
     shared: &Arc<Shared>,
     rshared: &Arc<ReactorShared>,
-) {
+    build: F,
+) where
+    F: FnOnce(&Engine) -> Response + Send + 'static,
+{
     let cb_shared = Arc::clone(shared);
     let cb_rshared = Arc::clone(rshared);
     let slow_query = shared.config.slow_query;
     let spawned = std::thread::Builder::new()
-        .name("trl-server-compile".into())
+        .name(format!("trl-server-{kind}"))
         .spawn(move || {
             let started = Instant::now();
-            let (key, circuit) = cb_shared.engine.compile(&cnf);
+            let resp = build(&cb_shared.engine);
             cb_shared.release_admitted(1);
             let handle_time = started.elapsed();
             trl_obs::record_span("server.handle", handle_time);
@@ -1283,15 +1340,9 @@ fn spawn_compile(
             trl_obs::histogram!("server.request_us").record(handle_time);
             if let Some(threshold) = slow_query {
                 if handle_time > threshold {
-                    log_slow_query("compile", handle_time, handle_time);
+                    log_slow_query(kind, handle_time, handle_time);
                 }
             }
-            let resp = Response::Compiled {
-                key,
-                num_vars: circuit.num_vars() as u32,
-                nodes: circuit.raw().node_count() as u32,
-                edges: circuit.raw().edge_count() as u32,
-            };
             cb_rshared.push_completion(Completion {
                 token,
                 frames: vec![(Some(seq), encode_response(&resp, version))],
@@ -1303,15 +1354,128 @@ fn spawn_compile(
             // Could not spawn a thread (resource exhaustion): the request
             // still gets an answer, just a typed failure.
             shared.release_admitted(1);
-            let resp = Response::Error(WireError::Engine(
-                "server could not spawn a compile thread".into(),
-            ));
+            let resp = Response::Error(WireError::Engine(format!(
+                "server could not spawn a {kind} thread"
+            )));
             rshared.push_completion(Completion {
                 token,
                 frames: vec![(Some(seq), encode_response(&resp, version))],
             });
         }
     }
+}
+
+/// Offloads a circuit compile to its own thread.
+fn spawn_compile(
+    token: u64,
+    seq: u64,
+    version: u16,
+    cnf: trl_prop::Cnf,
+    shared: &Arc<Shared>,
+    rshared: &Arc<ReactorShared>,
+) {
+    spawn_build(token, seq, version, "compile", shared, rshared, move |e| {
+        let (key, circuit) = e.compile(&cnf);
+        Response::Compiled {
+            key,
+            num_vars: circuit.num_vars() as u32,
+            nodes: circuit.raw().node_count() as u32,
+            edges: circuit.raw().edge_count() as u32,
+        }
+    });
+}
+
+/// Offloads a PSDD learning job to its own thread. Progress is
+/// wire-visible through the stats frame: the engine bumps
+/// `engine.learn.jobs` / `engine.learn.examples` counters and the
+/// `engine.learn.train_us` histogram as the job runs.
+#[allow(clippy::too_many_arguments)]
+fn spawn_learn(
+    token: u64,
+    seq: u64,
+    version: u16,
+    cnf: trl_prop::Cnf,
+    alpha: f64,
+    data: Vec<(trl_core::Assignment, f64)>,
+    shared: &Arc<Shared>,
+    rshared: &Arc<ReactorShared>,
+) {
+    spawn_build(
+        token,
+        seq,
+        version,
+        "learn",
+        shared,
+        rshared,
+        move |e| match e.learn_psdd(&cnf, &data, alpha) {
+            Ok((key, psdd)) => Response::Learned {
+                key,
+                num_vars: psdd.num_vars() as u32,
+                nodes: psdd.node_count() as u32,
+                log_likelihood: psdd.train_log_likelihood(),
+            },
+            Err(err) => Response::Error(engine_error_to_wire(err)),
+        },
+    );
+}
+
+/// Offloads a structured-space compile to its own thread.
+#[allow(clippy::too_many_arguments)]
+fn spawn_space(
+    token: u64,
+    seq: u64,
+    version: u16,
+    num_nodes: u32,
+    edges: Vec<(u32, u32)>,
+    s: u32,
+    t: u32,
+    shared: &Arc<Shared>,
+    rshared: &Arc<ReactorShared>,
+) {
+    spawn_build(
+        token,
+        seq,
+        version,
+        "space",
+        shared,
+        rshared,
+        move |e| match e.compile_space(num_nodes as usize, &edges, s, t) {
+            Ok((key, space)) => Response::SpaceCompiled {
+                key,
+                num_edge_vars: space.num_edge_vars() as u32,
+                nodes: space.node_count() as u32,
+                paths: space.path_count(),
+            },
+            Err(err) => Response::Error(engine_error_to_wire(err)),
+        },
+    );
+}
+
+/// Offloads a classifier compile to its own thread.
+fn spawn_classifier(
+    token: u64,
+    seq: u64,
+    version: u16,
+    cnf: trl_prop::Cnf,
+    shared: &Arc<Shared>,
+    rshared: &Arc<ReactorShared>,
+) {
+    spawn_build(
+        token,
+        seq,
+        version,
+        "classifier",
+        shared,
+        rshared,
+        move |e| {
+            let (key, clf) = e.compile_classifier(&cnf);
+            Response::ClassifierCompiled {
+                key,
+                num_vars: clf.num_vars() as u32,
+                nodes: clf.node_count() as u32,
+            }
+        },
+    );
 }
 
 /// One JSON line on stderr describing a request that blew the

@@ -100,9 +100,23 @@ fn eight_concurrent_clients_get_bit_identical_answers() {
     // asserted to have grown by at least this server's contribution.
     let after = observer.stats().expect("stats after");
     assert!(after.uptime_ms >= before.uptime_ms, "uptime went backwards");
-    assert_eq!(after.requests_served.len(), 6);
+    // Every query kind gets a row — the role-2/3 kinds this workload never
+    // touched report zero rather than being absent.
+    assert_eq!(after.requests_served.len(), trl_engine::QUERY_KINDS.len());
+    let circuit_kinds = [
+        "sat",
+        "model_count",
+        "model_count_under",
+        "wmc",
+        "marginals",
+        "max_weight",
+    ];
     for (kind, count) in &after.requests_served {
-        assert_eq!(*count, 48, "kind {kind}: 8 clients x 6 rounds");
+        if circuit_kinds.contains(&kind.as_str()) {
+            assert_eq!(*count, 48, "kind {kind}: 8 clients x 6 rounds");
+        } else {
+            assert_eq!(*count, 0, "kind {kind}: never queried");
+        }
     }
     let total: u64 = after.requests_served.iter().map(|(_, c)| c).sum();
     assert_eq!(total, 288);
@@ -117,12 +131,29 @@ fn eight_concurrent_clients_get_bit_identical_answers() {
     assert!(metric_delta("server.requests.query") >= 144);
     assert!(metric_delta("server.requests.batch") >= 4);
     assert!(metric_delta("server.requests.compile") >= 8);
-    for (kind, _) in &after.requests_served {
+    for kind in circuit_kinds {
         assert!(metric_delta(&format!("engine.requests.{kind}")) >= 48);
         let hist = format!("engine.latency.{kind}_us");
         let count =
             |s: &trl_engine::StatsSnapshot| s.metrics.histogram(&hist).map_or(0, |h| h.count);
         assert!(count(&after) - count(&before) >= 48, "{hist} undercounts");
+    }
+    // The untouched kinds still expose (zero-valued) metric rows.
+    for kind in trl_engine::QUERY_KINDS {
+        assert!(
+            after
+                .metrics
+                .counter(&format!("engine.requests.{kind}"))
+                .is_some(),
+            "no counter row for {kind}"
+        );
+        assert!(
+            after
+                .metrics
+                .histogram(&format!("engine.latency.{kind}_us"))
+                .is_some(),
+            "no histogram row for {kind}"
+        );
     }
 
     let counters = handle.shutdown();

@@ -2,7 +2,7 @@
 //! corruption of a frame — single-byte flips, truncation, oversized
 //! length declarations — can panic the decoder or slip through untyped.
 
-use trl_core::{PartialAssignment, Var};
+use trl_core::{Assignment, Cube, PartialAssignment, Var};
 use trl_engine::{Query, QueryAnswer, RegistryStats, StatsSnapshot};
 use trl_nnf::LitWeights;
 use trl_obs::{HistogramSnapshot, MetricValue, MetricsDump};
@@ -75,6 +75,122 @@ fn all_requests() -> Vec<Request> {
             id: 0,
             key: 8,
             queries: Vec::new(),
+        },
+        // Version-4 artifact builds.
+        Request::LearnPsdd {
+            cnf: sample_cnf(),
+            alpha: 1.0,
+            data: sample_dataset(),
+        },
+        Request::CompileSpace {
+            num_nodes: 4,
+            edges: vec![(0, 1), (1, 2), (2, 3), (0, 2)],
+            s: 0,
+            t: 3,
+        },
+        Request::CompileClassifier(sample_cnf()),
+        // Version-4 role-2/3 queries ride the existing query/batch frames.
+        Request::Query {
+            key: 9,
+            query: Query::PsddLogLikelihood(sample_dataset()),
+        },
+        Request::Query {
+            key: 10,
+            query: Query::PsddMarginal(sample_evidence()),
+        },
+        Request::Query {
+            key: 11,
+            query: Query::SpaceCount(sample_evidence()),
+        },
+        Request::Query {
+            key: 12,
+            query: Query::SpaceTop(sample_weights()),
+        },
+        Request::Query {
+            key: 13,
+            query: Query::SufficientReason(sample_instance()),
+        },
+        Request::Query {
+            key: 14,
+            query: Query::DecisionRobustness(sample_instance()),
+        },
+        Request::Query {
+            key: 15,
+            query: Query::ClassifierBias(vec![Var(0), Var(3)]),
+        },
+        Request::PipelinedBatch {
+            id: 0xf00d,
+            key: 16,
+            queries: vec![
+                Query::PsddMarginal(sample_evidence()),
+                Query::SpaceCount(sample_evidence()),
+                Query::SufficientReason(sample_instance()),
+                Query::ClassifierBias(Vec::new()),
+            ],
+        },
+    ]
+}
+
+fn sample_dataset() -> Vec<(Assignment, f64)> {
+    vec![
+        (Assignment::from_values(&[true, false, true, false]), 3.0),
+        (Assignment::from_values(&[false, true, true, true]), 1.25),
+    ]
+}
+
+fn sample_evidence() -> PartialAssignment {
+    let mut pa = PartialAssignment::new(4);
+    pa.assign(Var(1).positive());
+    pa
+}
+
+fn sample_instance() -> Assignment {
+    Assignment::from_values(&[true, true, false, true])
+}
+
+fn all_role_responses() -> Vec<Response> {
+    vec![
+        Response::Learned {
+            key: 31,
+            num_vars: 4,
+            nodes: 19,
+            log_likelihood: -3.5,
+        },
+        Response::SpaceCompiled {
+            key: 32,
+            num_edge_vars: 4,
+            nodes: 11,
+            paths: 3,
+        },
+        Response::ClassifierCompiled {
+            key: 33,
+            num_vars: 4,
+            nodes: 7,
+        },
+        Response::Answer(QueryAnswer::LogLikelihood(-2.25)),
+        Response::Answer(QueryAnswer::Probability(0.1875)),
+        Response::Answer(QueryAnswer::Reason {
+            decision: true,
+            reason: Some(Cube::from_lits([Var(1).positive(), Var(3).negative()])),
+        }),
+        Response::Answer(QueryAnswer::Reason {
+            decision: false,
+            reason: None,
+        }),
+        Response::Answer(QueryAnswer::Robustness(Some(2))),
+        Response::Answer(QueryAnswer::Robustness(None)),
+        Response::Answer(QueryAnswer::Bias(true)),
+        Response::PipelinedBatch {
+            id: 5,
+            result: Ok(vec![
+                QueryAnswer::Probability(0.5),
+                QueryAnswer::ModelCount(6),
+                QueryAnswer::Reason {
+                    decision: true,
+                    reason: Some(Cube::empty()),
+                },
+                QueryAnswer::Bias(false),
+            ]),
         },
     ]
 }
@@ -445,6 +561,127 @@ fn zero_length_pipelined_batch_round_trips_both_ways() {
     );
 }
 
+#[test]
+fn role_responses_round_trip() {
+    for resp in all_role_responses() {
+        let mut bytes = Vec::new();
+        write_response(&mut bytes, &resp).unwrap();
+        let back = read_response(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert_eq!(back, resp, "{resp:?}");
+    }
+}
+
+#[test]
+fn every_v4_request_survives_exhaustive_single_byte_corruption() {
+    // Every new frame kind and query tag through the same per-byte flip
+    // discipline as the v1–v3 frames.
+    for req in all_requests() {
+        let mut pristine = Vec::new();
+        write_request(&mut pristine, &req).unwrap();
+        for at in 0..pristine.len() {
+            for bit in [0x01u8, 0x80] {
+                let mut corrupt = pristine.clone();
+                corrupt[at] ^= bit;
+                assert!(
+                    read_request(&mut corrupt.as_slice(), DEFAULT_MAX_FRAME_LEN).is_err(),
+                    "{req:?}: flip of bit {bit:#x} at byte {at} went undetected"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_v4_response_survives_corruption_and_truncation() {
+    for resp in all_role_responses() {
+        let mut pristine = Vec::new();
+        write_response(&mut pristine, &resp).unwrap();
+        for at in 0..pristine.len() {
+            for bit in [0x01u8, 0x80] {
+                let mut corrupt = pristine.clone();
+                corrupt[at] ^= bit;
+                assert!(
+                    read_response(&mut corrupt.as_slice(), DEFAULT_MAX_FRAME_LEN).is_err(),
+                    "{resp:?}: flip of bit {bit:#x} at byte {at} went undetected"
+                );
+            }
+        }
+        for cut in 0..pristine.len() {
+            let mut slice = &pristine[..cut];
+            assert_eq!(
+                read_response(&mut slice, DEFAULT_MAX_FRAME_LEN),
+                Err(ProtocolError::Disconnected),
+                "{resp:?}: cut at byte {cut}"
+            );
+        }
+    }
+}
+
+#[test]
+fn v4_request_truncation_at_every_cut_is_typed() {
+    for req in all_requests() {
+        let mut bytes = Vec::new();
+        write_request(&mut bytes, &req).unwrap();
+        for cut in 0..bytes.len() {
+            let mut slice = &bytes[..cut];
+            assert_eq!(
+                read_request(&mut slice, DEFAULT_MAX_FRAME_LEN),
+                Err(ProtocolError::Disconnected),
+                "{req:?}: cut at byte {cut}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dataset_count_bomb_rejected() {
+    // A tiny learn frame whose example-count word claims u32::MAX entries
+    // must be rejected by the remaining-bytes bound, not by attempting to
+    // reserve the declared capacity.
+    let mut bytes = Vec::new();
+    write_request(
+        &mut bytes,
+        &Request::LearnPsdd {
+            cnf: Cnf::new(2),
+            alpha: 1.0,
+            data: vec![(Assignment::from_values(&[true, false]), 1.0)],
+        },
+    )
+    .unwrap();
+    // Payload layout: cnf (u32 num_vars, u32 num_clauses), f64 alpha,
+    // u32 example count, …
+    let count_at = 28 + 4 + 4 + 8;
+    bytes[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    restamp_payload_and_header(&mut bytes);
+    assert!(matches!(
+        read_request(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN),
+        Err(ProtocolError::Malformed(_))
+    ));
+}
+
+#[test]
+fn edge_count_bomb_rejected() {
+    let mut bytes = Vec::new();
+    write_request(
+        &mut bytes,
+        &Request::CompileSpace {
+            num_nodes: 2,
+            edges: vec![(0, 1)],
+            s: 0,
+            t: 1,
+        },
+    )
+    .unwrap();
+    // Payload layout: u32 num_nodes, u32 s, u32 t, u32 edge count, …
+    let count_at = 28 + 4 + 4 + 4;
+    bytes[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    restamp_payload_and_header(&mut bytes);
+    assert!(matches!(
+        read_request(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN),
+        Err(ProtocolError::Malformed(_))
+    ));
+}
+
 /// Rewrites a well-formed frame's version word to `version` and restamps
 /// the header checksum, simulating a client that speaks an older protocol.
 fn stamp_version(bytes: &mut [u8], version: u16) {
@@ -517,6 +754,69 @@ fn version_2_client_still_works_against_the_v3_server() {
     send_v2(&mut stream, &Request::Stats);
     let frame = read_raw_frame(&mut stream);
     assert_eq!(u16::from_le_bytes(frame[4..6].try_into().unwrap()), 2);
+    match read_response(&mut frame.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap() {
+        Response::Stats(s) => assert_eq!(s.artifacts, 1),
+        other => panic!("expected Stats, got {other:?}"),
+    }
+
+    drop(stream);
+    handle.shutdown();
+}
+
+#[test]
+fn version_3_client_still_works_against_the_v4_server() {
+    // A version-3 client knows pipelining but none of the role-2/role-3
+    // frames. The v4 server must accept its frames, echo version 3 on
+    // every response so the old decoder's version check passes, and serve
+    // the full v3 workload (compile + pipelined batch + stats) unchanged.
+    use std::io::Write;
+    use std::sync::Arc;
+    use trl_engine::Engine;
+    use trl_server::{Server, ServerConfig};
+
+    let engine = Arc::new(Engine::new(1 << 20, Some(2)));
+    let handle = Server::bind("127.0.0.1:0", engine, ServerConfig::default()).unwrap();
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    let send_v3 = |stream: &mut std::net::TcpStream, req: &Request| {
+        let mut bytes = Vec::new();
+        write_request(&mut bytes, req).unwrap();
+        stamp_version(&mut bytes, 3);
+        stream.write_all(&bytes).unwrap();
+    };
+
+    send_v3(&mut stream, &Request::Compile(sample_cnf()));
+    let frame = read_raw_frame(&mut stream);
+    assert_eq!(u16::from_le_bytes(frame[4..6].try_into().unwrap()), 3);
+    let key = match read_response(&mut frame.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap() {
+        Response::Compiled { key, .. } => key,
+        other => panic!("expected Compiled, got {other:?}"),
+    };
+
+    send_v3(
+        &mut stream,
+        &Request::PipelinedBatch {
+            id: 77,
+            key,
+            queries: vec![Query::ModelCount, Query::Sat],
+        },
+    );
+    let frame = read_raw_frame(&mut stream);
+    assert_eq!(u16::from_le_bytes(frame[4..6].try_into().unwrap()), 3);
+    match read_response(&mut frame.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap() {
+        Response::PipelinedBatch { id, result } => {
+            assert_eq!(id, 77);
+            let answers = result.expect("batch should succeed");
+            assert!(matches!(answers[0], QueryAnswer::ModelCount(n) if n > 0));
+            assert!(matches!(answers[1], QueryAnswer::Sat(true)));
+        }
+        other => panic!("expected PipelinedBatch, got {other:?}"),
+    }
+
+    send_v3(&mut stream, &Request::Stats);
+    let frame = read_raw_frame(&mut stream);
+    assert_eq!(u16::from_le_bytes(frame[4..6].try_into().unwrap()), 3);
     match read_response(&mut frame.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap() {
         Response::Stats(s) => assert_eq!(s.artifacts, 1),
         other => panic!("expected Stats, got {other:?}"),

@@ -1,0 +1,168 @@
+//! End-to-end serving of the paper's roles 2 and 3 (ISSUE 7 satellite 4,
+//! wire half): learn a PSDD, compile a structured space and a classifier
+//! over the wire, then answer one query of every new kind and check each
+//! answer is **bit-identical** to what a separate in-process engine
+//! computes from the same inputs. The brute-force enumeration crosschecks
+//! for the underlying semantics live next to the prepared forms
+//! (`trl-psdd`, `trl-spaces`, `trl-xai` serve-module tests); this file
+//! pins the wire to the in-process surface.
+
+use std::sync::Arc;
+
+use trl_core::{Assignment, PartialAssignment, Var};
+use trl_engine::{Engine, Query};
+use trl_nnf::LitWeights;
+use trl_prop::Cnf;
+use trl_server::{Client, Server, ServerConfig};
+
+/// CNF constraining the PSDD / classifier universe of four variables.
+fn sample_cnf() -> Cnf {
+    Cnf::parse_dimacs("p cnf 4 3\n1 2 0\n-2 3 0\n-1 4 0\n").unwrap()
+}
+
+/// Complete weighted examples over the four-variable universe.
+fn sample_dataset() -> Vec<(Assignment, f64)> {
+    vec![
+        (Assignment::from_values(&[true, false, true, true]), 4.0),
+        (Assignment::from_values(&[false, true, true, false]), 2.0),
+        (Assignment::from_values(&[true, true, true, true]), 1.0),
+        (Assignment::from_values(&[false, true, true, true]), 0.5),
+    ]
+}
+
+/// Diamond graph: 4 nodes, 5 edges (so the space universe has 5
+/// edge-variables), simple paths from node 0 to node 3.
+fn sample_graph() -> (u32, Vec<(u32, u32)>, u32, u32) {
+    (4, vec![(0, 1), (1, 3), (0, 2), (2, 3), (1, 2)], 0, 3)
+}
+
+fn evidence(num_vars: usize, var: u32, value: bool) -> PartialAssignment {
+    let mut pa = PartialAssignment::new(num_vars);
+    pa.assign(if value {
+        Var(var).positive()
+    } else {
+        Var(var).negative()
+    });
+    pa
+}
+
+#[test]
+fn every_role_query_is_bit_identical_over_the_wire() {
+    // The served engine and the reference engine are distinct instances;
+    // agreement below is determinism of the pipeline, not cache sharing.
+    let served = Arc::new(Engine::new(1 << 20, Some(2)));
+    let reference = Engine::new(1 << 20, Some(2));
+    let handle = Server::bind("127.0.0.1:0", served, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let cnf = sample_cnf();
+    let data = sample_dataset();
+    let alpha = 1.0;
+
+    // --- Role 2a: learned PSDD ---------------------------------------
+    let learned = client.learn_psdd(&cnf, &data, alpha).unwrap();
+    let (ref_key, ref_psdd) = reference.learn_psdd(&cnf, &data, alpha).unwrap();
+    assert_eq!(
+        learned.key, ref_key,
+        "content-keyed fingerprints must agree"
+    );
+    assert_eq!(learned.num_vars, 4);
+    assert_eq!(learned.nodes as usize, ref_psdd.node_count());
+    assert_eq!(
+        learned.log_likelihood.to_bits(),
+        ref_psdd.train_log_likelihood().to_bits()
+    );
+
+    let psdd_queries = vec![
+        Query::PsddLogLikelihood(data.clone()),
+        Query::PsddMarginal(evidence(4, 2, true)),
+    ];
+    check_queries(&mut client, &reference, learned.key, psdd_queries);
+
+    // --- Role 2b: structured space -----------------------------------
+    let (num_nodes, edges, s, t) = sample_graph();
+    let space = client.compile_space(num_nodes, &edges, s, t).unwrap();
+    let (ref_key, ref_space) = reference
+        .compile_space(num_nodes as usize, &edges, s, t)
+        .unwrap();
+    assert_eq!(space.key, ref_key);
+    assert_eq!(space.num_edge_vars, 5);
+    assert_eq!(space.nodes as usize, ref_space.node_count());
+    assert_eq!(space.paths, ref_space.path_count());
+
+    let mut weights = LitWeights::unit(5);
+    weights.set(Var(1).positive(), 3.0);
+    weights.set(Var(4).positive(), 0.25);
+    let space_queries = vec![
+        Query::SpaceCount(evidence(5, 0, true)),
+        Query::SpaceTop(weights),
+    ];
+    check_queries(&mut client, &reference, space.key, space_queries);
+
+    // --- Role 3: classifier explanations -----------------------------
+    let classifier = client.compile_classifier(&cnf).unwrap();
+    let (ref_key, ref_clf) = reference.compile_classifier(&cnf);
+    assert_eq!(classifier.key, ref_key);
+    assert_eq!(classifier.num_vars, 4);
+    assert_eq!(classifier.nodes as usize, ref_clf.node_count());
+
+    let instance = Assignment::from_values(&[true, false, true, true]);
+    let xai_queries = vec![
+        Query::SufficientReason(instance.clone()),
+        Query::DecisionRobustness(instance),
+        Query::ClassifierBias(vec![Var(0), Var(3)]),
+    ];
+    check_queries(&mut client, &reference, classifier.key, xai_queries);
+
+    // Learning the same PSDD again must hit the registry, not re-learn:
+    // the key is content-derived and the artifact is cached.
+    let again = client.learn_psdd(&cnf, &data, alpha).unwrap();
+    assert_eq!(again, learned);
+
+    handle.shutdown();
+}
+
+/// Answers each query over the wire and in-process and asserts equality
+/// (exact, including f64 bit patterns via `QueryAnswer`'s `PartialEq`).
+fn check_queries(client: &mut Client, reference: &Engine, key: u64, queries: Vec<Query>) {
+    let artifact = reference
+        .get(key)
+        .expect("reference engine should hold the artifact");
+    let expected = reference
+        .run_artifact_batch(&artifact, queries.clone())
+        .unwrap();
+    for (query, expect) in queries.into_iter().zip(expected) {
+        let wire = client.query(key, query.clone()).unwrap();
+        assert_eq!(wire, expect.answer, "{query:?}");
+    }
+}
+
+#[test]
+fn role_queries_against_the_wrong_artifact_kind_are_typed_errors() {
+    let served = Arc::new(Engine::new(1 << 20, Some(2)));
+    let handle = Server::bind("127.0.0.1:0", served, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // A circuit artifact must reject role-2/role-3 queries, and a
+    // classifier must reject circuit queries — as wire errors, not hangs.
+    let compiled = client.compile(&sample_cnf()).unwrap();
+    let err = client
+        .query(
+            compiled.key,
+            Query::SufficientReason(Assignment::from_values(&[true; 4])),
+        )
+        .unwrap_err();
+    assert!(
+        format!("{err}").contains("artifact"),
+        "unexpected error: {err}"
+    );
+
+    let classifier = client.compile_classifier(&sample_cnf()).unwrap();
+    let err = client.query(classifier.key, Query::ModelCount).unwrap_err();
+    assert!(
+        format!("{err}").contains("artifact"),
+        "unexpected error: {err}"
+    );
+
+    handle.shutdown();
+}

@@ -23,8 +23,10 @@ pub mod graph;
 pub mod hiermap;
 pub mod mallows;
 pub mod rankings;
+pub mod serve;
 pub mod simpath;
 
 pub use graph::{Graph, GridMap};
 pub use mallows::Mallows;
+pub use serve::PreparedSpace;
 pub use simpath::compile_simple_paths;

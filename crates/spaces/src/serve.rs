@@ -1,0 +1,295 @@
+//! Serving-facing prepared form of a compiled structured space.
+//!
+//! [`PreparedSpace`] freezes a Simpath compilation (the OBDD of simple
+//! `s`–`t` paths over edge variables) into an immutable, `Arc`-shareable
+//! artifact: every query takes `&self`, so the serving stack can answer
+//! from a thread pool without cloning the diagram. The two wire-facing
+//! queries are counting routes under evidence (`SpaceCount`) and finding
+//! the best route under literal weights (`SpaceTop`) — both one bottom-up
+//! pass over the diagram, the "trace of exhaustive search" dividend.
+
+use crate::graph::Graph;
+use trl_core::{Assignment, FxHashMap, PartialAssignment};
+use trl_nnf::LitWeights;
+use trl_obdd::{BddRef, Obdd};
+
+/// An immutable compiled space: the OBDD of simple `s`–`t` paths of a
+/// graph, plus enough metadata to interpret its variables as edges.
+pub struct PreparedSpace {
+    manager: Obdd,
+    root: BddRef,
+    graph: Graph,
+    s: usize,
+    t: usize,
+    node_count: usize,
+    path_count: u128,
+}
+
+impl PreparedSpace {
+    /// Compiles the space of simple `s`–`t` paths of `graph`.
+    ///
+    /// An unreachable pair yields the empty space (zero paths), not an
+    /// error — the diagram is `⊥` and every count is 0.
+    pub fn compile(graph: Graph, s: usize, t: usize) -> PreparedSpace {
+        let (manager, root) = crate::simpath::compile_simple_paths(&graph, s, t);
+        let node_count = manager.size(root);
+        let path_count = manager.count_models(root);
+        PreparedSpace {
+            manager,
+            root,
+            graph,
+            s,
+            t,
+            node_count,
+            path_count,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Source and destination nodes.
+    pub fn endpoints(&self) -> (usize, usize) {
+        (self.s, self.t)
+    }
+
+    /// Number of edge variables (the query universe).
+    pub fn num_edge_vars(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Nodes in the compiled diagram (the registry charges this).
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Total number of simple `s`–`t` paths.
+    pub fn path_count(&self) -> u128 {
+        self.path_count
+    }
+
+    /// Number of paths consistent with the evidence: edge variables the
+    /// evidence assigns are pinned, the rest range free. One memoized
+    /// bottom-up pass; levels skipped by the reduced diagram contribute a
+    /// factor 2 per unconstrained variable (1 per pinned one).
+    pub fn count_under(&self, e: &PartialAssignment) -> u128 {
+        let m = &self.manager;
+        let free = |from: u32, to: u32| -> u128 {
+            let mut f = 1u128;
+            for l in from..to {
+                if e.value(m.var_at(l)).is_none() {
+                    f <<= 1;
+                }
+            }
+            f
+        };
+        let mut memo: FxHashMap<BddRef, u128> = FxHashMap::default();
+        let top = self.count_rec(self.root, e, &mut memo);
+        free(0, self.level(self.root)) * top
+    }
+
+    fn level(&self, f: BddRef) -> u32 {
+        if self.manager.is_terminal(f) {
+            self.manager.num_vars() as u32
+        } else {
+            self.manager.level_of(self.manager.node_var(f))
+        }
+    }
+
+    fn count_rec(
+        &self,
+        f: BddRef,
+        e: &PartialAssignment,
+        memo: &mut FxHashMap<BddRef, u128>,
+    ) -> u128 {
+        if f == Obdd::FALSE {
+            return 0;
+        }
+        if f == Obdd::TRUE {
+            return 1;
+        }
+        if let Some(&c) = memo.get(&f) {
+            return c;
+        }
+        let m = &self.manager;
+        let level = self.level(f);
+        let sub = |this: &Self, g: BddRef, memo: &mut FxHashMap<BddRef, u128>| -> u128 {
+            let mut gap = 1u128;
+            for l in level + 1..this.level(g) {
+                if e.value(m.var_at(l)).is_none() {
+                    gap <<= 1;
+                }
+            }
+            gap * this.count_rec(g, e, memo)
+        };
+        let c = match e.value(m.node_var(f)) {
+            Some(true) => sub(self, m.high(f), memo),
+            Some(false) => sub(self, m.low(f), memo),
+            None => sub(self, m.low(f), memo) + sub(self, m.high(f), memo),
+        };
+        memo.insert(f, c);
+        c
+    }
+
+    /// The maximum-weight path: maximizes the product of literal weights
+    /// over all models (routes), mirroring `Circuit::max_weight` on
+    /// d-DNNFs. Returns `None` when the space is empty. Weights are
+    /// assumed non-negative (probabilistic semantics), as for circuits.
+    /// Ties break deterministically toward the high branch / positive
+    /// literal so wire and in-process answers are bit-identical.
+    pub fn max_weight(&self, w: &LitWeights) -> Option<(f64, Assignment)> {
+        if self.root == Obdd::FALSE {
+            return None;
+        }
+        let m = &self.manager;
+        let n = m.num_vars();
+        let mut memo: FxHashMap<BddRef, f64> = FxHashMap::default();
+        // Reconstruct an argmax assignment top-down, filling skipped
+        // levels with their heavier literal.
+        let mut a = Assignment::all_false(n);
+        let fill_gap = |a: &mut Assignment, from: u32, to: u32| {
+            for l in from..to {
+                let v = m.var_at(l);
+                a.set(v, w.get(v.positive()) >= w.get(v.negative()));
+            }
+        };
+        let mut f = self.root;
+        fill_gap(&mut a, 0, self.level(f));
+        while f != Obdd::TRUE {
+            let v = m.node_var(f);
+            let level = self.level(f);
+            let branch_val = |this: &Self, g: BddRef, memo: &mut FxHashMap<BddRef, f64>| {
+                if g == Obdd::FALSE {
+                    return f64::NEG_INFINITY;
+                }
+                let mut val = this.best_rec(g, w, memo);
+                for l in level + 1..this.level(g) {
+                    let gv = m.var_at(l);
+                    val *= w.get(gv.positive()).max(w.get(gv.negative()));
+                }
+                val
+            };
+            let hi = w.get(v.positive()) * branch_val(self, m.high(f), &mut memo);
+            let lo = w.get(v.negative()) * branch_val(self, m.low(f), &mut memo);
+            let take_high = hi >= lo;
+            a.set(v, take_high);
+            let g = if take_high { m.high(f) } else { m.low(f) };
+            fill_gap(&mut a, level + 1, self.level(g));
+            f = g;
+        }
+        // Report the weight of the reconstructed assignment itself so the
+        // value and witness are always consistent bit for bit.
+        Some((w.weight_of(&a), a))
+    }
+
+    fn best_rec(&self, f: BddRef, w: &LitWeights, memo: &mut FxHashMap<BddRef, f64>) -> f64 {
+        if f == Obdd::TRUE {
+            return 1.0;
+        }
+        if f == Obdd::FALSE {
+            return f64::NEG_INFINITY;
+        }
+        if let Some(&b) = memo.get(&f) {
+            return b;
+        }
+        let m = &self.manager;
+        let level = self.level(f);
+        let v = m.node_var(f);
+        let sub = |this: &Self, g: BddRef, memo: &mut FxHashMap<BddRef, f64>| -> f64 {
+            if g == Obdd::FALSE {
+                return f64::NEG_INFINITY;
+            }
+            let mut val = this.best_rec(g, w, memo);
+            for l in level + 1..this.level(g) {
+                let gv = m.var_at(l);
+                val *= w.get(gv.positive()).max(w.get(gv.negative()));
+            }
+            val
+        };
+        let hi = w.get(v.positive()) * sub(self, m.high(f), memo);
+        let lo = w.get(v.negative()) * sub(self, m.low(f), memo);
+        let b = hi.max(lo);
+        memo.insert(f, b);
+        b
+    }
+
+    /// Decodes a model of the space into the edge list of its route.
+    pub fn route_of(&self, a: &Assignment) -> Vec<usize> {
+        self.graph.chosen_edges(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_core::{Lit, Var};
+
+    fn diamond() -> Graph {
+        // 0-1, 0-2, 1-3, 2-3, 1-2: several 0->3 paths.
+        Graph::new(4, vec![(0, 1), (0, 2), (1, 3), (2, 3), (1, 2)])
+    }
+
+    fn enumerated_assignments(g: &Graph, s: usize, t: usize) -> Vec<Assignment> {
+        g.enumerate_simple_paths(s, t)
+            .iter()
+            .map(|p| g.assignment_of(p))
+            .collect()
+    }
+
+    #[test]
+    fn count_under_matches_exhaustive_enumeration() {
+        let g = diamond();
+        let space = PreparedSpace::compile(g.clone(), 0, 3);
+        let all = enumerated_assignments(&g, 0, 3);
+        assert_eq!(space.path_count(), all.len() as u128);
+        assert_eq!(
+            space.count_under(&PartialAssignment::new(5)),
+            all.len() as u128
+        );
+        // Pin every single edge both ways and compare against the filter.
+        for edge in 0..g.num_edges() {
+            for value in [false, true] {
+                let mut e = PartialAssignment::new(5);
+                e.assign(g.edge_var(edge).literal(value));
+                let brute = all
+                    .iter()
+                    .filter(|a| a.value(g.edge_var(edge)) == value)
+                    .count() as u128;
+                assert_eq!(space.count_under(&e), brute, "edge {edge}={value}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_weight_matches_brute_force() {
+        let g = diamond();
+        let space = PreparedSpace::compile(g.clone(), 0, 3);
+        let mut w = LitWeights::unit(5);
+        // Favor short routes: using an edge costs weight.
+        for i in 0..5 {
+            w.set(Lit::new(Var(i), true), 0.5);
+            w.set(Lit::new(Var(i), false), 1.0);
+        }
+        w.set(Lit::new(Var(4), true), 0.1);
+        let (val, a) = space.max_weight(&w).unwrap();
+        let brute = enumerated_assignments(&g, 0, 3)
+            .iter()
+            .map(|a| w.weight_of(a))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(val, brute);
+        assert!(g.is_simple_path(&a, 0, 3));
+        assert_eq!(w.weight_of(&a), val);
+    }
+
+    #[test]
+    fn empty_space_counts_zero_and_has_no_top_route() {
+        // Disconnected: 0-1 and 2-3 only.
+        let g = Graph::new(4, vec![(0, 1), (2, 3)]);
+        let space = PreparedSpace::compile(g, 0, 3);
+        assert_eq!(space.path_count(), 0);
+        assert_eq!(space.count_under(&PartialAssignment::new(2)), 0);
+        assert!(space.max_weight(&LitWeights::unit(2)).is_none());
+    }
+}

@@ -40,6 +40,21 @@ impl ReasonCircuit {
     pub fn new(m: &mut Obdd, f: BddRef, x: &Assignment) -> ReasonCircuit {
         let decision = m.eval(f, x);
         let target = if decision { f } else { m.not(f) };
+        Self::from_target(m, target, x, decision)
+    }
+
+    /// Like [`ReasonCircuit::new`], but with the classifier's negation
+    /// precomputed by the caller, so extraction never mutates `m`. This is
+    /// the serving entry point: a prepared classifier computes `¬f` once
+    /// at compile time and then answers explanation queries from shared
+    /// references.
+    pub fn with_negation(m: &Obdd, f: BddRef, f_neg: BddRef, x: &Assignment) -> ReasonCircuit {
+        let decision = m.eval(f, x);
+        let target = if decision { f } else { f_neg };
+        Self::from_target(m, target, x, decision)
+    }
+
+    fn from_target(m: &Obdd, target: BddRef, x: &Assignment, decision: bool) -> ReasonCircuit {
         // Build the reason in agreement space within a fresh manager of the
         // same size: node (v, α, β) with agreeing child γ and other child δ
         // becomes γ' ∧ (z_v ∨ δ').

@@ -31,9 +31,11 @@ pub mod images;
 pub mod naive_bayes;
 pub mod neural;
 pub mod robustness;
+pub mod serve;
 
 pub use anchor::{anchor, audit, AnchorVerdict};
 pub use explain::ReasonCircuit;
 pub use forest::{DecisionTree, RandomForest};
 pub use naive_bayes::NaiveBayes;
 pub use neural::Bnn;
+pub use serve::PreparedClassifier;

@@ -1,0 +1,168 @@
+//! Serving-facing prepared form of a compiled classifier (role 3 over the
+//! wire).
+//!
+//! [`PreparedClassifier`] freezes a classifier's decision function (given
+//! as CNF) into an immutable OBDD artifact: the negation is precomputed at
+//! compile time so every explanation query — sufficient reason, decision
+//! robustness, classifier bias — takes `&self` and can be answered from an
+//! `Arc` by any executor thread without locks.
+
+use crate::explain::ReasonCircuit;
+use crate::robustness::decision_robustness;
+use trl_core::{Assignment, Cube, Var, VarSet};
+use trl_obdd::{BddRef, Obdd};
+use trl_prop::Cnf;
+
+/// An immutable compiled classifier and its precomputed negation.
+pub struct PreparedClassifier {
+    manager: Obdd,
+    root: BddRef,
+    root_neg: BddRef,
+    support: VarSet,
+    num_vars: usize,
+    node_count: usize,
+}
+
+impl PreparedClassifier {
+    /// Compiles the decision function into a reduced OBDD over its natural
+    /// variable order and precomputes the negation and support.
+    pub fn compile(cnf: &Cnf) -> PreparedClassifier {
+        let n = cnf.num_vars();
+        let mut manager = Obdd::with_num_vars(n);
+        let root = manager.build_cnf(cnf);
+        let root_neg = manager.not(root);
+        let support = manager.support(root);
+        let node_count = manager.size(root);
+        PreparedClassifier {
+            manager,
+            root,
+            root_neg,
+            support,
+            num_vars: n,
+            node_count,
+        }
+    }
+
+    /// Number of input features.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Nodes in the compiled diagram (the registry charges this).
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The classifier's decision on an instance.
+    pub fn decide(&self, x: &Assignment) -> bool {
+        self.manager.eval(self.root, x)
+    }
+
+    /// The decision and one **shortest sufficient reason** for it: a
+    /// minimal set of instance characteristics that alone guarantees the
+    /// decision (a prime implicant of `f` — or `¬f` for negative
+    /// decisions — consistent with `x`). Deterministic: among shortest
+    /// reasons the lexicographically first is returned, so wire and
+    /// in-process answers agree bit for bit. `None` only when the target
+    /// function is unsatisfiable (no reason exists).
+    pub fn sufficient_reason(&self, x: &Assignment) -> (bool, Option<Cube>) {
+        let rc = ReasonCircuit::with_negation(&self.manager, self.root, self.root_neg, x);
+        let decision = rc.decision();
+        // `sufficient_reasons` returns sorted cubes; the first shortest
+        // one is therefore deterministic.
+        let reason = rc.sufficient_reasons().into_iter().min_by_key(|c| c.len());
+        (decision, reason)
+    }
+
+    /// Decision robustness at `x`: minimum feature flips that change the
+    /// decision, `None` for constant classifiers.
+    pub fn robustness(&self, x: &Assignment) -> Option<u32> {
+        decision_robustness(&self.manager, self.root, x)
+    }
+
+    /// Classifier-level bias against protected features: the classifier is
+    /// biased iff it makes a biased decision on *some* instance, which for
+    /// a reduced diagram holds exactly when the decision function depends
+    /// essentially on a protected feature (\[33\]'s Robin/Scott example:
+    /// one unbiased decision does not make an unbiased classifier).
+    pub fn is_biased(&self, protected: &[Var]) -> bool {
+        protected.iter().any(|v| self.support.contains(*v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_core::Lit;
+
+    /// (x1 ∨ x2) ∧ x3 as CNF.
+    fn clf() -> PreparedClassifier {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause([Lit::new(Var(0), true), Lit::new(Var(1), true)]);
+        cnf.add_clause([Lit::new(Var(2), true)]);
+        PreparedClassifier::compile(&cnf)
+    }
+
+    fn implies(c: &PreparedClassifier, cube: &Cube, target: bool) -> bool {
+        // Brute force: every completion of the cube decides `target`.
+        (0..1u64 << c.num_vars())
+            .map(|code| Assignment::from_index(code, c.num_vars()))
+            .filter(|a| cube.consistent_with(a))
+            .all(|a| c.decide(&a) == target)
+    }
+
+    #[test]
+    fn sufficient_reason_is_a_minimal_consistent_implicant() {
+        let c = clf();
+        for code in 0..1u64 << 3 {
+            let x = Assignment::from_index(code, 3);
+            let (decision, reason) = c.sufficient_reason(&x);
+            assert_eq!(decision, c.decide(&x));
+            let reason = reason.expect("non-constant classifier always has a reason");
+            assert!(reason.consistent_with(&x), "reason drawn from the instance");
+            assert!(
+                implies(&c, &reason, decision),
+                "reason must trigger the decision"
+            );
+            // Minimality: dropping any literal breaks the guarantee.
+            for drop in reason.literals() {
+                let weaker =
+                    Cube::from_lits(reason.literals().iter().copied().filter(|l| l != drop));
+                assert!(
+                    !implies(&c, &weaker, decision),
+                    "reason {reason:?} not minimal at {x:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn robustness_matches_brute_force_min_flips() {
+        let c = clf();
+        for code in 0..1u64 << 3 {
+            let x = Assignment::from_index(code, 3);
+            let d = c.decide(&x);
+            let brute = (0..1u64 << 3)
+                .map(|other| Assignment::from_index(other, 3))
+                .filter(|a| c.decide(a) != d)
+                .map(|a| a.hamming_distance(&x) as u32)
+                .min();
+            assert_eq!(c.robustness(&x), brute);
+        }
+    }
+
+    #[test]
+    fn bias_is_essential_dependence() {
+        let c = clf();
+        assert!(c.is_biased(&[Var(0)]));
+        assert!(c.is_biased(&[Var(2)]));
+        assert!(!c.is_biased(&[]));
+        // A variable outside the universe of influence: add a 4th feature
+        // the function ignores.
+        let mut cnf = Cnf::new(4);
+        cnf.add_clause([Lit::new(Var(0), true), Lit::new(Var(1), true)]);
+        let c4 = PreparedClassifier::compile(&cnf);
+        assert!(!c4.is_biased(&[Var(3)]));
+        assert!(c4.is_biased(&[Var(1), Var(3)]));
+    }
+}

@@ -13,8 +13,8 @@ use std::sync::Arc;
 use three_roles::compiler::DecisionDnnfCompiler;
 use three_roles::core::Var;
 use three_roles::engine::{
-    fingerprint, load_binary, load_nnf, save_binary, save_nnf, Executor, PreparedCircuit, Query,
-    QueryAnswer, Registry, Validation,
+    fingerprint, load_binary, load_nnf, save_binary, save_nnf, Artifact, Executor, PreparedCircuit,
+    Query, QueryAnswer, Registry, Validation,
 };
 use three_roles::nnf::LitWeights;
 use three_roles::prop::Cnf;
@@ -56,7 +56,10 @@ fn main() {
 
     // A registry keeps prepared artifacts hot under a node budget.
     let mut registry = Registry::new(1 << 16);
-    registry.insert(fingerprint(&cnf), Arc::new(PreparedCircuit::new(from_bin)));
+    registry.insert(
+        fingerprint(&cnf),
+        Artifact::Circuit(Arc::new(PreparedCircuit::new(from_bin))),
+    );
     let prepared = registry.get_or_compile(&cnf); // hit: no recompilation
     println!(
         "registry: {} artifact(s), {} retained nodes, stats {:?}",

@@ -6,9 +6,14 @@
 //! three-roles query <artifact> [--count] [--sat] [--wmc] [--marginals] [--mpe]
 //!                   [--weight LIT=W]... [--under LIT]... [--batch FILE]
 //!                   [--workers N] [--trust]
+//! three-roles learn <cnf> --data FILE [--alpha A] [--ll] [--evidence LIT]...
+//!                   [--server ADDR]
+//! three-roles space <graph> [--count] [--under LIT]... [--top] [--weight LIT=W]...
+//!                   [--server ADDR]
+//! three-roles explain <cnf> --instance "LITS" [--reason] [--robustness]
+//!                   [--bias "VARS"] [--server ADDR]
 //! three-roles serve <addr> [--workers N] [--budget NODES] [--max-conns N]
-//!                   [--queue N] [--timeout-secs S] [--idle-poll-ms MS]
-//!                   [--slow-ms MS] [--obs-log]
+//!                   [--queue N] [--timeout-secs S] [--slow-ms MS] [--obs-log]
 //! three-roles client <addr> ping | stats [--watch] | shutdown
 //! three-roles client <addr> compile <cnf>
 //! three-roles client <addr> query <cnf> [query flags as above]
@@ -36,12 +41,22 @@
 //! runs the serving benchmark and writes `BENCH_engine.json`;
 //! `bench-eval` runs the kernel-variant benchmark and writes
 //! `BENCH_eval.json`.
+//!
+//! `learn`, `space`, and `explain` are the other two roles of the paper
+//! behind the same compile-once/query-many engine: `learn` fits a PSDD to
+//! weighted complete data (role 2, learning), `space` compiles an s–t
+//! simple-path structured space (role 2, meta-level reasoning about a
+//! model's domain), and `explain` compiles a CNF classifier and answers
+//! sufficient-reason / robustness / bias queries (role 3). Each runs
+//! in-process by default and against a running `serve` with `--server
+//! ADDR`; answers are bit-identical either way, so the two are diffable
+//! up to the latency suffix.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use three_roles::compiler::DecisionDnnfCompiler;
-use three_roles::core::PartialAssignment;
+use three_roles::core::{Assignment, PartialAssignment};
 use three_roles::core::{Lit, Var};
 use three_roles::engine::StatsSnapshot;
 use three_roles::engine::{
@@ -63,6 +78,9 @@ fn main() -> ExitCode {
     let run = match cmd.as_str() {
         "compile" => cmd_compile(rest),
         "query" => cmd_query(rest),
+        "learn" => cmd_learn(rest),
+        "space" => cmd_space(rest),
+        "explain" => cmd_explain(rest),
         "serve" => cmd_serve(rest),
         "client" => cmd_client(rest),
         "metrics" => cmd_metrics(rest),
@@ -91,6 +109,12 @@ USAGE:
   three-roles query <artifact> [--count] [--sat] [--wmc] [--marginals] [--mpe]
                     [--weight LIT=W]... [--under LIT]... [--batch FILE]
                     [--workers N] [--trust]
+  three-roles learn <cnf> --data FILE [--alpha A] [--ll] [--evidence LIT]...
+                    [--server ADDR]
+  three-roles space <graph> [--count] [--under LIT]... [--top] [--weight LIT=W]...
+                    [--server ADDR]
+  three-roles explain <cnf> --instance \"LITS\" [--reason] [--robustness]
+                    [--bias \"VARS\"] [--server ADDR]
   three-roles serve <addr> [--workers N] [--budget NODES] [--max-conns N]
                     [--queue N] [--timeout-secs S] [--reactors N]
                     [--layer-parallel] [--slow-ms MS] [--obs-log]
@@ -126,6 +150,37 @@ QUERY (artifacts ending in .nnf use the text reader, anything else binary):
   --workers N        executor worker threads (default: all available cores)
   --trust            skip d-DNNF property re-verification on load
 
+LEARN (role 2: fit a PSDD to weighted complete data under a CNF):
+  --data FILE        training examples, one per line: DIMACS literals
+                     covering every variable, optionally '* W' for a
+                     weight (default 1), e.g. '1 -2 3 -4 * 2.5';
+                     blank lines and '#' comments are skipped
+  --alpha A          Laplace smoothing pseudocount (default 1)
+  --ll               training-set log-likelihood query (default when no
+                     query flag is given)
+  --evidence LIT     marginal probability of evidence: assert a DIMACS
+                     literal (repeatable; implies a psdd_marginal query)
+  --server ADDR      learn and answer on a running `serve` instead of
+                     in-process (bit-identical output)
+
+SPACE (role 2: compile an s-t simple-path space over a graph):
+  <graph>            first non-comment line 'N S T' (node count, source,
+                     target), then one 'U V' edge per line; edge i is
+                     DIMACS variable i+1 of the space's universe
+  --count            count objects consistent with the evidence (default)
+  --under LIT        evidence for --count: assert an edge literal
+  --top              maximum-weight object under --weight literal weights
+  --weight LIT=W     set an edge literal's weight (unset literals weigh 1)
+  --server ADDR      compile and answer on a running `serve`
+
+EXPLAIN (role 3: explain a CNF classifier's decision on an instance):
+  --instance \"LITS\"  complete instance as DIMACS literals, e.g. '1 -2 3'
+  --reason           decision + one shortest sufficient reason (default)
+  --robustness       minimum feature flips that change the decision
+  --bias \"VARS\"      whether the classifier decides differently when only
+                     these protected DIMACS variables change
+  --server ADDR      compile and answer on a running `serve`
+
 SERVE (TCP frontend; `client query` answers are bit-identical to `query`):
   --workers N        engine worker threads (default: all available cores)
   --budget NODES     registry node-retention budget (default 2^24)
@@ -138,8 +193,6 @@ SERVE (TCP frontend; `client query` answers are bit-identical to `query`):
                      (default: derived from available cores, capped at 4)
   --layer-parallel   opt in to layered intra-query parallelism for large
                      circuits (default off: lane-batched sweeps only)
-  --idle-poll-ms MS  deprecated, ignored: the readiness-driven server has
-                     no idle-poll loop (accepted so old invocations work)
   --slow-ms MS       log requests slower than MS to stderr as JSON lines
                      (default: off)
   --obs-log          stream every finished span to stderr as JSON lines
@@ -452,7 +505,7 @@ impl QuerySpec {
 /// and `client query` route through here, so a local and a networked run of
 /// the same queries produce byte-identical output up to the latency suffix.
 fn print_outcome(kind: &str, answer: &QueryAnswer, latency: Duration) {
-    print!("{kind:<19}");
+    print!("{kind:<21}");
     match answer {
         QueryAnswer::Sat(yes) => print!("{}", if *yes { "SAT" } else { "UNSAT" }),
         QueryAnswer::ModelCount(c) => print!("{c}"),
@@ -472,6 +525,29 @@ fn print_outcome(kind: &str, answer: &QueryAnswer, latency: Duration) {
             }
             print!("]");
         }
+        QueryAnswer::LogLikelihood(x) => print!("{x}"),
+        QueryAnswer::Probability(x) => print!("{x}"),
+        QueryAnswer::Reason { decision, reason } => {
+            print!("{}  ", if *decision { "POSITIVE" } else { "NEGATIVE" });
+            match reason {
+                None => print!("(no consistent instance)"),
+                Some(cube) => {
+                    print!("[");
+                    for (i, l) in cube.literals().iter().enumerate() {
+                        let sign = if l.is_positive() { "" } else { "-" };
+                        print!(
+                            "{}{sign}{}",
+                            if i > 0 { " " } else { "" },
+                            l.var().index() + 1
+                        );
+                    }
+                    print!("]");
+                }
+            }
+        }
+        QueryAnswer::Robustness(None) => print!("(constant decision)"),
+        QueryAnswer::Robustness(Some(flips)) => print!("{flips}"),
+        QueryAnswer::Bias(b) => print!("{}", if *b { "BIASED" } else { "UNBIASED" }),
     }
     println!("   ({:.1} us)", latency.as_secs_f64() * 1e6);
 }
@@ -506,6 +582,311 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a complete assignment over `n` variables from whitespace-
+/// separated DIMACS literals: every variable exactly once.
+fn parse_complete(lits: &str, n: usize) -> Result<Assignment, String> {
+    let mut values = vec![None; n];
+    for tok in lits.split_whitespace() {
+        let l = parse_dimacs_lit(tok)?;
+        let i = l.var().index();
+        if i >= n {
+            return Err(format!("literal {tok} outside the CNF's {n} variables"));
+        }
+        if values[i].is_some() {
+            return Err(format!("variable {} assigned twice", i + 1));
+        }
+        values[i] = Some(l.is_positive());
+    }
+    let complete: Option<Vec<bool>> = values.into_iter().collect();
+    match complete {
+        Some(v) => Ok(Assignment::from_values(&v)),
+        None => Err(format!("not a complete assignment of all {n} variables")),
+    }
+}
+
+/// Reads a `--data` training file: one complete assignment per line as
+/// DIMACS literals, optionally `* W` for a weight (default 1).
+fn read_dataset(path: &str, n: usize) -> Result<Vec<(Assignment, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut data = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |e: String| format!("{path}:{}: {e}", lineno + 1);
+        let (lits, weight) = match line.split_once('*') {
+            Some((l, w)) => (
+                l,
+                parse_num::<f64>(w.trim(), "example weight").map_err(&at)?,
+            ),
+            None => (line, 1.0),
+        };
+        if !weight.is_finite() || weight <= 0.0 {
+            return Err(at(format!("example weight {weight} is not positive")));
+        }
+        data.push((parse_complete(lits, n).map_err(&at)?, weight));
+    }
+    if data.is_empty() {
+        return Err(format!("{path} holds no training examples"));
+    }
+    Ok(data)
+}
+
+/// A `space` graph: node count, edges, source, target.
+type Graph = (u32, Vec<(u32, u32)>, u32, u32);
+
+/// Reads a `space` graph file: first non-comment line `N S T`, then one
+/// `U V` edge per line.
+fn read_graph(path: &str) -> Result<Graph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut header: Option<(u32, u32, u32)> = None;
+    let mut edges = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |e: String| format!("{path}:{}: {e}", lineno + 1);
+        let nums: Vec<&str> = line.split_whitespace().collect();
+        match (&header, nums.as_slice()) {
+            (None, [n, s, t]) => {
+                header = Some((
+                    parse_num(n, "node count").map_err(&at)?,
+                    parse_num(s, "source node").map_err(&at)?,
+                    parse_num(t, "target node").map_err(&at)?,
+                ));
+            }
+            (None, _) => return Err(at("expected an 'N S T' header line".into())),
+            (Some(_), [u, v]) => edges.push((
+                parse_num(u, "edge endpoint").map_err(&at)?,
+                parse_num(v, "edge endpoint").map_err(&at)?,
+            )),
+            (Some(_), _) => return Err(at("expected a 'U V' edge line".into())),
+        }
+    }
+    let Some((n, s, t)) = header else {
+        return Err(format!("{path} holds no graph"));
+    };
+    Ok((n, edges, s, t))
+}
+
+/// Answers role queries against a key on a remote server, printing in the
+/// same stable format as the in-process path.
+fn run_queries_remote(client: &mut Client, key: u64, queries: Vec<Query>) -> Result<(), String> {
+    for query in queries {
+        let kind = query.kind();
+        let start = Instant::now();
+        let answer = client.query(key, query).map_err(|e| e.to_string())?;
+        print_outcome(kind, &answer, start.elapsed());
+    }
+    Ok(())
+}
+
+/// Answers role queries against a just-created artifact in-process.
+fn run_queries_local(engine: &Engine, key: u64, queries: Vec<Query>) -> Result<(), String> {
+    let artifact = engine.get(key).expect("artifact was created above");
+    let outcomes = engine
+        .run_artifact_batch(&artifact, queries.clone())
+        .map_err(|e| e.to_string())?;
+    for (query, outcome) in queries.iter().zip(outcomes) {
+        print_outcome(query.kind(), &outcome.answer, outcome.latency);
+    }
+    Ok(())
+}
+
+fn cmd_learn(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let data_path =
+        take_value(&mut args, "--data")?.ok_or("learn needs --data FILE (see --help)")?;
+    let alpha: f64 = match take_value(&mut args, "--alpha")? {
+        Some(a) => parse_num(&a, "alpha")?,
+        None => 1.0,
+    };
+    let want_ll = take_flag(&mut args, "--ll");
+    let mut evidence = Vec::new();
+    while let Some(spec) = take_value(&mut args, "--evidence")? {
+        evidence.push(parse_dimacs_lit(&spec)?);
+    }
+    let server = take_value(&mut args, "--server")?;
+    let input = take_positional(args, "input CNF path")?;
+
+    let cnf = read_cnf(&input)?;
+    let n = cnf.num_vars();
+    let data = read_dataset(&data_path, n)?;
+
+    let mut queries = Vec::new();
+    if want_ll || evidence.is_empty() {
+        queries.push(Query::PsddLogLikelihood(data.clone()));
+    }
+    if !evidence.is_empty() {
+        let mut pa = PartialAssignment::new(n);
+        for &l in &evidence {
+            if l.var().index() >= n {
+                return Err(format!(
+                    "--evidence literal {} outside the CNF's {n} variables",
+                    l.var().index() + 1
+                ));
+            }
+            pa.assign(l);
+        }
+        queries.push(Query::PsddMarginal(pa));
+    }
+
+    match server {
+        Some(addr) => {
+            let mut client =
+                Client::connect(addr.as_str()).map_err(|e| format!("connecting to {addr}: {e}"))?;
+            let s = client
+                .learn_psdd(&cnf, &data, alpha)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "learned {input}: {} vars, {} nodes, train log-likelihood {}",
+                s.num_vars, s.nodes, s.log_likelihood
+            );
+            run_queries_remote(&mut client, s.key, queries)
+        }
+        None => {
+            let engine = Engine::new(1 << 24, None);
+            let (key, psdd) = engine
+                .learn_psdd(&cnf, &data, alpha)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "learned {input}: {} vars, {} nodes, train log-likelihood {}",
+                psdd.num_vars(),
+                psdd.node_count(),
+                psdd.train_log_likelihood()
+            );
+            run_queries_local(&engine, key, queries)
+        }
+    }
+}
+
+fn cmd_space(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let want_count = take_flag(&mut args, "--count");
+    let want_top = take_flag(&mut args, "--top");
+    let mut under = Vec::new();
+    while let Some(spec) = take_value(&mut args, "--under")? {
+        under.push(parse_dimacs_lit(&spec)?);
+    }
+    let mut weights_spec = Vec::new();
+    while let Some(spec) = take_value(&mut args, "--weight")? {
+        weights_spec.push(parse_weight(&spec)?);
+    }
+    let server = take_value(&mut args, "--server")?;
+    let input = take_positional(args, "input graph path")?;
+
+    let (num_nodes, edges, s, t) = read_graph(&input)?;
+    let n = edges.len();
+
+    let mut queries = Vec::new();
+    if want_count || !want_top {
+        let mut pa = PartialAssignment::new(n);
+        for &l in &under {
+            if l.var().index() >= n {
+                return Err(format!(
+                    "--under literal {} outside the space's {n} edge variables",
+                    l.var().index() + 1
+                ));
+            }
+            pa.assign(l);
+        }
+        queries.push(Query::SpaceCount(pa));
+    }
+    if want_top {
+        check_weight_vars(&weights_spec, n).map_err(|e| format!("--weight {e}"))?;
+        queries.push(Query::SpaceTop(weighted(&weights_spec, n)));
+    }
+
+    match server {
+        Some(addr) => {
+            let mut client =
+                Client::connect(addr.as_str()).map_err(|e| format!("connecting to {addr}: {e}"))?;
+            let summary = client
+                .compile_space(num_nodes, &edges, s, t)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "space {input}: {num_nodes} graph nodes, {} edge vars, {} circuit nodes, {} s-t paths",
+                summary.num_edge_vars, summary.nodes, summary.paths
+            );
+            run_queries_remote(&mut client, summary.key, queries)
+        }
+        None => {
+            let engine = Engine::new(1 << 24, None);
+            let (key, space) = engine
+                .compile_space(num_nodes as usize, &edges, s, t)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "space {input}: {num_nodes} graph nodes, {} edge vars, {} circuit nodes, {} s-t paths",
+                space.num_edge_vars(),
+                space.node_count(),
+                space.path_count()
+            );
+            run_queries_local(&engine, key, queries)
+        }
+    }
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let instance_spec = take_value(&mut args, "--instance")?
+        .ok_or("explain needs --instance \"LITS\" (see --help)")?;
+    let want_reason = take_flag(&mut args, "--reason");
+    let want_robustness = take_flag(&mut args, "--robustness");
+    let bias_spec = take_value(&mut args, "--bias")?;
+    let server = take_value(&mut args, "--server")?;
+    let input = take_positional(args, "input CNF path")?;
+
+    let cnf = read_cnf(&input)?;
+    let n = cnf.num_vars();
+    let instance = parse_complete(&instance_spec, n).map_err(|e| format!("--instance: {e}"))?;
+
+    let mut queries = Vec::new();
+    if want_reason || (!want_robustness && bias_spec.is_none()) {
+        queries.push(Query::SufficientReason(instance.clone()));
+    }
+    if want_robustness {
+        queries.push(Query::DecisionRobustness(instance));
+    }
+    if let Some(spec) = bias_spec {
+        let mut vars = Vec::new();
+        for tok in spec.split_whitespace() {
+            let v: u32 = parse_num(tok, "protected DIMACS variable")?;
+            if v == 0 || v as usize > n {
+                return Err(format!(
+                    "--bias variable {tok} outside the CNF's 1..={n} variables"
+                ));
+            }
+            vars.push(Var(v - 1));
+        }
+        queries.push(Query::ClassifierBias(vars));
+    }
+
+    match server {
+        Some(addr) => {
+            let mut client =
+                Client::connect(addr.as_str()).map_err(|e| format!("connecting to {addr}: {e}"))?;
+            let summary = client.compile_classifier(&cnf).map_err(|e| e.to_string())?;
+            println!(
+                "classifier {input}: {} vars, {} circuit nodes",
+                summary.num_vars, summary.nodes
+            );
+            run_queries_remote(&mut client, summary.key, queries)
+        }
+        None => {
+            let engine = Engine::new(1 << 24, None);
+            let (key, clf) = engine.compile_classifier(&cnf);
+            println!(
+                "classifier {input}: {} vars, {} circuit nodes",
+                clf.num_vars(),
+                clf.node_count()
+            );
+            run_queries_local(&engine, key, queries)
+        }
+    }
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let workers = take_value(&mut args, "--workers")?
@@ -529,13 +910,6 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     if let Some(n) = take_value(&mut args, "--reactors")? {
         config.reactors = parse_num(&n, "reactor count")?;
-    }
-    if let Some(ms) = take_value(&mut args, "--idle-poll-ms")? {
-        // Still parsed so existing invocations don't break, but the
-        // readiness-driven server has nothing to poll.
-        let ms: u64 = parse_num(&ms, "idle-poll interval")?;
-        config.idle_poll = Duration::from_millis(ms.max(1));
-        eprintln!("note: --idle-poll-ms is deprecated and ignored; the server is readiness-driven");
     }
     if let Some(ms) = take_value(&mut args, "--slow-ms")? {
         let ms: u64 = parse_num(&ms, "slow-query threshold")?;
@@ -674,7 +1048,7 @@ fn print_stats(addr: &str, s: &StatsSnapshot) {
     let total: u64 = s.requests_served.iter().map(|(_, c)| c).sum();
     println!("  queries    {total} served");
     println!(
-        "    {:<18} {:>10} {:>10} {:>10} {:>10}",
+        "    {:<21} {:>10} {:>10} {:>10} {:>10}",
         "kind", "served", "p50 us", "p95 us", "p99 us"
     );
     for (kind, count) in &s.requests_served {
@@ -685,11 +1059,11 @@ fn print_stats(addr: &str, s: &StatsSnapshot) {
             .map(LatencySummary::from_histogram);
         match summary {
             Some(l) => println!(
-                "    {kind:<18} {count:>10} {:>10.0} {:>10.0} {:>10.0}",
+                "    {kind:<21} {count:>10} {:>10.0} {:>10.0} {:>10.0}",
                 l.p50_us, l.p95_us, l.p99_us
             ),
             None => println!(
-                "    {kind:<18} {count:>10} {:>10} {:>10} {:>10}",
+                "    {kind:<21} {count:>10} {:>10} {:>10} {:>10}",
                 "-", "-", "-"
             ),
         }

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use three_roles::compiler::DecisionDnnfCompiler;
 use three_roles::core::Var;
 use three_roles::engine::{
-    fingerprint, load_binary, load_nnf, save_binary, save_nnf, EngineError, Executor,
+    fingerprint, load_binary, load_nnf, save_binary, save_nnf, Artifact, EngineError, Executor,
     PreparedCircuit, Query, QueryAnswer, Registry, Validation,
 };
 use three_roles::nnf::LitWeights;
@@ -78,7 +78,10 @@ fn registry_serves_loaded_artifacts_without_recompiling() {
     three_roles::engine::write_binary(&circuit, &mut bytes).unwrap();
     let restored =
         three_roles::engine::read_binary(&mut bytes.as_slice(), Validation::Full).unwrap();
-    registry.insert(key, Arc::new(PreparedCircuit::new(restored)));
+    registry.insert(
+        key,
+        Artifact::Circuit(Arc::new(PreparedCircuit::new(restored))),
+    );
 
     let served = registry.get_or_compile(&cnf);
     assert_eq!(registry.stats().misses, 0);
