@@ -32,9 +32,17 @@ cargo test --workspace --no-default-features --quiet
 # malformed doc comments fail the gate.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
-# Perf smoke: the lane-batched evaluation kernels must answer bit-for-bit
-# like the scalar queries and must never be *slower* than them (sanity
-# floor — the tight >=4x gate lives in the full bench_eval run).
+# SIMD feature matrix: the kernels must build and stay bit-identical with
+# the `simd` feature off — every lane sweep forced onto the portable
+# scalar backend — with the randomized identity suites still enabled.
+cargo test --quiet -p trl-nnf --no-default-features --features proptest
+
+# Perf smoke: both bench tiers (including the ~145k-node large circuit).
+# Fails if any kernel variant loses bit-identity with the scalar queries,
+# if lane batching is slower than scalar, or if the layer-parallel path
+# is slower than scalar on the large tier (it was 0.03x there before the
+# persistent sweep pool). The tight >=4x / SIMD / layered-floor gates
+# live in the full bench_eval run.
 cargo run --release --quiet -p trl-bench --bin bench_eval -- --smoke
 
 # Net smoke: a real server on an ephemeral port must answer every query

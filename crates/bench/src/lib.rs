@@ -89,6 +89,42 @@ pub fn random_3cnf(rng: &mut Rng, n: usize, m: usize) -> trl_prop::Cnf {
     cnf
 }
 
+/// Generates a conjunction of `copies` independent random 3-CNF blocks
+/// over disjoint variable ranges — the large-circuit benchmark instance:
+/// the compiler's component decomposition compiles each block separately,
+/// so tape size scales linearly with `copies` while per-block structure
+/// stays realistic. Every block carries a planted satisfying assignment
+/// (a clause violating it gets one literal flipped to agree), so no block
+/// is ever UNSAT — one false block would collapse the whole circuit to
+/// `⊥` and the tape to a single node.
+pub fn chained_3cnf(rng: &mut Rng, copies: usize, n: usize, m: usize) -> trl_prop::Cnf {
+    use trl_core::{Lit, Var};
+    let mut cnf = trl_prop::Cnf::new(copies * n);
+    for c in 0..copies {
+        let base = (c * n) as u32;
+        let planted: Vec<bool> = (0..n).map(|_| rng.next_u64() & 1 == 0).collect();
+        for _ in 0..m {
+            let mut lits: Vec<Lit> = Vec::with_capacity(3);
+            while lits.len() < 3 {
+                let v = rng.below(n);
+                if lits.iter().all(|l| l.var() != Var(base + v as u32)) {
+                    lits.push(Var(base + v as u32).literal(rng.next_u64() & 1 == 0));
+                }
+            }
+            if !lits
+                .iter()
+                .any(|l| l.is_positive() == planted[l.var().index() - base as usize])
+            {
+                let flip = rng.below(3);
+                let v = lits[flip].var();
+                lits[flip] = v.literal(planted[v.index() - base as usize]);
+            }
+            cnf.add_clause(lits);
+        }
+    }
+    cnf
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +145,25 @@ mod tests {
         assert_eq!(cnf.num_vars(), 10);
         assert_eq!(cnf.clauses().len(), 20);
         assert!(cnf.clauses().iter().all(|c| c.len() == 3));
+    }
+
+    #[test]
+    fn chained_cnf_blocks_are_disjoint_and_satisfiable() {
+        let mut rng = Rng::new(5);
+        let cnf = chained_3cnf(&mut rng, 4, 6, 10);
+        assert_eq!(cnf.num_vars(), 24);
+        assert_eq!(cnf.clauses().len(), 40);
+        for (i, clause) in cnf.clauses().iter().enumerate() {
+            let block = i / 10;
+            assert_eq!(clause.len(), 3);
+            assert!(clause
+                .literals()
+                .iter()
+                .all(|l| l.var().index() / 6 == block));
+        }
+        // Every block planted a solution, so the conjunction is SAT.
+        let (c, _) = crate::seed_compiler::compile(&cnf);
+        assert!(c.model_count() > 0);
     }
 
     #[test]

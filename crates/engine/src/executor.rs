@@ -35,19 +35,28 @@ use crate::prepared::PreparedCircuit;
 use trl_core::{Assignment, Cube, PartialAssignment, Var};
 use trl_nnf::{LitWeights, LANES};
 
-/// The node count [`ParallelPolicy::Layered`] historically switched at.
-/// Kept as the suggested starting point for callers opting in.
+/// The node count [`ParallelPolicy::Layered`] switches at — the default
+/// policy of [`Executor::with_default_workers`]. Validated by
+/// `bench_eval`'s large-circuit tier: a layered sweep over the persistent
+/// [`trl_nnf::SweepPool`] costs one job dispatch plus one barrier per
+/// dependency layer, which the measured per-node sweep rate amortizes
+/// comfortably by ~64k tape nodes, while the small tier (hundreds of
+/// nodes) stays far below the cut-over and keeps its lane-batched path.
 pub const DEFAULT_LAYERED_MIN_NODES: usize = 1 << 16;
 
 /// How the executor parallelizes one query group.
 ///
-/// The scoped-thread layer-parallel sweep loses to the plain lane-batched
-/// kernel on every circuit measured so far (BENCH_eval.json records a
-/// 0.03x "speedup" — spawn and barrier overhead swamps the per-layer
-/// work), so it is opt-in: the default policy never dispatches it. Opt in
-/// with [`Executor::set_parallel_policy`] once a circuit is genuinely wide
-/// enough to amortize the fan-out, or leave the default and let the batch
-/// be split *across* workers in lane-aligned chunks instead.
+/// Layered sweeps run on the persistent [`trl_nnf::SweepPool`] (spawned
+/// once per process, chunked work-stealing within each dependency layer),
+/// so dispatching one costs a condvar wake instead of per-layer thread
+/// spawns. They still only pay off when a circuit's layers hold enough
+/// nodes to amortize the per-layer barrier: [`ParallelPolicy::Layered`]
+/// carries that node threshold, and [`Executor::with_default_workers`]
+/// enables it at [`DEFAULT_LAYERED_MIN_NODES`]. [`Executor::new`] keeps
+/// the policy at [`ParallelPolicy::LaneOnly`] — explicit worker counts
+/// are the manual-control constructor, and the lane-batched path is the
+/// safe floor everywhere (on single-CPU hosts the pool degrades to it
+/// inline). Flip at runtime with [`Executor::set_parallel_policy`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ParallelPolicy {
     /// Lane-batched kernels only; groups are chunked across the worker
@@ -473,9 +482,18 @@ impl Executor {
 
     /// Spawns one worker per hardware thread
     /// ([`std::thread::available_parallelism`], falling back to 1) — the
-    /// default when no explicit worker count is configured.
+    /// default when no explicit worker count is configured — and enables
+    /// [`ParallelPolicy::Layered`] at [`DEFAULT_LAYERED_MIN_NODES`]: with
+    /// the persistent sweep pool, layer-parallel dispatch is a measured
+    /// win past that size and a no-op degradation below one participant,
+    /// so the auto-sized executor no longer needs a manual
+    /// [`Executor::set_parallel_policy`] call to benefit.
     pub fn with_default_workers() -> Self {
-        Executor::new(std::thread::available_parallelism().map_or(1, |p| p.get()))
+        let ex = Executor::new(std::thread::available_parallelism().map_or(1, |p| p.get()));
+        ex.set_parallel_policy(ParallelPolicy::Layered {
+            min_nodes: DEFAULT_LAYERED_MIN_NODES,
+        });
+        ex
     }
 
     fn worker_loop(rx: &Mutex<Receiver<Job>>, in_flight: &AtomicUsize) {
@@ -688,8 +706,9 @@ impl Executor {
             }
             if layered {
                 // One job, whole group: the worker fans each tape layer
-                // across the pool's width.
-                send(indices, group, workers);
+                // across the persistent sweep pool's full width (the
+                // kernel clamps to what the pool actually has).
+                send(indices, group, trl_nnf::SweepPool::global().size());
                 continue;
             }
             // Split the group across workers in lane-aligned chunks, so
@@ -856,6 +875,20 @@ mod tests {
         ex.set_parallel_policy(ParallelPolicy::LaneOnly);
         assert_eq!(ex.parallel_policy(), ParallelPolicy::LaneOnly);
         assert_eq!(ex.parallel_policy().describe(), "lane-only");
+    }
+
+    #[test]
+    fn default_workers_auto_tune_the_layered_policy() {
+        let ex = Executor::with_default_workers();
+        assert_eq!(
+            ex.parallel_policy(),
+            ParallelPolicy::Layered {
+                min_nodes: DEFAULT_LAYERED_MIN_NODES
+            }
+        );
+        // Explicit worker counts are the manual-control constructor and
+        // keep the lane-only floor.
+        assert_eq!(Executor::new(2).parallel_policy(), ParallelPolicy::LaneOnly);
     }
 
     #[test]

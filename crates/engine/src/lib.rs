@@ -67,7 +67,10 @@ pub use artifact::{
 pub use binary::{load_binary, read_binary, save_binary, write_binary, FORMAT_VERSION};
 pub use engine::{Engine, StatsSnapshot};
 pub use error::EngineError;
-pub use eval_bench::{eval_benchmark, kernel_identity_sweep, EvalReport, EvalVariantReport};
+pub use eval_bench::{
+    eval_benchmark, eval_benchmark_tiers, kernel_identity_sweep, EvalReport, EvalTierReport,
+    EvalVariantReport, TierSpec,
+};
 pub use executor::{
     Executor, ParallelPolicy, Query, QueryAnswer, QueryOutcome, DEFAULT_LAYERED_MIN_NODES,
     QUERY_KINDS,

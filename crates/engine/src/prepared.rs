@@ -69,6 +69,16 @@ impl PreparedCircuit {
         self.tape.get_or_init(|| EvalTape::new(self.smoothed()))
     }
 
+    /// Materializes the smoothed circuit and evaluation tape now instead
+    /// of on the first counting query. Benchmarks and latency-sensitive
+    /// deployments call this before the measurement/serving loop so tape
+    /// construction is never billed to an unlucky first query (it showed
+    /// up as a millisecond-scale max-latency outlier in `BENCH_eval.json`
+    /// before the bench warmed the tape).
+    pub fn warm(&self) {
+        self.tape();
+    }
+
     /// Whether the smoothed circuit has been materialized yet (it stays
     /// absent for workloads — SAT — that never need smoothing).
     pub fn smoothing_materialized(&self) -> bool {
@@ -242,6 +252,12 @@ mod tests {
         let p = PreparedCircuit::new(c.clone());
         assert!(!p.smoothing_materialized());
         assert_eq!(p.retained_nodes(), p.raw().node_count());
+
+        // Warming materializes everything eagerly.
+        let warmed = PreparedCircuit::new(c.clone());
+        warmed.warm();
+        assert!(warmed.smoothing_materialized());
+        assert!(warmed.retained_nodes() > warmed.raw().node_count());
 
         // SAT never smooths.
         assert_eq!(p.answer(&Query::Sat), QueryAnswer::Sat(true));

@@ -1,4 +1,5 @@
-//! Lane-batched, cache-blocked evaluation kernels over a linearized tape.
+//! Lane-batched, SIMD-dispatched, cache-ordered evaluation kernels over a
+//! linearized tape.
 //!
 //! The polytime queries of [`crate::queries`] are linear arena sweeps — the
 //! same DAG walked again and again with different leaf values. That is the
@@ -9,41 +10,61 @@
 //! * **[`EvalTape`]** — the reachable arena linearized into struct-of-arrays
 //!   form: one op tag per node, child edges in a single CSR arc array, and
 //!   literals in a parallel column. A sweep is a forward scan over
-//!   contiguous slices; nothing is re-discovered per query.
-//! * **Lane batching** — [`EvalTape::wmc_batch`] and friends give every node
-//!   a `[f64; LANES]` value plane and answer `LANES` queries per tape scan.
-//!   One traversal is amortized over the whole lane group and the per-node
-//!   inner loops are plain fixed-length array arithmetic, which the
-//!   compiler auto-vectorizes.
-//! * **Layer scheduling** — nodes are stored grouped by dependency depth
-//!   (children always in strictly earlier layers), so each layer is a
-//!   contiguous block that can be fanned out across threads
-//!   ([`EvalTape::wmc_batch_layered`]) with one barrier per layer.
+//!   contiguous slices; nothing is re-discovered per query. Within each
+//!   dependency layer, slots are reordered so gates appear in the order of
+//!   their first child's slot (children-contiguous CSR ordering): a layer's
+//!   child reads then advance roughly monotonically through the previous
+//!   layers instead of hopping across them, which keeps the sweep inside
+//!   the cache lines it just filled.
+//! * **Lane batching with explicit SIMD** — [`EvalTape::wmc_batch`] and
+//!   friends give every node a `[f64; LANES]` value plane and answer
+//!   `LANES` queries per tape scan. The per-node inner loops run on the
+//!   widest [`LaneBackend`] the CPU supports — one AVX-512 register or two
+//!   AVX2 registers per plane on `x86_64`, four NEON registers on
+//!   `aarch64` — with the plain `[f64; 8]` scalar-lane path always
+//!   compiled as the bit-identical fallback (and the only path when the
+//!   `simd` cargo feature is off).
+//! * **Layer scheduling on a persistent pool** — nodes are stored grouped
+//!   by dependency depth (children always in strictly earlier layers), so
+//!   each layer is a contiguous block that [`EvalTape::wmc_batch_layered`]
+//!   fans out across the persistent [`SweepPool`]: workers claim chunks of
+//!   each layer off a shared cursor (chunked work-stealing) and meet at
+//!   one barrier per layer. No threads are spawned per sweep.
 //!
 //! Every kernel returns answers **bit-identical** to the corresponding
 //! scalar entry point in [`crate::queries`] (`wmc_presmoothed`,
 //! `model_count_presmoothed`, `model_count_under_presmoothed`,
 //! `wmc_marginals_presmoothed`): per node, the same floating-point
-//! operations run in the same order, and the order-sensitive derivative
-//! accumulation of the marginal kernel replays the original arena order via
-//! a stored permutation. `crates/nnf/tests/kernel_equiv.rs` asserts this
-//! across the crosscheck corpus.
+//! operations run in the same per-lane order on every backend and under
+//! every schedule, and the order-sensitive derivative accumulation of the
+//! marginal kernel replays the original arena order via a stored
+//! permutation. `crates/nnf/tests/kernel_equiv.rs` and
+//! `tests/kernel_props.rs` assert this across the crosscheck corpus, for
+//! every supported backend.
 //!
 //! Preconditions match the `_presmoothed` queries: the circuit must be
 //! decomposable, deterministic, and already smooth with the root covering
 //! the full universe (`trl-engine`'s `PreparedCircuit` guarantees this).
 
-use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Barrier;
 
 use crate::circuit::{Circuit, NnfId, NnfNode};
+use crate::pool::SweepPool;
 use crate::queries::LitWeights;
+use crate::simd::LaneBackend;
 use trl_core::{Lit, PartialAssignment, Var};
 
 /// Queries answered per tape scan by the lane-batched kernels. Eight `f64`
-/// lanes fill two AVX2 registers (or one AVX-512 register); the inner loops
-/// are written so the compiler vectorizes them.
+/// lanes fill one AVX-512 register, two AVX2 registers, or four NEON
+/// registers; the scalar-lane fallback is written so the compiler
+/// auto-vectorizes it at the baseline feature level.
 pub const LANES: usize = 8;
+
+/// Tape slots a pool worker claims per cursor fetch in the layered sweep:
+/// small enough to load-balance ragged layers, large enough that the
+/// atomic claim is amortized over thousands of lane operations.
+const POOL_CHUNK: usize = 256;
 
 /// Publishes one batched-kernel entry to the process metrics: one sweep
 /// per lane group, plus the lanes actually filled (dead lanes excluded) —
@@ -69,17 +90,52 @@ enum Op {
     Or,
 }
 
-/// A value plane cell the layer-parallel kernels write through. Threads are
-/// handed disjoint node ranges per layer and synchronize on a barrier
-/// between layers, so no two threads ever touch the same cell concurrently.
-#[repr(transparent)]
-struct ValCell(UnsafeCell<[f64; LANES]>);
+/// A 64-byte-aligned backing buffer of `[f64; LANES]` value planes. A
+/// plain `Vec<[f64; LANES]>` is only 8-byte aligned, so a full-width
+/// register access to a plane would span two cache lines seven times out
+/// of eight; aligning the first plane to a line boundary makes every
+/// plane line-exact (one plane is exactly one 64-byte line).
+struct PlaneBuf {
+    buf: Vec<f64>,
+    /// Offset (in `f64`s) of the first aligned plane.
+    off: usize,
+    /// Number of planes.
+    len: usize,
+}
 
-// SAFETY: shared across the scoped worker threads of the layered kernels
-// only; the layer schedule assigns each cell to exactly one writer per
-// sweep, and a barrier separates every layer's writes from the next
-// layer's reads.
-unsafe impl Sync for ValCell {}
+impl PlaneBuf {
+    fn new(len: usize) -> PlaneBuf {
+        let buf = vec![0.0f64; len * LANES + LANES - 1];
+        let off = buf.as_ptr().align_offset(64).min(LANES - 1);
+        PlaneBuf { buf, off, len }
+    }
+
+    fn as_mut_ptr(&mut self) -> *mut [f64; LANES] {
+        unsafe { self.buf.as_mut_ptr().add(self.off) as *mut [f64; LANES] }
+    }
+
+    fn planes(&self) -> &[[f64; LANES]] {
+        // SAFETY: the buffer holds `len * LANES` doubles starting at
+        // `off`, and `[f64; LANES]` has alignment 8 which `off` respects.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.buf.as_ptr().add(self.off) as *const [f64; LANES],
+                self.len,
+            )
+        }
+    }
+}
+
+/// A raw pointer to the value plane, shared with pool workers for the
+/// duration of one layered sweep. Workers write disjoint slot ranges
+/// (chunked cursor claims are unique) and a barrier separates each
+/// layer's writes from the next layer's reads, so no cell is ever written
+/// and read concurrently.
+struct SharedPlane(*mut [f64; LANES]);
+
+// SAFETY: disjoint writes per layer plus barrier-ordered cross-layer
+// reads; see `SharedPlane`'s doc comment and `forward_lanes_pooled`.
+unsafe impl Sync for SharedPlane {}
 
 /// The reachable arena of a smooth circuit, linearized into a contiguous,
 /// layer-ordered instruction tape (struct-of-arrays). Build once per
@@ -105,15 +161,21 @@ pub struct EvalTape {
     /// The root's tape slot (always the last slot: the root is an ancestor
     /// of every reachable node, so it alone occupies the top layer).
     root: u32,
+    /// The SIMD backend the lane-batched sweeps dispatch to; detected at
+    /// build time, overridable per tape via [`EvalTape::set_lane_backend`].
+    backend: LaneBackend,
 }
 
 impl EvalTape {
     /// Linearizes the nodes reachable from the root of `circuit`.
     ///
     /// Unreachable arena nodes are dropped; the survivors are stored
-    /// grouped by dependency layer (stable within a layer, so leaves keep
-    /// their arena-relative order) with gate inputs rewritten to tape
-    /// indices.
+    /// grouped by dependency layer with gate inputs rewritten to tape
+    /// indices. Layer 0 (the leaves) keeps its arena-relative order — the
+    /// marginal kernels rely on that — while every later layer is sorted
+    /// by first-child slot so a layer's CSR reads walk the earlier layers
+    /// roughly in storage order (cache locality; the effect shows up in
+    /// the `kernel.tape_nodes`-normalized sweep times of `bench_eval`).
     pub fn new(circuit: &Circuit) -> EvalTape {
         let root = circuit.root().index();
         // Reachability: the arena is topological, so one reverse scan from
@@ -146,31 +208,48 @@ impl EvalTape {
             }
         }
 
-        // Stable counting sort by layer: `slot[i]` is node `i`'s tape index.
+        // Group members per layer in arena order (stable), then assign
+        // tape slots layer by layer. Layers past the leaves are reordered
+        // by (op, first-child slot) before assignment: since every child's
+        // slot is already fixed (strictly earlier layer), the sort key is
+        // exact. Grouping by op first turns the kernel's per-node dispatch
+        // into long predictable runs; within a run the CSR reads advance
+        // monotonically in the common chain/fan-out shapes.
         let layers = max_level as usize + 1;
-        let mut layer_start = vec![0u32; layers + 1];
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); layers];
         for i in 0..=root {
             if reach[i] {
-                layer_start[level[i] as usize + 1] += 1;
+                members[level[i] as usize].push(i as u32);
             }
         }
-        for l in 0..layers {
-            layer_start[l + 1] += layer_start[l];
+        let mut layer_start = vec![0u32; layers + 1];
+        for (l, m) in members.iter().enumerate() {
+            layer_start[l + 1] = layer_start[l] + m.len() as u32;
         }
-        let mut cursor = layer_start.clone();
         let mut slot = vec![u32::MAX; root + 1];
-        let mut arena_order = Vec::with_capacity(layer_start[layers] as usize);
+        let mut next = 0u32;
+        for (l, member) in members.iter_mut().enumerate() {
+            if l > 0 {
+                member.sort_by_key(|&i| match circuit.node(NnfId(i)) {
+                    NnfNode::And(xs) => (0u8, xs.first().map_or(u32::MAX, |x| slot[x.index()])),
+                    NnfNode::Or(xs) => (1u8, xs.first().map_or(u32::MAX, |x| slot[x.index()])),
+                    _ => (2u8, u32::MAX),
+                });
+            }
+            for &i in member.iter() {
+                slot[i as usize] = next;
+                next += 1;
+            }
+        }
+        let count = next as usize;
+        let mut arena_order = Vec::with_capacity(count);
         for i in 0..=root {
             if reach[i] {
-                let s = cursor[level[i] as usize];
-                cursor[level[i] as usize] += 1;
-                slot[i] = s;
-                arena_order.push(s);
+                arena_order.push(slot[i]);
             }
         }
 
         // Fill the tape columns in tape order.
-        let count = layer_start[layers] as usize;
         let mut ops = vec![Op::False; count];
         let mut lits = vec![Var(0).positive(); count];
         let mut edge_start = vec![0u32; count + 1];
@@ -215,6 +294,7 @@ impl EvalTape {
             layer_start,
             arena_order,
             root: (count - 1) as u32,
+            backend: LaneBackend::detect(),
         }
     }
 
@@ -236,6 +316,24 @@ impl EvalTape {
     /// The variable universe size of the underlying circuit.
     pub fn num_vars(&self) -> usize {
         self.num_vars
+    }
+
+    /// The [`LaneBackend`] the lane-batched sweeps currently dispatch to.
+    pub fn lane_backend(&self) -> LaneBackend {
+        self.backend
+    }
+
+    /// Forces the lane-batched sweeps onto `backend`. Unsupported requests
+    /// fall back to [`LaneBackend::Scalar`] (always available) rather than
+    /// risking an illegal instruction; answers are bit-identical either
+    /// way, so this is a pure performance/testing knob — forcing `Scalar`
+    /// keeps the fallback path exercised on SIMD-capable hosts.
+    pub fn set_lane_backend(&mut self, backend: LaneBackend) {
+        self.backend = if backend.is_supported() {
+            backend
+        } else {
+            LaneBackend::Scalar
+        };
     }
 
     /// The tape's child slice for slot `i`.
@@ -314,21 +412,22 @@ impl EvalTape {
     }
 
     // ------------------------------------------------------------------
-    // Lane-batched kernels: LANES queries per scan.
+    // Lane-batched kernels: LANES queries per scan, SIMD per node.
     // ------------------------------------------------------------------
 
     /// Answers one WMC query per weight table, `LANES` at a time: a single
-    /// tape scan fills every lane of a `[f64; LANES]` value plane, so the
-    /// traversal cost is amortized across the group and the per-node
-    /// arithmetic vectorizes. Answers are bit-identical to calling
-    /// [`EvalTape::wmc`] per table.
+    /// tape scan fills every lane of a `[f64; LANES]` value plane through
+    /// the active [`LaneBackend`], so the traversal cost is amortized
+    /// across the group and each node's arithmetic runs on the widest
+    /// vector unit available. Answers are bit-identical to calling
+    /// [`EvalTape::wmc`] per table, on every backend.
     pub fn wmc_batch(&self, weights: &[&LitWeights]) -> Vec<f64> {
         record_sweeps(weights.len());
         let mut out = Vec::with_capacity(weights.len());
-        let mut plane = vec![[0.0f64; LANES]; self.len()];
+        let mut plane = PlaneBuf::new(self.len());
         for group in weights.chunks(LANES) {
             self.wmc_lanes(group, &mut plane);
-            let root = &plane[self.root as usize];
+            let root = &plane.planes()[self.root as usize];
             out.extend_from_slice(&root[..group.len()]);
         }
         out
@@ -336,53 +435,167 @@ impl EvalTape {
 
     /// One lane-group forward sweep; `group.len() <= LANES`, dead lanes
     /// evaluate under all-zero weights (harmlessly finite).
-    fn wmc_lanes(&self, group: &[&LitWeights], plane: &mut [[f64; LANES]]) {
-        debug_assert!(group.len() <= LANES && plane.len() == self.len());
-        for i in 0..self.len() {
-            plane[i] = self.node_lanes(i, group, |ch, lane| plane[ch][lane]);
+    fn wmc_lanes(&self, group: &[&LitWeights], plane: &mut PlaneBuf) {
+        debug_assert!(group.len() <= LANES && plane.len == self.len());
+        // SAFETY: `plane` is exclusively borrowed and covers the tape, and
+        // the full range is swept in layer order, so every child is
+        // written before its parent reads it.
+        unsafe { self.sweep_range(group, plane.as_mut_ptr(), 0, self.len()) }
+    }
+
+    /// Computes tape slots `lo..hi` of one lane-group forward sweep,
+    /// dispatching to the active backend's specialized loop.
+    ///
+    /// # Safety
+    ///
+    /// `plane` must be valid for `self.len()` slots; the caller must have
+    /// exclusive write access to slots `lo..hi` and every child of those
+    /// slots must already be written (layer ordering guarantees children
+    /// sit below `lo` when sweeping layer slices in order).
+    unsafe fn sweep_range(
+        &self,
+        group: &[&LitWeights],
+        plane: *mut [f64; LANES],
+        lo: usize,
+        hi: usize,
+    ) {
+        match self.backend {
+            LaneBackend::Scalar => self.sweep_range_with::<lanes::ScalarOps>(group, plane, lo, hi),
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            LaneBackend::Avx2 => self.sweep_range_avx2(group, plane, lo, hi),
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            LaneBackend::Avx512 => self.sweep_range_avx512(group, plane, lo, hi),
+            #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+            LaneBackend::Neon => self.sweep_range_with::<lanes::NeonOps>(group, plane, lo, hi),
         }
     }
 
-    /// Computes one tape slot's `[f64; LANES]` value, reading child values
-    /// through `read` (direct indexing for the sequential kernels, a
-    /// cell read for the layered ones).
-    #[inline]
-    fn node_lanes(
+    /// The backend-generic forward-sweep loop. Monomorphized per
+    /// [`lanes::LaneOps`] impl and inlined into the `target_feature`
+    /// wrappers, so the vector backends compile with their full
+    /// instruction set. Per lane, every backend performs the identical
+    /// IEEE-754 operation sequence — that is the bit-identity contract.
+    ///
+    /// # Safety
+    ///
+    /// As [`EvalTape::sweep_range`], plus: `O`'s target feature must be
+    /// available on the executing CPU.
+    #[inline(always)]
+    unsafe fn sweep_range_with<O: lanes::LaneOps>(
         &self,
-        i: usize,
         group: &[&LitWeights],
-        read: impl Fn(usize, usize) -> f64,
-    ) -> [f64; LANES] {
-        match self.ops[i] {
-            Op::False => [0.0; LANES],
-            Op::True => [1.0; LANES],
-            Op::Lit => {
-                let l = self.lits[i];
-                let mut v = [0.0; LANES];
-                for (lane, w) in group.iter().enumerate() {
-                    v[lane] = w.get(l);
-                }
-                v
-            }
-            Op::And => {
-                let mut acc = [1.0; LANES];
-                for &ch in self.children(i) {
-                    for (lane, a) in acc.iter_mut().enumerate() {
-                        *a *= read(ch as usize, lane);
-                    }
-                }
-                acc
-            }
-            Op::Or => {
-                let mut acc = [0.0; LANES];
-                for &ch in self.children(i) {
-                    for (lane, a) in acc.iter_mut().enumerate() {
-                        *a += read(ch as usize, lane);
-                    }
-                }
-                acc
+        plane: *mut [f64; LANES],
+        lo: usize,
+        hi: usize,
+    ) {
+        let ops = self.ops.as_ptr();
+        let lits = self.lits.as_ptr();
+        let edge_start = self.edge_start.as_ptr();
+        let edges = self.edges.as_ptr();
+        // Leaves (layer 0) are filled transposed: one wide constant store
+        // per slot, then one pass per lane writing that lane's literal
+        // weights. No wide load ever reads freshly written scalar lanes
+        // (a guaranteed store-forwarding stall), and each per-lane pass
+        // walks the literal column sequentially.
+        let leaf_hi = hi.min(self.layer_start[1] as usize);
+        for i in lo..leaf_hi {
+            let out = plane.add(i) as *mut f64;
+            match *ops.add(i) {
+                // Lit planes are zeroed now (dead lanes stay 0.0) and get
+                // their live lanes in the passes below. Childless gates
+                // land in layer 0 too: an empty product is 1, an empty
+                // sum 0 — exactly the constant stores.
+                Op::False | Op::Lit | Op::Or => O::store(out, O::splat(0.0)),
+                Op::True | Op::And => O::store(out, O::splat(1.0)),
             }
         }
+        for (lane, w) in group.iter().enumerate() {
+            for i in lo..leaf_hi {
+                if *ops.add(i) == Op::Lit {
+                    *(plane.add(i) as *mut f64).add(lane) = w.get(*lits.add(i));
+                }
+            }
+        }
+        let lo = leaf_hi.max(lo);
+        // The edge cursor advances monotonically with the slot index, so
+        // the inner loops never re-read CSR offsets or build slices.
+        let mut e = *edge_start.add(lo) as usize;
+        for i in lo..hi {
+            let out = plane.add(i) as *mut f64;
+            let e_end = *edge_start.add(i + 1) as usize;
+            match *ops.add(i) {
+                Op::False => O::store(out, O::splat(0.0)),
+                Op::True => O::store(out, O::splat(1.0)),
+                Op::Lit => {
+                    // Unreachable for well-formed tapes (literals live in
+                    // layer 0), kept for sweep-range generality: assemble
+                    // lanes in a stack buffer, publish with one store.
+                    let l = *lits.add(i);
+                    let mut vals = [0.0f64; LANES];
+                    for (lane, w) in group.iter().enumerate() {
+                        vals[lane] = w.get(l);
+                    }
+                    O::store(out, O::load(vals.as_ptr()));
+                }
+                // The leading identity element is kept in the fold —
+                // `0.0 + x` is not a bitwise no-op when `x` is `-0.0` —
+                // so every backend runs the identical per-lane op
+                // sequence as the scalar kernels.
+                Op::And => {
+                    let mut acc = O::splat(1.0);
+                    for k in e..e_end {
+                        let ch = *edges.add(k) as usize;
+                        acc = O::mul(acc, O::load(plane.add(ch) as *const f64));
+                    }
+                    O::store(out, acc);
+                }
+                Op::Or => {
+                    let mut acc = O::splat(0.0);
+                    for k in e..e_end {
+                        let ch = *edges.add(k) as usize;
+                        acc = O::add(acc, O::load(plane.add(ch) as *const f64));
+                    }
+                    O::store(out, acc);
+                }
+            }
+            e = e_end;
+        }
+    }
+
+    /// [`EvalTape::sweep_range_with`] compiled with AVX2 enabled.
+    ///
+    /// # Safety
+    ///
+    /// As [`EvalTape::sweep_range`]; the CPU must support AVX2 (the
+    /// dispatcher only routes here when [`LaneBackend::Avx2`] is active,
+    /// which [`EvalTape::set_lane_backend`] only permits when detected).
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[target_feature(enable = "avx2")]
+    unsafe fn sweep_range_avx2(
+        &self,
+        group: &[&LitWeights],
+        plane: *mut [f64; LANES],
+        lo: usize,
+        hi: usize,
+    ) {
+        self.sweep_range_with::<lanes::Avx2Ops>(group, plane, lo, hi)
+    }
+
+    /// [`EvalTape::sweep_range_with`] compiled with AVX-512F enabled.
+    ///
+    /// # Safety
+    ///
+    /// As [`EvalTape::sweep_range_avx2`], for AVX-512F.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn sweep_range_avx512(
+        &self,
+        group: &[&LitWeights],
+        plane: *mut [f64; LANES],
+        lo: usize,
+        hi: usize,
+    ) {
+        self.sweep_range_with::<lanes::Avx512Ops>(group, plane, lo, hi)
     }
 
     /// Lane-batched model counting under evidence: one `[u128; LANES]`
@@ -442,17 +655,17 @@ impl EvalTape {
         record_sweeps(weights.len());
         let n = self.num_vars;
         let mut out = Vec::with_capacity(weights.len());
-        let mut plane = vec![[0.0f64; LANES]; self.len()];
+        let mut plane = PlaneBuf::new(self.len());
         let mut der = vec![[0.0f64; LANES]; self.len()];
         let mut prefix: Vec<[f64; LANES]> = Vec::new();
         for group in weights.chunks(LANES) {
             self.wmc_lanes(group, &mut plane);
-            self.derivative_lanes(&plane, &mut der, &mut prefix);
+            self.derivative_lanes(plane.planes(), &mut der, &mut prefix);
             // Per-lane literal marginal accumulation, leaves in arena order
             // (layer 0 is stably sorted, so tape order agrees).
             let mut marginals = vec![vec![(0.0f64, 0.0f64); n]; group.len()];
             self.accumulate_lit_marginals(group, &der, &mut marginals);
-            let root = plane[self.root as usize];
+            let root = plane.planes()[self.root as usize];
             for (lane, m) in marginals.into_iter().enumerate() {
                 out.push((root[lane], m));
             }
@@ -542,62 +755,81 @@ impl EvalTape {
     }
 
     // ------------------------------------------------------------------
-    // Layer-parallel kernels: one lane group, many cores.
+    // Layer-parallel kernels: one lane group, many cores, zero spawns.
     // ------------------------------------------------------------------
 
     /// [`EvalTape::wmc_batch`] with each dependency layer fanned out
-    /// across `threads` scoped worker threads (one barrier per layer).
-    /// Intended for large circuits, where a layer holds enough nodes to
-    /// amortize the synchronization; answers remain bit-identical because
-    /// every node still runs the same per-node arithmetic, only the
-    /// schedule changes. `threads <= 1` falls back to the sequential
-    /// lane-batched kernel.
+    /// across up to `threads` workers of the process-global persistent
+    /// [`SweepPool`] (chunked work-stealing within a layer, one barrier
+    /// per layer, no thread spawned per sweep). Intended for large
+    /// circuits, where a layer holds enough nodes to amortize the
+    /// synchronization; answers remain bit-identical because every node
+    /// still runs the same per-node arithmetic — only the schedule
+    /// changes. Falls back to the sequential lane-batched kernel when
+    /// fewer than two workers are available (`threads <= 1`, or a
+    /// single-CPU host whose global pool has size 1).
     pub fn wmc_batch_layered(&self, weights: &[&LitWeights], threads: usize) -> Vec<f64> {
-        if threads <= 1 || self.len() < 2 {
+        self.wmc_batch_pooled(weights, SweepPool::global(), threads)
+    }
+
+    /// [`EvalTape::wmc_batch_layered`] against an explicit pool — the
+    /// entry point tests and benchmarks use to exercise real worker
+    /// threads regardless of the host's CPU count.
+    pub fn wmc_batch_pooled(
+        &self,
+        weights: &[&LitWeights],
+        pool: &SweepPool,
+        threads: usize,
+    ) -> Vec<f64> {
+        let participants = threads.min(pool.size());
+        if participants <= 1 || self.len() < 2 {
             return self.wmc_batch(weights);
         }
         record_sweeps(weights.len());
-        let mut plane: Vec<ValCell> = (0..self.len())
-            .map(|_| ValCell(UnsafeCell::new([0.0; LANES])))
-            .collect();
         let mut out = Vec::with_capacity(weights.len());
+        let mut plane = PlaneBuf::new(self.len());
         for group in weights.chunks(LANES) {
-            self.forward_lanes_layered(group, &plane, threads);
-            let root = plane[self.root as usize].0.get_mut();
+            self.forward_lanes_pooled(group, &mut plane, pool, participants);
+            let root = &plane.planes()[self.root as usize];
             out.extend_from_slice(&root[..group.len()]);
         }
         out
     }
 
-    /// Layer-parallel marginals: the upward sweep fans out across
-    /// `threads`; the order-sensitive downward sweep stays sequential so
-    /// the derivative accumulation replays the arena order bit-for-bit.
+    /// Layer-parallel marginals: the upward sweep fans out across the
+    /// pool; the order-sensitive downward sweep stays sequential so the
+    /// derivative accumulation replays the arena order bit-for-bit.
     pub fn marginals_batch_layered(
         &self,
         weights: &[&LitWeights],
         threads: usize,
     ) -> Vec<(f64, Vec<(f64, f64)>)> {
-        if threads <= 1 || self.len() < 2 {
+        self.marginals_batch_pooled(weights, SweepPool::global(), threads)
+    }
+
+    /// [`EvalTape::marginals_batch_layered`] against an explicit pool.
+    pub fn marginals_batch_pooled(
+        &self,
+        weights: &[&LitWeights],
+        pool: &SweepPool,
+        threads: usize,
+    ) -> Vec<(f64, Vec<(f64, f64)>)> {
+        let participants = threads.min(pool.size());
+        if participants <= 1 || self.len() < 2 {
             return self.marginals_batch(weights);
         }
         record_sweeps(weights.len());
         let n = self.num_vars;
-        let mut cells: Vec<ValCell> = (0..self.len())
-            .map(|_| ValCell(UnsafeCell::new([0.0; LANES])))
-            .collect();
+        let mut plane = PlaneBuf::new(self.len());
         let mut der = vec![[0.0f64; LANES]; self.len()];
         let mut prefix: Vec<[f64; LANES]> = Vec::new();
-        let mut plane = vec![[0.0f64; LANES]; self.len()];
         let mut out = Vec::with_capacity(weights.len());
         for group in weights.chunks(LANES) {
-            self.forward_lanes_layered(group, &cells, threads);
-            for (dst, cell) in plane.iter_mut().zip(cells.iter_mut()) {
-                *dst = *cell.0.get_mut();
-            }
-            self.derivative_lanes(&plane, &mut der, &mut prefix);
+            self.forward_lanes_pooled(group, &mut plane, pool, participants);
+            self.derivative_lanes(plane.planes(), &mut der, &mut prefix);
             let mut marginals = vec![vec![(0.0f64, 0.0f64); n]; group.len()];
             self.accumulate_lit_marginals(group, &der, &mut marginals);
-            let root = plane[self.root as usize];
+            let root = plane.planes()[self.root as usize];
             for (lane, m) in marginals.into_iter().enumerate() {
                 out.push((root[lane], m));
             }
@@ -605,42 +837,250 @@ impl EvalTape {
         out
     }
 
-    /// The shared layered forward sweep: spawns `threads` scoped workers;
-    /// worker `t` computes an equal share of each contiguous layer block,
-    /// then waits on a barrier before anyone reads that layer.
-    fn forward_lanes_layered(&self, group: &[&LitWeights], plane: &[ValCell], threads: usize) {
-        trl_obs::counter!("kernel.layered_sweeps").inc();
-        trl_obs::counter!("kernel.layered_threads").add(threads as u64);
-        let barrier = Barrier::new(threads);
-        std::thread::scope(|scope| {
-            for t in 0..threads {
-                let barrier = &barrier;
-                scope.spawn(move || {
-                    for l in 0..self.num_layers() {
-                        let (a, b) = (
-                            self.layer_start[l] as usize,
-                            self.layer_start[l + 1] as usize,
-                        );
-                        let len = b - a;
-                        let lo = a + len * t / threads;
-                        let hi = a + len * (t + 1) / threads;
-                        for i in lo..hi {
-                            let v = self.node_lanes(i, group, |ch, lane| {
-                                // SAFETY: `ch` sits in a strictly earlier
-                                // layer, fully written before the previous
-                                // barrier; nobody writes it now.
-                                unsafe { (*plane[ch].0.get())[lane] }
-                            });
-                            // SAFETY: slot `i` belongs to this thread's
-                            // exclusive share of layer `l`; no other
-                            // thread reads it until after the barrier.
-                            unsafe { *plane[i].0.get() = v };
-                        }
-                        barrier.wait();
+    /// The pooled layered forward sweep: `participants` pool workers
+    /// (caller included) claim [`POOL_CHUNK`]-slot chunks of each
+    /// contiguous layer block off a shared cursor and meet at a barrier
+    /// before anyone reads that layer. The cursor makes the schedule
+    /// work-stealing: a worker that drains its static share keeps
+    /// claiming chunks that would have belonged to slower siblings
+    /// (counted as `kernel.pool_steals`).
+    fn forward_lanes_pooled(
+        &self,
+        group: &[&LitWeights],
+        plane: &mut PlaneBuf,
+        pool: &SweepPool,
+        participants: usize,
+    ) {
+        trl_obs::counter!("kernel.pool_sweeps").inc();
+        let barrier = Barrier::new(participants);
+        let cursors: Vec<AtomicUsize> = (0..self.num_layers())
+            .map(|_| AtomicUsize::new(0))
+            .collect();
+        let chunks = AtomicU64::new(0);
+        let steals = AtomicU64::new(0);
+        let shared = SharedPlane(plane.as_mut_ptr());
+        pool.run(participants, &|t| {
+            let plane = &shared;
+            let (mut my_chunks, mut my_steals) = (0u64, 0u64);
+            for (l, cursor) in cursors.iter().enumerate() {
+                let a = self.layer_start[l] as usize;
+                let b = self.layer_start[l + 1] as usize;
+                let len = b - a;
+                // Static share bounds are used for the steal metric only;
+                // claiming is purely cursor-driven.
+                let share_lo = len * t / participants;
+                let share_hi = len * (t + 1) / participants;
+                loop {
+                    let c = cursor.fetch_add(POOL_CHUNK, Ordering::Relaxed);
+                    if c >= len {
+                        break;
                     }
-                });
+                    let hi = (c + POOL_CHUNK).min(len);
+                    // SAFETY: cursor claims are disjoint (each fetch_add
+                    // yields a unique chunk), every child sits in a
+                    // strictly earlier layer fully written before the
+                    // previous barrier, and the barrier below separates
+                    // this layer's writes from the next layer's reads.
+                    unsafe { self.sweep_range(group, plane.0, a + c, a + hi) };
+                    my_chunks += 1;
+                    if c < share_lo || c >= share_hi {
+                        my_steals += 1;
+                    }
+                }
+                barrier.wait();
             }
+            chunks.fetch_add(my_chunks, Ordering::Relaxed);
+            steals.fetch_add(my_steals, Ordering::Relaxed);
         });
+        trl_obs::counter!("kernel.pool_chunks").add(chunks.load(Ordering::Relaxed));
+        trl_obs::counter!("kernel.pool_steals").add(steals.load(Ordering::Relaxed));
+    }
+}
+
+/// The per-backend lane arithmetic the generic sweep loop is
+/// monomorphized over. Each impl covers one whole `[f64; LANES]` value
+/// plane; per lane, `mul`/`add` are single IEEE-754 operations, so every
+/// backend produces bit-identical planes.
+mod lanes {
+    use super::LANES;
+
+    /// One backend's register set covering a full value plane.
+    pub(super) trait LaneOps {
+        /// The register tuple holding `LANES` lanes.
+        type V: Copy;
+        /// Broadcasts `x` to every lane.
+        ///
+        /// # Safety
+        /// The backend's target feature must be available on this CPU.
+        unsafe fn splat(x: f64) -> Self::V;
+        /// Loads `LANES` contiguous doubles.
+        ///
+        /// # Safety
+        /// As [`LaneOps::splat`]; `p` must be valid for `LANES` reads.
+        unsafe fn load(p: *const f64) -> Self::V;
+        /// Stores `LANES` contiguous doubles.
+        ///
+        /// # Safety
+        /// As [`LaneOps::splat`]; `p` must be valid for `LANES` writes.
+        unsafe fn store(p: *mut f64, v: Self::V);
+        /// Lane-wise IEEE-754 multiply.
+        ///
+        /// # Safety
+        /// As [`LaneOps::splat`].
+        unsafe fn mul(a: Self::V, b: Self::V) -> Self::V;
+        /// Lane-wise IEEE-754 add.
+        ///
+        /// # Safety
+        /// As [`LaneOps::splat`].
+        unsafe fn add(a: Self::V, b: Self::V) -> Self::V;
+    }
+
+    /// The always-available `[f64; LANES]` reference implementation.
+    pub(super) struct ScalarOps;
+
+    impl LaneOps for ScalarOps {
+        type V = [f64; LANES];
+
+        #[inline(always)]
+        unsafe fn splat(x: f64) -> Self::V {
+            [x; LANES]
+        }
+
+        #[inline(always)]
+        unsafe fn load(p: *const f64) -> Self::V {
+            *(p as *const [f64; LANES])
+        }
+
+        #[inline(always)]
+        unsafe fn store(p: *mut f64, v: Self::V) {
+            *(p as *mut [f64; LANES]) = v;
+        }
+
+        #[inline(always)]
+        unsafe fn mul(a: Self::V, b: Self::V) -> Self::V {
+            std::array::from_fn(|i| a[i] * b[i])
+        }
+
+        #[inline(always)]
+        unsafe fn add(a: Self::V, b: Self::V) -> Self::V {
+            std::array::from_fn(|i| a[i] + b[i])
+        }
+    }
+
+    /// Two 256-bit registers per plane.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    pub(super) struct Avx2Ops;
+
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    impl LaneOps for Avx2Ops {
+        type V = [core::arch::x86_64::__m256d; 2];
+
+        #[inline(always)]
+        unsafe fn splat(x: f64) -> Self::V {
+            use core::arch::x86_64::_mm256_set1_pd;
+            [_mm256_set1_pd(x), _mm256_set1_pd(x)]
+        }
+
+        #[inline(always)]
+        unsafe fn load(p: *const f64) -> Self::V {
+            use core::arch::x86_64::_mm256_loadu_pd;
+            [_mm256_loadu_pd(p), _mm256_loadu_pd(p.add(4))]
+        }
+
+        #[inline(always)]
+        unsafe fn store(p: *mut f64, v: Self::V) {
+            use core::arch::x86_64::_mm256_storeu_pd;
+            _mm256_storeu_pd(p, v[0]);
+            _mm256_storeu_pd(p.add(4), v[1]);
+        }
+
+        #[inline(always)]
+        unsafe fn mul(a: Self::V, b: Self::V) -> Self::V {
+            use core::arch::x86_64::_mm256_mul_pd;
+            [_mm256_mul_pd(a[0], b[0]), _mm256_mul_pd(a[1], b[1])]
+        }
+
+        #[inline(always)]
+        unsafe fn add(a: Self::V, b: Self::V) -> Self::V {
+            use core::arch::x86_64::_mm256_add_pd;
+            [_mm256_add_pd(a[0], b[0]), _mm256_add_pd(a[1], b[1])]
+        }
+    }
+
+    /// One 512-bit register per plane: an and-gate's per-child update is
+    /// a single `vmulpd`.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    pub(super) struct Avx512Ops;
+
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    impl LaneOps for Avx512Ops {
+        type V = core::arch::x86_64::__m512d;
+
+        #[inline(always)]
+        unsafe fn splat(x: f64) -> Self::V {
+            core::arch::x86_64::_mm512_set1_pd(x)
+        }
+
+        #[inline(always)]
+        unsafe fn load(p: *const f64) -> Self::V {
+            core::arch::x86_64::_mm512_loadu_pd(p)
+        }
+
+        #[inline(always)]
+        unsafe fn store(p: *mut f64, v: Self::V) {
+            core::arch::x86_64::_mm512_storeu_pd(p, v);
+        }
+
+        #[inline(always)]
+        unsafe fn mul(a: Self::V, b: Self::V) -> Self::V {
+            core::arch::x86_64::_mm512_mul_pd(a, b)
+        }
+
+        #[inline(always)]
+        unsafe fn add(a: Self::V, b: Self::V) -> Self::V {
+            core::arch::x86_64::_mm512_add_pd(a, b)
+        }
+    }
+
+    /// Four 128-bit registers per plane (`aarch64` NEON).
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    pub(super) struct NeonOps;
+
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    impl LaneOps for NeonOps {
+        type V = [core::arch::aarch64::float64x2_t; 4];
+
+        #[inline(always)]
+        unsafe fn splat(x: f64) -> Self::V {
+            use core::arch::aarch64::vdupq_n_f64;
+            [vdupq_n_f64(x); 4]
+        }
+
+        #[inline(always)]
+        unsafe fn load(p: *const f64) -> Self::V {
+            use core::arch::aarch64::vld1q_f64;
+            std::array::from_fn(|i| vld1q_f64(p.add(2 * i)))
+        }
+
+        #[inline(always)]
+        unsafe fn store(p: *mut f64, v: Self::V) {
+            use core::arch::aarch64::vst1q_f64;
+            for (i, r) in v.into_iter().enumerate() {
+                vst1q_f64(p.add(2 * i), r);
+            }
+        }
+
+        #[inline(always)]
+        unsafe fn mul(a: Self::V, b: Self::V) -> Self::V {
+            use core::arch::aarch64::vmulq_f64;
+            std::array::from_fn(|i| vmulq_f64(a[i], b[i]))
+        }
+
+        #[inline(always)]
+        unsafe fn add(a: Self::V, b: Self::V) -> Self::V {
+            use core::arch::aarch64::vaddq_f64;
+            std::array::from_fn(|i| vaddq_f64(a[i], b[i]))
+        }
     }
 }
 
@@ -709,6 +1149,36 @@ mod tests {
     }
 
     #[test]
+    fn layer_order_respects_dependencies_after_reorder() {
+        let mut rng = SplitMix64::new(0xDE9);
+        // A few random-ish smooth circuits via the builder: chains of
+        // alternating gates over a handful of variables.
+        let c = smooth(&small_smooth());
+        let tape = EvalTape::new(&c);
+        let _ = rng.next_u64();
+        // Every gate's children live in strictly earlier layers, layer
+        // bounds are monotone, and the root is the last slot.
+        let layer_of = |slot: u32| {
+            (0..tape.num_layers())
+                .find(|&l| slot < tape.layer_start[l + 1])
+                .expect("slot within bounds")
+        };
+        for l in 0..tape.num_layers() {
+            assert!(tape.layer_start[l] <= tape.layer_start[l + 1]);
+        }
+        for i in 0..tape.len() {
+            for &ch in tape.children(i) {
+                assert!(ch < i as u32, "children precede parents on the tape");
+                assert!(
+                    layer_of(ch) < layer_of(i as u32),
+                    "children sit in strictly earlier layers"
+                );
+            }
+        }
+        assert_eq!(tape.root as usize, tape.len() - 1);
+    }
+
+    #[test]
     fn batch_kernels_agree_with_scalar_tape() {
         let c = smooth(&small_smooth());
         let tape = EvalTape::new(&c);
@@ -729,6 +1199,62 @@ mod tests {
             assert_eq!(marg_b[i].1, scalar.1);
             assert_eq!(marg_l[i].0.to_bits(), scalar.0.to_bits());
             assert_eq!(marg_l[i].1, scalar.1);
+        }
+    }
+
+    #[test]
+    fn every_supported_backend_bit_matches_scalar_lanes() {
+        let c = smooth(&small_smooth());
+        let mut tape = EvalTape::new(&c);
+        let weights: Vec<LitWeights> = (0..19).map(|s| skewed(2, 500 + s)).collect();
+        let refs: Vec<&LitWeights> = weights.iter().collect();
+        tape.set_lane_backend(LaneBackend::Scalar);
+        let reference: Vec<u64> = tape.wmc_batch(&refs).iter().map(|x| x.to_bits()).collect();
+        let ref_marg = tape.marginals_batch(&refs);
+        for backend in LaneBackend::all_supported() {
+            tape.set_lane_backend(backend);
+            assert_eq!(tape.lane_backend(), backend);
+            let got: Vec<u64> = tape.wmc_batch(&refs).iter().map(|x| x.to_bits()).collect();
+            assert_eq!(got, reference, "backend {}", backend.name());
+            let marg = tape.marginals_batch(&refs);
+            for (a, b) in marg.iter().zip(&ref_marg) {
+                assert_eq!(a.0.to_bits(), b.0.to_bits(), "backend {}", backend.name());
+                assert_eq!(a.1, b.1, "backend {}", backend.name());
+            }
+        }
+    }
+
+    #[test]
+    fn forced_scalar_fallback_always_sticks() {
+        let c = smooth(&small_smooth());
+        let mut tape = EvalTape::new(&c);
+        // Whatever was detected, forcing the fallback must take effect and
+        // keep answering identically — this is the test that exercises the
+        // non-SIMD path on SIMD-capable hosts.
+        let auto = tape.wmc(&skewed(2, 11));
+        tape.set_lane_backend(LaneBackend::Scalar);
+        assert_eq!(tape.lane_backend(), LaneBackend::Scalar);
+        let w = skewed(2, 11);
+        assert_eq!(tape.wmc_batch(&[&w])[0].to_bits(), auto.to_bits());
+    }
+
+    #[test]
+    fn pooled_sweeps_with_real_workers_bit_match() {
+        let pool = SweepPool::new(3);
+        let c = smooth(&small_smooth());
+        let tape = EvalTape::new(&c);
+        let weights: Vec<LitWeights> = (0..21).map(|s| skewed(2, 900 + s)).collect();
+        let refs: Vec<&LitWeights> = weights.iter().collect();
+        let sequential = tape.wmc_batch(&refs);
+        let pooled = tape.wmc_batch_pooled(&refs, &pool, 3);
+        for (a, b) in pooled.iter().zip(&sequential) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let marg_seq = tape.marginals_batch(&refs);
+        let marg_pool = tape.marginals_batch_pooled(&refs, &pool, 3);
+        for (a, b) in marg_pool.iter().zip(&marg_seq) {
+            assert_eq!(a.0.to_bits(), b.0.to_bits());
+            assert_eq!(a.1, b.1);
         }
     }
 

@@ -23,21 +23,26 @@
 //!   (Fig. 8) / MPE / all-marginals on smooth d-DNNF, model enumeration,
 //!   and minimum cardinality;
 //! * [`kernel`] — the serving-grade evaluation kernels: the reachable
-//!   arena linearized into a layer-ordered instruction tape
+//!   arena linearized into a cache-ordered, layer-grouped instruction tape
 //!   ([`EvalTape`]), swept by scalar, lane-batched ([`LANES`] queries per
-//!   scan), and layer-parallel kernels whose answers are bit-identical to
-//!   the scalar [`queries`].
+//!   scan, dispatched to the widest supported [`LaneBackend`]), and
+//!   layer-parallel kernels running on the persistent [`SweepPool`] —
+//!   every variant bit-identical to the scalar [`queries`].
 
 pub mod circuit;
 pub mod kernel;
+pub mod pool;
 pub mod properties;
 pub mod queries;
 pub mod sample;
+pub mod simd;
 pub mod taxonomy;
 
 pub use circuit::{Circuit, CircuitBuilder, NnfId, NnfNode};
 pub use kernel::{EvalTape, LANES};
+pub use pool::SweepPool;
 pub use properties::smooth;
 pub use queries::LitWeights;
 pub use sample::ModelSampler;
+pub use simd::LaneBackend;
 pub use taxonomy::{classify, CircuitClass};

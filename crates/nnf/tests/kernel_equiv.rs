@@ -10,7 +10,7 @@
 
 use trl_compiler::DecisionDnnfCompiler;
 use trl_core::{PartialAssignment, SplitMix64, Var};
-use trl_nnf::{smooth, Circuit, EvalTape, LitWeights, LANES};
+use trl_nnf::{smooth, Circuit, EvalTape, LaneBackend, LitWeights, LANES};
 
 /// Per-variable weights skewed away from 1 so products differ per lane and
 /// rounding is actually exercised.
@@ -141,6 +141,60 @@ fn marginal_kernels_bit_match_scalar_queries() {
         assert_eq!(tape_scalar, expect, "instance {i}: tape scalar diverged");
         assert_eq!(batched, expect, "instance {i}: lane-batched diverged");
         assert_eq!(layered, expect, "instance {i}: layer-parallel diverged");
+    }
+}
+
+/// Every supported lane backend (the scalar fallback, plus whichever of
+/// AVX2/AVX-512/NEON this host detects) answers WMC and marginals
+/// bit-identically across the whole corpus — the forced-fallback path is
+/// exercised on SIMD hosts because [`LaneBackend::Scalar`] is always in
+/// the supported set.
+#[test]
+fn every_lane_backend_bit_matches_scalar_across_corpus() {
+    let backends = LaneBackend::all_supported();
+    assert!(backends.contains(&LaneBackend::Scalar));
+    for (i, (n, circuit)) in corpus().into_iter().enumerate() {
+        let smoothed = smooth(&circuit);
+        let weights: Vec<LitWeights> = (0..LANES + 2)
+            .map(|k| skewed_weights(n, (i * 31 + k) as u64))
+            .collect();
+        let refs: Vec<&LitWeights> = weights.iter().collect();
+        let expect_wmc: Vec<u64> = weights
+            .iter()
+            .map(|w| smoothed.wmc_presmoothed(w).to_bits())
+            .collect();
+        let expect_marg: Vec<Vec<(u64, u64)>> = weights
+            .iter()
+            .map(|w| {
+                smoothed
+                    .wmc_marginals_presmoothed(w)
+                    .1
+                    .iter()
+                    .map(|(p, q)| (p.to_bits(), q.to_bits()))
+                    .collect()
+            })
+            .collect();
+        for &backend in &backends {
+            let mut tape = EvalTape::new(&smoothed);
+            tape.set_lane_backend(backend);
+            let got: Vec<u64> = tape.wmc_batch(&refs).iter().map(|x| x.to_bits()).collect();
+            assert_eq!(got, expect_wmc, "instance {i}: {} wmc", backend.name());
+            let got: Vec<Vec<(u64, u64)>> = tape
+                .marginals_batch(&refs)
+                .iter()
+                .map(|(_, marg)| {
+                    marg.iter()
+                        .map(|(p, q)| (p.to_bits(), q.to_bits()))
+                        .collect()
+                })
+                .collect();
+            assert_eq!(
+                got,
+                expect_marg,
+                "instance {i}: {} marginals",
+                backend.name()
+            );
+        }
     }
 }
 

@@ -15,7 +15,7 @@
 
 use trl_compiler::DecisionDnnfCompiler;
 use trl_core::{PartialAssignment, SplitMix64, Var};
-use trl_nnf::{smooth, EvalTape, LitWeights, LANES};
+use trl_nnf::{smooth, EvalTape, LaneBackend, LitWeights, SweepPool, LANES};
 
 const CASES: u64 = 60;
 
@@ -158,6 +158,94 @@ fn kernels_bit_match_scalar_on_random_instances() {
                 })
                 .count() as u128;
             assert_eq!(count, brute, "seed {seed}: evidence count vs enumeration");
+        }
+    }
+}
+
+/// Every supported lane backend × every schedule (sequential lanes, the
+/// global layered entry point, and a private pool with real worker
+/// threads) must answer bit-identically to the scalar queries — the full
+/// SIMD == scalar-lane == reference matrix, on random instances with
+/// random batch shapes and random participant counts.
+#[test]
+fn backend_and_schedule_matrix_bit_matches_scalar() {
+    let pool = SweepPool::new(3);
+    for seed in 0..CASES / 2 {
+        let mut rng = SplitMix64::new(0xface_0000 ^ seed);
+        let n = 3 + rng.below(8);
+        let m = 1 + rng.below(3 * n + 1);
+        let cnf = trl_prop::gen::random_cnf(&mut rng, n, m, 3);
+        let circuit = DecisionDnnfCompiler::default().compile(&cnf);
+        let smoothed = smooth(&circuit);
+
+        let batch = 1 + rng.below(2 * LANES);
+        let participants = 2 + rng.below(2);
+        let weights: Vec<LitWeights> = (0..batch).map(|_| random_weights(&mut rng, n)).collect();
+        let refs: Vec<&LitWeights> = weights.iter().collect();
+        let expect_wmc: Vec<u64> = weights
+            .iter()
+            .map(|w| smoothed.wmc_presmoothed(w).to_bits())
+            .collect();
+        let expect_marg: Vec<(u64, Vec<(u64, u64)>)> = weights
+            .iter()
+            .map(|w| {
+                let (wmc, marg) = smoothed.wmc_marginals_presmoothed(w);
+                (
+                    wmc.to_bits(),
+                    marg.iter()
+                        .map(|(p, q)| (p.to_bits(), q.to_bits()))
+                        .collect(),
+                )
+            })
+            .collect();
+        let pa = random_evidence(&mut rng, n);
+        let expect_under = smoothed.model_count_under_presmoothed(&pa);
+
+        for backend in LaneBackend::all_supported() {
+            let mut tape = EvalTape::new(&smoothed);
+            tape.set_lane_backend(backend);
+            assert_eq!(tape.lane_backend(), backend, "seed {seed}");
+            let name = backend.name();
+
+            for (schedule, got) in [
+                ("wmc_batch", tape.wmc_batch(&refs)),
+                (
+                    "wmc_batch_layered",
+                    tape.wmc_batch_layered(&refs, participants),
+                ),
+                (
+                    "wmc_batch_pooled",
+                    tape.wmc_batch_pooled(&refs, &pool, participants),
+                ),
+            ] {
+                let got: Vec<u64> = got.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(got, expect_wmc, "seed {seed}: {name} {schedule}");
+            }
+            for (schedule, got) in [
+                ("marginals_batch", tape.marginals_batch(&refs)),
+                (
+                    "marginals_batch_pooled",
+                    tape.marginals_batch_pooled(&refs, &pool, participants),
+                ),
+            ] {
+                let got: Vec<(u64, Vec<(u64, u64)>)> = got
+                    .iter()
+                    .map(|(wmc, marg)| {
+                        (
+                            wmc.to_bits(),
+                            marg.iter()
+                                .map(|(p, q)| (p.to_bits(), q.to_bits()))
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                assert_eq!(got, expect_marg, "seed {seed}: {name} {schedule}");
+            }
+            assert_eq!(
+                tape.model_count_under_batch(&[&pa]),
+                vec![expect_under],
+                "seed {seed}: {name} count under evidence"
+            );
         }
     }
 }

@@ -1080,11 +1080,12 @@ fn print_stats(addr: &str, s: &StatsSnapshot) {
         counter("compiler.cache_hits") + counter("compiler.cache_misses"),
     );
     println!(
-        "  kernel     {} tape builds, {} sweeps, {} lanes filled, {} layered sweeps",
+        "  kernel     {} tape builds, {} sweeps, {} lanes filled, {} pooled sweeps ({} steals)",
         counter("kernel.tape_builds"),
         counter("kernel.sweeps"),
         counter("kernel.lanes_filled"),
-        counter("kernel.layered_sweeps"),
+        counter("kernel.pool_sweeps"),
+        counter("kernel.pool_steals"),
     );
 }
 
