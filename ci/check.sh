@@ -8,7 +8,9 @@
 #                        # network serving smoke (serve/client round trip
 #                        # diffed against local answers + bench_net --smoke),
 #                        # roles smoke (learn/space/explain over the wire
-#                        # diffed against in-process + bench_roles --smoke)
+#                        # diffed against in-process + bench_roles --smoke),
+#                        # minimize smoke (optimize locally and through the
+#                        # registry, answers diffed + bench_minimize --smoke)
 #   ci/check.sh --fix    # apply clippy suggestions and rustfmt in place
 #
 # The same commands run in CI; keep them byte-for-byte in sync.
@@ -212,5 +214,71 @@ target/release/three-roles client "$addr" shutdown > /dev/null
 wait "$serve_pid"
 unset serve_pid
 target/release/bench_roles --smoke
+
+# Minimize smoke: the optimize pass must never change an answer. Locally:
+# query the compiled artifact, optimize it into a new artifact, re-query,
+# and byte-diff (dyadic 0.5 weights keep the float sums exact, so
+# bit-identity holds across different circuit structures); the node count
+# must not grow. Over the wire: the Optimize frame swaps the registry
+# artifact in place — the same battery must answer identically before and
+# after the swap, the minimize.* metrics must be registered zero-valued
+# from startup and count the job afterwards, and the stats table must
+# hold the minimize row. Then the minimization bench must pass its
+# node-ratio and bit-identity criteria on the corpus prefix.
+cargo build --release --quiet -p trl-bench --bin bench_minimize
+min_flags=(--sat --count --wmc --marginals --weight 1=0.5 --weight -1=0.5)
+target/release/three-roles query "$net_dir/smoke.trlc" "${min_flags[@]}" \
+    > "$net_dir/min-before.out"
+target/release/three-roles optimize "$net_dir/smoke.trlc" \
+    -o "$net_dir/smoke-min.trlc" > "$net_dir/min-opt.out"
+target/release/three-roles query "$net_dir/smoke-min.trlc" "${min_flags[@]}" \
+    > "$net_dir/min-after.out"
+sed 's/ *([0-9.]* us)$//' "$net_dir/min-before.out" > "$net_dir/min-before.stripped"
+sed 's/ *([0-9.]* us)$//' "$net_dir/min-after.out"  > "$net_dir/min-after.stripped"
+if ! diff "$net_dir/min-before.stripped" "$net_dir/min-after.stripped"; then
+    echo "minimize-smoke: answers changed after local optimize" >&2
+    exit 1
+fi
+read -r min_before min_after < <(awk '/^optimized / { print $3, $5 }' "$net_dir/min-opt.out")
+[[ -n "$min_before" && -n "$min_after" ]] \
+    || { echo "minimize-smoke: no node counts in optimize output" >&2; exit 1; }
+(( min_after <= min_before )) \
+    || { echo "minimize-smoke: optimize grew the artifact ($min_before -> $min_after)" >&2; exit 1; }
+target/release/three-roles serve 127.0.0.1:0 --workers 2 \
+    > "$net_dir/min-serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q '^listening on ' "$net_dir/min-serve.log" && break
+    sleep 0.1
+done
+addr="$(sed -n 's/^listening on //p' "$net_dir/min-serve.log" | head -n 1)"
+[[ -n "$addr" ]] || { echo "minimize-smoke: server never came up" >&2; exit 1; }
+target/release/three-roles metrics "$addr" --prom > "$net_dir/min-start.prom"
+jobs_start="$(prom_value trl_minimize_jobs "$net_dir/min-start.prom")"
+[[ "$jobs_start" == "0" ]] \
+    || { echo "minimize-smoke: minimize.jobs not registered zero-valued at startup (got '${jobs_start:-missing}')" >&2; exit 1; }
+target/release/three-roles client "$addr" query "$net_dir/smoke.cnf" \
+    "${min_flags[@]}" > "$net_dir/min-net-before.out"
+target/release/three-roles optimize "$net_dir/smoke.cnf" --server "$addr" \
+    > "$net_dir/min-net-opt.out"
+target/release/three-roles client "$addr" query "$net_dir/smoke.cnf" \
+    "${min_flags[@]}" > "$net_dir/min-net-after.out"
+sed 's/ *([0-9.]* us)$//' "$net_dir/min-net-before.out" > "$net_dir/min-net-before.stripped"
+sed 's/ *([0-9.]* us)$//' "$net_dir/min-net-after.out"  > "$net_dir/min-net-after.stripped"
+if ! diff "$net_dir/min-net-before.stripped" "$net_dir/min-net-after.stripped"; then
+    echo "minimize-smoke: answers changed after the registry swap" >&2
+    exit 1
+fi
+target/release/three-roles client "$addr" stats > "$net_dir/min-stats.out"
+grep -q '^  minimize ' "$net_dir/min-stats.out" \
+    || { echo "minimize-smoke: stats table is missing the minimize row" >&2; exit 1; }
+target/release/three-roles metrics "$addr" --prom > "$net_dir/min-end.prom"
+jobs_end="$(prom_value trl_minimize_jobs "$net_dir/min-end.prom")"
+[[ "$jobs_end" == "1" ]] \
+    || { echo "minimize-smoke: expected 1 minimize job after optimize, got '${jobs_end:-missing}'" >&2; exit 1; }
+target/release/three-roles client "$addr" shutdown > /dev/null
+wait "$serve_pid"
+unset serve_pid
+target/release/bench_minimize --smoke
 
 echo "ci/check.sh: OK"

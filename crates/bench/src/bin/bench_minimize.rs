@@ -1,0 +1,260 @@
+//! Minimization benchmark: node-count and throughput deltas from the
+//! full default schedule over the 50-CNF crosscheck corpus, written to
+//! `BENCH_minimize.json` at the repository root. Run with
+//! `cargo run --release -p trl-bench --bin bench_minimize`; pass
+//! `--smoke` for the fast CI sanity leg (corpus prefix, shorter search
+//! budget, no JSON).
+//!
+//! Every instance is compiled, minimized under [`MinimizeConfig`]'s
+//! default schedule, and checked **bit-for-bit** in the exact dyadic
+//! regime ({0.5, 1.0} weights): model count, WMC bits, marginal bits.
+//! The corpus splits into two tiers by universe size (small n ≤ 8,
+//! large n ≥ 9); each tier reports its geometric-mean node ratio and
+//! the WMC throughput before/after minimization (smaller circuits sweep
+//! fewer nodes per query, so qps must not regress).
+//!
+//! Gates: the geometric-mean node ratio must be < 1.0 (the pass finds
+//! real reductions, not a vacuous sweep), no instance may exceed 1.05×
+//! its original size (the pass never accepts growth — by construction
+//! the ratio is ≤ 1.0, so this is a tamper check on the accounting),
+//! and every instance must answer identically.
+
+use std::time::{Duration, Instant};
+
+use trl_bench::{banner, check, row, section};
+use trl_compiler::DecisionDnnfCompiler;
+use trl_core::SplitMix64;
+use trl_minimize::{dyadic_weights, minimize_circuit, mixed_dyadic_weights, MinimizeConfig};
+use trl_nnf::Circuit;
+
+/// WMC repetitions per instance when timing sweeps.
+const WMC_REPS: usize = 200;
+const SMOKE_WMC_REPS: usize = 40;
+/// Corpus prefix used by `--smoke`.
+const SMOKE_INSTANCES: usize = 16;
+
+struct InstanceResult {
+    i: usize,
+    n: usize,
+    nodes_before: usize,
+    nodes_after: usize,
+    wmc_us_before: f64,
+    wmc_us_after: f64,
+    identical: bool,
+}
+
+impl InstanceResult {
+    fn ratio(&self) -> f64 {
+        self.nodes_after as f64 / self.nodes_before as f64
+    }
+}
+
+/// The crosscheck corpus: the same deterministic instances the compiler
+/// and kernel suites sweep (and the minimize identity-sweep test pins).
+fn corpus(count: usize) -> Vec<(usize, Circuit)> {
+    let mut rng = SplitMix64::new(0x5eed_c0de);
+    let compiler = DecisionDnnfCompiler::default();
+    (0..count)
+        .map(|i| {
+            let n = 4 + (i % 10);
+            let m = 2 + ((i * 7) % (3 * n + 4));
+            let cnf = trl_prop::gen::random_cnf(&mut rng, n, m, 4);
+            (n, compiler.compile(&cnf))
+        })
+        .collect()
+}
+
+/// Average microseconds per WMC sweep over both dyadic weight tables.
+fn time_wmc(c: &Circuit, n: usize, reps: usize) -> f64 {
+    let tables = [dyadic_weights(n), mixed_dyadic_weights(n)];
+    let start = Instant::now();
+    let mut sink = 0.0;
+    for r in 0..reps {
+        sink += c.wmc(&tables[r % 2]);
+    }
+    let us = start.elapsed().as_secs_f64() * 1e6 / reps as f64;
+    std::hint::black_box(sink);
+    us
+}
+
+/// Bit-identity in the exact dyadic regime plus the integer count.
+fn identical(n: usize, a: &Circuit, b: &Circuit) -> bool {
+    if a.sat_dnnf() != b.sat_dnnf() || a.model_count() != b.model_count() {
+        return false;
+    }
+    for w in [dyadic_weights(n), mixed_dyadic_weights(n)] {
+        if a.wmc(&w).to_bits() != b.wmc(&w).to_bits() {
+            return false;
+        }
+        let (wa, ma) = a.wmc_marginals(&w);
+        let (wb, mb) = b.wmc_marginals(&w);
+        if wa.to_bits() != wb.to_bits() || ma.len() != mb.len() {
+            return false;
+        }
+        if ma
+            .iter()
+            .zip(&mb)
+            .any(|((p, q), (r, s))| p.to_bits() != r.to_bits() || q.to_bits() != s.to_bits())
+        {
+            return false;
+        }
+    }
+    true
+}
+
+fn geomean(ratios: impl Iterator<Item = f64>) -> f64 {
+    let (sum, count) = ratios.fold((0.0f64, 0usize), |(s, c), r| (s + r.ln(), c + 1));
+    if count == 0 {
+        1.0
+    } else {
+        (sum / count as f64).exp()
+    }
+}
+
+struct Tier<'a> {
+    name: &'a str,
+    results: Vec<&'a InstanceResult>,
+}
+
+impl Tier<'_> {
+    fn geomean_ratio(&self) -> f64 {
+        geomean(self.results.iter().map(|r| r.ratio()))
+    }
+
+    /// Tier throughput in queries/s: total sweeps over total time.
+    fn qps(&self, after: bool) -> f64 {
+        let total_us: f64 = self
+            .results
+            .iter()
+            .map(|r| {
+                if after {
+                    r.wmc_us_after
+                } else {
+                    r.wmc_us_before
+                }
+            })
+            .sum();
+        self.results.len() as f64 / (total_us / 1e6)
+    }
+}
+
+fn to_json(results: &[InstanceResult], tiers: &[Tier], all_identical: bool) -> String {
+    let mut s = String::from("{\n  \"bench\": \"minimize\",\n  \"instances\": [\n");
+    for (k, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"i\": {}, \"n\": {}, \"nodes_before\": {}, \"nodes_after\": {}, \
+             \"ratio\": {:.6}, \"wmc_us_before\": {:.3}, \"wmc_us_after\": {:.3}}}{}\n",
+            r.i,
+            r.n,
+            r.nodes_before,
+            r.nodes_after,
+            r.ratio(),
+            r.wmc_us_before,
+            r.wmc_us_after,
+            if k + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"tiers\": [\n");
+    for (k, t) in tiers.iter().enumerate() {
+        let (before, after) = (t.qps(false), t.qps(true));
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"instances\": {}, \"geomean_node_ratio\": {:.6}, \
+             \"wmc_qps_before\": {:.0}, \"wmc_qps_after\": {:.0}, \"qps_ratio\": {:.4}}}{}\n",
+            t.name,
+            t.results.len(),
+            t.geomean_ratio(),
+            before,
+            after,
+            after / before,
+            if k + 1 < tiers.len() { "," } else { "" }
+        ));
+    }
+    s.push_str(&format!(
+        "  ],\n  \"geomean_node_ratio\": {:.6},\n  \"max_node_ratio\": {:.6},\n  \
+         \"identical\": {}\n}}\n",
+        geomean(results.iter().map(|r| r.ratio())),
+        results.iter().map(|r| r.ratio()).fold(0.0f64, f64::max),
+        all_identical
+    ));
+    s
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    banner(
+        "bench_minimize",
+        "circuit minimization: node-count and WMC-throughput deltas (BENCH_minimize.json)",
+        "the full schedule shrinks compiled circuits without changing a single answer bit",
+    );
+
+    let (instances, reps) = if smoke {
+        (SMOKE_INSTANCES, SMOKE_WMC_REPS)
+    } else {
+        (50, WMC_REPS)
+    };
+    let mut cfg = MinimizeConfig::default();
+    if smoke {
+        cfg.time_budget = Duration::from_millis(250);
+    }
+
+    let mut results = Vec::new();
+    for (i, (n, circuit)) in corpus(instances).into_iter().enumerate() {
+        let (minimized, report) = minimize_circuit(&circuit, &cfg);
+        results.push(InstanceResult {
+            i,
+            n,
+            nodes_before: report.nodes_before,
+            nodes_after: report.nodes_after,
+            wmc_us_before: time_wmc(&circuit, n, reps),
+            wmc_us_after: time_wmc(&minimized, n, reps),
+            identical: identical(n, &circuit, &minimized),
+        });
+    }
+
+    let tiers = [
+        Tier {
+            name: "small",
+            results: results.iter().filter(|r| r.n <= 8).collect(),
+        },
+        Tier {
+            name: "large",
+            results: results.iter().filter(|r| r.n >= 9).collect(),
+        },
+    ];
+    for t in &tiers {
+        section(&format!("{} tier ({} instances)", t.name, t.results.len()));
+        row("geomean node ratio", format!("{:.4}", t.geomean_ratio()));
+        row(
+            "wmc qps before -> after",
+            format!("{:.0} -> {:.0}", t.qps(false), t.qps(true)),
+        );
+    }
+
+    let shrunk = results
+        .iter()
+        .filter(|r| r.nodes_after < r.nodes_before)
+        .count();
+    let overall = geomean(results.iter().map(|r| r.ratio()));
+    let max_ratio = results.iter().map(|r| r.ratio()).fold(0.0f64, f64::max);
+    let all_identical = results.iter().all(|r| r.identical);
+    section("overall");
+    row("instances shrunk", format!("{shrunk}/{}", results.len()));
+    row("geomean node ratio", format!("{overall:.4}"));
+    row("max node ratio", format!("{max_ratio:.4}"));
+
+    section("criteria");
+    let mut ok = check(
+        "every instance answers bit-identically after minimization",
+        all_identical,
+    );
+    ok &= check("geomean node ratio < 1.0 (real reductions)", overall < 1.0);
+    ok &= check("no instance grew past 1.05x", max_ratio <= 1.05);
+
+    if !smoke {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_minimize.json");
+        std::fs::write(path, to_json(&results, &tiers, all_identical))
+            .expect("write BENCH_minimize.json");
+        println!("\nwrote {path}");
+    }
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -134,6 +134,31 @@ impl Registry {
         self.evict_to_budget();
     }
 
+    /// The artifact under a fingerprint without touching LRU order or the
+    /// hit/miss counters — maintenance passes (the optimize job) peek at
+    /// entries without pretending to be traffic.
+    pub fn peek(&self, key: u64) -> Option<Artifact> {
+        self.entries.get(&key).map(|(a, _)| a.clone())
+    }
+
+    /// Atomically replaces the artifact under `key`, **re-snapshotting its
+    /// budget charge**: a minimized artifact's smaller footprint releases
+    /// budget immediately (the insert-time snapshot is otherwise never
+    /// revisited), and a grown one triggers eviction as usual. LRU
+    /// position is preserved — replacement is maintenance, not traffic.
+    /// Returns `false` (storing nothing) if `key` is not resident.
+    pub fn replace(&mut self, key: u64, artifact: Artifact) -> bool {
+        let charged = artifact.retained_nodes();
+        let Some(entry) = self.entries.get_mut(&key) else {
+            return false;
+        };
+        let old_charged = entry.1;
+        *entry = (artifact, charged);
+        self.retained_nodes = self.retained_nodes - old_charged + charged;
+        self.evict_to_budget();
+        true
+    }
+
     /// Evicts coldest-first until under budget. The hottest entry is never
     /// evicted, even if it alone exceeds the budget — a registry that
     /// cannot hold its current working artifact would thrash forever.
@@ -288,6 +313,61 @@ mod tests {
         assert_eq!(r.retained_nodes(), a.retained_nodes());
         assert!(r.get(key).is_some());
         assert!(r.get(key ^ 1).is_none());
+    }
+
+    #[test]
+    fn replace_releases_budget_immediately() {
+        // Regression: an optimized artifact's smaller retained-node cost
+        // must be reflected in the running budget at swap time — the
+        // insert-time snapshot is revisited by `replace`, unlike `insert`
+        // which resets LRU position.
+        // Hand-built circuit with guaranteed slack: ⊤-padded and-gates that
+        // the compact pass always eliminates.
+        let mut b = trl_nnf::CircuitBuilder::new(3);
+        let tt = b.true_();
+        let x0 = b.lit(trl_core::Var(0).positive());
+        let x1 = b.lit(trl_core::Var(1).positive());
+        let nx0 = b.lit(trl_core::Var(0).negative());
+        let x2 = b.lit(trl_core::Var(2).positive());
+        let lhs = b.and_raw([x0, tt, x1]);
+        let rhs = b.and_raw([nx0, x2, tt]);
+        let root = b.or_raw([lhs, rhs]);
+        let padded = b.finish(root);
+
+        let mut r = Registry::new(1 << 20);
+        let a = Arc::new(crate::prepared::PreparedCircuit::new(padded));
+        a.answer(&crate::executor::Query::ModelCount); // materialize tape
+        let key = 0xdead_beef_u64;
+        r.insert(key, Artifact::Circuit(Arc::clone(&a)));
+        let before = r.retained_nodes();
+
+        // Swap in a strictly smaller artifact under the same key.
+        let (small, report) =
+            trl_minimize::minimize_circuit(a.raw(), &trl_minimize::MinimizeConfig::default());
+        assert!(report.accepted, "padded circuit must have slack");
+        let small = Arc::new(crate::prepared::PreparedCircuit::new(small));
+        let small_cost = small.retained_nodes();
+        assert!(r.replace(key, Artifact::Circuit(small)));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.retained_nodes(), small_cost, "budget released at swap");
+        assert!(r.retained_nodes() < before);
+
+        // Absent keys are rejected without storing anything.
+        let stray = Arc::new(crate::prepared::PreparedCircuit::new(a.raw().clone()));
+        assert!(!r.replace(key ^ 1, Artifact::Circuit(stray)));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_touch_lru_or_stats() {
+        let cnf = Cnf::parse_dimacs("p cnf 2 1\n1 2 0\n").unwrap();
+        let mut r = Registry::new(1 << 20);
+        r.get_or_compile(&cnf);
+        let key = fingerprint(&cnf);
+        let stats = r.stats();
+        assert!(r.peek(key).is_some());
+        assert!(r.peek(key ^ 1).is_none());
+        assert_eq!(r.stats(), stats, "peek must not count as traffic");
     }
 
     #[test]

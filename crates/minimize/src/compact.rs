@@ -1,0 +1,183 @@
+//! The structural compact pass: reachability pruning, structural
+//! deduplication, and neutral-element elimination.
+//!
+//! Unlike the order/vtree searches, this pass is **bit-preserving for
+//! every nonnegative weight function**, not just the exact dyadic regime:
+//! it never reorders a gate's inputs (hence `and_raw`/`or_raw`, which
+//! intern verbatim — the sorting `and`/`or` constructors would change
+//! float summation order), and the only values it removes are exact
+//! algebraic identities of the WMC semiring:
+//!
+//! * `⊤` inputs of an and-gate (multiplying by `1.0`),
+//! * `⊥` inputs of an or-gate (adding `+0.0`; weights are nonnegative, so
+//!   `⊥` subcircuits evaluate to exactly `+0.0`),
+//! * single-input gates (the gate *is* its input),
+//! * nodes unreachable from the root (compilers leave scratch behind —
+//!   the arena is a superset of the live DAG).
+//!
+//! Cross-constant folds (`⊥` inside an and-gate, `⊤` inside an or-gate)
+//! are deliberately **not** applied: with adversarial weights (overflow to
+//! `inf`) `0.0 × inf` is `NaN`, so folding could change bits. Compilers
+//! never emit those shapes anyway.
+
+use trl_nnf::{Circuit, CircuitBuilder, NnfId, NnfNode};
+
+/// Rebuilds `c` keeping only live structure. The result answers every
+/// query bit-identically for nonnegative weights and is never larger than
+/// the input.
+pub fn compact(c: &Circuit) -> Circuit {
+    // Mark the nodes reachable from the root.
+    let mut live = vec![false; c.node_count()];
+    let mut stack = vec![c.root()];
+    while let Some(id) = stack.pop() {
+        if std::mem::replace(&mut live[id.index()], true) {
+            continue;
+        }
+        if let NnfNode::And(xs) | NnfNode::Or(xs) = c.node(id) {
+            stack.extend(xs.iter().copied());
+        }
+    }
+
+    // Each live node maps to a new id plus its constant class, so ⊤/⊥
+    // inputs are recognized even when produced by a collapse (e.g. an
+    // and-gate whose inputs were all ⊤). Constants are interned lazily —
+    // eagerly creating ⊤/⊥ arena slots could *grow* an already-tight
+    // circuit that never mentions them.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Class {
+        True,
+        False,
+        Other,
+    }
+    let mut b = CircuitBuilder::new(c.num_vars());
+    let mut map: Vec<(NnfId, Class)> = vec![(NnfId(0), Class::Other); c.node_count()];
+    for id in c.ids() {
+        if !live[id.index()] {
+            continue;
+        }
+        let new = match c.node(id) {
+            NnfNode::True => (b.true_(), Class::True),
+            NnfNode::False => (b.false_(), Class::False),
+            NnfNode::Lit(l) => (b.lit(*l), Class::Other),
+            NnfNode::And(xs) => {
+                // Drop ⊤ inputs (×1.0); keep input order for bit-identity.
+                let kids: Vec<(NnfId, Class)> = xs
+                    .iter()
+                    .map(|x| map[x.index()])
+                    .filter(|(_, class)| *class != Class::True)
+                    .collect();
+                match kids.len() {
+                    0 => (b.true_(), Class::True),
+                    1 => kids[0],
+                    _ => (b.and_raw(kids.into_iter().map(|(id, _)| id)), Class::Other),
+                }
+            }
+            NnfNode::Or(xs) => {
+                // Drop ⊥ inputs (+0.0); keep input order for bit-identity.
+                let kids: Vec<(NnfId, Class)> = xs
+                    .iter()
+                    .map(|x| map[x.index()])
+                    .filter(|(_, class)| *class != Class::False)
+                    .collect();
+                match kids.len() {
+                    0 => (b.false_(), Class::False),
+                    1 => kids[0],
+                    _ => (b.or_raw(kids.into_iter().map(|(id, _)| id)), Class::Other),
+                }
+            }
+        };
+        map[id.index()] = new;
+    }
+    // The rebuild interned a constant for every live ⊤/⊥ source node even
+    // when all of its consumers dropped it; prune orphans left behind.
+    prune_unreachable(&b.finish(map[c.root().index()].0))
+}
+
+/// Drops nodes unreachable from the root, renumbering in arena order.
+/// Purely structural (no interning, no input rewriting), hence trivially
+/// bit-preserving.
+fn prune_unreachable(c: &Circuit) -> Circuit {
+    let mut live = vec![false; c.node_count()];
+    let mut stack = vec![c.root()];
+    while let Some(id) = stack.pop() {
+        if std::mem::replace(&mut live[id.index()], true) {
+            continue;
+        }
+        if let NnfNode::And(xs) | NnfNode::Or(xs) = c.node(id) {
+            stack.extend(xs.iter().copied());
+        }
+    }
+    if live.iter().all(|&l| l) {
+        return c.clone();
+    }
+    let mut remap: Vec<NnfId> = vec![NnfId(0); c.node_count()];
+    let mut nodes: Vec<NnfNode> = Vec::with_capacity(c.node_count());
+    for id in c.ids() {
+        if !live[id.index()] {
+            continue;
+        }
+        remap[id.index()] = NnfId(nodes.len() as u32);
+        nodes.push(match c.node(id) {
+            NnfNode::And(xs) => NnfNode::And(xs.iter().map(|x| remap[x.index()]).collect()),
+            NnfNode::Or(xs) => NnfNode::Or(xs.iter().map(|x| remap[x.index()]).collect()),
+            other => other.clone(),
+        });
+    }
+    let root = remap[c.root().index()];
+    Circuit::from_parts(c.num_vars(), nodes, root).expect("prune preserves arena invariants")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_core::Assignment;
+
+    #[test]
+    fn prunes_unreachable_and_neutral_elements() {
+        // Build an arena by hand with garbage, a ⊤-padded and-gate, and a
+        // ⊥-padded or-gate.
+        let l0 = NnfId(0); // x0
+        let l1 = NnfId(1); // ¬x1
+        let tt = NnfId(2);
+        let ff = NnfId(3);
+        let garbage = NnfId(4);
+        let and = NnfId(5);
+        let or = NnfId(6);
+        let nodes = vec![
+            NnfNode::Lit(trl_core::Var(0).positive()),
+            NnfNode::Lit(trl_core::Var(1).negative()),
+            NnfNode::True,
+            NnfNode::False,
+            NnfNode::And(vec![l0, l1]), // unreachable from root
+            NnfNode::And(vec![l0, tt, l1]),
+            NnfNode::Or(vec![ff, and]),
+        ];
+        let _ = garbage;
+        let c = Circuit::from_parts(2, nodes, or).unwrap();
+        let small = compact(&c);
+        assert!(small.node_count() < c.node_count());
+        for code in 0..4u64 {
+            let a = Assignment::from_index(code, 2);
+            assert_eq!(small.eval(&a), c.eval(&a));
+        }
+        // ⊤ pad and ⊥ pad are gone; the or collapsed onto the and-gate.
+        assert!(matches!(small.node(small.root()), NnfNode::And(xs) if xs.len() == 2));
+    }
+
+    #[test]
+    fn idempotent_and_never_grows() {
+        let l0 = NnfId(0);
+        let l1 = NnfId(1);
+        let and = NnfId(2);
+        let nodes = vec![
+            NnfNode::Lit(trl_core::Var(0).positive()),
+            NnfNode::Lit(trl_core::Var(1).positive()),
+            NnfNode::And(vec![l0, l1]),
+        ];
+        let c = Circuit::from_parts(2, nodes, and).unwrap();
+        let once = compact(&c);
+        let twice = compact(&once);
+        assert_eq!(once.node_count(), c.node_count());
+        assert_eq!(twice.node_count(), once.node_count());
+    }
+}

@@ -1,0 +1,131 @@
+//! Minimization schedules: when to run, which search to run, and how hard.
+
+use std::time::{Duration, Instant};
+
+/// When a minimization pass actually runs — the OBDDimal
+/// `dvo_schedules.rs` trigger set.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Trigger {
+    /// Run on every request.
+    Always,
+    /// Run only when the circuit has at least this many nodes; tiny
+    /// circuits are not worth the search.
+    Threshold {
+        /// Minimum node count for the pass to fire.
+        min_nodes: usize,
+    },
+    /// Never run (the pass returns the input unchanged).
+    Never,
+}
+
+impl Trigger {
+    /// Whether a circuit of `nodes` nodes should be minimized.
+    pub fn fires(self, nodes: usize) -> bool {
+        match self {
+            Trigger::Always => true,
+            Trigger::Threshold { min_nodes } => nodes >= min_nodes,
+            Trigger::Never => false,
+        }
+    }
+}
+
+/// Which order/structure searches to run. The structural compact pass
+/// (dedup + neutral-element pruning) always runs — it is cheap and
+/// bit-preserving for every weight function.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    /// Compact pass only.
+    Compact,
+    /// Compact plus OBDD Rudell sifting over variable orders.
+    Obdd,
+    /// Compact plus greedy vtree local search (rotate/swap moves).
+    Vtree,
+    /// Everything; the smallest verified candidate wins.
+    Full,
+}
+
+impl Strategy {
+    pub(crate) fn runs_obdd(self) -> bool {
+        matches!(self, Strategy::Obdd | Strategy::Full)
+    }
+
+    pub(crate) fn runs_vtree(self) -> bool {
+        matches!(self, Strategy::Vtree | Strategy::Full)
+    }
+
+    /// Parses a CLI strategy name.
+    pub fn parse(s: &str) -> Option<Strategy> {
+        match s {
+            "compact" => Some(Strategy::Compact),
+            "obdd" => Some(Strategy::Obdd),
+            "vtree" => Some(Strategy::Vtree),
+            "full" | "all" => Some(Strategy::Full),
+            _ => None,
+        }
+    }
+}
+
+/// A complete minimization schedule.
+#[derive(Clone, Debug)]
+pub struct MinimizeConfig {
+    /// When to run at all.
+    pub trigger: Trigger,
+    /// Which searches to run.
+    pub strategy: Strategy,
+    /// Rudell bounded-growth factor: a sift direction is abandoned once the
+    /// diagram exceeds `max_growth ×` the best size seen for that variable.
+    pub max_growth: f64,
+    /// Wall-clock budget for the whole pass; searches stop (keeping their
+    /// best so far) once it is spent.
+    pub time_budget: Duration,
+    /// Maximum sifting passes over the variables / vtree search rounds.
+    pub max_passes: usize,
+    /// Abort a substrate build (circuit → OBDD/SDD import) whose manager
+    /// allocates more than this many nodes — some functions are simply
+    /// large under any tested order, and the pass must stay background-safe.
+    pub node_cap: usize,
+}
+
+impl Default for MinimizeConfig {
+    fn default() -> Self {
+        MinimizeConfig {
+            trigger: Trigger::Always,
+            strategy: Strategy::Full,
+            max_growth: 1.2,
+            time_budget: Duration::from_millis(1_000),
+            max_passes: 4,
+            node_cap: 1 << 18,
+        }
+    }
+}
+
+impl MinimizeConfig {
+    /// The deadline this pass must respect, measured from `start`.
+    pub(crate) fn deadline(&self, start: Instant) -> Instant {
+        start + self.time_budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_semantics() {
+        assert!(Trigger::Always.fires(0));
+        assert!(!Trigger::Never.fires(1 << 20));
+        let t = Trigger::Threshold { min_nodes: 100 };
+        assert!(!t.fires(99));
+        assert!(t.fires(100));
+    }
+
+    #[test]
+    fn strategy_parse() {
+        assert_eq!(Strategy::parse("compact"), Some(Strategy::Compact));
+        assert_eq!(Strategy::parse("obdd"), Some(Strategy::Obdd));
+        assert_eq!(Strategy::parse("vtree"), Some(Strategy::Vtree));
+        assert_eq!(Strategy::parse("full"), Some(Strategy::Full));
+        assert_eq!(Strategy::parse("all"), Some(Strategy::Full));
+        assert_eq!(Strategy::parse("bogus"), None);
+    }
+}

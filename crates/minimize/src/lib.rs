@@ -1,0 +1,263 @@
+//! Circuit minimization: the size of a compiled artifact is the constant
+//! factor in every tractable query, and size is governed by the
+//! *representation choice* — variable order for OBDDs, vtree for SDDs
+//! (the succinctness dimension of the knowledge-compilation map).
+//!
+//! This crate searches those choices after the fact:
+//!
+//! * [`compact`] — structural pass (reachability, dedup, neutral
+//!   elements); bit-preserving for every nonnegative weight function and
+//!   never larger.
+//! * [`sift`] — Rudell sifting over OBDD variable orders, built on
+//!   `trl-obdd`'s in-place [`swap_adjacent`](trl_obdd::Obdd::swap_adjacent).
+//! * [`vtree_search`](search) — greedy rotate/swap local search over
+//!   vtree shapes, recompiling through `trl-sdd`.
+//!
+//! [`minimize_circuit`] runs the schedule ([`MinimizeConfig`]) and returns
+//! the smallest candidate that passes the acceptance battery
+//! ([`answers_match`]): exact counting probes plus bit-identical WMC /
+//! marginals / MPE weight in the exact dyadic regime. Candidates that are
+//! not strictly smaller — or that fail a single probe — are discarded, so
+//! the pass can only shrink, never corrupt.
+//!
+//! The engine runs this as its background *optimize* job and atomically
+//! swaps the smaller circuit into the registry; `minimize.*` counters and
+//! histograms expose what the passes did.
+
+mod compact;
+mod config;
+mod sift;
+mod verify;
+mod vtree_search;
+
+pub use compact::compact;
+pub use config::{MinimizeConfig, Strategy, Trigger};
+pub use sift::{obdd_from_circuit, sift, SiftStats};
+pub use verify::{answers_match, dyadic_weights, mixed_dyadic_weights};
+pub use vtree_search::{search, VtreeStats};
+
+use std::time::Instant;
+use trl_nnf::Circuit;
+
+/// What one [`minimize_circuit`] run did.
+#[derive(Clone, Debug)]
+pub struct MinimizeReport {
+    /// Node count going in.
+    pub nodes_before: usize,
+    /// Node count of the returned circuit (`== nodes_before` when nothing
+    /// smaller survived the battery).
+    pub nodes_after: usize,
+    /// Adjacent-level swaps performed by sifting.
+    pub swaps: u64,
+    /// Accepted vtree moves.
+    pub rotations: u64,
+    /// Sifting passes completed.
+    pub passes: u64,
+    /// Which candidate won: `"compact"`, `"obdd"`, `"vtree"`, or `"none"`.
+    pub strategy: &'static str,
+    /// Wall time spent.
+    pub wall_us: u64,
+    /// Whether a strictly smaller, battery-verified circuit was produced.
+    pub accepted: bool,
+}
+
+/// The `minimize.*` metric names, in render order. Registered zero-valued
+/// at startup (via [`register_metrics`]) so dashboards and the stats table
+/// show rows before the first optimize job runs.
+pub const MINIMIZE_COUNTERS: [&str; 7] = [
+    "minimize.jobs",
+    "minimize.accepted",
+    "minimize.rejected",
+    "minimize.swaps",
+    "minimize.rotations",
+    "minimize.passes",
+    "minimize.nodes_reclaimed",
+];
+
+/// The `minimize.*` histogram names.
+pub const MINIMIZE_HISTOGRAMS: [&str; 3] = [
+    "minimize.wall_us",
+    "minimize.nodes_before",
+    "minimize.nodes_after",
+];
+
+/// Registers every `minimize.*` metric zero-valued, so they render in
+/// stats tables and Prometheus exposition before any job has run.
+pub fn register_metrics() {
+    for name in MINIMIZE_COUNTERS {
+        trl_obs::counter(name);
+    }
+    for name in MINIMIZE_HISTOGRAMS {
+        trl_obs::histogram(name);
+    }
+}
+
+/// Minimizes a circuit under the given schedule.
+///
+/// Returns the smallest candidate that (a) is strictly smaller than the
+/// input and (b) passes the full acceptance battery, or a clone of the
+/// input when no candidate qualifies (`report.accepted == false`).
+pub fn minimize_circuit(c: &Circuit, cfg: &MinimizeConfig) -> (Circuit, MinimizeReport) {
+    let start = Instant::now();
+    let deadline = cfg.deadline(start);
+    let nodes_before = c.node_count();
+    let mut report = MinimizeReport {
+        nodes_before,
+        nodes_after: nodes_before,
+        swaps: 0,
+        rotations: 0,
+        passes: 0,
+        strategy: "none",
+        wall_us: 0,
+        accepted: false,
+    };
+    if !cfg.trigger.fires(nodes_before) {
+        report.wall_us = start.elapsed().as_micros() as u64;
+        return (c.clone(), report);
+    }
+    trl_obs::counter!("minimize.jobs").inc();
+    trl_obs::histogram!("minimize.nodes_before").record_us(nodes_before as u64);
+
+    // Candidate 1: the structural compact pass — cheap, always run.
+    let mut candidates: Vec<(&'static str, Circuit)> = vec![("compact", compact(c))];
+
+    // Candidate 2: OBDD order search (round-trips through a diagram).
+    if cfg.strategy.runs_obdd() && Instant::now() < deadline {
+        if let Some((mut m, root)) = obdd_from_circuit(c, cfg.node_cap) {
+            let stats = sift(&mut m, root, cfg, deadline);
+            report.swaps = stats.swaps;
+            report.passes = stats.passes;
+            trl_obs::counter!("minimize.swaps").add(stats.swaps);
+            trl_obs::counter!("minimize.passes").add(stats.passes);
+            candidates.push(("obdd", compact(&m.to_nnf(root))));
+        }
+    }
+
+    // Candidate 3: vtree local search (recompiles through SDDs).
+    if cfg.strategy.runs_vtree() && Instant::now() < deadline {
+        let (cand, stats) = search(c, cfg, deadline);
+        report.rotations = stats.rotations;
+        trl_obs::counter!("minimize.rotations").add(stats.rotations);
+        if let Some(cand) = cand {
+            candidates.push(("vtree", cand));
+        }
+    }
+
+    // Smallest strictly-smaller candidate that answers identically wins.
+    candidates.sort_by_key(|(_, cand)| cand.node_count());
+    let mut out = None;
+    for (name, cand) in candidates {
+        if cand.node_count() >= nodes_before {
+            break; // sorted: nothing further can be smaller
+        }
+        if answers_match(c, &cand) {
+            out = Some((name, cand));
+            break;
+        }
+        trl_obs::counter!("minimize.rejected").inc();
+    }
+
+    let (circuit, accepted) = match out {
+        Some((name, cand)) => {
+            report.strategy = name;
+            report.nodes_after = cand.node_count();
+            (cand, true)
+        }
+        None => (c.clone(), false),
+    };
+    report.accepted = accepted;
+    if accepted {
+        trl_obs::counter!("minimize.accepted").inc();
+        trl_obs::counter!("minimize.nodes_reclaimed")
+            .add((nodes_before - report.nodes_after) as u64);
+    }
+    report.wall_us = start.elapsed().as_micros().max(1) as u64;
+    trl_obs::histogram!("minimize.wall_us").record_us(report.wall_us);
+    trl_obs::histogram!("minimize.nodes_after").record_us(report.nodes_after as u64);
+    (circuit, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_core::Assignment;
+    use trl_nnf::CircuitBuilder;
+
+    /// A circuit with obvious slack: ⊤-padded gates and duplicate
+    /// structure the builder was bypassed on.
+    fn slack_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new(3);
+        let t = b.true_();
+        let l0 = b.lit(trl_core::Var(0).positive());
+        let l1 = b.lit(trl_core::Var(1).positive());
+        let l2 = b.lit(trl_core::Var(2).negative());
+        let a1 = b.and_raw([l0, t, l1]);
+        let a2 = b.and_raw([l0, l2, t]);
+        let root = b.or_raw([a1, a2]);
+        b.finish(root)
+    }
+
+    #[test]
+    fn minimize_shrinks_and_preserves() {
+        let c = slack_circuit();
+        let (m, report) = minimize_circuit(&c, &MinimizeConfig::default());
+        assert!(report.accepted, "slack must be reclaimed");
+        assert!(m.node_count() < c.node_count());
+        assert_eq!(report.nodes_after, m.node_count());
+        assert_ne!(report.strategy, "none");
+        for code in 0..8u64 {
+            let a = Assignment::from_index(code, 3);
+            assert_eq!(m.eval(&a), c.eval(&a));
+        }
+    }
+
+    #[test]
+    fn never_trigger_is_a_no_op() {
+        let c = slack_circuit();
+        let cfg = MinimizeConfig {
+            trigger: Trigger::Never,
+            ..MinimizeConfig::default()
+        };
+        let (m, report) = minimize_circuit(&c, &cfg);
+        assert!(!report.accepted);
+        assert_eq!(report.strategy, "none");
+        assert_eq!(m.node_count(), c.node_count());
+    }
+
+    #[test]
+    fn threshold_trigger_skips_small_circuits() {
+        let c = slack_circuit();
+        let cfg = MinimizeConfig {
+            trigger: Trigger::Threshold { min_nodes: 1_000 },
+            ..MinimizeConfig::default()
+        };
+        let (_, report) = minimize_circuit(&c, &cfg);
+        assert!(!report.accepted);
+    }
+
+    #[test]
+    fn already_minimal_circuit_is_kept() {
+        let mut b = CircuitBuilder::new(2);
+        let l0 = b.lit(trl_core::Var(0).positive());
+        let l1 = b.lit(trl_core::Var(1).positive());
+        let root = b.and([l0, l1]);
+        let c = b.finish(root);
+        let (m, report) = minimize_circuit(&c, &MinimizeConfig::default());
+        assert_eq!(m.node_count(), c.node_count());
+        // Accepted only if strictly smaller — a 3-node circuit has no slack.
+        assert!(!report.accepted);
+    }
+
+    #[test]
+    fn metric_registration_is_idempotent() {
+        register_metrics();
+        register_metrics();
+        let dump = trl_obs::snapshot();
+        for name in MINIMIZE_COUNTERS {
+            assert!(dump.counter(name).is_some(), "{name} missing");
+        }
+        for name in MINIMIZE_HISTOGRAMS {
+            assert!(dump.histogram(name).is_some(), "{name} missing");
+        }
+    }
+}

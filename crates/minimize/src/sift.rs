@@ -1,0 +1,171 @@
+//! Rudell sifting over an OBDD, plus the circuit → OBDD → circuit
+//! round-trip that turns an order search into a d-DNNF shrink.
+
+use std::time::Instant;
+
+use crate::config::MinimizeConfig;
+use trl_nnf::{Circuit, NnfNode};
+use trl_obdd::{BddRef, Obdd};
+
+/// What a sifting run did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SiftStats {
+    /// Adjacent-level swaps performed (including repositioning moves).
+    pub swaps: u64,
+    /// Full passes over the variables.
+    pub passes: u64,
+}
+
+/// Sifts every variable to its locally best level (Rudell 1993): each
+/// variable in turn is swapped to the bottom, then to the top, and parked
+/// at the best position seen. A direction is abandoned early once the
+/// diagram grows past `cfg.max_growth ×` the best size for that variable,
+/// and the whole run stops at `deadline` or after `cfg.max_passes`
+/// passes without improvement.
+///
+/// `root`'s function is preserved by every swap, so the caller's handle
+/// stays valid throughout.
+pub fn sift(m: &mut Obdd, root: BddRef, cfg: &MinimizeConfig, deadline: Instant) -> SiftStats {
+    let n = m.num_vars();
+    let mut stats = SiftStats::default();
+    if n < 2 || m.is_terminal(root) {
+        return stats;
+    }
+    let mut best_total = m.size(root);
+    for _ in 0..cfg.max_passes {
+        stats.passes += 1;
+        // Sift busiest levels first — they have the most to give.
+        let occupancy = m.level_occupancy(&[root]);
+        let mut levels: Vec<u32> = (0..n as u32).collect();
+        levels.sort_by_key(|&l| std::cmp::Reverse(occupancy[l as usize]));
+        let vars: Vec<_> = levels.into_iter().map(|l| m.var_at(l)).collect();
+        for v in vars {
+            if Instant::now() >= deadline {
+                return stats;
+            }
+            let mut cur = m.level_of(v);
+            let mut best_size = m.size(root);
+            let mut best_level = cur;
+            let grown = |s: usize, best: usize| s as f64 > best as f64 * cfg.max_growth;
+            // Down to the bottom...
+            while (cur as usize) + 1 < n {
+                m.swap_adjacent(cur);
+                cur += 1;
+                stats.swaps += 1;
+                let s = m.size(root);
+                if s < best_size {
+                    best_size = s;
+                    best_level = cur;
+                }
+                if grown(s, best_size) || Instant::now() >= deadline {
+                    break;
+                }
+            }
+            // ...then up to the top (passing back through the start)...
+            while cur > 0 {
+                m.swap_adjacent(cur - 1);
+                cur -= 1;
+                stats.swaps += 1;
+                let s = m.size(root);
+                if s < best_size {
+                    best_size = s;
+                    best_level = cur;
+                }
+                if grown(s, best_size) || Instant::now() >= deadline {
+                    break;
+                }
+            }
+            // ...and park at the best level seen.
+            stats.swaps += m.move_var_to(v, best_level);
+        }
+        let total = m.size(root);
+        if total >= best_total {
+            break; // converged: a whole pass bought nothing
+        }
+        best_total = total;
+    }
+    stats
+}
+
+/// Imports a circuit into an OBDD manager by structural apply, giving up
+/// (`None`) if the manager allocates more than `node_cap` nodes — some
+/// functions are exponential under the natural order, and a background
+/// pass must not OOM the server.
+pub fn obdd_from_circuit(c: &Circuit, node_cap: usize) -> Option<(Obdd, BddRef)> {
+    let mut m = Obdd::with_num_vars(c.num_vars());
+    let mut map: Vec<BddRef> = Vec::with_capacity(c.node_count());
+    for id in c.ids() {
+        let r = match c.node(id) {
+            NnfNode::True => Obdd::TRUE,
+            NnfNode::False => Obdd::FALSE,
+            NnfNode::Lit(l) => m.literal(*l),
+            NnfNode::And(xs) => {
+                let mut acc = Obdd::TRUE;
+                for x in xs {
+                    acc = m.and(acc, map[x.index()]);
+                }
+                acc
+            }
+            NnfNode::Or(xs) => {
+                let mut acc = Obdd::FALSE;
+                for x in xs {
+                    acc = m.or(acc, map[x.index()]);
+                }
+                acc
+            }
+        };
+        if m.allocated() > node_cap {
+            return None;
+        }
+        map.push(r);
+    }
+    let root = map[c.root().index()];
+    Some((m, root))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_core::SplitMix64;
+    use trl_prop::gen::random_cnf;
+
+    #[test]
+    fn sifting_never_grows_the_final_diagram() {
+        let mut rng = SplitMix64::new(0xbdd);
+        for i in 0..10 {
+            let n = 5 + i % 6;
+            let cnf = random_cnf(&mut rng, n, 3 + 2 * i, 3);
+            let mut m = Obdd::with_num_vars(n);
+            let root = m.build_cnf(&cnf);
+            if m.is_terminal(root) {
+                continue; // degenerate instance: nothing to sift
+            }
+            let before = m.size(root);
+            let count = m.count_models(root);
+            let cfg = MinimizeConfig::default();
+            let deadline = cfg.deadline(Instant::now());
+            let stats = sift(&mut m, root, &cfg, deadline);
+            assert!(m.size(root) <= before, "instance {i} grew");
+            assert_eq!(m.count_models(root), count, "instance {i} changed function");
+            assert!(stats.passes >= 1);
+        }
+    }
+
+    #[test]
+    fn import_respects_node_cap() {
+        let mut rng = SplitMix64::new(1);
+        let cnf = random_cnf(&mut rng, 10, 20, 3);
+        let mut b = trl_nnf::CircuitBuilder::new(10);
+        // A circuit shaped like the CNF itself (not compiled): ands of ors.
+        let mut clauses = Vec::new();
+        for cl in cnf.clauses() {
+            let lits: Vec<_> = cl.literals().iter().map(|&l| b.lit(l)).collect();
+            clauses.push(b.or(lits));
+        }
+        let root = b.and(clauses);
+        let c = b.finish(root);
+        assert!(obdd_from_circuit(&c, 2).is_none(), "cap must abort");
+        let (m, r) = obdd_from_circuit(&c, 1 << 20).expect("generous cap");
+        assert!(m.size(r) > 2);
+    }
+}

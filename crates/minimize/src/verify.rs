@@ -1,0 +1,131 @@
+//! The acceptance battery: a minimized candidate replaces its original
+//! only if every probe below answers **bit-identically**.
+//!
+//! Counting probes (`u128`) are exact for any circuit pair computing the
+//! same function. Float probes run in the *exact dyadic regime* — weights
+//! from `{0.5, 1.0}` — where every intermediate WMC/marginal value is an
+//! exactly representable dyadic rational (the corpus tops out near 13
+//! variables, far inside `f64`'s 53-bit mantissa), so bit-equality holds
+//! across *any* restructuring iff the functions agree. MPE ties are
+//! broken structurally, so the battery compares the optimal *weight* bits
+//! and checks each witness against the other circuit.
+
+use trl_core::{Assignment, PartialAssignment, Var};
+use trl_nnf::{Circuit, LitWeights};
+
+/// All-0.5 weights: every model weighs exactly `2^-n`.
+pub fn dyadic_weights(n: usize) -> LitWeights {
+    let mut w = LitWeights::unit(n);
+    for v in 0..n as u32 {
+        w.set(Var(v).positive(), 0.5);
+        w.set(Var(v).negative(), 0.5);
+    }
+    w
+}
+
+/// Mixed dyadic weights, deterministically varied per variable: positive
+/// literals alternate `{1.0, 0.5}`, negative literals the complement
+/// pattern. Still exact, but exercises asymmetric products.
+pub fn mixed_dyadic_weights(n: usize) -> LitWeights {
+    let mut w = LitWeights::unit(n);
+    for v in 0..n as u32 {
+        let half_pos = v % 2 == 0;
+        w.set(Var(v).positive(), if half_pos { 0.5 } else { 1.0 });
+        w.set(Var(v).negative(), if half_pos { 1.0 } else { 0.5 });
+    }
+    w
+}
+
+/// Whether `a` and `b` answer the battery identically. Both circuits must
+/// share a variable universe.
+pub fn answers_match(a: &Circuit, b: &Circuit) -> bool {
+    if a.num_vars() != b.num_vars() {
+        return false;
+    }
+    let n = a.num_vars();
+
+    // SAT + exact counting.
+    if a.sat_dnnf() != b.sat_dnnf() || a.model_count() != b.model_count() {
+        return false;
+    }
+
+    // Counting under evidence: a couple of deterministic probes.
+    for (i, flip) in [(0usize, false), (0, true), (n / 2, true)] {
+        if i >= n {
+            continue;
+        }
+        let mut pa = PartialAssignment::new(n);
+        pa.assign(Var(i as u32).literal(flip));
+        if a.model_count_under(&pa) != b.model_count_under(&pa) {
+            return false;
+        }
+    }
+
+    // WMC + marginals in the exact dyadic regime, compared bit-for-bit.
+    for w in [dyadic_weights(n), mixed_dyadic_weights(n)] {
+        if a.wmc(&w).to_bits() != b.wmc(&w).to_bits() {
+            return false;
+        }
+        let (wa, ma) = a.wmc_marginals(&w);
+        let (wb, mb) = b.wmc_marginals(&w);
+        if wa.to_bits() != wb.to_bits() || ma.len() != mb.len() {
+            return false;
+        }
+        let bits = |xs: &[(f64, f64)]| -> Vec<(u64, u64)> {
+            xs.iter().map(|(p, q)| (p.to_bits(), q.to_bits())).collect()
+        };
+        if bits(&ma) != bits(&mb) {
+            return false;
+        }
+    }
+
+    // MPE: optimal weight bits must agree; witnesses may differ (ties are
+    // broken structurally) but each must be a model of the other circuit.
+    let w = mixed_dyadic_weights(n);
+    match (a.max_weight(&w), b.max_weight(&w)) {
+        (None, None) => true,
+        (Some((va, aa)), Some((vb, ab))) => {
+            va.to_bits() == vb.to_bits() && witness_ok(b, &aa) && witness_ok(a, &ab)
+        }
+        _ => false,
+    }
+}
+
+fn witness_ok(c: &Circuit, a: &Assignment) -> bool {
+    a.len() == c.num_vars() && c.eval(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_nnf::CircuitBuilder;
+
+    fn lit_circuit(n: usize, v: u32, positive: bool) -> Circuit {
+        let mut b = CircuitBuilder::new(n);
+        let root = b.lit(Var(v).literal(positive));
+        b.finish(root)
+    }
+
+    #[test]
+    fn identical_functions_match() {
+        let a = lit_circuit(3, 0, true);
+        // Same function, different structure: x0 ∧ ⊤-ish padding collapses
+        // in the builder, so hand-build via or of one and.
+        let mut bld = CircuitBuilder::new(3);
+        let l = bld.lit(Var(0).positive());
+        let root = bld.or_raw([l]);
+        let b = bld.finish(root);
+        assert!(answers_match(&a, &b));
+    }
+
+    #[test]
+    fn different_functions_do_not_match() {
+        let a = lit_circuit(3, 0, true);
+        let b = lit_circuit(3, 0, false);
+        let c = lit_circuit(3, 1, true);
+        assert!(!answers_match(&a, &b));
+        assert!(!answers_match(&a, &c));
+        let wider = lit_circuit(4, 0, true);
+        assert!(!answers_match(&a, &wider));
+    }
+}

@@ -1,0 +1,171 @@
+//! Greedy vtree local search: rotate-left / rotate-right / child-swap
+//! moves over the vtree shape, scored by the node count of the circuit
+//! recompiled against each candidate tree.
+
+use std::time::Instant;
+
+use crate::compact::compact;
+use crate::config::MinimizeConfig;
+use trl_nnf::{Circuit, NnfNode};
+use trl_sdd::{SddManager, SddRef};
+use trl_vtree::{Shape, Vtree, VtreeMove};
+
+/// What a vtree search did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VtreeStats {
+    /// Accepted moves (rotations + swaps).
+    pub rotations: u64,
+    /// Candidate trees evaluated (each is a full recompile).
+    pub evals: u64,
+}
+
+/// Imports a circuit into an SDD manager by structural apply, giving up
+/// if the manager allocates more than `node_cap` nodes.
+fn sdd_from_circuit(m: &mut SddManager, c: &Circuit, node_cap: usize) -> Option<SddRef> {
+    let mut map: Vec<SddRef> = Vec::with_capacity(c.node_count());
+    for id in c.ids() {
+        let r = match c.node(id) {
+            NnfNode::True => SddRef::True,
+            NnfNode::False => SddRef::False,
+            NnfNode::Lit(l) => m.literal(*l),
+            NnfNode::And(xs) => {
+                let mut acc = SddRef::True;
+                for x in xs {
+                    acc = m.and(acc, map[x.index()]);
+                }
+                acc
+            }
+            NnfNode::Or(xs) => {
+                let mut acc = SddRef::False;
+                for x in xs {
+                    acc = m.or(acc, map[x.index()]);
+                }
+                acc
+            }
+        };
+        if m.allocated() > node_cap {
+            return None;
+        }
+        map.push(r);
+    }
+    Some(map[c.root().index()])
+}
+
+/// Recompiles `c` against `shape` and scores the result by compacted
+/// node count, returning the candidate circuit too.
+fn evaluate(c: &Circuit, shape: &Shape, node_cap: usize) -> Option<Circuit> {
+    let mut m = SddManager::new(Vtree::from_shape(shape));
+    let f = sdd_from_circuit(&mut m, c, node_cap)?;
+    Some(compact(&m.to_nnf(f)))
+}
+
+/// Greedy first-improvement local search over vtree shapes.
+///
+/// Starts from the balanced and right-linear trees over the natural
+/// order, keeps whichever recompiles smaller, then repeatedly applies the
+/// best improving move (over all internal nodes × [`VtreeMove::ALL`])
+/// until a round finds none, the move budget (`cfg.max_passes` rounds) is
+/// spent, or the deadline passes. Returns the best candidate circuit.
+pub fn search(
+    c: &Circuit,
+    cfg: &MinimizeConfig,
+    deadline: Instant,
+) -> (Option<Circuit>, VtreeStats) {
+    let mut stats = VtreeStats::default();
+    let n = c.num_vars();
+    if n == 0 {
+        return (None, stats);
+    }
+    let order: Vec<trl_core::Var> = (0..n as u32).map(trl_core::Var).collect();
+
+    let mut best: Option<(Shape, Circuit)> = None;
+    for shape in [Shape::balanced(&order), Shape::right_linear(&order)] {
+        if Instant::now() >= deadline {
+            break;
+        }
+        stats.evals += 1;
+        if let Some(cand) = evaluate(c, &shape, cfg.node_cap) {
+            let better = best
+                .as_ref()
+                .is_none_or(|(_, b)| cand.node_count() < b.node_count());
+            if better {
+                best = Some((shape, cand));
+            }
+        }
+    }
+    let (mut shape, mut circuit) = match best {
+        Some(b) => b,
+        None => return (None, stats),
+    };
+
+    for _ in 0..cfg.max_passes {
+        if Instant::now() >= deadline {
+            break;
+        }
+        let mut round_best: Option<(Shape, Circuit)> = None;
+        for target in 0..shape.internal_count() {
+            for mv in VtreeMove::ALL {
+                if Instant::now() >= deadline {
+                    break;
+                }
+                let Some(next) = shape.apply_move(target, mv) else {
+                    continue;
+                };
+                stats.evals += 1;
+                let Some(cand) = evaluate(c, &next, cfg.node_cap) else {
+                    continue;
+                };
+                let bar = round_best
+                    .as_ref()
+                    .map_or(circuit.node_count(), |(_, b)| b.node_count());
+                if cand.node_count() < bar {
+                    round_best = Some((next, cand));
+                }
+            }
+        }
+        match round_best {
+            Some((s, cand)) => {
+                stats.rotations += 1;
+                shape = s;
+                circuit = cand;
+            }
+            None => break, // local optimum
+        }
+    }
+    (Some(circuit), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_core::Assignment;
+    use trl_nnf::CircuitBuilder;
+
+    /// (x0 ∧ x1) ∨ (¬x0 ∧ x2): deterministic (disjuncts split on x0), so
+    /// d-DNNF queries are meaningful on both sides of the search.
+    fn pairs_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new(4);
+        let p0 = b.lit(trl_core::Var(0).positive());
+        let n0 = b.lit(trl_core::Var(0).negative());
+        let l1 = b.lit(trl_core::Var(1).positive());
+        let l2 = b.lit(trl_core::Var(2).positive());
+        let a1 = b.and([p0, l1]);
+        let a2 = b.and([n0, l2]);
+        let root = b.or_raw([a1, a2]);
+        b.finish(root)
+    }
+
+    #[test]
+    fn search_preserves_semantics() {
+        let c = pairs_circuit();
+        let cfg = MinimizeConfig::default();
+        let (cand, stats) = search(&c, &cfg, cfg.deadline(Instant::now()));
+        let cand = cand.expect("search produced a candidate");
+        assert!(stats.evals >= 2);
+        for code in 0..16u64 {
+            let a = Assignment::from_index(code, 4);
+            assert_eq!(cand.eval(&a), c.eval(&a), "assignment {code}");
+        }
+        assert_eq!(cand.model_count(), c.model_count());
+    }
+}

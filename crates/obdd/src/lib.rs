@@ -19,6 +19,7 @@
 pub mod convert;
 pub mod manager;
 pub mod queries;
+pub mod swap;
 pub mod threshold;
 
 pub use manager::{BddRef, Obdd};

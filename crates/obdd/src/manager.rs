@@ -33,12 +33,17 @@ enum Op {
 }
 
 /// An OBDD manager over a fixed variable order.
+///
+/// The order is fixed per *operation*, not per manager lifetime:
+/// [`Obdd::swap_adjacent`] (in `swap.rs`) exchanges two adjacent levels in
+/// place, preserving every handle's function — the dynamic-reordering
+/// primitive Rudell sifting is built from.
 pub struct Obdd {
-    order: Vec<Var>,
+    pub(crate) order: Vec<Var>,
     /// Level of each variable (indexed by `Var`); `u32::MAX` if absent.
-    level_of: Vec<u32>,
+    pub(crate) level_of: Vec<u32>,
     pub(crate) nodes: Vec<Node>,
-    unique: FxHashMap<(u32, BddRef, BddRef), BddRef>,
+    pub(crate) unique: FxHashMap<(u32, BddRef, BddRef), BddRef>,
     apply_cache: FxHashMap<(Op, BddRef, BddRef), BddRef>,
     not_cache: FxHashMap<BddRef, BddRef>,
 }

@@ -1,0 +1,278 @@
+//! In-place adjacent-level exchange — the dynamic-reordering primitive.
+//!
+//! `swap_adjacent(l)` exchanges the variables at levels `l` and `l + 1`
+//! while preserving the Boolean function of **every live handle**: callers
+//! keep their `BddRef`s across a swap (and hence across a whole sifting
+//! run) and never re-translate roots. The apply/negation caches also stay
+//! valid, because they relate handles by function, not by structure.
+//!
+//! The construction is the classic one (Rudell 1993; OBDDimal's `swap.rs`
+//! follows the same plan): with `u` the variable at level `l` and `v` at
+//! `l + 1`, a node `f = ite(u, f1, f0)` whose cofactors touch `v` is
+//! rewritten in place to `ite(v, ite(u, f11, f01), ite(u, f10, f00))` —
+//! same function, `v` now tested first. Nodes testing `v` move up a level
+//! wholesale (nothing above can distinguish the two levels), and nodes
+//! testing `u` but independent of `v` move down. Only the two swapped
+//! levels are re-keyed in the unique table; everything else is untouched.
+//!
+//! Swaps leave garbage behind (the old `v`-cofactor nodes may become
+//! unreachable) — `Obdd::allocated` grows monotonically while
+//! [`Obdd::size`] reports live reachable size. Conversions walk reachable
+//! nodes only, so garbage costs memory, not answers.
+
+use crate::manager::{BddRef, Node, Obdd};
+use trl_core::FxHashSet;
+
+impl Obdd {
+    /// Exchanges the variables at levels `level` and `level + 1` in place.
+    ///
+    /// Every existing handle keeps its function under the *new* order; the
+    /// unique table stays canonical for all levels. Panics unless both
+    /// levels are non-terminal (`level + 1 < num_vars()`).
+    pub fn swap_adjacent(&mut self, level: u32) {
+        let upper = level;
+        let lower = level + 1;
+        assert!(
+            (lower as usize) < self.num_vars(),
+            "swap_adjacent({level}) needs two non-terminal levels"
+        );
+
+        // Arena scan for the two affected levels. Garbage nodes are swept
+        // along too — keeping them canonical is what lets the unique table
+        // stay a function-level invariant.
+        let mut at_upper: Vec<BddRef> = Vec::new();
+        let mut at_lower: FxHashSet<BddRef> = FxHashSet::default();
+        for (i, n) in self.nodes.iter().enumerate().skip(2) {
+            if n.level == upper {
+                at_upper.push(BddRef(i as u32));
+            } else if n.level == lower {
+                at_lower.insert(BddRef(i as u32));
+            }
+        }
+
+        // Retire the stale unique-table keys for both levels up front so
+        // `mk` during the rewrite below can never resurrect an old shape.
+        for &r in &at_upper {
+            let n = self.node(r);
+            self.unique.remove(&(upper, n.low, n.high));
+        }
+        for r in &at_lower {
+            let n = self.node(*r);
+            self.unique.remove(&(lower, n.low, n.high));
+        }
+
+        // Lower nodes move up a level wholesale: their children live
+        // strictly below the swapped pair, so ordering stays consistent,
+        // and no upper node can collide with them (a rewritten upper node
+        // always keeps at least one child at the new lower level).
+        for r in &at_lower {
+            let n = self.node(*r);
+            self.nodes[r.index()].level = upper;
+            self.unique.insert((upper, n.low, n.high), *r);
+        }
+
+        // Upper nodes independent of the lower variable just slide down;
+        // dependent ones are rewritten in place via the cofactor shuffle.
+        let mut dependent: Vec<BddRef> = Vec::new();
+        for &r in &at_upper {
+            let n = self.node(r);
+            if at_lower.contains(&n.low) || at_lower.contains(&n.high) {
+                dependent.push(r);
+            } else {
+                self.nodes[r.index()].level = lower;
+                self.unique.insert((lower, n.low, n.high), r);
+            }
+        }
+        for &r in &dependent {
+            let n = self.node(r);
+            // f_{u=0,v=0}, f_{u=0,v=1} from the low child; likewise high.
+            let (f00, f01) = if at_lower.contains(&n.low) {
+                let c = self.node(n.low);
+                (c.low, c.high)
+            } else {
+                (n.low, n.low)
+            };
+            let (f10, f11) = if at_lower.contains(&n.high) {
+                let c = self.node(n.high);
+                (c.low, c.high)
+            } else {
+                (n.high, n.high)
+            };
+            let new_low = self.mk(lower, f00, f10);
+            let new_high = self.mk(lower, f01, f11);
+            self.nodes[r.index()] = Node {
+                level: upper,
+                low: new_low,
+                high: new_high,
+            };
+            self.unique.insert((upper, new_low, new_high), r);
+        }
+
+        // Finally exchange the order bookkeeping.
+        self.order.swap(upper as usize, lower as usize);
+        self.level_of[self.order[upper as usize].index()] = upper;
+        self.level_of[self.order[lower as usize].index()] = lower;
+    }
+
+    /// Moves variable `v` to `target` level by a run of adjacent swaps,
+    /// returning the number of swaps performed.
+    pub fn move_var_to(&mut self, v: trl_core::Var, target: u32) -> u64 {
+        let mut cur = self.level_of(v);
+        let mut swaps = 0;
+        while cur < target {
+            self.swap_adjacent(cur);
+            cur += 1;
+            swaps += 1;
+        }
+        while cur > target {
+            self.swap_adjacent(cur - 1);
+            cur -= 1;
+            swaps += 1;
+        }
+        swaps
+    }
+
+    /// Live nodes per level (reachable from `roots`), indexed by level.
+    /// Terminals are not counted. Used by sifting to pick which variables
+    /// are worth moving first.
+    pub fn level_occupancy(&self, roots: &[BddRef]) -> Vec<usize> {
+        let mut occupancy = vec![0usize; self.num_vars()];
+        let mut seen: FxHashSet<BddRef> = FxHashSet::default();
+        let mut stack: Vec<BddRef> = roots
+            .iter()
+            .copied()
+            .filter(|r| !self.is_terminal(*r))
+            .collect();
+        while let Some(r) = stack.pop() {
+            if !seen.insert(r) {
+                continue;
+            }
+            let n = self.node(r);
+            occupancy[n.level as usize] += 1;
+            for c in [n.low, n.high] {
+                if !self.is_terminal(c) && !seen.contains(&c) {
+                    stack.push(c);
+                }
+            }
+        }
+        occupancy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trl_core::{Assignment, SplitMix64};
+    use trl_prop::gen::random_cnf;
+
+    /// Truth table of `f` over all `2^n` assignments (n = num_vars).
+    fn truth_table(m: &Obdd, f: BddRef) -> Vec<bool> {
+        let n = m.num_vars();
+        (0..1u64 << n)
+            .map(|bits| m.eval(f, &Assignment::from_index(bits, n)))
+            .collect()
+    }
+
+    fn build_corpus(n: usize, seed: u64) -> (Obdd, Vec<BddRef>) {
+        let mut rng = SplitMix64::new(seed);
+        let mut m = Obdd::with_num_vars(n);
+        let roots: Vec<BddRef> = (0..4)
+            .map(|i| {
+                let cnf = random_cnf(&mut rng, n, 2 + i * 2, 3);
+                m.build_cnf(&cnf)
+            })
+            .collect();
+        (m, roots)
+    }
+
+    #[test]
+    fn single_swap_preserves_every_root_function() {
+        for n in 2..=6 {
+            for seed in 0..4u64 {
+                for level in 0..(n - 1) as u32 {
+                    let (mut m, roots) = build_corpus(n, 0x100 * seed + n as u64);
+                    let before: Vec<_> = roots.iter().map(|&r| truth_table(&m, r)).collect();
+                    let order_before = m.order().to_vec();
+                    m.swap_adjacent(level);
+                    let mut expect_order = order_before;
+                    expect_order.swap(level as usize, level as usize + 1);
+                    assert_eq!(m.order(), &expect_order[..]);
+                    let after: Vec<_> = roots.iter().map(|&r| truth_table(&m, r)).collect();
+                    assert_eq!(before, after, "n={n} seed={seed} level={level}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swap_twice_is_identity_on_order_and_functions() {
+        let (mut m, roots) = build_corpus(5, 42);
+        let before: Vec<_> = roots.iter().map(|&r| truth_table(&m, r)).collect();
+        let order = m.order().to_vec();
+        for level in 0..4 {
+            m.swap_adjacent(level);
+            m.swap_adjacent(level);
+        }
+        assert_eq!(m.order(), &order[..]);
+        let after: Vec<_> = roots.iter().map(|&r| truth_table(&m, r)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn manager_stays_canonical_after_swaps() {
+        // After an arbitrary swap sequence, rebuilding each root's function
+        // from scratch (under the *new* order) must land on the same handle
+        // — canonicity is preserved, not just semantics.
+        let mut rng = SplitMix64::new(7);
+        let n = 5;
+        let mut m = Obdd::with_num_vars(n);
+        let cnf = random_cnf(&mut rng, n, 8, 3);
+        let f = m.build_cnf(&cnf);
+        for _ in 0..32 {
+            let level = (rng.next_u64() % (n as u64 - 1)) as u32;
+            m.swap_adjacent(level);
+        }
+        let g = m.build_cnf(&cnf);
+        assert_eq!(f, g, "rebuilt function must hit the same canonical node");
+        // And apply still works against pre-swap handles.
+        let h = m.and(f, g);
+        assert_eq!(h, f);
+    }
+
+    #[test]
+    fn move_var_and_occupancy() {
+        let (mut m, roots) = build_corpus(6, 9);
+        let before: Vec<_> = roots.iter().map(|&r| truth_table(&m, r)).collect();
+        let v = m.var_at(0);
+        let swaps = m.move_var_to(v, 5);
+        assert_eq!(swaps, 5);
+        assert_eq!(m.level_of(v), 5);
+        let occ = m.level_occupancy(&roots);
+        assert_eq!(occ.len(), 6);
+        let reachable: usize = occ.iter().sum();
+        let union: usize = {
+            let mut seen = FxHashSet::default();
+            let mut stack: Vec<BddRef> = roots
+                .iter()
+                .copied()
+                .filter(|r| !m.is_terminal(*r))
+                .collect();
+            let mut count = 0;
+            while let Some(r) = stack.pop() {
+                if !seen.insert(r) {
+                    continue;
+                }
+                count += 1;
+                for c in [m.low(r), m.high(r)] {
+                    if !m.is_terminal(c) {
+                        stack.push(c);
+                    }
+                }
+            }
+            count
+        };
+        assert_eq!(reachable, union);
+        let after: Vec<_> = roots.iter().map(|&r| truth_table(&m, r)).collect();
+        assert_eq!(before, after);
+    }
+}

@@ -50,7 +50,8 @@ pub mod reactor;
 pub mod server;
 
 pub use client::{
-    ClassifierSummary, Client, ClientError, CompiledSummary, LearnedSummary, SpaceSummary,
+    ClassifierSummary, Client, ClientError, CompiledSummary, LearnedSummary, OptimizedSummary,
+    SpaceSummary,
 };
 pub use protocol::{
     decode_stats_v1_prefix, read_request, read_response, scan_frame, write_request, write_response,

@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic  b"TRLW"
-//!      4     2  protocol version (currently 4)
+//!      4     2  protocol version (currently 5)
 //!      6     1  frame kind tag (request 0x01..., response 0x81...)
 //!      7     1  reserved (0)
 //!      8     4  payload length in bytes (u32)
@@ -67,6 +67,15 @@
 //!   Every version-3 frame kind is encoded exactly as before, readers
 //!   accept versions `1..=4`, and responses keep echoing the request
 //!   frame's version.
+//! * **5** — background minimization. One new request kind,
+//!   [`Request::Optimize`] (kind `0x0b`: a registry key whose resident
+//!   circuit the server re-compresses and atomically swaps in place —
+//!   the key is unchanged, every answer stays bit-identical), answered
+//!   by [`Response::Optimized`] (kind `0x8c`: node counts before/after,
+//!   whether the smaller circuit was actually swapped in, and the wall
+//!   time the pass took). Every version-4 frame kind is encoded exactly
+//!   as before, readers accept versions `1..=5`, and responses keep
+//!   echoing the request frame's version.
 
 use std::fmt;
 use std::hash::Hasher;
@@ -79,7 +88,7 @@ use trl_obs::{HistogramSnapshot, MetricValue, MetricsDump};
 use trl_prop::Cnf;
 
 /// The newest protocol version this build speaks.
-pub const PROTOCOL_VERSION: u16 = 4;
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// Frame magic: "TRL Wire".
 pub const MAGIC: [u8; 4] = *b"TRLW";
@@ -107,6 +116,7 @@ const KIND_REQ_PIPELINED_BATCH: u8 = 0x07; // version 3
 const KIND_REQ_LEARN_PSDD: u8 = 0x08; // version 4
 const KIND_REQ_COMPILE_SPACE: u8 = 0x09; // version 4
 const KIND_REQ_COMPILE_CLASSIFIER: u8 = 0x0a; // version 4
+const KIND_REQ_OPTIMIZE: u8 = 0x0b; // version 5
 
 const KIND_RESP_PONG: u8 = 0x81;
 const KIND_RESP_COMPILED: u8 = 0x82;
@@ -119,6 +129,7 @@ const KIND_RESP_PIPELINED_BATCH: u8 = 0x88; // version 3
 const KIND_RESP_LEARNED: u8 = 0x89; // version 4
 const KIND_RESP_SPACE_COMPILED: u8 = 0x8a; // version 4
 const KIND_RESP_CLASSIFIER_COMPILED: u8 = 0x8b; // version 4
+const KIND_RESP_OPTIMIZED: u8 = 0x8c; // version 5
 
 /// Errors that make a frame (and usually the stream carrying it)
 /// unusable. Application-level failures travel as [`WireError`] instead.
@@ -328,6 +339,13 @@ pub enum Request {
     /// for explanation queries; answered with
     /// [`Response::ClassifierCompiled`].
     CompileClassifier(Cnf),
+    /// **Version 5.** Minimize the circuit resident under `key` and, if a
+    /// strictly smaller bit-identical circuit is found, atomically swap
+    /// it in under the same key; answered with [`Response::Optimized`].
+    Optimize {
+        /// Registry key from a [`Response::Compiled`].
+        key: u64,
+    },
 }
 
 /// A server-to-client message.
@@ -396,6 +414,21 @@ pub enum Response {
         num_vars: u32,
         /// Nodes in the compiled classifier.
         nodes: u32,
+    },
+    /// **Version 5.** Answer to [`Request::Optimize`].
+    Optimized {
+        /// The key whose artifact was (maybe) minimized; unchanged.
+        key: u64,
+        /// Nodes in the circuit before minimization.
+        nodes_before: u32,
+        /// Nodes in the circuit the key now serves.
+        nodes_after: u32,
+        /// Whether a strictly smaller circuit was swapped in; `false`
+        /// means the resident circuit was already minimal (or was
+        /// evicted mid-pass) and is untouched.
+        swapped: bool,
+        /// Wall time the minimization pass took, in microseconds.
+        wall_us: u64,
     },
 }
 
@@ -1304,6 +1337,10 @@ impl Request {
                 encode_cnf(&mut e, cnf);
                 KIND_REQ_COMPILE_CLASSIFIER
             }
+            Request::Optimize { key } => {
+                e.u64(*key);
+                KIND_REQ_OPTIMIZE
+            }
         };
         (kind, e.0)
     }
@@ -1364,6 +1401,7 @@ impl Request {
                 }
             }
             KIND_REQ_COMPILE_CLASSIFIER => Request::CompileClassifier(decode_cnf(&mut d)?),
+            KIND_REQ_OPTIMIZE => Request::Optimize { key: d.u64()? },
             kind => {
                 return Err(ProtocolError::UnexpectedFrame {
                     kind,
@@ -1464,6 +1502,20 @@ impl Response {
                 e.u32(*nodes);
                 KIND_RESP_CLASSIFIER_COMPILED
             }
+            Response::Optimized {
+                key,
+                nodes_before,
+                nodes_after,
+                swapped,
+                wall_us,
+            } => {
+                e.u64(*key);
+                e.u32(*nodes_before);
+                e.u32(*nodes_after);
+                e.u8(u8::from(*swapped));
+                e.u64(*wall_us);
+                KIND_RESP_OPTIMIZED
+            }
         };
         (kind, e.0)
     }
@@ -1528,6 +1580,13 @@ impl Response {
                 key: d.u64()?,
                 num_vars: d.u32()?,
                 nodes: d.u32()?,
+            },
+            KIND_RESP_OPTIMIZED => Response::Optimized {
+                key: d.u64()?,
+                nodes_before: d.u32()?,
+                nodes_after: d.u32()?,
+                swapped: d.u8()? != 0,
+                wall_us: d.u64()?,
             },
             kind => {
                 return Err(ProtocolError::UnexpectedFrame {
@@ -1683,6 +1742,7 @@ mod tests {
                 t: 3,
             },
             Request::CompileClassifier(Cnf::parse_dimacs("p cnf 2 2\n1 0\n-1 2 0\n").unwrap()),
+            Request::Optimize { key: 0xfeed_beef },
             Request::Batch {
                 key: 11,
                 queries: vec![
@@ -1766,6 +1826,20 @@ mod tests {
                 key: 23,
                 num_vars: 2,
                 nodes: 5,
+            },
+            Response::Optimized {
+                key: 24,
+                nodes_before: 120,
+                nodes_after: 95,
+                swapped: true,
+                wall_us: 1234,
+            },
+            Response::Optimized {
+                key: 25,
+                nodes_before: 7,
+                nodes_after: 7,
+                swapped: false,
+                wall_us: 88,
             },
             Response::Answer(QueryAnswer::LogLikelihood(-1.5)),
             Response::Answer(QueryAnswer::Probability(0.375)),

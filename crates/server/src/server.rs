@@ -1075,6 +1075,29 @@ fn dispatch(
                 }
             }
         }
+        Request::Optimize { key } => {
+            trl_obs::counter!("server.requests.optimize").inc();
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            // Reject an unknown key on the reactor thread: no admission
+            // slot or build thread for a request that cannot do work.
+            if shared.engine.get(key).is_none() {
+                let bytes =
+                    encode_response(&Response::Error(WireError::UnknownKey(key)), conn.version);
+                enqueue_seq(conn, shared, seq, bytes);
+                return;
+            }
+            match shared.try_admit(1) {
+                Err(e) => {
+                    let bytes = encode_response(&Response::Error(e), conn.version);
+                    enqueue_seq(conn, shared, seq, bytes);
+                }
+                Ok(()) => {
+                    conn.in_flight += 1;
+                    spawn_optimize(conn.token, seq, conn.version, key, shared, rshared);
+                }
+            }
+        }
     }
 }
 
@@ -1474,6 +1497,37 @@ fn spawn_classifier(
                 num_vars: clf.num_vars() as u32,
                 nodes: clf.node_count() as u32,
             }
+        },
+    );
+}
+
+/// Offloads a registry minimization pass to its own thread: sifting and
+/// vtree search can take the schedule's whole time budget, and in-flight
+/// queries keep serving from the original circuit throughout.
+fn spawn_optimize(
+    token: u64,
+    seq: u64,
+    version: u16,
+    key: u64,
+    shared: &Arc<Shared>,
+    rshared: &Arc<ReactorShared>,
+) {
+    spawn_build(
+        token,
+        seq,
+        version,
+        "optimize",
+        shared,
+        rshared,
+        move |e| match e.optimize(key) {
+            Ok(r) => Response::Optimized {
+                key: r.key,
+                nodes_before: r.nodes_before as u32,
+                nodes_after: r.nodes_after as u32,
+                swapped: r.swapped,
+                wall_us: r.wall_us,
+            },
+            Err(err) => Response::Error(engine_error_to_wire(err)),
         },
     );
 }
