@@ -10,7 +10,10 @@
 #                        # roles smoke (learn/space/explain over the wire
 #                        # diffed against in-process + bench_roles --smoke),
 #                        # minimize smoke (optimize locally and through the
-#                        # registry, answers diffed + bench_minimize --smoke)
+#                        # registry, answers diffed + bench_minimize --smoke),
+#                        # trace smoke (forced trace over the wire: span tree
+#                        # stations + parent links, Chrome export parses,
+#                        # traced answers diffed against untraced)
 #   ci/check.sh --fix    # apply clippy suggestions and rustfmt in place
 #
 # The same commands run in CI; keep them byte-for-byte in sync.
@@ -126,7 +129,9 @@ batch_hist="$(prom_value trl_server_pipeline_batch_size_count "$net_dir/pipe-aft
 # Obs smoke: drive a fresh server with a known query mix, scrape the
 # Prometheus exposition, and check the cross-layer invariants — the
 # engine's total request counter equals the sum of its per-kind counters,
-# and every per-kind latency histogram counts exactly its counter.
+# every per-kind latency histogram counts exactly its counter, every
+# exposed family carries a # HELP line, and the trace.* metrics are
+# registered zero-valued before any request has been traced.
 target/release/three-roles serve 127.0.0.1:0 --workers 2 \
     > "$net_dir/obs-serve.log" 2>&1 &
 serve_pid=$!
@@ -157,6 +162,22 @@ awk '
         if (hist != total) { print "obs-smoke: histogram count " hist " != total " total; exit 1 }
     }
 ' "$net_dir/obs.prom"
+# Exposition hygiene: one # HELP per # TYPE (every family is documented),
+# and the engine's headline counter carries real help text.
+help_lines="$(grep -c '^# HELP ' "$net_dir/obs.prom")"
+type_lines="$(grep -c '^# TYPE ' "$net_dir/obs.prom")"
+(( help_lines > 0 && help_lines == type_lines )) \
+    || { echo "obs-smoke: $help_lines HELP lines for $type_lines TYPE lines" >&2; exit 1; }
+grep -q '^# HELP trl_engine_requests .' "$net_dir/obs.prom" \
+    || { echo "obs-smoke: no HELP line for trl_engine_requests" >&2; exit 1; }
+# Tracing never ran on this server (sampling defaults to 0, no trace
+# frames sent), so the flight-recorder metrics must exist and read zero.
+for m in trl_trace_spans_recorded trl_trace_spans_dropped \
+         trl_trace_requests_sampled trl_trace_collect_us_count; do
+    v="$(prom_value "$m" "$net_dir/obs.prom")"
+    [[ "$v" == "0" ]] \
+        || { echo "obs-smoke: $m not registered zero-valued (got '${v:-missing}')" >&2; exit 1; }
+done
 
 # Roles smoke: the paper's other two roles over the wire. Learn a tiny
 # PSDD, compile a structured space and a classifier on a live server, and
@@ -280,5 +301,81 @@ target/release/three-roles client "$addr" shutdown > /dev/null
 wait "$serve_pid"
 unset serve_pid
 target/release/bench_minimize --smoke
+
+# Trace smoke: request-scoped tracing end to end. With sampling at zero a
+# `three-roles trace` query must still be recorded (the Trace frame forces
+# it), answer byte-identically to an untraced client query, and come back
+# with a span tree holding the reactor/queue/executor/kernel/write
+# stations — parent links shown structurally by the tree indentation.
+# The --chrome export must parse as JSON, and the flight-recorder
+# counters must have moved exactly for this one forced request.
+target/release/three-roles serve 127.0.0.1:0 --workers 2 --trace-sample 0 \
+    > "$net_dir/trace-serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q '^listening on ' "$net_dir/trace-serve.log" && break
+    sleep 0.1
+done
+addr="$(sed -n 's/^listening on //p' "$net_dir/trace-serve.log" | head -n 1)"
+[[ -n "$addr" ]] || { echo "trace-smoke: server never came up" >&2; exit 1; }
+trace_flags=(--wmc --weight 1=0.3 --weight -1=0.7)
+target/release/three-roles client "$addr" query "$net_dir/smoke.cnf" \
+    "${trace_flags[@]}" > "$net_dir/trace-plain.out"
+target/release/three-roles trace "$net_dir/smoke.cnf" "${trace_flags[@]}" \
+    --server "$addr" --chrome "$net_dir/trace-chrome.json" \
+    > "$net_dir/trace.out"
+# The answer line (first line; the span tree follows) must match the
+# untraced client byte-for-byte once the latency suffix is stripped.
+head -n 1 "$net_dir/trace-plain.out" | sed 's/ *([0-9.]* us)$//' \
+    > "$net_dir/trace-plain.stripped"
+head -n 1 "$net_dir/trace.out" | sed 's/ *([0-9.]* us)$//' \
+    > "$net_dir/trace-answer.stripped"
+if ! diff "$net_dir/trace-plain.stripped" "$net_dir/trace-answer.stripped"; then
+    echo "trace-smoke: traced answer differs from untraced answer" >&2
+    exit 1
+fi
+# Span-tree shape: the server root at depth 0, the station spans indented
+# under it (tree_string indents two spaces per parent link), and a kernel
+# sweep span nested below the executor batch.
+grep -q '^server\.request ' "$net_dir/trace.out" \
+    || { echo "trace-smoke: no server.request root span" >&2; exit 1; }
+for span in 'reactor\.drain' 'engine\.queue_wait' 'executor\.batch' 'server\.write'; do
+    grep -Eq "^  $span " "$net_dir/trace.out" \
+        || { echo "trace-smoke: span $span missing or not parented under the root" >&2; exit 1; }
+done
+grep -Eq '^ {4}kernel\.sweep\.[a-z0-9]+ ' "$net_dir/trace.out" \
+    || { echo "trace-smoke: no kernel sweep span under the executor batch" >&2; exit 1; }
+# The Chrome exporter's output is consumed by chrome://tracing / Perfetto;
+# it must at least be well-formed JSON with a traceEvents array.
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$net_dir/trace-chrome.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert isinstance(events, list) and len(events) >= 5, f"only {len(events)} trace events"
+PY
+else
+    grep -q '"traceEvents"' "$net_dir/trace-chrome.json" \
+        || { echo "trace-smoke: chrome export missing traceEvents" >&2; exit 1; }
+fi
+# Flight-recorder accounting: exactly one forced trace, its spans
+# recorded and collected once, nothing dropped.
+target/release/three-roles metrics "$addr" --prom > "$net_dir/trace.prom"
+sampled="$(prom_value trl_trace_requests_sampled "$net_dir/trace.prom")"
+recorded="$(prom_value trl_trace_spans_recorded "$net_dir/trace.prom")"
+collected="$(prom_value trl_trace_collect_us_count "$net_dir/trace.prom")"
+dropped="$(prom_value trl_trace_spans_dropped "$net_dir/trace.prom")"
+(( sampled >= 1 )) \
+    || { echo "trace-smoke: trace.requests_sampled did not count the forced trace" >&2; exit 1; }
+(( recorded >= 5 )) \
+    || { echo "trace-smoke: only ${recorded:-0} spans recorded, expected >= 5" >&2; exit 1; }
+(( collected >= 1 )) \
+    || { echo "trace-smoke: trace.collect_us never counted a collection" >&2; exit 1; }
+[[ "$dropped" == "0" ]] \
+    || { echo "trace-smoke: ring dropped $dropped spans on a single trace" >&2; exit 1; }
+target/release/three-roles client "$addr" shutdown > /dev/null
+wait "$serve_pid"
+unset serve_pid
 
 echo "ci/check.sh: OK"

@@ -100,9 +100,10 @@ impl Engine {
     /// `None` workers defaults to one per hardware thread
     /// ([`Executor::with_default_workers`]).
     pub fn new(max_retained_nodes: usize, workers: Option<usize>) -> Self {
-        // Zero-valued minimize.* rows from the first snapshot on, like the
-        // executor's per-kind counters.
+        // Zero-valued minimize.* and trace.* rows from the first snapshot
+        // on, like the executor's per-kind counters.
         trl_minimize::register_metrics();
+        trl_obs::register_trace_metrics();
         Engine {
             registry: Mutex::new(Registry::new(max_retained_nodes)),
             executor: match workers {
@@ -116,6 +117,7 @@ impl Engine {
     /// An engine around an existing registry and executor.
     pub fn from_parts(registry: Registry, executor: Executor) -> Self {
         trl_minimize::register_metrics();
+        trl_obs::register_trace_metrics();
         Engine {
             registry: Mutex::new(registry),
             executor,
@@ -139,6 +141,7 @@ impl Engine {
             let elapsed = begin.elapsed();
             trl_obs::histogram!("engine.registry.hit_us").record(elapsed);
             trl_obs::record_span("engine.registry.hit", elapsed);
+            trl_obs::record_trace_at("engine.registry.hit", begin, elapsed);
             return (key, found);
         }
         let prepared = Arc::new(PreparedCircuit::new(
@@ -151,6 +154,7 @@ impl Engine {
         let elapsed = begin.elapsed();
         trl_obs::histogram!("engine.registry.compile_us").record(elapsed);
         trl_obs::record_span("engine.registry.compile", elapsed);
+        trl_obs::record_trace_at("engine.registry.compile", begin, elapsed);
         (key, prepared)
     }
 
@@ -364,6 +368,22 @@ impl Engine {
     {
         self.executor
             .submit_artifact_batch(artifact, queries, on_done)
+    }
+
+    /// [`Engine::submit_artifact_batch`] carrying a sampled trace context
+    /// ([`Executor::submit_artifact_batch_traced`]).
+    pub fn submit_artifact_batch_traced<F>(
+        &self,
+        artifact: &Artifact,
+        queries: Vec<Query>,
+        ctx: Option<trl_obs::TraceContext>,
+        on_done: F,
+    ) -> Result<()>
+    where
+        F: FnOnce(Vec<QueryOutcome>) + Send + 'static,
+    {
+        self.executor
+            .submit_artifact_batch_traced(artifact, queries, ctx, on_done)
     }
 
     /// The shared executor (for callers that manage circuits themselves).

@@ -34,6 +34,7 @@ use crate::error::{EngineError, Result};
 use crate::prepared::PreparedCircuit;
 use trl_core::{Assignment, Cube, PartialAssignment, Var};
 use trl_nnf::{LitWeights, LANES};
+use trl_obs::TraceContext;
 
 /// The node count [`ParallelPolicy::Layered`] switches at — the default
 /// policy of [`Executor::with_default_workers`]. Validated by
@@ -400,6 +401,10 @@ struct Job {
     /// When the job entered the channel — queue wait is measured from here
     /// to the moment a worker picks the job up.
     submitted: Instant,
+    /// The sampled trace context of the request this job belongs to, if
+    /// any: the worker records its queue wait and installs the context
+    /// around the answering sweep so kernel spans attach to the tree.
+    ctx: Option<TraceContext>,
     pending: Arc<Pending>,
 }
 
@@ -506,15 +511,22 @@ impl Executor {
             let Ok(job) = job else {
                 return; // executor dropped: no more jobs
             };
-            trl_obs::histogram!("engine.queue_wait_us").record(job.submitted.elapsed());
+            let queue_wait = job.submitted.elapsed();
+            trl_obs::histogram!("engine.queue_wait_us").record(queue_wait);
+            if let Some(ctx) = job.ctx {
+                trl_obs::record_span_under(ctx, "engine.queue_wait", job.submitted, queue_wait);
+            }
             let start = Instant::now();
-            let answers = match job.artifact.as_circuit() {
-                Some(circuit) => circuit.answer_batch(&job.queries, job.layer_threads),
-                // Role-2/3 artifacts have no lane-batched kernels; answer
-                // each query through the prepared form's `&self` entry
-                // point.
-                None => job.queries.iter().map(|q| job.artifact.answer(q)).collect(),
-            };
+            let answers = trl_obs::with_current_trace(job.ctx, || {
+                let _batch = trl_obs::trace_span("executor.batch");
+                match job.artifact.as_circuit() {
+                    Some(circuit) => circuit.answer_batch(&job.queries, job.layer_threads),
+                    // Role-2/3 artifacts have no lane-batched kernels;
+                    // answer each query through the prepared form's
+                    // `&self` entry point.
+                    None => job.queries.iter().map(|q| job.artifact.answer(q)).collect(),
+                }
+            });
             let latency = start.elapsed();
             trl_obs::histogram!("engine.service_us").record(latency);
             {
@@ -645,6 +657,23 @@ impl Executor {
     where
         F: FnOnce(Vec<QueryOutcome>) + Send + 'static,
     {
+        self.submit_artifact_batch_traced(artifact, queries, None, on_done)
+    }
+
+    /// [`Executor::submit_artifact_batch`] carrying a sampled
+    /// [`TraceContext`]: every job records its queue wait as a child span
+    /// and installs the context on the answering worker, so kernel-level
+    /// spans (sweeps, layer barriers) land in the request's tree.
+    pub fn submit_artifact_batch_traced<F>(
+        &self,
+        artifact: &Artifact,
+        queries: Vec<Query>,
+        ctx: Option<TraceContext>,
+        on_done: F,
+    ) -> Result<()>
+    where
+        F: FnOnce(Vec<QueryOutcome>) + Send + 'static,
+    {
         for q in &queries {
             artifact.validate(q)?;
         }
@@ -693,6 +722,7 @@ impl Executor {
                 queries,
                 layer_threads,
                 submitted: Instant::now(),
+                ctx,
                 pending: Arc::clone(&pending),
             };
             pending.jobs_left.fetch_add(1, Ordering::Relaxed);

@@ -119,10 +119,14 @@ pub fn minimize_circuit(c: &Circuit, cfg: &MinimizeConfig) -> (Circuit, Minimize
     trl_obs::histogram!("minimize.nodes_before").record_us(nodes_before as u64);
 
     // Candidate 1: the structural compact pass — cheap, always run.
-    let mut candidates: Vec<(&'static str, Circuit)> = vec![("compact", compact(c))];
+    let mut candidates: Vec<(&'static str, Circuit)> = {
+        let _span = trl_obs::trace_span("minimize.compact");
+        vec![("compact", compact(c))]
+    };
 
     // Candidate 2: OBDD order search (round-trips through a diagram).
     if cfg.strategy.runs_obdd() && Instant::now() < deadline {
+        let _span = trl_obs::trace_span("minimize.sift");
         if let Some((mut m, root)) = obdd_from_circuit(c, cfg.node_cap) {
             let stats = sift(&mut m, root, cfg, deadline);
             report.swaps = stats.swaps;
@@ -135,6 +139,7 @@ pub fn minimize_circuit(c: &Circuit, cfg: &MinimizeConfig) -> (Circuit, Minimize
 
     // Candidate 3: vtree local search (recompiles through SDDs).
     if cfg.strategy.runs_vtree() && Instant::now() < deadline {
+        let _span = trl_obs::trace_span("minimize.vtree");
         let (cand, stats) = search(c, cfg, deadline);
         report.rotations = stats.rotations;
         trl_obs::counter!("minimize.rotations").add(stats.rotations);
@@ -144,6 +149,7 @@ pub fn minimize_circuit(c: &Circuit, cfg: &MinimizeConfig) -> (Circuit, Minimize
     }
 
     // Smallest strictly-smaller candidate that answers identically wins.
+    let verify_span = trl_obs::trace_span("minimize.verify");
     candidates.sort_by_key(|(_, cand)| cand.node_count());
     let mut out = None;
     for (name, cand) in candidates {
@@ -156,6 +162,7 @@ pub fn minimize_circuit(c: &Circuit, cfg: &MinimizeConfig) -> (Circuit, Minimize
         }
         trl_obs::counter!("minimize.rejected").inc();
     }
+    drop(verify_span);
 
     let (circuit, accepted) = match out {
         Some((name, cand)) => {

@@ -75,6 +75,22 @@ fn record_sweeps(queries: usize) {
     trl_obs::counter!("kernel.lanes_filled").add(queries as u64);
 }
 
+/// Trace-span name for a batched sweep on `backend`. Span names must be
+/// `&'static str` (the flight recorder stores them by pointer), so the
+/// backend is baked into the name — a trace shows which lane path
+/// actually ran, not just that a sweep happened.
+fn sweep_span_name(backend: LaneBackend) -> &'static str {
+    match backend {
+        LaneBackend::Scalar => "kernel.sweep.scalar",
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        LaneBackend::Avx2 => "kernel.sweep.avx2",
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        LaneBackend::Avx512 => "kernel.sweep.avx512",
+        #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+        LaneBackend::Neon => "kernel.sweep.neon",
+    }
+}
+
 /// One instruction tag on the tape.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Op {
@@ -349,6 +365,9 @@ impl EvalTape {
     /// Weighted model count: bit-identical to
     /// [`Circuit::wmc_presmoothed`](crate::circuit::Circuit).
     pub fn wmc(&self, w: &LitWeights) -> f64 {
+        // Single-query scans never touch the lane backends, so the span
+        // name distinguishes them from the lane-batched sweeps.
+        let _sweep = trl_obs::trace_span("kernel.sweep.single");
         let mut val = vec![0.0f64; self.len()];
         for i in 0..self.len() {
             val[i] = match self.ops[i] {
@@ -387,6 +406,7 @@ impl EvalTape {
     }
 
     fn count_with(&self, leaf: impl Fn(Lit) -> u128) -> u128 {
+        let _sweep = trl_obs::trace_span("kernel.sweep.single");
         let mut val = vec![0u128; self.len()];
         for i in 0..self.len() {
             val[i] = match self.ops[i] {
@@ -422,6 +442,7 @@ impl EvalTape {
     /// vector unit available. Answers are bit-identical to calling
     /// [`EvalTape::wmc`] per table, on every backend.
     pub fn wmc_batch(&self, weights: &[&LitWeights]) -> Vec<f64> {
+        let _sweep = trl_obs::trace_span(sweep_span_name(self.backend));
         record_sweeps(weights.len());
         let mut out = Vec::with_capacity(weights.len());
         let mut plane = PlaneBuf::new(self.len());
@@ -602,6 +623,9 @@ impl EvalTape {
     /// plane scan per group of partial assignments. Counts are exact, so
     /// agreement with the scalar kernels is plain equality.
     pub fn model_count_under_batch(&self, evidence: &[&PartialAssignment]) -> Vec<u128> {
+        // Exact u128 counting never touches the SIMD lanes, so the span
+        // carries its own name rather than the backend's.
+        let _sweep = trl_obs::trace_span("kernel.sweep.count");
         record_sweeps(evidence.len());
         let mut out = Vec::with_capacity(evidence.len());
         let mut plane = vec![[0u128; LANES]; self.len()];
@@ -652,6 +676,7 @@ impl EvalTape {
     /// per lane: the downward pass replays the original arena order and
     /// skips zero derivatives exactly like the scalar code.
     pub fn marginals_batch(&self, weights: &[&LitWeights]) -> Vec<(f64, Vec<(f64, f64)>)> {
+        let _sweep = trl_obs::trace_span(sweep_span_name(self.backend));
         record_sweeps(weights.len());
         let n = self.num_vars;
         let mut out = Vec::with_capacity(weights.len());
@@ -785,6 +810,7 @@ impl EvalTape {
         if participants <= 1 || self.len() < 2 {
             return self.wmc_batch(weights);
         }
+        let _sweep = trl_obs::trace_span(sweep_span_name(self.backend));
         record_sweeps(weights.len());
         let mut out = Vec::with_capacity(weights.len());
         let mut plane = PlaneBuf::new(self.len());
@@ -818,6 +844,7 @@ impl EvalTape {
         if participants <= 1 || self.len() < 2 {
             return self.marginals_batch(weights);
         }
+        let _sweep = trl_obs::trace_span(sweep_span_name(self.backend));
         record_sweeps(weights.len());
         let n = self.num_vars;
         let mut plane = PlaneBuf::new(self.len());
@@ -858,39 +885,63 @@ impl EvalTape {
             .collect();
         let chunks = AtomicU64::new(0);
         let steals = AtomicU64::new(0);
+        // Pool workers are long-lived threads with no trace context of
+        // their own, so the dispatching thread's context is captured here
+        // and re-installed inside every participant: worker 0 (the caller)
+        // narrates one `kernel.pool.layer` span per layer barrier, and
+        // each extra worker contributes a `kernel.pool.worker` span so the
+        // request tree shows the sweep's actual fan-out. All timing is
+        // skipped when the request is untraced (`ctx` is `None`).
+        let ctx = trl_obs::current_trace();
         let shared = SharedPlane(plane.as_mut_ptr());
         pool.run(participants, &|t| {
-            let plane = &shared;
-            let (mut my_chunks, mut my_steals) = (0u64, 0u64);
-            for (l, cursor) in cursors.iter().enumerate() {
-                let a = self.layer_start[l] as usize;
-                let b = self.layer_start[l + 1] as usize;
-                let len = b - a;
-                // Static share bounds are used for the steal metric only;
-                // claiming is purely cursor-driven.
-                let share_lo = len * t / participants;
-                let share_hi = len * (t + 1) / participants;
-                loop {
-                    let c = cursor.fetch_add(POOL_CHUNK, Ordering::Relaxed);
-                    if c >= len {
-                        break;
+            trl_obs::with_current_trace(ctx, || {
+                let plane = &shared;
+                let worker_start = ctx.map(|_| std::time::Instant::now());
+                let (mut my_chunks, mut my_steals) = (0u64, 0u64);
+                for (l, cursor) in cursors.iter().enumerate() {
+                    let layer_start = if t == 0 {
+                        worker_start.map(|_| std::time::Instant::now())
+                    } else {
+                        None
+                    };
+                    let a = self.layer_start[l] as usize;
+                    let b = self.layer_start[l + 1] as usize;
+                    let len = b - a;
+                    // Static share bounds are used for the steal metric only;
+                    // claiming is purely cursor-driven.
+                    let share_lo = len * t / participants;
+                    let share_hi = len * (t + 1) / participants;
+                    loop {
+                        let c = cursor.fetch_add(POOL_CHUNK, Ordering::Relaxed);
+                        if c >= len {
+                            break;
+                        }
+                        let hi = (c + POOL_CHUNK).min(len);
+                        // SAFETY: cursor claims are disjoint (each fetch_add
+                        // yields a unique chunk), every child sits in a
+                        // strictly earlier layer fully written before the
+                        // previous barrier, and the barrier below separates
+                        // this layer's writes from the next layer's reads.
+                        unsafe { self.sweep_range(group, plane.0, a + c, a + hi) };
+                        my_chunks += 1;
+                        if c < share_lo || c >= share_hi {
+                            my_steals += 1;
+                        }
                     }
-                    let hi = (c + POOL_CHUNK).min(len);
-                    // SAFETY: cursor claims are disjoint (each fetch_add
-                    // yields a unique chunk), every child sits in a
-                    // strictly earlier layer fully written before the
-                    // previous barrier, and the barrier below separates
-                    // this layer's writes from the next layer's reads.
-                    unsafe { self.sweep_range(group, plane.0, a + c, a + hi) };
-                    my_chunks += 1;
-                    if c < share_lo || c >= share_hi {
-                        my_steals += 1;
+                    barrier.wait();
+                    if let Some(started) = layer_start {
+                        trl_obs::record_trace_at("kernel.pool.layer", started, started.elapsed());
                     }
                 }
-                barrier.wait();
-            }
-            chunks.fetch_add(my_chunks, Ordering::Relaxed);
-            steals.fetch_add(my_steals, Ordering::Relaxed);
+                chunks.fetch_add(my_chunks, Ordering::Relaxed);
+                steals.fetch_add(my_steals, Ordering::Relaxed);
+                if t != 0 {
+                    if let Some(started) = worker_start {
+                        trl_obs::record_trace_at("kernel.pool.worker", started, started.elapsed());
+                    }
+                }
+            });
         });
         trl_obs::counter!("kernel.pool_chunks").add(chunks.load(Ordering::Relaxed));
         trl_obs::counter!("kernel.pool_steals").add(steals.load(Ordering::Relaxed));

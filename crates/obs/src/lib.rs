@@ -25,17 +25,29 @@
 //! - **[`LatencySummary`]**: the workspace's single nearest-rank
 //!   percentile summary, shared by the benches and by histogram
 //!   rendering.
+//! - **Request traces** ([`trace_span`], [`TraceContext`]): hierarchical
+//!   per-request spans with parent links, recorded into per-thread
+//!   lock-free rings (the flight recorder) and reassembled after the
+//!   fact with [`collect_trace`] — the forensics layer behind the
+//!   slow-query log, the `Trace` wire frame, and `three-roles trace`.
 
 mod metrics;
 mod span;
 mod summary;
+mod trace;
 
 pub use metrics::{
-    counter, gauge, histogram, snapshot, Counter, Gauge, Histogram, HistogramSnapshot, MetricValue,
-    MetricsDump, HISTOGRAM_BUCKETS,
+    counter, counter_with_help, gauge, gauge_with_help, histogram, histogram_with_help, snapshot,
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsDump, HISTOGRAM_BUCKETS,
 };
 pub use span::{
     record_span, set_subscriber, span, subscriber_enabled, RingRecorder, Span, SpanRecord,
     StderrJsonExporter, Subscriber,
 };
 pub use summary::LatencySummary;
+pub use trace::{
+    chrome_trace_json, collect_trace, current_trace, force_tracing, maybe_sample, record_root_span,
+    record_span_under, record_trace_at, register_trace_metrics, set_trace_sampling, trace_sampling,
+    trace_span, tracing_active, tree_json, tree_string, with_current_trace, ForcedTracing,
+    TraceContext, TraceSpan, TraceSpanData, TRACE_COUNTERS, TRACE_HISTOGRAMS, TRACE_RING_SLOTS,
+};

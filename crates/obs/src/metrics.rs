@@ -236,6 +236,43 @@ fn lock_registry() -> std::sync::MutexGuard<'static, BTreeMap<String, Metric>> {
     }
 }
 
+/// Help strings registered alongside metrics, keyed by dotted name.
+/// Kept separate from the handle registry so the wire `MetricsDump`
+/// (which does not carry help text) stays unchanged.
+fn help_registry() -> &'static Mutex<BTreeMap<String, &'static str>> {
+    static HELP: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
+    HELP.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn register_help(name: &str, help: &'static str) {
+    let mut reg = match help_registry().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    reg.entry(name.to_string()).or_insert(help);
+}
+
+/// The `# HELP` text for `name`: the registered string when the metric
+/// was registered with one in this process, otherwise a generic line
+/// derived from the name — so every exposed series carries a HELP row
+/// even when rendering a dump that crossed the wire.
+fn help_for(name: &str, kind: &str) -> String {
+    let reg = match help_registry().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    match reg.get(name) {
+        Some(help) => (*help).to_string(),
+        None => format!("trl {kind} metric {name}."),
+    }
+}
+
+/// Escapes a help string for the Prometheus text format (backslash and
+/// newline are the only characters HELP lines must escape).
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
 /// The counter registered under `name`, creating it on first use.
 ///
 /// Panics if `name` is already registered as a different metric type —
@@ -276,6 +313,25 @@ pub fn histogram(name: &str) -> &'static Histogram {
     }
 }
 
+/// [`counter`] plus a `# HELP` string for the Prometheus exposition.
+/// The first registered help wins; later calls keep the handle behavior.
+pub fn counter_with_help(name: &str, help: &'static str) -> &'static Counter {
+    register_help(name, help);
+    counter(name)
+}
+
+/// [`gauge`] plus a `# HELP` string for the Prometheus exposition.
+pub fn gauge_with_help(name: &str, help: &'static str) -> &'static Gauge {
+    register_help(name, help);
+    gauge(name)
+}
+
+/// [`histogram`] plus a `# HELP` string for the Prometheus exposition.
+pub fn histogram_with_help(name: &str, help: &'static str) -> &'static Histogram {
+    register_help(name, help);
+    histogram(name)
+}
+
 /// Resolves a counter once and caches the `&'static` handle in a local
 /// static, so steady-state cost is one `OnceLock` load plus one relaxed
 /// atomic add. Usage: `trl_obs::counter!("compiler.decisions").inc()`.
@@ -288,7 +344,7 @@ macro_rules! counter {
     }};
 }
 
-/// [`counter!`] for gauges.
+/// [`counter!`](macro@crate::counter) for gauges.
 #[macro_export]
 macro_rules! gauge {
     ($name:expr) => {{
@@ -297,7 +353,7 @@ macro_rules! gauge {
     }};
 }
 
-/// [`counter!`] for histograms.
+/// [`counter!`](macro@crate::counter) for histograms.
 #[macro_export]
 macro_rules! histogram {
     ($name:expr) => {{
@@ -416,6 +472,12 @@ impl MetricsDump {
         let mut out = String::new();
         for (name, value) in &self.metrics {
             let prom = prometheus_name(name);
+            let kind = match value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# HELP {prom} {}", escape_help(&help_for(name, kind)));
             match value {
                 MetricValue::Counter(c) => {
                     let _ = writeln!(out, "# TYPE {prom} counter");
@@ -541,6 +603,11 @@ mod tests {
         histogram("test.obs.prom.latency_us").record_us(300);
         let text = snapshot().render_prometheus();
         assert!(text.contains("# TYPE trl_test_obs_prom_requests counter"));
+        // Every series carries a HELP line, registered or derived.
+        assert!(text.contains(
+            "# HELP trl_test_obs_prom_requests trl counter metric test.obs.prom.requests."
+        ));
+        assert!(text.contains("# HELP trl_test_obs_prom_latency_us "));
         assert!(text.contains("trl_test_obs_prom_requests 4"));
         assert!(text.contains("# TYPE trl_test_obs_prom_latency_us histogram"));
         assert!(text.contains("trl_test_obs_prom_latency_us_count 2"));
@@ -553,6 +620,134 @@ mod tests {
                 let v: u64 = rest.split_whitespace().last().unwrap().parse().unwrap();
                 assert!(v >= last);
                 last = v;
+            }
+        }
+    }
+
+    #[test]
+    fn registered_help_strings_win_over_derived_ones() {
+        counter_with_help("test.obs.help.counter", "A documented counter.");
+        gauge_with_help("test.obs.help.gauge", "A documented gauge.");
+        histogram_with_help("test.obs.help.hist_us", "A documented histogram.");
+        // First registration wins; a later conflicting help is ignored.
+        counter_with_help("test.obs.help.counter", "A different string.");
+        let text = snapshot().render_prometheus();
+        assert!(text.contains("# HELP trl_test_obs_help_counter A documented counter."));
+        assert!(text.contains("# HELP trl_test_obs_help_gauge A documented gauge."));
+        assert!(text.contains("# HELP trl_test_obs_help_hist_us A documented histogram."));
+        // HELP precedes TYPE for each series, per the exposition format.
+        let lines: Vec<&str> = text.lines().collect();
+        let help_at = lines
+            .iter()
+            .position(|l| l.starts_with("# HELP trl_test_obs_help_counter"))
+            .unwrap();
+        assert_eq!(
+            lines[help_at + 1],
+            "# TYPE trl_test_obs_help_counter counter"
+        );
+    }
+
+    #[test]
+    fn help_text_escapes_backslashes_and_newlines() {
+        assert_eq!(escape_help("a\\b\nc"), "a\\\\b\\nc");
+    }
+
+    #[test]
+    fn single_sample_histogram_pins_every_quantile() {
+        let h = Histogram::new();
+        h.record_us(700); // bucket [512, 1024), edge 1024
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        for q in [0.0, 0.001, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(snap.quantile_us(q), 1024.0, "q = {q}");
+        }
+        assert_eq!(snap.mean_us(), 700.0);
+    }
+
+    #[test]
+    fn overflow_bucket_samples_report_the_top_edge() {
+        let h = Histogram::new();
+        for _ in 0..5 {
+            h.record_us(u64::MAX); // saturates into the catch-all bucket
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[HISTOGRAM_BUCKETS - 1], 5);
+        let top = Histogram::bucket_edge_us(HISTOGRAM_BUCKETS - 1) as f64;
+        assert_eq!(snap.p50_us(), top);
+        assert_eq!(snap.p95_us(), top);
+        assert_eq!(snap.p99_us(), top);
+        // The +Inf series in the exposition is what holds these samples;
+        // the bounded bucket lines must all read zero.
+        histogram("test.obs.overflow.hist_us").record_us(u64::MAX);
+        let text = snapshot().render_prometheus();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("trl_test_obs_overflow_hist_us_bucket{le=\"") {
+                if !rest.starts_with("+Inf") {
+                    assert!(rest.ends_with(" 0"), "{line}");
+                }
+            }
+        }
+    }
+
+    /// Deterministic SplitMix64, mirroring `trl_core::SplitMix64` so the
+    /// randomized check stays dependency-free (this crate is std-only).
+    #[cfg(feature = "proptest")]
+    struct SplitMix64(u64);
+
+    #[cfg(feature = "proptest")]
+    impl SplitMix64 {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n.max(1)
+        }
+    }
+
+    #[cfg(feature = "proptest")]
+    #[test]
+    fn quantiles_are_monotone_and_bound_true_samples() {
+        const CASES: u64 = 60;
+        for seed in 0..CASES {
+            let mut rng = SplitMix64(seed);
+            let h = Histogram::new();
+            let n = 1 + rng.below(200);
+            let mut max_sample = 0u64;
+            for _ in 0..n {
+                // Spread samples across the full edge range, overflow
+                // bucket included.
+                let sample = match rng.below(4) {
+                    0 => rng.below(16),
+                    1 => rng.below(1 << 20),
+                    2 => rng.below(1 << 40),
+                    _ => u64::MAX - rng.below(1 << 30),
+                };
+                max_sample = max_sample.max(sample);
+                h.record_us(sample);
+            }
+            let snap = h.snapshot();
+            let (p50, p95, p99) = (snap.p50_us(), snap.p95_us(), snap.p99_us());
+            assert!(p99 >= p95, "seed {seed}: p99 {p99} < p95 {p95}");
+            assert!(p95 >= p50, "seed {seed}: p95 {p95} < p50 {p50}");
+            // quantile_us is monotone in q generally, not just at the
+            // three named points.
+            let mut last = 0.0f64;
+            for i in 0..=20 {
+                let q = i as f64 / 20.0;
+                let v = snap.quantile_us(q);
+                assert!(v >= last, "seed {seed}: quantile dipped at q={q}");
+                last = v;
+            }
+            // The top estimate is a conservative upper bound on the true
+            // maximum unless the sample saturated the catch-all bucket.
+            let top = snap.quantile_us(1.0);
+            if max_sample < Histogram::bucket_edge_us(HISTOGRAM_BUCKETS - 2) {
+                assert!(top >= max_sample as f64, "seed {seed}");
             }
         }
     }

@@ -327,6 +327,25 @@ impl Client {
         }
     }
 
+    /// Answers one query like [`Client::query`] — the answer is
+    /// byte-identical — but force-traced server-side (protocol version 6):
+    /// returns the trace id this call generated together with the answer
+    /// and the server's collected span tree, whose root parents onto the
+    /// generated context's root span.
+    pub fn trace(
+        &mut self,
+        key: u64,
+        query: Query,
+    ) -> Result<(u64, QueryAnswer, Vec<trl_obs::TraceSpanData>)> {
+        let ctx = trl_obs::TraceContext::generate(true);
+        match self.call(&Request::Trace { ctx, key, query })? {
+            Response::Traced { answer, spans } => Ok((ctx.trace_id, answer, spans)),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "traced answer",
+            }),
+        }
+    }
+
     /// Answers a batch of queries against the artifact under `key`, in
     /// submission order (grouped into shared kernel sweeps server-side).
     pub fn batch(&mut self, key: u64, queries: Vec<Query>) -> Result<Vec<QueryAnswer>> {

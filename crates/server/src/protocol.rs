@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic  b"TRLW"
-//!      4     2  protocol version (currently 5)
+//!      4     2  protocol version (currently 6)
 //!      6     1  frame kind tag (request 0x01..., response 0x81...)
 //!      7     1  reserved (0)
 //!      8     4  payload length in bytes (u32)
@@ -76,6 +76,18 @@
 //!   time the pass took). Every version-4 frame kind is encoded exactly
 //!   as before, readers accept versions `1..=5`, and responses keep
 //!   echoing the request frame's version.
+//! * **6** — request-scoped tracing. One new request kind,
+//!   [`Request::Trace`] (kind `0x0c`: a client-generated
+//!   [`TraceContext`] — trace id, the client's open span id, sampled
+//!   flag — plus the registry key and query of an ordinary
+//!   [`Request::Query`]), answered by [`Response::Traced`] (kind `0x8d`:
+//!   the bit-identical [`QueryAnswer`] the untraced query would have
+//!   produced, plus the server-side span tree as a flat list of
+//!   [`TraceSpanData`] with parent links, rooted under the client's span
+//!   id). The trace context is an *optional extension*: v1–v5 clients
+//!   never send kind `0x0c` and every pre-existing frame kind is encoded
+//!   exactly as before; readers accept versions `1..=6`, and responses
+//!   keep echoing the request frame's version.
 
 use std::fmt;
 use std::hash::Hasher;
@@ -84,11 +96,11 @@ use std::io::{Read, Write};
 use trl_core::{Assignment, Cube, FxHasher, Lit, PartialAssignment, Var};
 use trl_engine::{Query, QueryAnswer, RegistryStats, StatsSnapshot};
 use trl_nnf::LitWeights;
-use trl_obs::{HistogramSnapshot, MetricValue, MetricsDump};
+use trl_obs::{HistogramSnapshot, MetricValue, MetricsDump, TraceContext, TraceSpanData};
 use trl_prop::Cnf;
 
 /// The newest protocol version this build speaks.
-pub const PROTOCOL_VERSION: u16 = 5;
+pub const PROTOCOL_VERSION: u16 = 6;
 
 /// Frame magic: "TRL Wire".
 pub const MAGIC: [u8; 4] = *b"TRLW";
@@ -117,6 +129,7 @@ const KIND_REQ_LEARN_PSDD: u8 = 0x08; // version 4
 const KIND_REQ_COMPILE_SPACE: u8 = 0x09; // version 4
 const KIND_REQ_COMPILE_CLASSIFIER: u8 = 0x0a; // version 4
 const KIND_REQ_OPTIMIZE: u8 = 0x0b; // version 5
+const KIND_REQ_TRACE: u8 = 0x0c; // version 6
 
 const KIND_RESP_PONG: u8 = 0x81;
 const KIND_RESP_COMPILED: u8 = 0x82;
@@ -130,6 +143,7 @@ const KIND_RESP_LEARNED: u8 = 0x89; // version 4
 const KIND_RESP_SPACE_COMPILED: u8 = 0x8a; // version 4
 const KIND_RESP_CLASSIFIER_COMPILED: u8 = 0x8b; // version 4
 const KIND_RESP_OPTIMIZED: u8 = 0x8c; // version 5
+const KIND_RESP_TRACED: u8 = 0x8d; // version 6
 
 /// Errors that make a frame (and usually the stream carrying it)
 /// unusable. Application-level failures travel as [`WireError`] instead.
@@ -346,6 +360,20 @@ pub enum Request {
         /// Registry key from a [`Response::Compiled`].
         key: u64,
     },
+    /// **Version 6.** A force-sampled query carrying its trace context:
+    /// answered like [`Request::Query`] (the answer is byte-identical to
+    /// the untraced one) but with the server-side span tree attached in a
+    /// [`Response::Traced`]. The server's root span parents onto
+    /// `ctx.span_id`, so the client can splice the server subtree under
+    /// its own request span.
+    Trace {
+        /// The client-generated trace context this request travels under.
+        ctx: TraceContext,
+        /// Registry key from a [`Response::Compiled`].
+        key: u64,
+        /// The query to answer and trace.
+        query: Query,
+    },
 }
 
 /// A server-to-client message.
@@ -414,6 +442,16 @@ pub enum Response {
         num_vars: u32,
         /// Nodes in the compiled classifier.
         nodes: u32,
+    },
+    /// **Version 6.** Answer to [`Request::Trace`]: the query's answer —
+    /// bit-identical to what [`Response::Answer`] would carry — plus the
+    /// collected server-side spans of the request's trace, parent-linked
+    /// and sorted by start time.
+    Traced {
+        /// The traced query's answer.
+        answer: QueryAnswer,
+        /// The server-side span tree, flat with parent links.
+        spans: Vec<TraceSpanData>,
     },
     /// **Version 5.** Answer to [`Request::Optimize`].
     Optimized {
@@ -1341,6 +1379,14 @@ impl Request {
                 e.u64(*key);
                 KIND_REQ_OPTIMIZE
             }
+            Request::Trace { ctx, key, query } => {
+                e.u64(ctx.trace_id);
+                e.u64(ctx.span_id);
+                e.u8(u8::from(ctx.sampled));
+                e.u64(*key);
+                encode_query(&mut e, query);
+                KIND_REQ_TRACE
+            }
         };
         (kind, e.0)
     }
@@ -1402,6 +1448,15 @@ impl Request {
             }
             KIND_REQ_COMPILE_CLASSIFIER => Request::CompileClassifier(decode_cnf(&mut d)?),
             KIND_REQ_OPTIMIZE => Request::Optimize { key: d.u64()? },
+            KIND_REQ_TRACE => Request::Trace {
+                ctx: TraceContext {
+                    trace_id: d.u64()?,
+                    span_id: d.u64()?,
+                    sampled: d.u8()? != 0,
+                },
+                key: d.u64()?,
+                query: decode_query(&mut d)?,
+            },
             kind => {
                 return Err(ProtocolError::UnexpectedFrame {
                     kind,
@@ -1516,6 +1571,18 @@ impl Response {
                 e.u64(*wall_us);
                 KIND_RESP_OPTIMIZED
             }
+            Response::Traced { answer, spans } => {
+                encode_answer(&mut e, answer);
+                e.u32(spans.len() as u32);
+                for s in spans {
+                    e.u64(s.span_id);
+                    e.u64(s.parent_id);
+                    e.str(&s.name);
+                    e.u64(s.start_us);
+                    e.u64(s.dur_us);
+                }
+                KIND_RESP_TRACED
+            }
         };
         (kind, e.0)
     }
@@ -1588,6 +1655,22 @@ impl Response {
                 swapped: d.u8()? != 0,
                 wall_us: d.u64()?,
             },
+            KIND_RESP_TRACED => {
+                let answer = decode_answer(&mut d)?;
+                let declared = d.u32()?;
+                let n = d.counted(declared, 36)?;
+                let mut spans = Vec::with_capacity(n);
+                for _ in 0..n {
+                    spans.push(TraceSpanData {
+                        span_id: d.u64()?,
+                        parent_id: d.u64()?,
+                        name: d.str()?,
+                        start_us: d.u64()?,
+                        dur_us: d.u64()?,
+                    });
+                }
+                Response::Traced { answer, spans }
+            }
             kind => {
                 return Err(ProtocolError::UnexpectedFrame {
                     kind,
@@ -1743,6 +1826,24 @@ mod tests {
             },
             Request::CompileClassifier(Cnf::parse_dimacs("p cnf 2 2\n1 0\n-1 2 0\n").unwrap()),
             Request::Optimize { key: 0xfeed_beef },
+            Request::Trace {
+                ctx: TraceContext {
+                    trace_id: 0x0123_4567_89ab_cdef,
+                    span_id: 0xfedc_ba98_7654_3210,
+                    sampled: true,
+                },
+                key: 5,
+                query: Query::Wmc(LitWeights::unit(3)),
+            },
+            Request::Trace {
+                ctx: TraceContext {
+                    trace_id: 1,
+                    span_id: 2,
+                    sampled: false,
+                },
+                key: 0,
+                query: Query::Sat,
+            },
             Request::Batch {
                 key: 11,
                 queries: vec![
@@ -1840,6 +1941,36 @@ mod tests {
                 nodes_after: 7,
                 swapped: false,
                 wall_us: 88,
+            },
+            Response::Traced {
+                answer: QueryAnswer::Wmc(0.625),
+                spans: vec![
+                    TraceSpanData {
+                        span_id: 10,
+                        parent_id: 0,
+                        name: "server.request".into(),
+                        start_us: 0,
+                        dur_us: 900,
+                    },
+                    TraceSpanData {
+                        span_id: 11,
+                        parent_id: 10,
+                        name: "kernel.sweep.scalar".into(),
+                        start_us: 120,
+                        dur_us: 640,
+                    },
+                    TraceSpanData {
+                        span_id: 12,
+                        parent_id: 10,
+                        name: String::new(),
+                        start_us: 800,
+                        dur_us: 0,
+                    },
+                ],
+            },
+            Response::Traced {
+                answer: QueryAnswer::ModelCount(3),
+                spans: Vec::new(),
             },
             Response::Answer(QueryAnswer::LogLikelihood(-1.5)),
             Response::Answer(QueryAnswer::Probability(0.375)),

@@ -57,6 +57,7 @@ use crate::protocol::{
 };
 use crate::reactor::{Event, Reactor, Waker};
 use trl_engine::{Artifact, Engine, EngineError, Query, QueryOutcome};
+use trl_obs::{TraceContext, TraceSpanData};
 
 /// Tunables for a [`Server`]. The defaults suit tests and small
 /// deployments; serving real traffic wants them set explicitly.
@@ -83,6 +84,10 @@ pub struct ServerConfig {
     /// When set, any request whose handling time exceeds this threshold
     /// is logged to stderr as one JSON line with its span breakdown.
     pub slow_query: Option<Duration>,
+    /// Probability in `[0, 1]` that a request is traced into the flight
+    /// recorder (`--trace-sample`). Zero disables sampling; explicit
+    /// [`Request::Trace`] frames are always traced regardless.
+    pub trace_sample: f64,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +100,7 @@ impl Default for ServerConfig {
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             reactors: 0,
             slow_query: None,
+            trace_sample: 0.0,
         }
     }
 }
@@ -317,6 +323,12 @@ impl Server {
     ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        // Only a nonzero rate touches the process-global sampling knob:
+        // a default-config server must not stomp a rate the embedding
+        // process (or another server on the same engine) already set.
+        if config.trace_sample > 0.0 {
+            trl_obs::set_trace_sampling(config.trace_sample);
+        }
         let num_reactors = config.effective_reactors();
         let mut reactors = Vec::with_capacity(num_reactors);
         for _ in 0..num_reactors {
@@ -523,6 +535,11 @@ struct Conn {
     partial_since: Option<Instant>,
     /// When the current write backlog started stalling.
     blocked_since: Option<Instant>,
+    /// When the readiness drain that produced the frame currently being
+    /// dispatched began — the closest observable proxy for "the request's
+    /// bytes arrived", and the start instant of a traced request's root
+    /// span (so the root duration tracks client-observed latency).
+    drain_start: Instant,
 }
 
 impl Conn {
@@ -794,6 +811,7 @@ fn register_conn(
         broken: false,
         partial_since: None,
         blocked_since: None,
+        drain_start: Instant::now(),
     });
     let token = slab.slots[slot].as_ref().map(|c| c.token).unwrap_or(0);
     if reactor.register_edge(fd, token).is_err() {
@@ -852,6 +870,7 @@ fn read_drain(
     if conn.read_closed || conn.broken {
         return;
     }
+    conn.drain_start = Instant::now();
     let mut total = 0u64;
     loop {
         match conn.stream.read(scratch) {
@@ -1075,6 +1094,10 @@ fn dispatch(
                 }
             }
         }
+        Request::Trace { ctx, key, query } => {
+            trl_obs::counter!("server.requests.trace").inc();
+            submit_traced(conn, ctx, key, query, shared, rshared);
+        }
         Request::Optimize { key } => {
             trl_obs::counter!("server.requests.optimize").inc();
             let seq = conn.next_seq;
@@ -1207,9 +1230,16 @@ fn submit_pipeline_group(
     let cb_rshared = Arc::clone(rshared);
     let submitted = Instant::now();
     let slow_query = shared.config.slow_query;
-    let result = shared
-        .engine
-        .submit_artifact_batch(&group.artifact, queries, move |outcomes| {
+    let drain_start = conn.drain_start;
+    let ctx = trl_obs::maybe_sample();
+    if let Some(ctx) = ctx {
+        trl_obs::record_span_under(ctx, "reactor.drain", drain_start, drain_start.elapsed());
+    }
+    let result = shared.engine.submit_artifact_batch_traced(
+        &group.artifact,
+        queries,
+        ctx,
+        move |outcomes| {
             cb_shared.release_admitted(total);
             let handle_time = submitted.elapsed();
             trl_obs::record_span("server.handle", handle_time);
@@ -1225,13 +1255,24 @@ fn submit_pipeline_group(
                 };
                 frames.push((None, encode_response(&resp, version)));
             }
+            if let Some(ctx) = ctx {
+                trl_obs::record_root_span(
+                    ctx,
+                    0,
+                    "server.request",
+                    drain_start,
+                    drain_start.elapsed(),
+                );
+            }
             if let Some(threshold) = slow_query {
                 if handle_time > threshold {
-                    log_slow_query("pipeline", handle_time, handle_time);
+                    let spans = ctx.map_or_else(Vec::new, |c| trl_obs::collect_trace(c.trace_id));
+                    log_slow_query("pipeline", handle_time, &spans);
                 }
             }
             cb_rshared.push_completion(Completion { token, frames });
-        });
+        },
+    );
     match result {
         Ok(()) => conn.in_flight += 1,
         Err(e) => {
@@ -1285,9 +1326,15 @@ fn submit_ordered(
     let cb_rshared = Arc::clone(rshared);
     let submitted = Instant::now();
     let slow_query = shared.config.slow_query;
-    let result = shared.engine.submit_artifact_batch(
+    let drain_start = conn.drain_start;
+    let ctx = trl_obs::maybe_sample();
+    if let Some(ctx) = ctx {
+        trl_obs::record_span_under(ctx, "reactor.drain", drain_start, drain_start.elapsed());
+    }
+    let result = shared.engine.submit_artifact_batch_traced(
         &artifact,
         queries,
+        ctx,
         move |outcomes: Vec<QueryOutcome>| {
             if n > 0 {
                 cb_shared.release_admitted(n);
@@ -1307,18 +1354,31 @@ fn submit_ordered(
             } else {
                 Response::Batch(answers.collect())
             };
+            let bytes = match ctx {
+                Some(ctx) => {
+                    let wstart = Instant::now();
+                    let bytes = encode_response(&resp, version);
+                    trl_obs::record_span_under(ctx, "server.write", wstart, wstart.elapsed());
+                    trl_obs::record_root_span(
+                        ctx,
+                        0,
+                        "server.request",
+                        drain_start,
+                        drain_start.elapsed(),
+                    );
+                    bytes
+                }
+                None => encode_response(&resp, version),
+            };
             if let Some(threshold) = slow_query {
                 if handle_time > threshold {
-                    log_slow_query(
-                        if single { "query" } else { "batch" },
-                        handle_time,
-                        handle_time,
-                    );
+                    let spans = ctx.map_or_else(Vec::new, |c| trl_obs::collect_trace(c.trace_id));
+                    log_slow_query(if single { "query" } else { "batch" }, handle_time, &spans);
                 }
             }
             cb_rshared.push_completion(Completion {
                 token,
-                frames: vec![(Some(seq), encode_response(&resp, version))],
+                frames: vec![(Some(seq), bytes)],
             });
         },
     );
@@ -1328,6 +1388,105 @@ fn submit_ordered(
             if n > 0 {
                 shared.release_admitted(n);
             }
+            reject(conn, engine_error_to_wire(e));
+        }
+    }
+}
+
+/// Submits a [`Request::Trace`] query: a force-sampled single query whose
+/// answer comes back with the server-side span tree attached. The answer
+/// travels the exact same executor path as [`Request::Query`], so it is
+/// byte-identical to the untraced one; only the response framing differs.
+fn submit_traced(
+    conn: &mut Conn,
+    client_ctx: TraceContext,
+    key: u64,
+    query: Query,
+    shared: &Arc<Shared>,
+    rshared: &Arc<ReactorShared>,
+) {
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
+    let reject = |conn: &mut Conn, e: WireError| {
+        let bytes = encode_response(&Response::Error(e), conn.version);
+        enqueue_seq(conn, shared, seq, bytes);
+    };
+    if let Err(e) = shared.try_admit(1) {
+        reject(conn, e);
+        return;
+    }
+    let artifact = match shared.engine.get(key) {
+        Some(a) => a,
+        None => {
+            shared.release_admitted(1);
+            reject(conn, WireError::UnknownKey(key));
+            return;
+        }
+    };
+    // Recording stays forced for this request's whole lifetime regardless
+    // of the sampling rate: the guard rides in the completion closure and
+    // drops after collection.
+    let forced = trl_obs::force_tracing();
+    // Adopt the client's trace id with a fresh root span for the server's
+    // subtree; the client's span id becomes that root's parent, so the
+    // client can splice the subtree under its own request span.
+    let ctx = TraceContext::adopt(client_ctx.trace_id);
+    let drain_start = conn.drain_start;
+    trl_obs::record_span_under(ctx, "reactor.drain", drain_start, drain_start.elapsed());
+    let token = conn.token;
+    let version = conn.version;
+    let cb_shared = Arc::clone(shared);
+    let cb_rshared = Arc::clone(rshared);
+    let submitted = Instant::now();
+    let slow_query = shared.config.slow_query;
+    let result = shared.engine.submit_artifact_batch_traced(
+        &artifact,
+        vec![query],
+        Some(ctx),
+        move |outcomes: Vec<QueryOutcome>| {
+            cb_shared.release_admitted(1);
+            let handle_time = submitted.elapsed();
+            trl_obs::record_span("server.handle", handle_time);
+            trl_obs::histogram!("server.service_us").record(handle_time);
+            trl_obs::histogram!("server.request_us").record(handle_time);
+            let resp = match outcomes.into_iter().map(|o| o.answer).next() {
+                Some(answer) => {
+                    // The traced response cannot contain the cost of its
+                    // own final encode, so probe-encode the plain answer
+                    // frame — what an untraced request would write — and
+                    // record that as the tree's response-write span.
+                    let wstart = Instant::now();
+                    let probe = encode_response(&Response::Answer(answer.clone()), version);
+                    trl_obs::record_span_under(ctx, "server.write", wstart, wstart.elapsed());
+                    drop(probe);
+                    trl_obs::record_root_span(
+                        ctx,
+                        client_ctx.span_id,
+                        "server.request",
+                        drain_start,
+                        drain_start.elapsed(),
+                    );
+                    let spans = trl_obs::collect_trace(ctx.trace_id);
+                    if let Some(threshold) = slow_query {
+                        if handle_time > threshold {
+                            log_slow_query("trace", handle_time, &spans);
+                        }
+                    }
+                    Response::Traced { answer, spans }
+                }
+                None => Response::Error(WireError::Engine("empty batch result".into())),
+            };
+            drop(forced);
+            cb_rshared.push_completion(Completion {
+                token,
+                frames: vec![(Some(seq), encode_response(&resp, version))],
+            });
+        },
+    );
+    match result {
+        Ok(()) => conn.in_flight += 1,
+        Err(e) => {
+            shared.release_admitted(1);
             reject(conn, engine_error_to_wire(e));
         }
     }
@@ -1351,19 +1510,26 @@ fn spawn_build<F>(
     let cb_shared = Arc::clone(shared);
     let cb_rshared = Arc::clone(rshared);
     let slow_query = shared.config.slow_query;
+    let ctx = trl_obs::maybe_sample();
     let spawned = std::thread::Builder::new()
         .name(format!("trl-server-{kind}"))
         .spawn(move || {
             let started = Instant::now();
-            let resp = build(&cb_shared.engine);
+            // Installing the sampled context means registry hit/compile
+            // and minimize-pass spans inside `build` land in the tree.
+            let resp = trl_obs::with_current_trace(ctx, || build(&cb_shared.engine));
             cb_shared.release_admitted(1);
             let handle_time = started.elapsed();
             trl_obs::record_span("server.handle", handle_time);
             trl_obs::histogram!("server.service_us").record(handle_time);
             trl_obs::histogram!("server.request_us").record(handle_time);
+            if let Some(ctx) = ctx {
+                trl_obs::record_root_span(ctx, 0, "server.request", started, handle_time);
+            }
             if let Some(threshold) = slow_query {
                 if handle_time > threshold {
-                    log_slow_query(kind, handle_time, handle_time);
+                    let spans = ctx.map_or_else(Vec::new, |c| trl_obs::collect_trace(c.trace_id));
+                    log_slow_query(kind, handle_time, &spans);
                 }
             }
             cb_rshared.push_completion(Completion {
@@ -1533,16 +1699,26 @@ fn spawn_optimize(
 }
 
 /// One JSON line on stderr describing a request that blew the
-/// [`ServerConfig::slow_query`] threshold. The read/write phases of the
-/// old thread-per-connection server no longer exist per request; their
-/// fields remain zero for log-shape compatibility.
-fn log_slow_query(kind: &'static str, total: Duration, handle_time: Duration) {
+/// [`ServerConfig::slow_query`] threshold. A sampled request logs its
+/// full collected span tree under `"spans"`; an unsampled one logs a
+/// synthesized root-only tree so the line's shape is uniform either way.
+fn log_slow_query(kind: &'static str, total: Duration, spans: &[TraceSpanData]) {
+    let spans_json = if spans.is_empty() {
+        trl_obs::tree_json(&[TraceSpanData {
+            span_id: 0,
+            parent_id: 0,
+            name: "server.request".into(),
+            start_us: 0,
+            dur_us: total.as_micros() as u64,
+        }])
+    } else {
+        trl_obs::tree_json(spans)
+    };
     // A failed stderr write has no recovery path worth taking.
     let _ = writeln!(
         io::stderr().lock(),
-        "{{\"slow_query\":\"{kind}\",\"total_us\":{},\"read_us\":0,\"handle_us\":{},\"write_us\":0}}",
+        "{{\"slow_query\":\"{kind}\",\"total_us\":{},\"spans\":{spans_json}}}",
         total.as_micros(),
-        handle_time.as_micros()
     );
 }
 

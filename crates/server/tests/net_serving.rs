@@ -355,6 +355,85 @@ fn shutdown_drains_in_flight_requests() {
     assert!(rebind.is_ok(), "port still held after shutdown");
 }
 
+/// A traced query (version-6 trace frame) returns an answer bit-identical
+/// to the untraced path plus a span tree covering the full request
+/// lifecycle — reactor drain, queue wait, executor batch, kernel sweep,
+/// response write under a single `server.request` root — with every
+/// parent link resolving inside the tree.
+#[test]
+fn traced_query_returns_identical_answer_and_span_tree() {
+    let cnf = acceptance_cnf();
+    let engine = Arc::new(Engine::new(1 << 22, Some(2)));
+    let handle = Server::bind("127.0.0.1:0", engine, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let summary = client.compile(&cnf).unwrap();
+
+    let mut w = LitWeights::unit(6);
+    for v in 0..6u32 {
+        w.set(Var(v).positive(), 0.2 + 0.1 * v as f64);
+        w.set(Var(v).negative(), 0.8 - 0.1 * v as f64);
+    }
+    let untraced = client.query(summary.key, Query::Wmc(w.clone())).unwrap();
+    let (trace_id, answer, spans) = client.trace(summary.key, Query::Wmc(w)).unwrap();
+    assert_ne!(trace_id, 0, "the client generates a fresh trace id");
+    match (&answer, &untraced) {
+        (QueryAnswer::Wmc(a), QueryAnswer::Wmc(b)) => {
+            assert_eq!(a.to_bits(), b.to_bits(), "traced answer must not drift");
+        }
+        other => panic!("expected two WMC answers, got {other:?}"),
+    }
+
+    // One root covering the request, at least five spans total.
+    assert!(spans.len() >= 5, "thin trace: {spans:?}");
+    let roots: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "server.request")
+        .collect();
+    assert_eq!(roots.len(), 1, "exactly one request root: {spans:?}");
+    let root = roots[0];
+    assert_ne!(root.parent_id, 0, "root parents onto the client's span");
+
+    // Every other span's parent resolves inside the collected tree.
+    let ids: std::collections::HashSet<u64> = spans.iter().map(|s| s.span_id).collect();
+    for s in &spans {
+        if s.span_id != root.span_id {
+            assert!(ids.contains(&s.parent_id), "orphan span {s:?}");
+        }
+        assert!(
+            s.start_us >= root.start_us,
+            "span starts before the root: {s:?}"
+        );
+        assert!(
+            s.start_us + s.dur_us <= root.start_us + root.dur_us + 1_000,
+            "span ends far past the root: {s:?}"
+        );
+    }
+
+    // The lifecycle stations all report in.
+    let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+    for expected in [
+        "reactor.drain",
+        "engine.queue_wait",
+        "executor.batch",
+        "server.write",
+    ] {
+        assert!(names.contains(&expected), "missing {expected}: {names:?}");
+    }
+    assert!(
+        names.iter().any(|n| n.starts_with("kernel.sweep")),
+        "no kernel sweep span: {names:?}"
+    );
+
+    // Tracing an unknown key is typed, exactly like querying one.
+    let err = client.trace(summary.key ^ 1, Query::Sat).unwrap_err();
+    assert!(
+        matches!(err, ClientError::Server(WireError::UnknownKey { .. })),
+        "{err:?}"
+    );
+    drop(client);
+    handle.shutdown();
+}
+
 /// Stats over the wire reflect engine activity.
 #[test]
 fn stats_snapshot_over_the_wire() {

@@ -5,7 +5,7 @@
 use trl_core::{Assignment, Cube, PartialAssignment, Var};
 use trl_engine::{Query, QueryAnswer, RegistryStats, StatsSnapshot};
 use trl_nnf::LitWeights;
-use trl_obs::{HistogramSnapshot, MetricValue, MetricsDump};
+use trl_obs::{HistogramSnapshot, MetricValue, MetricsDump, TraceContext, TraceSpanData};
 use trl_prop::Cnf;
 use trl_server::{
     decode_stats_v1_prefix, read_request, read_response, write_request, write_response,
@@ -128,6 +128,53 @@ fn all_requests() -> Vec<Request> {
                 Query::ClassifierBias(Vec::new()),
             ],
         },
+        // Version-6 trace frames, client context sampled and not.
+        Request::Trace {
+            ctx: TraceContext {
+                trace_id: 0x1122_3344_5566_7788,
+                span_id: 0x99aa_bbcc_ddee_ff00,
+                sampled: true,
+            },
+            key: 17,
+            query: Query::Wmc(sample_weights()),
+        },
+        Request::Trace {
+            ctx: TraceContext {
+                trace_id: 1,
+                span_id: 2,
+                sampled: false,
+            },
+            key: 18,
+            query: Query::ModelCount,
+        },
+    ]
+}
+
+/// A small but shape-complete span tree: a root, a child, and a span with
+/// an empty name (names travel as length-prefixed strings).
+fn sample_spans() -> Vec<TraceSpanData> {
+    vec![
+        TraceSpanData {
+            span_id: 11,
+            parent_id: 0,
+            name: "server.request".into(),
+            start_us: 0,
+            dur_us: 1200,
+        },
+        TraceSpanData {
+            span_id: 12,
+            parent_id: 11,
+            name: "engine.queue_wait".into(),
+            start_us: 10,
+            dur_us: 40,
+        },
+        TraceSpanData {
+            span_id: 13,
+            parent_id: 11,
+            name: String::new(),
+            start_us: 60,
+            dur_us: 0,
+        },
     ]
 }
 
@@ -191,6 +238,15 @@ fn all_role_responses() -> Vec<Response> {
                 },
                 QueryAnswer::Bias(false),
             ]),
+        },
+        // Version-6 traced answers, with and without spans.
+        Response::Traced {
+            answer: QueryAnswer::Wmc(2.5),
+            spans: sample_spans(),
+        },
+        Response::Traced {
+            answer: QueryAnswer::ModelCount(12),
+            spans: Vec::new(),
         },
     ]
 }
@@ -682,6 +738,30 @@ fn edge_count_bomb_rejected() {
     ));
 }
 
+#[test]
+fn traced_span_count_bomb_rejected() {
+    // A traced response whose span-count word claims u32::MAX spans must
+    // be rejected by the remaining-bytes bound, not by attempting to
+    // reserve the declared capacity.
+    let mut bytes = Vec::new();
+    write_response(
+        &mut bytes,
+        &Response::Traced {
+            answer: QueryAnswer::ModelCount(5),
+            spans: Vec::new(),
+        },
+    )
+    .unwrap();
+    // With zero spans, the declared span count is the payload's final word.
+    let count_at = bytes.len() - 4;
+    bytes[count_at..].copy_from_slice(&u32::MAX.to_le_bytes());
+    restamp_payload_and_header(&mut bytes);
+    assert!(matches!(
+        read_response(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN),
+        Err(ProtocolError::Malformed(_))
+    ));
+}
+
 /// Rewrites a well-formed frame's version word to `version` and restamps
 /// the header checksum, simulating a client that speaks an older protocol.
 fn stamp_version(bytes: &mut [u8], version: u16) {
@@ -817,6 +897,63 @@ fn version_3_client_still_works_against_the_v4_server() {
     send_v3(&mut stream, &Request::Stats);
     let frame = read_raw_frame(&mut stream);
     assert_eq!(u16::from_le_bytes(frame[4..6].try_into().unwrap()), 3);
+    match read_response(&mut frame.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap() {
+        Response::Stats(s) => assert_eq!(s.artifacts, 1),
+        other => panic!("expected Stats, got {other:?}"),
+    }
+
+    drop(stream);
+    handle.shutdown();
+}
+
+#[test]
+fn version_5_client_still_works_against_the_v6_server() {
+    // A version-5 client knows every frame except tracing. The v6 server
+    // must accept its frames, echo version 5 on every response so the old
+    // decoder's version check passes, and never send a Traced response on
+    // that connection.
+    use std::io::Write;
+    use std::sync::Arc;
+    use trl_engine::Engine;
+    use trl_server::{Server, ServerConfig};
+
+    let engine = Arc::new(Engine::new(1 << 20, Some(2)));
+    let handle = Server::bind("127.0.0.1:0", engine, ServerConfig::default()).unwrap();
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    let send_v5 = |stream: &mut std::net::TcpStream, req: &Request| {
+        let mut bytes = Vec::new();
+        write_request(&mut bytes, req).unwrap();
+        stamp_version(&mut bytes, 5);
+        stream.write_all(&bytes).unwrap();
+    };
+
+    send_v5(&mut stream, &Request::Compile(sample_cnf()));
+    let frame = read_raw_frame(&mut stream);
+    assert_eq!(u16::from_le_bytes(frame[4..6].try_into().unwrap()), 5);
+    let key = match read_response(&mut frame.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap() {
+        Response::Compiled { key, .. } => key,
+        other => panic!("expected Compiled, got {other:?}"),
+    };
+
+    send_v5(
+        &mut stream,
+        &Request::Query {
+            key,
+            query: Query::Wmc(sample_weights()),
+        },
+    );
+    let frame = read_raw_frame(&mut stream);
+    assert_eq!(u16::from_le_bytes(frame[4..6].try_into().unwrap()), 5);
+    match read_response(&mut frame.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap() {
+        Response::Answer(QueryAnswer::Wmc(x)) => assert!(x.is_finite()),
+        other => panic!("expected Answer, got {other:?}"),
+    }
+
+    send_v5(&mut stream, &Request::Stats);
+    let frame = read_raw_frame(&mut stream);
+    assert_eq!(u16::from_le_bytes(frame[4..6].try_into().unwrap()), 5);
     match read_response(&mut frame.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap() {
         Response::Stats(s) => assert_eq!(s.artifacts, 1),
         other => panic!("expected Stats, got {other:?}"),

@@ -14,8 +14,11 @@
 //!                   [--server ADDR]
 //! three-roles explain <cnf> --instance "LITS" [--reason] [--robustness]
 //!                   [--bias "VARS"] [--server ADDR]
+//! three-roles trace <cnf|artifact> [query flags as above] [--server ADDR]
+//!                   [--chrome PATH]
 //! three-roles serve <addr> [--workers N] [--budget NODES] [--max-conns N]
-//!                   [--queue N] [--timeout-secs S] [--slow-ms MS] [--obs-log]
+//!                   [--queue N] [--timeout-secs S] [--slow-ms MS]
+//!                   [--trace-sample RATE] [--obs-log]
 //! three-roles client <addr> ping | stats [--watch] | shutdown
 //! three-roles client <addr> compile <cnf>
 //! three-roles client <addr> query <cnf> [query flags as above]
@@ -53,6 +56,16 @@
 //! in-process by default and against a running `serve` with `--server
 //! ADDR`; answers are bit-identical either way, so the two are diffable
 //! up to the latency suffix.
+//!
+//! `trace` is the forensic lens on all of this: it answers queries exactly
+//! like `query` / `client query` — byte-identical answer lines — then
+//! prints the request's span tree (reactor drain, queue wait, executor
+//! batch, kernel sweep with the lane backend chosen, response write).
+//! Locally it force-samples the in-process flight recorder; with
+//! `--server` it sends a version-6 trace frame whose context the server
+//! adopts, so the tree is the server's own view of the request.
+//! `--chrome PATH` additionally exports the last traced query as Chrome
+//! `trace_event` JSON (load it in `chrome://tracing` or Perfetto).
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -84,6 +97,7 @@ fn main() -> ExitCode {
         "learn" => cmd_learn(rest),
         "space" => cmd_space(rest),
         "explain" => cmd_explain(rest),
+        "trace" => cmd_trace(rest),
         "serve" => cmd_serve(rest),
         "client" => cmd_client(rest),
         "metrics" => cmd_metrics(rest),
@@ -120,9 +134,12 @@ USAGE:
                     [--server ADDR]
   three-roles explain <cnf> --instance \"LITS\" [--reason] [--robustness]
                     [--bias \"VARS\"] [--server ADDR]
+  three-roles trace <cnf|artifact> [query flags as above] [--server ADDR]
+                    [--chrome PATH]
   three-roles serve <addr> [--workers N] [--budget NODES] [--max-conns N]
                     [--queue N] [--timeout-secs S] [--reactors N]
-                    [--layer-parallel] [--slow-ms MS] [--obs-log]
+                    [--layer-parallel] [--slow-ms MS] [--trace-sample RATE]
+                    [--obs-log]
   three-roles client <addr> ping | stats [--watch] | shutdown
   three-roles client <addr> compile <cnf>
   three-roles client <addr> query <cnf> [query flags as above]
@@ -202,6 +219,17 @@ EXPLAIN (role 3: explain a CNF classifier's decision on an instance):
                      these protected DIMACS variables change
   --server ADDR      compile and answer on a running `serve`
 
+TRACE (answer like `query`, then print the request's span tree):
+  <cnf|artifact>     a DIMACS .cnf/.dimacs compiles first; anything else
+                     loads as a compiled artifact (.nnf text or binary,
+                     local runs only — --server compiles server-side)
+  [query flags]      the QUERY selection flags above (--count, --wmc, ...)
+  --server ADDR      trace on a running `serve` over the wire: the server
+                     adopts this call's trace context and returns its span
+                     tree with the (byte-identical) answer
+  --chrome PATH      export the last traced query as Chrome trace_event
+                     JSON (chrome://tracing, Perfetto)
+
 SERVE (TCP frontend; `client query` answers are bit-identical to `query`):
   --workers N        engine worker threads (default: all available cores)
   --budget NODES     registry node-retention budget (default 2^24)
@@ -215,12 +243,17 @@ SERVE (TCP frontend; `client query` answers are bit-identical to `query`):
   --layer-parallel   opt in to layered intra-query parallelism for large
                      circuits (default off: lane-batched sweeps only)
   --slow-ms MS       log requests slower than MS to stderr as JSON lines
-                     (default: off)
+                     (span trees when the request was trace-sampled)
+  --trace-sample RATE  sample RATE of requests (0..=1) into the flight
+                     recorder for slow-query forensics (default: 0, off;
+                     `trace` requests are always recorded)
   --obs-log          stream every finished span to stderr as JSON lines
 
 CLIENT (speaks the trl-server wire protocol to a running `serve`):
   ping | stats | shutdown      liveness, serving stats, graceful drain
-  stats --watch                refresh the stats view every second
+  stats --watch                refresh the stats view every second,
+                               reconnecting (with capped backoff) if the
+                               server restarts
   compile <cnf>                compile server-side, print the registry key
   query <cnf> [query flags]    compile (a registry hit when warm), then
                                answer queries; accepts the QUERY flags above
@@ -986,6 +1019,89 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Answers queries exactly like `query` / `client query` — byte-identical
+/// answer lines — then prints each request's collected span tree. Local
+/// runs force-sample the in-process flight recorder; `--server` runs send
+/// a version-6 trace frame and print the server's own span tree.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let spec = QuerySpec::take(&mut args)?;
+    let server = take_value(&mut args, "--server")?;
+    let chrome = take_value(&mut args, "--chrome")?;
+    let input = take_positional(args, "input CNF or artifact path")?;
+
+    // The last traced query's (trace id, spans), for `--chrome`.
+    let mut last: Option<(u64, Vec<three_roles::obs::TraceSpanData>)> = None;
+
+    match server {
+        Some(addr) => {
+            let cnf = read_cnf(&input)?;
+            let mut client =
+                Client::connect(addr.as_str()).map_err(|e| format!("connecting to {addr}: {e}"))?;
+            let summary = client.compile(&cnf).map_err(|e| e.to_string())?;
+            let queries = spec.build(summary.num_vars as usize)?;
+            for query in queries {
+                let kind = query.kind();
+                let start = Instant::now();
+                let (trace_id, answer, spans) = client
+                    .trace(summary.key, query)
+                    .map_err(|e| e.to_string())?;
+                print_outcome(kind, &answer, start.elapsed());
+                print!("{}", three_roles::obs::tree_string(&spans));
+                last = Some((trace_id, spans));
+            }
+        }
+        None => {
+            let is_cnf = input.ends_with(".cnf") || input.ends_with(".dimacs");
+            let circuit = if is_cnf {
+                DecisionDnnfCompiler::default().compile(&read_cnf(&input)?)
+            } else {
+                load_artifact(&input, Validation::Full)?
+            };
+            let queries = spec.build(circuit.num_vars())?;
+            let executor = Executor::with_default_workers();
+            let artifact = three_roles::engine::Artifact::Circuit(std::sync::Arc::new(
+                three_roles::engine::PreparedCircuit::new(circuit),
+            ));
+            // Force-sample for the duration of the run, one trace per query
+            // so each printed tree stands alone.
+            let forced = three_roles::obs::force_tracing();
+            for query in queries {
+                let kind = query.kind();
+                let ctx = three_roles::obs::TraceContext::generate(true);
+                let start = Instant::now();
+                let (tx, rx) = std::sync::mpsc::channel();
+                executor
+                    .submit_artifact_batch_traced(&artifact, vec![query], Some(ctx), move |o| {
+                        let _ = tx.send(o);
+                    })
+                    .map_err(|e| e.to_string())?;
+                let outcomes = rx
+                    .recv()
+                    .map_err(|_| "executor dropped the batch".to_string())?;
+                three_roles::obs::record_root_span(ctx, 0, "trace.request", start, start.elapsed());
+                let outcome = outcomes
+                    .into_iter()
+                    .next()
+                    .ok_or("executor returned no outcome")?;
+                let spans = three_roles::obs::collect_trace(ctx.trace_id);
+                print_outcome(kind, &outcome.answer, outcome.latency);
+                print!("{}", three_roles::obs::tree_string(&spans));
+                last = Some((ctx.trace_id, spans));
+            }
+            drop(forced);
+        }
+    }
+
+    if let Some(path) = chrome {
+        let (trace_id, spans) = last.ok_or("--chrome needs at least one traced query")?;
+        std::fs::write(&path, three_roles::obs::chrome_trace_json(trace_id, &spans))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("chrome trace -> {path}");
+    }
+    Ok(())
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let workers = take_value(&mut args, "--workers")?
@@ -1013,6 +1129,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(ms) = take_value(&mut args, "--slow-ms")? {
         let ms: u64 = parse_num(&ms, "slow-query threshold")?;
         config.slow_query = Some(Duration::from_millis(ms));
+    }
+    if let Some(rate) = take_value(&mut args, "--trace-sample")? {
+        let rate: f64 = parse_num(&rate, "trace sampling rate")?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("--trace-sample {rate} outside 0..=1"));
+        }
+        config.trace_sample = rate;
     }
     let layer_parallel = take_flag(&mut args, "--layer-parallel");
     if take_flag(&mut args, "--obs-log") {
@@ -1098,14 +1221,31 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             let watch = take_flag(&mut args, "--watch");
             expect_no_more(args, "stats")?;
             let mut client = connect()?;
+            // Under --watch a lost connection (server restart, network
+            // blip) reconnects with capped exponential backoff instead of
+            // exiting — a dashboard should survive the thing it watches.
+            let mut backoff = Duration::from_millis(250);
             loop {
-                let s = client.stats().map_err(|e| e.to_string())?;
-                print_stats(&addr, &s);
-                if !watch {
-                    break;
+                match client.stats() {
+                    Ok(s) => {
+                        print_stats(&addr, &s);
+                        backoff = Duration::from_millis(250);
+                        if !watch {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_secs(1));
+                        println!();
+                    }
+                    Err(e) if watch => {
+                        eprintln!("lost {addr} ({e}); retrying in {backoff:?}");
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(Duration::from_secs(4));
+                        if let Ok(c) = Client::connect(addr.as_str()) {
+                            client = c;
+                        }
+                    }
+                    Err(e) => return Err(e.to_string()),
                 }
-                std::thread::sleep(Duration::from_secs(1));
-                println!();
             }
         }
         "shutdown" => {
